@@ -1,0 +1,10 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table/figure of the paper (or an ablation
+from DESIGN.md) and asserts its qualitative shape.  Runs use
+``benchmark.pedantic(rounds=1)`` — the simulations are deterministic, so
+repeated measurement would only re-measure identical work.
+"""
+
+REDUCED_ITEMS = 8_000      # items per source for count-samps benches
+REDUCED_DURATION = 200.0   # simulated seconds for comp-steer benches

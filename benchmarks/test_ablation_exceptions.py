@@ -1,0 +1,44 @@
+"""Ablation: the upstream exception protocol on vs off.
+
+Section 4.2's over-/under-load exceptions are how a downstream processing
+constraint reaches the stage that owns the parameter.  With the protocol
+disabled (local-queue-only adaptation), the Figure 8 sampler can no longer
+see the analysis stage's overload — the sampling rate climbs toward 1.0
+and the constraint is violated.  This bench demonstrates the protocol is
+load-bearing.
+"""
+
+from conftest import REDUCED_DURATION
+
+from repro.core.adaptation.policy import AdaptationPolicy
+from repro.experiments.common import run_comp_steer
+from repro.experiments.fig8 import feasible_rate
+
+COST = 20.0
+
+
+def _run(enabled: bool):
+    return run_comp_steer(
+        analysis_ms_per_byte=COST,
+        duration_seconds=REDUCED_DURATION,
+        policy=AdaptationPolicy(exceptions_enabled=enabled),
+    )
+
+
+def _regenerate():
+    return {"exceptions-on": _run(True), "exceptions-off": _run(False)}
+
+
+def test_exception_protocol_ablation(benchmark):
+    runs = benchmark.pedantic(_regenerate, rounds=1, iterations=1)
+    feasible = feasible_rate(COST)
+
+    print(f"\nAblation: exception protocol (fig8 regime, feasible={feasible:.3f}):")
+    for name, run in runs.items():
+        print(f"  {name:<15} converged={run.converged_rate:.3f}")
+
+    on, off = runs["exceptions-on"], runs["exceptions-off"]
+    # With exceptions: converges near the feasible rate.
+    assert abs(on.converged_rate - feasible) < 0.2
+    # Without: blind to the downstream constraint, the rate overshoots.
+    assert off.converged_rate > on.converged_rate + 0.2

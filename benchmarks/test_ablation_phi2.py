@@ -1,0 +1,39 @@
+"""Ablation: the φ₂ form (saturating vs linear).
+
+DESIGN.md: the paper's printed φ₂ formula is corrupted; we implement two
+forms honouring the stated contract.  This bench shows the choice affects
+reaction speed, not the converged value — both forms must land on the
+same plateau under the Figure 8 processing constraint.
+"""
+
+from conftest import REDUCED_DURATION
+
+from repro.core.adaptation.policy import AdaptationPolicy
+from repro.experiments.common import run_comp_steer
+
+
+def _run(phi2_form: str):
+    return run_comp_steer(
+        analysis_ms_per_byte=20.0,
+        duration_seconds=REDUCED_DURATION,
+        policy=AdaptationPolicy(phi2_form=phi2_form),
+    )
+
+
+def _regenerate():
+    return {form: _run(form) for form in ("saturating", "linear")}
+
+
+def test_phi2_form_ablation(benchmark):
+    runs = benchmark.pedantic(_regenerate, rounds=1, iterations=1)
+
+    print("\nAblation: phi2 form (fig8 regime, 20 ms/B):")
+    for form, run in runs.items():
+        print(f"  {form:<11} converged={run.converged_rate:.3f}")
+
+    # Both forms converge to (roughly) the same constrained plateau.
+    saturating = runs["saturating"].converged_rate
+    linear = runs["linear"].converged_rate
+    assert abs(saturating - linear) < 0.2
+    for run in runs.values():
+        assert run.converged_rate < 0.6  # well below the unconstrained 1.0

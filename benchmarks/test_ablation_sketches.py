@@ -1,0 +1,47 @@
+"""Ablation: summary-structure algorithm at the count-samps filter stage.
+
+The paper notes adaptation can also change "the choice of the algorithm
+to be used".  This bench runs the distributed count-samps pipeline with
+four interchangeable summary structures at the same footprint (k = 100)
+and compares accuracy and execution time: all should find the heavy
+hitters (recall-dominated accuracy close together), with the randomized
+counting sample trading a little frequency accuracy for its probabilistic
+guarantees.
+"""
+
+from conftest import REDUCED_ITEMS
+
+from repro.experiments.common import run_count_samps_distributed
+
+SKETCHES = ("counting-samples", "misra-gries", "space-saving", "lossy-counting")
+
+
+def _regenerate():
+    return {
+        kind: run_count_samps_distributed(
+            items_per_source=REDUCED_ITEMS,
+            bandwidth=100_000.0,
+            sample_size=100.0,
+            sketch=kind,
+            seed=11,
+        )
+        for kind in SKETCHES
+    }
+
+
+def test_sketch_choice_ablation(benchmark):
+    runs = benchmark.pedantic(_regenerate, rounds=1, iterations=1)
+
+    print("\nAblation: sketch choice (distributed count-samps, k=100):")
+    for kind, run in runs.items():
+        print(
+            f"  {kind:<17} accuracy={run.accuracy:.3f} "
+            f"exec={run.execution_time:.1f}s bytes={run.bytes_to_center:.0f}"
+        )
+
+    for kind, run in runs.items():
+        assert run.accuracy > 0.7, kind
+    # The deterministic counter-based summaries should not trail the
+    # randomized counting sample by much (all see the same heavy hitters).
+    accs = [run.accuracy for run in runs.values()]
+    assert max(accs) - min(accs) < 0.3

@@ -1,0 +1,56 @@
+"""Ablation: load-factor weights P₁/P₂/P₃ and the learning rate α.
+
+DESIGN.md calls out the weight split as a design choice.  This bench runs
+the Figure 8 constrained regime under three weightings — default
+(balanced), lifetime-only (all weight on φ₁), recent-only (all on φ₃) —
+and two learning rates.  Expected shape: the recent-load factor φ₃ is the
+workhorse (recent-only still converges); putting all weight on the
+lifetime balance φ₁ makes the score sluggish and hurts convergence; a
+very high α slows reaction but does not change the plateau.
+"""
+
+from conftest import REDUCED_DURATION
+
+from repro.core.adaptation.policy import AdaptationPolicy
+from repro.experiments.common import run_comp_steer
+from repro.experiments.fig8 import feasible_rate
+
+COST = 20.0  # ms/byte; feasible rate ~0.31
+
+
+def _run(policy: AdaptationPolicy):
+    return run_comp_steer(
+        analysis_ms_per_byte=COST,
+        duration_seconds=REDUCED_DURATION,
+        policy=policy,
+    )
+
+
+def _regenerate():
+    return {
+        "default": _run(AdaptationPolicy()),
+        "lifetime-only": _run(AdaptationPolicy(p1=1.0, p2=0.0, p3=0.0)),
+        "recent-only": _run(AdaptationPolicy(p1=0.0, p2=0.0, p3=1.0)),
+        "alpha=0.95": _run(AdaptationPolicy(alpha=0.95)),
+        "alpha=0.3": _run(AdaptationPolicy(alpha=0.3)),
+    }
+
+
+def test_weight_ablation(benchmark):
+    runs = benchmark.pedantic(_regenerate, rounds=1, iterations=1)
+    feasible = feasible_rate(COST)
+
+    print(f"\nAblation: weights/learning rate (fig8 regime, feasible={feasible:.3f}):")
+    for name, run in runs.items():
+        print(f"  {name:<14} converged={run.converged_rate:.3f} "
+              f"error={abs(run.converged_rate - feasible):.3f}")
+
+    # The recent-load factor alone still tracks the constraint.
+    assert abs(runs["recent-only"].converged_rate - feasible) < 0.25
+    # The default blend is at least as good as the lifetime-only variant.
+    default_err = abs(runs["default"].converged_rate - feasible)
+    lifetime_err = abs(runs["lifetime-only"].converged_rate - feasible)
+    assert default_err <= lifetime_err + 0.05
+    # Learning rate changes speed, not feasibility: all plateaus below 0.7.
+    for run in runs.values():
+        assert run.converged_rate < 0.7

@@ -1,0 +1,64 @@
+"""Extension benchmark: the Section 5.2 scaling prediction.
+
+"It should also be noted that this experiment had only four data sources
+... With larger number of data sources and/or other networking
+configurations, a larger difference can be expected."
+
+This bench tests that prediction: the centralized-vs-distributed
+execution-time gap for count-samps, measured at 2, 4, 8, and 16 sources
+(central node's inbound work grows linearly with sources in the
+centralized version, but only with summary traffic in the distributed
+one).
+"""
+
+from repro.experiments.common import (
+    run_count_samps_centralized,
+    run_count_samps_distributed,
+)
+
+SOURCE_COUNTS = (2, 4, 8, 16)
+ITEMS = 6_000
+
+
+def _regenerate():
+    rows = []
+    for n in SOURCE_COUNTS:
+        centralized = run_count_samps_centralized(
+            n_sources=n, items_per_source=ITEMS, bandwidth=100_000.0, seed=5
+        )
+        distributed = run_count_samps_distributed(
+            n_sources=n, items_per_source=ITEMS, bandwidth=100_000.0,
+            sample_size=100.0, seed=5,
+        )
+        rows.append(
+            {
+                "sources": n,
+                "centralized": centralized.execution_time,
+                "distributed": distributed.execution_time,
+                "speedup": centralized.execution_time / distributed.execution_time,
+                "acc_cost": centralized.accuracy - distributed.accuracy,
+            }
+        )
+    return rows
+
+
+def test_distributed_advantage_grows_with_sources(benchmark):
+    rows = benchmark.pedantic(_regenerate, rounds=1, iterations=1)
+
+    print("\nScaling with source count (100 KB/s links):")
+    print(f"{'sources':>8} {'centralized':>12} {'distributed':>12} {'speedup':>8} {'acc cost':>9}")
+    for row in rows:
+        print(
+            f"{row['sources']:>8} {row['centralized']:>11.1f}s "
+            f"{row['distributed']:>11.1f}s {row['speedup']:>8.1f} "
+            f"{row['acc_cost']:>9.3f}"
+        )
+
+    speedups = [row["speedup"] for row in rows]
+    # Distributed always wins ...
+    assert all(s > 1.0 for s in speedups)
+    # ... and the paper's prediction: the gap grows with source count.
+    assert speedups[-1] > speedups[0]
+    assert speedups == sorted(speedups)
+    # Accuracy cost stays modest throughout.
+    assert all(row["acc_cost"] < 0.15 for row in rows)

@@ -1,0 +1,34 @@
+"""Benchmark regenerating Figure 5: centralized vs distributed count-samps.
+
+Paper: Centralized 257.5 s / 0.99 accuracy, Distributed 180.8 s / 0.97.
+Shape asserted: distributed is faster, moves far fewer bytes, and loses
+only a little accuracy.
+"""
+
+from conftest import REDUCED_ITEMS
+
+from repro.experiments.fig5 import run_fig5
+
+
+def _regenerate():
+    rows = run_fig5(items_per_source=REDUCED_ITEMS, seeds=(0,))
+    return {row.processing_style: row for row in rows}
+
+
+def test_fig5_table(benchmark):
+    table = benchmark.pedantic(_regenerate, rounds=1, iterations=1)
+    centralized = table["Centralized"]
+    distributed = table["Distributed"]
+
+    print("\nFigure 5 (reduced workload):")
+    for row in table.values():
+        print(
+            f"  {row.processing_style:<12} exec={row.execution_time:8.1f}s "
+            f"accuracy={row.accuracy:.3f} bytes={row.bytes_to_center:.0f}"
+        )
+
+    assert distributed.execution_time < centralized.execution_time
+    assert distributed.bytes_to_center < 0.5 * centralized.bytes_to_center
+    assert centralized.accuracy > 0.9
+    assert distributed.accuracy > 0.85
+    assert centralized.accuracy - distributed.accuracy < 0.15

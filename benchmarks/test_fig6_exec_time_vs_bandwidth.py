@@ -1,0 +1,50 @@
+"""Benchmark regenerating Figure 6: execution time vs bandwidth.
+
+Five versions (k = 40/80/120/160 fixed, plus self-adapting) across the
+paper's four bandwidths.  Shape asserted: at the lowest bandwidth the
+execution time grows with fixed k, and the self-adapting version never
+has the worst execution time.
+"""
+
+from collections import defaultdict
+
+from conftest import REDUCED_ITEMS
+
+from repro.core.adaptation.policy import AdaptationPolicy
+from repro.experiments.fig6_7 import BANDWIDTHS, run_fig6_7
+
+# The reduced workload is ~4 simulated seconds; shrink the adaptation
+# cadence proportionally so the adaptive version completes its arc.
+FAST_POLICY = AdaptationPolicy(sample_interval=0.05)
+
+
+def _regenerate():
+    return run_fig6_7(items_per_source=REDUCED_ITEMS, seeds=(0,), policy=FAST_POLICY)
+
+
+def test_fig6_execution_time(benchmark):
+    rows = benchmark.pedantic(_regenerate, rounds=1, iterations=1)
+    by_bandwidth = defaultdict(dict)
+    for row in rows:
+        by_bandwidth[row.bandwidth][row.version] = row
+
+    print("\nFigure 6 (execution time, s):")
+    versions = ["40", "80", "120", "160", "adaptive"]
+    print("  bandwidth " + "".join(f"{v:>10}" for v in versions))
+    for bandwidth in BANDWIDTHS:
+        cells = by_bandwidth[bandwidth]
+        print(
+            f"  {bandwidth/1000:>7.0f}KB " +
+            "".join(f"{cells[v].execution_time:>10.1f}" for v in versions)
+        )
+
+    lowest = by_bandwidth[min(BANDWIDTHS)]
+    # Larger fixed summaries take longer on a thin link.
+    assert lowest["40"].execution_time < lowest["160"].execution_time
+    # The self-adapting version avoids the worst execution time.
+    worst_fixed = max(lowest[v].execution_time for v in ("40", "80", "120", "160"))
+    assert lowest["adaptive"].execution_time < worst_fixed
+    # On a fat link, bandwidth stops mattering: all versions are close.
+    highest = by_bandwidth[max(BANDWIDTHS)]
+    times = [highest[v].execution_time for v in versions]
+    assert max(times) - min(times) < 0.3 * max(times)

@@ -1,0 +1,42 @@
+"""Benchmark regenerating Figure 8: adaptation under a processing constraint.
+
+comp-steer at 160 B/s generation; analysis cost 1/5/8/10/20 ms per byte;
+sampling factor starts at 0.13.  Paper plateaus: 1, 1, ≈.65, ≈.55, ≈.31.
+Shape asserted: cheap analysis converges to 1, expensive analysis to the
+feasible rate, strictly ordered by cost.
+"""
+
+from conftest import REDUCED_DURATION
+
+from repro.experiments.fig8 import run_fig8
+
+
+def _regenerate():
+    return run_fig8(duration_seconds=REDUCED_DURATION)
+
+
+def test_fig8_sampling_factor_convergence(benchmark):
+    rows = benchmark.pedantic(_regenerate, rounds=1, iterations=1)
+
+    print("\nFigure 8 (sampling factor plateau):")
+    for row in rows:
+        print(
+            f"  cost={row.ms_per_byte:5.1f} ms/B  converged={row.converged_rate:.3f}"
+            f"  feasible={row.feasible_rate:.3f}"
+        )
+
+    by_cost = {row.ms_per_byte: row for row in rows}
+    assert by_cost[1.0].converged_rate > 0.9
+    assert by_cost[5.0].converged_rate > 0.9
+    for cost in (8.0, 10.0, 20.0):
+        row = by_cost[cost]
+        assert abs(row.converged_rate - row.feasible_rate) < 0.2
+    assert (
+        by_cost[5.0].converged_rate
+        >= by_cost[8.0].converged_rate
+        > by_cost[10.0].converged_rate
+        > by_cost[20.0].converged_rate
+    )
+    # Every trajectory starts at the paper's initial value.
+    for row in rows:
+        assert abs(row.series[0][1] - 0.13) < 1e-9

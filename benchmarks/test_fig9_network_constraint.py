@@ -1,0 +1,40 @@
+"""Benchmark regenerating Figure 9: adaptation under a network constraint.
+
+comp-steer over a 10 KB/s link; generation rates 5/10/20/40/80 KB/s;
+sampling factor starts at 0.01.  Paper plateaus: ~1, ~1, ~.5, ~.25, ~.125.
+Shape asserted: convergence to the bandwidth-feasible rate, strictly
+ordered by generation rate.
+"""
+
+from conftest import REDUCED_DURATION
+
+from repro.experiments.fig9 import run_fig9
+
+
+def _regenerate():
+    return run_fig9(duration_seconds=REDUCED_DURATION)
+
+
+def test_fig9_sampling_factor_convergence(benchmark):
+    rows = benchmark.pedantic(_regenerate, rounds=1, iterations=1)
+
+    print("\nFigure 9 (sampling factor plateau):")
+    for row in rows:
+        print(
+            f"  gen={row.generation_rate/1000:4.0f}KB/s "
+            f"converged={row.converged_rate:.3f} feasible={row.feasible_rate:.3f}"
+        )
+
+    by_rate = {row.generation_rate: row for row in rows}
+    assert by_rate[5_000.0].converged_rate > 0.9
+    assert by_rate[10_000.0].converged_rate > 0.9
+    for rate in (20_000.0, 40_000.0, 80_000.0):
+        row = by_rate[rate]
+        assert abs(row.converged_rate - row.feasible_rate) < 0.15
+    assert (
+        by_rate[20_000.0].converged_rate
+        > by_rate[40_000.0].converged_rate
+        > by_rate[80_000.0].converged_rate
+    )
+    for row in rows:
+        assert abs(row.series[0][1] - 0.01) < 1e-9

@@ -1,0 +1,164 @@
+"""Micro-benchmarks of the hot primitives.
+
+Unlike the figure benches (single deterministic runs), these measure raw
+throughput of the substrate over multiple rounds: the event kernel, the
+link model, the counting-samples update path, and the end-to-end per-item
+cost of the pipeline runtime.  They catch performance regressions in the
+code paths every experiment exercises millions of times.
+"""
+
+from repro.core.api import StreamProcessor
+from repro.core.runtime_sim import SimulatedRuntime, SourceBinding
+from repro.grid.config import AppConfig, StageConfig, StreamConfig
+from repro.grid.deployer import Deployer
+from repro.grid.registry import ServiceRegistry
+from repro.grid.repository import CodeRepository
+from repro.simnet.engine import Environment
+from repro.simnet.hosts import CpuCostModel
+from repro.simnet.topology import Network
+from repro.streams.sketches import CountingSamples
+from repro.streams.sources import IntegerStream
+
+N_EVENTS = 20_000
+N_UPDATES = 50_000
+N_ITEMS = 5_000
+
+
+def test_event_kernel_throughput(benchmark):
+    """Schedule-and-fire N_EVENTS timeouts."""
+
+    def run():
+        env = Environment()
+        fired = []
+
+        def waiter(env, delay):
+            yield env.timeout(delay)
+            fired.append(delay)
+
+        for i in range(N_EVENTS):
+            env.process(waiter(env, (i % 97) * 0.01))
+        env.run()
+        return len(fired)
+
+    assert benchmark(run) == N_EVENTS
+
+
+def test_counting_samples_update_throughput(benchmark):
+    """Feed N_UPDATES skewed integers through the paper's sketch."""
+    values = list(IntegerStream(N_UPDATES, universe=5_000, seed=0))
+
+    def run():
+        sketch = CountingSamples(200, seed=1)
+        sketch.extend(values)
+        return sketch.items_seen
+
+    assert benchmark(run) == N_UPDATES
+
+
+def test_link_transfer_throughput(benchmark):
+    """Serialize N messages through a finite-bandwidth link."""
+
+    def run():
+        env = Environment()
+        from repro.simnet.links import Link
+
+        link = Link(env, bandwidth=1e9)
+        link.collect_inbox = False
+
+        def sender(env):
+            for _ in range(5_000):
+                yield link.send("x", size=100.0)
+
+        env.process(sender(env))
+        env.run()
+        return link.stats.messages
+
+    assert benchmark(run) == 5_000
+
+
+class _Fwd(StreamProcessor):
+    cost_model = CpuCostModel()
+
+    def on_item(self, payload, context):
+        context.emit(payload, size=8.0)
+
+
+class _Sink(StreamProcessor):
+    cost_model = CpuCostModel()
+
+    def __init__(self):
+        self.count = 0
+
+    def on_item(self, payload, context):
+        self.count += 1
+
+    def result(self):
+        return self.count
+
+
+def test_pipeline_per_item_overhead(benchmark):
+    """End-to-end runtime cost per item through a two-stage pipeline."""
+
+    def run():
+        env = Environment()
+        net = Network(env)
+        net.create_host("a")
+        net.create_host("b")
+        net.connect("a", "b", bandwidth=1e9)
+        registry = ServiceRegistry()
+        registry.register_network(net)
+        repo = CodeRepository()
+        repo.publish("repo://micro/fwd", _Fwd)
+        repo.publish("repo://micro/sink", _Sink)
+        config = AppConfig(
+            name="micro",
+            stages=[
+                StageConfig("fwd", "repo://micro/fwd"),
+                StageConfig("sink", "repo://micro/sink"),
+            ],
+            streams=[StreamConfig("s", "fwd", "sink")],
+        )
+        deployment = Deployer(registry, repo).deploy(config)
+        runtime = SimulatedRuntime(env, net, deployment, adaptation_enabled=False)
+        runtime.bind_source(SourceBinding("src", "fwd", range(N_ITEMS)))
+        return runtime.run().final_value("sink")
+
+    assert benchmark(run) == N_ITEMS
+
+
+def test_adaptation_overhead(benchmark):
+    """The monitor/controller machinery must cost little vs the pipeline.
+
+    Runs the same workload with adaptation enabled and reports its wall
+    time; the paired no-adaptation baseline is the previous bench.  The
+    assertion bounds the *simulated* outcome equality — adaptation must
+    not change what gets computed when no parameters are declared.
+    """
+
+    def run():
+        env = Environment()
+        net = Network(env)
+        net.create_host("a")
+        net.create_host("b")
+        net.connect("a", "b", bandwidth=1e9)
+        registry = ServiceRegistry()
+        registry.register_network(net)
+        repo = CodeRepository()
+        repo.publish("repo://micro2/fwd", _Fwd)
+        repo.publish("repo://micro2/sink", _Sink)
+        config = AppConfig(
+            name="micro2",
+            stages=[
+                StageConfig("fwd", "repo://micro2/fwd"),
+                StageConfig("sink", "repo://micro2/sink"),
+            ],
+            streams=[StreamConfig("s", "fwd", "sink")],
+        )
+        deployment = Deployer(registry, repo).deploy(config)
+        runtime = SimulatedRuntime(env, net, deployment, adaptation_enabled=True)
+        runtime.bind_source(
+            SourceBinding("src", "fwd", range(N_ITEMS), rate=10_000.0)
+        )
+        return runtime.run().final_value("sink")
+
+    assert benchmark(run) == N_ITEMS

@@ -1,0 +1,60 @@
+"""Distributed network-intrusion detection on the GATES middleware.
+
+The Section 2 motivating application: connection request logs at three
+sites are analyzed in place; each site forwards only its most suspicious
+source IPs (those probing many distinct ports) to a central alert stage,
+which flags IPs whose *global* distinct-port count crosses a threshold —
+catching scans spread across sites that no single site would flag.
+
+Run: ``python examples/intrusion_detection.py``
+"""
+
+from repro.apps.intrusion import build_intrusion_config
+from repro.core.runtime_sim import SimulatedRuntime, SourceBinding
+from repro.experiments.common import build_star_fabric
+from repro.streams.sources import ConnectionLogStream
+
+
+def main() -> None:
+    n_sites = 3
+    fabric = build_star_fabric(n_sites, bandwidth=50_000.0)
+
+    config = build_intrusion_config(
+        fabric.source_hosts, report_size=10.0, batch=1_000, alert_threshold=25
+    )
+    deployment = fabric.launcher.launch(config)
+    print("placements:", {s: p.host_name for s, p in deployment.placements.items()})
+
+    runtime = SimulatedRuntime(fabric.env, fabric.network, deployment)
+    for i in range(n_sites):
+        logs = ConnectionLogStream(
+            length=10_000, attack_fraction=0.02, rate=500.0, seed=i
+        )
+        runtime.bind_source(
+            SourceBinding(
+                name=f"site-{i}-logs",
+                target_stage=f"site-filter-{i}",
+                payloads=logs,
+                rate=500.0,
+                item_size=48.0,
+            )
+        )
+    result = runtime.run()
+
+    alert_result = result.final_value("alert")
+    print(f"\nprocessed {sum(result.stage(f'site-filter-{i}').items_in for i in range(n_sites))} "
+          f"connection records in {result.execution_time:.1f} simulated seconds")
+    print(f"distinct source IPs observed centrally: {alert_result['ips_seen']}")
+    print(f"bytes shipped to the alert stage: {result.stage('alert').bytes_in:.0f} "
+          "(vs ~480000 if raw logs were centralized)")
+
+    print("\nalerts (ip, distinct ports probed):")
+    for ip, port_count in alert_result["alerts"]:
+        print(f"  {ip:<16} {port_count} ports")
+    assert any(ip == "10.6.6.6" for ip, _ in alert_result["alerts"]), \
+        "the injected scanner must be flagged"
+    print("\nthe injected scanner 10.6.6.6 was correctly flagged")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the `wheel` package.
+
+The offline environment here lacks `wheel`, so PEP 517 editable installs
+fail with `invalid command 'bdist_wheel'`.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` fall back to the
+legacy `setup.py develop` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

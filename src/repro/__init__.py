@@ -1,0 +1,76 @@
+"""repro — reproduction of GATES (HPDC 2004).
+
+GATES (Grid-based Adaptive Execution on Streams) is a middleware for
+processing distributed data streams as pipelines of stages deployed onto
+grid resources, with self-adaptation of application-exposed *adjustment
+parameters* so the analysis stays as accurate as possible while meeting
+the real-time constraint.
+
+Package map
+-----------
+``repro.simnet``       discrete-event simulation substrate (kernel, links,
+                       hosts, queues, topology, tracing)
+``repro.grid``         OGSA/Globus-like grid services (registry, broker,
+                       service containers, code repository, XML config,
+                       Launcher, Deployer)
+``repro.core``         the GATES middleware (stage API, the Section 4
+                       self-adaptation algorithm, simulated and threaded
+                       runtimes)
+``repro.streams``      stream sources, samplers, frequency sketches
+``repro.apps``         the paper's application templates
+``repro.metrics``      accuracy metrics
+``repro.experiments``  one harness per evaluation table/figure
+
+Quickstart
+----------
+>>> from repro.experiments import build_star_fabric, run_comp_steer
+>>> run = run_comp_steer(analysis_ms_per_byte=10.0, duration_seconds=60.0)
+>>> 0.0 < run.converged_rate <= 1.0
+True
+"""
+
+from repro.core import (
+    AdaptationPolicy,
+    AdjustmentParameter,
+    RunResult,
+    SimulatedRuntime,
+    SourceBinding,
+    StageContext,
+    StreamProcessor,
+    ThreadedRuntime,
+)
+from repro.grid import (
+    AppConfig,
+    CodeRepository,
+    Deployer,
+    Launcher,
+    ServiceRegistry,
+    StageConfig,
+    StreamConfig,
+)
+from repro.simnet import Environment, Host, Link, Network
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptationPolicy",
+    "AdjustmentParameter",
+    "AppConfig",
+    "CodeRepository",
+    "Deployer",
+    "Environment",
+    "Host",
+    "Launcher",
+    "Link",
+    "Network",
+    "RunResult",
+    "ServiceRegistry",
+    "SimulatedRuntime",
+    "SourceBinding",
+    "StageConfig",
+    "StageContext",
+    "StreamConfig",
+    "StreamProcessor",
+    "ThreadedRuntime",
+    "__version__",
+]

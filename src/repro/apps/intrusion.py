@@ -1,0 +1,183 @@
+"""Distributed network-intrusion detection (Section 2 motivating app).
+
+"Online analysis of streams of connection request logs and identifying
+unusual patterns is considered useful for network intrusion detection ...
+it is desirable that this analysis be performed in a distributed fashion,
+and connection request logs at a number of sites be analyzed."
+
+The pipeline mirrors count-samps' two-layer shape: a
+:class:`LogFilterStage` at each site tracks, per source IP, the number of
+*distinct destination ports* probed (the classic port-scan signature) and
+periodically forwards the most suspicious IPs; an :class:`AlertStage`
+merges site reports and raises alerts for IPs whose global distinct-port
+count crosses a threshold.  The number of candidate IPs forwarded per
+report is the adjustment parameter (same accuracy/bandwidth trade-off as
+the count-samps summary size).
+
+Configuration properties:
+
+``report-size``        initial candidates per report (adjustable)
+``batch``              records between reports
+``max-ports-tracked``  per-IP distinct-port set cap at the filter
+``alert-threshold``    global distinct-port count that triggers an alert
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.api import StageContext, StreamProcessor
+from repro.grid.config import AppConfig, ParameterConfig, StageConfig, StreamConfig
+from repro.grid.resources import ResourceRequirement
+from repro.simnet.hosts import CpuCostModel
+
+__all__ = ["AlertStage", "LogFilterStage", "build_intrusion_config"]
+
+#: Wire bytes per reported (ip, ports) candidate.
+CANDIDATE_BYTES = 24.0
+
+
+class LogFilterStage(StreamProcessor):
+    """Per-site scan-candidate extraction from connection records.
+
+    Input payloads must expose ``src_ip`` and ``dst_port`` attributes
+    (e.g. :class:`repro.streams.sources.ConnectionRecord`).
+    """
+
+    cost_model = CpuCostModel(per_item=4e-5)
+
+    def __init__(self) -> None:
+        self._ports: Dict[str, Set[int]] = {}
+        self._batch = 500
+        self._max_tracked = 64
+        self._since_emit = 0
+
+    def setup(self, context: StageContext) -> None:
+        props = context.properties
+        self._batch = int(props.get("batch", "500"))
+        self._max_tracked = int(props.get("max-ports-tracked", "64"))
+        context.specify_parameter(
+            "report-size",
+            initial=float(props.get("report-size", "10")),
+            minimum=float(props.get("report-size-min", "1")),
+            maximum=float(props.get("report-size-max", "50")),
+            increment=1.0,
+            direction=-1,
+        )
+
+    def on_item(self, payload: Any, context: StageContext) -> None:
+        ports = self._ports.setdefault(payload.src_ip, set())
+        if len(ports) < self._max_tracked:
+            ports.add(payload.dst_port)
+        self._since_emit += 1
+        if self._since_emit >= self._batch:
+            self._since_emit = 0
+            self._emit_report(context)
+
+    def flush(self, context: StageContext) -> None:
+        self._emit_report(context)
+
+    def _emit_report(self, context: StageContext) -> None:
+        size = max(1, int(round(context.get_suggested_value("report-size"))))
+        ranked = sorted(
+            self._ports.items(), key=lambda ip_ports: (-len(ip_ports[1]), ip_ports[0])
+        )[:size]
+        report = {
+            "site": context.stage_name,
+            "candidates": [(ip, sorted(ports)) for ip, ports in ranked],
+        }
+        context.emit(report, size=max(1.0, len(ranked) * CANDIDATE_BYTES))
+
+    def result(self) -> Dict[str, int]:
+        return {"ips_tracked": len(self._ports)}
+
+
+class AlertStage(StreamProcessor):
+    """Global merge of site reports; alerts on cross-site port scanners."""
+
+    cost_model = CpuCostModel(per_item=1e-4)
+
+    def __init__(self) -> None:
+        self._ports_by_ip: Dict[str, Set[int]] = {}
+        self._threshold = 20
+
+    def setup(self, context: StageContext) -> None:
+        self._threshold = int(context.properties.get("alert-threshold", "20"))
+
+    def on_item(self, payload: Any, context: StageContext) -> None:
+        if not isinstance(payload, dict) or "candidates" not in payload:
+            raise TypeError(f"AlertStage expected a report dict, got {payload!r}")
+        for ip, ports in payload["candidates"]:
+            self._ports_by_ip.setdefault(ip, set()).update(ports)
+
+    def alerts(self) -> List[Tuple[str, int]]:
+        """(ip, global distinct port count) above the alert threshold."""
+        flagged = [
+            (ip, len(ports))
+            for ip, ports in self._ports_by_ip.items()
+            if len(ports) >= self._threshold
+        ]
+        flagged.sort(key=lambda entry: (-entry[1], entry[0]))
+        return flagged
+
+    def result(self) -> Dict[str, Any]:
+        return {"alerts": self.alerts(), "ips_seen": len(self._ports_by_ip)}
+
+
+def _register_codes(repository) -> None:
+    """Publish the intrusion-detection stage codes (idempotent)."""
+    for url, factory in [
+        ("repo://intrusion/filter", LogFilterStage),
+        ("repo://intrusion/alert", AlertStage),
+    ]:
+        if url not in repository:
+            repository.publish(url, factory)
+
+
+def build_intrusion_config(
+    site_hosts: List[str],
+    report_size: float = 10.0,
+    batch: int = 500,
+    alert_threshold: int = 20,
+) -> AppConfig:
+    """Distributed intrusion-detection configuration: one filter per site."""
+    if not site_hosts:
+        raise ValueError("need at least one site host")
+    stages = [
+        StageConfig(
+            name=f"site-filter-{i}",
+            code_url="repo://intrusion/filter",
+            requirement=ResourceRequirement(placement_hint=f"near:{host}"),
+            parameters=[
+                ParameterConfig(
+                    name="report-size",
+                    init=report_size,
+                    minimum=1.0,
+                    maximum=50.0,
+                    increment=1.0,
+                    direction=-1,
+                )
+            ],
+            properties={
+                "report-size": str(report_size),
+                "batch": str(batch),
+            },
+        )
+        for i, host in enumerate(site_hosts)
+    ]
+    stages.append(
+        StageConfig(
+            name="alert",
+            code_url="repo://intrusion/alert",
+            requirement=ResourceRequirement(min_cores=2),
+            properties={"alert-threshold": str(alert_threshold)},
+        )
+    )
+    streams = [
+        StreamConfig(
+            name=f"report-{i}", src=f"site-filter-{i}", dst="alert",
+            item_size=CANDIDATE_BYTES,
+        )
+        for i in range(len(site_hosts))
+    ]
+    return AppConfig(name="intrusion-detect", stages=stages, streams=streams)

@@ -1,0 +1,209 @@
+"""Command-line interface.
+
+``python -m repro <command>`` drives the experiment harness and the
+configuration tooling without writing any Python:
+
+* ``fig5`` / ``fig6-7`` / ``fig8`` / ``fig9`` — regenerate one evaluation
+  artifact (flags control scale so quick runs are possible);
+* ``validate <config.xml>`` — parse and structurally check an application
+  configuration, printing the stage DAG;
+* ``topology <config.xml>`` — print the placement a default star fabric
+  would give the configuration (dry-run deployment).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+__all__ = ["main"]
+
+
+def _parse_seeds(text: str) -> Sequence[int]:
+    try:
+        seeds = tuple(int(part) for part in text.split(",") if part)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad seed list {text!r}") from None
+    if not seeds:
+        raise argparse.ArgumentTypeError("seed list is empty")
+    return seeds
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GATES (HPDC 2004) reproduction — experiments and tooling",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig5 = sub.add_parser("fig5", help="Figure 5: centralized vs distributed")
+    fig5.add_argument("--items", type=int, default=25_000,
+                      help="integers per source (default 25000)")
+    fig5.add_argument("--seeds", type=_parse_seeds, default=(0, 1, 2),
+                      help="comma-separated seeds to average (default 0,1,2)")
+    fig5.add_argument("--json", dest="json_path", default=None,
+                      help="also write the rows as JSON to this path")
+
+    fig67 = sub.add_parser("fig6-7", help="Figures 6/7: versions x bandwidths")
+    fig67.add_argument("--items", type=int, default=25_000)
+    fig67.add_argument("--seeds", type=_parse_seeds, default=(0, 1, 2))
+    fig67.add_argument("--json", dest="json_path", default=None)
+
+    fig8 = sub.add_parser("fig8", help="Figure 8: processing constraint")
+    fig8.add_argument("--duration", type=float, default=400.0,
+                      help="simulated seconds per version (default 400)")
+    fig8.add_argument("--json", dest="json_path", default=None)
+
+    fig9 = sub.add_parser("fig9", help="Figure 9: network constraint")
+    fig9.add_argument("--duration", type=float, default=400.0)
+    fig9.add_argument("--json", dest="json_path", default=None)
+
+    validate = sub.add_parser("validate", help="validate an application XML config")
+    validate.add_argument("config", help="path to the XML configuration file")
+
+    topology = sub.add_parser(
+        "topology", help="dry-run placement of a config on a star fabric"
+    )
+    topology.add_argument("config", help="path to the XML configuration file")
+    topology.add_argument("--sources", type=int, default=4,
+                          help="source hosts in the star (default 4)")
+    topology.add_argument("--bandwidth", type=float, default=100_000.0,
+                          help="link bandwidth in bytes/s (default 100000)")
+    return parser
+
+
+def _write_json(path, rows) -> None:
+    """Dump dataclass rows (or dicts) as a JSON array."""
+    import dataclasses
+    import json
+
+    payload = [
+        dataclasses.asdict(row) if dataclasses.is_dataclass(row) else row
+        for row in rows
+    ]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    from repro.experiments import fig5
+
+    rows = fig5.run_fig5(items_per_source=args.items, seeds=tuple(args.seeds))
+    print("Figure 5: Benefits of Distributed Processing")
+    for row in rows:
+        print(
+            f"  {row.processing_style:<12} exec={row.execution_time:8.1f}s "
+            f"accuracy={row.accuracy:.3f} bytes={row.bytes_to_center:.0f}"
+        )
+    if args.json_path:
+        _write_json(args.json_path, rows)
+    return 0
+
+
+def _cmd_fig67(args: argparse.Namespace) -> int:
+    from repro.experiments import fig6_7
+
+    rows = fig6_7.run_fig6_7(items_per_source=args.items, seeds=tuple(args.seeds))
+    print(f"{'bandwidth':>12} {'version':>9} {'exec (s)':>10} {'accuracy':>9}")
+    for row in rows:
+        print(
+            f"{row.bandwidth/1000:>10.0f}KB {row.version:>9} "
+            f"{row.execution_time:>10.1f} {row.accuracy:>9.3f}"
+        )
+    if args.json_path:
+        _write_json(args.json_path, rows)
+    return 0
+
+
+def _cmd_fig8(args: argparse.Namespace) -> int:
+    from repro.experiments import fig8
+
+    rows = fig8.run_fig8(duration_seconds=args.duration)
+    for row in rows:
+        print(
+            f"  cost={row.ms_per_byte:5.1f} ms/B converged={row.converged_rate:.3f} "
+            f"feasible={row.feasible_rate:.3f}"
+        )
+    if args.json_path:
+        _write_json(args.json_path, rows)
+    return 0
+
+
+def _cmd_fig9(args: argparse.Namespace) -> int:
+    from repro.experiments import fig9
+
+    rows = fig9.run_fig9(duration_seconds=args.duration)
+    for row in rows:
+        print(
+            f"  gen={row.generation_rate/1000:4.0f}KB/s "
+            f"converged={row.converged_rate:.3f} feasible={row.feasible_rate:.3f}"
+        )
+    if args.json_path:
+        _write_json(args.json_path, rows)
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.grid.config import AppConfig, ConfigError
+
+    try:
+        with open(args.config, "r", encoding="utf-8") as handle:
+            config = AppConfig.from_xml(handle.read())
+    except (OSError, ConfigError) as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    print(f"OK: application {config.name!r}")
+    print(f"  stages ({len(config.stages)}):")
+    for stage in config.topological_stages():
+        downstream = config.downstream_of(stage.name)
+        arrow = f" -> {', '.join(downstream)}" if downstream else " (sink)"
+        params = f" [{len(stage.parameters)} adjustable]" if stage.parameters else ""
+        print(f"    {stage.name}{params}{arrow}")
+    return 0
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    from repro.experiments.common import build_star_fabric
+    from repro.grid.config import AppConfig, ConfigError
+    from repro.grid.deployer import DeploymentError
+
+    try:
+        with open(args.config, "r", encoding="utf-8") as handle:
+            config = AppConfig.from_xml(handle.read())
+    except (OSError, ConfigError) as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    fabric = build_star_fabric(args.sources, bandwidth=args.bandwidth)
+    try:
+        assignment = fabric.deployer.matchmaker.match_all(
+            [(s.name, s.requirement) for s in config.stages]
+        )
+    except Exception as exc:  # MatchError and friends
+        print(f"UNPLACEABLE: {exc}", file=sys.stderr)
+        return 1
+    print(f"placement of {config.name!r} on a {args.sources}-source star "
+          f"({args.bandwidth:.0f} B/s links):")
+    for stage, host in assignment.items():
+        print(f"  {stage:<20} -> {host}")
+    return 0
+
+
+_COMMANDS = {
+    "fig5": _cmd_fig5,
+    "fig6-7": _cmd_fig67,
+    "fig8": _cmd_fig8,
+    "fig9": _cmd_fig9,
+    "validate": _cmd_validate,
+    "topology": _cmd_topology,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

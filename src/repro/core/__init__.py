@@ -1,0 +1,78 @@
+"""GATES middleware core: stage API, self-adaptation, runtimes.
+
+This package is the paper's primary contribution:
+
+* :mod:`repro.core.api` — the developer-facing stage API
+  (:class:`StreamProcessor`, :meth:`StageContext.specify_parameter` /
+  :meth:`StageContext.get_suggested_value`, mirroring Section 3.3's
+  ``specifyPara`` / ``getSuggestedValue``).
+* :mod:`repro.core.adaptation` — the self-adaptation algorithm of
+  Section 4 (load factors φ₁/φ₂/φ₃, the long-term load score d̃, the
+  over-/under-load exception protocol, and the ΔP parameter controller).
+* :mod:`repro.core.runtime_sim` — the deterministic discrete-event
+  runtime that executes a deployed application over the simulated grid.
+* :mod:`repro.core.runtime_threads` — a real-thread runtime with
+  token-bucket throttled links, demonstrating the middleware under real
+  concurrency.
+"""
+
+from repro.core.adaptation import (
+    AdaptationPolicy,
+    LoadEstimator,
+    LoadExceptionKind,
+    ParameterController,
+    phi1,
+    phi2_linear,
+    phi2_saturating,
+    phi3,
+)
+from repro.core.api import (
+    AdjustmentParameter,
+    ProcessorError,
+    StageContext,
+    StreamProcessor,
+)
+from repro.core.items import EndOfStream, Item
+from repro.core.queries import ContinuousQuery
+from repro.core.results import RunResult, StageStats
+from repro.core.stages import (
+    AdaptiveSampleStage,
+    BatchStage,
+    CollectStage,
+    FilterStage,
+    MapStage,
+    SlidingWindowStage,
+    TumblingWindowStage,
+)
+from repro.core.runtime_sim import SimulatedRuntime, SourceBinding
+from repro.core.runtime_threads import ThreadedRuntime
+
+__all__ = [
+    "AdaptationPolicy",
+    "AdaptiveSampleStage",
+    "AdjustmentParameter",
+    "BatchStage",
+    "CollectStage",
+    "ContinuousQuery",
+    "EndOfStream",
+    "FilterStage",
+    "MapStage",
+    "SlidingWindowStage",
+    "TumblingWindowStage",
+    "Item",
+    "LoadEstimator",
+    "LoadExceptionKind",
+    "ParameterController",
+    "ProcessorError",
+    "RunResult",
+    "SimulatedRuntime",
+    "SourceBinding",
+    "StageContext",
+    "StageStats",
+    "StreamProcessor",
+    "ThreadedRuntime",
+    "phi1",
+    "phi2_linear",
+    "phi2_saturating",
+    "phi3",
+]

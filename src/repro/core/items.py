@@ -1,0 +1,50 @@
+"""Data units flowing between stages."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["EndOfStream", "Item"]
+
+
+@dataclass
+class Item:
+    """One data item in flight through the pipeline.
+
+    Attributes
+    ----------
+    payload:
+        Application data.
+    size:
+        Bytes, used for link transmission time and per-byte CPU cost.
+    origin:
+        Name of the stream (edge) that delivered the item into the current
+        stage, or the source binding name for external arrivals.
+    created_at:
+        Simulation/wall time when the item entered the system (for
+        end-to-end latency accounting).
+    """
+
+    payload: Any
+    size: float = 8.0
+    origin: str = ""
+    created_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"item size must be >= 0, got {self.size}")
+
+
+@dataclass(frozen=True)
+class EndOfStream:
+    """Sentinel marking the end of one input stream.
+
+    A stage with N input streams terminates after receiving N sentinels,
+    then flushes and propagates its own sentinel downstream.
+    """
+
+    origin: str = ""
+    #: Size is zero: the sentinel is a control message, effectively free
+    #: to transmit (modeled as a minimal 1-byte frame on links).
+    size: float = field(default=1.0)

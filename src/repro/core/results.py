@@ -1,0 +1,157 @@
+"""Run results and per-stage statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.simnet.trace import EventLog, StatSummary, TimeSeries, percentile
+
+__all__ = ["RunResult", "StageStats"]
+
+
+@dataclass
+class StageStats:
+    """Everything measured about one stage during a run."""
+
+    stage_name: str
+    host_name: str = ""
+    items_in: int = 0
+    items_out: int = 0
+    #: Items dropped at ingestion (lossy source bindings only).
+    items_dropped: int = 0
+    #: EWMA arrival-rate estimate (items/s) at the end of the run — the
+    #: paper's "monitors the arrival rate" signal, per stage.
+    arrival_rate: float = 0.0
+    bytes_in: float = 0.0
+    bytes_out: float = 0.0
+    busy_seconds: float = 0.0
+    #: Adjustment-parameter trajectories, name -> series (Figures 8/9).
+    parameter_history: Dict[str, TimeSeries] = field(default_factory=dict)
+    #: Long-term load score trajectory (d̃ over time).
+    load_history: Optional[TimeSeries] = None
+    #: Queue length series sampled on the adaptation cadence.
+    queue_history: Optional[TimeSeries] = None
+    #: Over-/under-load exceptions *received from downstream*.
+    exceptions_received: int = 0
+    #: Exceptions this stage reported upstream.
+    exceptions_reported: int = 0
+    #: Per-item latency samples (arrival at system -> processed here).
+    latencies: List[float] = field(default_factory=list)
+    #: Final value returned by the stage processor's ``result()``.
+    final_value: Any = None
+
+    def latency_summary(self) -> StatSummary:
+        """Summary of end-to-end latencies observed at this stage."""
+        return StatSummary.of(self.latencies)
+
+    def latency_percentiles(self, qs=(50.0, 95.0, 99.0)) -> Dict[float, float]:
+        """Latency percentiles (default p50/p95/p99); empty -> zeros."""
+        if not self.latencies:
+            return {q: 0.0 for q in qs}
+        return {q: percentile(self.latencies, q) for q in qs}
+
+    def to_dict(self, include_series: bool = True) -> Dict[str, Any]:
+        """JSON-ready representation.
+
+        ``include_series=False`` drops the (potentially long) parameter /
+        load / queue trajectories and raw latency samples, keeping only
+        scalars — the compact form for result tables.
+        """
+        data: Dict[str, Any] = {
+            "stage_name": self.stage_name,
+            "host_name": self.host_name,
+            "items_in": self.items_in,
+            "items_out": self.items_out,
+            "items_dropped": self.items_dropped,
+            "arrival_rate": self.arrival_rate,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "busy_seconds": self.busy_seconds,
+            "exceptions_received": self.exceptions_received,
+            "exceptions_reported": self.exceptions_reported,
+            "latency_mean": self.latency_summary().mean,
+            "final_value": self.final_value,
+        }
+        if include_series:
+            data["parameter_history"] = {
+                name: series.to_dict()
+                for name, series in self.parameter_history.items()
+            }
+            data["load_history"] = (
+                self.load_history.to_dict() if self.load_history else None
+            )
+            data["queue_history"] = (
+                self.queue_history.to_dict() if self.queue_history else None
+            )
+            data["latencies"] = list(self.latencies)
+        return data
+
+    @property
+    def selectivity(self) -> float:
+        """items_out / items_in (data-reduction factor of the stage)."""
+        return self.items_out / self.items_in if self.items_in else 0.0
+
+
+@dataclass
+class RunResult:
+    """Outcome of executing a deployed application."""
+
+    app_name: str
+    #: Simulated (or wall-clock) seconds from start to completion — the
+    #: "execution time" of Figures 5 and 6.
+    execution_time: float = 0.0
+    stages: Dict[str, StageStats] = field(default_factory=dict)
+    events: EventLog = field(default_factory=EventLog)
+
+    def stage(self, name: str) -> StageStats:
+        """Stats for one stage."""
+        try:
+            return self.stages[name]
+        except KeyError:
+            raise KeyError(
+                f"no stage {name!r} in results (have {sorted(self.stages)})"
+            ) from None
+
+    def final_value(self, stage_name: str) -> Any:
+        """The ``result()`` of a (typically sink) stage."""
+        return self.stage(stage_name).final_value
+
+    def parameter_series(self, stage_name: str, parameter: str) -> TimeSeries:
+        """Trajectory of one adjustment parameter (Figures 8/9 series)."""
+        stage = self.stage(stage_name)
+        try:
+            return stage.parameter_history[parameter]
+        except KeyError:
+            raise KeyError(
+                f"stage {stage_name!r} has no parameter {parameter!r} "
+                f"(have {sorted(stage.parameter_history)})"
+            ) from None
+
+    def total_bytes_moved(self) -> float:
+        """Sum of bytes received by all stages (network volume proxy)."""
+        return sum(s.bytes_in for s in self.stages.values())
+
+    def total_exceptions(self) -> int:
+        """All load exceptions reported during the run."""
+        return sum(s.exceptions_reported for s in self.stages.values())
+
+    def to_dict(self, include_series: bool = True) -> Dict[str, Any]:
+        """JSON-ready representation of the whole run.
+
+        The ``final_value`` of each stage must itself be JSON-serializable
+        for ``json.dumps`` to succeed — all shipped applications return
+        dicts/lists of primitives.
+        """
+        return {
+            "app_name": self.app_name,
+            "execution_time": self.execution_time,
+            "stages": {
+                name: stats.to_dict(include_series=include_series)
+                for name, stats in self.stages.items()
+            },
+            "events": [
+                {"time": t, "kind": kind, **attrs}
+                for t, kind, attrs in self.events.entries
+            ],
+        }

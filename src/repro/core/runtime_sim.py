@@ -1,0 +1,527 @@
+"""Deterministic discrete-event runtime for deployed GATES applications.
+
+This module ties everything together: it takes a
+:class:`~repro.grid.deployer.Deployment` (stages already placed on hosts by
+the grid substrate), wires the configured streams over the network's links,
+instantiates the user processors inside their service instances, and runs
+the pipeline plus the self-adaptation machinery as simulation processes.
+
+Per stage, three kinds of processes run:
+
+* the **worker** — pulls items from the stage's input queue, charges the
+  host CPU for each item, invokes the user's
+  :class:`~repro.core.api.StreamProcessor`, and transmits emissions over
+  the (bandwidth-limited) links to downstream queues.  Sender-side
+  blocking on a saturated link is what backs data up into the stage's own
+  queue — the mechanism behind the network-constraint adaptation of
+  Figure 9.
+* the **monitor** — on the adaptation cadence, feeds the stage's
+  :class:`~repro.core.adaptation.LoadEstimator`, forwards any over-/
+  under-load exception to the *upstream* stages' exception counters, and
+  every ``adjust_every`` samples runs the stage's
+  :class:`~repro.core.adaptation.ParameterController` s.
+* **source feeders** — external stream arrivals (instruments,
+  simulations) bound to first-layer stages at a configurable rate.
+
+Downstream queue occupancy beyond capacity C is allowed (``force_put``):
+the paper's model *observes* saturation (that is the signal adaptation
+responds to) rather than hard-failing; lengths are clamped to C inside
+the load factors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
+
+from repro.core.adaptation.controller import ParameterController
+from repro.core.adaptation.load import LoadEstimator
+from repro.core.adaptation.policy import AdaptationPolicy
+from repro.core.adaptation.protocol import ExceptionCounter
+from repro.core.api import AdjustmentParameter, ProcessorError, StageContext, StreamProcessor
+from repro.core.items import EndOfStream, Item
+from repro.core.results import RunResult, StageStats
+from repro.grid.config import StreamConfig
+from repro.grid.deployer import Deployment
+from repro.metrics.rates import RateEstimator
+from repro.simnet.engine import Environment, SimulationError
+from repro.simnet.links import Link
+from repro.simnet.resources import BoundedQueue
+from repro.simnet.topology import Network
+from repro.simnet.trace import TimeSeries
+
+__all__ = ["RuntimeError_", "SimulatedRuntime", "SourceBinding"]
+
+
+class RuntimeError_(Exception):
+    """Raised for invalid runtime configuration (name avoids the builtin)."""
+
+
+@dataclass
+class SourceBinding:
+    """An external data stream feeding a first-layer stage.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic name; also the ``origin`` tag on injected items.
+    target_stage:
+        Name of the stage receiving the stream.
+    payloads:
+        Iterable of payload objects (consumed once).
+    rate:
+        Arrival rate in items/second, or ``None`` to deliver as fast as
+        the pipeline accepts (the finite-workload mode of the Figure 5/6
+        experiments).  Ignored when ``arrivals`` is given.
+    item_size:
+        Bytes per item, or a callable payload -> bytes.
+    arrivals:
+        Optional :class:`~repro.streams.arrivals.ArrivalProcess` supplying
+        inter-arrival gaps (Poisson, bursty ON/OFF ...); overrides
+        ``rate``.
+    drop_when_full:
+        If True, arrivals finding the stage queue at capacity are
+        *dropped* (counted in the stage's ``items_dropped``) instead of
+        back-pressuring the source — real instruments do not pause; "it
+        is often not feasible to store all data" (Section 1).
+    """
+
+    name: str
+    target_stage: str
+    payloads: Iterable[Any]
+    rate: Optional[float] = None
+    item_size: float | Callable[[Any], float] = 8.0
+    arrivals: Optional[Any] = None
+    drop_when_full: bool = False
+
+    def size_of(self, payload: Any) -> float:
+        if callable(self.item_size):
+            return float(self.item_size(payload))
+        return float(self.item_size)
+
+
+class _SimStageContext(StageContext):
+    """Runtime-backed stage context handed to user processors."""
+
+    def __init__(self, stage: "_StageRuntime", runtime: "SimulatedRuntime") -> None:
+        self._stage = stage
+        self._runtime = runtime
+        self._in_setup = False
+        #: Emissions buffered during one on_item/flush call; the worker
+        #: transmits them (with blocking) after the call returns.  Each
+        #: entry is (payload, size, stream-or-None).
+        self.pending: List[Tuple[Any, float, Optional[str]]] = []
+
+    def specify_parameter(
+        self,
+        name: str,
+        initial: float,
+        minimum: float,
+        maximum: float,
+        increment: float,
+        direction: int,
+    ) -> AdjustmentParameter:
+        if not self._in_setup:
+            raise ProcessorError(
+                f"{self._stage.name}: specify_parameter must be called in setup()"
+            )
+        if name in self._stage.parameters:
+            raise ProcessorError(f"{self._stage.name}: parameter {name!r} declared twice")
+        param = AdjustmentParameter(name, initial, minimum, maximum, increment, direction)
+        param.set_value(initial, self.now)
+        self._stage.parameters[name] = param
+        self._stage.controllers[name] = ParameterController(
+            param, self._runtime.policy
+        )
+        return param
+
+    def get_suggested_value(self, name: str) -> float:
+        try:
+            return self._stage.parameters[name].value
+        except KeyError:
+            raise ProcessorError(
+                f"{self._stage.name}: unknown parameter {name!r}"
+            ) from None
+
+    def emit(self, payload: Any, size: float = 8.0, stream: Optional[str] = None) -> None:
+        if size < 0:
+            raise ProcessorError(f"emit size must be >= 0, got {size}")
+        if stream is not None and not any(
+            e.stream.name == stream for e in self._stage.out_edges
+        ):
+            raise ProcessorError(
+                f"{self._stage.name}: emit to unknown stream {stream!r} "
+                f"(have {[e.stream.name for e in self._stage.out_edges]})"
+            )
+        self.pending.append((payload, float(size), stream))
+
+    @property
+    def now(self) -> float:
+        return self._runtime.env.now
+
+    @property
+    def stage_name(self) -> str:
+        return self._stage.name
+
+    @property
+    def properties(self) -> Dict[str, str]:
+        return self._stage.properties
+
+
+@dataclass
+class _Edge:
+    """One wired stream: src stage -> (link or colocated) -> dst stage."""
+
+    stream: StreamConfig
+    dst: "_StageRuntime"
+    #: Bottleneck link along the routed path (None when colocated).
+    link: Optional[Link]
+    #: Total propagation latency of the remaining hops.
+    extra_latency: float = 0.0
+
+
+@dataclass
+class _StageRuntime:
+    """Internal per-stage runtime state."""
+
+    name: str
+    host_name: str
+    processor: StreamProcessor
+    queue: BoundedQueue
+    properties: Dict[str, str]
+    policy: AdaptationPolicy
+    expected_eos: int = 0
+    out_edges: List[_Edge] = field(default_factory=list)
+    upstream: List["_StageRuntime"] = field(default_factory=list)
+    parameters: Dict[str, AdjustmentParameter] = field(default_factory=dict)
+    controllers: Dict[str, ParameterController] = field(default_factory=dict)
+    exceptions: ExceptionCounter = field(default_factory=ExceptionCounter)
+    estimator: Optional[LoadEstimator] = None
+    context: Optional[_SimStageContext] = None
+    rate_estimator: RateEstimator = field(default_factory=RateEstimator)
+    stats: StageStats = field(default_factory=lambda: StageStats(""))
+    queue_history: TimeSeries = field(default_factory=lambda: TimeSeries("queue"))
+    done: bool = False
+
+
+class SimulatedRuntime:
+    """Executes a deployment on the simulated grid fabric.
+
+    Typical use::
+
+        runtime = SimulatedRuntime(env, network, deployment)
+        runtime.bind_source(SourceBinding("s0", "filter-0", payloads, rate=100.0))
+        result = runtime.run()
+
+    ``run`` drives the environment until every stage has flushed (or
+    ``max_sim_time`` elapses) and returns a
+    :class:`~repro.core.results.RunResult`.
+    """
+
+    #: Default input-queue capacity C when a stage doesn't override it via
+    #: the "queue-capacity" configuration property.
+    DEFAULT_QUEUE_CAPACITY = 200
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        deployment: Deployment,
+        policy: Optional[AdaptationPolicy] = None,
+        adaptation_enabled: bool = True,
+    ) -> None:
+        self.env = env
+        self.network = network
+        self.deployment = deployment
+        self.policy = policy or AdaptationPolicy()
+        self.adaptation_enabled = adaptation_enabled
+        self._bindings: List[SourceBinding] = []
+        self._stages: Dict[str, _StageRuntime] = {}
+        self._built = False
+
+    # -- setup -------------------------------------------------------------
+
+    def bind_source(self, binding: SourceBinding) -> None:
+        """Attach an external stream to a stage (before :meth:`run`)."""
+        if self._built:
+            raise RuntimeError_("cannot bind sources after run()")
+        if binding.rate is not None and binding.rate <= 0:
+            raise RuntimeError_(f"source rate must be > 0, got {binding.rate}")
+        self.deployment.config.stage(binding.target_stage)  # existence check
+        self._bindings.append(binding)
+
+    def _build(self) -> None:
+        config = self.deployment.config
+        for stage_cfg in config.stages:
+            host_name = self.deployment.host_of(stage_cfg.name)
+            properties = {
+                k: str(v)
+                for k, v in self.deployment.instance_of(stage_cfg.name).properties.items()
+            }
+            capacity = int(properties.get("queue-capacity", self.DEFAULT_QUEUE_CAPACITY))
+            queue = BoundedQueue(self.env, capacity=capacity, window=self.policy.window)
+            processor = self.deployment.instance_of(stage_cfg.name).instantiate_processor()
+            if not isinstance(processor, StreamProcessor):
+                raise RuntimeError_(
+                    f"stage {stage_cfg.name!r} code is not a StreamProcessor "
+                    f"(got {type(processor).__name__})"
+                )
+            stage = _StageRuntime(
+                name=stage_cfg.name,
+                host_name=host_name,
+                processor=processor,
+                queue=queue,
+                properties=properties,
+                policy=self.policy,
+            )
+            stage.stats = StageStats(stage_cfg.name, host_name=host_name)
+            stage.estimator = LoadEstimator(stage_cfg.name, queue, self.policy)
+            stage.context = _SimStageContext(stage, self)
+            self._stages[stage_cfg.name] = stage
+
+        # Wire edges over the network.
+        for stream in config.streams:
+            src = self._stages[stream.src]
+            dst = self._stages[stream.dst]
+            src_host = self.deployment.host_of(stream.src)
+            dst_host = self.deployment.host_of(stream.dst)
+            if src_host == dst_host:
+                edge = _Edge(stream=stream, dst=dst, link=None)
+            else:
+                links = self.network.route(src_host, dst_host)
+                bottleneck = min(links, key=lambda l: l.bandwidth)
+                extra = sum(l.latency for l in links if l is not bottleneck)
+                # The runtime tracks its own deliveries (it must attribute
+                # each message to its edge); leaving inbox collection on
+                # would let unrelated cross-traffic interleave and would
+                # leak memory on long runs.
+                bottleneck.collect_inbox = False
+                edge = _Edge(stream=stream, dst=dst, link=bottleneck, extra_latency=extra)
+            src.out_edges.append(edge)
+            dst.upstream.append(src)
+            dst.expected_eos += 1
+
+        # Account for external source bindings.
+        for binding in self._bindings:
+            self._stages[binding.target_stage].expected_eos += 1
+
+        # Every stage must have at least one input, or it can never end.
+        for stage in self._stages.values():
+            if stage.expected_eos == 0:
+                raise RuntimeError_(
+                    f"stage {stage.name!r} has no input streams or source "
+                    "bindings and would never terminate"
+                )
+        self._built = True
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, max_sim_time: float = 1e7, stop_at: Optional[float] = None) -> RunResult:
+        """Execute to completion and collect results.
+
+        ``stop_at`` ends the run gracefully at that simulation time even
+        if the pipeline has not drained — the mode for continuous-stream
+        experiments (Figures 8/9) where the interesting output is the
+        parameter trajectory, not a final answer.  Without it, the run
+        ends when every stage has flushed, and exceeding ``max_sim_time``
+        raises (a wedged pipeline is a bug, not a result).
+        """
+        if self._built:
+            raise RuntimeError_("run() may only be called once")
+        self._build()
+
+        result = RunResult(app_name=self.deployment.config.name)
+        start = self.env.now
+
+        # Call setup() on every processor (parameters get declared here).
+        for stage in self._stages.values():
+            stage.context._in_setup = True
+            stage.processor.setup(stage.context)
+            stage.context._in_setup = False
+            # setup() may emit (e.g. headers); transmit before data flows.
+            if stage.context.pending:
+                raise RuntimeError_(
+                    f"stage {stage.name!r} emitted during setup(); emissions "
+                    "are only allowed from on_item()/flush()"
+                )
+
+        workers = []
+        for stage in self._stages.values():
+            workers.append(
+                self.env.process(self._worker(stage, result), name=f"worker:{stage.name}")
+            )
+            if self.adaptation_enabled:
+                self.env.process(self._monitor(stage, result), name=f"monitor:{stage.name}")
+        for binding in self._bindings:
+            self.env.process(self._feeder(binding), name=f"feeder:{binding.name}")
+
+        finished = self.env.all_of(workers)
+        guard: Dict[str, bool] = {}
+
+        def _done(event) -> None:
+            guard["done"] = True
+
+        finished.add_callback(_done)
+        horizon = stop_at if stop_at is not None else max_sim_time
+        while self.env.peek() <= horizon and "done" not in guard:
+            if self.env.peek() == math.inf:
+                break
+            self.env.step()
+        if "done" not in guard and stop_at is None:
+            raise SimulationError(
+                f"run exceeded max_sim_time={max_sim_time} "
+                f"(now={self.env.now}); pipeline likely wedged"
+            )
+
+        result.execution_time = self.env.now - start
+        for stage in self._stages.values():
+            stats = stage.stats
+            stats.parameter_history = {
+                name: param.history for name, param in stage.parameters.items()
+            }
+            stats.load_history = stage.estimator.history if stage.estimator else None
+            stats.queue_history = stage.queue_history
+            stats.arrival_rate = stage.rate_estimator.decayed_rate(self.env.now)
+            stats.final_value = stage.processor.result()
+            result.stages[stage.name] = stats
+        return result
+
+    # -- processes ------------------------------------------------------------
+
+    def _feeder(self, binding: SourceBinding) -> Generator:
+        stage = self._stages[binding.target_stage]
+        if binding.arrivals is not None:
+            gaps: Optional[Any] = binding.arrivals.gaps()
+        else:
+            gaps = None
+        fixed_gap = 1.0 / binding.rate if binding.rate else 0.0
+        for payload in binding.payloads:
+            gap = next(gaps) if gaps is not None else fixed_gap
+            if gap:
+                yield self.env.timeout(gap)
+            item = Item(
+                payload=payload,
+                size=binding.size_of(payload),
+                origin=binding.name,
+                created_at=self.env.now,
+            )
+            if binding.drop_when_full:
+                if stage.queue.is_full:
+                    stage.stats.items_dropped += 1
+                    continue
+                stage.queue.force_put(item)
+            else:
+                yield stage.queue.put(item)
+            stage.rate_estimator.observe(self.env.now)
+        yield stage.queue.put(EndOfStream(origin=binding.name))
+
+    def _worker(self, stage: _StageRuntime, result: RunResult) -> Generator:
+        host = self.network.host(stage.host_name)
+        ctx = stage.context
+        assert ctx is not None
+        eos_seen = 0
+        while True:
+            message = yield stage.queue.get()
+            if isinstance(message, EndOfStream):
+                eos_seen += 1
+                if eos_seen < stage.expected_eos:
+                    continue
+                stage.processor.flush(ctx)
+                yield from self._transmit_pending(stage, host)
+                for edge in stage.out_edges:
+                    yield from self._send_one(
+                        stage, edge, EndOfStream(origin=edge.stream.name), control=True
+                    )
+                stage.done = True
+                result.events.log(self.env.now, "stage-finished", stage=stage.name)
+                return
+            assert isinstance(message, Item)
+            stage.stats.items_in += 1
+            stage.stats.bytes_in += message.size
+            items, nbytes = stage.processor.work_amount(message.payload, message.size)
+            if items or nbytes:
+                duration = yield host.execute(
+                    stage.processor.cost_model, items=items, nbytes=nbytes
+                )
+                stage.stats.busy_seconds += duration
+            stage.processor.on_item(message.payload, ctx)
+            stage.stats.latencies.append(self.env.now - message.created_at)
+            yield from self._transmit_pending(stage, host)
+
+    def _transmit_pending(self, stage: _StageRuntime, host) -> Generator:
+        ctx = stage.context
+        assert ctx is not None
+        pending, ctx.pending = ctx.pending, []
+        for payload, size, stream in pending:
+            stage.stats.items_out += 1
+            stage.stats.bytes_out += size
+            for edge in stage.out_edges:
+                if stream is not None and edge.stream.name != stream:
+                    continue
+                item = Item(
+                    payload=payload,
+                    size=size,
+                    origin=edge.stream.name,
+                    created_at=self.env.now,
+                )
+                yield from self._send_one(stage, edge, item)
+
+    def _send_one(self, stage: _StageRuntime, edge: _Edge, message, control: bool = False) -> Generator:
+        """Transmit one message over an edge (blocking the sender for TX)."""
+        size = message.size if not control else 1.0
+        if edge.link is None:
+            edge.dst.queue.force_put(message)
+            if not control:
+                edge.dst.rate_estimator.observe(self.env.now)
+            return
+        yield edge.link.send(message, size)
+        self.env.process(
+            self._deliver(edge, message), name=f"deliver:{edge.stream.name}"
+        )
+
+    def _deliver(self, edge: _Edge, message) -> Generator:
+        # Wait out the propagation delay (bottleneck + remaining hops);
+        # transmission time was already paid inside link.send().
+        delay = edge.link.latency + edge.extra_latency
+        if delay:
+            yield self.env.timeout(delay)
+        edge.dst.queue.force_put(message)
+        if isinstance(message, Item):
+            edge.dst.rate_estimator.observe(self.env.now)
+
+    def _monitor(self, stage: _StageRuntime, result: RunResult) -> Generator:
+        assert stage.estimator is not None
+        samples = 0
+        while not stage.done:
+            yield self.env.timeout(self.policy.sample_interval)
+            if stage.done:
+                return
+            now = self.env.now
+            stage.queue_history.record(now, stage.queue.current_length)
+            exception = stage.estimator.sample(now)
+            if exception is not None and self.policy.exceptions_enabled:
+                stage.stats.exceptions_reported += 1
+                result.events.log(
+                    now,
+                    "load-exception",
+                    stage=stage.name,
+                    exception_kind=exception.kind.value,
+                    score=exception.score,
+                )
+                for upstream in stage.upstream:
+                    upstream.exceptions.report(exception)
+                    upstream.stats.exceptions_received += 1
+            samples += 1
+            if samples % self.policy.adjust_every == 0 and stage.controllers:
+                t1, t2 = stage.exceptions.drain()
+                score = stage.estimator.normalized_score
+                for controller in stage.controllers.values():
+                    new_value = controller.adjust(score, t1, t2, now)
+                    result.events.log(
+                        now,
+                        "parameter-adjusted",
+                        stage=stage.name,
+                        parameter=controller.parameter.name,
+                        value=new_value,
+                    )

@@ -1,0 +1,466 @@
+"""Real-thread runtime with token-bucket throttled links.
+
+The paper ran GATES stages as JVM threads over delay-injected cluster
+links; this runtime is the Python equivalent, demonstrating the same
+middleware (processors, adjustment parameters, the Section 4 adaptation
+algorithm) under genuine concurrency and wall-clock time.
+
+Compared to :class:`~repro.core.runtime_sim.SimulatedRuntime` it is
+programmatic (stages and edges are added directly rather than via a
+Deployment) and inherently noisy — exactly the "impact of the thread
+scheduler" the paper observed.  The benchmark harness therefore uses the
+simulated runtime; this one backs the threaded example and its
+timing-tolerant tests.
+
+Processing cost is modeled by sleeping ``cost * time_scale`` seconds per
+item (``time_scale`` defaults to 1.0; tests shrink it).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.adaptation.controller import ParameterController
+from repro.core.adaptation.load import LoadEstimator
+from repro.core.adaptation.policy import AdaptationPolicy
+from repro.core.adaptation.protocol import ExceptionCounter
+from repro.core.api import AdjustmentParameter, ProcessorError, StageContext, StreamProcessor
+from repro.core.items import EndOfStream, Item
+from repro.core.results import RunResult, StageStats
+from repro.simnet.links import TokenBucket
+from repro.simnet.trace import TimeSeries
+
+__all__ = ["ThreadedRuntime", "ThreadedRuntimeError"]
+
+
+class ThreadedRuntimeError(Exception):
+    """Raised for invalid threaded-runtime configuration or timeouts."""
+
+
+class _MonitoredQueue:
+    """Thread-safe FIFO satisfying the estimator's QueueLike protocol."""
+
+    def __init__(self, capacity: int, window: int) -> None:
+        self.capacity = capacity
+        self._items: deque = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._recent: deque = deque([0], maxlen=window)
+
+    def put(self, item: Any) -> None:
+        with self._lock:
+            self._items.append(item)
+            self._recent.append(len(self._items))
+            self._not_empty.notify()
+
+    def get(self, timeout: Optional[float] = None) -> Any:
+        with self._not_empty:
+            deadline = None if timeout is None else time.monotonic() + timeout
+            while not self._items:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError("queue get timed out")
+                self._not_empty.wait(remaining)
+            item = self._items.popleft()
+            self._recent.append(len(self._items))
+            return item
+
+    @property
+    def current_length(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def recent_average(self) -> float:
+        with self._lock:
+            return sum(self._recent) / len(self._recent)
+
+
+class _ThreadStageContext(StageContext):
+    """Wall-clock stage context."""
+
+    def __init__(self, stage: "_ThreadStage", runtime: "ThreadedRuntime") -> None:
+        self._stage = stage
+        self._runtime = runtime
+        self._in_setup = False
+        self.pending: List[Tuple[Any, float, Optional[str]]] = []
+
+    def specify_parameter(
+        self,
+        name: str,
+        initial: float,
+        minimum: float,
+        maximum: float,
+        increment: float,
+        direction: int,
+    ) -> AdjustmentParameter:
+        if not self._in_setup:
+            raise ProcessorError(
+                f"{self._stage.name}: specify_parameter must be called in setup()"
+            )
+        if name in self._stage.parameters:
+            raise ProcessorError(f"{self._stage.name}: parameter {name!r} declared twice")
+        param = AdjustmentParameter(name, initial, minimum, maximum, increment, direction)
+        param.set_value(initial, self.now)
+        self._stage.parameters[name] = param
+        self._stage.controllers[name] = ParameterController(param, self._runtime.policy)
+        return param
+
+    def get_suggested_value(self, name: str) -> float:
+        with self._stage.param_lock:
+            try:
+                return self._stage.parameters[name].value
+            except KeyError:
+                raise ProcessorError(
+                    f"{self._stage.name}: unknown parameter {name!r}"
+                ) from None
+
+    def emit(self, payload: Any, size: float = 8.0, stream: Optional[str] = None) -> None:
+        if size < 0:
+            raise ProcessorError(f"emit size must be >= 0, got {size}")
+        if stream is not None and not any(
+            e.name == stream for e in self._stage.out_edges
+        ):
+            raise ProcessorError(
+                f"{self._stage.name}: emit to unknown stream {stream!r}"
+            )
+        self.pending.append((payload, float(size), stream))
+
+    @property
+    def now(self) -> float:
+        return self._runtime.elapsed()
+
+    @property
+    def stage_name(self) -> str:
+        return self._stage.name
+
+    @property
+    def properties(self) -> Dict[str, str]:
+        return self._stage.properties
+
+
+@dataclass
+class _ThreadEdge:
+    dst: "_ThreadStage"
+    bucket: Optional[TokenBucket]
+    name: Optional[str] = None
+
+
+@dataclass
+class _ThreadStage:
+    name: str
+    processor: StreamProcessor
+    queue: _MonitoredQueue
+    properties: Dict[str, str]
+    expected_eos: int = 0
+    out_edges: List[_ThreadEdge] = field(default_factory=list)
+    upstream: List["_ThreadStage"] = field(default_factory=list)
+    parameters: Dict[str, AdjustmentParameter] = field(default_factory=dict)
+    controllers: Dict[str, ParameterController] = field(default_factory=dict)
+    exceptions: ExceptionCounter = field(default_factory=ExceptionCounter)
+    estimator: Optional[LoadEstimator] = None
+    context: Optional[_ThreadStageContext] = None
+    stats: StageStats = field(default_factory=lambda: StageStats(""))
+    param_lock: threading.Lock = field(default_factory=threading.Lock)
+    done: threading.Event = field(default_factory=threading.Event)
+    error: Optional[BaseException] = None
+
+
+@dataclass
+class _ThreadSource:
+    name: str
+    target: str
+    payloads: Iterable[Any]
+    rate: Optional[float]
+    item_size: float | Callable[[Any], float]
+    arrivals: Optional[Any] = None
+
+
+class ThreadedRuntime:
+    """Programmatic pipeline executed on real threads.
+
+    Example::
+
+        rt = ThreadedRuntime(time_scale=0.01)
+        rt.add_stage("sampler", SamplerProcessor())
+        rt.add_stage("sink", SinkProcessor())
+        rt.connect("sampler", "sink", bandwidth=10_000)
+        rt.bind_source("gen", "sampler", payloads, rate=200.0)
+        result = rt.run(timeout=30.0)
+    """
+
+    DEFAULT_QUEUE_CAPACITY = 200
+
+    def __init__(
+        self,
+        policy: Optional[AdaptationPolicy] = None,
+        time_scale: float = 1.0,
+        adaptation_enabled: bool = True,
+    ) -> None:
+        if time_scale <= 0:
+            raise ThreadedRuntimeError(f"time_scale must be > 0, got {time_scale}")
+        self.policy = policy or AdaptationPolicy()
+        self.time_scale = time_scale
+        self.adaptation_enabled = adaptation_enabled
+        self._stages: Dict[str, _ThreadStage] = {}
+        self._sources: List[_ThreadSource] = []
+        self._start_time = 0.0
+        self._started = False
+
+    def elapsed(self) -> float:
+        """Wall-clock seconds since :meth:`run` started."""
+        return time.monotonic() - self._start_time
+
+    # -- construction ---------------------------------------------------------
+
+    def add_stage(
+        self,
+        name: str,
+        processor: StreamProcessor,
+        properties: Optional[Dict[str, str]] = None,
+        queue_capacity: Optional[int] = None,
+    ) -> None:
+        """Register a stage."""
+        if self._started:
+            raise ThreadedRuntimeError("cannot add stages after run()")
+        if name in self._stages:
+            raise ThreadedRuntimeError(f"duplicate stage {name!r}")
+        if not isinstance(processor, StreamProcessor):
+            raise ThreadedRuntimeError(f"{name}: processor must be a StreamProcessor")
+        capacity = queue_capacity or self.DEFAULT_QUEUE_CAPACITY
+        stage = _ThreadStage(
+            name=name,
+            processor=processor,
+            queue=_MonitoredQueue(capacity, self.policy.window),
+            properties=dict(properties or {}),
+        )
+        stage.stats = StageStats(name, host_name="local-thread")
+        stage.estimator = LoadEstimator(name, stage.queue, self.policy)
+        stage.context = _ThreadStageContext(stage, self)
+        self._stages[name] = stage
+
+    def connect(
+        self,
+        src: str,
+        dst: str,
+        bandwidth: Optional[float] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        """Wire src -> dst, optionally through a token-bucket limited link.
+
+        ``bandwidth`` is bytes/second of *scaled* time (i.e. the effective
+        rate is bandwidth / time_scale in wall seconds).  ``name`` makes
+        the edge addressable by ``context.emit(..., stream=name)``.
+        """
+        if self._started:
+            raise ThreadedRuntimeError("cannot connect stages after run()")
+        try:
+            source, target = self._stages[src], self._stages[dst]
+        except KeyError as exc:
+            raise ThreadedRuntimeError(f"unknown stage {exc}") from None
+        bucket = None
+        if bandwidth is not None:
+            if bandwidth <= 0:
+                raise ThreadedRuntimeError(f"bandwidth must be > 0, got {bandwidth}")
+            # Burst of ~10 ms of tokens: enough to amortize per-message
+            # overhead, small enough that short transfers still see the
+            # configured rate (a 1 s burst would let whole test workloads
+            # through unthrottled).
+            bucket = TokenBucket(
+                rate=bandwidth, burst=max(1.0, bandwidth * 0.01), clock=time.monotonic
+            )
+        source.out_edges.append(_ThreadEdge(dst=target, bucket=bucket, name=name))
+        target.upstream.append(source)
+        target.expected_eos += 1
+
+    def bind_source(
+        self,
+        name: str,
+        target: str,
+        payloads: Iterable[Any],
+        rate: Optional[float] = None,
+        item_size: float | Callable[[Any], float] = 8.0,
+        arrivals: Optional[Any] = None,
+    ) -> None:
+        """Attach an external stream (rate in items per *scaled* second).
+
+        ``arrivals`` (an :class:`~repro.streams.arrivals.ArrivalProcess`)
+        overrides ``rate`` with per-item gaps, as in the simulated runtime.
+        """
+        if self._started:
+            raise ThreadedRuntimeError("cannot bind sources after run()")
+        if target not in self._stages:
+            raise ThreadedRuntimeError(f"unknown stage {target!r}")
+        if rate is not None and rate <= 0:
+            raise ThreadedRuntimeError(f"rate must be > 0, got {rate}")
+        self._sources.append(
+            _ThreadSource(name, target, payloads, rate, item_size, arrivals)
+        )
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self, timeout: float = 120.0) -> RunResult:
+        """Run all threads to completion (or raise on ``timeout``)."""
+        if self._started:
+            raise ThreadedRuntimeError("run() may only be called once")
+        for source in self._sources:
+            self._stages[source.target].expected_eos += 1
+        for stage in self._stages.values():
+            if stage.expected_eos == 0:
+                raise ThreadedRuntimeError(
+                    f"stage {stage.name!r} has no inputs and would never terminate"
+                )
+        self._started = True
+        self._start_time = time.monotonic()
+        result = RunResult(app_name="threaded-app")
+
+        for stage in self._stages.values():
+            assert stage.context is not None
+            stage.context._in_setup = True
+            stage.processor.setup(stage.context)
+            stage.context._in_setup = False
+
+        threads: List[threading.Thread] = []
+        stop_monitors = threading.Event()
+        for stage in self._stages.values():
+            threads.append(
+                threading.Thread(target=self._worker, args=(stage,), daemon=True)
+            )
+            if self.adaptation_enabled:
+                monitor = threading.Thread(
+                    target=self._monitor, args=(stage, stop_monitors), daemon=True
+                )
+                monitor.start()
+        for source in self._sources:
+            threads.append(
+                threading.Thread(target=self._feeder, args=(source,), daemon=True)
+            )
+        for thread in threads:
+            thread.start()
+
+        deadline = time.monotonic() + timeout
+        for stage in self._stages.values():
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not stage.done.wait(remaining):
+                stop_monitors.set()
+                raise ThreadedRuntimeError(
+                    f"stage {stage.name!r} did not finish within {timeout}s"
+                )
+        stop_monitors.set()
+
+        errors = [s.error for s in self._stages.values() if s.error is not None]
+        if errors:
+            raise errors[0]
+
+        result.execution_time = self.elapsed()
+        for stage in self._stages.values():
+            stats = stage.stats
+            stats.parameter_history = {
+                name: p.history for name, p in stage.parameters.items()
+            }
+            stats.load_history = stage.estimator.history if stage.estimator else None
+            stats.final_value = stage.processor.result()
+            result.stages[stage.name] = stats
+        return result
+
+    # -- thread bodies -----------------------------------------------------------
+
+    def _feeder(self, source: _ThreadSource) -> None:
+        stage = self._stages[source.target]
+        gaps = source.arrivals.gaps() if source.arrivals is not None else None
+        fixed_gap = (1.0 / source.rate) * self.time_scale if source.rate else 0.0
+        for payload in source.payloads:
+            gap = next(gaps) * self.time_scale if gaps is not None else fixed_gap
+            if gap:
+                time.sleep(gap)
+            size = (
+                float(source.item_size(payload))
+                if callable(source.item_size)
+                else float(source.item_size)
+            )
+            stage.queue.put(
+                Item(payload=payload, size=size, origin=source.name, created_at=self.elapsed())
+            )
+        stage.queue.put(EndOfStream(origin=source.name))
+
+    def _worker(self, stage: _ThreadStage) -> None:
+        ctx = stage.context
+        assert ctx is not None
+        eos_seen = 0
+        try:
+            while True:
+                message = stage.queue.get()
+                if isinstance(message, EndOfStream):
+                    eos_seen += 1
+                    if eos_seen < stage.expected_eos:
+                        continue
+                    stage.processor.flush(ctx)
+                    self._transmit_pending(stage)
+                    for edge in stage.out_edges:
+                        edge.dst.queue.put(EndOfStream(origin=stage.name))
+                    return
+                stage.stats.items_in += 1
+                stage.stats.bytes_in += message.size
+                items, nbytes = stage.processor.work_amount(message.payload, message.size)
+                cost = stage.processor.cost_model.cost(items, nbytes)
+                if cost > 0:
+                    time.sleep(cost * self.time_scale)
+                    stage.stats.busy_seconds += cost * self.time_scale
+                stage.processor.on_item(message.payload, ctx)
+                stage.stats.latencies.append(self.elapsed() - message.created_at)
+                self._transmit_pending(stage)
+        except BaseException as exc:  # noqa: BLE001 - surfaced by run()
+            stage.error = exc
+            # Release downstream stages: they will never get more data
+            # from us, so deliver our end-of-stream now — otherwise run()
+            # would block on them until its timeout instead of surfacing
+            # this error promptly.
+            for edge in stage.out_edges:
+                edge.dst.queue.put(EndOfStream(origin=stage.name))
+        finally:
+            stage.done.set()
+
+    def _transmit_pending(self, stage: _ThreadStage) -> None:
+        ctx = stage.context
+        assert ctx is not None
+        pending, ctx.pending = ctx.pending, []
+        for payload, size, stream in pending:
+            stage.stats.items_out += 1
+            stage.stats.bytes_out += size
+            for edge in stage.out_edges:
+                if stream is not None and edge.name != stream:
+                    continue
+                if edge.bucket is not None:
+                    wait = edge.bucket.consume(size)
+                    if wait > 0:
+                        time.sleep(wait * self.time_scale)
+                edge.dst.queue.put(
+                    Item(payload=payload, size=size, origin=stage.name,
+                         created_at=self.elapsed())
+                )
+
+    def _monitor(self, stage: _ThreadStage, stop: threading.Event) -> None:
+        assert stage.estimator is not None
+        samples = 0
+        interval = self.policy.sample_interval * self.time_scale
+        while not stop.is_set() and not stage.done.is_set():
+            if stop.wait(interval):
+                return
+            now = self.elapsed()
+            exception = stage.estimator.sample(now)
+            if exception is not None and self.policy.exceptions_enabled:
+                stage.stats.exceptions_reported += 1
+                for upstream in stage.upstream:
+                    upstream.exceptions.report(exception)
+                    upstream.stats.exceptions_received += 1
+            samples += 1
+            if samples % self.policy.adjust_every == 0 and stage.controllers:
+                t1, t2 = stage.exceptions.drain()
+                score = stage.estimator.normalized_score
+                with stage.param_lock:
+                    for controller in stage.controllers.values():
+                        controller.adjust(score, t1, t2, now)

@@ -1,0 +1,273 @@
+"""Reusable stage operators.
+
+The paper's API asks developers to write each stage from scratch; a
+practical middleware ships the common ones.  These are ordinary
+:class:`~repro.core.api.StreamProcessor` s usable in any runtime:
+
+* :class:`MapStage` / :class:`FilterStage` — per-item transform / predicate;
+* :class:`BatchStage` — groups N items into one message (amortizes
+  per-message link overhead, the classic edge optimization);
+* :class:`TumblingWindowStage` / :class:`SlidingWindowStage` — windowed
+  aggregation over item counts;
+* :class:`AdaptiveSampleStage` — a ready-made sampler exposing the
+  paper's canonical sampling-rate adjustment parameter;
+* :class:`CollectStage` — in-memory sink for tests and examples.
+
+All size accounting is explicit: transforms take a ``size_of`` callable
+(defaulting to a fixed item size) so the simulated network stays honest.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
+
+from repro.core.api import StageContext, StreamProcessor
+from repro.simnet.hosts import CpuCostModel
+from repro.streams.sampling import SystematicSampler
+
+__all__ = [
+    "AdaptiveSampleStage",
+    "BatchStage",
+    "CollectStage",
+    "FilterStage",
+    "MapStage",
+    "SlidingWindowStage",
+    "TumblingWindowStage",
+]
+
+
+def _fixed_size(size: float) -> Callable[[Any], float]:
+    return lambda payload: size
+
+
+class MapStage(StreamProcessor):
+    """Applies ``fn`` to every item and forwards the result."""
+
+    cost_model = CpuCostModel(per_item=1e-5)
+
+    def __init__(
+        self,
+        fn: Callable[[Any], Any],
+        size_of: Callable[[Any], float] | float = 8.0,
+    ) -> None:
+        if not callable(fn):
+            raise TypeError(f"fn must be callable, got {fn!r}")
+        self.fn = fn
+        self.size_of = size_of if callable(size_of) else _fixed_size(float(size_of))
+
+    def on_item(self, payload: Any, context: StageContext) -> None:
+        result = self.fn(payload)
+        context.emit(result, size=self.size_of(result))
+
+
+class FilterStage(StreamProcessor):
+    """Forwards only items for which ``predicate`` is true."""
+
+    cost_model = CpuCostModel(per_item=1e-5)
+
+    def __init__(
+        self,
+        predicate: Callable[[Any], bool],
+        size_of: Callable[[Any], float] | float = 8.0,
+    ) -> None:
+        if not callable(predicate):
+            raise TypeError(f"predicate must be callable, got {predicate!r}")
+        self.predicate = predicate
+        self.size_of = size_of if callable(size_of) else _fixed_size(float(size_of))
+        self.dropped = 0
+
+    def on_item(self, payload: Any, context: StageContext) -> None:
+        if self.predicate(payload):
+            context.emit(payload, size=self.size_of(payload))
+        else:
+            self.dropped += 1
+
+
+class BatchStage(StreamProcessor):
+    """Groups ``batch_size`` items into one list-valued message.
+
+    A partial trailing batch is emitted at flush.  Message size is the sum
+    of the member sizes plus a fixed framing overhead.
+    """
+
+    cost_model = CpuCostModel(per_item=5e-6)
+
+    def __init__(
+        self,
+        batch_size: int,
+        item_size: float = 8.0,
+        framing_bytes: float = 16.0,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if item_size < 0 or framing_bytes < 0:
+            raise ValueError("sizes must be >= 0")
+        self.batch_size = batch_size
+        self.item_size = item_size
+        self.framing_bytes = framing_bytes
+        self._buffer: List[Any] = []
+
+    def on_item(self, payload: Any, context: StageContext) -> None:
+        self._buffer.append(payload)
+        if len(self._buffer) >= self.batch_size:
+            self._emit(context)
+
+    def flush(self, context: StageContext) -> None:
+        if self._buffer:
+            self._emit(context)
+
+    def _emit(self, context: StageContext) -> None:
+        batch, self._buffer = self._buffer, []
+        size = self.framing_bytes + self.item_size * len(batch)
+        context.emit(batch, size=size)
+
+
+class TumblingWindowStage(StreamProcessor):
+    """Aggregates disjoint windows of ``window`` items with ``aggregate``.
+
+    ``aggregate`` receives the window's items (a list) and returns the
+    value to emit.  A partial trailing window is aggregated at flush.
+    """
+
+    cost_model = CpuCostModel(per_item=1e-5)
+
+    def __init__(
+        self,
+        window: int,
+        aggregate: Callable[[List[Any]], Any],
+        size_of: Callable[[Any], float] | float = 8.0,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if not callable(aggregate):
+            raise TypeError(f"aggregate must be callable, got {aggregate!r}")
+        self.window = window
+        self.aggregate = aggregate
+        self.size_of = size_of if callable(size_of) else _fixed_size(float(size_of))
+        self._buffer: List[Any] = []
+
+    def on_item(self, payload: Any, context: StageContext) -> None:
+        self._buffer.append(payload)
+        if len(self._buffer) >= self.window:
+            self._emit(context)
+
+    def flush(self, context: StageContext) -> None:
+        if self._buffer:
+            self._emit(context)
+
+    def _emit(self, context: StageContext) -> None:
+        window, self._buffer = self._buffer, []
+        value = self.aggregate(window)
+        context.emit(value, size=self.size_of(value))
+
+
+class SlidingWindowStage(StreamProcessor):
+    """Aggregates a sliding window, emitting every ``slide`` items.
+
+    Keeps the last ``window`` items; once the window has filled, emits
+    ``aggregate(window_items)`` after every ``slide`` further arrivals.
+    """
+
+    cost_model = CpuCostModel(per_item=1e-5)
+
+    def __init__(
+        self,
+        window: int,
+        slide: int,
+        aggregate: Callable[[List[Any]], Any],
+        size_of: Callable[[Any], float] | float = 8.0,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if slide < 1:
+            raise ValueError(f"slide must be >= 1, got {slide}")
+        if not callable(aggregate):
+            raise TypeError(f"aggregate must be callable, got {aggregate!r}")
+        self.window = window
+        self.slide = slide
+        self.aggregate = aggregate
+        self.size_of = size_of if callable(size_of) else _fixed_size(float(size_of))
+        self._buffer: Deque[Any] = deque(maxlen=window)
+        self._since_emit = 0
+
+    def on_item(self, payload: Any, context: StageContext) -> None:
+        self._buffer.append(payload)
+        if len(self._buffer) < self.window:
+            return
+        self._since_emit += 1
+        # First emission as soon as the window fills, then every `slide`.
+        if self._since_emit == 1 or self._since_emit > self.slide:
+            value = self.aggregate(list(self._buffer))
+            context.emit(value, size=self.size_of(value))
+            self._since_emit = 1
+
+
+class AdaptiveSampleStage(StreamProcessor):
+    """A ready-made sampler with the paper's sampling-rate parameter.
+
+    Equivalent to Section 3.3's ``Sampler`` example: declares
+    ``sampling-rate`` with the supplied bounds and forwards the
+    middleware-chosen fraction of items (systematic sampling, so the kept
+    fraction is deterministic given the rate trajectory).
+    """
+
+    cost_model = CpuCostModel(per_item=1e-5)
+
+    def __init__(
+        self,
+        initial_rate: float = 0.2,
+        minimum: float = 0.01,
+        maximum: float = 1.0,
+        increment: float = 0.01,
+        item_size: float = 8.0,
+    ) -> None:
+        self.initial_rate = initial_rate
+        self.minimum = minimum
+        self.maximum = maximum
+        self.increment = increment
+        self.item_size = item_size
+        self._sampler: Optional[SystematicSampler] = None
+
+    def setup(self, context: StageContext) -> None:
+        context.specify_parameter(
+            "sampling-rate",
+            initial=self.initial_rate,
+            minimum=self.minimum,
+            maximum=self.maximum,
+            increment=self.increment,
+            direction=-1,
+        )
+        self._sampler = SystematicSampler(self.initial_rate)
+
+    def on_item(self, payload: Any, context: StageContext) -> None:
+        assert self._sampler is not None
+        self._sampler.rate = context.get_suggested_value("sampling-rate")
+        if self._sampler.offer(payload):
+            context.emit(payload, size=self.item_size)
+
+    def result(self) -> dict:
+        assert self._sampler is not None
+        return {"seen": self._sampler.seen, "kept": self._sampler.kept}
+
+
+class CollectStage(StreamProcessor):
+    """In-memory sink; ``result()`` returns everything received."""
+
+    cost_model = CpuCostModel()
+
+    def __init__(self, limit: Optional[int] = None) -> None:
+        if limit is not None and limit < 1:
+            raise ValueError(f"limit must be >= 1 or None, got {limit}")
+        self.limit = limit
+        self.items: List[Any] = []
+        self.overflowed = 0
+
+    def on_item(self, payload: Any, context: StageContext) -> None:
+        if self.limit is None or len(self.items) < self.limit:
+            self.items.append(payload)
+        else:
+            self.overflowed += 1
+
+    def result(self) -> List[Any]:
+        return list(self.items)

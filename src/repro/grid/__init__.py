@@ -1,0 +1,78 @@
+"""OGSA/Globus-like grid services substrate.
+
+GATES was built on the Open Grid Services Architecture using Globus
+Toolkit 3.0 for resource discovery, matching, and service deployment.
+This package reproduces those *semantics* in-process (see DESIGN.md for the
+substitution rationale):
+
+* :mod:`repro.grid.resources` — resource descriptions and requirements.
+* :mod:`repro.grid.registry` — an MDS-like index service where hosts and
+  running service instances register and can be queried.
+* :mod:`repro.grid.matchmaker` — the broker matching stage requirements
+  to registered resources (the "automatic resource discovery and matching"
+  of Section 3.1, goal 1).
+* :mod:`repro.grid.services` — OGSA-style service containers with
+  lifetimes; the GATES grid-service instance that hosts user stage code.
+* :mod:`repro.grid.repository` — the application code repository from
+  which the Deployer retrieves stage implementations.
+* :mod:`repro.grid.config` — the XML application configuration format
+  written by application developers.
+* :mod:`repro.grid.launcher` / :mod:`repro.grid.deployer` — the Launcher
+  (parses configuration) and Deployer (finds nodes, instantiates GATES
+  service instances, uploads stage code) of Section 3.2.
+"""
+
+from repro.grid.config import AppConfig, ConfigError, StageConfig, StreamConfig
+from repro.grid.deployer import Deployer, Deployment, DeploymentError, Placement
+from repro.grid.faults import FaultInjector, FaultPlan, Redeployer
+from repro.grid.launcher import Launcher
+from repro.grid.matchmaker import Matchmaker, MatchError
+from repro.grid.monitor import FabricSnapshot, MonitoringService
+from repro.grid.registry import RegistryError, ServiceRegistry
+from repro.grid.repository import CodeRepository, RepositoryError
+from repro.grid.resources import ResourceOffer, ResourceRequirement
+from repro.grid.stream_sources import (
+    StreamSourceDescriptor,
+    bind_registered_streams,
+    register_stream_source,
+    registered_streams,
+)
+from repro.grid.services import (
+    GatesServiceInstance,
+    ServiceContainer,
+    ServiceError,
+    ServiceState,
+)
+
+__all__ = [
+    "AppConfig",
+    "CodeRepository",
+    "ConfigError",
+    "Deployer",
+    "Deployment",
+    "DeploymentError",
+    "FabricSnapshot",
+    "FaultInjector",
+    "FaultPlan",
+    "GatesServiceInstance",
+    "Launcher",
+    "MatchError",
+    "Matchmaker",
+    "MonitoringService",
+    "Redeployer",
+    "Placement",
+    "RegistryError",
+    "RepositoryError",
+    "ResourceOffer",
+    "ResourceRequirement",
+    "ServiceContainer",
+    "ServiceError",
+    "ServiceRegistry",
+    "ServiceState",
+    "StageConfig",
+    "StreamConfig",
+    "StreamSourceDescriptor",
+    "bind_registered_streams",
+    "register_stream_source",
+    "registered_streams",
+]

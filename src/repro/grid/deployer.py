@@ -1,0 +1,149 @@
+"""The Deployer: turns a validated configuration into placed service instances.
+
+Section 3.2 enumerates the Deployer's responsibilities; each maps to a
+step of :meth:`Deployer.deploy`:
+
+1. receive the configuration information from the Launcher,
+2. consult a grid resource manager (:class:`~repro.grid.matchmaker.Matchmaker`)
+   to find nodes with the required resources,
+3. initiate instances of GATES grid services at those nodes
+   (:class:`~repro.grid.services.ServiceContainer`),
+4. retrieve the stage codes from the application repositories
+   (:class:`~repro.grid.repository.CodeRepository`),
+5. upload the stage-specific codes to every instance, customizing it.
+
+The result is a :class:`Deployment`: the mapping of stages to hosts plus
+the activated service instances, ready for a runtime to wire streams and
+start processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.grid.config import AppConfig
+from repro.grid.matchmaker import Matchmaker
+from repro.grid.registry import ServiceRegistry
+from repro.grid.repository import CodeRepository
+from repro.grid.services import GatesServiceInstance, ServiceContainer
+
+__all__ = ["Deployer", "Deployment", "DeploymentError", "Placement"]
+
+
+class DeploymentError(Exception):
+    """Raised when an application cannot be deployed."""
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One stage's placement decision."""
+
+    stage_name: str
+    host_name: str
+    instance: GatesServiceInstance
+
+
+@dataclass
+class Deployment:
+    """A deployed (but not yet running) application."""
+
+    config: AppConfig
+    placements: Dict[str, Placement] = field(default_factory=dict)
+
+    def host_of(self, stage_name: str) -> str:
+        """Host a stage was placed on."""
+        try:
+            return self.placements[stage_name].host_name
+        except KeyError:
+            raise DeploymentError(f"stage {stage_name!r} not placed") from None
+
+    def instance_of(self, stage_name: str) -> GatesServiceInstance:
+        """Service instance hosting a stage's code."""
+        try:
+            return self.placements[stage_name].instance
+        except KeyError:
+            raise DeploymentError(f"stage {stage_name!r} not placed") from None
+
+    def hosts_used(self) -> List[str]:
+        """Distinct hosts used, sorted."""
+        return sorted({p.host_name for p in self.placements.values()})
+
+    def teardown(self) -> None:
+        """Destroy every service instance of this deployment."""
+        for placement in self.placements.values():
+            placement.instance.destroy()
+
+
+class Deployer:
+    """Deploys applications onto the grid fabric."""
+
+    def __init__(
+        self,
+        registry: ServiceRegistry,
+        repository: CodeRepository,
+        service_lifetime: float | None = None,
+    ) -> None:
+        self.registry = registry
+        self.repository = repository
+        self.matchmaker = Matchmaker(registry)
+        #: Soft-state lifetime for created instances (None = unlimited).
+        self.service_lifetime = service_lifetime
+        self._containers: Dict[str, ServiceContainer] = {}
+
+    def container_for(self, host_name: str) -> ServiceContainer:
+        """The (lazily created) service container on ``host_name``."""
+        container = self._containers.get(host_name)
+        if container is None:
+            host = self.registry.network.host(host_name)
+            container = ServiceContainer(host, registry=self.registry)
+            self._containers[host_name] = container
+        return container
+
+    def deploy(self, config: AppConfig) -> Deployment:
+        """Run the five-step deployment of Section 3.2."""
+        # Step 1: receive + validate configuration.
+        config.validate()
+
+        # Step 4 (hoisted): verify all stage code exists *before* touching
+        # any node, so a bad code URL cannot leave a half deployment.
+        factories = {}
+        for stage in config.stages:
+            try:
+                factories[stage.name] = self.repository.fetch(stage.code_url)
+            except Exception as exc:
+                raise DeploymentError(
+                    f"stage {stage.name!r}: cannot fetch code "
+                    f"{stage.code_url!r}: {exc}"
+                ) from exc
+
+        # Step 2: consult the resource manager.
+        requirements = [(s.name, s.requirement) for s in config.stages]
+        try:
+            assignment = self.matchmaker.match_all(requirements)
+        except Exception as exc:
+            raise DeploymentError(f"resource matching failed: {exc}") from exc
+
+        # Steps 3 + 5: instantiate and customize service instances.
+        deployment = Deployment(config=config)
+        created: List[GatesServiceInstance] = []
+        try:
+            for stage in config.stages:
+                host_name = assignment[stage.name]
+                container = self.container_for(host_name)
+                instance = container.create_instance(
+                    f"{config.name}/{stage.name}", lifetime=self.service_lifetime
+                )
+                created.append(instance)
+                instance.customize(factories[stage.name], **stage.properties)
+                instance.activate()
+                deployment.placements[stage.name] = Placement(
+                    stage_name=stage.name,
+                    host_name=host_name,
+                    instance=instance,
+                )
+        except Exception as exc:
+            for instance in created:
+                instance.destroy()
+            raise DeploymentError(f"deployment of {config.name!r} failed: {exc}") from exc
+        return deployment

@@ -1,0 +1,166 @@
+"""Fault injection and redeployment.
+
+GATES itself (2004) did not handle failures; a grid middleware that runs
+"24 hours a day, 7 days a week" (Section 1) needs to, so this module
+provides the natural extension, kept at the *deployment* layer:
+
+* :class:`FaultInjector` — schedules crash-stop host failures (and
+  recoveries) on the simulated fabric;
+* :class:`Redeployer` — given a deployment and a failed host, re-places
+  the affected stages on healthy hosts via the ordinary matchmaker,
+  re-fetches their code from the repository, and swaps the service
+  instances.  Stage state is *not* migrated (crash-stop semantics: the
+  replacement starts fresh, as a restarted grid service would).
+
+The matchmaker refuses hosts whose ``failed`` flag is set, so ordinary
+deployments also avoid known-dead nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional
+
+from repro.grid.deployer import Deployer, Deployment, DeploymentError, Placement
+from repro.simnet.engine import Environment
+from repro.simnet.topology import Network
+
+__all__ = ["FaultInjector", "FaultPlan", "Redeployer"]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One scheduled fault: fail ``host`` at ``fail_at``; recover later."""
+
+    host: str
+    fail_at: float
+    recover_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.fail_at < 0:
+            raise ValueError(f"fail_at must be >= 0, got {self.fail_at}")
+        if self.recover_at is not None and self.recover_at <= self.fail_at:
+            raise ValueError(
+                f"recover_at {self.recover_at} must be after fail_at {self.fail_at}"
+            )
+
+
+class FaultInjector:
+    """Schedules crash-stop failures on the fabric.
+
+    Failures are recorded in :attr:`events` as (time, host, "fail" |
+    "recover") so tests and harnesses can assert on them.
+    """
+
+    def __init__(self, env: Environment, network: Network) -> None:
+        self.env = env
+        self.network = network
+        self.events: List[tuple] = []
+
+    def schedule(self, plan: FaultPlan) -> None:
+        """Arm one fault plan (validates the host exists now)."""
+        self.network.host(plan.host)
+        self.env.process(self._inject(plan), name=f"fault:{plan.host}")
+
+    def fail_now(self, host_name: str) -> None:
+        """Fail a host immediately."""
+        self.network.host(host_name).fail()
+        self.events.append((self.env.now, host_name, "fail"))
+
+    def recover_now(self, host_name: str) -> None:
+        """Recover a host immediately."""
+        self.network.host(host_name).recover()
+        self.events.append((self.env.now, host_name, "recover"))
+
+    def _inject(self, plan: FaultPlan) -> Generator:
+        delay = plan.fail_at - self.env.now
+        if delay > 0:
+            yield self.env.timeout(delay)
+        self.fail_now(plan.host)
+        if plan.recover_at is not None:
+            yield self.env.timeout(plan.recover_at - plan.fail_at)
+            self.recover_now(plan.host)
+
+
+@dataclass
+class RedeploymentReport:
+    """What a redeployment did."""
+
+    failed_host: str
+    moved_stages: List[str] = field(default_factory=list)
+    new_hosts: dict = field(default_factory=dict)
+
+
+class Redeployer:
+    """Moves the stages of a failed host onto healthy ones."""
+
+    def __init__(self, deployer: Deployer) -> None:
+        self.deployer = deployer
+
+    def redeploy(self, deployment: Deployment, failed_host: str) -> RedeploymentReport:
+        """Re-place every stage of ``deployment`` on ``failed_host``.
+
+        The replacement instances are created, customized from the
+        repository, and activated; the dead instances are destroyed
+        (deregistering them).  Placement hints pinning a stage to the
+        failed host are ignored for the replacement (the pin is
+        unsatisfiable); ``near:`` hints re-resolve normally.
+        """
+        report = RedeploymentReport(failed_host=failed_host)
+        affected = [
+            name for name, p in deployment.placements.items()
+            if p.host_name == failed_host
+        ]
+        if not affected:
+            return report
+        matchmaker = self.deployer.matchmaker
+        claimed = {
+            p.host_name for p in deployment.placements.values()
+            if p.host_name != failed_host
+        }
+        for stage_name in affected:
+            stage_cfg = deployment.config.stage(stage_name)
+            requirement = stage_cfg.requirement
+            try:
+                new_host = matchmaker.match_one(requirement, exclude=set(claimed))
+            except Exception:
+                # The placement hint (a direct pin or a near:-hint) may
+                # resolve to the failed host itself; it is unsatisfiable
+                # now, so retry placement unconstrained.
+                if requirement.placement_hint is None:
+                    raise DeploymentError(
+                        f"cannot re-place stage {stage_name!r} after "
+                        f"{failed_host!r} failed"
+                    ) from None
+                from dataclasses import replace as dc_replace
+
+                relaxed = dc_replace(requirement, placement_hint=None)
+                try:
+                    new_host = matchmaker.match_one(relaxed, exclude=set(claimed))
+                except Exception as exc:
+                    raise DeploymentError(
+                        f"cannot re-place stage {stage_name!r} after "
+                        f"{failed_host!r} failed: {exc}"
+                    ) from exc
+            try:
+                factory = self.deployer.repository.fetch(stage_cfg.code_url)
+            except Exception as exc:
+                raise DeploymentError(
+                    f"stage {stage_name!r}: code vanished from repository: {exc}"
+                ) from exc
+            old = deployment.placements[stage_name].instance
+            old.destroy()
+            container = self.deployer.container_for(new_host)
+            instance = container.create_instance(
+                f"{deployment.config.name}/{stage_name}",
+                lifetime=self.deployer.service_lifetime,
+            )
+            instance.customize(factory, **stage_cfg.properties)
+            instance.activate()
+            deployment.placements[stage_name] = Placement(
+                stage_name=stage_name, host_name=new_host, instance=instance
+            )
+            claimed.add(new_host)
+            report.moved_stages.append(stage_name)
+            report.new_hosts[stage_name] = new_host
+        return report

@@ -1,0 +1,137 @@
+"""Heartbeat-based failure detection with automatic redeployment.
+
+Closes the fault-tolerance loop opened by :mod:`repro.grid.faults`:
+every host runs a heartbeat emitter; a :class:`HeartbeatDetector` marks a
+host *suspected* once no beat has arrived for ``timeout`` seconds and
+invokes its callbacks — by default the :class:`AutoRecovery` callback,
+which redeploys the dead host's stages through the ordinary
+:class:`~repro.grid.faults.Redeployer`.
+
+Crash-stop hosts stop beating automatically: the emitter checks
+``host.failed`` before each beat, so no extra wiring is needed beyond
+``FaultInjector`` / ``Host.fail``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Optional
+
+from repro.grid.deployer import Deployment
+from repro.grid.faults import Redeployer
+from repro.simnet.engine import Environment
+from repro.simnet.topology import Network
+
+__all__ = ["AutoRecovery", "HeartbeatDetector"]
+
+
+@dataclass
+class _HostState:
+    last_beat: float
+    suspected: bool = False
+
+
+class HeartbeatDetector:
+    """Per-host heartbeat emitters plus a timeout-based detector.
+
+    Parameters
+    ----------
+    env, network:
+        The fabric to watch.
+    interval:
+        Seconds between beats.
+    timeout:
+        Silence after which a host is suspected (must exceed ``interval``;
+        3-4 intervals is the customary safety margin against jitter —
+        here beats are deterministic, so 2 suffices).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        interval: float = 1.0,
+        timeout: float = 3.0,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        if timeout <= interval:
+            raise ValueError(
+                f"timeout ({timeout}) must exceed the beat interval ({interval})"
+            )
+        self.env = env
+        self.network = network
+        self.interval = float(interval)
+        self.timeout = float(timeout)
+        self._states: Dict[str, _HostState] = {}
+        self._callbacks: List[Callable[[str, float], None]] = []
+        self._started = False
+        #: (time, host) suspicion records, for tests and reporting.
+        self.suspicions: List[tuple] = []
+
+    def on_suspect(self, callback: Callable[[str, float], None]) -> None:
+        """Register ``callback(host_name, time)`` fired on suspicion."""
+        self._callbacks.append(callback)
+
+    def start(self) -> None:
+        """Arm emitters and the detector for every current host."""
+        if self._started:
+            raise RuntimeError("heartbeat detector already started")
+        self._started = True
+        now = self.env.now
+        for name in self.network.hosts:
+            self._states[name] = _HostState(last_beat=now)
+            self.env.process(self._emitter(name), name=f"heartbeat:{name}")
+        self.env.process(self._detector(), name="heartbeat-detector")
+
+    def _emitter(self, host_name: str) -> Generator:
+        host = self.network.host(host_name)
+        while True:
+            yield self.env.timeout(self.interval)
+            if host.failed:
+                return  # crash-stop: beats cease
+            state = self._states[host_name]
+            state.last_beat = self.env.now
+            if state.suspected:
+                # The host recovered (recover() flips .failed back); clear
+                # the suspicion so a later failure is re-detected.
+                state.suspected = False
+
+    def _detector(self) -> Generator:
+        while True:
+            yield self.env.timeout(self.interval)
+            now = self.env.now
+            for name, state in self._states.items():
+                if state.suspected:
+                    continue
+                if now - state.last_beat >= self.timeout:
+                    state.suspected = True
+                    self.suspicions.append((now, name))
+                    for callback in self._callbacks:
+                        callback(name, now)
+
+    def is_suspected(self, host_name: str) -> bool:
+        """Whether ``host_name`` is currently suspected."""
+        state = self._states.get(host_name)
+        return bool(state and state.suspected)
+
+
+@dataclass
+class AutoRecovery:
+    """Suspicion callback that redeploys the dead host's stages.
+
+    Attach with ``detector.on_suspect(AutoRecovery(redeployer, deployment))``;
+    every completed move is recorded in :attr:`recoveries`.
+    """
+
+    redeployer: Redeployer
+    deployment: Deployment
+    recoveries: List[tuple] = field(default_factory=list)
+    #: Optional hook called with the redeployment report after each move.
+    on_recovered: Optional[Callable] = None
+
+    def __call__(self, host_name: str, time: float) -> None:
+        report = self.redeployer.redeploy(self.deployment, host_name)
+        self.recoveries.append((time, host_name, report.moved_stages))
+        if self.on_recovered is not None:
+            self.on_recovered(report)

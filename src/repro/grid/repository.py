@@ -1,0 +1,102 @@
+"""Application code repository.
+
+Application developers "submit the codes to application repositories" and
+the Deployer "retrieves the stage codes from the application repositories"
+(Section 3.2).  In the paper those repositories are web servers holding
+Java class files; here a :class:`CodeRepository` maps logical URLs to
+Python stage-processor factories, with two resolution mechanisms:
+
+* explicit registration (``repo.publish("repo://app/stage1", factory)``),
+* dotted-path import (``"py://repro.apps.count_samps:SourceFilterStage"``),
+  the in-process analogue of fetching a class file by URL.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any, Callable, Dict, List
+
+__all__ = ["CodeRepository", "RepositoryError"]
+
+
+class RepositoryError(Exception):
+    """Raised when stage code cannot be located or loaded."""
+
+
+class CodeRepository:
+    """Logical-URL -> stage factory store with dotted-path fallback."""
+
+    #: Scheme for explicitly published entries.
+    PUBLISHED_SCHEME = "repo://"
+    #: Scheme for dotted-path imports, ``py://package.module:Attribute``.
+    IMPORT_SCHEME = "py://"
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Callable[..., Any]] = {}
+
+    def publish(self, url: str, factory: Callable[..., Any]) -> None:
+        """Publish stage code under a logical URL.
+
+        Republishing the same URL is an error — the paper's repositories
+        are append-only from the developer's point of view; use a new
+        version URL instead.
+        """
+        if not url.startswith(self.PUBLISHED_SCHEME):
+            raise RepositoryError(
+                f"published URLs must start with {self.PUBLISHED_SCHEME!r}: {url!r}"
+            )
+        if url in self._entries:
+            raise RepositoryError(f"{url!r} already published")
+        if not callable(factory):
+            raise RepositoryError(f"factory for {url!r} is not callable")
+        self._entries[url] = factory
+
+    def fetch(self, url: str) -> Callable[..., Any]:
+        """Resolve a logical URL to a stage factory."""
+        if url.startswith(self.PUBLISHED_SCHEME):
+            try:
+                return self._entries[url]
+            except KeyError:
+                raise RepositoryError(f"no code published at {url!r}") from None
+        if url.startswith(self.IMPORT_SCHEME):
+            return self._import(url[len(self.IMPORT_SCHEME):])
+        raise RepositoryError(
+            f"unsupported code URL scheme in {url!r} "
+            f"(expected {self.PUBLISHED_SCHEME!r} or {self.IMPORT_SCHEME!r})"
+        )
+
+    def urls(self) -> List[str]:
+        """All explicitly published URLs."""
+        return sorted(self._entries)
+
+    def __contains__(self, url: str) -> bool:
+        if url.startswith(self.PUBLISHED_SCHEME):
+            return url in self._entries
+        if url.startswith(self.IMPORT_SCHEME):
+            try:
+                self._import(url[len(self.IMPORT_SCHEME):])
+                return True
+            except RepositoryError:
+                return False
+        return False
+
+    @staticmethod
+    def _import(path: str) -> Callable[..., Any]:
+        if ":" not in path:
+            raise RepositoryError(
+                f"import path must be 'module:attribute', got {path!r}"
+            )
+        module_name, _, attr = path.partition(":")
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError as exc:
+            raise RepositoryError(f"cannot import module {module_name!r}: {exc}") from exc
+        try:
+            factory = getattr(module, attr)
+        except AttributeError:
+            raise RepositoryError(
+                f"module {module_name!r} has no attribute {attr!r}"
+            ) from None
+        if not callable(factory):
+            raise RepositoryError(f"{path!r} resolved to non-callable {factory!r}")
+        return factory

@@ -1,0 +1,144 @@
+"""Registered data-stream sources.
+
+Section 1: the user "need not be concerned with the details like
+discovering and allocating grid resources, *registering their own data
+stream's web services* and deploying the web services."  In GT3 terms a
+data stream is itself a discoverable service; here a
+:class:`StreamSourceDescriptor` published into the
+:class:`~repro.grid.registry.ServiceRegistry` describes where a stream
+arrives, how fast, and how to obtain its payloads — and
+:func:`bind_registered_streams` turns a deployment's leaf stages plus the
+registered descriptors into runtime source bindings automatically.
+
+The descriptor's ``host`` is where the stream physically arrives; binding
+verifies the receiving stage was actually placed there (the whole point
+of near-source placement), failing loudly on a mismatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional
+
+from repro.grid.deployer import Deployment
+from repro.grid.registry import ServiceRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle: runtime imports grid
+    from repro.core.runtime_sim import SimulatedRuntime, SourceBinding
+
+__all__ = [
+    "StreamSourceDescriptor",
+    "bind_registered_streams",
+    "register_stream_source",
+    "registered_streams",
+]
+
+#: Registry-key prefix for stream-source entries.
+STREAM_PREFIX = "stream/"
+
+
+@dataclass
+class StreamSourceDescriptor:
+    """A discoverable data stream.
+
+    Attributes
+    ----------
+    name:
+        Unique stream name (registry key ``stream/<name>``).
+    host:
+        Host where the stream arrives (instrument location).
+    payload_factory:
+        Zero-argument callable producing the payload iterable; called
+        once per binding so a descriptor can be re-used across runs.
+    rate:
+        Arrival rate in items/second (None = as fast as consumable).
+    item_size:
+        Bytes per item (or payload -> bytes callable).
+    arrivals_factory:
+        Optional zero-argument callable producing an
+        :class:`~repro.streams.arrivals.ArrivalProcess`; overrides
+        ``rate``.
+    metadata:
+        Free-form labels (instrument type, site, units ...).
+    """
+
+    name: str
+    host: str
+    payload_factory: Callable[[], Iterable[Any]]
+    rate: Optional[float] = None
+    item_size: float | Callable[[Any], float] = 8.0
+    arrivals_factory: Optional[Callable[[], Any]] = None
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("stream name must be non-empty")
+        if not callable(self.payload_factory):
+            raise TypeError("payload_factory must be callable")
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError(f"rate must be > 0, got {self.rate}")
+
+    def to_binding(self, target_stage: str) -> "SourceBinding":
+        """Materialize a runtime binding feeding ``target_stage``."""
+        from repro.core.runtime_sim import SourceBinding
+
+        return SourceBinding(
+            name=self.name,
+            target_stage=target_stage,
+            payloads=self.payload_factory(),
+            rate=self.rate,
+            item_size=self.item_size,
+            arrivals=self.arrivals_factory() if self.arrivals_factory else None,
+        )
+
+
+def register_stream_source(
+    registry: ServiceRegistry, descriptor: StreamSourceDescriptor
+) -> None:
+    """Publish a stream source (validates the host exists in the fabric)."""
+    registry.network.host(descriptor.host)  # existence check
+    registry.register_service(STREAM_PREFIX + descriptor.name, descriptor)
+
+
+def registered_streams(registry: ServiceRegistry) -> Dict[str, StreamSourceDescriptor]:
+    """All registered stream descriptors, keyed by stream name."""
+    return {
+        key[len(STREAM_PREFIX):]: descriptor
+        for key, descriptor in registry.services(prefix=STREAM_PREFIX).items()
+    }
+
+
+def bind_registered_streams(
+    runtime: "SimulatedRuntime",
+    registry: ServiceRegistry,
+    deployment: Deployment,
+    assignments: Dict[str, str],
+) -> List["SourceBinding"]:
+    """Bind registered streams to stages: ``{stream_name: stage_name}``.
+
+    For each pair, the descriptor is looked up in the registry and the
+    receiving stage's placement is checked against the stream's host —
+    a stage not co-located with its stream would silently skip the
+    network cost the placement was supposed to model, so that is an
+    error, not a warning.
+    """
+    streams = registered_streams(registry)
+    bindings: List[SourceBinding] = []
+    for stream_name, stage_name in assignments.items():
+        descriptor = streams.get(stream_name)
+        if descriptor is None:
+            raise KeyError(
+                f"no stream {stream_name!r} registered "
+                f"(have {sorted(streams)})"
+            )
+        placed_on = deployment.host_of(stage_name)
+        if placed_on != descriptor.host:
+            raise ValueError(
+                f"stage {stage_name!r} is on {placed_on!r} but stream "
+                f"{stream_name!r} arrives at {descriptor.host!r}; "
+                "fix the placement hint or the assignment"
+            )
+        binding = descriptor.to_binding(stage_name)
+        runtime.bind_source(binding)
+        bindings.append(binding)
+    return bindings

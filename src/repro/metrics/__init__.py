@@ -1,0 +1,19 @@
+"""Accuracy and performance metrics for the experiment harness."""
+
+from repro.metrics.accuracy import (
+    frequency_error,
+    topk_accuracy,
+    topk_recall,
+)
+from repro.metrics.ascii_chart import multi_chart, strip_chart
+from repro.metrics.rates import RateEstimator, WindowedRateEstimator
+
+__all__ = [
+    "RateEstimator",
+    "WindowedRateEstimator",
+    "frequency_error",
+    "multi_chart",
+    "strip_chart",
+    "topk_accuracy",
+    "topk_recall",
+]

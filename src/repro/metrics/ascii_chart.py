@@ -1,0 +1,94 @@
+"""ASCII strip charts for time series.
+
+The paper's Figures 8 and 9 are line plots of an adjustment parameter over
+time; in a terminal-only environment the harness renders them as ASCII
+strip charts.  :func:`strip_chart` plots one series; :func:`multi_chart`
+overlays several with distinct glyphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["multi_chart", "strip_chart"]
+
+Series = Sequence[Tuple[float, float]]
+
+_GLYPHS = "*+o#@%&="
+
+
+def _render(
+    grid: List[List[str]],
+    t_max: float,
+    v_min: float,
+    v_max: float,
+    width: int,
+    height: int,
+) -> str:
+    lines = []
+    for i, row in enumerate(grid):
+        value = v_max - (v_max - v_min) * i / (height - 1)
+        lines.append(f"{value:7.2f} |" + "".join(row))
+    lines.append("        +" + "-" * width)
+    footer = f"         0s{'':{max(0, width - 12)}}{t_max:.0f}s"
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def _bounds(all_series: Iterable[Series]) -> Tuple[float, float, float]:
+    t_max = 0.0
+    v_min, v_max = float("inf"), float("-inf")
+    for series in all_series:
+        for t, v in series:
+            t_max = max(t_max, t)
+            v_min = min(v_min, v)
+            v_max = max(v_max, v)
+    if v_min == float("inf"):
+        raise ValueError("all series are empty")
+    if v_min == v_max:
+        v_min, v_max = v_min - 0.5, v_max + 0.5
+    return (t_max or 1.0), v_min, v_max
+
+
+def strip_chart(
+    series: Series,
+    width: int = 72,
+    height: int = 12,
+) -> str:
+    """Render one (time, value) series as an ASCII chart."""
+    return multi_chart({"": series}, width=width, height=height, legend=False)
+
+
+def multi_chart(
+    series_map: Dict[str, Series],
+    width: int = 72,
+    height: int = 12,
+    legend: bool = True,
+) -> str:
+    """Overlay several labeled series, one glyph each.
+
+    Later samples overwrite earlier ones in shared cells; with more than
+    ``len(_GLYPHS)`` series the glyphs cycle.
+    """
+    if width < 8 or height < 3:
+        raise ValueError(f"chart too small: {width}x{height}")
+    if not series_map:
+        raise ValueError("no series given")
+    t_max, v_min, v_max = _bounds(series_map.values())
+    grid = [[" "] * width for _ in range(height)]
+    glyph_of = {}
+    for index, (label, series) in enumerate(series_map.items()):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        glyph_of[label] = glyph
+        for t, v in series:
+            col = min(width - 1, int(t / t_max * (width - 1)))
+            row = min(height - 1, int((v_max - v) / (v_max - v_min) * (height - 1)))
+            grid[row][col] = glyph
+    chart = _render(grid, t_max, v_min, v_max, width, height)
+    if legend and any(series_map):
+        entries = "   ".join(
+            f"{glyph_of[label]} {label}" for label in series_map if label
+        )
+        if entries:
+            chart += f"\n         {entries}"
+    return chart

@@ -1,0 +1,101 @@
+"""Arrival/throughput rate estimation.
+
+"The system monitors the arrival rate at each source, the available
+computing resources and memory, and the available network bandwidth"
+(Section 1).  :class:`RateEstimator` is the arrival-rate piece: an
+exponentially-weighted events-per-second estimate that is robust to
+bursty arrivals, plus an exact windowed variant
+(:class:`WindowedRateEstimator`) for short-horizon queries.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+__all__ = ["RateEstimator", "WindowedRateEstimator"]
+
+
+class RateEstimator:
+    """EWMA events-per-second estimator.
+
+    The estimate is updated per event from the inter-arrival gap:
+    ``rate <- (1-a)*rate + a * 1/gap`` with ``a`` derived from the
+    configured time constant, so bursts are smoothed over ``tau`` seconds
+    regardless of event density.
+    """
+
+    def __init__(self, tau: float = 5.0) -> None:
+        if tau <= 0:
+            raise ValueError(f"time constant must be > 0, got {tau}")
+        self.tau = float(tau)
+        self._last_time: float | None = None
+        self._rate = 0.0
+        self.events = 0
+
+    def observe(self, now: float, count: float = 1.0) -> float:
+        """Record ``count`` events at time ``now``; returns the estimate."""
+        if count <= 0:
+            raise ValueError(f"count must be > 0, got {count}")
+        self.events += int(count)
+        if self._last_time is None:
+            self._last_time = now
+            return self._rate
+        gap = now - self._last_time
+        if gap < 0:
+            raise ValueError(f"time went backwards: {now} < {self._last_time}")
+        self._last_time = now
+        if gap == 0.0:
+            # Simultaneous arrivals: fold into the next gapped update by
+            # treating them as an instantaneous burst (rate unchanged now).
+            return self._rate
+        instantaneous = count / gap
+        # Gap-aware smoothing factor: alpha = 1 - exp(-gap/tau), but the
+        # linearized form gap/(tau+gap) avoids exp() per event and has the
+        # same fixed point.
+        alpha = gap / (self.tau + gap)
+        self._rate += alpha * (instantaneous - self._rate)
+        return self._rate
+
+    @property
+    def rate(self) -> float:
+        """Current events-per-second estimate."""
+        return self._rate
+
+    def decayed_rate(self, now: float) -> float:
+        """Estimate decayed for silence since the last event.
+
+        A plain EWMA freezes when events stop; this read-side decay makes
+        the monitor's "arrival rate" drop toward zero during a stall.
+        """
+        if self._last_time is None:
+            return 0.0
+        silence = max(0.0, now - self._last_time)
+        return self._rate * self.tau / (self.tau + silence)
+
+
+class WindowedRateEstimator:
+    """Exact events-per-second over a sliding time window."""
+
+    def __init__(self, window: float = 10.0) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be > 0, got {window}")
+        self.window = float(window)
+        self._times: Deque[float] = deque()
+
+    def observe(self, now: float) -> None:
+        """Record one event at time ``now``."""
+        if self._times and now < self._times[-1]:
+            raise ValueError(f"time went backwards: {now} < {self._times[-1]}")
+        self._times.append(now)
+        self._evict(now)
+
+    def rate(self, now: float) -> float:
+        """Events per second over the trailing window at time ``now``."""
+        self._evict(now)
+        return len(self._times) / self.window
+
+    def _evict(self, now: float) -> None:
+        cutoff = now - self.window
+        while self._times and self._times[0] <= cutoff:
+            self._times.popleft()

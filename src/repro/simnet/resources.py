@@ -1,0 +1,325 @@
+"""Shared-resource primitives for the simulation kernel.
+
+Three primitives cover everything the middleware needs:
+
+* :class:`CapacityResource` — a counted resource (e.g. CPU cores) that
+  processes acquire and release; waiters queue FIFO.
+* :class:`Store` — an unbounded-or-bounded buffer of Python objects with
+  blocking ``put``/``get`` events.
+* :class:`BoundedQueue` — a :class:`Store` specialization used as a stage's
+  input buffer.  It is the *queue of the server* in the paper's queuing
+  model (Section 4.1): it tracks current length ``d``, a sliding window of
+  recent lengths (for the recent average ``d̄``), and occupancy statistics,
+  which the self-adaptation algorithm consumes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.simnet.engine import Environment, Event
+
+__all__ = [
+    "AcquireRequest",
+    "BoundedQueue",
+    "CapacityResource",
+    "GetRequest",
+    "PutRequest",
+    "QueueFullError",
+    "Store",
+]
+
+
+class QueueFullError(Exception):
+    """Raised by non-blocking puts into a full bounded queue."""
+
+
+class AcquireRequest(Event):
+    """Pending acquisition of one unit of a :class:`CapacityResource`.
+
+    Usable as a context manager inside a process::
+
+        req = cpu.acquire()
+        yield req
+        try:
+            yield env.timeout(work)
+        finally:
+            cpu.release(req)
+    """
+
+    def __init__(self, resource: "CapacityResource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+
+
+class CapacityResource:
+    """A resource with ``capacity`` interchangeable units and FIFO waiters.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    capacity:
+        Number of units (must be >= 1).
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[AcquireRequest] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Units currently held."""
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        """Units currently free."""
+        return self.capacity - self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of pending acquire requests."""
+        return len(self._waiters)
+
+    def acquire(self) -> AcquireRequest:
+        """Request one unit; the returned event fires when granted."""
+        request = AcquireRequest(self)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            request.succeed(request)
+        else:
+            self._waiters.append(request)
+        return request
+
+    def release(self, request: AcquireRequest) -> None:
+        """Return one unit previously granted to ``request``.
+
+        If the request is still waiting (e.g. the holder was interrupted
+        before its grant), it is cancelled instead.
+        """
+        if not request.triggered:
+            try:
+                self._waiters.remove(request)
+            except ValueError:
+                raise ValueError("release() of unknown request") from None
+            return
+        if self._in_use <= 0:
+            raise ValueError("release() without matching acquire")
+        self._in_use -= 1
+        while self._waiters and self._in_use < self.capacity:
+            waiter = self._waiters.popleft()
+            self._in_use += 1
+            waiter.succeed(waiter)
+
+
+class PutRequest(Event):
+    """Pending insertion of ``item`` into a :class:`Store`."""
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+
+
+class GetRequest(Event):
+    """Pending removal of an item from a :class:`Store`."""
+
+    def __init__(self, store: "Store") -> None:
+        super().__init__(store.env)
+
+
+class Store:
+    """A FIFO buffer of Python objects with blocking put/get events.
+
+    ``capacity`` may be ``None`` for an unbounded store.  Puts block while
+    the store is full; gets block while it is empty.  Both sides are served
+    FIFO, so item ordering is deterministic.
+    """
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._putters: Deque[PutRequest] = deque()
+        self._getters: Deque[GetRequest] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    # -- blocking interface ------------------------------------------------
+
+    def put(self, item: Any) -> PutRequest:
+        """Insert ``item``; the returned event fires once it is stored."""
+        request = PutRequest(self, item)
+        if not self.is_full:
+            self._insert(item)
+            request.succeed()
+        else:
+            self._putters.append(request)
+        return request
+
+    def get(self) -> GetRequest:
+        """Remove the oldest item; the event fires with the item as value."""
+        request = GetRequest(self)
+        self._serve_getter(request)
+        return request
+
+    # -- non-blocking interface ---------------------------------------------
+
+    def try_put(self, item: Any) -> None:
+        """Insert ``item`` immediately or raise :class:`QueueFullError`."""
+        if self.is_full and not self._getters:
+            raise QueueFullError(f"store at capacity {self.capacity}")
+        self._insert(item)
+        self._drain_getters()
+
+    def force_put(self, item: Any) -> None:
+        """Insert ``item`` regardless of capacity.
+
+        Used for in-flight network deliveries: a message already
+        transmitted cannot be un-sent, so the receiving queue absorbs it
+        even when above capacity.  Load estimators clamp lengths to C, so
+        the overflow only saturates (never corrupts) the load signals.
+        """
+        self._insert(item)
+
+    def try_get(self) -> Any:
+        """Remove and return the oldest item or raise ``IndexError``."""
+        item = self._items.popleft()
+        self._on_length_change()
+        self._admit_putters()
+        return item
+
+    # -- internals -----------------------------------------------------------
+
+    def _insert(self, item: Any) -> None:
+        self._items.append(item)
+        self._on_length_change()
+        self._drain_getters()
+
+    def _serve_getter(self, request: GetRequest) -> None:
+        if self._items:
+            item = self._items.popleft()
+            self._on_length_change()
+            request.succeed(item)
+            self._admit_putters()
+        else:
+            self._getters.append(request)
+
+    def _drain_getters(self) -> None:
+        while self._getters and self._items:
+            getter = self._getters.popleft()
+            item = self._items.popleft()
+            self._on_length_change()
+            getter.succeed(item)
+
+    def _admit_putters(self) -> None:
+        while self._putters and not self.is_full:
+            putter = self._putters.popleft()
+            self._items.append(putter.item)
+            self._on_length_change()
+            putter.succeed()
+            self._drain_getters()
+
+    def _on_length_change(self) -> None:
+        """Hook for subclasses tracking occupancy; default does nothing."""
+
+
+class BoundedQueue(Store):
+    """A stage input buffer instrumented for the adaptation algorithm.
+
+    This is the queue in the paper's queuing-network model: the adaptation
+    algorithm samples its current length ``d``, the recent average ``d̄``
+    over a sliding window, and classifies instants as over-/under-loaded.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    capacity:
+        The queue capacity ``C`` from the paper (required — the adaptation
+        formulas normalize by it).
+    window:
+        Number of recent length samples retained for the recent average
+        ``d̄`` (defaults to 64).
+    """
+
+    def __init__(self, env: Environment, capacity: int, window: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError(f"queue capacity C must be >= 1, got {capacity}")
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        super().__init__(env, capacity=capacity)
+        self._recent: Deque[int] = deque(maxlen=window)
+        self._recent.append(0)
+        # Time-weighted occupancy statistics.
+        self._t0 = env.now
+        self._last_change = env.now
+        self._area = 0.0
+        self._peak = 0
+        self.total_enqueued = 0
+        self.total_dequeued = 0
+
+    # -- adaptation-facing accessors ------------------------------------------
+
+    @property
+    def current_length(self) -> int:
+        """``d`` — instantaneous queue length."""
+        return len(self._items)
+
+    @property
+    def recent_average(self) -> float:
+        """``d̄`` — mean of the lengths sampled over the recent window."""
+        return sum(self._recent) / len(self._recent)
+
+    @property
+    def peak_length(self) -> int:
+        """Largest length ever observed."""
+        return self._peak
+
+    def time_average(self, now: Optional[float] = None) -> float:
+        """Time-weighted average occupancy since creation."""
+        now = self.env.now if now is None else now
+        elapsed = now - self._start_time()
+        if elapsed <= 0:
+            return float(len(self._items))
+        area = self._area + len(self._items) * (now - self._last_change)
+        return area / elapsed
+
+    def utilization(self) -> float:
+        """Time-averaged occupancy as a fraction of capacity."""
+        return self.time_average() / float(self.capacity)
+
+    def _start_time(self) -> float:
+        return self._t0
+
+    # -- internals -----------------------------------------------------------
+
+    def _on_length_change(self) -> None:
+        now = self.env.now
+        prev = self._recent[-1] if self._recent else 0
+        length = len(self._items)
+        self._area += prev * (now - self._last_change)
+        self._last_change = now
+        self._recent.append(length)
+        if length > self._peak:
+            self._peak = length
+        if length > prev:
+            self.total_enqueued += length - prev
+        elif length < prev:
+            self.total_dequeued += prev - length

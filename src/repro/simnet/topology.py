@@ -1,0 +1,191 @@
+"""Network topology layer binding hosts and links into a grid fabric.
+
+:class:`Network` wraps a :mod:`networkx` graph whose nodes are
+:class:`~repro.simnet.hosts.Host` names and whose edges carry
+:class:`~repro.simnet.links.Link` instances.  It supports the topologies
+used throughout the evaluation (stars of stream sources around a central
+analysis node) plus arbitrary shapes for the motivating applications, and
+provides shortest-path routing so multi-hop deployments work.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.simnet.engine import Environment
+from repro.simnet.hosts import Host
+from repro.simnet.links import Link
+
+__all__ = ["Network", "TopologyError"]
+
+
+class TopologyError(Exception):
+    """Raised for unknown hosts, missing links, or unroutable paths."""
+
+
+class Network:
+    """A collection of hosts joined by directed, bandwidth-limited links.
+
+    Links are directed (an edge u->v models the u-to-v direction); helper
+    constructors add both directions with identical parameters, matching
+    the symmetric links of the paper's testbed.
+    """
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._graph = nx.DiGraph()
+        self._hosts: Dict[str, Host] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add_host(self, host: Host) -> Host:
+        """Register ``host``; names must be unique."""
+        if host.name in self._hosts:
+            raise TopologyError(f"duplicate host name {host.name!r}")
+        self._hosts[host.name] = host
+        self._graph.add_node(host.name)
+        return host
+
+    def create_host(
+        self,
+        name: str,
+        cores: int = 1,
+        speed_factor: float = 1.0,
+        memory_mb: float = 1024.0,
+    ) -> Host:
+        """Convenience: build and register a :class:`Host`."""
+        return self.add_host(
+            Host(self.env, name, cores=cores, speed_factor=speed_factor, memory_mb=memory_mb)
+        )
+
+    def connect(
+        self,
+        src: str,
+        dst: str,
+        bandwidth: float,
+        latency: float = 0.0,
+        bidirectional: bool = True,
+    ) -> Link:
+        """Create a link from ``src`` to ``dst`` (and back if bidirectional).
+
+        Returns the forward-direction link.
+        """
+        self._require_host(src)
+        self._require_host(dst)
+        if src == dst:
+            raise TopologyError(f"self-link on {src!r}")
+        link = Link(self.env, bandwidth, latency, name=f"{src}->{dst}")
+        self._graph.add_edge(src, dst, link=link, weight=1.0 / bandwidth)
+        if bidirectional:
+            back = Link(self.env, bandwidth, latency, name=f"{dst}->{src}")
+            self._graph.add_edge(dst, src, link=back, weight=1.0 / bandwidth)
+        return link
+
+    @classmethod
+    def star(
+        cls,
+        env: Environment,
+        center: str,
+        leaves: Iterable[str],
+        bandwidth: float,
+        latency: float = 0.0,
+        center_cores: int = 4,
+        leaf_cores: int = 1,
+    ) -> "Network":
+        """Build the evaluation topology: sources around a central node."""
+        net = cls(env)
+        net.create_host(center, cores=center_cores)
+        for leaf in leaves:
+            net.create_host(leaf, cores=leaf_cores)
+            net.connect(leaf, center, bandwidth, latency)
+        return net
+
+    @classmethod
+    def chain(
+        cls,
+        env: Environment,
+        names: List[str],
+        bandwidth: float,
+        latency: float = 0.0,
+    ) -> "Network":
+        """Build a linear pipeline topology (source -> ... -> sink)."""
+        if len(names) < 2:
+            raise TopologyError("chain needs at least two hosts")
+        net = cls(env)
+        for name in names:
+            net.create_host(name)
+        for a, b in zip(names, names[1:]):
+            net.connect(a, b, bandwidth, latency)
+        return net
+
+    # -- lookup ---------------------------------------------------------------
+
+    @property
+    def hosts(self) -> Dict[str, Host]:
+        """Name -> host mapping (read-only view by convention)."""
+        return self._hosts
+
+    def host(self, name: str) -> Host:
+        """Return the host called ``name``."""
+        return self._require_host(name)
+
+    def link(self, src: str, dst: str) -> Link:
+        """Return the direct link ``src -> dst``."""
+        self._require_host(src)
+        self._require_host(dst)
+        data = self._graph.get_edge_data(src, dst)
+        if data is None:
+            raise TopologyError(f"no link {src!r} -> {dst!r}")
+        return data["link"]
+
+    def has_link(self, src: str, dst: str) -> bool:
+        return self._graph.has_edge(src, dst)
+
+    # -- routing ---------------------------------------------------------------
+
+    def route(self, src: str, dst: str) -> List[Link]:
+        """Links along the max-bandwidth (min sum of 1/bw) path src -> dst."""
+        self._require_host(src)
+        self._require_host(dst)
+        if src == dst:
+            return []
+        try:
+            path = nx.shortest_path(self._graph, src, dst, weight="weight")
+        except nx.NetworkXNoPath:
+            raise TopologyError(f"no route {src!r} -> {dst!r}") from None
+        return [self._graph.edges[a, b]["link"] for a, b in zip(path, path[1:])]
+
+    def path_bandwidth(self, src: str, dst: str) -> float:
+        """Bottleneck bandwidth along the routed path (inf for src==dst)."""
+        links = self.route(src, dst)
+        if not links:
+            return math.inf
+        return min(link.bandwidth for link in links)
+
+    def path_latency(self, src: str, dst: str) -> float:
+        """Total propagation latency along the routed path."""
+        return sum(link.latency for link in self.route(src, dst))
+
+    def neighbors(self, name: str) -> List[str]:
+        """Successor host names of ``name``."""
+        self._require_host(name)
+        return list(self._graph.successors(name))
+
+    def edges(self) -> List[Tuple[str, str, Link]]:
+        """All (src, dst, link) triples."""
+        return [(u, v, d["link"]) for u, v, d in self._graph.edges(data=True)]
+
+    def _require_host(self, name: str) -> Host:
+        host = self._hosts.get(name)
+        if host is None:
+            raise TopologyError(f"unknown host {name!r}")
+        return host
+
+    def __repr__(self) -> str:
+        return (
+            f"Network(hosts={len(self._hosts)}, "
+            f"links={self._graph.number_of_edges()})"
+        )

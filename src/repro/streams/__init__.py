@@ -1,0 +1,64 @@
+"""Stream sources, samplers, and summary structures (sketches).
+
+This package provides the data-stream substrate the paper's applications
+are built from:
+
+* :mod:`repro.streams.sources` — deterministic synthetic stream generators
+  (skewed integer streams for count-samps, mesh-value streams for
+  comp-steer, connection-log streams for the intrusion-detection
+  motivating application).
+* :mod:`repro.streams.sampling` — sampling operators, including the
+  adjustable-rate sampler that comp-steer exposes as its adjustment
+  parameter.
+* :mod:`repro.streams.sketches` — bounded-memory frequency summaries:
+  Counting Samples (Gibbons–Matias, the paper's algorithm), plus
+  Misra–Gries, Space-Saving, and Lossy Counting as alternative algorithms
+  (the paper notes self-adaptation may also switch "the choice of the
+  algorithm to be used").
+"""
+
+from repro.streams.arrivals import (
+    ArrivalProcess,
+    ConstantArrivals,
+    OnOffArrivals,
+    PoissonArrivals,
+)
+from repro.streams.sampling import BernoulliSampler, ReservoirSampler, SystematicSampler
+from repro.streams.sketches import (
+    CountingSamples,
+    ExactCounter,
+    FrequencySketch,
+    LossyCounting,
+    MisraGries,
+    SpaceSaving,
+    make_sketch,
+)
+from repro.streams.sources import (
+    ConnectionLogStream,
+    IntegerStream,
+    MeshStream,
+    interleave,
+    partition_round_robin,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "BernoulliSampler",
+    "ConstantArrivals",
+    "OnOffArrivals",
+    "PoissonArrivals",
+    "ConnectionLogStream",
+    "CountingSamples",
+    "ExactCounter",
+    "FrequencySketch",
+    "IntegerStream",
+    "LossyCounting",
+    "MeshStream",
+    "MisraGries",
+    "ReservoirSampler",
+    "SpaceSaving",
+    "SystematicSampler",
+    "interleave",
+    "make_sketch",
+    "partition_round_robin",
+]

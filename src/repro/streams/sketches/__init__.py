@@ -1,0 +1,63 @@
+"""Bounded-memory frequency summaries ("summary structures").
+
+The paper's count-samps application maintains, at each stream source, a
+summary structure whose *size* is the adjustment parameter: "the number of
+frequently occurring values at each sub-stream is the adjustment parameter"
+(Section 5.1).  The algorithm the authors implemented is the approximate
+counting-samples method of Gibbons and Matias [18].
+
+This subpackage provides that algorithm (:class:`CountingSamples`) plus
+three classic alternatives with the same interface — the middleware's
+adaptation can also change "the choice of the algorithm to be used"
+(Section 1), and the ablation benches compare them:
+
+* :class:`MisraGries` — deterministic frequent-items with k counters.
+* :class:`SpaceSaving` — Metwally et al.'s stream summary.
+* :class:`LossyCounting` — Manku & Motwani's epsilon-deficient counts.
+* :class:`ExactCounter` — unbounded ground truth, used for accuracy
+  metrics and for the "communicate everything" centralized baseline.
+"""
+
+from repro.streams.sketches.base import FrequencySketch, SketchError
+from repro.streams.sketches.count_min import CountMin
+from repro.streams.sketches.counting_samples import CountingSamples
+from repro.streams.sketches.exact import ExactCounter
+from repro.streams.sketches.lossy_counting import LossyCounting
+from repro.streams.sketches.misra_gries import MisraGries
+from repro.streams.sketches.space_saving import SpaceSaving
+
+__all__ = [
+    "CountMin",
+    "CountingSamples",
+    "ExactCounter",
+    "FrequencySketch",
+    "LossyCounting",
+    "MisraGries",
+    "SketchError",
+    "SpaceSaving",
+    "make_sketch",
+]
+
+_SKETCHES = {
+    "count-min": CountMin,
+    "counting-samples": CountingSamples,
+    "misra-gries": MisraGries,
+    "space-saving": SpaceSaving,
+    "lossy-counting": LossyCounting,
+    "exact": ExactCounter,
+}
+
+
+def make_sketch(kind: str, capacity: int, **kwargs) -> FrequencySketch:
+    """Factory keyed by sketch name (used by configuration properties).
+
+    ``kind`` is one of ``counting-samples``, ``misra-gries``,
+    ``space-saving``, ``lossy-counting``, ``exact``.
+    """
+    try:
+        cls = _SKETCHES[kind]
+    except KeyError:
+        raise SketchError(
+            f"unknown sketch {kind!r}; expected one of {sorted(_SKETCHES)}"
+        ) from None
+    return cls(capacity, **kwargs)

@@ -1,0 +1,112 @@
+"""Common interface for frequency sketches."""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Hashable, Iterable, List, Tuple
+
+__all__ = ["FrequencySketch", "SketchError"]
+
+
+class SketchError(Exception):
+    """Raised for sketch misuse (bad capacity, incompatible merges...)."""
+
+
+class FrequencySketch(abc.ABC):
+    """A bounded-memory summary answering approximate frequency queries.
+
+    Every implementation supports:
+
+    * :meth:`update` / :meth:`extend` — feed stream items;
+    * :meth:`estimate` — approximate count of one value;
+    * :meth:`top_k` — the k (approximately) most frequent (value, count)
+      pairs, count-descending with value ascending as the tie-break;
+    * :meth:`merge` — combine a summary received from another sub-stream
+      (the distributed count-samps pattern: per-source summaries merged at
+      the central stage);
+    * :attr:`footprint` — number of counters retained, which is what the
+      adjustment parameter controls;
+    * :meth:`resize` — change capacity online (adaptation may grow or
+      shrink the summary between iterations).
+
+    ``items_seen`` counts every item offered, independent of retention.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise SketchError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.items_seen = 0
+
+    # -- updates ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def update(self, value: Hashable, count: int = 1) -> None:
+        """Feed one item (or a pre-aggregated (value, count) pair)."""
+
+    def extend(self, values: Iterable[Hashable]) -> None:
+        """Feed many items."""
+        for value in values:
+            self.update(value)
+
+    # -- queries ---------------------------------------------------------------
+
+    @abc.abstractmethod
+    def estimate(self, value: Hashable) -> float:
+        """Approximate count of ``value`` (0 if not retained)."""
+
+    @abc.abstractmethod
+    def entries(self) -> List[Tuple[Any, float]]:
+        """All retained (value, estimated count) pairs, unordered."""
+
+    def top_k(self, k: int) -> List[Tuple[Any, float]]:
+        """The k most frequent retained values.
+
+        Deterministic ordering: count descending, then value ascending
+        (values are compared via ``repr`` if unorderable).
+        """
+        if k < 0:
+            raise SketchError(f"k must be >= 0, got {k}")
+        items = self.entries()
+        try:
+            items.sort(key=lambda vc: (-vc[1], vc[0]))
+        except TypeError:
+            items.sort(key=lambda vc: (-vc[1], repr(vc[0])))
+        return items[:k]
+
+    @property
+    def footprint(self) -> int:
+        """Counters currently retained."""
+        return len(self.entries())
+
+    # -- composition ----------------------------------------------------------
+
+    def merge(self, other: "FrequencySketch") -> None:
+        """Fold another summary into this one.
+
+        Default implementation replays the other sketch's retained entries
+        as weighted updates, which is correct (within the sketches' own
+        approximation guarantees) for all counter-based summaries here.
+        """
+        if not isinstance(other, FrequencySketch):
+            raise SketchError(f"cannot merge {type(other).__name__}")
+        for value, count in other.entries():
+            whole = int(round(count))
+            if whole > 0:
+                self.update(value, whole)
+        self.items_seen += other.items_seen - int(
+            round(sum(c for _, c in other.entries()))
+        )
+
+    @abc.abstractmethod
+    def resize(self, capacity: int) -> None:
+        """Change the capacity in place, shedding entries if shrinking."""
+
+    def __len__(self) -> int:
+        return self.footprint
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(capacity={self.capacity}, "
+            f"retained={self.footprint}, seen={self.items_seen})"
+        )

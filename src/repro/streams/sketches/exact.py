@@ -1,0 +1,47 @@
+"""Exact (unbounded) counter.
+
+The ground truth against which sketch accuracy is measured, and the data
+structure of the *centralized* baseline (Figure 5's first row): when all
+raw data is shipped to the central node, that node can afford exact
+counting only if memory allows — the paper's central stage still uses the
+approximate one-pass algorithm, which is why even the centralized version
+scores 0.99 rather than 1.0.  Tests use this class for truth; the
+experiment harness uses :class:`~repro.streams.sketches.CountingSamples`
+with a large capacity for the centralized version, mirroring the paper.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Hashable, List, Tuple
+
+from repro.streams.sketches.base import FrequencySketch, SketchError
+
+__all__ = ["ExactCounter"]
+
+
+class ExactCounter(FrequencySketch):
+    """Unbounded exact counting with the sketch interface.
+
+    ``capacity`` is accepted for interface compatibility but never
+    enforced — :attr:`footprint` may exceed it.
+    """
+
+    def __init__(self, capacity: int = 1) -> None:
+        super().__init__(capacity)
+        self._counts: Counter = Counter()
+
+    def update(self, value: Hashable, count: int = 1) -> None:
+        if count < 1:
+            raise SketchError(f"count must be >= 1, got {count}")
+        self.items_seen += count
+        self._counts[value] += count
+
+    def estimate(self, value: Hashable) -> float:
+        return float(self._counts.get(value, 0))
+
+    def entries(self) -> List[Tuple[Any, float]]:
+        return [(v, float(c)) for v, c in self._counts.items()]
+
+    def resize(self, capacity: int) -> None:
+        self.capacity = int(capacity)

@@ -1,0 +1,76 @@
+"""Misra–Gries frequent-items summary (1982).
+
+Deterministic k-counter summary: any value with true frequency above
+``n / (capacity + 1)`` is guaranteed to be retained, and every estimate
+under-counts by at most ``n / (capacity + 1)``.  Included as the
+deterministic baseline algorithm for the sketch-choice ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Tuple
+
+from repro.streams.sketches.base import FrequencySketch, SketchError
+
+__all__ = ["MisraGries"]
+
+
+class MisraGries(FrequencySketch):
+    """Classic Misra–Gries with ``capacity`` counters.
+
+    The summary tracks a lower bound on each retained value's count; the
+    cumulative decrement total gives the error bound
+    (:attr:`max_undercount`).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._counts: Dict[Hashable, int] = {}
+        #: Total amount decremented from all counters so far; every
+        #: estimate undercounts the true frequency by at most this.
+        self.max_undercount = 0
+
+    def update(self, value: Hashable, count: int = 1) -> None:
+        if count < 1:
+            raise SketchError(f"count must be >= 1, got {count}")
+        self.items_seen += count
+        current = self._counts.get(value)
+        if current is not None:
+            self._counts[value] = current + count
+            return
+        if len(self._counts) < self.capacity:
+            self._counts[value] = count
+            return
+        # Decrement-all step, batched: remove the largest uniform amount
+        # possible, bounded by the incoming count and the current minimum.
+        decrement = min(count, min(self._counts.values()))
+        self.max_undercount += decrement
+        leftovers = count - decrement
+        survivors = {}
+        for v, c in self._counts.items():
+            if c > decrement:
+                survivors[v] = c - decrement
+        self._counts = survivors
+        if leftovers > 0:
+            # Re-offer the remainder now that space may exist.
+            self.update(value, leftovers)
+            self.items_seen -= leftovers  # update() above double-counted
+
+    def estimate(self, value: Hashable) -> float:
+        return float(self._counts.get(value, 0))
+
+    def entries(self) -> List[Tuple[Any, float]]:
+        return [(v, float(c)) for v, c in self._counts.items()]
+
+    def resize(self, capacity: int) -> None:
+        if capacity < 1:
+            raise SketchError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        while len(self._counts) > self.capacity:
+            decrement = min(self._counts.values())
+            self.max_undercount += decrement
+            self._counts = {
+                v: c - decrement for v, c in self._counts.items() if c > decrement
+            }
+            if not self._counts:
+                break

@@ -1,0 +1,80 @@
+"""Wire encoding for summary messages.
+
+The evaluation's byte accounting (summary size = pairs x 12 bytes) matches
+an actual encoding: 8-byte signed value + 4-byte unsigned count per pair,
+plus a small header.  This module makes that concrete — stages can encode
+their summaries and charge the link for the *encoded* length instead of a
+hand-declared estimate, and tests can round-trip the bytes.
+
+Only integer-valued summaries (the count-samps family) are encodable; the
+general dict payloads of other applications keep declared sizes.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "HEADER_BYTES",
+    "PAIR_BYTES",
+    "decode_summary",
+    "encode_summary",
+    "summary_wire_size",
+]
+
+#: Struct layout per pair: value int64, count uint32.
+_PAIR_STRUCT = struct.Struct("<qI")
+PAIR_BYTES = _PAIR_STRUCT.size  # 12
+#: Header: magic byte, version byte, pair count uint32, items_seen uint64.
+_HEADER_STRUCT = struct.Struct("<BBIQ")
+HEADER_BYTES = _HEADER_STRUCT.size
+
+_MAGIC = 0xA7
+_VERSION = 1
+_MAX_COUNT = (1 << 32) - 1
+
+
+class WireError(Exception):
+    """Raised for unencodable summaries or corrupt wire data."""
+
+
+def encode_summary(pairs: Sequence[Tuple[int, int]], items_seen: int = 0) -> bytes:
+    """Encode integer (value, count) pairs into the wire format."""
+    if items_seen < 0:
+        raise WireError(f"items_seen must be >= 0, got {items_seen}")
+    header = _HEADER_STRUCT.pack(_MAGIC, _VERSION, len(pairs), items_seen)
+    body = bytearray()
+    for value, count in pairs:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise WireError(f"values must be ints, got {value!r}")
+        if not 0 <= count <= _MAX_COUNT:
+            raise WireError(f"count {count!r} outside uint32 range")
+        body += _PAIR_STRUCT.pack(value, int(count))
+    return header + bytes(body)
+
+
+def decode_summary(data: bytes) -> Tuple[List[Tuple[int, int]], int]:
+    """Inverse of :func:`encode_summary`: returns (pairs, items_seen)."""
+    if len(data) < HEADER_BYTES:
+        raise WireError(f"truncated header: {len(data)} bytes")
+    magic, version, n_pairs, items_seen = _HEADER_STRUCT.unpack_from(data, 0)
+    if magic != _MAGIC:
+        raise WireError(f"bad magic byte {magic:#x}")
+    if version != _VERSION:
+        raise WireError(f"unsupported wire version {version}")
+    expected = HEADER_BYTES + n_pairs * PAIR_BYTES
+    if len(data) != expected:
+        raise WireError(f"length mismatch: have {len(data)}, expected {expected}")
+    pairs = [
+        _PAIR_STRUCT.unpack_from(data, HEADER_BYTES + i * PAIR_BYTES)
+        for i in range(n_pairs)
+    ]
+    return [(int(v), int(c)) for v, c in pairs], items_seen
+
+
+def summary_wire_size(n_pairs: int) -> float:
+    """Bytes a summary of ``n_pairs`` occupies on the wire."""
+    if n_pairs < 0:
+        raise WireError(f"n_pairs must be >= 0, got {n_pairs}")
+    return float(HEADER_BYTES + n_pairs * PAIR_BYTES)

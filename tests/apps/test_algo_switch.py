@@ -1,0 +1,174 @@
+"""Unit and integration tests for algorithm-choice adaptation."""
+
+import pytest
+
+from repro.apps.algo_switch import (
+    AlgorithmLadder,
+    AlgorithmRung,
+    AlgorithmSwitchingFilterStage,
+)
+from repro.core.api import RecordingContext
+from repro.streams.sketches import CountingSamples, MisraGries
+
+
+class TestAlgorithmRung:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AlgorithmRung("misra-gries", 0.0, 1e-5, 10)
+        with pytest.raises(ValueError):
+            AlgorithmRung("misra-gries", 1.0, -1e-5, 10)
+        with pytest.raises(ValueError):
+            AlgorithmRung("misra-gries", 1.0, 1e-5, 0)
+
+
+class TestAlgorithmLadder:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AlgorithmLadder([], base_capacity=10)
+        with pytest.raises(ValueError):
+            AlgorithmLadder([AlgorithmRung("misra-gries", 1.0, 0, 1)], base_capacity=0)
+
+    def test_default_ladder_ordered_by_cost(self):
+        ladder = AlgorithmLadder.default(100)
+        costs = [r.cost_per_item for r in ladder.rungs]
+        assert costs == sorted(costs)
+
+    def test_rung_clamping(self):
+        ladder = AlgorithmLadder.default(100)
+        assert ladder.rung(-5) is ladder.rungs[0]
+        assert ladder.rung(100) is ladder.rungs[-1]
+
+    def test_build_respects_capacity_factor(self):
+        ladder = AlgorithmLadder.default(100)
+        coarse = ladder.build(0)
+        rich = ladder.build(len(ladder) - 1)
+        assert isinstance(coarse, MisraGries)
+        assert isinstance(rich, CountingSamples)
+        assert coarse.capacity == 25
+        assert rich.capacity == 200
+
+
+class TestAlgorithmSwitchingFilterStage:
+    def _make(self, **props):
+        defaults = {"base-capacity": "50", "batch": "100", "seed": "1"}
+        defaults.update(props)
+        ctx = RecordingContext(stage_name="algo-0", properties=defaults)
+        stage = AlgorithmSwitchingFilterStage()
+        stage.setup(ctx)
+        return stage, ctx
+
+    def test_declares_level_parameter(self):
+        stage, ctx = self._make()
+        param = ctx.parameters["algorithm-level"]
+        assert param.minimum == 0.0
+        assert param.maximum == 3.0
+        assert param.increment == 1.0
+        assert param.direction == -1
+
+    def test_initial_level_default_is_middle(self):
+        stage, ctx = self._make()
+        assert stage.result()["final_level"] == 1
+
+    def test_initial_level_from_properties_clamped(self):
+        stage, _ = self._make(**{"initial-level": "99"})
+        assert stage.result()["final_level"] == 3
+
+    def test_summaries_emitted_per_batch(self):
+        stage, ctx = self._make()
+        for value in range(250):
+            stage.on_item(value % 9, ctx)
+        assert len(ctx.emitted) == 2
+        summary = ctx.emitted[0][0]
+        assert summary["source"] == "algo-0"
+        assert summary["algorithm"] == "misra-gries"
+
+    def test_switch_follows_suggested_level(self):
+        stage, ctx = self._make()
+        for value in range(100):
+            stage.on_item(value % 9, ctx)
+        assert stage.switches == 0
+        ctx.parameters["algorithm-level"].set_value(3.0, 1.0)
+        for value in range(100):
+            stage.on_item(value % 9, ctx)
+        result = stage.result()
+        assert result["final_level"] == 3
+        assert result["algorithm"] == "counting-samples"
+        assert result["switches"] == 1
+
+    def test_switch_preserves_counts(self):
+        stage, ctx = self._make()
+        for _ in range(99):
+            stage.on_item("hot", ctx)
+        ctx.parameters["algorithm-level"].set_value(3.0, 1.0)
+        stage.on_item("hot", ctx)  # batch boundary: switch happens here
+        stage.flush(ctx)
+        final_summary = ctx.emitted[-1][0]
+        counts = dict(final_summary["pairs"])
+        assert counts["hot"] >= 99  # history carried across the switch
+
+    def test_cost_model_tracks_level(self):
+        stage, ctx = self._make()
+        cheap = stage.cost_model.per_item
+        ctx.parameters["algorithm-level"].set_value(3.0, 1.0)
+        for value in range(100):
+            stage.on_item(value, ctx)
+        assert stage.cost_model.per_item > cheap
+
+    def test_custom_ladder_factory(self):
+        ladder = AlgorithmLadder(
+            [AlgorithmRung("exact", 1.0, 0.0, 5)], base_capacity=5
+        )
+        stage = AlgorithmSwitchingFilterStage(ladder_factory=lambda cap, s: ladder)
+        ctx = RecordingContext(properties={"initial-level": "0"})
+        stage.setup(ctx)
+        assert ctx.parameters["algorithm-level"].maximum == 0.0
+
+
+class TestEndToEndAlgorithmAdaptation:
+    def _run(self, bandwidth):
+        from repro.core.adaptation.policy import AdaptationPolicy
+        from repro.core.runtime_sim import SimulatedRuntime, SourceBinding
+        from repro.experiments.common import build_star_fabric
+        from repro.grid.config import AppConfig, ParameterConfig, StageConfig, StreamConfig
+        from repro.grid.resources import ResourceRequirement
+        from repro.streams.sources import IntegerStream
+
+        fabric = build_star_fabric(1, bandwidth=bandwidth)
+        config = AppConfig(
+            name="algo-app",
+            stages=[
+                StageConfig(
+                    "algo-0",
+                    "repo://count-samps/algo-filter",
+                    requirement=ResourceRequirement(placement_hint="near:source-0"),
+                    properties={"base-capacity": "50", "batch": "200"},
+                ),
+                StageConfig("join", "repo://count-samps/join"),
+            ],
+            streams=[StreamConfig("s0", "algo-0", "join", item_size=12.0)],
+        )
+        deployment = fabric.launcher.launch(config)
+        # Fast adaptation cadence: the workload is only ~10 simulated
+        # seconds long, so sample every 0.1 s instead of the default 0.5.
+        runtime = SimulatedRuntime(
+            fabric.env, fabric.network, deployment,
+            policy=AdaptationPolicy(sample_interval=0.1),
+        )
+        stream = IntegerStream(20_000, universe=500, seed=5)
+        runtime.bind_source(
+            SourceBinding("s", "algo-0", list(stream), rate=2_000.0, item_size=8.0)
+        )
+        return runtime.run()
+
+    def test_fat_link_climbs_the_ladder(self):
+        result = self._run(bandwidth=1_000_000.0)
+        assert result.final_value("algo-0")["final_level"] >= 2
+
+    def test_thin_link_descends_the_ladder(self):
+        result = self._run(bandwidth=200.0)
+        assert result.final_value("algo-0")["final_level"] <= 1
+
+    def test_join_still_gets_answers(self):
+        result = self._run(bandwidth=1_000_000.0)
+        top = result.final_value("join")
+        assert len(top) == 10

@@ -1,0 +1,119 @@
+"""Unit tests for the comp-steer application stages."""
+
+import pytest
+
+from repro.apps.comp_steer import AnalysisStage, SamplingStage, build_comp_steer_config
+from repro.core.api import RecordingContext
+from repro.streams.sources import MeshStream
+
+
+class TestSamplingStage:
+    def _make(self, rate="0.5"):
+        ctx = RecordingContext(
+            stage_name="sampler",
+            properties={"sampling-rate": rate, "item-bytes": "8"},
+        )
+        stage = SamplingStage()
+        stage.setup(ctx)
+        return stage, ctx
+
+    def test_declares_rate_parameter_like_paper_example(self):
+        stage, ctx = self._make(rate="0.2")
+        param = ctx.parameters["sampling-rate"]
+        assert param.value == 0.2
+        assert (param.minimum, param.maximum) == (0.01, 1.0)
+        assert param.increment == 0.01
+        assert param.direction == -1
+
+    def test_forwards_declared_fraction(self):
+        stage, ctx = self._make(rate="0.25")
+        for value in range(1000):
+            stage.on_item(float(value), ctx)
+        assert len(ctx.emitted) == 250
+
+    def test_follows_suggested_value_changes(self):
+        stage, ctx = self._make(rate="1.0")
+        for value in range(100):
+            stage.on_item(float(value), ctx)
+        assert len(ctx.emitted) == 100
+        ctx.parameters["sampling-rate"].set_value(0.0, 1.0)
+        # min is 0.01, so set_value clamps to 0.01
+        for value in range(100):
+            stage.on_item(float(value), ctx)
+        assert len(ctx.emitted) <= 102
+
+    def test_result_reports_effective_rate(self):
+        stage, ctx = self._make(rate="0.5")
+        for value in range(1000):
+            stage.on_item(float(value), ctx)
+        result = stage.result()
+        assert result["seen"] == 1000
+        assert result["effective_rate"] == pytest.approx(0.5, abs=0.01)
+
+
+class TestAnalysisStage:
+    def _make(self, **props):
+        defaults = {"analysis-ms-per-byte": "10", "feature-threshold": "1.5"}
+        defaults.update(props)
+        ctx = RecordingContext(stage_name="analysis", properties=defaults)
+        stage = AnalysisStage()
+        stage.setup(ctx)
+        return stage, ctx
+
+    def test_cost_model_from_property(self):
+        stage, _ = self._make()
+        assert stage.cost_model.per_byte == pytest.approx(0.01)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            self._make(**{"analysis-ms-per-byte": "-1"})
+
+    def test_running_statistics(self):
+        stage, ctx = self._make()
+        for value in [1.0, 2.0, 3.0]:
+            stage.on_item(value, ctx)
+        result = stage.result()
+        assert result["count"] == 3
+        assert result["mean"] == pytest.approx(2.0)
+        assert result["max"] == 3.0
+
+    def test_feature_detection(self):
+        stage, ctx = self._make()
+        stage.on_item(0.5, ctx)
+        ctx.advance(1.0)
+        stage.on_item(2.5, ctx)
+        detections = stage.result()["detections"]
+        assert len(detections) == 1
+        assert detections[0] == (1.0, 2.5)
+
+    def test_accepts_mesh_points(self):
+        stage, ctx = self._make()
+        mesh = MeshStream(steps=1, mesh_points=4, seed=0)
+        for point in mesh:
+            stage.on_item(point, ctx)
+        assert stage.result()["count"] == 4
+
+    def test_empty_result(self):
+        stage, _ = self._make()
+        result = stage.result()
+        assert result["count"] == 0 and result["mean"] == 0.0
+
+
+class TestConfigBuilder:
+    def test_config_valid(self):
+        cfg = build_comp_steer_config("source-0", initial_rate=0.13,
+                                      analysis_ms_per_byte=20.0)
+        cfg.validate()
+        assert cfg.stage("sampler").parameters[0].init == 0.13
+        assert cfg.stage("analysis").properties["analysis-ms-per-byte"] == "20.0"
+
+    def test_analysis_host_pin(self):
+        cfg = build_comp_steer_config("s", analysis_host="central")
+        assert cfg.stage("analysis").requirement.placement_hint == "central"
+
+    def test_xml_round_trip(self):
+        from repro.grid.config import AppConfig
+
+        cfg = build_comp_steer_config("source-0")
+        restored = AppConfig.from_xml(cfg.to_xml())
+        assert restored.stage("sampler").parameters[0].direction == -1

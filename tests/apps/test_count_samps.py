@@ -1,0 +1,187 @@
+"""Unit tests for the count-samps application stages."""
+
+import pytest
+
+from repro.apps.count_samps import (
+    CentralCountStage,
+    JoinStage,
+    RelayStage,
+    SourceFilterStage,
+    build_centralized_config,
+    build_distributed_config,
+)
+from repro.core.api import RecordingContext
+from repro.streams.sources import IntegerStream
+
+
+class TestRelayStage:
+    def test_forwards_unchanged(self):
+        ctx = RecordingContext()
+        stage = RelayStage()
+        for value in [1, 2, 3]:
+            stage.on_item(value, ctx)
+        assert [p for p, _ in ctx.emitted] == [1, 2, 3]
+        assert all(size == 8.0 for _, size in ctx.emitted)
+
+
+class TestSourceFilterStage:
+    def _make(self, **props):
+        defaults = {
+            "sample-size": "50",
+            "sample-size-min": "10",
+            "sample-size-max": "100",
+            "batch": "100",
+            "seed": "1",
+        }
+        defaults.update(props)
+        ctx = RecordingContext(stage_name="filter-0", properties=defaults)
+        stage = SourceFilterStage()
+        stage.setup(ctx)
+        return stage, ctx
+
+    def test_declares_sample_size_parameter(self):
+        stage, ctx = self._make()
+        param = ctx.parameters["sample-size"]
+        assert param.value == 50.0
+        assert param.direction == -1
+        assert (param.minimum, param.maximum) == (10.0, 100.0)
+
+    def test_emits_summary_every_batch(self):
+        stage, ctx = self._make()
+        for value in range(250):
+            stage.on_item(value % 7, ctx)
+        assert len(ctx.emitted) == 2  # at items 100 and 200
+
+    def test_flush_emits_final_summary(self):
+        stage, ctx = self._make()
+        for value in range(50):
+            stage.on_item(value % 3, ctx)
+        stage.flush(ctx)
+        assert len(ctx.emitted) == 1
+        summary, size = ctx.emitted[0]
+        assert summary["source"] == "filter-0"
+        assert summary["items_seen"] == 50
+        assert size > 0
+
+    def test_summary_respects_suggested_k(self):
+        stage, ctx = self._make()
+        for value in range(99):
+            stage.on_item(value, ctx)
+        ctx.parameters["sample-size"].set_value(10.0, 1.0)
+        stage.flush(ctx)
+        summary, size = ctx.emitted[0]
+        assert len(summary["pairs"]) <= 10
+        from repro.streams.wire import summary_wire_size
+
+        assert size == summary_wire_size(len(summary["pairs"]))
+
+    def test_summary_pairs_sorted_by_count(self):
+        stage, ctx = self._make()
+        stream = [5] * 30 + [7] * 20 + list(range(100, 140))
+        for value in stream:
+            stage.on_item(value, ctx)
+        stage.flush(ctx)
+        pairs = ctx.emitted[-1][0]["pairs"]
+        counts = [c for _, c in pairs]
+        assert counts == sorted(counts, reverse=True)
+        assert pairs[0][0] == 5
+
+    def test_alternative_sketch_kinds(self):
+        for kind in ("misra-gries", "space-saving", "lossy-counting"):
+            stage, ctx = self._make(sketch=kind)
+            for value in range(200):
+                stage.on_item(value % 5, ctx)
+            stage.flush(ctx)
+            assert ctx.emitted, kind
+
+    def test_result_reports_progress(self):
+        stage, ctx = self._make()
+        for value in range(30):
+            stage.on_item(value, ctx)
+        assert stage.result()["items_seen"] == 30
+
+
+class TestJoinStage:
+    def _summary(self, source, pairs, items=100):
+        return {"source": source, "pairs": pairs, "items_seen": items}
+
+    def test_merges_across_sources(self):
+        ctx = RecordingContext(properties={"top-n": "3"})
+        join = JoinStage()
+        join.setup(ctx)
+        join.on_item(self._summary("a", [(1, 10), (2, 5)]), ctx)
+        join.on_item(self._summary("b", [(1, 7), (3, 6)]), ctx)
+        assert join.result() == [(1, 17.0), (3, 6.0), (2, 5.0)]
+
+    def test_later_summary_replaces_earlier_from_same_source(self):
+        ctx = RecordingContext()
+        join = JoinStage()
+        join.setup(ctx)
+        join.on_item(self._summary("a", [(1, 10)]), ctx)
+        join.on_item(self._summary("a", [(1, 25)]), ctx)
+        assert join.current_topk(1) == [(1, 25.0)]
+
+    def test_rejects_non_summary(self):
+        ctx = RecordingContext()
+        join = JoinStage()
+        join.setup(ctx)
+        with pytest.raises(TypeError):
+            join.on_item(42, ctx)
+
+    def test_top_n_from_properties(self):
+        ctx = RecordingContext(properties={"top-n": "2"})
+        join = JoinStage()
+        join.setup(ctx)
+        join.on_item(self._summary("a", [(1, 3), (2, 2), (3, 1)]), ctx)
+        assert len(join.result()) == 2
+
+
+class TestCentralCountStage:
+    def test_counts_raw_stream(self):
+        ctx = RecordingContext(properties={"top-n": "2", "sketch-capacity": "100"})
+        central = CentralCountStage()
+        central.setup(ctx)
+        for value in [1] * 10 + [2] * 5 + [3]:
+            central.on_item(value, ctx)
+        top = central.result()
+        assert top[0][0] == 1 and top[1][0] == 2
+
+    def test_accuracy_on_skewed_stream(self):
+        ctx = RecordingContext(properties={"top-n": "10", "sketch-capacity": "500"})
+        central = CentralCountStage()
+        central.setup(ctx)
+        stream = IntegerStream(10_000, universe=1000, skew=1.4, seed=3)
+        for value in stream:
+            central.on_item(value, ctx)
+        truth = {v for v, _ in stream.true_top_k(10)}
+        reported = {v for v, _ in central.result()}
+        assert len(truth & reported) >= 8
+
+
+class TestConfigBuilders:
+    def test_distributed_config_valid(self):
+        cfg = build_distributed_config(4, [f"source-{i}" for i in range(4)])
+        cfg.validate()
+        assert len(cfg.stages) == 5
+        assert len(cfg.streams) == 4
+        assert cfg.stage("filter-0").requirement.placement_hint == "near:source-0"
+        assert cfg.stage("filter-0").parameters[0].direction == -1
+
+    def test_centralized_config_valid(self):
+        cfg = build_centralized_config(2, ["source-0", "source-1"])
+        cfg.validate()
+        assert [s.name for s in cfg.stages] == ["relay-0", "relay-1", "central"]
+
+    def test_host_count_mismatch(self):
+        with pytest.raises(ValueError):
+            build_distributed_config(3, ["only-one"])
+        with pytest.raises(ValueError):
+            build_centralized_config(0, [])
+
+    def test_xml_round_trip(self):
+        from repro.grid.config import AppConfig
+
+        cfg = build_distributed_config(2, ["source-0", "source-1"])
+        restored = AppConfig.from_xml(cfg.to_xml())
+        assert restored.name == cfg.name
+        assert len(restored.stages) == 3

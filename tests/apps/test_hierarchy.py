@@ -1,0 +1,147 @@
+"""Tests for three-tier (hierarchical) count-samps deployments."""
+
+from collections import Counter
+
+import pytest
+
+from repro.apps.count_samps import IntermediateMergeStage, build_hierarchical_config
+from repro.core.api import RecordingContext
+from repro.core.runtime_sim import SimulatedRuntime, SourceBinding
+from repro.experiments.common import build_star_fabric
+from repro.metrics import topk_accuracy
+from repro.streams.sources import IntegerStream
+
+
+class TestIntermediateMergeStage:
+    def _make(self, **props):
+        defaults = {"merge-size": "100", "merge-batch": "2"}
+        defaults.update(props)
+        ctx = RecordingContext(stage_name="merge-0", properties=defaults)
+        stage = IntermediateMergeStage()
+        stage.setup(ctx)
+        return stage, ctx
+
+    def _summary(self, source, pairs, items=100):
+        return {"source": source, "pairs": pairs, "items_seen": items}
+
+    def test_declares_merge_size_parameter(self):
+        stage, ctx = self._make()
+        param = ctx.parameters["merge-size"]
+        assert param.value == 100.0 and param.direction == -1
+
+    def test_merges_and_reemits(self):
+        stage, ctx = self._make()
+        stage.on_item(self._summary("f0", [(1, 10), (2, 5)]), ctx)
+        stage.on_item(self._summary("f1", [(1, 7)]), ctx)  # batch of 2 -> emit
+        assert len(ctx.emitted) == 1
+        merged = ctx.emitted[0][0]
+        assert merged["source"] == "merge-0"
+        assert dict(merged["pairs"])[1] == 17
+        assert merged["items_seen"] == 200
+
+    def test_merge_size_limits_pairs(self):
+        stage, ctx = self._make(**{"merge-size": "10", "merge-size-min": "1"})
+        ctx.parameters["merge-size"].set_value(2.0, 0.0)
+        stage.on_item(self._summary("f0", [(i, 10 - i) for i in range(8)]), ctx)
+        stage.flush(ctx)
+        assert len(ctx.emitted[-1][0]["pairs"]) == 2
+
+    def test_latest_summary_per_source_wins(self):
+        stage, ctx = self._make()
+        stage.on_item(self._summary("f0", [(1, 10)]), ctx)
+        stage.on_item(self._summary("f0", [(1, 30)]), ctx)
+        stage.flush(ctx)
+        assert dict(ctx.emitted[-1][0]["pairs"])[1] == 30
+
+    def test_rejects_non_summary(self):
+        stage, ctx = self._make()
+        with pytest.raises(TypeError):
+            stage.on_item(123, ctx)
+
+    def test_result(self):
+        stage, ctx = self._make()
+        stage.on_item(self._summary("a", [(1, 1)]), ctx)
+        stage.on_item(self._summary("b", [(2, 1)]), ctx)
+        assert stage.result() == {"sources_merged": 2}
+
+
+class TestHierarchicalConfig:
+    def test_structure(self):
+        cfg = build_hierarchical_config(4, [f"source-{i}" for i in range(4)], fan_in=2)
+        cfg.validate()
+        names = [s.name for s in cfg.stages]
+        assert names.count("merge-0") == 1 and names.count("merge-1") == 1
+        assert cfg.upstream_of("merge-0") == ["filter-0", "filter-1"]
+        assert cfg.upstream_of("join") == ["merge-0", "merge-1"]
+
+    def test_odd_fan_in(self):
+        cfg = build_hierarchical_config(5, [f"s{i}" for i in range(5)], fan_in=2)
+        assert len([s for s in cfg.stages if s.name.startswith("merge-")]) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_hierarchical_config(1, ["s0"])
+        with pytest.raises(ValueError):
+            build_hierarchical_config(4, ["s0"])
+        with pytest.raises(ValueError):
+            build_hierarchical_config(4, [f"s{i}" for i in range(4)], fan_in=0)
+
+    def test_xml_round_trip(self):
+        from repro.grid.config import AppConfig
+
+        cfg = build_hierarchical_config(4, [f"source-{i}" for i in range(4)])
+        restored = AppConfig.from_xml(cfg.to_xml())
+        assert restored.upstream_of("join") == ["merge-0", "merge-1"]
+
+
+class TestHierarchicalEndToEnd:
+    def _run(self, adaptive=False):
+        n = 4
+        fabric = build_star_fabric(n, bandwidth=100_000.0)
+        cfg = build_hierarchical_config(
+            n, fabric.source_hosts, fan_in=2, batch=400,
+        )
+        deployment = fabric.launcher.launch(cfg)
+        runtime = SimulatedRuntime(
+            fabric.env, fabric.network, deployment, adaptation_enabled=adaptive
+        )
+        streams = [
+            IntegerStream(6_000, universe=2000, skew=1.3, seed=20 + i)
+            for i in range(n)
+        ]
+        truth_counter: Counter = Counter()
+        for stream in streams:
+            truth_counter.update(stream.exact_counts())
+        truth = sorted(truth_counter.items(), key=lambda vc: (-vc[1], vc[0]))
+        for i, stream in enumerate(streams):
+            runtime.bind_source(
+                SourceBinding(f"s{i}", f"filter-{i}", list(stream),
+                              rate=2_000.0, item_size=8.0)
+            )
+        return runtime.run(), truth
+
+    def test_answers_flow_through_three_tiers(self):
+        result, truth = self._run()
+        reported = result.final_value("join")
+        assert len(reported) == 10
+        assert topk_accuracy(reported, truth, k=10) > 0.8
+
+    def test_every_tier_processes_data(self):
+        result, _ = self._run()
+        assert result.stage("filter-0").items_in == 6_000
+        assert result.stage("merge-0").items_in > 0
+        assert result.stage("join").items_in > 0
+
+    def test_mid_tier_parameter_adapts(self):
+        result, _ = self._run(adaptive=True)
+        series = result.parameter_series("merge-0", "merge-size")
+        assert len(series) >= 1
+
+    def test_merge_placement_not_on_leaf_hosts(self):
+        fabric = build_star_fabric(4, bandwidth=100_000.0)
+        cfg = build_hierarchical_config(4, fabric.source_hosts)
+        deployment = fabric.launcher.launch(cfg)
+        # Leaf filters are pinned to sources; merges and join land on the
+        # remaining (central) capacity.
+        for i in range(4):
+            assert deployment.host_of(f"filter-{i}") == f"source-{i}"

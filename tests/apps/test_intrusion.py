@@ -1,0 +1,130 @@
+"""Unit tests for the intrusion-detection application stages."""
+
+import pytest
+
+from repro.apps.intrusion import AlertStage, LogFilterStage, build_intrusion_config
+from repro.core.api import RecordingContext
+from repro.streams.sources import ConnectionLogStream, ConnectionRecord
+
+
+def record(ip, port):
+    return ConnectionRecord(timestamp=0.0, src_ip=ip, dst_port=port, nbytes=100)
+
+
+class TestLogFilterStage:
+    def _make(self, **props):
+        defaults = {"report-size": "5", "batch": "50"}
+        defaults.update(props)
+        ctx = RecordingContext(stage_name="site-0", properties=defaults)
+        stage = LogFilterStage()
+        stage.setup(ctx)
+        return stage, ctx
+
+    def test_declares_report_size_parameter(self):
+        stage, ctx = self._make()
+        param = ctx.parameters["report-size"]
+        assert param.value == 5.0 and param.direction == -1
+
+    def test_reports_every_batch(self):
+        stage, ctx = self._make()
+        for i in range(120):
+            stage.on_item(record(f"ip-{i % 3}", 80), ctx)
+        assert len(ctx.emitted) == 2
+
+    def test_scanner_ranks_first(self):
+        stage, ctx = self._make()
+        for port in range(30):
+            stage.on_item(record("scanner", port), ctx)
+        for _ in range(30):
+            stage.on_item(record("normal", 80), ctx)
+        stage.flush(ctx)
+        report = ctx.emitted[-1][0]
+        assert report["candidates"][0][0] == "scanner"
+        assert len(report["candidates"][0][1]) == 30
+
+    def test_report_size_limits_candidates(self):
+        stage, ctx = self._make(**{"report-size": "2"})
+        for i in range(10):
+            stage.on_item(record(f"ip-{i}", i), ctx)
+        stage.flush(ctx)
+        assert len(ctx.emitted[-1][0]["candidates"]) == 2
+
+    def test_port_tracking_capped(self):
+        stage, ctx = self._make(**{"max-ports-tracked": "4"})
+        for port in range(100):
+            stage.on_item(record("busy", port), ctx)
+        stage.flush(ctx)
+        ports = dict(ctx.emitted[-1][0]["candidates"])["busy"]
+        assert len(ports) == 4
+
+    def test_result(self):
+        stage, ctx = self._make()
+        stage.on_item(record("a", 1), ctx)
+        stage.on_item(record("b", 1), ctx)
+        assert stage.result() == {"ips_tracked": 2}
+
+
+class TestAlertStage:
+    def _make(self, threshold="5"):
+        ctx = RecordingContext(properties={"alert-threshold": threshold})
+        stage = AlertStage()
+        stage.setup(ctx)
+        return stage, ctx
+
+    def test_merges_reports_across_sites(self):
+        stage, ctx = self._make(threshold="5")
+        stage.on_item({"site": "a", "candidates": [("scan", [1, 2, 3])]}, ctx)
+        stage.on_item({"site": "b", "candidates": [("scan", [4, 5, 6])]}, ctx)
+        assert stage.alerts() == [("scan", 6)]
+
+    def test_below_threshold_not_alerted(self):
+        stage, ctx = self._make(threshold="10")
+        stage.on_item({"site": "a", "candidates": [("meh", [1, 2])]}, ctx)
+        assert stage.alerts() == []
+
+    def test_rejects_non_report(self):
+        stage, ctx = self._make()
+        with pytest.raises(TypeError):
+            stage.on_item("junk", ctx)
+
+    def test_result_structure(self):
+        stage, ctx = self._make(threshold="1")
+        stage.on_item({"site": "a", "candidates": [("x", [1])]}, ctx)
+        result = stage.result()
+        assert result["ips_seen"] == 1
+        assert result["alerts"] == [("x", 1)]
+
+
+class TestEndToEndDetection:
+    def test_distributed_scan_detected(self):
+        """Feed synthetic logs through filter stages into the alert stage."""
+        alert_ctx = RecordingContext(properties={"alert-threshold": "20"})
+        alert = AlertStage()
+        alert.setup(alert_ctx)
+        for site in range(3):
+            ctx = RecordingContext(
+                stage_name=f"site-{site}",
+                properties={"report-size": "5", "batch": "1000"},
+            )
+            stage = LogFilterStage()
+            stage.setup(ctx)
+            stream = ConnectionLogStream(3000, attack_fraction=0.03, seed=site)
+            for rec in stream:
+                stage.on_item(rec, ctx)
+            stage.flush(ctx)
+            for report, _ in ctx.emitted:
+                alert.on_item(report, alert_ctx)
+        alerts = alert.alerts()
+        assert alerts, "port scan not detected"
+        assert alerts[0][0] == "10.6.6.6"
+
+
+class TestConfigBuilder:
+    def test_config_valid(self):
+        cfg = build_intrusion_config(["site-a", "site-b"])
+        cfg.validate()
+        assert len(cfg.stages) == 3
+
+    def test_empty_sites_rejected(self):
+        with pytest.raises(ValueError):
+            build_intrusion_config([])

@@ -1,0 +1,134 @@
+"""Unit tests for the stage API, items, and result containers."""
+
+import pytest
+
+from repro.core.api import ProcessorError, RecordingContext, StreamProcessor
+from repro.core.items import EndOfStream, Item
+from repro.core.results import RunResult, StageStats
+from repro.simnet.trace import TimeSeries
+
+
+class Doubler(StreamProcessor):
+    def on_item(self, payload, context):
+        context.emit(payload * 2, size=4.0)
+
+
+class ParamStage(StreamProcessor):
+    def setup(self, context):
+        context.specify_parameter("rate", 0.2, 0.01, 1.0, 0.01, -1)
+
+    def on_item(self, payload, context):
+        if context.get_suggested_value("rate") > 0.1:
+            context.emit(payload)
+
+
+class TestItem:
+    def test_defaults(self):
+        item = Item(payload=5)
+        assert item.size == 8.0 and item.origin == ""
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Item(payload=5, size=-1.0)
+
+    def test_eos_is_control_sized(self):
+        assert EndOfStream().size == 1.0
+
+
+class TestStreamProcessorDefaults:
+    def test_work_amount_default(self):
+        assert Doubler().work_amount("x", 16.0) == (1.0, 16.0)
+
+    def test_result_default_none(self):
+        assert Doubler().result() is None
+
+    def test_setup_flush_are_optional(self):
+        ctx = RecordingContext()
+        processor = Doubler()
+        processor.setup(ctx)
+        processor.flush(ctx)
+        assert ctx.emitted == []
+
+
+class TestRecordingContext:
+    def test_emissions_collected(self):
+        ctx = RecordingContext()
+        Doubler().on_item(21, ctx)
+        assert ctx.emitted == [(42, 4.0)]
+
+    def test_parameter_lifecycle(self):
+        ctx = RecordingContext()
+        stage = ParamStage()
+        stage.setup(ctx)
+        assert ctx.get_suggested_value("rate") == 0.2
+        stage.on_item("a", ctx)
+        assert len(ctx.emitted) == 1
+
+    def test_duplicate_parameter_rejected(self):
+        ctx = RecordingContext()
+        ctx.specify_parameter("p", 0.5, 0.0, 1.0, 0.1, 1)
+        with pytest.raises(ProcessorError):
+            ctx.specify_parameter("p", 0.5, 0.0, 1.0, 0.1, 1)
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ProcessorError):
+            RecordingContext().get_suggested_value("ghost")
+
+    def test_clock_and_metadata(self):
+        ctx = RecordingContext(stage_name="s1", properties={"k": "v"})
+        assert ctx.stage_name == "s1"
+        assert ctx.properties == {"k": "v"}
+        assert ctx.now == 0.0
+        ctx.advance(2.5)
+        assert ctx.now == 2.5
+
+
+class TestStageStats:
+    def test_selectivity(self):
+        stats = StageStats("s")
+        stats.items_in = 100
+        stats.items_out = 25
+        assert stats.selectivity == 0.25
+
+    def test_selectivity_no_input(self):
+        assert StageStats("s").selectivity == 0.0
+
+    def test_latency_summary(self):
+        stats = StageStats("s")
+        stats.latencies = [1.0, 3.0]
+        summary = stats.latency_summary()
+        assert summary.mean == pytest.approx(2.0)
+
+
+class TestRunResult:
+    def _result(self):
+        result = RunResult(app_name="app")
+        stats = StageStats("a")
+        stats.bytes_in = 100.0
+        stats.exceptions_reported = 3
+        series = TimeSeries("p")
+        series.record(0.0, 1.0)
+        stats.parameter_history["p"] = series
+        stats.final_value = "answer"
+        result.stages["a"] = stats
+        return result
+
+    def test_stage_lookup(self):
+        result = self._result()
+        assert result.stage("a").bytes_in == 100.0
+        with pytest.raises(KeyError):
+            result.stage("ghost")
+
+    def test_final_value(self):
+        assert self._result().final_value("a") == "answer"
+
+    def test_parameter_series(self):
+        result = self._result()
+        assert len(result.parameter_series("a", "p")) == 1
+        with pytest.raises(KeyError):
+            result.parameter_series("a", "ghost")
+
+    def test_totals(self):
+        result = self._result()
+        assert result.total_bytes_moved() == 100.0
+        assert result.total_exceptions() == 3

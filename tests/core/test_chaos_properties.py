@@ -1,0 +1,127 @@
+"""Chaos property tests: randomized pipelines through the real runtime.
+
+hypothesis generates small random pipeline shapes (chains and fan-ins),
+random workload sizes, bandwidths, and rates; every generated deployment
+must satisfy the conservation invariants:
+
+* every injected item is either processed or (for lossy bindings) counted
+  as dropped — never silently lost;
+* items received by a stage equal the sum of what its upstream edges
+  carried;
+* execution time is finite and non-negative;
+* the run is deterministic (same inputs → identical results).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import StreamProcessor
+from repro.core.runtime_sim import SimulatedRuntime, SourceBinding
+from repro.grid.config import AppConfig, StageConfig, StreamConfig
+from repro.grid.deployer import Deployer
+from repro.grid.registry import ServiceRegistry
+from repro.grid.repository import CodeRepository
+from repro.simnet.engine import Environment
+from repro.simnet.hosts import CpuCostModel
+from repro.simnet.topology import Network
+
+
+class Passthrough(StreamProcessor):
+    cost_model = CpuCostModel(per_item=1e-6)
+
+    def on_item(self, payload, context):
+        context.emit(payload, size=8.0)
+
+
+class Counter(StreamProcessor):
+    cost_model = CpuCostModel(per_item=1e-6)
+
+    def __init__(self):
+        self.count = 0
+
+    def on_item(self, payload, context):
+        self.count += 1
+
+    def result(self):
+        return self.count
+
+
+@st.composite
+def pipelines(draw):
+    """(chain_length, fan_in, items, bandwidth, rate) shapes."""
+    return {
+        "chain": draw(st.integers(min_value=1, max_value=4)),
+        "fan_in": draw(st.integers(min_value=1, max_value=3)),
+        "items": draw(st.integers(min_value=0, max_value=200)),
+        "bandwidth": draw(st.sampled_from([500.0, 5_000.0, 1e9])),
+        "rate": draw(st.sampled_from([None, 100.0, 10_000.0])),
+    }
+
+
+def build_and_run(shape):
+    env = Environment()
+    net = Network(env)
+    n_hosts = shape["chain"] + 1
+    for i in range(n_hosts):
+        net.create_host(f"h{i}", cores=2)
+    for i in range(n_hosts - 1):
+        net.connect(f"h{i}", f"h{i+1}", bandwidth=shape["bandwidth"])
+    registry = ServiceRegistry()
+    registry.register_network(net)
+    repo = CodeRepository()
+    repo.publish("repo://chaos/pass", Passthrough)
+    repo.publish("repo://chaos/count", Counter)
+
+    stages = [
+        StageConfig(f"stage-{i}", "repo://chaos/pass")
+        for i in range(shape["chain"])
+    ]
+    stages.append(StageConfig("sink", "repo://chaos/count"))
+    streams = [
+        StreamConfig(f"s{i}", f"stage-{i}",
+                     f"stage-{i+1}" if i + 1 < shape["chain"] else "sink")
+        for i in range(shape["chain"])
+    ]
+    config = AppConfig(name="chaos", stages=stages, streams=streams)
+    deployment = Deployer(registry, repo).deploy(config)
+    runtime = SimulatedRuntime(env, net, deployment, adaptation_enabled=False)
+    for f in range(shape["fan_in"]):
+        runtime.bind_source(
+            SourceBinding(f"src-{f}", "stage-0",
+                          list(range(shape["items"])), rate=shape["rate"])
+        )
+    return runtime.run(max_sim_time=1e6)
+
+
+class TestChaosPipelines:
+    @given(shape=pipelines())
+    @settings(max_examples=30, deadline=None)
+    def test_conservation_of_items(self, shape):
+        result = build_and_run(shape)
+        injected = shape["items"] * shape["fan_in"]
+        assert result.final_value("sink") == injected
+        # Per-stage conservation: passthrough stages forward everything.
+        for i in range(shape["chain"]):
+            stats = result.stage(f"stage-{i}")
+            assert stats.items_in == injected
+            assert stats.items_out == injected
+            assert stats.items_dropped == 0
+
+    @given(shape=pipelines())
+    @settings(max_examples=15, deadline=None)
+    def test_determinism(self, shape):
+        a = build_and_run(shape)
+        b = build_and_run(shape)
+        assert a.execution_time == b.execution_time
+        assert a.final_value("sink") == b.final_value("sink")
+        for name in a.stages:
+            assert a.stage(name).bytes_in == b.stage(name).bytes_in
+
+    @given(shape=pipelines())
+    @settings(max_examples=15, deadline=None)
+    def test_time_sanity(self, shape):
+        result = build_and_run(shape)
+        assert 0.0 <= result.execution_time < 1e6
+        if shape["rate"] == 100.0 and shape["items"] > 0:
+            # Rate-paced feed bounds execution time from below.
+            assert result.execution_time >= (shape["items"] - 1) / 100.0

@@ -1,0 +1,228 @@
+"""Unit tests for the load factors and the long-term load estimator."""
+
+import pytest
+
+from repro.core.adaptation import (
+    AdaptationPolicy,
+    LoadEstimator,
+    LoadExceptionKind,
+    phi1,
+    phi2_linear,
+    phi2_saturating,
+    phi3,
+)
+from repro.simnet.engine import Environment
+from repro.simnet.resources import BoundedQueue
+
+
+class TestPhi1:
+    def test_zero_counts(self):
+        assert phi1(0, 0) == 0.0
+
+    def test_all_overloads(self):
+        assert phi1(10, 0) == 1.0
+
+    def test_all_underloads(self):
+        assert phi1(0, 10) == -1.0
+
+    def test_balanced(self):
+        assert phi1(5, 5) == 0.0
+
+    def test_partial(self):
+        assert phi1(3, 1) == pytest.approx(0.5)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            phi1(-1, 0)
+
+    def test_range(self):
+        for t1 in range(10):
+            for t2 in range(10):
+                assert -1.0 <= phi1(t1, t2) <= 1.0
+
+
+class TestPhi2:
+    @pytest.mark.parametrize("phi2", [phi2_linear, phi2_saturating])
+    def test_zero_at_zero(self, phi2):
+        assert phi2(0, 10) == 0.0
+
+    @pytest.mark.parametrize("phi2", [phi2_linear, phi2_saturating])
+    def test_sign_preserved(self, phi2):
+        assert phi2(3, 10) > 0
+        assert phi2(-3, 10) < 0
+
+    @pytest.mark.parametrize("phi2", [phi2_linear, phi2_saturating])
+    def test_range_bounded(self, phi2):
+        for w in range(-10, 11):
+            assert -1.0 <= phi2(w, 10) <= 1.0
+
+    @pytest.mark.parametrize("phi2", [phi2_linear, phi2_saturating])
+    def test_saturates_at_window(self, phi2):
+        assert phi2(10, 10) == pytest.approx(1.0)
+        assert phi2(-10, 10) == pytest.approx(-1.0)
+
+    @pytest.mark.parametrize("phi2", [phi2_linear, phi2_saturating])
+    def test_monotone_in_w(self, phi2):
+        values = [phi2(w, 10) for w in range(-10, 11)]
+        assert values == sorted(values)
+
+    @pytest.mark.parametrize("phi2", [phi2_linear, phi2_saturating])
+    def test_window_validation(self, phi2):
+        with pytest.raises(ValueError):
+            phi2(0, 0)
+        with pytest.raises(ValueError):
+            phi2(11, 10)
+
+    def test_saturating_faster_than_linear_for_small_w(self):
+        assert phi2_saturating(2, 10) > phi2_linear(2, 10)
+
+
+class TestPhi3:
+    def test_at_expected_is_zero(self):
+        assert phi3(30.0, 30.0, 100.0) == 0.0
+
+    def test_empty_queue_is_minus_one(self):
+        assert phi3(0.0, 30.0, 100.0) == -1.0
+
+    def test_full_queue_is_one(self):
+        assert phi3(100.0, 30.0, 100.0) == 1.0
+
+    def test_above_capacity_clamped(self):
+        assert phi3(500.0, 30.0, 100.0) == 1.0
+
+    def test_below_expected_normalized_by_d(self):
+        assert phi3(15.0, 30.0, 100.0) == pytest.approx(-0.5)
+
+    def test_above_expected_normalized_by_headroom(self):
+        assert phi3(65.0, 30.0, 100.0) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            phi3(10.0, 0.0, 100.0)
+        with pytest.raises(ValueError):
+            phi3(10.0, 100.0, 100.0)
+        with pytest.raises(ValueError):
+            phi3(-1.0, 30.0, 100.0)
+        with pytest.raises(ValueError):
+            phi3(10.0, 30.0, 0.0)
+
+    def test_range(self):
+        for d_bar in [0, 5, 30, 60, 99, 100, 1000]:
+            assert -1.0 <= phi3(float(d_bar), 30.0, 100.0) <= 1.0
+
+
+def make_estimator(policy=None, capacity=100):
+    env = Environment()
+    policy = policy or AdaptationPolicy()
+    queue = BoundedQueue(env, capacity=capacity, window=policy.window)
+    return env, queue, LoadEstimator("stage", queue, policy)
+
+
+class TestLoadEstimatorClassification:
+    def test_neutral_near_expected(self):
+        _, _, est = make_estimator()
+        # D = 30, band 0.2 -> neutral in [24, 36]
+        assert est.classify(30) == 0
+        assert est.classify(25) == 0
+        assert est.classify(36) == 0
+
+    def test_overload_above_band(self):
+        _, _, est = make_estimator()
+        assert est.classify(37) == 1
+        assert est.classify(100) == 1
+
+    def test_underload_below_band(self):
+        _, _, est = make_estimator()
+        assert est.classify(23) == -1
+        assert est.classify(0) == -1
+
+
+class TestLoadEstimatorDynamics:
+    def test_d_tilde_rises_under_sustained_overload(self):
+        env, queue, est = make_estimator()
+        for _ in range(90):
+            queue.try_put("x")
+        for i in range(30):
+            est.sample(float(i))
+        assert est.d_tilde > 0.3 * queue.capacity
+        assert est.t1 == 30 and est.t2 == 0
+
+    def test_d_tilde_falls_when_empty(self):
+        env, queue, est = make_estimator()
+        for i in range(30):
+            est.sample(float(i))
+        assert est.d_tilde < -0.3 * 100
+
+    def test_d_tilde_bounded_by_capacity(self):
+        env, queue, est = make_estimator()
+        for _ in range(100):
+            queue.try_put("x")
+        for i in range(200):
+            est.sample(float(i))
+        assert -100.0 <= est.d_tilde <= 100.0
+
+    def test_overload_exception_emitted(self):
+        env, queue, est = make_estimator()
+        for _ in range(95):
+            queue.try_put("x")
+        exceptions = [est.sample(float(i)) for i in range(40)]
+        kinds = {e.kind for e in exceptions if e is not None}
+        assert kinds == {LoadExceptionKind.OVERLOAD}
+        first = next(e for e in exceptions if e is not None)
+        assert first.reporter == "stage"
+        assert first.score > 0
+
+    def test_underload_exception_emitted(self):
+        env, queue, est = make_estimator()
+        exceptions = [est.sample(float(i)) for i in range(40)]
+        kinds = {e.kind for e in exceptions if e is not None}
+        assert kinds == {LoadExceptionKind.UNDERLOAD}
+
+    def test_no_exception_in_comfort_zone(self):
+        policy = AdaptationPolicy()
+        env, queue, est = make_estimator(policy)
+        # Hold the queue exactly at the expected length.
+        for _ in range(30):
+            queue.try_put("x")
+        exceptions = [est.sample(float(i)) for i in range(40)]
+        assert all(e is None for e in exceptions)
+
+    def test_window_balance_w(self):
+        env, queue, est = make_estimator()
+        for _ in range(90):
+            queue.try_put("x")
+        for i in range(5):
+            est.sample(float(i))
+        assert est.w == 5
+        # Drain; w swings negative as the window refills with underloads.
+        while queue.current_length:
+            queue.try_get()
+        for i in range(5, 5 + est.policy.window):
+            est.sample(float(i))
+        assert est.w == -est.policy.window
+
+    def test_alpha_smooths_reaction(self):
+        sluggish = AdaptationPolicy(alpha=0.95)
+        nervous = AdaptationPolicy(alpha=0.05)
+        _, q1, est_slow = make_estimator(sluggish)
+        _, q2, est_fast = make_estimator(nervous)
+        for q in (q1, q2):
+            for _ in range(90):
+                q.try_put("x")
+        est_slow.sample(0.0)
+        est_fast.sample(0.0)
+        assert est_fast.d_tilde > est_slow.d_tilde
+
+    def test_history_recorded(self):
+        env, queue, est = make_estimator()
+        for i in range(10):
+            est.sample(float(i))
+        assert len(est.history) == 10
+
+    def test_normalized_score_in_unit_range(self):
+        env, queue, est = make_estimator()
+        for _ in range(100):
+            queue.try_put("x")
+        for i in range(50):
+            est.sample(float(i))
+            assert -1.0 <= est.normalized_score <= 1.0

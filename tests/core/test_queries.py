@@ -1,0 +1,123 @@
+"""Tests for continuous queries against running applications."""
+
+import pytest
+
+from repro.core.queries import ContinuousQuery, _resolve_query_fn
+from repro.core.runtime_sim import SimulatedRuntime, SourceBinding
+from repro.experiments.common import build_star_fabric
+from repro.apps.count_samps import build_distributed_config
+from repro.metrics import topk_accuracy
+from repro.streams.sources import IntegerStream
+
+
+def make_setup(items=8_000, rate=2_000.0):
+    n = 2
+    fabric = build_star_fabric(n, bandwidth=1_000_000.0)
+    config = build_distributed_config(n, fabric.source_hosts, batch=400)
+    deployment = fabric.launcher.launch(config)
+    runtime = SimulatedRuntime(
+        fabric.env, fabric.network, deployment, adaptation_enabled=False
+    )
+    from collections import Counter
+
+    streams = [IntegerStream(items, universe=1000, skew=1.3, seed=60 + i) for i in range(n)]
+    truth_counter = Counter()
+    for stream in streams:
+        truth_counter.update(stream.exact_counts())
+    truth = sorted(truth_counter.items(), key=lambda vc: (-vc[1], vc[0]))
+    for i, stream in enumerate(streams):
+        runtime.bind_source(
+            SourceBinding(f"s{i}", f"filter-{i}", list(stream), rate=rate)
+        )
+    return runtime, truth
+
+
+class TestResolveQueryFn:
+    def test_current_topk_adapted(self):
+        from repro.apps.count_samps import JoinStage
+
+        join = JoinStage()
+        assert _resolve_query_fn(join)() == []
+
+    def test_current_answer_used(self):
+        class Q:
+            def current_answer(self):
+                return 42
+
+        assert _resolve_query_fn(Q())() == 42
+
+    def test_non_queryable_rejected(self):
+        with pytest.raises(TypeError):
+            _resolve_query_fn(object())
+
+
+class TestContinuousQuery:
+    def test_interval_validation(self):
+        runtime, _ = make_setup()
+        with pytest.raises(ValueError):
+            ContinuousQuery(runtime, "join", interval=0)
+
+    def test_unknown_stage_rejected_at_attach(self):
+        runtime, _ = make_setup()
+        query = ContinuousQuery(runtime, "ghost")
+        with pytest.raises(Exception):
+            query.attach()
+
+    def test_double_attach_rejected(self):
+        runtime, _ = make_setup()
+        query = ContinuousQuery(runtime, "join")
+        query.attach()
+        with pytest.raises(RuntimeError):
+            query.attach()
+
+    def test_latest_before_any_poll_raises(self):
+        runtime, _ = make_setup()
+        query = ContinuousQuery(runtime, "join")
+        with pytest.raises(RuntimeError):
+            query.latest()
+
+    def test_answers_polled_during_run(self):
+        runtime, truth = make_setup()
+        query = ContinuousQuery(runtime, "join", interval=0.5)
+        query.attach()
+        runtime.run()
+        assert len(query.answers) >= 3
+        times = [t for t, _ in query.answers]
+        assert times == sorted(times)
+
+    def test_quality_improves_over_time(self):
+        runtime, truth = make_setup()
+        query = ContinuousQuery(
+            runtime, "join", interval=0.25,
+            score=lambda answer: topk_accuracy(answer, truth, k=10) if answer else 0.0,
+        )
+        query.attach()
+        runtime.run()
+        values = query.quality.values
+        assert values[-1] > 0.7
+        # Early answers (little data) cannot beat the final one by much.
+        assert values[-1] >= values[0] - 0.05
+
+    def test_time_to_quality(self):
+        runtime, truth = make_setup()
+        query = ContinuousQuery(
+            runtime, "join", interval=0.25,
+            score=lambda answer: topk_accuracy(answer, truth, k=10) if answer else 0.0,
+        )
+        query.attach()
+        runtime.run()
+        reach_time = query.time_to_quality(0.5)
+        assert reach_time is not None
+        assert query.time_to_quality(2.0) is None  # unattainable score
+
+    def test_latest_tracks_final_result(self):
+        runtime, truth = make_setup()
+        query = ContinuousQuery(runtime, "join", interval=0.25)
+        query.attach()
+        result = runtime.run()
+        # The last poll may precede the final flush by a fraction of a
+        # second, so counts can lag slightly — but the identified top-10
+        # values must already agree almost entirely.
+        polled = {v for v, _ in query.latest()}
+        final = {v for v, _ in result.final_value("join")}
+        assert len(polled & final) >= 8

@@ -1,0 +1,175 @@
+"""Tests for per-stream emit routing and lossy source ingestion."""
+
+import pytest
+
+from repro.core.api import ProcessorError, StreamProcessor
+from repro.core.runtime_sim import SimulatedRuntime, SourceBinding
+from repro.grid.config import AppConfig, StageConfig, StreamConfig
+from repro.grid.deployer import Deployer
+from repro.grid.registry import ServiceRegistry
+from repro.grid.repository import CodeRepository
+from repro.simnet.engine import Environment
+from repro.simnet.hosts import CpuCostModel
+from repro.simnet.topology import Network
+
+
+class Splitter(StreamProcessor):
+    """Routes evens to 'evens', odds to 'odds'."""
+
+    cost_model = CpuCostModel()
+
+    def on_item(self, payload, context):
+        stream = "evens" if payload % 2 == 0 else "odds"
+        context.emit(payload, size=8.0, stream=stream)
+
+
+class Broadcast(StreamProcessor):
+    cost_model = CpuCostModel()
+
+    def on_item(self, payload, context):
+        context.emit(payload, size=8.0)  # no stream: goes everywhere
+
+
+class BadRouter(StreamProcessor):
+    cost_model = CpuCostModel()
+
+    def on_item(self, payload, context):
+        context.emit(payload, stream="no-such-stream")
+
+
+class Sink(StreamProcessor):
+    cost_model = CpuCostModel()
+
+    def __init__(self):
+        self.items = []
+
+    def on_item(self, payload, context):
+        self.items.append(payload)
+
+    def result(self):
+        return list(self.items)
+
+
+class Slow(StreamProcessor):
+    cost_model = CpuCostModel(per_item=0.1)
+
+    def on_item(self, payload, context):
+        pass
+
+
+def make_runtime(splitter_cls, queue_capacity=None):
+    env = Environment()
+    net = Network(env)
+    net.create_host("h", cores=2)
+    registry = ServiceRegistry()
+    registry.register_network(net)
+    repo = CodeRepository()
+    repo.publish("repo://rt/split", splitter_cls)
+    repo.publish("repo://rt/sink", Sink)
+    props = {}
+    if queue_capacity:
+        props["queue-capacity"] = str(queue_capacity)
+    config = AppConfig(
+        name="router",
+        stages=[
+            StageConfig("split", "repo://rt/split", properties=props),
+            StageConfig("even-sink", "repo://rt/sink"),
+            StageConfig("odd-sink", "repo://rt/sink"),
+        ],
+        streams=[
+            StreamConfig("evens", "split", "even-sink"),
+            StreamConfig("odds", "split", "odd-sink"),
+        ],
+    )
+    deployment = Deployer(registry, repo).deploy(config)
+    runtime = SimulatedRuntime(env, net, deployment, adaptation_enabled=False)
+    return runtime
+
+
+class TestEmitRouting:
+    def test_splitter_routes_by_stream_name(self):
+        runtime = make_runtime(Splitter)
+        runtime.bind_source(SourceBinding("s", "split", list(range(10))))
+        result = runtime.run()
+        assert result.final_value("even-sink") == [0, 2, 4, 6, 8]
+        assert result.final_value("odd-sink") == [1, 3, 5, 7, 9]
+
+    def test_broadcast_reaches_all_streams(self):
+        runtime = make_runtime(Broadcast)
+        runtime.bind_source(SourceBinding("s", "split", [1, 2, 3]))
+        result = runtime.run()
+        assert result.final_value("even-sink") == [1, 2, 3]
+        assert result.final_value("odd-sink") == [1, 2, 3]
+
+    def test_unknown_stream_rejected(self):
+        runtime = make_runtime(BadRouter)
+        runtime.bind_source(SourceBinding("s", "split", [1]))
+        with pytest.raises(ProcessorError, match="unknown stream"):
+            runtime.run()
+
+    def test_items_out_counts_emissions_not_copies(self):
+        runtime = make_runtime(Splitter)
+        runtime.bind_source(SourceBinding("s", "split", list(range(10))))
+        result = runtime.run()
+        assert result.stage("split").items_out == 10
+
+
+class TestLossyIngestion:
+    def _make_slow(self, queue_capacity=5):
+        env = Environment()
+        net = Network(env)
+        net.create_host("h")
+        registry = ServiceRegistry()
+        registry.register_network(net)
+        repo = CodeRepository()
+        repo.publish("repo://d/slow", Slow)
+        config = AppConfig(
+            name="drops",
+            stages=[
+                StageConfig(
+                    "slow", "repo://d/slow",
+                    properties={"queue-capacity": str(queue_capacity)},
+                )
+            ],
+        )
+        deployment = Deployer(registry, repo).deploy(config)
+        return env, net, deployment
+
+    def test_overrun_source_drops_instead_of_blocking(self):
+        env, net, deployment = self._make_slow(queue_capacity=5)
+        runtime = SimulatedRuntime(env, net, deployment, adaptation_enabled=False)
+        # 100 items/s against a 10 items/s consumer: most must drop.
+        runtime.bind_source(
+            SourceBinding("s", "slow", list(range(200)), rate=100.0,
+                          drop_when_full=True)
+        )
+        result = runtime.run()
+        stats = result.stage("slow")
+        assert stats.items_dropped > 100
+        assert stats.items_in + stats.items_dropped == 200
+        # Lossy ingestion means the source never back-pressured: the feed
+        # took 2 s, the queue drains shortly after.
+        assert result.execution_time < 4.0
+
+    def test_blocking_source_loses_nothing(self):
+        env, net, deployment = self._make_slow(queue_capacity=5)
+        runtime = SimulatedRuntime(env, net, deployment, adaptation_enabled=False)
+        runtime.bind_source(
+            SourceBinding("s", "slow", list(range(50)), rate=100.0)
+        )
+        result = runtime.run()
+        stats = result.stage("slow")
+        assert stats.items_dropped == 0
+        assert stats.items_in == 50
+        # Back-pressure stretches execution to the consumer's pace.
+        assert result.execution_time > 4.0
+
+    def test_unconstrained_lossy_source_drops_nothing(self):
+        env, net, deployment = self._make_slow(queue_capacity=500)
+        runtime = SimulatedRuntime(env, net, deployment, adaptation_enabled=False)
+        runtime.bind_source(
+            SourceBinding("s", "slow", list(range(20)), rate=5.0,
+                          drop_when_full=True)
+        )
+        result = runtime.run()
+        assert result.stage("slow").items_dropped == 0

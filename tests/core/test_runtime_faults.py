@@ -1,0 +1,105 @@
+"""Failure injection against the running pipeline.
+
+Crash-stop semantics: a failed host surfaces as an error from the run; a
+fresh deployment (after Redeployer moves the stages) completes on healthy
+hosts — the recovery story a grid operator would follow.
+"""
+
+import pytest
+
+from repro.core.api import StreamProcessor
+from repro.core.runtime_sim import SimulatedRuntime, SourceBinding
+from repro.grid.config import AppConfig, StageConfig, StreamConfig
+from repro.grid.deployer import Deployer
+from repro.grid.faults import FaultInjector, FaultPlan, Redeployer
+from repro.grid.registry import ServiceRegistry
+from repro.grid.repository import CodeRepository
+from repro.grid.resources import ResourceRequirement
+from repro.simnet.engine import Environment
+from repro.simnet.hosts import CpuCostModel, HostFailedError
+from repro.simnet.topology import Network
+
+
+class Work(StreamProcessor):
+    cost_model = CpuCostModel(per_item=0.01)
+
+    def on_item(self, payload, context):
+        context.emit(payload, size=8.0)
+
+
+class Sink(StreamProcessor):
+    cost_model = CpuCostModel()
+
+    def __init__(self):
+        self.items = []
+
+    def on_item(self, payload, context):
+        self.items.append(payload)
+
+    def result(self):
+        return list(self.items)
+
+
+def build(pin_worker="h1"):
+    env = Environment()
+    net = Network(env)
+    for name in ("h1", "h2", "h3"):
+        net.create_host(name, cores=2)
+    net.connect("h1", "h3", 10_000.0)
+    net.connect("h2", "h3", 10_000.0)
+    registry = ServiceRegistry()
+    registry.register_network(net)
+    repo = CodeRepository()
+    repo.publish("repo://fr/work", Work)
+    repo.publish("repo://fr/sink", Sink)
+    config = AppConfig(
+        name="frapp",
+        stages=[
+            StageConfig("work", "repo://fr/work",
+                        requirement=ResourceRequirement(placement_hint=pin_worker)),
+            StageConfig("sink", "repo://fr/sink",
+                        requirement=ResourceRequirement(placement_hint="h3")),
+        ],
+        streams=[StreamConfig("s", "work", "sink")],
+    )
+    deployer = Deployer(registry, repo)
+    deployment = deployer.deploy(config)
+    return env, net, deployer, deployment
+
+
+class TestMidRunFailure:
+    def test_host_crash_surfaces_from_run(self):
+        env, net, deployer, deployment = build()
+        runtime = SimulatedRuntime(env, net, deployment, adaptation_enabled=False)
+        runtime.bind_source(SourceBinding("s", "work", list(range(500)), rate=100.0))
+        FaultInjector(env, net).schedule(FaultPlan("h1", fail_at=1.0))
+        with pytest.raises(HostFailedError):
+            runtime.run()
+
+    def test_failure_after_completion_is_harmless(self):
+        env, net, deployer, deployment = build()
+        runtime = SimulatedRuntime(env, net, deployment, adaptation_enabled=False)
+        runtime.bind_source(SourceBinding("s", "work", list(range(10))))
+        FaultInjector(env, net).schedule(FaultPlan("h1", fail_at=1e6))
+        result = runtime.run()
+        assert result.final_value("sink") == list(range(10))
+
+    def test_redeploy_and_rerun_completes(self):
+        """The operator playbook: crash -> redeploy -> fresh run succeeds."""
+        env, net, deployer, deployment = build()
+        runtime = SimulatedRuntime(env, net, deployment, adaptation_enabled=False)
+        runtime.bind_source(SourceBinding("s", "work", list(range(500)), rate=100.0))
+        injector = FaultInjector(env, net)
+        injector.schedule(FaultPlan("h1", fail_at=1.0))
+        with pytest.raises(HostFailedError):
+            runtime.run()
+
+        # Move the dead host's stages and run the workload again on a
+        # fresh environment-equivalent runtime.
+        report = Redeployer(deployer).redeploy(deployment, "h1")
+        assert report.new_hosts["work"] == "h2"
+        runtime2 = SimulatedRuntime(env, net, deployment, adaptation_enabled=False)
+        runtime2.bind_source(SourceBinding("s", "work", list(range(500)), rate=100.0))
+        result = runtime2.run()
+        assert len(result.final_value("sink")) == 500
+        assert result.stage("work").host_name == "h2"

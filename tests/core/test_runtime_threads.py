@@ -1,0 +1,197 @@
+"""Tests for the real-thread runtime (timing-tolerant)."""
+
+import pytest
+
+from repro.core.adaptation.policy import AdaptationPolicy
+from repro.core.api import StreamProcessor
+from repro.core.runtime_threads import ThreadedRuntime, ThreadedRuntimeError
+from repro.simnet.hosts import CpuCostModel
+
+
+class Forward(StreamProcessor):
+    cost_model = CpuCostModel()
+
+    def on_item(self, payload, context):
+        context.emit(payload, size=8.0)
+
+
+class Collect(StreamProcessor):
+    cost_model = CpuCostModel()
+
+    def __init__(self):
+        self.items = []
+
+    def on_item(self, payload, context):
+        self.items.append(payload)
+
+    def result(self):
+        return list(self.items)
+
+
+class Boom(StreamProcessor):
+    cost_model = CpuCostModel()
+
+    def on_item(self, payload, context):
+        raise RuntimeError("stage blew up")
+
+
+class AdaptiveKeep(StreamProcessor):
+    cost_model = CpuCostModel()
+
+    def setup(self, context):
+        context.specify_parameter("keep", 1.0, 0.0, 1.0, 0.05, -1)
+
+    def on_item(self, payload, context):
+        if context.get_suggested_value("keep") >= 0.5:
+            context.emit(payload, size=8.0)
+
+
+def quick_policy():
+    return AdaptationPolicy(sample_interval=0.02, adjust_every=2)
+
+
+class TestConstruction:
+    def test_time_scale_validation(self):
+        with pytest.raises(ThreadedRuntimeError):
+            ThreadedRuntime(time_scale=0)
+
+    def test_duplicate_stage(self):
+        rt = ThreadedRuntime()
+        rt.add_stage("a", Forward())
+        with pytest.raises(ThreadedRuntimeError):
+            rt.add_stage("a", Forward())
+
+    def test_non_processor_rejected(self):
+        rt = ThreadedRuntime()
+        with pytest.raises(ThreadedRuntimeError):
+            rt.add_stage("a", object())
+
+    def test_connect_unknown_stage(self):
+        rt = ThreadedRuntime()
+        rt.add_stage("a", Forward())
+        with pytest.raises(ThreadedRuntimeError):
+            rt.connect("a", "ghost")
+
+    def test_bad_bandwidth(self):
+        rt = ThreadedRuntime()
+        rt.add_stage("a", Forward())
+        rt.add_stage("b", Collect())
+        with pytest.raises(ThreadedRuntimeError):
+            rt.connect("a", "b", bandwidth=0)
+
+    def test_bind_unknown_target(self):
+        rt = ThreadedRuntime()
+        with pytest.raises(ThreadedRuntimeError):
+            rt.bind_source("s", "ghost", [1])
+
+    def test_bad_rate(self):
+        rt = ThreadedRuntime()
+        rt.add_stage("a", Forward())
+        with pytest.raises(ThreadedRuntimeError):
+            rt.bind_source("s", "a", [1], rate=0)
+
+    def test_inputless_stage_rejected_at_run(self):
+        rt = ThreadedRuntime()
+        rt.add_stage("a", Forward())
+        with pytest.raises(ThreadedRuntimeError):
+            rt.run(timeout=1.0)
+
+
+class TestExecution:
+    def test_pipeline_delivers_everything(self):
+        rt = ThreadedRuntime(adaptation_enabled=False)
+        rt.add_stage("fwd", Forward())
+        sink = Collect()
+        rt.add_stage("sink", sink)
+        rt.connect("fwd", "sink")
+        rt.bind_source("s", "fwd", list(range(200)))
+        result = rt.run(timeout=30.0)
+        assert result.final_value("sink") == list(range(200))
+        assert result.stage("fwd").items_in == 200
+
+    def test_fan_in(self):
+        rt = ThreadedRuntime(adaptation_enabled=False)
+        rt.add_stage("sink", Collect())
+        rt.bind_source("a", "sink", [1, 2, 3])
+        rt.bind_source("b", "sink", [4, 5, 6])
+        result = rt.run(timeout=30.0)
+        assert sorted(result.final_value("sink")) == [1, 2, 3, 4, 5, 6]
+
+    def test_stage_error_propagates(self):
+        rt = ThreadedRuntime(adaptation_enabled=False)
+        rt.add_stage("bad", Boom())
+        rt.bind_source("s", "bad", [1])
+        with pytest.raises(RuntimeError, match="stage blew up"):
+            rt.run(timeout=30.0)
+
+    def test_run_twice_rejected(self):
+        rt = ThreadedRuntime(adaptation_enabled=False)
+        rt.add_stage("sink", Collect())
+        rt.bind_source("s", "sink", [1])
+        rt.run(timeout=30.0)
+        with pytest.raises(ThreadedRuntimeError):
+            rt.run(timeout=1.0)
+
+    def test_timeout_raises(self):
+        slow = Forward()
+        slow.cost_model = CpuCostModel(per_item=10.0)
+        rt = ThreadedRuntime(adaptation_enabled=False, time_scale=1.0)
+        rt.add_stage("slow", slow)
+        rt.bind_source("s", "slow", list(range(100)))
+        with pytest.raises(ThreadedRuntimeError, match="did not finish"):
+            rt.run(timeout=0.3)
+
+    def test_token_bucket_link_throttles(self):
+        # 100 items x 8 B = 800 B over a 4000 B/s link ~ 0.2 s minimum.
+        rt = ThreadedRuntime(adaptation_enabled=False)
+        rt.add_stage("fwd", Forward())
+        rt.add_stage("sink", Collect())
+        rt.connect("fwd", "sink", bandwidth=4000.0)
+        rt.bind_source("s", "fwd", list(range(100)))
+        result = rt.run(timeout=30.0)
+        assert result.execution_time >= 0.15
+        assert len(result.final_value("sink")) == 100
+
+    def test_adaptation_produces_history(self):
+        rt = ThreadedRuntime(policy=quick_policy())
+        rt.add_stage("ad", AdaptiveKeep())
+        rt.add_stage("sink", Collect())
+        rt.connect("ad", "sink")
+        rt.bind_source("s", "ad", list(range(500)), rate=2000.0)
+        result = rt.run(timeout=30.0)
+        series = result.parameter_series("ad", "keep")
+        assert len(series) >= 1
+
+    def test_latency_and_bytes_accounting(self):
+        rt = ThreadedRuntime(adaptation_enabled=False)
+        rt.add_stage("fwd", Forward())
+        rt.add_stage("sink", Collect())
+        rt.connect("fwd", "sink")
+        rt.bind_source("s", "fwd", list(range(50)))
+        result = rt.run(timeout=30.0)
+        assert result.stage("sink").bytes_in == pytest.approx(400.0)
+        assert all(l >= 0 for l in result.stage("sink").latencies)
+
+
+class TestThreadedArrivals:
+    def test_arrival_process_paces_feed(self):
+        from repro.streams.arrivals import ConstantArrivals
+
+        rt = ThreadedRuntime(adaptation_enabled=False, time_scale=0.01)
+        sink = Collect()
+        rt.add_stage("sink", sink)
+        # 50 items at 100/s of scaled time = 0.5 scaled s = ~5ms wall.
+        rt.bind_source("s", "sink", list(range(50)),
+                       arrivals=ConstantArrivals(100.0))
+        result = rt.run(timeout=30.0)
+        assert result.final_value("sink") == list(range(50))
+
+    def test_poisson_arrivals_deliver_everything(self):
+        from repro.streams.arrivals import PoissonArrivals
+
+        rt = ThreadedRuntime(adaptation_enabled=False, time_scale=0.001)
+        rt.add_stage("sink", Collect())
+        rt.bind_source("s", "sink", list(range(100)),
+                       arrivals=PoissonArrivals(200.0, seed=3))
+        result = rt.run(timeout=30.0)
+        assert len(result.final_value("sink")) == 100

@@ -1,0 +1,224 @@
+"""Unit tests for the reusable stage operators."""
+
+import pytest
+
+from repro.core.api import RecordingContext
+from repro.core.stages import (
+    AdaptiveSampleStage,
+    BatchStage,
+    CollectStage,
+    FilterStage,
+    MapStage,
+    SlidingWindowStage,
+    TumblingWindowStage,
+)
+
+
+class TestMapStage:
+    def test_transforms(self):
+        ctx = RecordingContext()
+        stage = MapStage(lambda x: x * 2, size_of=4.0)
+        for i in range(3):
+            stage.on_item(i, ctx)
+        assert [p for p, _ in ctx.emitted] == [0, 2, 4]
+        assert all(s == 4.0 for _, s in ctx.emitted)
+
+    def test_dynamic_size(self):
+        ctx = RecordingContext()
+        stage = MapStage(str, size_of=lambda s: float(len(s)))
+        stage.on_item(12345, ctx)
+        assert ctx.emitted == [("12345", 5.0)]
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(TypeError):
+            MapStage("not a function")
+
+
+class TestFilterStage:
+    def test_filters(self):
+        ctx = RecordingContext()
+        stage = FilterStage(lambda x: x % 2 == 0)
+        for i in range(10):
+            stage.on_item(i, ctx)
+        assert [p for p, _ in ctx.emitted] == [0, 2, 4, 6, 8]
+        assert stage.dropped == 5
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(TypeError):
+            FilterStage(42)
+
+
+class TestBatchStage:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchStage(0)
+        with pytest.raises(ValueError):
+            BatchStage(2, item_size=-1)
+
+    def test_groups_items(self):
+        ctx = RecordingContext()
+        stage = BatchStage(3, item_size=8.0, framing_bytes=16.0)
+        for i in range(7):
+            stage.on_item(i, ctx)
+        assert [p for p, _ in ctx.emitted] == [[0, 1, 2], [3, 4, 5]]
+        assert ctx.emitted[0][1] == 16.0 + 24.0
+
+    def test_flush_emits_partial(self):
+        ctx = RecordingContext()
+        stage = BatchStage(3)
+        stage.on_item(1, ctx)
+        stage.flush(ctx)
+        assert [p for p, _ in ctx.emitted] == [[1]]
+
+    def test_flush_empty_is_silent(self):
+        ctx = RecordingContext()
+        BatchStage(3).flush(ctx)
+        assert ctx.emitted == []
+
+
+class TestTumblingWindow:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TumblingWindowStage(0, sum)
+        with pytest.raises(TypeError):
+            TumblingWindowStage(3, "nope")
+
+    def test_disjoint_windows(self):
+        ctx = RecordingContext()
+        stage = TumblingWindowStage(3, sum)
+        for i in range(9):
+            stage.on_item(i, ctx)
+        assert [p for p, _ in ctx.emitted] == [3, 12, 21]
+
+    def test_partial_window_at_flush(self):
+        ctx = RecordingContext()
+        stage = TumblingWindowStage(4, max)
+        for i in (5, 1):
+            stage.on_item(i, ctx)
+        stage.flush(ctx)
+        assert [p for p, _ in ctx.emitted] == [5]
+
+
+class TestSlidingWindow:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindowStage(0, 1, sum)
+        with pytest.raises(ValueError):
+            SlidingWindowStage(3, 0, sum)
+        with pytest.raises(TypeError):
+            SlidingWindowStage(3, 1, None)
+
+    def test_emits_after_fill_then_every_slide(self):
+        ctx = RecordingContext()
+        stage = SlidingWindowStage(3, 2, sum)
+        for i in range(8):
+            stage.on_item(i, ctx)
+        # windows: [0,1,2]=3 at fill; then every 2: [2,3,4]=9, [4,5,6]=15
+        assert [p for p, _ in ctx.emitted] == [3, 9, 15]
+
+    def test_slide_one_emits_every_item(self):
+        ctx = RecordingContext()
+        stage = SlidingWindowStage(2, 1, sum)
+        for i in range(5):
+            stage.on_item(i, ctx)
+        assert [p for p, _ in ctx.emitted] == [1, 3, 5, 7]
+
+
+class TestAdaptiveSampleStage:
+    def test_declares_parameter(self):
+        ctx = RecordingContext()
+        stage = AdaptiveSampleStage(initial_rate=0.2)
+        stage.setup(ctx)
+        param = ctx.parameters["sampling-rate"]
+        assert param.value == 0.2 and param.direction == -1
+
+    def test_samples_at_declared_rate(self):
+        ctx = RecordingContext()
+        stage = AdaptiveSampleStage(initial_rate=0.25)
+        stage.setup(ctx)
+        for i in range(400):
+            stage.on_item(i, ctx)
+        assert len(ctx.emitted) == 100
+        assert stage.result() == {"seen": 400, "kept": 100}
+
+    def test_follows_rate_changes(self):
+        ctx = RecordingContext()
+        stage = AdaptiveSampleStage(initial_rate=1.0)
+        stage.setup(ctx)
+        for i in range(10):
+            stage.on_item(i, ctx)
+        ctx.parameters["sampling-rate"].set_value(0.01, 1.0)
+        for i in range(10):
+            stage.on_item(i, ctx)
+        assert len(ctx.emitted) <= 11
+
+
+class TestCollectStage:
+    def test_collects(self):
+        ctx = RecordingContext()
+        sink = CollectStage()
+        for i in range(3):
+            sink.on_item(i, ctx)
+        assert sink.result() == [0, 1, 2]
+
+    def test_limit(self):
+        ctx = RecordingContext()
+        sink = CollectStage(limit=2)
+        for i in range(5):
+            sink.on_item(i, ctx)
+        assert sink.result() == [0, 1]
+        assert sink.overflowed == 3
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            CollectStage(limit=0)
+
+    def test_result_is_copy(self):
+        ctx = RecordingContext()
+        sink = CollectStage()
+        sink.on_item(1, ctx)
+        sink.result().append("junk")
+        assert sink.result() == [1]
+
+
+class TestOperatorsInPipeline:
+    def test_composed_pipeline_end_to_end(self):
+        """map -> filter -> window composed under the simulated runtime."""
+        from repro.core.runtime_sim import SimulatedRuntime, SourceBinding
+        from repro.grid.config import AppConfig, StageConfig, StreamConfig
+        from repro.grid.deployer import Deployer
+        from repro.grid.registry import ServiceRegistry
+        from repro.grid.repository import CodeRepository
+        from repro.simnet.engine import Environment
+        from repro.simnet.topology import Network
+
+        env = Environment()
+        net = Network(env)
+        net.create_host("h", cores=2)
+        registry = ServiceRegistry()
+        registry.register_network(net)
+        repo = CodeRepository()
+        repo.publish("repo://ops/square", lambda: MapStage(lambda x: x * x))
+        repo.publish("repo://ops/evens", lambda: FilterStage(lambda x: x % 2 == 0))
+        repo.publish("repo://ops/sum3", lambda: TumblingWindowStage(3, sum))
+        repo.publish("repo://ops/sink", CollectStage)
+        config = AppConfig(
+            name="ops",
+            stages=[
+                StageConfig("square", "repo://ops/square"),
+                StageConfig("evens", "repo://ops/evens"),
+                StageConfig("sum3", "repo://ops/sum3"),
+                StageConfig("sink", "repo://ops/sink"),
+            ],
+            streams=[
+                StreamConfig("a", "square", "evens"),
+                StreamConfig("b", "evens", "sum3"),
+                StreamConfig("c", "sum3", "sink"),
+            ],
+        )
+        deployment = Deployer(registry, repo).deploy(config)
+        runtime = SimulatedRuntime(env, net, deployment, adaptation_enabled=False)
+        runtime.bind_source(SourceBinding("nums", "square", list(range(12))))
+        result = runtime.run()
+        # squares of 0..11, evens kept: 0,4,16,36,64,100 -> windows of 3.
+        assert result.final_value("sink") == [20, 200]

@@ -1,0 +1,215 @@
+"""Unit tests for the XML application configuration model."""
+
+import pytest
+
+from repro.grid.config import (
+    AppConfig,
+    ConfigError,
+    ParameterConfig,
+    StageConfig,
+    StreamConfig,
+)
+from repro.grid.resources import ResourceRequirement
+
+
+def sample_config():
+    return AppConfig(
+        name="count-samps",
+        stages=[
+            StageConfig(
+                name="filter-0",
+                code_url="repo://count-samps/filter",
+                requirement=ResourceRequirement(
+                    placement_hint="near:src-0",
+                    min_memory_mb=256.0,
+                    min_bandwidth_to={"join": 1000.0},
+                ),
+                parameters=[
+                    ParameterConfig(
+                        name="sample-size",
+                        init=100.0,
+                        minimum=10.0,
+                        maximum=240.0,
+                        increment=10.0,
+                        direction=-1,
+                    )
+                ],
+                properties={"top-k": "10"},
+            ),
+            StageConfig(name="join", code_url="repo://count-samps/join"),
+        ],
+        streams=[
+            StreamConfig(name="s0", src="filter-0", dst="join", item_size=8.0),
+        ],
+    )
+
+
+class TestParameterConfig:
+    def test_valid(self):
+        p = ParameterConfig("x", 0.5, 0.0, 1.0, 0.01, 1)
+        assert p.init == 0.5
+
+    def test_init_out_of_range(self):
+        with pytest.raises(ConfigError):
+            ParameterConfig("x", 2.0, 0.0, 1.0, 0.01, 1)
+
+    def test_min_above_max(self):
+        with pytest.raises(ConfigError):
+            ParameterConfig("x", 0.5, 1.0, 0.0, 0.01, 1)
+
+    def test_bad_increment(self):
+        with pytest.raises(ConfigError):
+            ParameterConfig("x", 0.5, 0.0, 1.0, 0.0, 1)
+
+    def test_bad_direction(self):
+        with pytest.raises(ConfigError):
+            ParameterConfig("x", 0.5, 0.0, 1.0, 0.1, 0)
+
+
+class TestStreamConfig:
+    def test_self_loop_rejected(self):
+        with pytest.raises(ConfigError):
+            StreamConfig("s", "a", "a")
+
+    def test_bad_item_size(self):
+        with pytest.raises(ConfigError):
+            StreamConfig("s", "a", "b", item_size=0)
+
+
+class TestValidation:
+    def test_sample_is_valid(self):
+        sample_config().validate()
+
+    def test_empty_name(self):
+        cfg = sample_config()
+        cfg.name = ""
+        with pytest.raises(ConfigError):
+            cfg.validate()
+
+    def test_no_stages(self):
+        with pytest.raises(ConfigError):
+            AppConfig(name="x").validate()
+
+    def test_duplicate_stage_names(self):
+        cfg = sample_config()
+        cfg.stages.append(StageConfig(name="join", code_url="repo://dup"))
+        with pytest.raises(ConfigError):
+            cfg.validate()
+
+    def test_duplicate_stream_names(self):
+        cfg = sample_config()
+        cfg.streams.append(StreamConfig(name="s0", src="join", dst="filter-0"))
+        with pytest.raises(ConfigError):
+            cfg.validate()
+
+    def test_stream_unknown_stage(self):
+        cfg = sample_config()
+        cfg.streams.append(StreamConfig(name="s1", src="ghost", dst="join"))
+        with pytest.raises(ConfigError):
+            cfg.validate()
+
+    def test_cycle_detected(self):
+        cfg = sample_config()
+        cfg.streams.append(StreamConfig(name="back", src="join", dst="filter-0"))
+        with pytest.raises(ConfigError, match="cycle"):
+            cfg.validate()
+
+
+class TestGraphQueries:
+    def test_topological_order(self):
+        cfg = sample_config()
+        names = [s.name for s in cfg.topological_stages()]
+        assert names.index("filter-0") < names.index("join")
+
+    def test_upstream_downstream(self):
+        cfg = sample_config()
+        assert cfg.upstream_of("join") == ["filter-0"]
+        assert cfg.downstream_of("filter-0") == ["join"]
+        assert cfg.upstream_of("filter-0") == []
+
+    def test_stage_lookup(self):
+        cfg = sample_config()
+        assert cfg.stage("join").code_url == "repo://count-samps/join"
+        with pytest.raises(ConfigError):
+            cfg.stage("nope")
+
+
+class TestXmlRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        original = sample_config()
+        restored = AppConfig.from_xml(original.to_xml())
+        assert restored.name == original.name
+        assert [s.name for s in restored.stages] == ["filter-0", "join"]
+        f0 = restored.stage("filter-0")
+        assert f0.requirement.placement_hint == "near:src-0"
+        assert f0.requirement.min_memory_mb == 256.0
+        assert f0.requirement.min_bandwidth_to == {"join": 1000.0}
+        assert f0.parameters[0] == ParameterConfig(
+            "sample-size", 100.0, 10.0, 240.0, 10.0, -1
+        )
+        assert f0.properties == {"top-k": "10"}
+        assert restored.streams[0] == StreamConfig("s0", "filter-0", "join", 8.0)
+
+    def test_from_xml_validates(self):
+        bad = "<application name='x'><stage name='a' code='repo://a'/>" \
+              "<stream name='s' from='a' to='ghost'/></application>"
+        with pytest.raises(ConfigError):
+            AppConfig.from_xml(bad)
+
+    def test_malformed_xml(self):
+        with pytest.raises(ConfigError):
+            AppConfig.from_xml("<application")
+
+    def test_wrong_root(self):
+        with pytest.raises(ConfigError):
+            AppConfig.from_xml("<app name='x'/>")
+
+    def test_missing_app_name(self):
+        with pytest.raises(ConfigError):
+            AppConfig.from_xml("<application/>")
+
+    def test_stage_missing_attrs(self):
+        with pytest.raises(ConfigError):
+            AppConfig.from_xml("<application name='x'><stage name='a'/></application>")
+
+    def test_unexpected_element(self):
+        with pytest.raises(ConfigError):
+            AppConfig.from_xml("<application name='x'><widget/></application>")
+
+    def test_unexpected_stage_child(self):
+        doc = (
+            "<application name='x'>"
+            "<stage name='a' code='repo://a'><widget/></stage>"
+            "</application>"
+        )
+        with pytest.raises(ConfigError):
+            AppConfig.from_xml(doc)
+
+    def test_bad_parameter_numbers(self):
+        doc = (
+            "<application name='x'>"
+            "<stage name='a' code='repo://a'>"
+            "<parameter name='p' init='abc' min='0' max='1' increment='1' direction='1'/>"
+            "</stage></application>"
+        )
+        with pytest.raises(ConfigError):
+            AppConfig.from_xml(doc)
+
+    def test_property_missing_key(self):
+        doc = (
+            "<application name='x'>"
+            "<stage name='a' code='repo://a'><property value='v'/></stage>"
+            "</application>"
+        )
+        with pytest.raises(ConfigError):
+            AppConfig.from_xml(doc)
+
+    def test_default_item_size(self):
+        doc = (
+            "<application name='x'>"
+            "<stage name='a' code='repo://a'/><stage name='b' code='repo://b'/>"
+            "<stream name='s' from='a' to='b'/>"
+            "</application>"
+        )
+        cfg = AppConfig.from_xml(doc)
+        assert cfg.streams[0].item_size == 8.0

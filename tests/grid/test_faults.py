@@ -1,0 +1,205 @@
+"""Tests for host failures, fault injection, and redeployment."""
+
+import pytest
+
+from repro.grid.config import AppConfig, StageConfig, StreamConfig
+from repro.grid.deployer import Deployer, DeploymentError
+from repro.grid.faults import FaultInjector, FaultPlan, Redeployer
+from repro.grid.matchmaker import MatchError, Matchmaker
+from repro.grid.registry import ServiceRegistry
+from repro.grid.repository import CodeRepository
+from repro.grid.resources import ResourceRequirement
+from repro.grid.services import ServiceState
+from repro.simnet.engine import Environment
+from repro.simnet.hosts import CpuCostModel, Host, HostFailedError
+from repro.simnet.topology import Network
+
+
+class StageA:
+    pass
+
+
+class StageB:
+    pass
+
+
+def make_fabric():
+    env = Environment()
+    net = Network(env)
+    for name in ("h1", "h2", "h3"):
+        net.create_host(name, cores=2)
+    net.connect("h1", "h2", 1000.0)
+    net.connect("h2", "h3", 1000.0)
+    registry = ServiceRegistry()
+    registry.register_network(net)
+    repo = CodeRepository()
+    repo.publish("repo://f/a", StageA)
+    repo.publish("repo://f/b", StageB)
+    return env, net, registry, repo
+
+
+def make_deployment(registry, repo, pin_a="h1"):
+    config = AppConfig(
+        name="fapp",
+        stages=[
+            StageConfig("a", "repo://f/a",
+                        requirement=ResourceRequirement(placement_hint=pin_a),
+                        properties={"k": "v"}),
+            StageConfig("b", "repo://f/b"),
+        ],
+        streams=[StreamConfig("s", "a", "b")],
+    )
+    deployer = Deployer(registry, repo)
+    return deployer, deployer.deploy(config)
+
+
+class TestHostFailure:
+    def test_failed_host_rejects_new_work(self):
+        env = Environment()
+        host = Host(env, "h")
+        host.fail()
+
+        def proc(env):
+            yield host.execute(CpuCostModel(), seconds=1.0)
+
+        env.process(proc(env))
+        with pytest.raises(HostFailedError):
+            env.run()
+
+    def test_in_flight_work_fails_on_crash(self):
+        env = Environment()
+        host = Host(env, "h")
+        caught = []
+
+        def worker(env):
+            try:
+                yield host.execute(CpuCostModel(), seconds=10.0)
+            except HostFailedError:
+                caught.append(env.now)
+
+        def killer(env):
+            yield env.timeout(5.0)
+            host.fail()
+
+        env.process(worker(env))
+        env.process(killer(env))
+        env.run()
+        assert caught == [10.0]  # surfaces when the work would finish
+
+    def test_recovered_host_accepts_work(self):
+        env = Environment()
+        host = Host(env, "h")
+        host.fail()
+        host.recover()
+        done = []
+
+        def proc(env):
+            yield host.execute(CpuCostModel(), seconds=1.0)
+            done.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert done == [1.0]
+
+
+class TestFaultInjector:
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan("h1", fail_at=-1.0)
+        with pytest.raises(ValueError):
+            FaultPlan("h1", fail_at=5.0, recover_at=5.0)
+
+    def test_scheduled_failure_and_recovery(self):
+        env, net, registry, repo = make_fabric()
+        injector = FaultInjector(env, net)
+        injector.schedule(FaultPlan("h2", fail_at=10.0, recover_at=20.0))
+        env.run(until=15.0)
+        assert net.host("h2").failed
+        env.run(until=25.0)
+        assert not net.host("h2").failed
+        assert [(t, h, k) for t, h, k in injector.events] == [
+            (10.0, "h2", "fail"),
+            (20.0, "h2", "recover"),
+        ]
+
+    def test_unknown_host_rejected_at_schedule_time(self):
+        env, net, registry, repo = make_fabric()
+        with pytest.raises(Exception):
+            FaultInjector(env, net).schedule(FaultPlan("ghost", fail_at=1.0))
+
+
+class TestMatchmakerLiveness:
+    def test_failed_host_filtered_from_ranking(self):
+        env, net, registry, repo = make_fabric()
+        mm = Matchmaker(registry)
+        first = mm.match_one(ResourceRequirement())
+        net.host(first).fail()
+        assert mm.match_one(ResourceRequirement()) != first
+
+    def test_pin_to_failed_host_raises(self):
+        env, net, registry, repo = make_fabric()
+        net.host("h1").fail()
+        mm = Matchmaker(registry)
+        with pytest.raises(MatchError, match="failed host"):
+            mm.match_one(ResourceRequirement(placement_hint="h1"))
+
+    def test_all_failed_is_unmatchable(self):
+        env, net, registry, repo = make_fabric()
+        for name in ("h1", "h2", "h3"):
+            net.host(name).fail()
+        with pytest.raises(MatchError):
+            Matchmaker(registry).match_one(ResourceRequirement())
+
+
+class TestRedeployer:
+    def test_moves_stages_off_failed_host(self):
+        env, net, registry, repo = make_fabric()
+        deployer, deployment = make_deployment(registry, repo)
+        old_instance = deployment.instance_of("a")
+        net.host("h1").fail()
+        report = Redeployer(deployer).redeploy(deployment, "h1")
+        assert report.moved_stages == ["a"]
+        new_host = deployment.host_of("a")
+        assert new_host != "h1"
+        assert old_instance.state is ServiceState.DESTROYED
+        new_instance = deployment.instance_of("a")
+        assert new_instance.state is ServiceState.ACTIVE
+        assert new_instance.properties == {"k": "v"}
+
+    def test_unaffected_stages_untouched(self):
+        env, net, registry, repo = make_fabric()
+        deployer, deployment = make_deployment(registry, repo)
+        b_before = deployment.instance_of("b")
+        net.host("h1").fail()
+        Redeployer(deployer).redeploy(deployment, "h1")
+        assert deployment.instance_of("b") is b_before
+
+    def test_noop_when_nothing_placed_there(self):
+        env, net, registry, repo = make_fabric()
+        deployer, deployment = make_deployment(registry, repo)
+        report = Redeployer(deployer).redeploy(deployment, "h3")
+        assert report.moved_stages == []
+
+    def test_registry_reflects_the_move(self):
+        env, net, registry, repo = make_fabric()
+        deployer, deployment = make_deployment(registry, repo)
+        net.host("h1").fail()
+        Redeployer(deployer).redeploy(deployment, "h1")
+        new_host = deployment.host_of("a")
+        assert f"gates/{new_host}/fapp/a" in registry.services()
+        assert "gates/h1/fapp/a" not in registry.services()
+
+    def test_impossible_replacement_raises(self):
+        env, net, registry, repo = make_fabric()
+        deployer, deployment = make_deployment(registry, repo)
+        for name in ("h1", "h2", "h3"):
+            net.host(name).fail()
+        with pytest.raises(DeploymentError):
+            Redeployer(deployer).redeploy(deployment, "h1")
+
+    def test_processor_instantiable_after_move(self):
+        env, net, registry, repo = make_fabric()
+        deployer, deployment = make_deployment(registry, repo)
+        net.host("h1").fail()
+        Redeployer(deployer).redeploy(deployment, "h1")
+        assert isinstance(deployment.instance_of("a").instantiate_processor(), StageA)

@@ -1,0 +1,140 @@
+"""Tests for heartbeat failure detection and automatic recovery."""
+
+import pytest
+
+from repro.grid.config import AppConfig, StageConfig, StreamConfig
+from repro.grid.deployer import Deployer
+from repro.grid.faults import FaultInjector, FaultPlan, Redeployer
+from repro.grid.heartbeat import AutoRecovery, HeartbeatDetector
+from repro.grid.registry import ServiceRegistry
+from repro.grid.repository import CodeRepository
+from repro.grid.resources import ResourceRequirement
+from repro.simnet.engine import Environment
+from repro.simnet.topology import Network
+
+
+class StageA:
+    pass
+
+
+def make_fabric():
+    env = Environment()
+    net = Network(env)
+    for name in ("h1", "h2", "h3"):
+        net.create_host(name, cores=2)
+    net.connect("h1", "h2", 1000.0)
+    net.connect("h2", "h3", 1000.0)
+    registry = ServiceRegistry()
+    registry.register_network(net)
+    repo = CodeRepository()
+    repo.publish("repo://hb/a", StageA)
+    return env, net, registry, repo
+
+
+class TestHeartbeatDetector:
+    def test_validation(self):
+        env, net, *_ = make_fabric()
+        with pytest.raises(ValueError):
+            HeartbeatDetector(env, net, interval=0)
+        with pytest.raises(ValueError):
+            HeartbeatDetector(env, net, interval=1.0, timeout=1.0)
+
+    def test_double_start_rejected(self):
+        env, net, *_ = make_fabric()
+        detector = HeartbeatDetector(env, net)
+        detector.start()
+        with pytest.raises(RuntimeError):
+            detector.start()
+
+    def test_healthy_hosts_never_suspected(self):
+        env, net, *_ = make_fabric()
+        detector = HeartbeatDetector(env, net, interval=1.0, timeout=3.0)
+        detector.start()
+        env.run(until=50.0)
+        assert detector.suspicions == []
+        assert not detector.is_suspected("h1")
+
+    def test_failed_host_suspected_within_timeout(self):
+        env, net, *_ = make_fabric()
+        detector = HeartbeatDetector(env, net, interval=1.0, timeout=3.0)
+        detector.start()
+        FaultInjector(env, net).schedule(FaultPlan("h2", fail_at=10.0))
+        env.run(until=20.0)
+        assert detector.is_suspected("h2")
+        assert len(detector.suspicions) == 1
+        suspect_time, host = detector.suspicions[0]
+        assert host == "h2"
+        # Last beat at t=10 (the t=10 beat races the failure; either way
+        # detection must land within timeout + one detection interval).
+        assert 12.0 <= suspect_time <= 15.0
+
+    def test_callbacks_invoked(self):
+        env, net, *_ = make_fabric()
+        detector = HeartbeatDetector(env, net, interval=0.5, timeout=1.5)
+        seen = []
+        detector.on_suspect(lambda host, t: seen.append((host, t)))
+        detector.start()
+        FaultInjector(env, net).schedule(FaultPlan("h1", fail_at=5.0))
+        env.run(until=10.0)
+        assert [h for h, _ in seen] == ["h1"]
+
+    def test_recovered_host_can_be_resuspected(self):
+        env, net, *_ = make_fabric()
+        detector = HeartbeatDetector(env, net, interval=0.5, timeout=1.5)
+        detector.start()
+        injector = FaultInjector(env, net)
+        injector.schedule(FaultPlan("h3", fail_at=5.0, recover_at=10.0))
+        env.run(until=8.0)
+        assert detector.is_suspected("h3")
+        env.run(until=12.0)
+        # Recovery restarts nothing automatically — the emitter died when
+        # the host crashed — so the suspicion persists until re-armed.
+        # (crash-stop semantics: a recovered host is a *new* participant.)
+        assert detector.is_suspected("h3")
+
+
+class TestAutoRecovery:
+    def test_suspicion_triggers_redeployment(self):
+        env, net, registry, repo = make_fabric()
+        config = AppConfig(
+            name="hbapp",
+            stages=[
+                StageConfig("a", "repo://hb/a",
+                            requirement=ResourceRequirement(placement_hint="h1")),
+            ],
+        )
+        deployer = Deployer(registry, repo)
+        deployment = deployer.deploy(config)
+        detector = HeartbeatDetector(env, net, interval=0.5, timeout=1.5)
+        recovery = AutoRecovery(Redeployer(deployer), deployment)
+        reports = []
+        recovery.on_recovered = reports.append
+        detector.on_suspect(recovery)
+        detector.start()
+        FaultInjector(env, net).schedule(FaultPlan("h1", fail_at=3.0))
+        env.run(until=10.0)
+        assert len(recovery.recoveries) == 1
+        _, host, moved = recovery.recoveries[0]
+        assert host == "h1" and moved == ["a"]
+        assert deployment.host_of("a") != "h1"
+        assert reports and reports[0].moved_stages == ["a"]
+
+    def test_unaffected_host_failure_is_a_noop_recovery(self):
+        env, net, registry, repo = make_fabric()
+        config = AppConfig(
+            name="hbapp2",
+            stages=[
+                StageConfig("a", "repo://hb/a",
+                            requirement=ResourceRequirement(placement_hint="h1")),
+            ],
+        )
+        deployer = Deployer(registry, repo)
+        deployment = deployer.deploy(config)
+        detector = HeartbeatDetector(env, net, interval=0.5, timeout=1.5)
+        recovery = AutoRecovery(Redeployer(deployer), deployment)
+        detector.on_suspect(recovery)
+        detector.start()
+        FaultInjector(env, net).schedule(FaultPlan("h3", fail_at=3.0))
+        env.run(until=10.0)
+        assert recovery.recoveries == [(pytest.approx(4.5, abs=1.0), "h3", [])]
+        assert deployment.host_of("a") == "h1"

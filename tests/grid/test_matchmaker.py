@@ -1,0 +1,157 @@
+"""Unit tests for the resource matchmaker/broker."""
+
+import pytest
+
+from repro.grid.matchmaker import MatchError, Matchmaker
+from repro.grid.registry import ServiceRegistry
+from repro.grid.resources import ResourceRequirement
+from repro.simnet.engine import Environment
+from repro.simnet.topology import Network
+
+
+def make_registry():
+    env = Environment()
+    net = Network(env)
+    net.create_host("src-0", cores=1, memory_mb=512)
+    net.create_host("src-1", cores=1, memory_mb=512)
+    net.create_host("edge-0", cores=2, memory_mb=1024)
+    net.create_host("hub", cores=8, speed_factor=2.0, memory_mb=4096)
+    net.connect("src-0", "edge-0", bandwidth=1_000_000.0)
+    net.connect("src-0", "hub", bandwidth=1_000.0)
+    net.connect("src-1", "hub", bandwidth=100_000.0)
+    net.connect("edge-0", "hub", bandwidth=100_000.0)
+    reg = ServiceRegistry()
+    reg.register_network(net)
+    return reg
+
+
+class TestMatchOne:
+    def test_best_headroom_wins(self):
+        mm = Matchmaker(make_registry())
+        assert mm.match_one(ResourceRequirement()) == "hub"
+
+    def test_exclusion_picks_next_best(self):
+        mm = Matchmaker(make_registry())
+        assert mm.match_one(ResourceRequirement(), exclude={"hub"}) == "edge-0"
+
+    def test_direct_pin_honoured(self):
+        mm = Matchmaker(make_registry())
+        req = ResourceRequirement(placement_hint="src-1")
+        assert mm.match_one(req) == "src-1"
+
+    def test_pin_must_be_feasible(self):
+        mm = Matchmaker(make_registry())
+        req = ResourceRequirement(min_cores=4, placement_hint="src-0")
+        with pytest.raises(MatchError):
+            mm.match_one(req)
+
+    def test_near_hint_prefers_anchor_itself(self):
+        mm = Matchmaker(make_registry())
+        req = ResourceRequirement(placement_hint="near:src-0")
+        assert mm.match_one(req) == "src-0"
+
+    def test_near_hint_unknown_anchor(self):
+        mm = Matchmaker(make_registry())
+        with pytest.raises(MatchError):
+            mm.match_one(ResourceRequirement(placement_hint="near:ghost"))
+
+    def test_infeasible_requirement(self):
+        mm = Matchmaker(make_registry())
+        with pytest.raises(MatchError):
+            mm.match_one(ResourceRequirement(min_cores=128))
+
+    def test_bandwidth_constraint_filters_hosts(self):
+        mm = Matchmaker(make_registry())
+        # Only src-1 and edge-0 (and hub itself) reach hub at >= 100 KB/s.
+        req = ResourceRequirement(min_bandwidth_to={"hub": 100_000.0})
+        host = mm.match_one(req, exclude={"hub"})
+        assert host in {"src-1", "edge-0"}
+
+    def test_colocation_disabled(self):
+        reg = make_registry()
+        mm = Matchmaker(reg, allow_colocation=False)
+        claimed = {o.host_name for o in reg.offers()}
+        with pytest.raises(MatchError):
+            mm.match_one(ResourceRequirement(), exclude=claimed)
+
+    def test_deterministic_tiebreak_on_name(self):
+        env = Environment()
+        net = Network(env)
+        net.create_host("b")
+        net.create_host("a")
+        reg = ServiceRegistry()
+        reg.register_network(net)
+        mm = Matchmaker(reg)
+        assert mm.match_one(ResourceRequirement()) == "a"
+
+
+class TestMatchAll:
+    def test_sources_pinned_center_flexible(self):
+        mm = Matchmaker(make_registry())
+        requirements = [
+            ("filter-0", ResourceRequirement(placement_hint="near:src-0")),
+            ("filter-1", ResourceRequirement(placement_hint="near:src-1")),
+            ("join", ResourceRequirement(min_cores=4)),
+        ]
+        assignment = mm.match_all(requirements)
+        assert assignment["filter-0"] == "src-0"
+        assert assignment["filter-1"] == "src-1"
+        assert assignment["join"] == "hub"
+
+    def test_hinted_stages_claim_first(self):
+        mm = Matchmaker(make_registry())
+        # The flexible stage would normally take 'hub', but a later hinted
+        # stage pins it, so the flexible stage must go elsewhere.
+        requirements = [
+            ("flex", ResourceRequirement()),
+            ("pinned", ResourceRequirement(placement_hint="hub")),
+        ]
+        assignment = mm.match_all(requirements)
+        assert assignment["pinned"] == "hub"
+        assert assignment["flex"] != "hub"
+
+    def test_stage_name_bandwidth_reference(self):
+        mm = Matchmaker(make_registry())
+        requirements = [
+            ("join", ResourceRequirement(placement_hint="hub")),
+            (
+                "filter",
+                ResourceRequirement(
+                    placement_hint="src-0",
+                    # src-0 -> hub path: direct link at 1 KB/s but the
+                    # route via edge-0 gives 100 KB/s; require that.
+                    min_bandwidth_to={"join": 50_000.0},
+                ),
+            ),
+        ]
+        assignment = mm.match_all(requirements)
+        assert assignment["filter"] == "src-0"
+
+    def test_pairwise_bandwidth_violation_raises(self):
+        mm = Matchmaker(make_registry())
+        requirements = [
+            ("join", ResourceRequirement(placement_hint="hub")),
+            (
+                "filter",
+                ResourceRequirement(
+                    placement_hint="src-0",
+                    min_bandwidth_to={"join": 10_000_000.0},
+                ),
+            ),
+        ]
+        with pytest.raises(MatchError):
+            mm.match_all(requirements)
+
+    def test_empty_requirements(self):
+        mm = Matchmaker(make_registry())
+        assert mm.match_all([]) == {}
+
+    def test_deterministic_assignment(self):
+        requirements = [
+            ("a", ResourceRequirement()),
+            ("b", ResourceRequirement()),
+            ("c", ResourceRequirement()),
+        ]
+        first = Matchmaker(make_registry()).match_all(list(requirements))
+        second = Matchmaker(make_registry()).match_all(list(requirements))
+        assert first == second

@@ -1,0 +1,126 @@
+"""Tests for registered data-stream sources."""
+
+import pytest
+
+from repro.apps.count_samps import build_distributed_config
+from repro.core.runtime_sim import SimulatedRuntime
+from repro.experiments.common import build_star_fabric
+from repro.grid.stream_sources import (
+    StreamSourceDescriptor,
+    bind_registered_streams,
+    register_stream_source,
+    registered_streams,
+)
+from repro.streams.arrivals import PoissonArrivals
+from repro.streams.sources import IntegerStream
+
+
+def make_setup(n=2):
+    fabric = build_star_fabric(n, bandwidth=1_000_000.0)
+    config = build_distributed_config(n, fabric.source_hosts, batch=400)
+    deployment = fabric.launcher.launch(config)
+    runtime = SimulatedRuntime(
+        fabric.env, fabric.network, deployment, adaptation_enabled=False
+    )
+    return fabric, deployment, runtime
+
+
+class TestDescriptor:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamSourceDescriptor("", "h", lambda: [])
+        with pytest.raises(TypeError):
+            StreamSourceDescriptor("s", "h", payload_factory=42)
+        with pytest.raises(ValueError):
+            StreamSourceDescriptor("s", "h", lambda: [], rate=0)
+
+    def test_to_binding_fresh_payloads_each_call(self):
+        descriptor = StreamSourceDescriptor(
+            "s", "h", payload_factory=lambda: iter([1, 2, 3])
+        )
+        b1 = descriptor.to_binding("stage")
+        b2 = descriptor.to_binding("stage")
+        assert list(b1.payloads) == [1, 2, 3]
+        assert list(b2.payloads) == [1, 2, 3]  # not exhausted by b1
+
+    def test_arrivals_factory_used(self):
+        descriptor = StreamSourceDescriptor(
+            "s", "h", lambda: [],
+            arrivals_factory=lambda: PoissonArrivals(10.0, seed=1),
+        )
+        binding = descriptor.to_binding("stage")
+        assert isinstance(binding.arrivals, PoissonArrivals)
+
+
+class TestRegistration:
+    def test_register_and_enumerate(self):
+        fabric, deployment, runtime = make_setup()
+        descriptor = StreamSourceDescriptor(
+            "lhc-tier0", "source-0", lambda: [], metadata={"site": "cern"}
+        )
+        register_stream_source(fabric.registry, descriptor)
+        streams = registered_streams(fabric.registry)
+        assert streams == {"lhc-tier0": descriptor}
+
+    def test_unknown_host_rejected(self):
+        fabric, deployment, runtime = make_setup()
+        with pytest.raises(Exception):
+            register_stream_source(
+                fabric.registry,
+                StreamSourceDescriptor("s", "nowhere", lambda: []),
+            )
+
+    def test_duplicate_name_rejected(self):
+        fabric, deployment, runtime = make_setup()
+        register_stream_source(
+            fabric.registry, StreamSourceDescriptor("s", "source-0", lambda: [])
+        )
+        with pytest.raises(Exception):
+            register_stream_source(
+                fabric.registry, StreamSourceDescriptor("s", "source-1", lambda: [])
+            )
+
+
+class TestBinding:
+    def _register(self, fabric, n=2, items=4000):
+        for i in range(n):
+            register_stream_source(
+                fabric.registry,
+                StreamSourceDescriptor(
+                    f"instrument-{i}",
+                    f"source-{i}",
+                    payload_factory=lambda i=i: list(
+                        IntegerStream(items, universe=500, seed=80 + i)
+                    ),
+                    rate=2_000.0,
+                ),
+            )
+
+    def test_end_to_end_via_registered_streams(self):
+        fabric, deployment, runtime = make_setup()
+        self._register(fabric)
+        bindings = bind_registered_streams(
+            runtime, fabric.registry, deployment,
+            {"instrument-0": "filter-0", "instrument-1": "filter-1"},
+        )
+        assert len(bindings) == 2
+        result = runtime.run()
+        assert result.stage("filter-0").items_in == 4000
+        assert len(result.final_value("join")) == 10
+
+    def test_unknown_stream_rejected(self):
+        fabric, deployment, runtime = make_setup()
+        with pytest.raises(KeyError, match="no stream"):
+            bind_registered_streams(
+                runtime, fabric.registry, deployment, {"ghost": "filter-0"}
+            )
+
+    def test_placement_mismatch_rejected(self):
+        fabric, deployment, runtime = make_setup()
+        self._register(fabric)
+        # instrument-1 arrives at source-1; filter-0 is on source-0.
+        with pytest.raises(ValueError, match="arrives at"):
+            bind_registered_streams(
+                runtime, fabric.registry, deployment,
+                {"instrument-1": "filter-0"},
+            )

@@ -1,0 +1,85 @@
+"""Unit tests for the top-k accuracy metrics."""
+
+import pytest
+
+from repro.metrics import frequency_error, topk_accuracy, topk_recall
+
+TRUTH = [(1, 100.0), (2, 90.0), (3, 80.0), (4, 70.0), (5, 60.0)]
+
+
+class TestTopkRecall:
+    def test_perfect(self):
+        assert topk_recall(TRUTH, TRUTH, k=5) == 1.0
+
+    def test_partial(self):
+        reported = [(1, 100.0), (2, 90.0), (9, 85.0), (8, 75.0), (7, 65.0)]
+        assert topk_recall(reported, TRUTH, k=5) == pytest.approx(0.4)
+
+    def test_zero_overlap(self):
+        reported = [(9, 1.0), (8, 1.0)]
+        assert topk_recall(reported, TRUTH, k=5) == 0.0
+
+    def test_order_within_reported_irrelevant(self):
+        shuffled = list(reversed(TRUTH))
+        assert topk_recall(shuffled, TRUTH, k=5) == 1.0
+
+    def test_k_smaller_than_lists(self):
+        reported = [(1, 100.0), (9, 95.0), (2, 90.0)]
+        # top-2 of reported: {1, 9}; top-2 of truth: {1, 2}.
+        assert topk_recall(reported, TRUTH, k=2) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            topk_recall(TRUTH, TRUTH, k=0)
+        with pytest.raises(ValueError):
+            topk_recall(TRUTH, [], k=3)
+        with pytest.raises(ValueError):
+            topk_recall([(1, 1.0), (1, 2.0)], TRUTH, k=3)
+
+
+class TestFrequencyError:
+    def test_exact_counts_zero_error(self):
+        assert frequency_error(TRUTH, TRUTH, k=5) == 0.0
+
+    def test_relative_error_averaged(self):
+        reported = [(1, 90.0), (2, 90.0), (3, 80.0), (4, 70.0), (5, 60.0)]
+        # Only value 1 is off, by 10%: mean error = 0.10 / 5.
+        assert frequency_error(reported, TRUTH, k=5) == pytest.approx(0.02)
+
+    def test_error_capped_at_one_per_value(self):
+        reported = [(1, 100000.0), (2, 90.0), (3, 80.0), (4, 70.0), (5, 60.0)]
+        assert frequency_error(reported, TRUTH, k=5) == pytest.approx(0.2)
+
+    def test_no_overlap_is_max_error(self):
+        assert frequency_error([(9, 1.0)], TRUTH, k=5) == 1.0
+
+    def test_zero_true_count_rejected(self):
+        with pytest.raises(ValueError):
+            frequency_error([(1, 1.0)], [(1, 0.0)], k=1)
+
+
+class TestTopkAccuracy:
+    def test_perfect(self):
+        assert topk_accuracy(TRUTH, TRUTH, k=5) == 1.0
+
+    def test_zero_recall_is_zero(self):
+        assert topk_accuracy([(9, 1.0)], TRUTH, k=5) == 0.0
+
+    def test_blend(self):
+        reported = [(1, 90.0), (2, 90.0), (9, 85.0), (4, 70.0), (5, 60.0)]
+        # recall 4/5; errors: v1 10% off, others exact -> mean 0.025.
+        expected = 0.8 * (1 - 0.025)
+        assert topk_accuracy(reported, TRUTH, k=5) == pytest.approx(expected)
+
+    def test_monotone_in_noise(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        accuracies = []
+        for noise in (0.0, 0.2, 0.8):
+            reported = [
+                (v, c * (1 + noise * float(rng.standard_normal())))
+                for v, c in TRUTH
+            ]
+            accuracies.append(topk_accuracy(reported, TRUTH, k=5))
+        assert accuracies[0] >= accuracies[1] >= accuracies[2]

@@ -1,0 +1,77 @@
+"""Unit tests for the ASCII strip charts."""
+
+import pytest
+
+from repro.metrics.ascii_chart import multi_chart, strip_chart
+
+
+class TestStripChart:
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            strip_chart([])
+
+    def test_renders_axes_and_points(self):
+        chart = strip_chart([(0.0, 0.0), (50.0, 0.5), (100.0, 1.0)])
+        assert "*" in chart
+        assert "100s" in chart
+        assert "+---" in chart
+
+    def test_value_labels_span_data_range(self):
+        chart = strip_chart([(0.0, 0.2), (10.0, 0.8)])
+        assert "0.80" in chart and "0.20" in chart
+
+    def test_constant_series_padded(self):
+        chart = strip_chart([(0.0, 0.5), (10.0, 0.5)])
+        assert "*" in chart  # does not divide by zero
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            strip_chart([(0.0, 1.0)], width=2)
+        with pytest.raises(ValueError):
+            strip_chart([(0.0, 1.0)], height=1)
+
+    def test_line_count(self):
+        chart = strip_chart([(0.0, 0.0), (1.0, 1.0)], height=10)
+        # 10 data rows + axis + footer.
+        assert len(chart.splitlines()) == 12
+
+
+class TestMultiChart:
+    def test_no_series_rejected(self):
+        with pytest.raises(ValueError):
+            multi_chart({})
+
+    def test_distinct_glyphs_and_legend(self):
+        chart = multi_chart(
+            {
+                "fast": [(0.0, 1.0), (10.0, 1.0)],
+                "slow": [(0.0, 0.0), (10.0, 0.2)],
+            }
+        )
+        assert "*" in chart and "+" in chart
+        assert "* fast" in chart and "+ slow" in chart
+
+    def test_legend_suppressable(self):
+        chart = multi_chart({"a": [(0.0, 1.0)]}, legend=False)
+        assert "a" not in chart.splitlines()[-1]
+
+    def test_glyphs_cycle_beyond_palette(self):
+        series = {f"s{i}": [(float(i), float(i))] for i in range(12)}
+        chart = multi_chart(series)
+        assert chart  # no crash; 12 > len(palette)
+
+    def test_monotone_series_renders_monotone(self):
+        chart = strip_chart(
+            [(float(t), t / 10.0) for t in range(11)], width=40, height=11
+        )
+        rows = chart.splitlines()[:-2]
+        cols = []
+        for row_index, line in enumerate(rows):
+            body = line.split("|", 1)[1]
+            for col, ch in enumerate(body):
+                if ch == "*":
+                    cols.append((col, row_index))
+        cols.sort()
+        row_positions = [r for _, r in cols]
+        # Increasing values appear in decreasing row indices (upwards).
+        assert row_positions == sorted(row_positions, reverse=True)

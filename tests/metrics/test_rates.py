@@ -1,0 +1,90 @@
+"""Unit tests for arrival-rate estimation."""
+
+import pytest
+
+from repro.metrics.rates import RateEstimator, WindowedRateEstimator
+
+
+class TestRateEstimator:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateEstimator(tau=0)
+        est = RateEstimator()
+        with pytest.raises(ValueError):
+            est.observe(0.0, count=0)
+
+    def test_first_event_gives_zero(self):
+        est = RateEstimator()
+        assert est.observe(1.0) == 0.0
+
+    def test_steady_stream_converges_to_true_rate(self):
+        est = RateEstimator(tau=2.0)
+        for i in range(1, 200):
+            est.observe(i * 0.1)  # 10 events/s
+        assert est.rate == pytest.approx(10.0, rel=0.05)
+
+    def test_rate_tracks_change(self):
+        est = RateEstimator(tau=1.0)
+        t = 0.0
+        for _ in range(100):
+            t += 0.1
+            est.observe(t)  # 10/s
+        for _ in range(200):
+            t += 0.02
+            est.observe(t)  # 50/s
+        assert est.rate == pytest.approx(50.0, rel=0.1)
+
+    def test_time_going_backwards_rejected(self):
+        est = RateEstimator()
+        est.observe(5.0)
+        with pytest.raises(ValueError):
+            est.observe(4.0)
+
+    def test_simultaneous_events_tolerated(self):
+        est = RateEstimator()
+        est.observe(1.0)
+        est.observe(1.0)
+        est.observe(2.0)
+        assert est.events == 3
+
+    def test_decayed_rate_drops_during_silence(self):
+        est = RateEstimator(tau=1.0)
+        for i in range(1, 50):
+            est.observe(i * 0.1)
+        active = est.decayed_rate(5.0)
+        silent = est.decayed_rate(50.0)
+        assert silent < active
+        assert est.decayed_rate(1e9) == pytest.approx(0.0, abs=1e-3)
+
+    def test_decayed_rate_without_events(self):
+        assert RateEstimator().decayed_rate(10.0) == 0.0
+
+    def test_batch_observation(self):
+        est = RateEstimator(tau=2.0)
+        for i in range(1, 100):
+            est.observe(float(i), count=5.0)  # 5 events per second
+        assert est.rate == pytest.approx(5.0, rel=0.05)
+
+
+class TestWindowedRateEstimator:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowedRateEstimator(window=0)
+
+    def test_exact_rate_in_window(self):
+        est = WindowedRateEstimator(window=10.0)
+        for i in range(100):
+            est.observe(i * 0.1)  # 10/s for 10 seconds
+        assert est.rate(10.0) == pytest.approx(10.0, rel=0.05)
+
+    def test_events_age_out(self):
+        est = WindowedRateEstimator(window=5.0)
+        for i in range(10):
+            est.observe(float(i))
+        assert est.rate(100.0) == 0.0
+
+    def test_backwards_time_rejected(self):
+        est = WindowedRateEstimator()
+        est.observe(5.0)
+        with pytest.raises(ValueError):
+            est.observe(4.0)

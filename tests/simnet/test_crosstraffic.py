@@ -1,0 +1,93 @@
+"""Tests for background cross-traffic on shared links."""
+
+import pytest
+
+from repro.simnet.crosstraffic import CrossTrafficSource, inject_cross_traffic
+from repro.simnet.engine import Environment
+from repro.simnet.links import Link
+
+
+class TestCrossTrafficSource:
+    def test_validation(self):
+        env = Environment()
+        link = Link(env, bandwidth=1000.0)
+        with pytest.raises(ValueError):
+            CrossTrafficSource(env, link, fraction=0.0)
+        with pytest.raises(ValueError):
+            CrossTrafficSource(env, link, fraction=1.0)
+        with pytest.raises(ValueError):
+            CrossTrafficSource(env, link, fraction=0.5, period=0.0)
+
+    def test_double_start_rejected(self):
+        env = Environment()
+        link = Link(env, bandwidth=1000.0)
+        source = CrossTrafficSource(env, link, fraction=0.5)
+        source.start()
+        with pytest.raises(RuntimeError):
+            source.start()
+
+    def test_occupies_declared_fraction(self):
+        env = Environment()
+        link = Link(env, bandwidth=1000.0)
+        link.collect_inbox = False
+        inject_cross_traffic(env, link, fraction=0.4)
+        env.run(until=20.0)
+        assert link.utilization() == pytest.approx(0.4, rel=0.1)
+
+    def test_stop_ends_injection(self):
+        env = Environment()
+        link = Link(env, bandwidth=1000.0)
+        link.collect_inbox = False
+        source = inject_cross_traffic(env, link, fraction=0.5)
+        env.run(until=5.0)
+        source.stop()
+        sent_at_stop = source.bytes_sent
+        env.run(until=50.0)
+        # At most one in-flight deficit send (capped at 4 chunks) may
+        # still complete after stop().
+        max_chunk = 4.0 * 0.5 * 1000.0 * 0.25
+        assert source.bytes_sent <= sent_at_stop + max_chunk + 1e-9
+
+    def test_application_throughput_shrinks(self):
+        """A sender sharing the link gets roughly the residual bandwidth."""
+        env = Environment()
+        link = Link(env, bandwidth=1000.0)
+        link.collect_inbox = False
+        inject_cross_traffic(env, link, fraction=0.5)
+        delivered = []
+
+        def sender(env):
+            while env.now < 40.0:
+                yield link.send("app", size=100.0)
+                delivered.append(env.now)
+
+        env.process(sender(env))
+        env.run(until=40.0)
+        app_throughput = len(delivered) * 100.0 / 40.0
+        assert app_throughput == pytest.approx(500.0, rel=0.2)
+
+    def test_end_to_end_adaptation_under_cross_traffic(self):
+        """comp-steer sharing its link converges to the residual capacity."""
+        from repro.apps import comp_steer as app
+        from repro.core.runtime_sim import SimulatedRuntime, SourceBinding
+        from repro.experiments.common import _continuous_mesh_values, build_star_fabric
+
+        fabric = build_star_fabric(1, bandwidth=10_000.0)
+        config = app.build_comp_steer_config(
+            fabric.source_hosts[0], initial_rate=0.01,
+            analysis_ms_per_byte=0.01, item_bytes=200.0,
+            analysis_host=fabric.center_host,
+        )
+        deployment = fabric.launcher.launch(config)
+        runtime = SimulatedRuntime(fabric.env, fabric.network, deployment)
+        runtime.bind_source(
+            SourceBinding("sim", "sampler", _continuous_mesh_values(0),
+                          rate=20_000.0 / 200.0, item_size=200.0)
+        )
+        link = fabric.network.link(fabric.source_hosts[0], fabric.center_host)
+        # Half the 10 KB/s link is foreign traffic: residual 5 KB/s
+        # against a 20 KB/s stream -> feasible sampling ~0.25.
+        inject_cross_traffic(fabric.env, link, fraction=0.5)
+        result = runtime.run(stop_at=300.0)
+        series = result.parameter_series("sampler", "sampling-rate")
+        assert series.tail_mean(0.25) == pytest.approx(0.25, abs=0.12)

@@ -1,0 +1,126 @@
+"""Property-based tests (hypothesis) for the discrete-event kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet.engine import Environment
+from repro.simnet.resources import BoundedQueue, Store
+
+
+class TestTimeoutOrderingProperties:
+    @given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6), max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_timeouts_fire_in_sorted_order(self, delays):
+        env = Environment()
+        fired = []
+
+        def waiter(env, delay):
+            yield env.timeout(delay)
+            fired.append(env.now)
+
+        for delay in delays:
+            env.process(waiter(env, delay))
+        env.run()
+        assert fired == sorted(delays)
+
+    @given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0), max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_clock_never_goes_backwards(self, delays):
+        env = Environment()
+        observed = []
+
+        def waiter(env, delay):
+            yield env.timeout(delay)
+            observed.append(env.now)
+
+        for delay in delays:
+            env.process(waiter(env, delay))
+        last = 0.0
+        while env.peek() != float("inf"):
+            env.step()
+            assert env.now >= last
+            last = env.now
+
+    @given(
+        delays=st.lists(st.floats(min_value=0.0, max_value=100.0),
+                        min_size=1, max_size=30),
+        horizon=st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_run_until_only_fires_due_events(self, delays, horizon):
+        env = Environment()
+        fired = []
+
+        def waiter(env, delay):
+            yield env.timeout(delay)
+            fired.append(delay)
+
+        for delay in delays:
+            env.process(waiter(env, delay))
+        env.run(until=horizon)
+        assert sorted(fired) == sorted(d for d in delays if d <= horizon)
+        assert env.now == horizon
+
+
+class TestProcessChainProperties:
+    @given(chain=st.lists(st.floats(min_value=0.0, max_value=10.0),
+                          min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_sequential_waits_sum(self, chain):
+        env = Environment()
+
+        def runner(env):
+            for delay in chain:
+                yield env.timeout(delay)
+            return env.now
+
+        total = env.run(until=env.process(runner(env)))
+        assert abs(total - sum(chain)) < 1e-6
+
+    @given(
+        values=st.lists(st.integers(), min_size=1, max_size=40),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_store_is_fifo_under_any_interleaving(self, values):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def producer(env):
+            for v in values:
+                yield store.put(v)
+                yield env.timeout(0.5)
+
+        def consumer(env):
+            for _ in values:
+                item = yield store.get()
+                received.append(item)
+                yield env.timeout(0.8)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert received == values
+
+
+class TestBoundedQueueProperties:
+    @given(
+        ops=st.lists(st.sampled_from(["put", "get"]), max_size=100),
+        capacity=st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_invariants(self, ops, capacity):
+        env = Environment()
+        queue = BoundedQueue(env, capacity=capacity)
+        expected = 0
+        for op in ops:
+            if op == "put":
+                queue.force_put("x")
+                expected += 1
+            elif expected > 0:
+                queue.try_get()
+                expected -= 1
+        assert queue.current_length == expected
+        assert queue.peak_length >= queue.current_length
+        assert queue.total_enqueued - queue.total_dequeued == expected
+        assert queue.recent_average >= 0

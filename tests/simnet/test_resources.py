@@ -1,0 +1,300 @@
+"""Unit tests for capacity resources, stores, and bounded queues."""
+
+import pytest
+
+from repro.simnet.engine import Environment
+from repro.simnet.resources import (
+    BoundedQueue,
+    CapacityResource,
+    QueueFullError,
+    Store,
+)
+
+
+class TestCapacityResource:
+    def test_invalid_capacity_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            CapacityResource(env, capacity=0)
+
+    def test_immediate_grant_when_available(self):
+        env = Environment()
+        res = CapacityResource(env, capacity=2)
+        granted = []
+
+        def proc(env):
+            req = res.acquire()
+            yield req
+            granted.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert granted == [0.0]
+        assert res.in_use == 1
+        assert res.available == 1
+
+    def test_contention_serializes(self):
+        env = Environment()
+        res = CapacityResource(env, capacity=1)
+        spans = []
+
+        def worker(env, name, hold):
+            req = res.acquire()
+            yield req
+            start = env.now
+            try:
+                yield env.timeout(hold)
+            finally:
+                res.release(req)
+            spans.append((name, start, env.now))
+
+        env.process(worker(env, "a", 2.0))
+        env.process(worker(env, "b", 3.0))
+        env.run()
+        assert spans == [("a", 0.0, 2.0), ("b", 2.0, 5.0)]
+
+    def test_fifo_grant_order(self):
+        env = Environment()
+        res = CapacityResource(env, capacity=1)
+        order = []
+
+        def worker(env, name):
+            req = res.acquire()
+            yield req
+            order.append(name)
+            yield env.timeout(1.0)
+            res.release(req)
+
+        for name in "abc":
+            env.process(worker(env, name))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_release_unacquired_raises(self):
+        env = Environment()
+        res = CapacityResource(env)
+        req = res.acquire()
+        env.run()
+        res.release(req)
+        with pytest.raises(ValueError):
+            res.release(req)
+
+    def test_cancel_waiting_request(self):
+        env = Environment()
+        res = CapacityResource(env, capacity=1)
+        held = res.acquire()  # immediate grant
+        waiting = res.acquire()
+        assert res.queue_length == 1
+        res.release(waiting)  # cancel the waiter
+        assert res.queue_length == 0
+        res.release(held)
+        assert res.in_use == 0
+
+    def test_multi_core_parallelism(self):
+        env = Environment()
+        res = CapacityResource(env, capacity=2)
+        done = []
+
+        def worker(env, name):
+            req = res.acquire()
+            yield req
+            yield env.timeout(5.0)
+            res.release(req)
+            done.append((name, env.now))
+
+        for name in "abc":
+            env.process(worker(env, name))
+        env.run()
+        # a and b run in parallel; c waits for the first release.
+        assert done == [("a", 5.0), ("b", 5.0), ("c", 10.0)]
+
+
+class TestStore:
+    def test_put_get_roundtrip(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def producer(env):
+            yield store.put("item")
+
+        def consumer(env):
+            item = yield store.get()
+            got.append(item)
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got == ["item"]
+
+    def test_fifo_ordering(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def producer(env):
+            for i in range(5):
+                yield store.put(i)
+
+        def consumer(env):
+            for _ in range(5):
+                item = yield store.get()
+                got.append(item)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        times = []
+
+        def consumer(env):
+            yield store.get()
+            times.append(env.now)
+
+        def producer(env):
+            yield env.timeout(7.0)
+            yield store.put("x")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert times == [7.0]
+
+    def test_put_blocks_when_full(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        times = []
+
+        def producer(env):
+            yield store.put("a")
+            yield store.put("b")
+            times.append(env.now)
+
+        def consumer(env):
+            yield env.timeout(4.0)
+            yield store.get()
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert times == [4.0]
+
+    def test_try_put_full_raises(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        store.try_put("a")
+        with pytest.raises(QueueFullError):
+            store.try_put("b")
+
+    def test_try_get_empty_raises(self):
+        env = Environment()
+        with pytest.raises(IndexError):
+            Store(env).try_get()
+
+    def test_try_put_with_waiting_getter_bypasses_capacity(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        got = []
+
+        def consumer(env):
+            item = yield store.get()
+            got.append(item)
+
+        env.process(consumer(env))
+        env.run()
+        store.try_put("x")
+        env.run()
+        assert got == ["x"]
+
+    def test_len_and_flags(self):
+        env = Environment()
+        store = Store(env, capacity=2)
+        assert store.is_empty and not store.is_full
+        store.try_put(1)
+        store.try_put(2)
+        assert store.is_full and len(store) == 2
+
+
+class TestBoundedQueue:
+    def test_requires_capacity(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            BoundedQueue(env, capacity=0)
+        with pytest.raises(ValueError):
+            BoundedQueue(env, capacity=10, window=0)
+
+    def test_current_length_tracks_occupancy(self):
+        env = Environment()
+        q = BoundedQueue(env, capacity=10)
+        q.try_put("a")
+        q.try_put("b")
+        assert q.current_length == 2
+        q.try_get()
+        assert q.current_length == 1
+
+    def test_recent_average_reflects_window(self):
+        env = Environment()
+        q = BoundedQueue(env, capacity=10, window=4)
+        for _ in range(3):
+            q.try_put("x")
+        # window samples: initial 0, then 1, 2, 3 -> but maxlen 4 keeps all
+        assert q.recent_average == pytest.approx((0 + 1 + 2 + 3) / 4)
+
+    def test_peak_length(self):
+        env = Environment()
+        q = BoundedQueue(env, capacity=10)
+        for _ in range(5):
+            q.try_put("x")
+        for _ in range(5):
+            q.try_get()
+        assert q.peak_length == 5
+
+    def test_counters(self):
+        env = Environment()
+        q = BoundedQueue(env, capacity=10)
+        for _ in range(4):
+            q.try_put("x")
+        q.try_get()
+        assert q.total_enqueued == 4
+        assert q.total_dequeued == 1
+
+    def test_time_average_weighted_by_duration(self):
+        env = Environment()
+        q = BoundedQueue(env, capacity=10)
+
+        def proc(env):
+            q.try_put("x")  # length 1 from t=0
+            yield env.timeout(10.0)
+            q.try_put("y")  # length 2 from t=10
+            yield env.timeout(10.0)
+
+        env.process(proc(env))
+        env.run()
+        # 10s at length 1 + 10s at length 2 = 30/20 = 1.5
+        assert q.time_average(now=20.0) == pytest.approx(1.5)
+        assert q.utilization() == pytest.approx(0.15)
+
+    def test_blocking_put_applies_backpressure(self):
+        env = Environment()
+        q = BoundedQueue(env, capacity=2)
+        finished = []
+
+        def producer(env):
+            for i in range(4):
+                yield q.put(i)
+            finished.append(env.now)
+
+        def consumer(env):
+            for _ in range(4):
+                yield env.timeout(5.0)
+                yield q.get()
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        # The 4th put can only complete after 2 gets: t=10.
+        assert finished == [10.0]

@@ -1,0 +1,129 @@
+"""Unit tests for arrival processes."""
+
+import itertools
+
+import pytest
+
+from repro.streams.arrivals import ConstantArrivals, OnOffArrivals, PoissonArrivals
+
+
+def take(process, n):
+    return list(itertools.islice(process.gaps(), n))
+
+
+class TestConstantArrivals:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConstantArrivals(0)
+
+    def test_fixed_gaps(self):
+        gaps = take(ConstantArrivals(4.0), 10)
+        assert all(g == 0.25 for g in gaps)
+
+    def test_mean_rate(self):
+        assert ConstantArrivals(10.0).mean_rate() == 10.0
+
+
+class TestPoissonArrivals:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0)
+
+    def test_mean_gap_matches_rate(self):
+        gaps = take(PoissonArrivals(20.0, seed=1), 20_000)
+        assert sum(gaps) / len(gaps) == pytest.approx(0.05, rel=0.05)
+
+    def test_gaps_positive(self):
+        assert all(g >= 0 for g in take(PoissonArrivals(5.0, seed=2), 1000))
+
+    def test_deterministic_given_seed(self):
+        assert take(PoissonArrivals(5.0, seed=3), 100) == take(
+            PoissonArrivals(5.0, seed=3), 100
+        )
+
+    def test_gaps_are_variable(self):
+        gaps = take(PoissonArrivals(5.0, seed=4), 100)
+        assert len(set(gaps)) > 50
+
+    def test_mean_rate(self):
+        assert PoissonArrivals(7.0).mean_rate() == 7.0
+
+
+class TestOnOffArrivals:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnOffArrivals(0)
+        with pytest.raises(ValueError):
+            OnOffArrivals(10, on_mean=0)
+        with pytest.raises(ValueError):
+            OnOffArrivals(10, off_mean=-1)
+
+    def test_long_run_rate_matches_duty_cycle(self):
+        process = OnOffArrivals(burst_rate=100.0, on_mean=1.0, off_mean=1.0, seed=5)
+        gaps = take(process, 50_000)
+        measured = len(gaps) / sum(gaps)
+        assert measured == pytest.approx(process.mean_rate(), rel=0.15)
+
+    def test_bursty_structure(self):
+        process = OnOffArrivals(burst_rate=100.0, on_mean=0.5, off_mean=2.0, seed=6)
+        gaps = take(process, 2_000)
+        in_burst = sum(1 for g in gaps if g <= 0.011)
+        silences = sum(1 for g in gaps if g > 0.1)
+        assert in_burst > 0.8 * len(gaps)  # most gaps are tight
+        assert silences > 5                # but long silences punctuate
+
+    def test_zero_off_mean_is_continuous(self):
+        process = OnOffArrivals(burst_rate=50.0, on_mean=1.0, off_mean=0.0, seed=7)
+        gaps = take(process, 500)
+        assert max(gaps) == pytest.approx(0.02, abs=1e-9)
+
+    def test_deterministic_given_seed(self):
+        a = take(OnOffArrivals(10.0, seed=8), 200)
+        b = take(OnOffArrivals(10.0, seed=8), 200)
+        assert a == b
+
+
+class TestArrivalsInRuntime:
+    def test_poisson_feed_paces_items(self):
+        from repro.core.api import StreamProcessor
+        from repro.core.runtime_sim import SimulatedRuntime, SourceBinding
+        from repro.grid.config import AppConfig, StageConfig
+        from repro.grid.deployer import Deployer
+        from repro.grid.registry import ServiceRegistry
+        from repro.grid.repository import CodeRepository
+        from repro.simnet.engine import Environment
+        from repro.simnet.hosts import CpuCostModel
+        from repro.simnet.topology import Network
+
+        class Sink(StreamProcessor):
+            cost_model = CpuCostModel()
+
+            def __init__(self):
+                self.count = 0
+
+            def on_item(self, payload, context):
+                self.count += 1
+
+            def result(self):
+                return self.count
+
+        env = Environment()
+        net = Network(env)
+        net.create_host("h")
+        registry = ServiceRegistry()
+        registry.register_network(net)
+        repo = CodeRepository()
+        repo.publish("repo://arr/sink", Sink)
+        config = AppConfig(name="arr", stages=[StageConfig("sink", "repo://arr/sink")])
+        deployment = Deployer(registry, repo).deploy(config)
+        runtime = SimulatedRuntime(env, net, deployment, adaptation_enabled=False)
+        runtime.bind_source(
+            SourceBinding(
+                "s", "sink", payloads=list(range(1000)),
+                arrivals=PoissonArrivals(100.0, seed=0),
+            )
+        )
+        result = runtime.run()
+        assert result.final_value("sink") == 1000
+        # 1000 items at ~100/s: roughly 10 simulated seconds.
+        assert result.execution_time == pytest.approx(10.0, rel=0.3)

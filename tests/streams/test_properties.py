@@ -1,0 +1,166 @@
+"""Property-based tests (hypothesis) for sketches and samplers."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams.sampling import SystematicSampler
+from repro.streams.sketches import (
+    CountingSamples,
+    ExactCounter,
+    LossyCounting,
+    MisraGries,
+    SpaceSaving,
+)
+
+small_streams = st.lists(st.integers(min_value=0, max_value=30), max_size=400)
+capacities = st.integers(min_value=1, max_value=50)
+
+
+class TestCountingSamplesProperties:
+    @given(stream=small_streams, capacity=capacities, seed=st.integers(0, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_footprint_never_exceeds_capacity(self, stream, capacity, seed):
+        cs = CountingSamples(capacity, seed=seed)
+        cs.extend(stream)
+        assert cs.footprint <= capacity
+
+    @given(stream=small_streams, capacity=capacities, seed=st.integers(0, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_raw_counts_never_exceed_truth(self, stream, capacity, seed):
+        cs = CountingSamples(capacity, seed=seed)
+        cs.extend(stream)
+        truth = Counter(stream)
+        for value, raw in cs.raw_entries():
+            assert 1 <= raw <= truth[value]
+
+    @given(stream=small_streams, seed=st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_when_capacity_sufficient(self, stream, seed):
+        cs = CountingSamples(1000, seed=seed)
+        cs.extend(stream)
+        truth = Counter(stream)
+        assert cs.tau == 1.0
+        for value, count in truth.items():
+            assert cs.estimate(value) == count
+
+    @given(stream=small_streams, capacity=capacities, seed=st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_items_seen_is_stream_length(self, stream, capacity, seed):
+        cs = CountingSamples(capacity, seed=seed)
+        cs.extend(stream)
+        assert cs.items_seen == len(stream)
+
+    @given(
+        left=small_streams,
+        right=small_streams,
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merge_of_exact_samples_is_exact(self, left, right, seed):
+        # While tau == 1 on both sides, merging equals counting the
+        # concatenated stream.
+        a = CountingSamples(10_000, seed=seed)
+        b = CountingSamples(10_000, seed=seed + 1)
+        a.extend(left)
+        b.extend(right)
+        a.merge(b)
+        truth = Counter(left) + Counter(right)
+        for value, count in truth.items():
+            assert a.estimate(value) == count
+        assert a.items_seen == len(left) + len(right)
+
+
+class TestMisraGriesProperties:
+    @given(stream=small_streams, capacity=capacities)
+    @settings(max_examples=60, deadline=None)
+    def test_undercount_invariant(self, stream, capacity):
+        mg = MisraGries(capacity)
+        mg.extend(stream)
+        truth = Counter(stream)
+        bound = len(stream) / (capacity + 1)
+        for value, est in mg.entries():
+            assert est <= truth[value]
+            assert truth[value] - est <= bound + 1e-9
+
+    @given(stream=small_streams, capacity=capacities)
+    @settings(max_examples=60, deadline=None)
+    def test_footprint_bound(self, stream, capacity):
+        mg = MisraGries(capacity)
+        mg.extend(stream)
+        assert mg.footprint <= capacity
+
+
+class TestSpaceSavingProperties:
+    @given(stream=small_streams, capacity=capacities)
+    @settings(max_examples=60, deadline=None)
+    def test_overcount_invariant(self, stream, capacity):
+        ss = SpaceSaving(capacity)
+        ss.extend(stream)
+        truth = Counter(stream)
+        for value, est in ss.entries():
+            assert est >= truth[value]
+            assert est - ss.error_of(value) <= truth[value]
+
+    @given(stream=small_streams, capacity=capacities)
+    @settings(max_examples=60, deadline=None)
+    def test_footprint_bound(self, stream, capacity):
+        ss = SpaceSaving(capacity)
+        ss.extend(stream)
+        assert ss.footprint <= capacity
+
+    @given(stream=st.lists(st.integers(0, 5), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_total_count_conserved_when_under_capacity(self, stream):
+        ss = SpaceSaving(100)
+        ss.extend(stream)
+        assert sum(c for _, c in ss.entries()) == len(stream)
+
+
+class TestLossyCountingProperties:
+    @given(stream=small_streams, capacity=st.integers(2, 50))
+    @settings(max_examples=60, deadline=None)
+    def test_epsilon_deficient_invariant(self, stream, capacity):
+        lc = LossyCounting(capacity)
+        lc.extend(stream)
+        truth = Counter(stream)
+        for value, est in lc.entries():
+            assert est <= truth[value]
+            assert truth[value] - est <= lc.epsilon * len(stream) + 1
+
+
+class TestExactCounterProperties:
+    @given(stream=small_streams)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_collections_counter(self, stream):
+        exact = ExactCounter()
+        exact.extend(stream)
+        truth = Counter(stream)
+        assert dict(exact.entries()) == {v: float(c) for v, c in truth.items()}
+
+
+class TestSamplerProperties:
+    @given(
+        rate=st.floats(min_value=0.0, max_value=1.0),
+        n=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_systematic_kept_count_exact(self, rate, n):
+        sampler = SystematicSampler(rate)
+        kept = sampler.sample(list(range(n)))
+        assert abs(len(kept) - rate * n) <= 1.0
+
+    @given(
+        rates=st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_systematic_online_rate_changes_keep_bound(self, rates):
+        sampler = SystematicSampler(rates[0])
+        expected = 0.0
+        for rate in rates:
+            sampler.rate = rate
+            sampler.sample(list(range(100)))
+            expected += rate * 100
+        assert abs(sampler.kept - expected) <= len(rates)

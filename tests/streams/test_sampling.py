@@ -1,0 +1,117 @@
+"""Unit tests for the sampling operators."""
+
+import pytest
+
+from repro.streams.sampling import BernoulliSampler, ReservoirSampler, SystematicSampler
+
+
+class TestBernoulliSampler:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliSampler(-0.1)
+        with pytest.raises(ValueError):
+            BernoulliSampler(1.1)
+        sampler = BernoulliSampler(0.5)
+        with pytest.raises(ValueError):
+            sampler.rate = 2.0
+
+    def test_rate_zero_drops_everything(self):
+        sampler = BernoulliSampler(0.0, seed=0)
+        assert sampler.sample(list(range(100))) == []
+
+    def test_rate_one_keeps_everything(self):
+        sampler = BernoulliSampler(1.0, seed=0)
+        assert sampler.sample(list(range(100))) == list(range(100))
+
+    def test_effective_rate_tracks_nominal(self):
+        sampler = BernoulliSampler(0.3, seed=1)
+        sampler.sample(list(range(20_000)))
+        assert sampler.effective_rate == pytest.approx(0.3, abs=0.02)
+
+    def test_online_rate_change(self):
+        sampler = BernoulliSampler(0.0, seed=0)
+        sampler.sample(list(range(100)))
+        kept_before = sampler.kept
+        sampler.rate = 1.0
+        sampler.sample(list(range(100)))
+        assert sampler.kept - kept_before == 100
+
+    def test_offer_counts(self):
+        sampler = BernoulliSampler(1.0, seed=0)
+        assert sampler.offer("x") is True
+        assert sampler.seen == 1 and sampler.kept == 1
+
+    def test_deterministic_given_seed(self):
+        a = BernoulliSampler(0.5, seed=9).sample(list(range(1000)))
+        b = BernoulliSampler(0.5, seed=9).sample(list(range(1000)))
+        assert a == b
+
+    def test_empty_batch(self):
+        assert BernoulliSampler(0.5).sample([]) == []
+
+    def test_effective_rate_empty(self):
+        assert BernoulliSampler(0.5).effective_rate == 0.0
+
+
+class TestSystematicSampler:
+    def test_exact_fraction_over_window(self):
+        sampler = SystematicSampler(0.25)
+        kept = sampler.sample(list(range(1000)))
+        assert len(kept) == 250
+
+    def test_error_bounded_by_one(self):
+        sampler = SystematicSampler(0.3)
+        for n in range(1, 500):
+            sampler.offer(n)
+            assert abs(sampler.kept - 0.3 * sampler.seen) <= 1.0
+
+    def test_rate_zero_and_one(self):
+        assert SystematicSampler(0.0).sample(list(range(50))) == []
+        assert SystematicSampler(1.0).sample(list(range(50))) == list(range(50))
+
+    def test_online_rate_change(self):
+        sampler = SystematicSampler(1.0)
+        sampler.sample(list(range(10)))
+        sampler.rate = 0.0
+        sampler.sample(list(range(10)))
+        assert sampler.kept == 10 and sampler.seen == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystematicSampler(1.5)
+
+
+class TestReservoirSampler:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReservoirSampler(0)
+
+    def test_fills_to_capacity(self):
+        sampler = ReservoirSampler(10, seed=0)
+        sampler.extend(range(5))
+        assert len(sampler) == 5
+        sampler.extend(range(100))
+        assert len(sampler) == 10
+
+    def test_sample_is_subset_of_stream(self):
+        sampler = ReservoirSampler(20, seed=1)
+        sampler.extend(range(1000))
+        assert all(0 <= x < 1000 for x in sampler.sample)
+
+    def test_uniformity_rough(self):
+        # Each item should appear with probability capacity/n; check the
+        # mean of sampled values is near the stream mean.
+        means = []
+        for seed in range(30):
+            sampler = ReservoirSampler(50, seed=seed)
+            sampler.extend(range(1000))
+            means.append(sum(sampler.sample) / 50)
+        overall = sum(means) / len(means)
+        assert overall == pytest.approx(499.5, rel=0.1)
+
+    def test_sample_returns_copy(self):
+        sampler = ReservoirSampler(5, seed=0)
+        sampler.extend(range(5))
+        snapshot = sampler.sample
+        snapshot.append("junk")
+        assert len(sampler) == 5

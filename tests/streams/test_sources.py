@@ -1,0 +1,169 @@
+"""Unit tests for synthetic stream sources."""
+
+import numpy as np
+import pytest
+
+from repro.streams.sources import (
+    ConnectionLogStream,
+    IntegerStream,
+    MeshStream,
+    interleave,
+    partition_round_robin,
+)
+
+
+class TestIntegerStream:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IntegerStream(-1)
+        with pytest.raises(ValueError):
+            IntegerStream(10, universe=0)
+        with pytest.raises(ValueError):
+            IntegerStream(10, distribution="normal")
+        with pytest.raises(ValueError):
+            IntegerStream(10, distribution="zipf", skew=1.0)
+
+    def test_length(self):
+        stream = IntegerStream(100, seed=1)
+        assert len(stream) == 100
+        assert len(list(stream)) == 100
+
+    def test_deterministic_given_seed(self):
+        a = IntegerStream(1000, seed=7).values()
+        b = IntegerStream(1000, seed=7).values()
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = IntegerStream(1000, seed=1).values()
+        b = IntegerStream(1000, seed=2).values()
+        assert not np.array_equal(a, b)
+
+    def test_values_within_universe(self):
+        values = IntegerStream(5000, universe=50, seed=3).values()
+        assert values.min() >= 0 and values.max() < 50
+
+    def test_zipf_is_skewed(self):
+        stream = IntegerStream(20_000, universe=1000, seed=0)
+        top = stream.true_top_k(10)
+        total = len(stream)
+        top_share = sum(c for _, c in top) / total
+        # The hot 10 values of a zipf(1.1) stream dominate.
+        assert top_share > 0.3
+
+    def test_uniform_is_flat(self):
+        stream = IntegerStream(20_000, universe=1000, distribution="uniform", seed=0)
+        top = stream.true_top_k(10)
+        top_share = sum(c for _, c in top) / len(stream)
+        assert top_share < 0.05
+
+    def test_exact_counts_sum_to_length(self):
+        stream = IntegerStream(5000, seed=4)
+        assert sum(stream.exact_counts().values()) == 5000
+
+    def test_true_top_k_sorted_and_unique(self):
+        stream = IntegerStream(5000, seed=5)
+        top = stream.true_top_k(20)
+        counts = [c for _, c in top]
+        assert counts == sorted(counts, reverse=True)
+        assert len({v for v, _ in top}) == len(top)
+
+    def test_hot_values_not_trivially_small(self):
+        # The permutation step should scatter hot values over the universe.
+        tops = [IntegerStream(5000, seed=s).true_top_k(1)[0][0] for s in range(5)]
+        assert any(v > 10 for v in tops)
+
+
+class TestMeshStream:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MeshStream(-1)
+        with pytest.raises(ValueError):
+            MeshStream(10, mesh_points=0)
+
+    def test_length(self):
+        stream = MeshStream(10, mesh_points=8)
+        assert len(stream) == 80
+        assert len(list(stream)) == 80
+
+    def test_frame_deterministic(self):
+        a = MeshStream(10, seed=1).frame(3)
+        b = MeshStream(10, seed=1).frame(3)
+        assert np.array_equal(a, b)
+
+    def test_frame_bounds_checked(self):
+        stream = MeshStream(10)
+        with pytest.raises(ValueError):
+            stream.frame(10)
+        with pytest.raises(ValueError):
+            stream.frame(-1)
+
+    def test_feature_appears_after_feature_step(self):
+        stream = MeshStream(40, mesh_points=64, feature_step=20, seed=0)
+        before = stream.frame(10)
+        after = stream.frame(39)
+        center = stream.feature_center
+        assert after[center] - before[center] > 1.0
+
+    def test_feature_magnitude_ground_truth(self):
+        stream = MeshStream(40, feature_step=20)
+        assert stream.feature_magnitude(10) == 0.0
+        assert stream.feature_magnitude(20) == pytest.approx(0.2)
+        assert stream.feature_magnitude(39) == pytest.approx(2.0)
+
+    def test_points_carry_coordinates(self):
+        points = list(MeshStream(2, mesh_points=3, seed=0))
+        assert [(p.step, p.index) for p in points] == [
+            (0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2),
+        ]
+
+
+class TestConnectionLogStream:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConnectionLogStream(-1)
+        with pytest.raises(ValueError):
+            ConnectionLogStream(10, attack_fraction=1.5)
+        with pytest.raises(ValueError):
+            ConnectionLogStream(10, rate=0)
+
+    def test_length_and_timestamps(self):
+        records = list(ConnectionLogStream(100, rate=10.0, seed=0))
+        assert len(records) == 100
+        assert records[0].timestamp == 0.0
+        assert records[99].timestamp == pytest.approx(9.9)
+
+    def test_attacker_scans_distinct_ports(self):
+        records = list(ConnectionLogStream(5000, attack_fraction=0.05, seed=0))
+        attacker_ports = {r.dst_port for r in records if r.src_ip == "10.6.6.6"}
+        normal_ports = {r.dst_port for r in records if r.src_ip != "10.6.6.6"}
+        assert len(attacker_ports) > 50
+        assert normal_ports <= set(ConnectionLogStream.COMMON_PORTS)
+
+    def test_no_attack_when_fraction_zero(self):
+        records = list(ConnectionLogStream(1000, attack_fraction=0.0, seed=0))
+        assert all(r.src_ip != "10.6.6.6" for r in records)
+
+    def test_deterministic(self):
+        a = [(r.src_ip, r.dst_port) for r in ConnectionLogStream(500, seed=2)]
+        b = [(r.src_ip, r.dst_port) for r in ConnectionLogStream(500, seed=2)]
+        assert a == b
+
+
+class TestPartitionInterleave:
+    def test_partition_validation(self):
+        with pytest.raises(ValueError):
+            partition_round_robin([1, 2], 0)
+
+    def test_partition_covers_everything(self):
+        items = list(range(10))
+        parts = partition_round_robin(items, 3)
+        assert sorted(sum(parts, [])) == items
+        assert parts[0] == [0, 3, 6, 9]
+
+    def test_interleave_inverts_partition(self):
+        items = list(range(11))
+        assert interleave(partition_round_robin(items, 4)) == items
+
+    def test_interleave_empty(self):
+        assert interleave([]) == []
+        assert interleave([[], []]) == []

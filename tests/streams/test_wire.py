@@ -1,0 +1,92 @@
+"""Tests for the summary wire encoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams.wire import (
+    HEADER_BYTES,
+    PAIR_BYTES,
+    WireError,
+    decode_summary,
+    encode_summary,
+    summary_wire_size,
+)
+
+
+class TestEncodeDecode:
+    def test_round_trip(self):
+        pairs = [(5, 100), (-3, 2), (2**40, 1)]
+        data = encode_summary(pairs, items_seen=1234)
+        decoded, items_seen = decode_summary(data)
+        assert decoded == pairs
+        assert items_seen == 1234
+
+    def test_empty_summary(self):
+        data = encode_summary([], items_seen=0)
+        assert len(data) == HEADER_BYTES
+        assert decode_summary(data) == ([], 0)
+
+    def test_length_matches_wire_size(self):
+        pairs = [(i, i) for i in range(17)]
+        assert len(encode_summary(pairs)) == summary_wire_size(17)
+
+    def test_pair_bytes_is_twelve(self):
+        # The evaluation's "12 bytes per pair" is this exact layout.
+        assert PAIR_BYTES == 12
+
+    def test_non_int_value_rejected(self):
+        with pytest.raises(WireError):
+            encode_summary([("a", 1)])
+        with pytest.raises(WireError):
+            encode_summary([(True, 1)])
+
+    def test_count_out_of_range_rejected(self):
+        with pytest.raises(WireError):
+            encode_summary([(1, -1)])
+        with pytest.raises(WireError):
+            encode_summary([(1, 2**32)])
+
+    def test_negative_items_seen_rejected(self):
+        with pytest.raises(WireError):
+            encode_summary([], items_seen=-1)
+
+    def test_corrupt_data_rejected(self):
+        good = encode_summary([(1, 2)], items_seen=3)
+        with pytest.raises(WireError):
+            decode_summary(good[:-1])          # truncated body
+        with pytest.raises(WireError):
+            decode_summary(good[:5])           # truncated header
+        with pytest.raises(WireError):
+            decode_summary(b"\x00" + good[1:])  # bad magic
+        bad_version = bytearray(good)
+        bad_version[1] = 99
+        with pytest.raises(WireError):
+            decode_summary(bytes(bad_version))
+
+    def test_wire_size_validation(self):
+        with pytest.raises(WireError):
+            summary_wire_size(-1)
+
+
+class TestWireProperties:
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.integers(min_value=-(2**62), max_value=2**62),
+                st.integers(min_value=0, max_value=2**32 - 1),
+            ),
+            max_size=100,
+        ),
+        items_seen=st.integers(min_value=0, max_value=2**63),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_any_pairs(self, pairs, items_seen):
+        decoded, seen = decode_summary(encode_summary(pairs, items_seen))
+        assert decoded == pairs
+        assert seen == items_seen
+
+    @given(n=st.integers(min_value=0, max_value=500))
+    def test_size_formula(self, n):
+        pairs = [(i, 1) for i in range(n)]
+        assert len(encode_summary(pairs)) == HEADER_BYTES + n * PAIR_BYTES

@@ -1,0 +1,114 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.apps.count_samps import build_distributed_config
+from repro.cli import main
+
+
+@pytest.fixture
+def config_file(tmp_path):
+    cfg = build_distributed_config(2, ["source-0", "source-1"])
+    path = tmp_path / "app.xml"
+    path.write_text(cfg.to_xml(), encoding="utf-8")
+    return str(path)
+
+
+class TestValidate:
+    def test_valid_config(self, config_file, capsys):
+        assert main(["validate", config_file]) == 0
+        out = capsys.readouterr().out
+        assert "OK: application 'count-samps-distributed'" in out
+        assert "filter-0" in out and "(sink)" in out
+        assert "[1 adjustable]" in out
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["validate", str(tmp_path / "ghost.xml")]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_malformed_config(self, tmp_path, capsys):
+        path = tmp_path / "bad.xml"
+        path.write_text("<application name='x'><stage name='a'/></application>")
+        assert main(["validate", str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+
+class TestTopology:
+    def test_placement_printed(self, config_file, capsys):
+        assert main(["topology", config_file, "--sources", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "filter-0" in out and "source-0" in out
+        assert "join" in out and "central" in out
+
+    def test_unplaceable(self, tmp_path, capsys):
+        from repro.grid.config import AppConfig, StageConfig
+        from repro.grid.resources import ResourceRequirement
+
+        cfg = AppConfig(
+            name="greedy",
+            stages=[
+                StageConfig(
+                    "huge",
+                    "repo://count-samps/join",
+                    requirement=ResourceRequirement(min_cores=4096),
+                )
+            ],
+        )
+        path = tmp_path / "greedy.xml"
+        path.write_text(cfg.to_xml(), encoding="utf-8")
+        assert main(["topology", str(path)]) == 1
+        assert "UNPLACEABLE" in capsys.readouterr().err
+
+    def test_missing_file(self, tmp_path):
+        assert main(["topology", str(tmp_path / "nope.xml")]) == 1
+
+
+class TestExperimentCommands:
+    def test_fig5_reduced(self, capsys):
+        assert main(["fig5", "--items", "2000", "--seeds", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "Centralized" in out and "Distributed" in out
+
+    def test_fig8_reduced(self, capsys):
+        assert main(["fig8", "--duration", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "cost=" in out and "feasible=" in out
+
+    def test_fig9_reduced(self, capsys):
+        assert main(["fig9", "--duration", "40"]) == 0
+        assert "gen=" in capsys.readouterr().out
+
+    def test_fig67_reduced(self, capsys):
+        assert main(["fig6-7", "--items", "2000", "--seeds", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "adaptive" in out
+
+    def test_bad_seed_list_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig5", "--seeds", "a,b"])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestJsonOutput:
+    def test_fig5_json_written(self, tmp_path, capsys):
+        out = tmp_path / "fig5.json"
+        assert main(["fig5", "--items", "2000", "--seeds", "0",
+                     "--json", str(out)]) == 0
+        import json
+
+        rows = json.loads(out.read_text())
+        assert len(rows) == 2
+        assert {r["processing_style"] for r in rows} == {"Centralized", "Distributed"}
+        assert all("execution_time" in r and "accuracy" in r for r in rows)
+
+    def test_fig8_json_contains_series(self, tmp_path):
+        out = tmp_path / "fig8.json"
+        assert main(["fig8", "--duration", "30", "--json", str(out)]) == 0
+        import json
+
+        rows = json.loads(out.read_text())
+        assert len(rows) == 5
+        assert all(isinstance(r["series"], list) for r in rows)
