@@ -8,9 +8,11 @@ Walks the full middleware path an application developer + user would take:
 4. stand up a (simulated) grid: hosts, links, registry,
 5. hand the XML to the Launcher — discovery, matching, and deployment
    happen inside the middleware,
-6. bind a data stream and run.
+6. bind a data stream and run — with hop tracing on, so the run ends
+   with a full observability report (see docs/observability.md).
 
 Run: ``python examples/quickstart.py``
+(or, equivalently: ``python -m repro report``)
 """
 
 from repro.core.api import StageContext, StreamProcessor
@@ -84,8 +86,12 @@ def main() -> float:
     deployment = launcher.launch(APP_XML)
     print("placements:", {s: p.host_name for s, p in deployment.placements.items()})
 
-    # Bind a data stream and execute.
-    runtime = SimulatedRuntime(env, network, deployment, adaptation_enabled=False)
+    # Bind a data stream and execute.  trace_every=1 hop-traces every
+    # item, so the report below can split latency into queue / compute /
+    # network time (the paper's Fig 4 queue model, measured).
+    runtime = SimulatedRuntime(
+        env, network, deployment, adaptation_enabled=False, trace_every=1
+    )
     runtime.bind_source(
         SourceBinding("numbers", "square", payloads=range(1, 101), rate=200.0)
     )
@@ -95,6 +101,17 @@ def main() -> float:
     print(f"mean of squares of 1..100 = {mean_of_squares:.1f} (expected 3383.5)")
     print(f"simulated execution time  = {result.execution_time:.2f}s")
     print(f"bytes over the link       = {result.stage('average').bytes_in:.0f}")
+
+    # Every monitored signal lives in one registry with stable dotted
+    # names (docs/observability.md is the reference)...
+    print(f"items through the link    = "
+          f"{result.metrics.value('link.edge->central.messages'):.0f} messages")
+    # ...and the full run renders as a terminal report (also available
+    # as `python -m repro report`, with --export jsonl/csv).
+    from repro.obs import render_report
+
+    print()
+    print(render_report(result))
     return mean_of_squares
 
 

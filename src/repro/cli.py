@@ -5,6 +5,10 @@ configuration tooling without writing any Python:
 
 * ``fig5`` / ``fig6-7`` / ``fig8`` / ``fig9`` — regenerate one evaluation
   artifact (flags control scale so quick runs are possible);
+* ``report [export.jsonl]`` — render a run summary (per-stage table,
+  latency decomposition from hop traces, adaptation charts); with no
+  argument it runs the built-in quickstart demo, with ``--export``
+  it writes a JSONL/CSV export;
 * ``validate <config.xml>`` — parse and structurally check an application
   configuration, printing the stage DAG;
 * ``topology <config.xml>`` — print the placement a default star fabric
@@ -58,6 +62,26 @@ def _build_parser() -> argparse.ArgumentParser:
     fig9 = sub.add_parser("fig9", help="Figure 9: network constraint")
     fig9.add_argument("--duration", type=float, default=400.0)
     fig9.add_argument("--json", dest="json_path", default=None)
+
+    report = sub.add_parser(
+        "report",
+        help="render a run summary (per-stage table, latency decomposition, "
+             "adaptation charts)",
+    )
+    report.add_argument(
+        "source", nargs="?", default=None,
+        help="a JSONL run export to report on; omitted = run the built-in "
+             "quickstart demo with tracing enabled",
+    )
+    report.add_argument("--trace-every", type=int, default=1,
+                        help="hop-trace every N-th item in the demo run "
+                             "(default 1 = every item)")
+    report.add_argument("--export", choices=("jsonl", "csv"), default=None,
+                        help="also export the run in this format")
+    report.add_argument("--out", default=None,
+                        help="export path (JSONL file, or CSV base path "
+                             "producing <out>.stages.csv/<out>.metrics.csv); "
+                             "required with --export")
 
     validate = sub.add_parser("validate", help="validate an application XML config")
     validate.add_argument("config", help="path to the XML configuration file")
@@ -144,6 +168,34 @@ def _cmd_fig9(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.export import export_csv, export_jsonl, load_jsonl
+    from repro.obs.report import render_report, run_quickstart_demo
+
+    if args.export and not args.out:
+        print("--export requires --out", file=sys.stderr)
+        return 1
+    if args.trace_every < 1:
+        print("--trace-every must be >= 1", file=sys.stderr)
+        return 1
+    if args.source is not None:
+        try:
+            result = load_jsonl(args.source)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot load {args.source!r}: {exc}", file=sys.stderr)
+            return 1
+    else:
+        result = run_quickstart_demo(trace_every=args.trace_every)
+    print(render_report(result))
+    if args.export == "jsonl":
+        count = export_jsonl(result, args.out)
+        print(f"\nexported {count} JSONL records to {args.out}")
+    elif args.export == "csv":
+        paths = export_csv(result, args.out)
+        print(f"\nexported CSV to {', '.join(paths)}")
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.grid.config import AppConfig, ConfigError
 
@@ -194,6 +246,7 @@ _COMMANDS = {
     "fig6-7": _cmd_fig67,
     "fig8": _cmd_fig8,
     "fig9": _cmd_fig9,
+    "report": _cmd_report,
     "validate": _cmd_validate,
     "topology": _cmd_topology,
 }

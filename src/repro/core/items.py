@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Optional
+
+from repro.obs.tracing import Hop, ItemTrace
 
 __all__ = ["EndOfStream", "Item"]
 
@@ -24,12 +26,21 @@ class Item:
     created_at:
         Simulation/wall time when the item entered the system (for
         end-to-end latency accounting).
+    trace:
+        Sampled hop-trace context (:mod:`repro.obs.tracing`), or None for
+        the untraced majority.  Emissions inherit the trace of the item
+        being processed, so the context follows the data across stages.
+    hop:
+        The trace's open :class:`~repro.obs.tracing.Hop` for the stage
+        queue this item currently sits in (runtime-internal).
     """
 
     payload: Any
     size: float = 8.0
     origin: str = ""
     created_at: float = 0.0
+    trace: Optional[ItemTrace] = None
+    hop: Optional[Hop] = None
 
     def __post_init__(self) -> None:
         if self.size < 0:

@@ -45,11 +45,12 @@ from repro.core.results import RunResult, StageStats
 from repro.grid.config import StreamConfig
 from repro.grid.deployer import Deployment
 from repro.metrics.rates import RateEstimator
+from repro.obs.registry import MetricsRegistry, StageMetrics
+from repro.obs.tracing import ItemTrace, TraceCollector, publish_traces
 from repro.simnet.engine import Environment, SimulationError
 from repro.simnet.links import Link
 from repro.simnet.resources import BoundedQueue
 from repro.simnet.topology import Network
-from repro.simnet.trace import TimeSeries
 
 __all__ = ["RuntimeError_", "SimulatedRuntime", "SourceBinding"]
 
@@ -200,8 +201,8 @@ class _StageRuntime:
     estimator: Optional[LoadEstimator] = None
     context: Optional[_SimStageContext] = None
     rate_estimator: RateEstimator = field(default_factory=RateEstimator)
-    stats: StageStats = field(default_factory=lambda: StageStats(""))
-    queue_history: TimeSeries = field(default_factory=lambda: TimeSeries("queue"))
+    #: Registry-backed metric handles (items/bytes/latency/queue...).
+    metrics: Optional[StageMetrics] = None
     done: bool = False
 
 
@@ -230,12 +231,25 @@ class SimulatedRuntime:
         deployment: Deployment,
         policy: Optional[AdaptationPolicy] = None,
         adaptation_enabled: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
+        trace_every: Optional[int] = None,
+        max_traces: int = 10_000,
     ) -> None:
+        """``metrics`` shares a registry (e.g. with a MonitoringService);
+        ``trace_every=N`` hop-traces every N-th source arrival (None
+        disables tracing; 1 traces everything).
+        """
         self.env = env
         self.network = network
         self.deployment = deployment
         self.policy = policy or AdaptationPolicy()
         self.adaptation_enabled = adaptation_enabled
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer: Optional[TraceCollector] = (
+            TraceCollector(trace_every, max_traces=max_traces)
+            if trace_every is not None
+            else None
+        )
         self._bindings: List[SourceBinding] = []
         self._stages: Dict[str, _StageRuntime] = {}
         self._built = False
@@ -275,8 +289,11 @@ class SimulatedRuntime:
                 properties=properties,
                 policy=self.policy,
             )
-            stage.stats = StageStats(stage_cfg.name, host_name=host_name)
+            stage.metrics = StageMetrics(self.metrics, stage_cfg.name)
             stage.estimator = LoadEstimator(stage_cfg.name, queue, self.policy)
+            self.metrics.series(
+                f"adapt.{stage_cfg.name}.d_tilde", stage.estimator.history
+            )
             stage.context = _SimStageContext(stage, self)
             self._stages[stage_cfg.name] = stage
 
@@ -297,6 +314,7 @@ class SimulatedRuntime:
                 # would let unrelated cross-traffic interleave and would
                 # leak memory on long runs.
                 bottleneck.collect_inbox = False
+                bottleneck.bind_metrics(self.metrics)
                 edge = _Edge(stream=stream, dst=dst, link=bottleneck, extra_latency=extra)
             src.out_edges.append(edge)
             dst.upstream.append(src)
@@ -345,6 +363,11 @@ class SimulatedRuntime:
                     f"stage {stage.name!r} emitted during setup(); emissions "
                     "are only allowed from on_item()/flush()"
                 )
+            # Parameters exist now — publish their trajectories.
+            for pname, param in stage.parameters.items():
+                self.metrics.series(
+                    f"adapt.{stage.name}.param.{pname}", param.history
+                )
 
         workers = []
         for stage in self._stages.values():
@@ -375,22 +398,28 @@ class SimulatedRuntime:
             )
 
         result.execution_time = self.env.now - start
+        self.metrics.gauge("run.execution_time").set(result.execution_time)
+        if self.tracer is not None:
+            result.traces = self.tracer.traces
+            publish_traces(self.metrics, result.traces)
         for stage in self._stages.values():
-            stats = stage.stats
-            stats.parameter_history = {
-                name: param.history for name, param in stage.parameters.items()
-            }
-            stats.load_history = stage.estimator.history if stage.estimator else None
-            stats.queue_history = stage.queue_history
-            stats.arrival_rate = stage.rate_estimator.decayed_rate(self.env.now)
-            stats.final_value = stage.processor.result()
-            result.stages[stage.name] = stats
+            assert stage.metrics is not None
+            stage.metrics.arrival_rate.set(
+                stage.rate_estimator.decayed_rate(self.env.now)
+            )
+            result.stages[stage.name] = StageStats.from_registry(
+                self.metrics, stage.name,
+                host_name=stage.host_name,
+                final_value=stage.processor.result(),
+            )
+        result.metrics = self.metrics
         return result
 
     # -- processes ------------------------------------------------------------
 
     def _feeder(self, binding: SourceBinding) -> Generator:
         stage = self._stages[binding.target_stage]
+        assert stage.metrics is not None
         if binding.arrivals is not None:
             gaps: Optional[Any] = binding.arrivals.gaps()
         else:
@@ -406,12 +435,25 @@ class SimulatedRuntime:
                 origin=binding.name,
                 created_at=self.env.now,
             )
+            if self.tracer is not None:
+                item.trace = self.tracer.maybe_trace(binding.name, self.env.now)
+                if item.trace is not None:
+                    self.metrics.counter("run.traced_items").inc()
+                    # Open the hop before the put: completing a blocking
+                    # put may resume the waiting worker first, which must
+                    # already see item.hop.
+                    item.hop = item.trace.begin_hop(stage.name, self.env.now)
             if binding.drop_when_full:
                 if stage.queue.is_full:
-                    stage.stats.items_dropped += 1
+                    stage.metrics.items_dropped.inc()
+                    if item.hop is not None:
+                        item.trace.hops.remove(item.hop)
+                        item.hop = None
                     continue
                 stage.queue.force_put(item)
             else:
+                # A blocking put waits for queue space; that back-pressure
+                # wait counts as queue time (the hop is already open).
                 yield stage.queue.put(item)
             stage.rate_estimator.observe(self.env.now)
         yield stage.queue.put(EndOfStream(origin=binding.name))
@@ -437,25 +479,40 @@ class SimulatedRuntime:
                 result.events.log(self.env.now, "stage-finished", stage=stage.name)
                 return
             assert isinstance(message, Item)
-            stage.stats.items_in += 1
-            stage.stats.bytes_in += message.size
+            assert stage.metrics is not None
+            stage.metrics.items_in.inc()
+            stage.metrics.bytes_in.inc(message.size)
+            hop = message.hop
+            if hop is not None:
+                hop.dequeue_t = self.env.now
             items, nbytes = stage.processor.work_amount(message.payload, message.size)
             if items or nbytes:
                 duration = yield host.execute(
                     stage.processor.cost_model, items=items, nbytes=nbytes
                 )
-                stage.stats.busy_seconds += duration
+                stage.metrics.busy_seconds.inc(duration)
+                if hop is not None:
+                    hop.process_t += duration
             stage.processor.on_item(message.payload, ctx)
-            stage.stats.latencies.append(self.env.now - message.created_at)
-            yield from self._transmit_pending(stage, host)
+            stage.metrics.latency.observe(self.env.now - message.created_at)
+            tx_start = self.env.now
+            yield from self._transmit_pending(stage, host, trace=message.trace)
+            if hop is not None:
+                hop.tx_t += self.env.now - tx_start
 
-    def _transmit_pending(self, stage: _StageRuntime, host) -> Generator:
+    def _transmit_pending(
+        self,
+        stage: _StageRuntime,
+        host,
+        trace: Optional[ItemTrace] = None,
+    ) -> Generator:
         ctx = stage.context
         assert ctx is not None
+        assert stage.metrics is not None
         pending, ctx.pending = ctx.pending, []
         for payload, size, stream in pending:
-            stage.stats.items_out += 1
-            stage.stats.bytes_out += size
+            stage.metrics.items_out.inc()
+            stage.metrics.bytes_out.inc(size)
             for edge in stage.out_edges:
                 if stream is not None and edge.stream.name != stream:
                     continue
@@ -464,6 +521,7 @@ class SimulatedRuntime:
                     size=size,
                     origin=edge.stream.name,
                     created_at=self.env.now,
+                    trace=trace,
                 )
                 yield from self._send_one(stage, edge, item)
 
@@ -471,6 +529,7 @@ class SimulatedRuntime:
         """Transmit one message over an edge (blocking the sender for TX)."""
         size = message.size if not control else 1.0
         if edge.link is None:
+            self._open_hop(edge.dst, message)
             edge.dst.queue.force_put(message)
             if not control:
                 edge.dst.rate_estimator.observe(self.env.now)
@@ -486,22 +545,29 @@ class SimulatedRuntime:
         delay = edge.link.latency + edge.extra_latency
         if delay:
             yield self.env.timeout(delay)
+        self._open_hop(edge.dst, message)
         edge.dst.queue.force_put(message)
         if isinstance(message, Item):
             edge.dst.rate_estimator.observe(self.env.now)
 
+    def _open_hop(self, dst: _StageRuntime, message) -> None:
+        """Start the downstream hop record as a traced item is enqueued."""
+        if isinstance(message, Item) and message.trace is not None:
+            message.hop = message.trace.begin_hop(dst.name, self.env.now)
+
     def _monitor(self, stage: _StageRuntime, result: RunResult) -> Generator:
         assert stage.estimator is not None
+        assert stage.metrics is not None
         samples = 0
         while not stage.done:
             yield self.env.timeout(self.policy.sample_interval)
             if stage.done:
                 return
             now = self.env.now
-            stage.queue_history.record(now, stage.queue.current_length)
+            stage.metrics.queue_len.record(now, stage.queue.current_length)
             exception = stage.estimator.sample(now)
             if exception is not None and self.policy.exceptions_enabled:
-                stage.stats.exceptions_reported += 1
+                stage.metrics.exceptions_reported.inc()
                 result.events.log(
                     now,
                     "load-exception",
@@ -511,7 +577,8 @@ class SimulatedRuntime:
                 )
                 for upstream in stage.upstream:
                     upstream.exceptions.report(exception)
-                    upstream.stats.exceptions_received += 1
+                    assert upstream.metrics is not None
+                    upstream.metrics.exceptions_received.inc()
             samples += 1
             if samples % self.policy.adjust_every == 0 and stage.controllers:
                 t1, t2 = stage.exceptions.drain()

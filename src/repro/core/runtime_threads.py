@@ -31,8 +31,10 @@ from repro.core.adaptation.protocol import ExceptionCounter
 from repro.core.api import AdjustmentParameter, ProcessorError, StageContext, StreamProcessor
 from repro.core.items import EndOfStream, Item
 from repro.core.results import RunResult, StageStats
+from repro.metrics.rates import RateEstimator
+from repro.obs.registry import MetricsRegistry, StageMetrics
+from repro.obs.tracing import TraceCollector, publish_traces
 from repro.simnet.links import TokenBucket
-from repro.simnet.trace import TimeSeries
 
 __all__ = ["ThreadedRuntime", "ThreadedRuntimeError"]
 
@@ -164,8 +166,13 @@ class _ThreadStage:
     exceptions: ExceptionCounter = field(default_factory=ExceptionCounter)
     estimator: Optional[LoadEstimator] = None
     context: Optional[_ThreadStageContext] = None
-    stats: StageStats = field(default_factory=lambda: StageStats(""))
+    #: Registry-backed metric handles (items/bytes/latency/queue...).
+    metrics: Optional[StageMetrics] = None
+    rate_estimator: RateEstimator = field(default_factory=RateEstimator)
     param_lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Serializes arrival-rate observations (several producer threads
+    #: feed one queue; the estimator requires non-decreasing times).
+    rate_lock: threading.Lock = field(default_factory=threading.Lock)
     done: threading.Event = field(default_factory=threading.Event)
     error: Optional[BaseException] = None
 
@@ -200,12 +207,25 @@ class ThreadedRuntime:
         policy: Optional[AdaptationPolicy] = None,
         time_scale: float = 1.0,
         adaptation_enabled: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
+        trace_every: Optional[int] = None,
+        max_traces: int = 10_000,
     ) -> None:
+        """``metrics``/``trace_every`` mirror
+        :class:`~repro.core.runtime_sim.SimulatedRuntime`: both runtimes
+        publish the same ``stage.*`` / ``adapt.*`` metric families.
+        """
         if time_scale <= 0:
             raise ThreadedRuntimeError(f"time_scale must be > 0, got {time_scale}")
         self.policy = policy or AdaptationPolicy()
         self.time_scale = time_scale
         self.adaptation_enabled = adaptation_enabled
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer: Optional[TraceCollector] = (
+            TraceCollector(trace_every, max_traces=max_traces)
+            if trace_every is not None
+            else None
+        )
         self._stages: Dict[str, _ThreadStage] = {}
         self._sources: List[_ThreadSource] = []
         self._start_time = 0.0
@@ -238,8 +258,9 @@ class ThreadedRuntime:
             queue=_MonitoredQueue(capacity, self.policy.window),
             properties=dict(properties or {}),
         )
-        stage.stats = StageStats(name, host_name="local-thread")
+        stage.metrics = StageMetrics(self.metrics, name)
         stage.estimator = LoadEstimator(name, stage.queue, self.policy)
+        self.metrics.series(f"adapt.{name}.d_tilde", stage.estimator.history)
         stage.context = _ThreadStageContext(stage, self)
         self._stages[name] = stage
 
@@ -323,6 +344,10 @@ class ThreadedRuntime:
             stage.context._in_setup = True
             stage.processor.setup(stage.context)
             stage.context._in_setup = False
+            for pname, param in stage.parameters.items():
+                self.metrics.series(
+                    f"adapt.{stage.name}.param.{pname}", param.history
+                )
 
         threads: List[threading.Thread] = []
         stop_monitors = threading.Event()
@@ -357,17 +382,34 @@ class ThreadedRuntime:
             raise errors[0]
 
         result.execution_time = self.elapsed()
+        self.metrics.gauge("run.execution_time").set(result.execution_time)
+        if self.tracer is not None:
+            result.traces = self.tracer.traces
+            publish_traces(self.metrics, result.traces)
         for stage in self._stages.values():
-            stats = stage.stats
-            stats.parameter_history = {
-                name: p.history for name, p in stage.parameters.items()
-            }
-            stats.load_history = stage.estimator.history if stage.estimator else None
-            stats.final_value = stage.processor.result()
-            result.stages[stage.name] = stats
+            assert stage.metrics is not None
+            stage.metrics.arrival_rate.set(
+                stage.rate_estimator.decayed_rate(self.elapsed())
+            )
+            result.stages[stage.name] = StageStats.from_registry(
+                self.metrics, stage.name,
+                host_name="local-thread",
+                final_value=stage.processor.result(),
+            )
+        result.metrics = self.metrics
         return result
 
     # -- thread bodies -----------------------------------------------------------
+
+    def _observe_arrival(self, stage: _ThreadStage) -> None:
+        """Record one arrival; the lock keeps observation times monotone.
+
+        Several producer threads (feeders, upstream workers) may feed one
+        queue; reading the clock *inside* the lock guarantees the
+        estimator sees non-decreasing times.
+        """
+        with stage.rate_lock:
+            stage.rate_estimator.observe(self.elapsed())
 
     def _feeder(self, source: _ThreadSource) -> None:
         stage = self._stages[source.target]
@@ -382,9 +424,17 @@ class ThreadedRuntime:
                 if callable(source.item_size)
                 else float(source.item_size)
             )
-            stage.queue.put(
-                Item(payload=payload, size=size, origin=source.name, created_at=self.elapsed())
+            item = Item(
+                payload=payload, size=size, origin=source.name,
+                created_at=self.elapsed(),
             )
+            if self.tracer is not None:
+                item.trace = self.tracer.maybe_trace(source.name, item.created_at)
+                if item.trace is not None:
+                    self.metrics.counter("run.traced_items").inc()
+                    item.hop = item.trace.begin_hop(stage.name, self.elapsed())
+            stage.queue.put(item)
+            self._observe_arrival(stage)
         stage.queue.put(EndOfStream(origin=source.name))
 
     def _worker(self, stage: _ThreadStage) -> None:
@@ -403,16 +453,25 @@ class ThreadedRuntime:
                     for edge in stage.out_edges:
                         edge.dst.queue.put(EndOfStream(origin=stage.name))
                     return
-                stage.stats.items_in += 1
-                stage.stats.bytes_in += message.size
+                assert stage.metrics is not None
+                stage.metrics.items_in.inc()
+                stage.metrics.bytes_in.inc(message.size)
+                hop = message.hop
+                if hop is not None:
+                    hop.dequeue_t = self.elapsed()
                 items, nbytes = stage.processor.work_amount(message.payload, message.size)
                 cost = stage.processor.cost_model.cost(items, nbytes)
                 if cost > 0:
                     time.sleep(cost * self.time_scale)
-                    stage.stats.busy_seconds += cost * self.time_scale
+                    stage.metrics.busy_seconds.inc(cost * self.time_scale)
+                    if hop is not None:
+                        hop.process_t += cost * self.time_scale
                 stage.processor.on_item(message.payload, ctx)
-                stage.stats.latencies.append(self.elapsed() - message.created_at)
-                self._transmit_pending(stage)
+                stage.metrics.latency.observe(self.elapsed() - message.created_at)
+                tx_start = self.elapsed()
+                self._transmit_pending(stage, trace=message.trace)
+                if hop is not None:
+                    hop.tx_t += self.elapsed() - tx_start
         except BaseException as exc:  # noqa: BLE001 - surfaced by run()
             stage.error = exc
             # Release downstream stages: they will never get more data
@@ -424,13 +483,14 @@ class ThreadedRuntime:
         finally:
             stage.done.set()
 
-    def _transmit_pending(self, stage: _ThreadStage) -> None:
+    def _transmit_pending(self, stage: _ThreadStage, trace=None) -> None:
         ctx = stage.context
         assert ctx is not None
+        assert stage.metrics is not None
         pending, ctx.pending = ctx.pending, []
         for payload, size, stream in pending:
-            stage.stats.items_out += 1
-            stage.stats.bytes_out += size
+            stage.metrics.items_out.inc()
+            stage.metrics.bytes_out.inc(size)
             for edge in stage.out_edges:
                 if stream is not None and edge.name != stream:
                     continue
@@ -438,25 +498,35 @@ class ThreadedRuntime:
                     wait = edge.bucket.consume(size)
                     if wait > 0:
                         time.sleep(wait * self.time_scale)
-                edge.dst.queue.put(
-                    Item(payload=payload, size=size, origin=stage.name,
-                         created_at=self.elapsed())
+                item = Item(
+                    payload=payload, size=size, origin=stage.name,
+                    created_at=self.elapsed(), trace=trace,
                 )
+                if trace is not None:
+                    # Open the hop before the put: the downstream worker
+                    # may dequeue immediately.  Emissions share the parent
+                    # item's trace.
+                    item.hop = trace.begin_hop(edge.dst.name, self.elapsed())
+                edge.dst.queue.put(item)
+                self._observe_arrival(edge.dst)
 
     def _monitor(self, stage: _ThreadStage, stop: threading.Event) -> None:
         assert stage.estimator is not None
+        assert stage.metrics is not None
         samples = 0
         interval = self.policy.sample_interval * self.time_scale
         while not stop.is_set() and not stage.done.is_set():
             if stop.wait(interval):
                 return
             now = self.elapsed()
+            stage.metrics.queue_len.record(now, float(stage.queue.current_length))
             exception = stage.estimator.sample(now)
             if exception is not None and self.policy.exceptions_enabled:
-                stage.stats.exceptions_reported += 1
+                stage.metrics.exceptions_reported.inc()
                 for upstream in stage.upstream:
                     upstream.exceptions.report(exception)
-                    upstream.stats.exceptions_received += 1
+                    assert upstream.metrics is not None
+                    upstream.metrics.exceptions_received.inc()
             samples += 1
             if samples % self.policy.adjust_every == 0 and stage.controllers:
                 t1, t2 = stage.exceptions.drain()

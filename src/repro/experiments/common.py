@@ -139,12 +139,15 @@ def run_count_samps_distributed(
     seed: int = 0,
     sketch: str = "counting-samples",
     policy: Optional[AdaptationPolicy] = None,
+    trace_every: Optional[int] = None,
 ) -> CountSampsRun:
     """One distributed count-samps run (Figure 5 row 2 / Figures 6-7).
 
     ``adaptive=False`` freezes k at ``sample_size`` (the fixed versions of
     Figure 6/7); ``adaptive=True`` lets the middleware pick k in
-    [sample_size_min, sample_size_max].
+    [sample_size_min, sample_size_max].  ``trace_every=N`` hop-traces
+    every N-th arrival (see :mod:`repro.obs`) so the run's latency can be
+    decomposed with ``repro report``.
     """
     fabric = build_star_fabric(n_sources, bandwidth)
     if adaptive:
@@ -166,7 +169,7 @@ def run_count_samps_distributed(
     deployment = fabric.launcher.launch(config)
     runtime = SimulatedRuntime(
         fabric.env, fabric.network, deployment,
-        policy=policy, adaptation_enabled=adaptive,
+        policy=policy, adaptation_enabled=adaptive, trace_every=trace_every,
     )
     substreams, truth = _make_substreams(
         n_sources, items_per_source, universe, skew, seed
@@ -202,6 +205,7 @@ def run_count_samps_centralized(
     skew: float = 1.3,
     seed: int = 0,
     sketch_capacity: int = 1000,
+    trace_every: Optional[int] = None,
 ) -> CountSampsRun:
     """One centralized count-samps run (Figure 5 row 1).
 
@@ -216,7 +220,8 @@ def run_count_samps_centralized(
     )
     deployment = fabric.launcher.launch(config)
     runtime = SimulatedRuntime(
-        fabric.env, fabric.network, deployment, adaptation_enabled=False
+        fabric.env, fabric.network, deployment, adaptation_enabled=False,
+        trace_every=trace_every,
     )
     substreams, truth = _make_substreams(
         n_sources, items_per_source, universe, skew, seed
@@ -273,6 +278,7 @@ def run_comp_steer(
     item_bytes: float = 8.0,
     seed: int = 0,
     policy: Optional[AdaptationPolicy] = None,
+    trace_every: Optional[int] = None,
 ) -> CompSteerRun:
     """One comp-steer run (Figures 8 and 9).
 
@@ -298,7 +304,10 @@ def run_comp_steer(
         analysis_host=fabric.center_host,
     )
     deployment = fabric.launcher.launch(config)
-    runtime = SimulatedRuntime(fabric.env, fabric.network, deployment, policy=policy)
+    runtime = SimulatedRuntime(
+        fabric.env, fabric.network, deployment, policy=policy,
+        trace_every=trace_every,
+    )
     items_per_second = generation_rate_bytes / item_bytes
     runtime.bind_source(
         SourceBinding(

@@ -79,14 +79,27 @@ class MonitoringService:
     letting the environment drain or via :meth:`stop`.
     """
 
-    def __init__(self, env: Environment, network: Network, interval: float = 1.0) -> None:
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        interval: float = 1.0,
+        registry=None,
+    ) -> None:
+        """``registry`` (a :class:`~repro.obs.registry.MetricsRegistry`)
+        is optional; when given, the fabric histories are additionally
+        published as ``host.<host>.utilization``, ``link.<link>.throughput``
+        and ``link.<link>.utilization`` series metrics.
+        """
         if interval <= 0:
             raise ValueError(f"interval must be > 0, got {interval}")
         self.env = env
         self.network = network
         self.interval = float(interval)
+        self.registry = registry
         self._host_util: Dict[str, TimeSeries] = {}
         self._link_tput: Dict[str, TimeSeries] = {}
+        self._link_util: Dict[str, TimeSeries] = {}
         self._last_busy: Dict[str, float] = {}
         self._last_bytes: Dict[str, float] = {}
         self._snapshot: Optional[FabricSnapshot] = None
@@ -102,9 +115,22 @@ class MonitoringService:
         for name in self.network.hosts:
             self._host_util[name] = TimeSeries(f"host:{name}:utilization")
             self._last_busy[name] = self.network.host(name).busy_time
+            if self.registry is not None:
+                self.registry.series(
+                    f"host.{name}.utilization", self._host_util[name]
+                )
         for src, dst, link in self.network.edges():
             self._link_tput[link.name] = TimeSeries(f"link:{link.name}:throughput")
+            self._link_util[link.name] = TimeSeries(f"link:{link.name}:utilization")
             self._last_bytes[link.name] = link.stats.bytes
+            if self.registry is not None:
+                self.registry.series(
+                    f"link.{link.name}.throughput", self._link_tput[link.name]
+                )
+                self.registry.series(
+                    f"link.{link.name}.utilization", self._link_util[link.name]
+                )
+                link.bind_metrics(self.registry)
         self._process = self.env.process(self._run(), name="monitoring-service")
         return self._process
 
@@ -142,6 +168,7 @@ class MonitoringService:
             throughput = delta_bytes / self.interval
             utilization = min(1.0, throughput / link.bandwidth) if link.bandwidth else 0.0
             self._link_tput[link.name].record(now, throughput)
+            self._link_util[link.name].record(now, utilization)
             snapshot.links[link.name] = LinkSample(
                 link_name=link.name,
                 time=now,
@@ -171,5 +198,12 @@ class MonitoringService:
         """Delivered-bytes/second history of a link direction."""
         try:
             return self._link_tput[link_name]
+        except KeyError:
+            raise KeyError(f"unknown link {link_name!r}") from None
+
+    def link_utilization(self, link_name: str) -> TimeSeries:
+        """TX-busy-fraction history of a link direction."""
+        try:
+            return self._link_util[link_name]
         except KeyError:
             raise KeyError(f"unknown link {link_name!r}") from None

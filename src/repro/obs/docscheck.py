@@ -1,0 +1,66 @@
+"""Docs-consistency check: the catalog and the docs must agree.
+
+``docs/observability.md`` documents every metric-name template in a
+markdown table whose first column is the backticked template and whose
+second column is the kind.  :func:`check_docs` diffs that table against
+the authoritative catalog (:data:`repro.obs.names.METRICS`) in both
+directions — a metric added without a docs row, a docs row for a removed
+metric, or a kind mismatch each produce one problem string.  The tier-1
+test ``tests/obs/test_docscheck.py`` asserts the list is empty, so the
+reference cannot drift.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.obs.names import METRICS
+
+__all__ = ["check_docs", "default_docs_path", "documented_metrics"]
+
+#: A metrics-table row: ``| `template` | kind | ...``.
+_ROW = re.compile(r"^\|\s*`(?P<template>[a-z_.{}>-]+)`\s*\|\s*(?P<kind>\w+)\s*\|")
+
+
+def default_docs_path() -> Path:
+    """``docs/observability.md`` relative to the repository root."""
+    return Path(__file__).resolve().parents[3] / "docs" / "observability.md"
+
+
+def documented_metrics(path: Path) -> Dict[str, str]:
+    """Parse ``{template: kind}`` from the docs' metrics table rows."""
+    documented: Dict[str, str] = {}
+    for line in path.read_text(encoding="utf-8").splitlines():
+        match = _ROW.match(line.strip())
+        if match and "." in match.group("template"):
+            documented[match.group("template")] = match.group("kind")
+    return documented
+
+
+def check_docs(path: Path = None) -> List[str]:
+    """Problems keeping the docs and the catalog apart (empty = in sync)."""
+    path = path if path is not None else default_docs_path()
+    if not path.exists():
+        return [f"docs file missing: {path}"]
+    documented = documented_metrics(path)
+    cataloged: Dict[str, str] = {spec.template: spec.kind for spec in METRICS}
+    problems: List[str] = []
+    for template, kind in sorted(cataloged.items()):
+        if template not in documented:
+            problems.append(
+                f"cataloged metric {template!r} is not documented in {path.name}"
+            )
+        elif documented[template] != kind:
+            problems.append(
+                f"{template!r}: catalog says {kind}, docs say "
+                f"{documented[template]}"
+            )
+    for template in sorted(documented):
+        if template not in cataloged:
+            problems.append(
+                f"{path.name} documents {template!r}, which is not in the "
+                "catalog (repro.obs.names.METRICS)"
+            )
+    return problems

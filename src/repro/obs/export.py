@@ -1,0 +1,139 @@
+"""Run exporters: JSONL (lossless) and CSV (spreadsheet-friendly).
+
+The JSONL format is a stream of typed records, one JSON object per line::
+
+    {"type": "run",    "app_name": ..., "execution_time": ...}
+    {"type": "stage",  ...StageStats.to_dict()...}
+    {"type": "event",  "time": ..., "kind": ..., ...attributes...}
+    {"type": "metric", "name": ..., "kind": ..., ...payload...}
+    {"type": "trace",  "trace_id": ..., "origin": ..., "hops": [...]}
+
+:func:`load_jsonl` reassembles a :class:`~repro.core.results.RunResult`
+whose ``to_dict()`` equals the exported run's — the round-trip is
+lossless (enforced by ``tests/obs/test_export_roundtrip.py``).  Streaming
+records rather than one monolithic object keeps exports greppable and
+lets downstream tools (jq, pandas ``read_json(lines=True)``) consume them
+incrementally.
+
+The CSV exporter writes two sibling files — ``<base>.stages.csv`` (one
+scalar row per stage) and ``<base>.metrics.csv`` (long-format
+``name,kind,time,value`` rows) — trading losslessness for pivot-table
+convenience; use JSONL when the export must be reloadable.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Any, Dict, List
+
+from repro.core.results import RunResult, StageStats
+
+__all__ = ["export_csv", "export_jsonl", "load_jsonl"]
+
+#: Scalar StageStats columns in the stages CSV, in order.
+_STAGE_COLUMNS = (
+    "stage_name", "host_name", "items_in", "items_out", "items_dropped",
+    "arrival_rate", "bytes_in", "bytes_out", "busy_seconds",
+    "exceptions_received", "exceptions_reported", "latency_mean",
+)
+
+
+def export_jsonl(result: RunResult, path: str) -> int:
+    """Write ``result`` as JSONL records; returns the record count."""
+    records: List[Dict[str, Any]] = [
+        {
+            "type": "run",
+            "app_name": result.app_name,
+            "execution_time": result.execution_time,
+        }
+    ]
+    for name, stats in result.stages.items():
+        records.append({"type": "stage", **stats.to_dict(include_series=True)})
+    for time, kind, attrs in result.events.entries:
+        records.append({"type": "event", "time": time, "kind": kind, **attrs})
+    if result.metrics is not None:
+        for name, payload in result.metrics.to_dict().items():
+            records.append({"type": "metric", "name": name, **payload})
+    for trace in result.traces:
+        records.append({"type": "trace", **trace.to_dict()})
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+    return len(records)
+
+
+def load_jsonl(path: str) -> RunResult:
+    """Reassemble a :class:`RunResult` from a JSONL export.
+
+    Inverse of :func:`export_jsonl`:
+    ``load_jsonl(p).to_dict() == result.to_dict()`` for the exported
+    ``result``.
+    """
+    run: Dict[str, Any] = {
+        "app_name": "", "execution_time": 0.0, "stages": {},
+        "events": [], "metrics": None, "traces": [],
+    }
+    metrics: Dict[str, Any] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                rtype = record.pop("type")
+            except (ValueError, KeyError) as exc:
+                raise ValueError(f"{path}:{line_no}: bad JSONL record: {exc}")
+            if rtype == "run":
+                run["app_name"] = record["app_name"]
+                run["execution_time"] = record["execution_time"]
+            elif rtype == "stage":
+                run["stages"][record["stage_name"]] = record
+            elif rtype == "event":
+                run["events"].append(record)
+            elif rtype == "metric":
+                metrics[record.pop("name")] = record
+            elif rtype == "trace":
+                run["traces"].append(record)
+            else:
+                raise ValueError(f"{path}:{line_no}: unknown record type {rtype!r}")
+    if metrics:
+        run["metrics"] = metrics
+    return RunResult.from_dict(run)
+
+
+def _stage_row(stats: StageStats) -> Dict[str, Any]:
+    data = stats.to_dict(include_series=False)
+    return {column: data[column] for column in _STAGE_COLUMNS}
+
+
+def export_csv(result: RunResult, base_path: str) -> List[str]:
+    """Write ``<base>.stages.csv`` and ``<base>.metrics.csv``.
+
+    Returns the written paths.  Scalar metrics get one row with an empty
+    ``time`` column; series/histograms get one row per sample.
+    """
+    stages_path = f"{base_path}.stages.csv"
+    metrics_path = f"{base_path}.metrics.csv"
+    with open(stages_path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_STAGE_COLUMNS)
+        writer.writeheader()
+        for name in sorted(result.stages):
+            writer.writerow(_stage_row(result.stages[name]))
+    with open(metrics_path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["name", "kind", "time", "value"])
+        if result.metrics is not None:
+            for name, payload in result.metrics.to_dict().items():
+                kind = payload["kind"]
+                if kind in ("counter", "gauge"):
+                    writer.writerow([name, kind, "", payload["value"]])
+                elif kind == "histogram":
+                    for sample in payload["samples"]:
+                        writer.writerow([name, kind, "", sample])
+                elif kind == "series":
+                    series = payload["series"]
+                    for time, value in zip(series["times"], series["values"]):
+                        writer.writerow([name, kind, time, value])
+    return [stages_path, metrics_path]

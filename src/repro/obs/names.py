@@ -1,0 +1,181 @@
+"""The canonical metric-name catalog.
+
+Every metric the middleware publishes has a **stable dotted name** built
+from one of the templates below (``{stage}``, ``{link}``, ``{host}`` and
+``{parameter}`` are filled with the runtime entity's name; entity names
+never contain dots).  The catalog is the single source of truth three
+consumers share:
+
+* :class:`~repro.obs.registry.MetricsRegistry` validates every
+  registration against it (an unknown name is a bug, not a new metric);
+* ``docs/observability.md`` documents exactly these templates, and the
+  docs-consistency check (:mod:`repro.obs.docscheck`, run as a tier-1
+  test) fails when either side drifts;
+* the metric-name stability snapshot test pins the templates so renames
+  are deliberate, reviewed events.
+
+The ``paper`` column ties each signal back to GATES (HPDC 2004): the
+Section 1 monitoring claim ("the system monitors the arrival rate at each
+source, the available computing resources and memory, and the available
+network bandwidth"), the Figure 4 queue model, and the Section 4
+adaptation quantities (load factors phi1/phi2/phi3, the long-term load
+score d-tilde, over-/under-load exceptions).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+__all__ = ["METRICS", "MetricSpec", "spec_for", "validate_name"]
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One catalog entry: a metric-name template and its meaning."""
+
+    #: Dotted template, e.g. ``"stage.{stage}.items_in"``.
+    template: str
+    #: ``counter`` | ``gauge`` | ``histogram`` | ``series``.
+    kind: str
+    #: Unit of the recorded value.
+    unit: str
+    #: Which runtimes emit it: subset of {"sim", "threaded"}.
+    runtimes: Tuple[str, ...]
+    #: The paper signal this metric corresponds to (or "—" for
+    #: reproduction-only instrumentation).
+    paper: str
+    #: One-line human description.
+    description: str
+
+
+METRICS: Tuple[MetricSpec, ...] = (
+    # -- per-stage flow accounting -----------------------------------------
+    MetricSpec("stage.{stage}.items_in", "counter", "items", ("sim", "threaded"),
+               "arrival accounting feeding the arrival-rate monitor (§1)",
+               "Items dequeued and processed by the stage."),
+    MetricSpec("stage.{stage}.items_out", "counter", "items", ("sim", "threaded"),
+               "data-reduction factor of a stage (§3.1 selectivity)",
+               "Items emitted by the stage's processor."),
+    MetricSpec("stage.{stage}.items_dropped", "counter", "items", ("sim", "threaded"),
+               "\"it is often not feasible to store all data\" (§1)",
+               "Arrivals dropped at ingestion (lossy source bindings; "
+               "always 0 on the threaded runtime, which has no lossy mode)."),
+    MetricSpec("stage.{stage}.bytes_in", "counter", "bytes", ("sim", "threaded"),
+               "network volume the evaluation measures (Fig 5 bytes column)",
+               "Bytes received by the stage."),
+    MetricSpec("stage.{stage}.bytes_out", "counter", "bytes", ("sim", "threaded"),
+               "network volume the evaluation measures (Fig 5 bytes column)",
+               "Bytes emitted by the stage."),
+    MetricSpec("stage.{stage}.busy_seconds", "counter", "seconds", ("sim", "threaded"),
+               "server busy time in the Fig 4 queue model",
+               "Seconds the stage spent executing processor work."),
+    MetricSpec("stage.{stage}.exceptions_reported", "counter", "exceptions",
+               ("sim", "threaded"),
+               "over-/under-load exceptions sent upstream (§4.2)",
+               "Load exceptions this stage reported to its upstream stages."),
+    MetricSpec("stage.{stage}.exceptions_received", "counter", "exceptions",
+               ("sim", "threaded"),
+               "over-/under-load exceptions received from downstream (§4.2)",
+               "Load exceptions received from downstream stages."),
+    # -- per-stage signals --------------------------------------------------
+    MetricSpec("stage.{stage}.arrival_rate", "gauge", "items/second",
+               ("sim", "threaded"),
+               "\"the system monitors the arrival rate at each source\" (§1)",
+               "EWMA arrival-rate estimate at end of run (silence-decayed)."),
+    MetricSpec("stage.{stage}.queue_len", "series", "items", ("sim", "threaded"),
+               "queue of the server, Fig 4 — the phi3 input",
+               "Queue length sampled on the adaptation cadence."),
+    MetricSpec("stage.{stage}.latency", "histogram", "seconds", ("sim", "threaded"),
+               "the real-time constraint (§1: processing keeps up with arrival)",
+               "End-to-end latency (item creation -> processed here), every item."),
+    MetricSpec("stage.{stage}.latency_queue", "histogram", "seconds",
+               ("sim", "threaded"),
+               "waiting time in the Fig 4 queue",
+               "Per-hop queue-wait seconds at this stage (sampled hop traces)."),
+    MetricSpec("stage.{stage}.latency_compute", "histogram", "seconds",
+               ("sim", "threaded"),
+               "service time in the Fig 4 queue model",
+               "Per-hop processing seconds at this stage (sampled hop traces)."),
+    MetricSpec("stage.{stage}.latency_network", "histogram", "seconds",
+               ("sim", "threaded"),
+               "transmission on the bandwidth-constrained link (Fig 9 regime)",
+               "Per-hop sender-side transmission seconds (sampled hop traces)."),
+    # -- adaptation ---------------------------------------------------------
+    MetricSpec("adapt.{stage}.d_tilde", "series", "load score", ("sim", "threaded"),
+               "the long-term load score d-tilde (§4.1)",
+               "Long-term load trajectory driving the exception protocol."),
+    MetricSpec("adapt.{stage}.param.{parameter}", "series", "parameter units",
+               ("sim", "threaded"),
+               "adjustment-parameter trajectory (Figures 8 and 9)",
+               "Value of one adjustment parameter over time."),
+    # -- network fabric -----------------------------------------------------
+    MetricSpec("link.{link}.tx_busy", "gauge", "seconds", ("sim",),
+               "\"the available network bandwidth\" (§1)",
+               "Cumulative transmitter-busy seconds of the link."),
+    MetricSpec("link.{link}.bytes", "gauge", "bytes", ("sim",),
+               "network volume over the delay-injected links (§5)",
+               "Cumulative bytes delivered by the link."),
+    MetricSpec("link.{link}.messages", "gauge", "messages", ("sim",),
+               "network volume over the delay-injected links (§5)",
+               "Cumulative messages delivered by the link."),
+    MetricSpec("link.{link}.throughput", "series", "bytes/second", ("sim",),
+               "\"the available network bandwidth\" (§1)",
+               "Delivered bytes/second per MonitoringService period."),
+    MetricSpec("link.{link}.utilization", "series", "fraction", ("sim",),
+               "\"the available network bandwidth\" (§1)",
+               "TX-busy fraction per MonitoringService period."),
+    MetricSpec("host.{host}.utilization", "series", "fraction", ("sim",),
+               "\"the available computing resources\" (§1)",
+               "Busy-core fraction per MonitoringService period."),
+    # -- whole-run ----------------------------------------------------------
+    MetricSpec("run.execution_time", "gauge", "seconds", ("sim", "threaded"),
+               "execution time of Figures 5 and 6",
+               "Simulated (or wall-clock) seconds from start to completion."),
+    MetricSpec("run.traced_items", "counter", "items", ("sim", "threaded"),
+               "—",
+               "Items that carried a sampled hop-trace context."),
+)
+
+_PLACEHOLDER = re.compile(r"\{[a-z]+\}")
+
+
+def _compile(template: str) -> "re.Pattern[str]":
+    pattern = _PLACEHOLDER.sub("[^.]+", re.escape(template).replace(r"\{", "{").replace(r"\}", "}"))
+    return re.compile(f"^{pattern}$")
+
+
+_COMPILED: Dict[str, "re.Pattern[str]"] = {
+    spec.template: _compile(spec.template) for spec in METRICS
+}
+
+
+def spec_for(name: str) -> Optional[MetricSpec]:
+    """The catalog entry a concrete metric name instantiates, or None."""
+    for spec in METRICS:
+        if _COMPILED[spec.template].match(name):
+            return spec
+    return None
+
+
+def validate_name(name: str, kind: str) -> MetricSpec:
+    """Assert ``name`` instantiates a catalog template of ``kind``.
+
+    Returns the matching spec; raises ``ValueError`` otherwise.  This is
+    what keeps metric names stable: new metrics require a catalog entry
+    (and therefore a ``docs/observability.md`` row) first.
+    """
+    spec = spec_for(name)
+    if spec is None:
+        raise ValueError(
+            f"metric name {name!r} matches no template in the catalog "
+            "(repro.obs.names.METRICS); add a MetricSpec and document it "
+            "in docs/observability.md"
+        )
+    if spec.kind != kind:
+        raise ValueError(
+            f"metric {name!r} is cataloged as a {spec.kind}, "
+            f"registered as a {kind}"
+        )
+    return spec

@@ -1,0 +1,209 @@
+"""Terminal run-summary reports (the ``repro report`` subcommand).
+
+Renders a :class:`~repro.core.results.RunResult` as:
+
+* a per-stage table (flow counters, busy time, latency p50/p95/p99);
+* the latency decomposition — queue vs. compute vs. network seconds per
+  stage, from the sampled hop traces (the paper's Figure 4 queue model,
+  measured rather than assumed);
+* adaptation trajectories (adjustment parameters and d-tilde) as ASCII
+  strip charts via :mod:`repro.metrics.ascii_chart`;
+* an event summary.
+
+All sections degrade gracefully: runs without tracing skip the
+decomposition, runs without adaptation skip the charts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.results import RunResult
+from repro.metrics.ascii_chart import multi_chart
+from repro.simnet.trace import percentile
+
+__all__ = ["render_report", "run_quickstart_demo"]
+
+
+def _format_table(headers: List[str], rows: List[List[str]]) -> str:
+    """Left-align the first column, right-align the rest."""
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def fmt(cells: List[str]) -> str:
+        parts = [cells[0].ljust(widths[0])]
+        parts += [c.rjust(w) for c, w in zip(cells[1:], widths[1:])]
+        return "  " + "  ".join(parts)
+
+    lines = [fmt(headers), "  " + "  ".join("-" * w for w in widths)]
+    lines += [fmt(row) for row in rows]
+    return "\n".join(lines)
+
+
+def _stage_table(result: RunResult) -> str:
+    headers = ["stage", "host", "in", "out", "drop", "bytes_in",
+               "busy_s", "p50", "p95", "p99"]
+    rows = []
+    for name in sorted(result.stages):
+        stats = result.stages[name]
+        pct = stats.latency_percentiles()
+        rows.append([
+            name, stats.host_name,
+            str(stats.items_in), str(stats.items_out), str(stats.items_dropped),
+            f"{stats.bytes_in:.0f}", f"{stats.busy_seconds:.3f}",
+            f"{pct[50.0]:.4f}", f"{pct[95.0]:.4f}", f"{pct[99.0]:.4f}",
+        ])
+    return _format_table(headers, rows)
+
+
+def _hop_samples(result: RunResult) -> Dict[str, Dict[str, List[float]]]:
+    """Per-stage queue/compute/network samples from the hop traces."""
+    samples: Dict[str, Dict[str, List[float]]] = {}
+    for trace in result.traces:
+        for hop in trace.hops:
+            if not hop.completed:
+                continue
+            bucket = samples.setdefault(
+                hop.stage, {"queue": [], "compute": [], "network": []}
+            )
+            bucket["queue"].append(hop.queue_t)
+            bucket["compute"].append(hop.process_t)
+            bucket["network"].append(hop.tx_t)
+    return samples
+
+
+def _decomposition_table(result: RunResult) -> Optional[str]:
+    samples = _hop_samples(result)
+    if not samples:
+        return None
+    headers = ["stage", "hops",
+               "queue_p50", "queue_p95", "queue_p99",
+               "compute_p50", "compute_p95", "compute_p99",
+               "net_p50", "net_p95", "net_p99"]
+    rows = []
+    for stage in sorted(samples):
+        bucket = samples[stage]
+        row = [stage, str(len(bucket["queue"]))]
+        for component in ("queue", "compute", "network"):
+            for q in (50.0, 95.0, 99.0):
+                row.append(f"{percentile(bucket[component], q, default=0.0):.4f}")
+        rows.append(row)
+    return _format_table(headers, rows)
+
+
+def _trajectory_charts(result: RunResult, width: int) -> List[str]:
+    charts = []
+    for stage_name in sorted(result.stages):
+        stats = result.stages[stage_name]
+        series_map: Dict[str, List[Tuple[float, float]]] = {
+            f"{stage_name}.{param}": list(series)
+            for param, series in sorted(stats.parameter_history.items())
+            if len(series)
+        }
+        if series_map:
+            charts.append(
+                f"adaptation trajectory — {stage_name}\n"
+                + multi_chart(series_map, width=width)
+            )
+    return charts
+
+
+def render_report(result: RunResult, width: int = 72) -> str:
+    """The full multi-section run summary as one printable string."""
+    total_items = sum(s.items_in for s in result.stages.values())
+    sections = [
+        f"run: {result.app_name}",
+        f"  execution time : {result.execution_time:.3f}s\n"
+        f"  stages         : {len(result.stages)}\n"
+        f"  items processed: {total_items}\n"
+        f"  bytes moved    : {result.total_bytes_moved():.0f}\n"
+        f"  load exceptions: {result.total_exceptions()}\n"
+        f"  sampled traces : {len(result.traces)}",
+        "per-stage summary (latency seconds)\n" + _stage_table(result),
+    ]
+    decomposition = _decomposition_table(result)
+    if decomposition is not None:
+        sections.append(
+            "latency decomposition from sampled hop traces "
+            "(seconds; queue = waiting, compute = processing, "
+            "net = sender-side transmission)\n" + decomposition
+        )
+    sections.extend(_trajectory_charts(result, width))
+    if len(result.events):
+        kinds = sorted({kind for _, kind, _ in result.events.entries})
+        counts = ", ".join(f"{k}={result.events.count(k)}" for k in kinds)
+        sections.append(f"events: {counts}")
+    return "\n\n".join(sections)
+
+
+def run_quickstart_demo(trace_every: int = 1) -> RunResult:
+    """Run the quickstart two-stage pipeline with tracing enabled.
+
+    The same application as ``examples/quickstart.py`` (squares on an
+    edge host, running mean on a central host, a 10 KB/s link between) —
+    the built-in data source for ``repro report`` when no export file is
+    given.  Imports are local: this module is otherwise import-light.
+    """
+    from repro.core.api import StageContext, StreamProcessor
+    from repro.core.runtime_sim import SimulatedRuntime, SourceBinding
+    from repro.grid.deployer import Deployer
+    from repro.grid.launcher import Launcher
+    from repro.grid.registry import ServiceRegistry
+    from repro.grid.repository import CodeRepository
+    from repro.simnet.engine import Environment
+    from repro.simnet.hosts import CpuCostModel
+    from repro.simnet.topology import Network
+
+    class Squarer(StreamProcessor):
+        cost_model = CpuCostModel(per_item=1e-4)
+
+        def on_item(self, payload, context: StageContext) -> None:
+            context.emit(payload * payload, size=8.0)
+
+    class Averager(StreamProcessor):
+        cost_model = CpuCostModel(per_item=1e-4)
+
+        def __init__(self) -> None:
+            self._count = 0
+            self._total = 0.0
+
+        def on_item(self, payload, context: StageContext) -> None:
+            self._count += 1
+            self._total += payload
+
+        def result(self):
+            return self._total / self._count if self._count else 0.0
+
+    app_xml = """
+    <application name="quickstart">
+      <stage name="square" code="repo://quickstart/square">
+        <requirement placement="near:edge"/>
+      </stage>
+      <stage name="average" code="repo://quickstart/average">
+        <requirement min-cores="2"/>
+      </stage>
+      <stream name="squares" from="square" to="average" item-size="8.0"/>
+    </application>
+    """
+    env = Environment()
+    network = Network(env)
+    network.create_host("edge", cores=1)
+    network.create_host("central", cores=4)
+    network.connect("edge", "central", bandwidth=10_000.0, latency=0.01)
+    registry = ServiceRegistry()
+    registry.register_network(network)
+    repository = CodeRepository()
+    repository.publish("repo://quickstart/square", Squarer)
+    repository.publish("repo://quickstart/average", Averager)
+    launcher = Launcher(Deployer(registry, repository))
+    deployment = launcher.launch(app_xml)
+    runtime = SimulatedRuntime(
+        env, network, deployment, adaptation_enabled=False,
+        trace_every=trace_every,
+    )
+    runtime.bind_source(
+        SourceBinding("numbers", "square", payloads=range(1, 101), rate=200.0)
+    )
+    return runtime.run()

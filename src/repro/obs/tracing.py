@@ -1,0 +1,185 @@
+"""Per-item hop tracing: the Figure 4 queue model, made inspectable.
+
+A sampled :class:`ItemTrace` rides on an :class:`~repro.core.items.Item`
+through the pipeline.  At each stage it accumulates one :class:`Hop`
+record — when the item entered the stage's queue, when the worker
+dequeued it, how long the processor computed, how long the worker was
+blocked transmitting emissions — so an end-to-end latency decomposes into
+**queueing vs. compute vs. network** time.  That is exactly the
+decomposition the paper's adaptation reasons about implicitly (a backed-up
+queue means processing or the network cannot keep up); the trace makes it
+observable per item.
+
+Sampling is deterministic (every N-th item per source), so traced runs
+stay reproducible.  Emissions inherit the trace of the item being
+processed; on fan-out all downstream copies append hops to the same
+trace, which therefore records the item's full tree of journeys.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Hop", "ItemTrace", "TraceCollector", "publish_traces"]
+
+
+@dataclass
+class Hop:
+    """One stage visit of a traced item.
+
+    ``enqueue_t``/``dequeue_t`` are absolute times (simulation or scaled
+    wall clock); ``process_t``/``tx_t`` are durations in seconds.
+    """
+
+    stage: str
+    enqueue_t: float
+    dequeue_t: float = -1.0
+    process_t: float = 0.0
+    tx_t: float = 0.0
+
+    @property
+    def queue_t(self) -> float:
+        """Seconds spent waiting in the stage's queue."""
+        if self.dequeue_t < 0:
+            return 0.0
+        return max(0.0, self.dequeue_t - self.enqueue_t)
+
+    @property
+    def completed(self) -> bool:
+        """True once the worker has dequeued (and stamped) this hop."""
+        return self.dequeue_t >= 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "stage": self.stage,
+            "enqueue_t": self.enqueue_t,
+            "dequeue_t": self.dequeue_t,
+            "process_t": self.process_t,
+            "tx_t": self.tx_t,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Hop":
+        return cls(
+            stage=data["stage"],
+            enqueue_t=data["enqueue_t"],
+            dequeue_t=data["dequeue_t"],
+            process_t=data["process_t"],
+            tx_t=data["tx_t"],
+        )
+
+
+@dataclass
+class ItemTrace:
+    """The recorded journey of one sampled item (and its descendants)."""
+
+    trace_id: int
+    origin: str
+    created_at: float
+    hops: List[Hop] = field(default_factory=list)
+
+    def begin_hop(self, stage: str, enqueue_t: float) -> Hop:
+        """Open a hop as the item is offered to ``stage``'s queue.
+
+        Back-pressure wait on a full bounded queue counts as queue time:
+        the hop opens when the sender starts the put, not when space
+        frees up.
+        """
+        hop = Hop(stage=stage, enqueue_t=enqueue_t)
+        self.hops.append(hop)
+        return hop
+
+    def decompose(self) -> Dict[str, float]:
+        """Split the trace's total latency into queue/compute/network.
+
+        ``total`` runs from item creation to the end of the last completed
+        hop; ``network`` is everything not accounted to queueing or
+        compute — sender-side transmission plus propagation delays (and,
+        on the threaded runtime, scheduler noise).
+        """
+        done = [h for h in self.hops if h.completed]
+        queue = sum(h.queue_t for h in done)
+        compute = sum(h.process_t for h in done)
+        if not done:
+            return {"total": 0.0, "queue": 0.0, "compute": 0.0, "network": 0.0}
+        end = max(h.dequeue_t + h.process_t + h.tx_t for h in done)
+        total = max(0.0, end - self.created_at)
+        network = max(0.0, total - queue - compute)
+        return {"total": total, "queue": queue, "compute": compute,
+                "network": network}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "origin": self.origin,
+            "created_at": self.created_at,
+            "hops": [hop.to_dict() for hop in self.hops],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ItemTrace":
+        return cls(
+            trace_id=data["trace_id"],
+            origin=data["origin"],
+            created_at=data["created_at"],
+            hops=[Hop.from_dict(h) for h in data["hops"]],
+        )
+
+
+class TraceCollector:
+    """Deterministic 1-in-N trace sampler and store.
+
+    ``sample_every=1`` traces everything (the ``repro report`` demo and
+    tests); larger values bound overhead on big runs.  ``max_traces``
+    caps memory: once reached, no new traces start (existing ones keep
+    accumulating hops).
+    """
+
+    def __init__(self, sample_every: int = 1, max_traces: int = 10_000) -> None:
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        if max_traces < 1:
+            raise ValueError(f"max_traces must be >= 1, got {max_traces}")
+        self.sample_every = sample_every
+        self.max_traces = max_traces
+        self.traces: List[ItemTrace] = []
+        self._seen = 0
+        self._next_id = 0
+        # The threaded runtime samples from several feeder threads.
+        self._lock = threading.Lock()
+
+    def maybe_trace(self, origin: str, created_at: float) -> Optional[ItemTrace]:
+        """Start a trace for this arrival if it falls on the sample grid."""
+        with self._lock:
+            index = self._seen
+            self._seen += 1
+            if index % self.sample_every != 0 or len(self.traces) >= self.max_traces:
+                return None
+            trace = ItemTrace(
+                trace_id=self._next_id, origin=origin, created_at=created_at
+            )
+            self._next_id += 1
+            self.traces.append(trace)
+            return trace
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+
+def publish_traces(registry, traces) -> None:
+    """Feed completed hops into the per-stage latency-split histograms.
+
+    Called by both runtimes at end of run so ``stage.<name>.latency_queue``
+    / ``latency_compute`` / ``latency_network`` carry the sampled
+    decomposition alongside the full ``stage.<name>.latency`` histogram.
+    """
+    for trace in traces:
+        for hop in trace.hops:
+            if not hop.completed:
+                continue
+            prefix = f"stage.{hop.stage}"
+            registry.histogram(f"{prefix}.latency_queue").observe(hop.queue_t)
+            registry.histogram(f"{prefix}.latency_compute").observe(hop.process_t)
+            registry.histogram(f"{prefix}.latency_network").observe(hop.tx_t)

@@ -124,6 +124,19 @@ class Link:
             return 0.0
         return size / self.bandwidth
 
+    def bind_metrics(self, registry) -> None:
+        """Publish this link's counters into a metrics registry.
+
+        Registers callback gauges (``link.<name>.tx_busy`` / ``.bytes`` /
+        ``.messages``) that read the live :class:`LinkStats` at export
+        time — zero per-message overhead.  Idempotent: re-binding the
+        same link to the same registry is a no-op (get-or-create).
+        """
+        prefix = f"link.{self.name}"
+        registry.gauge(f"{prefix}.tx_busy", fn=lambda: self.stats.busy_time)
+        registry.gauge(f"{prefix}.bytes", fn=lambda: self.stats.bytes)
+        registry.gauge(f"{prefix}.messages", fn=lambda: float(self.stats.messages))
+
     def set_bandwidth(self, bandwidth: float) -> None:
         """Change the link's bandwidth at runtime.
 

@@ -37,13 +37,25 @@ class StatSummary:
         return cls(n, mean, math.sqrt(var), min(values), max(values))
 
 
-def percentile(values: Sequence[float], q: float) -> float:
+def percentile(
+    values: Sequence[float], q: float, default: Optional[float] = None
+) -> float:
     """The q-th percentile (0-100) by linear interpolation.
 
     Latency reporting uses p50/p95/p99; defined here rather than via
     numpy so small sample sets behave predictably in tests.
+
+    Empty-input contract (shared by every percentile surface in the
+    repo): an empty sample set **raises** ``ValueError`` unless the
+    caller opts into a fallback with ``default`` — reporting layers
+    (``StageStats.latency_percentiles``, ``Histogram.percentiles``,
+    ``repro report``) pass ``default=0.0`` so empty stages render as
+    zeros, while analysis code that would silently compute on nothing
+    fails loudly.
     """
     if not values:
+        if default is not None:
+            return float(default)
         raise ValueError("percentile of empty sample set")
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"q must be in [0, 100], got {q}")

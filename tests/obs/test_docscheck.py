@@ -1,0 +1,58 @@
+"""Docs-consistency: docs/observability.md must match the catalog.
+
+This is the tier-1 gate for satellite (f): every metric in the docs
+exists in the registry catalog and vice versa.
+"""
+
+from pathlib import Path
+
+from repro.obs.docscheck import check_docs, default_docs_path, documented_metrics
+from repro.obs.names import METRICS
+
+
+class TestDocsInSync:
+    def test_no_problems(self):
+        assert check_docs() == []
+
+    def test_docs_file_exists(self):
+        assert default_docs_path().exists()
+
+    def test_parser_finds_all_templates(self):
+        documented = documented_metrics(default_docs_path())
+        assert len(documented) == len(METRICS)
+
+
+class TestDriftDetection:
+    def make_docs(self, tmp_path, rows):
+        path = tmp_path / "observability.md"
+        table = "\n".join(
+            f"| `{template}` | {kind} | u | sim | p | d |"
+            for template, kind in rows
+        )
+        path.write_text(f"# Obs\n\n| metric | kind |\n|---|---|\n{table}\n",
+                        encoding="utf-8")
+        return path
+
+    def test_missing_row_detected(self, tmp_path):
+        rows = [(s.template, s.kind) for s in METRICS[1:]]
+        problems = check_docs(self.make_docs(tmp_path, rows))
+        assert any(METRICS[0].template in p and "not documented" in p
+                   for p in problems)
+
+    def test_stale_row_detected(self, tmp_path):
+        rows = [(s.template, s.kind) for s in METRICS]
+        rows.append(("stage.{stage}.removed_metric", "counter"))
+        problems = check_docs(self.make_docs(tmp_path, rows))
+        assert any("removed_metric" in p and "not in the" in p
+                   for p in problems)
+
+    def test_kind_mismatch_detected(self, tmp_path):
+        rows = [(s.template, s.kind) for s in METRICS[1:]]
+        rows.append((METRICS[0].template, "gauge" if METRICS[0].kind != "gauge"
+                     else "counter"))
+        problems = check_docs(self.make_docs(tmp_path, rows))
+        assert any("catalog says" in p for p in problems)
+
+    def test_missing_file_reported(self, tmp_path):
+        problems = check_docs(Path(tmp_path / "nope.md"))
+        assert problems and "missing" in problems[0]

@@ -1,0 +1,82 @@
+"""Metric-name catalog tests, including the stability snapshot."""
+
+import pytest
+
+from repro.obs.names import METRICS, spec_for, validate_name
+
+#: The published metric-name surface.  Renaming or removing a template is
+#: a breaking change to exports, docs, and downstream tooling — this
+#: snapshot makes it a deliberate, reviewed event (update it AND
+#: docs/observability.md together).
+EXPECTED_TEMPLATES = [
+    "adapt.{stage}.d_tilde",
+    "adapt.{stage}.param.{parameter}",
+    "host.{host}.utilization",
+    "link.{link}.bytes",
+    "link.{link}.messages",
+    "link.{link}.throughput",
+    "link.{link}.tx_busy",
+    "link.{link}.utilization",
+    "run.execution_time",
+    "run.traced_items",
+    "stage.{stage}.arrival_rate",
+    "stage.{stage}.busy_seconds",
+    "stage.{stage}.bytes_in",
+    "stage.{stage}.bytes_out",
+    "stage.{stage}.exceptions_received",
+    "stage.{stage}.exceptions_reported",
+    "stage.{stage}.items_dropped",
+    "stage.{stage}.items_in",
+    "stage.{stage}.items_out",
+    "stage.{stage}.latency",
+    "stage.{stage}.latency_compute",
+    "stage.{stage}.latency_network",
+    "stage.{stage}.latency_queue",
+    "stage.{stage}.queue_len",
+]
+
+
+class TestStabilitySnapshot:
+    def test_templates_are_pinned(self):
+        assert sorted(s.template for s in METRICS) == EXPECTED_TEMPLATES
+
+    def test_every_spec_is_complete(self):
+        for spec in METRICS:
+            assert spec.kind in ("counter", "gauge", "histogram", "series")
+            assert spec.unit
+            assert spec.description
+            assert spec.paper
+            assert set(spec.runtimes) <= {"sim", "threaded"}
+
+
+class TestSpecFor:
+    def test_concrete_names_resolve(self):
+        assert spec_for("stage.square.items_in").template == "stage.{stage}.items_in"
+        assert spec_for("adapt.filter-0.param.keep").template == (
+            "adapt.{stage}.param.{parameter}"
+        )
+        assert spec_for("link.edge->central.tx_busy").template == (
+            "link.{link}.tx_busy"
+        )
+
+    def test_unknown_name_resolves_to_none(self):
+        assert spec_for("stage.x.made_up") is None
+        assert spec_for("totally.unrelated") is None
+
+    def test_placeholders_never_span_dots(self):
+        # {stage} must not swallow ".items_in.extra" etc.
+        assert spec_for("stage.a.b.items_in") is None
+
+
+class TestValidateName:
+    def test_valid(self):
+        spec = validate_name("stage.s.items_in", "counter")
+        assert spec.unit == "items"
+
+    def test_unknown_name_raises_with_pointer(self):
+        with pytest.raises(ValueError, match="docs/observability.md"):
+            validate_name("stage.s.nonexistent", "counter")
+
+    def test_kind_mismatch_raises(self):
+        with pytest.raises(ValueError, match="cataloged as a counter"):
+            validate_name("stage.s.items_in", "gauge")

@@ -1,0 +1,100 @@
+"""Registry parity: both runtimes publish the same metric families.
+
+The simulated and threaded runtimes must register identical ``stage.*``,
+``adapt.*`` and ``run.*`` name sets for equivalent pipelines — that is
+what makes ``StageStats.from_registry`` (and every export) look the same
+regardless of which runtime produced the run.
+"""
+
+import pytest
+
+from repro.core.api import StreamProcessor
+from repro.core.runtime_threads import ThreadedRuntime
+from repro.obs.report import run_quickstart_demo
+from repro.simnet.hosts import CpuCostModel
+
+
+class Squarer(StreamProcessor):
+    cost_model = CpuCostModel()
+
+    def on_item(self, payload, context):
+        context.emit(payload * payload, size=8.0)
+
+
+class Averager(StreamProcessor):
+    cost_model = CpuCostModel()
+
+    def __init__(self):
+        self.count, self.total = 0, 0.0
+
+    def on_item(self, payload, context):
+        self.count += 1
+        self.total += payload
+
+    def result(self):
+        return self.total / self.count if self.count else 0.0
+
+
+def run_threaded_quickstart():
+    """The quickstart pipeline (square -> average) on real threads."""
+    rt = ThreadedRuntime(time_scale=0.001, adaptation_enabled=False,
+                         trace_every=1)
+    rt.add_stage("square", Squarer())
+    rt.add_stage("average", Averager())
+    rt.connect("square", "average", bandwidth=10_000.0)
+    rt.bind_source("numbers", "square", payloads=range(1, 101), rate=200.0)
+    return rt.run(timeout=30.0)
+
+
+@pytest.fixture(scope="module")
+def sim_result():
+    return run_quickstart_demo(trace_every=1)
+
+
+@pytest.fixture(scope="module")
+def threaded_result():
+    return run_threaded_quickstart()
+
+
+def names(result, prefix):
+    return set(result.metrics.names(prefix))
+
+
+class TestRegistryParity:
+    @pytest.mark.parametrize("prefix", ["stage.", "adapt.", "run."])
+    def test_name_sets_match(self, sim_result, threaded_result, prefix):
+        assert names(sim_result, prefix) == names(threaded_result, prefix)
+
+    def test_link_metrics_are_sim_only(self, sim_result, threaded_result):
+        assert names(sim_result, "link.")
+        assert not names(threaded_result, "link.")
+
+    def test_stage_stats_views_have_same_shape(self, sim_result, threaded_result):
+        for name in ("square", "average"):
+            sim_dict = sim_result.stages[name].to_dict(include_series=False)
+            thr_dict = threaded_result.stages[name].to_dict(include_series=False)
+            assert set(sim_dict) == set(thr_dict)
+
+    def test_both_runtimes_count_identically(self, sim_result, threaded_result):
+        for result in (sim_result, threaded_result):
+            assert result.metrics.value("stage.square.items_in") == 100.0
+            assert result.metrics.value("stage.average.items_in") == 100.0
+        assert sim_result.final_value("average") == (
+            threaded_result.final_value("average")
+        )
+
+    def test_both_runtimes_trace(self, sim_result, threaded_result):
+        for result in (sim_result, threaded_result):
+            assert len(result.traces) == 100
+            assert result.metrics.value("run.traced_items") == 100.0
+            # every trace completes both hops
+            sample = result.traces[0]
+            assert [h.stage for h in sample.hops] == ["square", "average"]
+            assert all(h.completed for h in sample.hops)
+
+    def test_decomposition_is_positive_where_expected(self, sim_result):
+        parts = sim_result.traces[0].decompose()
+        assert parts["total"] > 0
+        assert parts["compute"] > 0
+        # the 10 KB/s link makes transmission visible
+        assert parts["network"] > 0

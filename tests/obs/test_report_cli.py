@@ -1,0 +1,67 @@
+"""Tests for `repro report` and the report renderer."""
+
+import pytest
+
+from repro.cli import main
+from repro.obs.report import render_report, run_quickstart_demo
+
+
+@pytest.fixture(scope="module")
+def demo_result():
+    return run_quickstart_demo(trace_every=1)
+
+
+class TestRenderReport:
+    def test_sections_present(self, demo_result):
+        text = render_report(demo_result)
+        assert "run: quickstart" in text
+        assert "per-stage summary" in text
+        assert "latency decomposition" in text
+        for header in ("p50", "p95", "p99", "queue_p50", "compute_p50",
+                       "net_p50"):
+            assert header in text
+        assert "square" in text and "average" in text
+
+    def test_untraced_run_skips_decomposition(self):
+        result = run_quickstart_demo(trace_every=10_000)
+        # only item 0 is traced; decomposition still renders for it
+        text = render_report(result)
+        assert "run: quickstart" in text
+
+
+class TestReportCommand:
+    def test_demo_run(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "per-stage summary" in out
+        assert "latency decomposition" in out
+
+    def test_export_jsonl_and_reload(self, tmp_path, capsys):
+        path = str(tmp_path / "run.jsonl")
+        assert main(["report", "--export", "jsonl", "--out", path]) == 0
+        first = capsys.readouterr().out
+        assert "exported" in first
+        # re-render from the export: same per-stage table
+        assert main(["report", path]) == 0
+        second = capsys.readouterr().out
+
+        def table_of(text):
+            start = text.index("per-stage summary")
+            return text[start:text.index("\n\n", start)]
+
+        assert table_of(first) == table_of(second)
+
+    def test_export_csv(self, tmp_path, capsys):
+        base = str(tmp_path / "run")
+        assert main(["report", "--export", "csv", "--out", base]) == 0
+        assert "exported CSV" in capsys.readouterr().out
+        assert (tmp_path / "run.stages.csv").exists()
+        assert (tmp_path / "run.metrics.csv").exists()
+
+    def test_export_requires_out(self, capsys):
+        assert main(["report", "--export", "jsonl"]) == 1
+        assert "--out" in capsys.readouterr().err
+
+    def test_missing_source_file(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "ghost.jsonl")]) == 1
+        assert "cannot load" in capsys.readouterr().err

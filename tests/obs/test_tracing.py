@@ -1,0 +1,108 @@
+"""Hop-tracing tests: sampling, decomposition, publication."""
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import Hop, ItemTrace, TraceCollector, publish_traces
+
+
+def make_trace():
+    """created at t=1; queue 0.5s + compute 0.2s, then 0.3s + 0.1s + tx 0.4s."""
+    trace = ItemTrace(trace_id=0, origin="src", created_at=1.0)
+    first = trace.begin_hop("a", 1.0)
+    first.dequeue_t = 1.5
+    first.process_t = 0.2
+    second = trace.begin_hop("b", 2.0)
+    second.dequeue_t = 2.3
+    second.process_t = 0.1
+    second.tx_t = 0.4
+    return trace
+
+
+class TestHop:
+    def test_queue_time(self):
+        hop = Hop("a", enqueue_t=1.0, dequeue_t=1.5)
+        assert hop.queue_t == pytest.approx(0.5)
+        assert hop.completed
+
+    def test_open_hop_is_incomplete(self):
+        hop = Hop("a", enqueue_t=1.0)
+        assert not hop.completed
+        assert hop.queue_t == 0.0
+
+
+class TestDecompose:
+    def test_components(self):
+        parts = make_trace().decompose()
+        # total: 1.0 -> 2.3 + 0.1 + 0.4 = 2.8 -> 1.8s
+        assert parts["total"] == pytest.approx(1.8)
+        assert parts["queue"] == pytest.approx(0.8)
+        assert parts["compute"] == pytest.approx(0.3)
+        assert parts["network"] == pytest.approx(1.8 - 0.8 - 0.3)
+
+    def test_incomplete_hops_excluded(self):
+        trace = make_trace()
+        trace.begin_hop("c", 3.0)  # never dequeued
+        assert trace.decompose()["total"] == pytest.approx(1.8)
+
+    def test_empty_trace(self):
+        trace = ItemTrace(trace_id=0, origin="s", created_at=0.0)
+        assert trace.decompose() == {
+            "total": 0.0, "queue": 0.0, "compute": 0.0, "network": 0.0,
+        }
+
+
+class TestTraceCollector:
+    def test_samples_every_nth(self):
+        collector = TraceCollector(sample_every=3)
+        hits = [collector.maybe_trace("s", float(i)) for i in range(9)]
+        assert [h is not None for h in hits] == [
+            True, False, False, True, False, False, True, False, False,
+        ]
+
+    def test_trace_ids_are_sequential(self):
+        collector = TraceCollector(sample_every=1)
+        traces = [collector.maybe_trace("s", 0.0) for _ in range(3)]
+        assert [t.trace_id for t in traces] == [0, 1, 2]
+
+    def test_max_traces_cap(self):
+        collector = TraceCollector(sample_every=1, max_traces=2)
+        for i in range(5):
+            collector.maybe_trace("s", float(i))
+        assert len(collector) == 2
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            TraceCollector(sample_every=0)
+        with pytest.raises(ValueError):
+            TraceCollector(sample_every=1, max_traces=0)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        trace = make_trace()
+        restored = ItemTrace.from_dict(trace.to_dict())
+        assert restored.to_dict() == trace.to_dict()
+        assert restored.hops[1].tx_t == pytest.approx(0.4)
+
+
+class TestPublishTraces:
+    def test_feeds_latency_split_histograms(self):
+        registry = MetricsRegistry()
+        publish_traces(registry, [make_trace()])
+        assert registry.get("stage.a.latency_queue").samples == [
+            pytest.approx(0.5)
+        ]
+        assert registry.get("stage.b.latency_compute").samples == [
+            pytest.approx(0.1)
+        ]
+        assert registry.get("stage.b.latency_network").samples == [
+            pytest.approx(0.4)
+        ]
+
+    def test_incomplete_hops_skipped(self):
+        registry = MetricsRegistry()
+        trace = ItemTrace(trace_id=0, origin="s", created_at=0.0)
+        trace.begin_hop("a", 0.0)
+        publish_traces(registry, [trace])
+        assert "stage.a.latency_queue" not in registry
