@@ -9,6 +9,9 @@ configuration tooling without writing any Python:
   latency decomposition from hop traces, adaptation charts); with no
   argument it runs the built-in quickstart demo, with ``--export``
   it writes a JSONL/CSV export;
+* ``chaos`` — run the fault-tolerance demo (mid-run host crash with live
+  failover, optional link loss and poison items) and print the recovery
+  report;
 * ``validate <config.xml>`` — parse and structurally check an application
   configuration, printing the stage DAG;
 * ``topology <config.xml>`` — print the placement a default star fabric
@@ -82,6 +85,27 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="export path (JSONL file, or CSV base path "
                              "producing <out>.stages.csv/<out>.metrics.csv); "
                              "required with --export")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the fault-tolerance demo: crash a host mid-run, fail over "
+             "live, and print the recovery report",
+    )
+    chaos.add_argument("--items", type=int, default=500,
+                       help="items fed to the pipeline (default 500)")
+    chaos.add_argument("--fail-at", type=float, default=1.0,
+                       help="simulated second the edge host crashes "
+                            "(default 1.0; negative = no crash)")
+    chaos.add_argument("--checkpoint-interval", type=float, default=0.5,
+                       help="simulated seconds between checkpoints (default 0.5)")
+    chaos.add_argument("--loss", type=float, default=0.0,
+                       help="per-send transmission failure probability "
+                            "(default 0 = reliable links)")
+    chaos.add_argument("--poison-every", type=int, default=None,
+                       help="payloads divisible by N raise in the work stage")
+    chaos.add_argument("--policy", choices=("fail", "skip", "dead-letter"),
+                       default="dead-letter",
+                       help="error policy for poison items (default dead-letter)")
 
     validate = sub.add_parser("validate", help="validate an application XML config")
     validate.add_argument("config", help="path to the XML configuration file")
@@ -196,6 +220,48 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.obs.report import render_report
+    from repro.resilience.demo import run_chaos_demo
+
+    if args.items < 1:
+        print("--items must be >= 1", file=sys.stderr)
+        return 1
+    if not 0.0 <= args.loss < 1.0:
+        print("--loss must be in [0, 1)", file=sys.stderr)
+        return 1
+    fail_at = None if args.fail_at < 0 else args.fail_at
+    result, summary = run_chaos_demo(
+        items=args.items,
+        fail_at=fail_at,
+        checkpoint_interval=args.checkpoint_interval,
+        loss=args.loss,
+        policy=args.policy,
+        poison_every=args.poison_every,
+    )
+    print(render_report(result))
+    print("\nrecovery summary")
+    print(f"  items fed        : {summary['items_fed']}")
+    print(f"  sink received    : {summary['sink_items']} "
+          f"({summary['unique_items']} unique, "
+          f"{summary['duplicates']:.0f} replay duplicates)")
+    print(f"  work stage host  : {summary['work_host']}")
+    print(f"  failovers        : {summary['failovers']:.0f}")
+    print(f"  checkpoints      : {summary['checkpoints']:.0f}")
+    print(f"  items replayed   : {summary['replayed']:.0f} "
+          f"(dropped by eviction: {summary['replay_dropped']:.0f})")
+    print(f"  quarantined      : {summary['quarantined']:.0f} "
+          f"(dead letters retained: {summary['dead_letters']})")
+    print(f"  wire retries     : {summary['retries']:.0f}")
+    if summary["recovery_latency"] is not None:
+        print(f"  recovery latency : {summary['recovery_latency']:.3f}s "
+              "(outage from last heartbeat to restart)")
+    for when, host, moved in summary["recoveries"]:
+        print(f"  t={when:.2f}s host {host!r} failed; "
+              f"moved stages: {', '.join(moved) or '(none)'}")
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.grid.config import AppConfig, ConfigError
 
@@ -247,6 +313,7 @@ _COMMANDS = {
     "fig8": _cmd_fig8,
     "fig9": _cmd_fig9,
     "report": _cmd_report,
+    "chaos": _cmd_chaos,
     "validate": _cmd_validate,
     "topology": _cmd_topology,
 }

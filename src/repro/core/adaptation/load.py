@@ -186,6 +186,28 @@ class LoadEstimator:
         """d̃ / C ∈ [−1, 1] — the controller's local-load input."""
         return self.d_tilde / self.capacity
 
+    def snapshot(self) -> dict:
+        """Checkpointable state (see :mod:`repro.resilience`).
+
+        The :attr:`history` series is observability, not state — it stays
+        with the metrics registry and is not part of the snapshot.
+        """
+        return {
+            "t1": self.t1,
+            "t2": self.t2,
+            "window": list(self._window),
+            "d_tilde": self.d_tilde,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Rebuild in place (the registry keeps wrapping this instance)."""
+        self.t1 = int(state["t1"])
+        self.t2 = int(state["t2"])
+        self._window = deque(
+            (int(v) for v in state["window"]), maxlen=self.policy.window
+        )
+        self.d_tilde = float(state["d_tilde"])
+
     def __repr__(self) -> str:
         return (
             f"LoadEstimator({self.stage_name!r}, d_tilde={self.d_tilde:.2f}, "

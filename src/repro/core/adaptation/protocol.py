@@ -74,6 +74,20 @@ class ExceptionCounter:
         self._counts.clear()
         return totals
 
+    def snapshot(self) -> dict:
+        """Checkpointable state (see :mod:`repro.resilience`)."""
+        return {
+            "counts": [[r, t1, t2] for r, (t1, t2) in self._counts.items()],
+            "total_overloads": self.total_overloads,
+            "total_underloads": self.total_underloads,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Rebuild in place from a :meth:`snapshot` value."""
+        self._counts = {r: (int(t1), int(t2)) for r, t1, t2 in state["counts"]}
+        self.total_overloads = int(state["total_overloads"])
+        self.total_underloads = int(state["total_underloads"])
+
     def __repr__(self) -> str:
         t1, t2 = self.aggregate()
         return f"ExceptionCounter(T1={t1}, T2={t2}, lifetime={self.total_overloads}/{self.total_underloads})"

@@ -201,6 +201,27 @@ class StreamProcessor(abc.ABC):
         """
         return None
 
+    def snapshot(self) -> Optional[Any]:
+        """Serializable copy of the processor's mutable state, or None.
+
+        Called by the runtime on the checkpoint cadence (see
+        :class:`repro.resilience.ResilienceConfig`).  The default — None
+        — declares the processor stateless: after a failover it restarts
+        fresh and correctness relies on input replay alone.  Stateful
+        processors return plain JSON-representable data (lists, dicts,
+        numbers, strings) so the JSONL checkpoint store round-trips it.
+        """
+        return None
+
+    def restore(self, state: Any) -> None:
+        """Rebuild mutable state from a :meth:`snapshot` value.
+
+        Called on a *freshly constructed* instance during failover,
+        after :meth:`setup`.  Must accept the JSON round-trip of whatever
+        :meth:`snapshot` returned (tuples become lists, dict keys become
+        strings).  The default ignores the state (stateless processor).
+        """
+
 
 class RecordingContext(StageContext):
     """Minimal in-memory context for unit-testing processors.

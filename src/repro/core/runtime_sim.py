@@ -27,11 +27,27 @@ Downstream queue occupancy beyond capacity C is allowed (``force_put``):
 the paper's model *observes* saturation (that is the signal adaptation
 responds to) rather than hard-failing; lengths are clamped to C inside
 the load factors.
+
+Fault tolerance (opt-in via ``resilience=``; see docs/fault_tolerance.md)
+adds three more per-stage mechanisms:
+
+* a **checkpointer** snapshots the stage (processor state, adjustment
+  parameters, adaptation state, replay cursors) on a cadence — never
+  mid-item, so checkpoints are always item-consistent;
+* every queue insertion is recorded in a bounded per-channel **replay
+  buffer**; the worker acknowledges a message only after fully
+  processing it, and :meth:`SimulatedRuntime.failover_stage` rebuilds a
+  crashed stage from its last checkpoint and re-delivers everything
+  unacknowledged (at-least-once: duplicates are counted, not hidden);
+* transmission faults on lossy links are **retried** with exponential
+  backoff, and poison items are skipped or quarantined to a dead-letter
+  queue under the configured error policy.
 """
 
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
 
@@ -47,8 +63,16 @@ from repro.grid.deployer import Deployment
 from repro.metrics.rates import RateEstimator
 from repro.obs.registry import MetricsRegistry, StageMetrics
 from repro.obs.tracing import ItemTrace, TraceCollector, publish_traces
-from repro.simnet.engine import Environment, SimulationError
-from repro.simnet.links import Link
+from repro.resilience.checkpoint import (
+    CheckpointStore,
+    MemoryCheckpointStore,
+    StageCheckpoint,
+)
+from repro.resilience.policy import DeadLetter, DeadLetterQueue, ResilienceConfig
+from repro.resilience.replay import ReplayBuffers
+from repro.simnet.engine import Environment, Event, SimulationError
+from repro.simnet.hosts import HostFailedError
+from repro.simnet.links import Link, TransmissionError
 from repro.simnet.resources import BoundedQueue
 from repro.simnet.topology import Network
 
@@ -109,6 +133,11 @@ class _SimStageContext(StageContext):
         self._stage = stage
         self._runtime = runtime
         self._in_setup = False
+        #: True while a failover re-runs setup() on a fresh processor
+        #: instance; duplicate parameter declarations then return the
+        #: surviving parameter object (its value, history series, and
+        #: controller all outlive the crashed incarnation).
+        self._restoring = False
         #: Emissions buffered during one on_item/flush call; the worker
         #: transmits them (with blocking) after the call returns.  Each
         #: entry is (payload, size, stream-or-None).
@@ -128,6 +157,8 @@ class _SimStageContext(StageContext):
                 f"{self._stage.name}: specify_parameter must be called in setup()"
             )
         if name in self._stage.parameters:
+            if self._restoring:
+                return self._stage.parameters[name]
             raise ProcessorError(f"{self._stage.name}: parameter {name!r} declared twice")
         param = AdjustmentParameter(name, initial, minimum, maximum, increment, direction)
         param.set_value(initial, self.now)
@@ -204,6 +235,23 @@ class _StageRuntime:
     #: Registry-backed metric handles (items/bytes/latency/queue...).
     metrics: Optional[StageMetrics] = None
     done: bool = False
+    # -- fault-tolerance state (used only with resilience enabled) --------
+    #: End-of-stream markers consumed (restored from checkpoints).
+    eos_seen: int = 0
+    #: Channel (message origin) -> sequence number of the last fully
+    #: processed delivery.  Deliveries are per-channel FIFO, so the
+    #: worker's increment-per-message stays aligned with the insertion
+    #: sequence numbers the replay buffer assigns.
+    cursors: Dict[str, int] = field(default_factory=dict)
+    #: Incarnation counter; bumped per failover so superseded workers
+    #: notice and exit instead of corrupting the restored state.
+    generation: int = 0
+    #: When the stage went down (None while healthy).
+    down_since: Optional[float] = None
+    #: True while the worker is between dequeue and acknowledgment; the
+    #: checkpointer defers to keep checkpoints item-consistent.
+    in_flight: bool = False
+    checkpoint_due: bool = False
 
 
 class SimulatedRuntime:
@@ -218,6 +266,11 @@ class SimulatedRuntime:
     ``run`` drives the environment until every stage has flushed (or
     ``max_sim_time`` elapses) and returns a
     :class:`~repro.core.results.RunResult`.
+
+    Passing ``resilience=ResilienceConfig(...)`` arms the fault-tolerance
+    machinery (checkpointing, replay-based failover, transmission retry,
+    poison-item quarantine); without it the runtime keeps the original
+    fail-stop behaviour — any fault aborts the run.
     """
 
     #: Default input-queue capacity C when a stage doesn't override it via
@@ -234,10 +287,14 @@ class SimulatedRuntime:
         metrics: Optional[MetricsRegistry] = None,
         trace_every: Optional[int] = None,
         max_traces: int = 10_000,
+        resilience: Optional[ResilienceConfig] = None,
+        checkpoints: Optional[CheckpointStore] = None,
     ) -> None:
         """``metrics`` shares a registry (e.g. with a MonitoringService);
         ``trace_every=N`` hop-traces every N-th source arrival (None
-        disables tracing; 1 traces everything).
+        disables tracing; 1 traces everything).  ``checkpoints`` selects
+        the checkpoint store (defaults to an in-memory one when
+        ``resilience`` is given).
         """
         self.env = env
         self.network = network
@@ -250,8 +307,24 @@ class SimulatedRuntime:
             if trace_every is not None
             else None
         )
+        self.resilience = resilience
+        self.checkpoints: Optional[CheckpointStore] = None
+        self.replay: Optional[ReplayBuffers] = None
+        self.dead_letters: Optional[DeadLetterQueue] = None
+        self._retry_rng: Optional[random.Random] = None
+        if resilience is not None:
+            self.checkpoints = (
+                checkpoints if checkpoints is not None else MemoryCheckpointStore()
+            )
+            self.replay = ReplayBuffers(resilience.replay_limit)
+            self.dead_letters = DeadLetterQueue(resilience.dead_letter_limit)
+            self._retry_rng = random.Random(resilience.seed)
+        elif checkpoints is not None:
+            raise RuntimeError_("checkpoints= requires resilience= as well")
         self._bindings: List[SourceBinding] = []
         self._stages: Dict[str, _StageRuntime] = {}
+        self._stage_done: Dict[str, Event] = {}
+        self._result: Optional[RunResult] = None
         self._built = False
 
     # -- setup -------------------------------------------------------------
@@ -295,27 +368,21 @@ class SimulatedRuntime:
                 f"adapt.{stage_cfg.name}.d_tilde", stage.estimator.history
             )
             stage.context = _SimStageContext(stage, self)
+            if self.replay is not None:
+                # Record every insertion at insertion time (including
+                # blocked puts admitted later), so a failover's purge can
+                # never outrun the replay record.
+                queue.on_insert = (
+                    lambda message, _stage=stage: self._record_delivery(_stage, message)
+                )
             self._stages[stage_cfg.name] = stage
 
         # Wire edges over the network.
         for stream in config.streams:
             src = self._stages[stream.src]
             dst = self._stages[stream.dst]
-            src_host = self.deployment.host_of(stream.src)
-            dst_host = self.deployment.host_of(stream.dst)
-            if src_host == dst_host:
-                edge = _Edge(stream=stream, dst=dst, link=None)
-            else:
-                links = self.network.route(src_host, dst_host)
-                bottleneck = min(links, key=lambda l: l.bandwidth)
-                extra = sum(l.latency for l in links if l is not bottleneck)
-                # The runtime tracks its own deliveries (it must attribute
-                # each message to its edge); leaving inbox collection on
-                # would let unrelated cross-traffic interleave and would
-                # leak memory on long runs.
-                bottleneck.collect_inbox = False
-                bottleneck.bind_metrics(self.metrics)
-                edge = _Edge(stream=stream, dst=dst, link=bottleneck, extra_latency=extra)
+            edge = _Edge(stream=stream, dst=dst, link=None)
+            self._wire_edge(edge, src)
             src.out_edges.append(edge)
             dst.upstream.append(src)
             dst.expected_eos += 1
@@ -332,6 +399,25 @@ class SimulatedRuntime:
                     "bindings and would never terminate"
                 )
         self._built = True
+
+    def _wire_edge(self, edge: _Edge, src: _StageRuntime) -> None:
+        """(Re)bind an edge to the current src/dst host placement."""
+        src_host = src.host_name
+        dst_host = edge.dst.host_name
+        if src_host == dst_host:
+            edge.link = None
+            edge.extra_latency = 0.0
+            return
+        links = self.network.route(src_host, dst_host)
+        bottleneck = min(links, key=lambda l: l.bandwidth)
+        edge.extra_latency = sum(l.latency for l in links if l is not bottleneck)
+        # The runtime tracks its own deliveries (it must attribute
+        # each message to its edge); leaving inbox collection on
+        # would let unrelated cross-traffic interleave and would
+        # leak memory on long runs.
+        bottleneck.collect_inbox = False
+        bottleneck.bind_metrics(self.metrics)
+        edge.link = bottleneck
 
     # -- execution -----------------------------------------------------------
 
@@ -350,6 +436,7 @@ class SimulatedRuntime:
         self._build()
 
         result = RunResult(app_name=self.deployment.config.name)
+        self._result = result
         start = self.env.now
 
         # Call setup() on every processor (parameters get declared here).
@@ -369,17 +456,23 @@ class SimulatedRuntime:
                     f"adapt.{stage.name}.param.{pname}", param.history
                 )
 
-        workers = []
         for stage in self._stages.values():
-            workers.append(
-                self.env.process(self._worker(stage, result), name=f"worker:{stage.name}")
-            )
+            self._stage_done[stage.name] = self.env.event()
+            self._spawn_worker(stage)
             if self.adaptation_enabled:
                 self.env.process(self._monitor(stage, result), name=f"monitor:{stage.name}")
+            if self.resilience is not None:
+                if self.resilience.checkpoint_interval is not None:
+                    self.env.process(
+                        self._checkpointer(stage), name=f"checkpoint:{stage.name}"
+                    )
+                self.env.process(
+                    self._recovery_watch(stage), name=f"recovery:{stage.name}"
+                )
         for binding in self._bindings:
             self.env.process(self._feeder(binding), name=f"feeder:{binding.name}")
 
-        finished = self.env.all_of(workers)
+        finished = self.env.all_of(list(self._stage_done.values()))
         guard: Dict[str, bool] = {}
 
         def _done(event) -> None:
@@ -458,16 +551,32 @@ class SimulatedRuntime:
             stage.rate_estimator.observe(self.env.now)
         yield stage.queue.put(EndOfStream(origin=binding.name))
 
-    def _worker(self, stage: _StageRuntime, result: RunResult) -> Generator:
+    def _spawn_worker(self, stage: _StageRuntime) -> None:
+        self.env.process(
+            self._worker(stage, stage.generation),
+            name=f"worker:{stage.name}:g{stage.generation}",
+        )
+
+    def _worker(self, stage: _StageRuntime, generation: int) -> Generator:
         host = self.network.host(stage.host_name)
         ctx = stage.context
         assert ctx is not None
-        eos_seen = 0
+        resilient = self.resilience is not None
         while True:
             message = yield stage.queue.get()
+            if resilient and stage.generation != generation:
+                return  # superseded by a failover
+            if resilient and host.failed:
+                # Dequeued but unprocessed: the cursor stays put, so the
+                # replay buffer re-delivers this message after recovery.
+                self._note_stage_down(stage)
+                return
+            stage.in_flight = True
             if isinstance(message, EndOfStream):
-                eos_seen += 1
-                if eos_seen < stage.expected_eos:
+                stage.eos_seen += 1
+                self._advance_cursor(stage, message)
+                if stage.eos_seen < stage.expected_eos:
+                    self._item_finished(stage)
                     continue
                 stage.processor.flush(ctx)
                 yield from self._transmit_pending(stage, host)
@@ -475,8 +584,12 @@ class SimulatedRuntime:
                     yield from self._send_one(
                         stage, edge, EndOfStream(origin=edge.stream.name), control=True
                     )
+                if resilient and stage.generation != generation:
+                    return
                 stage.done = True
-                result.events.log(self.env.now, "stage-finished", stage=stage.name)
+                stage.in_flight = False
+                self._result.events.log(self.env.now, "stage-finished", stage=stage.name)
+                self._stage_done[stage.name].succeed()
                 return
             assert isinstance(message, Item)
             assert stage.metrics is not None
@@ -486,19 +599,44 @@ class SimulatedRuntime:
             if hop is not None:
                 hop.dequeue_t = self.env.now
             items, nbytes = stage.processor.work_amount(message.payload, message.size)
-            if items or nbytes:
-                duration = yield host.execute(
-                    stage.processor.cost_model, items=items, nbytes=nbytes
-                )
-                stage.metrics.busy_seconds.inc(duration)
-                if hop is not None:
-                    hop.process_t += duration
-            stage.processor.on_item(message.payload, ctx)
+            try:
+                if items or nbytes:
+                    duration = yield host.execute(
+                        stage.processor.cost_model, items=items, nbytes=nbytes
+                    )
+                    stage.metrics.busy_seconds.inc(duration)
+                    if hop is not None:
+                        hop.process_t += duration
+            except HostFailedError:
+                if not resilient:
+                    raise
+                self._note_stage_down(stage)
+                return
+            if resilient and stage.generation != generation:
+                return
+            try:
+                stage.processor.on_item(message.payload, ctx)
+            except Exception as exc:
+                if (
+                    not resilient
+                    or self.resilience.error_policy == "fail"
+                    or isinstance(exc, HostFailedError)
+                ):
+                    raise
+                ctx.pending.clear()
+                self._quarantine(stage, message.payload, exc, reason="processing")
+                self._advance_cursor(stage, message)
+                self._item_finished(stage)
+                continue
             stage.metrics.latency.observe(self.env.now - message.created_at)
             tx_start = self.env.now
             yield from self._transmit_pending(stage, host, trace=message.trace)
             if hop is not None:
                 hop.tx_t += self.env.now - tx_start
+            if resilient and stage.generation != generation:
+                return
+            self._advance_cursor(stage, message)
+            self._item_finished(stage)
 
     def _transmit_pending(
         self,
@@ -526,7 +664,15 @@ class SimulatedRuntime:
                 yield from self._send_one(stage, edge, item)
 
     def _send_one(self, stage: _StageRuntime, edge: _Edge, message, control: bool = False) -> Generator:
-        """Transmit one message over an edge (blocking the sender for TX)."""
+        """Transmit one message over an edge (blocking the sender for TX).
+
+        With resilience enabled, a :class:`TransmissionError` (transient
+        link loss) is retried up to ``max_retries`` times with
+        exponential backoff plus jitter.  Exhausted retries on a *data*
+        item follow the error policy (quarantine under skip/dead-letter);
+        on a *control* end-of-stream marker they always raise — dropping
+        it would wedge the downstream stage forever.
+        """
         size = message.size if not control else 1.0
         if edge.link is None:
             self._open_hop(edge.dst, message)
@@ -534,7 +680,30 @@ class SimulatedRuntime:
             if not control:
                 edge.dst.rate_estimator.observe(self.env.now)
             return
-        yield edge.link.send(message, size)
+        attempt = 0
+        while True:
+            try:
+                yield edge.link.send(message, size)
+            except TransmissionError as exc:
+                if self.resilience is None:
+                    raise
+                if attempt >= self.resilience.max_retries:
+                    if control or self.resilience.error_policy == "fail":
+                        raise
+                    self._quarantine(
+                        stage,
+                        getattr(message, "payload", message),
+                        exc,
+                        reason="transmission",
+                    )
+                    return
+                self.metrics.counter(f"fault.{stage.name}.retries").inc()
+                delay = self.resilience.retry_delay(attempt, self._retry_rng)
+                attempt += 1
+                if delay:
+                    yield self.env.timeout(delay)
+                continue
+            break
         self.env.process(
             self._deliver(edge, message), name=f"deliver:{edge.stream.name}"
         )
@@ -563,6 +732,8 @@ class SimulatedRuntime:
             yield self.env.timeout(self.policy.sample_interval)
             if stage.done:
                 return
+            if stage.down_since is not None:
+                continue  # a dead stage reports no load
             now = self.env.now
             stage.metrics.queue_len.record(now, stage.queue.current_length)
             exception = stage.estimator.sample(now)
@@ -592,3 +763,256 @@ class SimulatedRuntime:
                         parameter=controller.parameter.name,
                         value=new_value,
                     )
+
+    # -- fault tolerance -------------------------------------------------------
+
+    def _record_delivery(self, stage: _StageRuntime, message: Any) -> None:
+        assert self.replay is not None
+        self.replay.append(stage.name, message.origin, message)
+
+    def _advance_cursor(self, stage: _StageRuntime, message: Any) -> None:
+        """Acknowledge one fully processed message (at-least-once)."""
+        if self.resilience is None:
+            return
+        origin = message.origin
+        stage.cursors[origin] = stage.cursors.get(origin, 0) + 1
+
+    def _item_finished(self, stage: _StageRuntime) -> None:
+        """Between-items point: safe to take a deferred checkpoint."""
+        stage.in_flight = False
+        if stage.checkpoint_due:
+            stage.checkpoint_due = False
+            self._checkpoint_stage(stage)
+
+    def _checkpointer(self, stage: _StageRuntime) -> Generator:
+        assert self.resilience is not None
+        interval = self.resilience.checkpoint_interval
+        while not stage.done:
+            yield self.env.timeout(interval)
+            if stage.done:
+                return
+            if stage.down_since is not None:
+                continue
+            if self.network.host(stage.host_name).failed:
+                continue
+            if stage.in_flight:
+                # Mid-item state is not a consistent cut; the worker takes
+                # the checkpoint as soon as it finishes the current item.
+                stage.checkpoint_due = True
+                continue
+            self._checkpoint_stage(stage)
+
+    def _checkpoint_stage(self, stage: _StageRuntime) -> StageCheckpoint:
+        """Snapshot the stage and trim its acknowledged replay history."""
+        assert self.checkpoints is not None and self.replay is not None
+        checkpoint = StageCheckpoint(
+            stage=stage.name,
+            time=self.env.now,
+            generation=stage.generation,
+            processor_state=stage.processor.snapshot(),
+            parameters={name: p.value for name, p in stage.parameters.items()},
+            estimator=stage.estimator.snapshot() if stage.estimator else None,
+            exceptions=stage.exceptions.snapshot(),
+            cursors=dict(stage.cursors),
+            eos_seen=stage.eos_seen,
+        )
+        self.checkpoints.save(checkpoint)
+        for channel, cursor in checkpoint.cursors.items():
+            self.replay.trim(stage.name, channel, cursor)
+        self.metrics.counter(f"recovery.{stage.name}.checkpoints").inc()
+        return checkpoint
+
+    def _note_stage_down(self, stage: _StageRuntime) -> None:
+        if stage.down_since is not None:
+            return
+        stage.down_since = self.env.now
+        if self._result is not None:
+            self._result.events.log(
+                self.env.now, "stage-down", stage=stage.name, host=stage.host_name
+            )
+
+    def _recovery_watch(self, stage: _StageRuntime) -> Generator:
+        """In-place restart when a failed host recovers before failover.
+
+        Also notices hosts that fail while the stage's worker is idle
+        (blocked in ``get()``) — the worker only observes the failure on
+        its next dequeue or CPU charge, but the outage clock should start
+        at the crash.
+        """
+        assert self.resilience is not None
+        poll = self.resilience.recovery_poll
+        while not stage.done:
+            yield self.env.timeout(poll)
+            if stage.done:
+                return
+            host_failed = self.network.host(stage.host_name).failed
+            if stage.down_since is None:
+                if host_failed:
+                    self._note_stage_down(stage)
+                continue
+            if not host_failed:
+                # Either the host recovered in place, or a Redeployer
+                # moved the stage's placement; both restore the same way.
+                self.failover_stage(stage.name)
+
+    def failover_stage(self, stage_name: str, down_since: Optional[float] = None) -> None:
+        """Restore a crashed stage from its last checkpoint and replay.
+
+        Call after the deployment's placement for ``stage_name`` points
+        at a healthy host again — either the Redeployer moved it (live
+        failover) or its original host recovered (in-place restart).
+        ``down_since`` optionally back-dates the outage start (e.g. to
+        the host's last heartbeat) for the recovery-latency histogram.
+        """
+        stage = self._stages.get(stage_name)
+        if stage is None:
+            raise RuntimeError_(f"unknown stage {stage_name!r}")
+        if self.resilience is None:
+            raise RuntimeError_("failover_stage requires resilience= on the runtime")
+        if stage.done:
+            return
+        if down_since is not None and (
+            stage.down_since is None or down_since < stage.down_since
+        ):
+            stage.down_since = down_since
+        self._note_stage_down(stage)
+        self._restore_stage(stage)
+
+    def _restore_stage(self, stage: _StageRuntime) -> None:
+        assert self.replay is not None and self.checkpoints is not None
+        down_since = stage.down_since if stage.down_since is not None else self.env.now
+        stage.generation += 1
+        new_host = self.deployment.host_of(stage.name)
+        if new_host != stage.host_name:
+            stage.host_name = new_host
+            self._rewire_stage(stage)
+
+        # The crashed worker's queue content is lost with the host; its
+        # pending get must not swallow the first replayed message.
+        stage.queue.discard_getters()
+        stage.queue.purge()
+        live_cursors = dict(stage.cursors)
+
+        # Fresh processor from the (possibly new) service instance.
+        processor = self.deployment.instance_of(stage.name).instantiate_processor()
+        if not isinstance(processor, StreamProcessor):
+            raise RuntimeError_(
+                f"stage {stage.name!r} code is not a StreamProcessor "
+                f"(got {type(processor).__name__})"
+            )
+        stage.processor = processor
+        ctx = stage.context
+        assert ctx is not None
+        ctx.pending.clear()
+        ctx._in_setup = True
+        ctx._restoring = True
+        try:
+            processor.setup(ctx)
+        finally:
+            ctx._in_setup = False
+            ctx._restoring = False
+        if ctx.pending:
+            raise RuntimeError_(
+                f"stage {stage.name!r} emitted during setup(); emissions "
+                "are only allowed from on_item()/flush()"
+            )
+
+        checkpoint = self.checkpoints.latest(stage.name)
+        if checkpoint is not None:
+            for pname, value in checkpoint.parameters.items():
+                if pname in stage.parameters:
+                    stage.parameters[pname].set_value(value, self.env.now)
+            if checkpoint.estimator is not None and stage.estimator is not None:
+                stage.estimator.restore(checkpoint.estimator)
+            stage.exceptions.restore(checkpoint.exceptions)
+            if checkpoint.processor_state is not None:
+                processor.restore(checkpoint.processor_state)
+            stage.eos_seen = checkpoint.eos_seen
+            stage.cursors = dict(checkpoint.cursors)
+        else:
+            stage.eos_seen = 0
+            stage.cursors = {}
+
+        # Re-deliver everything unacknowledged, per channel, in order.
+        # The insertion hook is suspended so replayed entries keep their
+        # original sequence numbers instead of being re-recorded.
+        replayed = duplicates = dropped_total = 0
+        saved_hook, stage.queue.on_insert = stage.queue.on_insert, None
+        try:
+            for channel in self.replay.channels(stage.name):
+                cursor = stage.cursors.get(channel, 0)
+                dropped, entries = self.replay.replay_from(stage.name, channel, cursor)
+                if dropped:
+                    # Evicted entries can never be processed; align the
+                    # cursor with the oldest retained sequence number.
+                    dropped_total += dropped
+                    stage.cursors[channel] = cursor + dropped
+                for seq, message in entries:
+                    if isinstance(message, Item):
+                        message.hop = None
+                        if seq <= live_cursors.get(channel, 0):
+                            duplicates += 1
+                    replayed += 1
+                    stage.queue.force_put(message)
+        finally:
+            stage.queue.on_insert = saved_hook
+        # Producers blocked on the previously full queue resume (their
+        # items enter *after* the replayed backlog, preserving FIFO).
+        stage.queue.admit_waiting()
+
+        stage.down_since = None
+        stage.in_flight = False
+        stage.checkpoint_due = False
+        latency = self.env.now - down_since
+        self.metrics.counter(f"fault.{stage.name}.failovers").inc()
+        self.metrics.histogram(f"recovery.{stage.name}.latency").observe(latency)
+        if replayed:
+            self.metrics.counter(f"recovery.{stage.name}.items_replayed").inc(replayed)
+        if duplicates:
+            self.metrics.counter(f"recovery.{stage.name}.duplicates").inc(duplicates)
+        if dropped_total:
+            self.metrics.counter(f"recovery.{stage.name}.replay_dropped").inc(dropped_total)
+        if self._result is not None:
+            self._result.events.log(
+                self.env.now,
+                "stage-recovered",
+                stage=stage.name,
+                host=stage.host_name,
+                replayed=replayed,
+                duplicates=duplicates,
+                dropped=dropped_total,
+                outage=latency,
+                checkpoint_time=checkpoint.time if checkpoint is not None else None,
+            )
+        self._spawn_worker(stage)
+
+    def _rewire_stage(self, stage: _StageRuntime) -> None:
+        """Re-route every edge touching a stage after its host changed."""
+        for edge in stage.out_edges:
+            self._wire_edge(edge, stage)
+        for up in stage.upstream:
+            for edge in up.out_edges:
+                if edge.dst is stage:
+                    self._wire_edge(edge, up)
+
+    def _quarantine(self, stage: _StageRuntime, payload: Any, exc: BaseException, reason: str) -> None:
+        assert self.resilience is not None and self.dead_letters is not None
+        self.metrics.counter(f"fault.{stage.name}.quarantined").inc()
+        if self.resilience.error_policy == "dead-letter":
+            self.dead_letters.add(
+                DeadLetter(
+                    stage=stage.name,
+                    payload=payload,
+                    time=self.env.now,
+                    error=repr(exc),
+                    reason=reason,
+                )
+            )
+        if self._result is not None:
+            self._result.events.log(
+                self.env.now,
+                "item-quarantined",
+                stage=stage.name,
+                reason=reason,
+                error=repr(exc),
+            )

@@ -14,6 +14,14 @@ timing-tolerant tests.
 
 Processing cost is modeled by sleeping ``cost * time_scale`` seconds per
 item (``time_scale`` defaults to 1.0; tests shrink it).
+
+Fault tolerance (``resilience=``) covers the subset that makes sense
+without a simulated fabric: poison-item quarantine under the configured
+``error_policy`` (skip / dead-letter) and periodic stage checkpointing
+to a :class:`~repro.resilience.checkpoint.CheckpointStore` — threads do
+not crash-stop like simulated hosts, so live failover and replay remain
+:class:`~repro.core.runtime_sim.SimulatedRuntime` features (see
+docs/fault_tolerance.md).
 """
 
 from __future__ import annotations
@@ -34,6 +42,12 @@ from repro.core.results import RunResult, StageStats
 from repro.metrics.rates import RateEstimator
 from repro.obs.registry import MetricsRegistry, StageMetrics
 from repro.obs.tracing import TraceCollector, publish_traces
+from repro.resilience.checkpoint import (
+    CheckpointStore,
+    MemoryCheckpointStore,
+    StageCheckpoint,
+)
+from repro.resilience.policy import DeadLetter, DeadLetterQueue, ResilienceConfig
 from repro.simnet.links import TokenBucket
 
 __all__ = ["ThreadedRuntime", "ThreadedRuntimeError"]
@@ -173,6 +187,10 @@ class _ThreadStage:
     #: Serializes arrival-rate observations (several producer threads
     #: feed one queue; the estimator requires non-decreasing times).
     rate_lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Serializes processor mutation (on_item/flush in the worker) against
+    #: the checkpointer thread's snapshot(), keeping checkpoints
+    #: item-consistent.
+    state_lock: threading.Lock = field(default_factory=threading.Lock)
     done: threading.Event = field(default_factory=threading.Event)
     error: Optional[BaseException] = None
 
@@ -210,10 +228,14 @@ class ThreadedRuntime:
         metrics: Optional[MetricsRegistry] = None,
         trace_every: Optional[int] = None,
         max_traces: int = 10_000,
+        resilience: Optional[ResilienceConfig] = None,
+        checkpoints: Optional[CheckpointStore] = None,
     ) -> None:
-        """``metrics``/``trace_every`` mirror
+        """``metrics``/``trace_every``/``resilience`` mirror
         :class:`~repro.core.runtime_sim.SimulatedRuntime`: both runtimes
-        publish the same ``stage.*`` / ``adapt.*`` metric families.
+        publish the same ``stage.*`` / ``adapt.*`` metric families, and
+        both quarantine poison items and checkpoint on a cadence when
+        ``resilience`` is given (failover/replay are simulation-only).
         """
         if time_scale <= 0:
             raise ThreadedRuntimeError(f"time_scale must be > 0, got {time_scale}")
@@ -226,6 +248,16 @@ class ThreadedRuntime:
             if trace_every is not None
             else None
         )
+        self.resilience = resilience
+        self.checkpoints: Optional[CheckpointStore] = None
+        self.dead_letters: Optional[DeadLetterQueue] = None
+        if resilience is not None:
+            self.checkpoints = (
+                checkpoints if checkpoints is not None else MemoryCheckpointStore()
+            )
+            self.dead_letters = DeadLetterQueue(resilience.dead_letter_limit)
+        elif checkpoints is not None:
+            raise ThreadedRuntimeError("checkpoints= requires resilience= as well")
         self._stages: Dict[str, _ThreadStage] = {}
         self._sources: List[_ThreadSource] = []
         self._start_time = 0.0
@@ -360,6 +392,14 @@ class ThreadedRuntime:
                     target=self._monitor, args=(stage, stop_monitors), daemon=True
                 )
                 monitor.start()
+            if (
+                self.resilience is not None
+                and self.resilience.checkpoint_interval is not None
+            ):
+                checkpointer = threading.Thread(
+                    target=self._checkpointer, args=(stage, stop_monitors), daemon=True
+                )
+                checkpointer.start()
         for source in self._sources:
             threads.append(
                 threading.Thread(target=self._feeder, args=(source,), daemon=True)
@@ -448,7 +488,8 @@ class ThreadedRuntime:
                     eos_seen += 1
                     if eos_seen < stage.expected_eos:
                         continue
-                    stage.processor.flush(ctx)
+                    with stage.state_lock:
+                        stage.processor.flush(ctx)
                     self._transmit_pending(stage)
                     for edge in stage.out_edges:
                         edge.dst.queue.put(EndOfStream(origin=stage.name))
@@ -466,7 +507,17 @@ class ThreadedRuntime:
                     stage.metrics.busy_seconds.inc(cost * self.time_scale)
                     if hop is not None:
                         hop.process_t += cost * self.time_scale
-                stage.processor.on_item(message.payload, ctx)
+                try:
+                    with stage.state_lock:
+                        stage.processor.on_item(message.payload, ctx)
+                except Exception as exc:
+                    if self.resilience is None or self.resilience.error_policy == "fail":
+                        raise
+                    # Poison item: drop whatever it half-emitted, quarantine
+                    # it, and keep the stage alive (skip / dead-letter).
+                    ctx.pending.clear()
+                    self._quarantine(stage, message.payload, exc)
+                    continue
                 stage.metrics.latency.observe(self.elapsed() - message.created_at)
                 tx_start = self.elapsed()
                 self._transmit_pending(stage, trace=message.trace)
@@ -509,6 +560,60 @@ class ThreadedRuntime:
                     item.hop = trace.begin_hop(edge.dst.name, self.elapsed())
                 edge.dst.queue.put(item)
                 self._observe_arrival(edge.dst)
+
+    def _quarantine(self, stage: _ThreadStage, payload: Any, exc: BaseException) -> None:
+        """Count (and under ``dead-letter``, retain) one poison item."""
+        assert self.resilience is not None
+        self.metrics.counter(f"fault.{stage.name}.quarantined").inc()
+        if self.resilience.error_policy == "dead-letter":
+            assert self.dead_letters is not None
+            self.dead_letters.add(
+                DeadLetter(
+                    stage=stage.name,
+                    payload=payload,
+                    time=self.elapsed(),
+                    error=repr(exc),
+                    reason="processing",
+                )
+            )
+
+    def _checkpointer(self, stage: _ThreadStage, stop: threading.Event) -> None:
+        """Snapshot ``stage`` every ``checkpoint_interval`` scaled seconds.
+
+        The threaded runtime has no replay buffer (threads do not
+        crash-stop), so checkpoints carry empty cursors — they exist for
+        durability (e.g. a :class:`JsonlCheckpointStore` a later process
+        resumes from), not live failover.
+        """
+        assert self.resilience is not None
+        assert self.resilience.checkpoint_interval is not None
+        interval = self.resilience.checkpoint_interval * self.time_scale
+        while not stop.is_set() and not stage.done.is_set():
+            if stop.wait(interval):
+                return
+            if stage.done.is_set():
+                return
+            self._checkpoint_stage(stage)
+
+    def _checkpoint_stage(self, stage: _ThreadStage) -> None:
+        assert self.checkpoints is not None
+        with stage.state_lock:
+            processor_state = stage.processor.snapshot()
+        with stage.param_lock:
+            parameters = {n: p.value for n, p in stage.parameters.items()}
+        checkpoint = StageCheckpoint(
+            stage=stage.name,
+            time=self.elapsed(),
+            generation=0,
+            processor_state=processor_state,
+            parameters=parameters,
+            estimator=stage.estimator.snapshot() if stage.estimator else None,
+            exceptions=stage.exceptions.snapshot(),
+            cursors={},
+            eos_seen=0,
+        )
+        self.checkpoints.save(checkpoint)
+        self.metrics.counter(f"recovery.{stage.name}.checkpoints").inc()
 
     def _monitor(self, stage: _ThreadStage, stop: threading.Event) -> None:
         assert stage.estimator is not None

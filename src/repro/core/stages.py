@@ -83,6 +83,12 @@ class FilterStage(StreamProcessor):
         else:
             self.dropped += 1
 
+    def snapshot(self) -> dict:
+        return {"dropped": self.dropped}
+
+    def restore(self, state: dict) -> None:
+        self.dropped = int(state["dropped"])
+
 
 class BatchStage(StreamProcessor):
     """Groups ``batch_size`` items into one list-valued message.
@@ -122,6 +128,12 @@ class BatchStage(StreamProcessor):
         size = self.framing_bytes + self.item_size * len(batch)
         context.emit(batch, size=size)
 
+    def snapshot(self) -> dict:
+        return {"buffer": list(self._buffer)}
+
+    def restore(self, state: dict) -> None:
+        self._buffer = list(state["buffer"])
+
 
 class TumblingWindowStage(StreamProcessor):
     """Aggregates disjoint windows of ``window`` items with ``aggregate``.
@@ -160,6 +172,12 @@ class TumblingWindowStage(StreamProcessor):
         window, self._buffer = self._buffer, []
         value = self.aggregate(window)
         context.emit(value, size=self.size_of(value))
+
+    def snapshot(self) -> dict:
+        return {"buffer": list(self._buffer)}
+
+    def restore(self, state: dict) -> None:
+        self._buffer = list(state["buffer"])
 
 
 class SlidingWindowStage(StreamProcessor):
@@ -201,6 +219,13 @@ class SlidingWindowStage(StreamProcessor):
             value = self.aggregate(list(self._buffer))
             context.emit(value, size=self.size_of(value))
             self._since_emit = 1
+
+    def snapshot(self) -> dict:
+        return {"buffer": list(self._buffer), "since_emit": self._since_emit}
+
+    def restore(self, state: dict) -> None:
+        self._buffer = deque(state["buffer"], maxlen=self.window)
+        self._since_emit = int(state["since_emit"])
 
 
 class AdaptiveSampleStage(StreamProcessor):
@@ -250,6 +275,21 @@ class AdaptiveSampleStage(StreamProcessor):
         assert self._sampler is not None
         return {"seen": self._sampler.seen, "kept": self._sampler.kept}
 
+    def snapshot(self) -> dict:
+        assert self._sampler is not None
+        return {
+            "credit": self._sampler._credit,
+            "seen": self._sampler.seen,
+            "kept": self._sampler.kept,
+        }
+
+    def restore(self, state: dict) -> None:
+        # setup() has already built a fresh sampler; rewind its counters.
+        assert self._sampler is not None
+        self._sampler._credit = float(state["credit"])
+        self._sampler.seen = int(state["seen"])
+        self._sampler.kept = int(state["kept"])
+
 
 class CollectStage(StreamProcessor):
     """In-memory sink; ``result()`` returns everything received."""
@@ -271,3 +311,10 @@ class CollectStage(StreamProcessor):
 
     def result(self) -> List[Any]:
         return list(self.items)
+
+    def snapshot(self) -> dict:
+        return {"items": list(self.items), "overflowed": self.overflowed}
+
+    def restore(self, state: dict) -> None:
+        self.items = list(state["items"])
+        self.overflowed = int(state["overflowed"])

@@ -9,8 +9,11 @@ provides the natural extension, kept at the *deployment* layer:
 * :class:`Redeployer` — given a deployment and a failed host, re-places
   the affected stages on healthy hosts via the ordinary matchmaker,
   re-fetches their code from the repository, and swaps the service
-  instances.  Stage state is *not* migrated (crash-stop semantics: the
-  replacement starts fresh, as a restarted grid service would).
+  instances.  The redeployer itself moves no state (crash-stop
+  semantics: the replacement instance starts fresh); restoring stage
+  state from checkpoints and replaying in-flight input is the runtime's
+  job — see :mod:`repro.resilience` and
+  :meth:`repro.core.runtime_sim.SimulatedRuntime.failover_stage`.
 
 The matchmaker refuses hosts whose ``failed`` flag is set, so ordinary
 deployments also avoid known-dead nodes.
@@ -148,15 +151,26 @@ class Redeployer:
                 raise DeploymentError(
                     f"stage {stage_name!r}: code vanished from repository: {exc}"
                 ) from exc
-            old = deployment.placements[stage_name].instance
-            old.destroy()
+            # Secure the replacement fully (created, customized, activated)
+            # BEFORE destroying the old instance: if any replacement step
+            # fails, the deployment record must still point at the old
+            # instance rather than be left half-torn-down.
             container = self.deployer.container_for(new_host)
             instance = container.create_instance(
                 f"{deployment.config.name}/{stage_name}",
                 lifetime=self.deployer.service_lifetime,
             )
-            instance.customize(factory, **stage_cfg.properties)
-            instance.activate()
+            try:
+                instance.customize(factory, **stage_cfg.properties)
+                instance.activate()
+            except Exception as exc:
+                instance.destroy()
+                raise DeploymentError(
+                    f"cannot re-place stage {stage_name!r} after "
+                    f"{failed_host!r} failed: replacement activation failed: {exc}"
+                ) from exc
+            old = deployment.placements[stage_name].instance
+            old.destroy()
             deployment.placements[stage_name] = Placement(
                 stage_name=stage_name, host_name=new_host, instance=instance
             )

@@ -68,6 +68,8 @@ class HeartbeatDetector:
         self._started = False
         #: (time, host) suspicion records, for tests and reporting.
         self.suspicions: List[tuple] = []
+        #: (time, host) suspicion-cleared records (host recovered).
+        self.clears: List[tuple] = []
 
     def on_suspect(self, callback: Callable[[str, float], None]) -> None:
         """Register ``callback(host_name, time)`` fired on suspicion."""
@@ -89,22 +91,28 @@ class HeartbeatDetector:
         while True:
             yield self.env.timeout(self.interval)
             if host.failed:
-                return  # crash-stop: beats cease
-            state = self._states[host_name]
-            state.last_beat = self.env.now
-            if state.suspected:
-                # The host recovered (recover() flips .failed back); clear
-                # the suspicion so a later failure is re-detected.
-                state.suspected = False
+                # Crash-stop: this beat is skipped, but the emitter stays
+                # armed — a host that later recover()s resumes beating.
+                # (Returning here was a bug: the host stayed suspected
+                # forever after a fail -> recover -> fail sequence.)
+                continue
+            self._states[host_name].last_beat = self.env.now
 
     def _detector(self) -> Generator:
         while True:
             yield self.env.timeout(self.interval)
             now = self.env.now
             for name, state in self._states.items():
+                beating = now - state.last_beat < self.timeout
                 if state.suspected:
+                    if beating:
+                        # Beats resumed: the host recovered.  Clearing the
+                        # suspicion here (detector side) re-arms detection
+                        # of a later failure of the same host.
+                        state.suspected = False
+                        self.clears.append((now, name))
                     continue
-                if now - state.last_beat >= self.timeout:
+                if not beating:
                     state.suspected = True
                     self.suspicions.append((now, name))
                     for callback in self._callbacks:
@@ -114,6 +122,14 @@ class HeartbeatDetector:
         """Whether ``host_name`` is currently suspected."""
         state = self._states.get(host_name)
         return bool(state and state.suspected)
+
+    def last_beat(self, host_name: str) -> float:
+        """Time of the last heartbeat received from ``host_name``.
+
+        Recovery latency is measured from here: the silent period before
+        detection is part of the outage the failover pays for.
+        """
+        return self._states[host_name].last_beat
 
 
 @dataclass

@@ -129,6 +129,39 @@ METRICS: Tuple[MetricSpec, ...] = (
     MetricSpec("host.{host}.utilization", "series", "fraction", ("sim",),
                "\"the available computing resources\" (§1)",
                "Busy-core fraction per MonitoringService period."),
+    # -- faults and recovery (see docs/fault_tolerance.md) ------------------
+    MetricSpec("fault.{stage}.failovers", "counter", "failovers", ("sim",),
+               "\"24 hours a day, 7 days a week\" (§1) — recovery extension",
+               "Times the stage was re-placed and restored after a host "
+               "failure (includes in-place restarts after recovery)."),
+    MetricSpec("fault.{stage}.retries", "counter", "retries", ("sim",),
+               "transient faults on the delay-injected links (§5) — extension",
+               "Transmission retries after transient link losses."),
+    MetricSpec("fault.{stage}.quarantined", "counter", "items",
+               ("sim", "threaded"),
+               "—",
+               "Poison items quarantined under the skip/dead-letter error "
+               "policy (on_item raised, or transmission retries exhausted)."),
+    MetricSpec("recovery.{stage}.checkpoints", "counter", "checkpoints",
+               ("sim", "threaded"),
+               "—",
+               "Stage checkpoints taken on the configured cadence."),
+    MetricSpec("recovery.{stage}.latency", "histogram", "seconds", ("sim",),
+               "\"24 hours a day, 7 days a week\" (§1) — recovery extension",
+               "Outage per failover: last heartbeat (or worker death) to "
+               "the restored worker starting."),
+    MetricSpec("recovery.{stage}.items_replayed", "counter", "items", ("sim",),
+               "—",
+               "Messages re-delivered from the replay buffer after a "
+               "failover."),
+    MetricSpec("recovery.{stage}.duplicates", "counter", "items", ("sim",),
+               "—",
+               "Replayed items the pre-failure worker had already processed "
+               "(the at-least-once duplicates; counted, not hidden)."),
+    MetricSpec("recovery.{stage}.replay_dropped", "counter", "items", ("sim",),
+               "—",
+               "Unacknowledged items the bounded replay buffer had already "
+               "evicted when a failover needed them (permanently lost)."),
     # -- whole-run ----------------------------------------------------------
     MetricSpec("run.execution_time", "gauge", "seconds", ("sim", "threaded"),
                "execution time of Figures 5 and 6",

@@ -8,10 +8,13 @@ Renders a :class:`~repro.core.results.RunResult` as:
   measured rather than assumed);
 * adaptation trajectories (adjustment parameters and d-tilde) as ASCII
   strip charts via :mod:`repro.metrics.ascii_chart`;
+* a resilience table (checkpoints, failovers, replay, quarantine from
+  the ``fault.*`` / ``recovery.*`` metric families);
 * an event summary.
 
 All sections degrade gracefully: runs without tracing skip the
-decomposition, runs without adaptation skip the charts.
+decomposition, runs without adaptation skip the charts, fault-free runs
+without resilience skip the resilience table.
 """
 
 from __future__ import annotations
@@ -93,6 +96,41 @@ def _decomposition_table(result: RunResult) -> Optional[str]:
     return _format_table(headers, rows)
 
 
+def _resilience_table(result: RunResult) -> Optional[str]:
+    """Per-stage fault/recovery counters; None when none were emitted."""
+    if result.metrics is None:
+        return None
+    metrics = result.metrics
+    if not metrics.names("fault.") and not metrics.names("recovery."):
+        return None
+
+    def val(name: str) -> float:
+        return metrics.value(name, default=0.0)
+
+    headers = ["stage", "ckpts", "failovers", "replayed", "dups",
+               "dropped", "quarantined", "retries", "recovery_s"]
+    rows = []
+    for name in sorted(result.stages):
+        latency = (
+            metrics.get(f"recovery.{name}.latency")
+            if f"recovery.{name}.latency" in metrics
+            else None
+        )
+        cells = [
+            name,
+            f"{val(f'recovery.{name}.checkpoints'):.0f}",
+            f"{val(f'fault.{name}.failovers'):.0f}",
+            f"{val(f'recovery.{name}.items_replayed'):.0f}",
+            f"{val(f'recovery.{name}.duplicates'):.0f}",
+            f"{val(f'recovery.{name}.replay_dropped'):.0f}",
+            f"{val(f'fault.{name}.quarantined'):.0f}",
+            f"{val(f'fault.{name}.retries'):.0f}",
+            f"{max(latency.samples):.3f}" if latency and latency.count else "-",
+        ]
+        rows.append(cells)
+    return _format_table(headers, rows)
+
+
 def _trajectory_charts(result: RunResult, width: int) -> List[str]:
     charts = []
     for stage_name in sorted(result.stages):
@@ -131,6 +169,11 @@ def render_report(result: RunResult, width: int = 72) -> str:
             "net = sender-side transmission)\n" + decomposition
         )
     sections.extend(_trajectory_charts(result, width))
+    resilience = _resilience_table(result)
+    if resilience is not None:
+        sections.append(
+            "resilience (checkpoints, failover/replay, quarantine)\n" + resilience
+        )
     if len(result.events):
         kinds = sorted({kind for _, kind, _ in result.events.entries})
         counts = ", ".join(f"{k}={result.events.count(k)}" for k in kinds)

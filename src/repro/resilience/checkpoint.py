@@ -1,0 +1,186 @@
+"""Stage checkpoints and their stores.
+
+A :class:`StageCheckpoint` is everything the runtime needs to rebuild a
+stage after its host crashes: the processor's own ``snapshot()`` state,
+the current :class:`~repro.core.api.AdjustmentParameter` values, the
+adaptation state (:class:`~repro.core.adaptation.load.LoadEstimator` and
+:class:`~repro.core.adaptation.protocol.ExceptionCounter`), and the
+per-channel input cursors that anchor replay.
+
+Stores are deliberately simple: :class:`MemoryCheckpointStore` for tests
+and simulated runs, :class:`JsonlCheckpointStore` appending one JSON line
+per checkpoint for runs that should survive the process.  State values
+must be JSON-representable for the JSONL store; ``snapshot()``
+implementations in this repo stick to lists/dicts/numbers/strings (numpy
+arrays are converted to lists by the encoder fallback).
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "CheckpointStore",
+    "JsonlCheckpointStore",
+    "MemoryCheckpointStore",
+    "StageCheckpoint",
+]
+
+
+@dataclass(frozen=True)
+class StageCheckpoint:
+    """A consistent snapshot of one stage at one instant."""
+
+    stage: str
+    time: float
+    #: Stage incarnation the snapshot was taken from (bumped per failover).
+    generation: int = 0
+    #: ``StreamProcessor.snapshot()`` result (None = stateless processor).
+    processor_state: Any = None
+    #: Adjustment-parameter name -> value.
+    parameters: Dict[str, float] = field(default_factory=dict)
+    #: ``LoadEstimator.snapshot()`` (None when the stage has none).
+    estimator: Optional[Dict[str, Any]] = None
+    #: ``ExceptionCounter.snapshot()``.
+    exceptions: Dict[str, Any] = field(default_factory=dict)
+    #: Input channel -> sequence number of the last *acknowledged*
+    #: (fully processed) delivery; replay resumes after it.
+    cursors: Dict[str, int] = field(default_factory=dict)
+    #: End-of-stream markers already consumed.
+    eos_seen: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "stage": self.stage,
+            "time": self.time,
+            "generation": self.generation,
+            "processor_state": self.processor_state,
+            "parameters": dict(self.parameters),
+            "estimator": self.estimator,
+            "exceptions": dict(self.exceptions),
+            "cursors": dict(self.cursors),
+            "eos_seen": self.eos_seen,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "StageCheckpoint":
+        return cls(
+            stage=data["stage"],
+            time=float(data["time"]),
+            generation=int(data.get("generation", 0)),
+            processor_state=data.get("processor_state"),
+            parameters={k: float(v) for k, v in data.get("parameters", {}).items()},
+            estimator=data.get("estimator"),
+            exceptions=dict(data.get("exceptions", {})),
+            cursors={k: int(v) for k, v in data.get("cursors", {}).items()},
+            eos_seen=int(data.get("eos_seen", 0)),
+        )
+
+
+class CheckpointStore(abc.ABC):
+    """Where checkpoints go; ``latest`` is what recovery reads."""
+
+    @abc.abstractmethod
+    def save(self, checkpoint: StageCheckpoint) -> None:
+        """Persist one checkpoint."""
+
+    @abc.abstractmethod
+    def latest(self, stage: str) -> Optional[StageCheckpoint]:
+        """Most recent checkpoint of ``stage``, or None."""
+
+    @abc.abstractmethod
+    def history(self, stage: str) -> List[StageCheckpoint]:
+        """All retained checkpoints of ``stage``, oldest first."""
+
+    @abc.abstractmethod
+    def stages(self) -> List[str]:
+        """Stage names with at least one checkpoint."""
+
+
+class MemoryCheckpointStore(CheckpointStore):
+    """In-process store; optionally keeps only the last ``keep`` per stage."""
+
+    def __init__(self, keep: Optional[int] = None) -> None:
+        if keep is not None and keep < 1:
+            raise ValueError(f"keep must be >= 1 or None, got {keep}")
+        self.keep = keep
+        self._by_stage: Dict[str, List[StageCheckpoint]] = {}
+
+    def save(self, checkpoint: StageCheckpoint) -> None:
+        history = self._by_stage.setdefault(checkpoint.stage, [])
+        history.append(checkpoint)
+        if self.keep is not None and len(history) > self.keep:
+            del history[: len(history) - self.keep]
+
+    def latest(self, stage: str) -> Optional[StageCheckpoint]:
+        history = self._by_stage.get(stage)
+        return history[-1] if history else None
+
+    def history(self, stage: str) -> List[StageCheckpoint]:
+        return list(self._by_stage.get(stage, ()))
+
+    def stages(self) -> List[str]:
+        return sorted(self._by_stage)
+
+
+def _jsonable(value: Any) -> Any:
+    """Encoder fallback: numpy scalars/arrays, sets, and tuples."""
+    if hasattr(value, "tolist"):  # numpy array or scalar
+        return value.tolist()
+    if isinstance(value, (set, frozenset, tuple)):
+        return list(value)
+    raise TypeError(f"checkpoint state is not JSON-serializable: {type(value).__name__}")
+
+
+class JsonlCheckpointStore(CheckpointStore):
+    """Appends one JSON line per checkpoint; reads serve from memory.
+
+    ``load`` rebuilds the in-memory mirror from an existing file, so a
+    new process can resume from a previous run's checkpoints.  Note that
+    JSON round-trips dict *keys* as strings and tuples as lists — the
+    ``restore()`` implementations in this repo accept those forms.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._memory = MemoryCheckpointStore()
+        self._handle = open(path, "a", encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str) -> "JsonlCheckpointStore":
+        store = cls(path)
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    store._memory.save(StageCheckpoint.from_dict(json.loads(line)))
+        return store
+
+    def save(self, checkpoint: StageCheckpoint) -> None:
+        line = json.dumps(checkpoint.to_dict(), default=_jsonable)
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        # Mirror what the file now says (round-trip, so latest() returns
+        # exactly what a reload would).
+        self._memory.save(StageCheckpoint.from_dict(json.loads(line)))
+
+    def latest(self, stage: str) -> Optional[StageCheckpoint]:
+        return self._memory.latest(stage)
+
+    def history(self, stage: str) -> List[StageCheckpoint]:
+        return self._memory.history(stage)
+
+    def stages(self) -> List[str]:
+        return self._memory.stages()
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "JsonlCheckpointStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,203 @@
+"""The chaos demo behind ``repro chaos``.
+
+A two-stage pipeline (``work`` on an edge host, ``sink`` on the central
+host, a spare host standing by) run under injected faults: a mid-run
+crash of the edge host with heartbeat-driven live failover to the spare,
+optionally lossy links (exercising transmission retries) and poison
+items (exercising the error policy).  It is deliberately the smallest
+scenario that shows every fault-tolerance mechanism at once, and the
+summary it returns reconciles the books: every item fed is either in the
+sink, a counted duplicate, or a counted quarantine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.api import StageContext, StreamProcessor
+from repro.core.results import RunResult
+from repro.resilience.policy import ResilienceConfig
+
+__all__ = ["run_chaos_demo"]
+
+
+class _ChaosWork(StreamProcessor):
+    """Doubles each payload; raises on poison markers; checkpointable."""
+
+    def __init__(self, poison_every: Optional[int] = None) -> None:
+        from repro.simnet.hosts import CpuCostModel
+
+        self.cost_model = CpuCostModel(per_item=0.01)
+        self.poison_every = poison_every
+        self.count = 0
+
+    def on_item(self, payload: Any, context: StageContext) -> None:
+        if (
+            self.poison_every is not None
+            and payload % self.poison_every == 0
+            and payload > 0
+        ):
+            raise ValueError(f"poison payload {payload}")
+        self.count += 1
+        context.emit(payload * 2, size=8.0)
+
+    def snapshot(self) -> Any:
+        return {"count": self.count}
+
+    def restore(self, state: Any) -> None:
+        self.count = int(state["count"])
+
+    def result(self) -> Any:
+        return self.count
+
+
+class _ChaosSink(StreamProcessor):
+    """Collects everything; checkpointable so replay keeps it honest."""
+
+    def __init__(self) -> None:
+        self.items: list = []
+
+    def on_item(self, payload: Any, context: StageContext) -> None:
+        self.items.append(payload)
+
+    def snapshot(self) -> Any:
+        return {"items": list(self.items)}
+
+    def restore(self, state: Any) -> None:
+        self.items = list(state["items"])
+
+    def result(self) -> Any:
+        return list(self.items)
+
+
+def run_chaos_demo(
+    items: int = 500,
+    fail_at: Optional[float] = 1.0,
+    checkpoint_interval: float = 0.5,
+    loss: float = 0.0,
+    policy: str = "dead-letter",
+    poison_every: Optional[int] = None,
+    rate: float = 100.0,
+) -> Tuple[RunResult, Dict[str, Any]]:
+    """Run the chaos pipeline; returns ``(result, summary)``.
+
+    Parameters
+    ----------
+    items:
+        Integers fed to the ``work`` stage.
+    fail_at:
+        Simulated second at which the edge host crash-stops (``None``
+        disables the crash; the spare then just idles).
+    checkpoint_interval:
+        Simulated seconds between stage checkpoints.
+    loss:
+        Transmission-failure probability per link send (0 disables).
+    policy:
+        Error policy (``fail`` / ``skip`` / ``dead-letter``) for poison
+        items and exhausted transmission retries.
+    poison_every:
+        Every payload divisible by this (and > 0) makes ``work`` raise.
+    rate:
+        Source rate in items per simulated second.
+    """
+    from repro.core.runtime_sim import SimulatedRuntime, SourceBinding
+    from repro.grid.config import AppConfig, StageConfig, StreamConfig
+    from repro.grid.deployer import Deployer
+    from repro.grid.faults import FaultInjector, FaultPlan, Redeployer
+    from repro.grid.heartbeat import HeartbeatDetector
+    from repro.grid.registry import ServiceRegistry
+    from repro.grid.repository import CodeRepository
+    from repro.grid.resources import ResourceRequirement
+    from repro.resilience.failover import FailoverCoordinator
+    from repro.simnet.engine import Environment
+    from repro.simnet.topology import Network
+
+    env = Environment()
+    net = Network(env)
+    for name in ("edge", "spare", "central"):
+        net.create_host(name, cores=2)
+    net.connect("edge", "central", bandwidth=10_000.0, latency=0.01)
+    net.connect("spare", "central", bandwidth=10_000.0, latency=0.01)
+    if loss > 0:
+        for a, b in (("edge", "central"), ("spare", "central")):
+            net.link(a, b).set_loss(loss, seed=7)
+
+    registry = ServiceRegistry()
+    registry.register_network(net)
+    repo = CodeRepository()
+    repo.publish("repo://chaos/work", lambda: _ChaosWork(poison_every))
+    repo.publish("repo://chaos/sink", _ChaosSink)
+    config = AppConfig(
+        name="chaos",
+        stages=[
+            StageConfig("work", "repo://chaos/work",
+                        requirement=ResourceRequirement(placement_hint="edge")),
+            StageConfig("sink", "repo://chaos/sink",
+                        requirement=ResourceRequirement(placement_hint="central")),
+        ],
+        streams=[StreamConfig("doubled", "work", "sink")],
+    )
+    deployer = Deployer(registry, repo)
+    deployment = deployer.deploy(config)
+
+    resilience = ResilienceConfig(
+        checkpoint_interval=checkpoint_interval,
+        error_policy=policy,
+        max_retries=5,
+    )
+    runtime = SimulatedRuntime(
+        env, net, deployment, adaptation_enabled=False, resilience=resilience
+    )
+    runtime.bind_source(
+        SourceBinding("feed", "work", payloads=list(range(items)), rate=rate)
+    )
+
+    coordinator = None
+    if fail_at is not None:
+        FaultInjector(env, net).schedule(FaultPlan("edge", fail_at=fail_at))
+        detector = HeartbeatDetector(env, net, interval=0.2, timeout=0.6)
+        coordinator = FailoverCoordinator(runtime, detector, Redeployer(deployer))
+        coordinator.arm()
+        detector.start()
+
+    result = runtime.run()
+
+    metrics = result.metrics
+    sink_items = result.final_value("sink")
+    latency_hist = (
+        metrics.get("recovery.work.latency")
+        if "recovery.work.latency" in metrics
+        else None
+    )
+    quarantined = sum(
+        metrics.value(f"fault.{stage}.quarantined", default=0.0)
+        for stage in ("work", "sink")
+    )
+    retries = sum(
+        metrics.value(f"fault.{stage}.retries", default=0.0)
+        for stage in ("work", "sink")
+    )
+    summary: Dict[str, Any] = {
+        "items_fed": items,
+        "sink_items": len(sink_items),
+        "unique_items": len(set(sink_items)),
+        "work_host": result.stage("work").host_name,
+        "failovers": metrics.value("fault.work.failovers", default=0.0),
+        "checkpoints": sum(
+            metrics.value(f"recovery.{stage}.checkpoints", default=0.0)
+            for stage in ("work", "sink")
+        ),
+        "replayed": metrics.value("recovery.work.items_replayed", default=0.0),
+        "duplicates": metrics.value("recovery.work.duplicates", default=0.0),
+        "replay_dropped": metrics.value("recovery.work.replay_dropped", default=0.0),
+        "quarantined": quarantined,
+        "retries": retries,
+        "dead_letters": (
+            len(runtime.dead_letters) if runtime.dead_letters is not None else 0
+        ),
+        "recovery_latency": (
+            max(latency_hist.samples) if latency_hist is not None else None
+        ),
+        "recoveries": list(coordinator.recoveries) if coordinator is not None else [],
+    }
+    return result, summary

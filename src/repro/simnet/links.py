@@ -12,13 +12,26 @@ real-thread runtime uses for the same purpose.
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Optional
 
 from repro.simnet.engine import Environment, Event
 from repro.simnet.resources import CapacityResource, Store
 
-__all__ = ["Link", "LinkStats", "Message", "TokenBucket"]
+__all__ = ["Link", "LinkStats", "Message", "TokenBucket", "TransmissionError"]
+
+
+class TransmissionError(Exception):
+    """A message was lost in transit (transient fault; see ``set_loss``).
+
+    The sender's ``send`` event fails with this exception after the full
+    transmission time has been spent — the bandwidth was consumed, the
+    message was not delivered.  Senders that care retry (the runtime's
+    bounded retry-with-backoff path in
+    :mod:`repro.core.runtime_sim`); senders that don't will see the
+    exception propagate out of their process.
+    """
 
 
 @dataclass
@@ -112,6 +125,24 @@ class Link:
         #: unrelated traffic sharing the link (cross-traffic) can never
         #: interleave with theirs — and the inbox cannot grow unboundedly.
         self.collect_inbox: bool = True
+        #: Transient-loss injection (0 = lossless; see :meth:`set_loss`).
+        self.loss_rate: float = 0.0
+        self._loss_rng: Optional[random.Random] = None
+        #: Messages dropped by loss injection (diagnostic counter).
+        self.losses: int = 0
+
+    def set_loss(self, rate: float, seed: int = 0) -> None:
+        """Drop each transmitted message independently with ``rate``.
+
+        Models transient wire faults: the transmission occupies the link
+        for its full time, then the sender's ``send`` event *fails* with
+        :class:`TransmissionError` instead of delivering.  Deterministic
+        given ``seed``.
+        """
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"loss rate must be in [0, 1), got {rate}")
+        self.loss_rate = float(rate)
+        self._loss_rng = random.Random(seed) if rate > 0 else None
 
     @property
     def inbox(self) -> Store:
@@ -168,6 +199,11 @@ class Link:
             self.stats.busy_time += tx_time
         finally:
             self._tx.release(grant)
+        if self._loss_rng is not None and self._loss_rng.random() < self.loss_rate:
+            self.losses += 1
+            raise TransmissionError(
+                f"{self.name}: message seq={message.seq} lost in transit"
+            )
         self.env.process(self._deliver_proc(message), name=f"{self.name}.deliver")
         return message
 

@@ -149,6 +149,12 @@ class Store:
         self._items: Deque[Any] = deque()
         self._putters: Deque[PutRequest] = deque()
         self._getters: Deque[GetRequest] = deque()
+        #: Optional hook invoked with each item at the moment it enters
+        #: the buffer (including blocked puts admitted later).  The
+        #: resilient runtime records deliveries into its replay buffer
+        #: here — insertion time, not producer-resume time, is what keeps
+        #: the record consistent with what a purge() can discard.
+        self.on_insert: Optional[Any] = None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -205,11 +211,42 @@ class Store:
         self._admit_putters()
         return item
 
+    # -- failover support -----------------------------------------------------
+
+    def purge(self) -> list:
+        """Remove and return all queued items without serving waiters.
+
+        Used when a consumer's host crashes: the queued input is *lost*
+        (the crash-stop model) and the recovery path re-delivers from its
+        replay buffer instead.  Blocked putters are deliberately NOT
+        admitted here — replayed (older) messages must re-enter first to
+        preserve per-channel FIFO order; the putters drain as the
+        restarted consumer makes space.
+        """
+        purged = list(self._items)
+        self._items.clear()
+        if purged:
+            self._on_length_change()
+        return purged
+
+    def discard_getters(self) -> int:
+        """Drop all pending get requests (their requesters are gone).
+
+        A worker that died mid-``get`` leaves its request queued; were it
+        left in place it would swallow the first replayed item.  Returns
+        the number of requests discarded.
+        """
+        discarded = len(self._getters)
+        self._getters.clear()
+        return discarded
+
     # -- internals -----------------------------------------------------------
 
     def _insert(self, item: Any) -> None:
         self._items.append(item)
         self._on_length_change()
+        if self.on_insert is not None:
+            self.on_insert(item)
         self._drain_getters()
 
     def _serve_getter(self, request: GetRequest) -> None:
@@ -233,8 +270,21 @@ class Store:
             putter = self._putters.popleft()
             self._items.append(putter.item)
             self._on_length_change()
+            if self.on_insert is not None:
+                self.on_insert(putter.item)
             putter.succeed()
             self._drain_getters()
+
+    def admit_waiting(self) -> None:
+        """Serve blocked producers/consumers after out-of-band mutation.
+
+        ``purge`` empties the buffer without touching waiters; once a
+        failover has refilled it (or decided not to), this re-admits
+        blocked putters into the freed space and hands queued items to
+        any already-registered getters.
+        """
+        self._drain_getters()
+        self._admit_putters()
 
     def _on_length_change(self) -> None:
         """Hook for subclasses tracking occupancy; default does nothing."""

@@ -102,6 +102,27 @@ class FrequencySketch(abc.ABC):
     def resize(self, capacity: int) -> None:
         """Change the capacity in place, shedding entries if shrinking."""
 
+    # -- checkpointing ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serializable state for checkpoint/restore (see repro.resilience).
+
+        Every sketch in this package overrides both hooks; the state is
+        plain JSON-representable data so the JSONL checkpoint store can
+        round-trip it.  Tuple-valued stream items come back as lists
+        after a JSON round-trip; :meth:`_rekey` undoes that.
+        """
+        raise SketchError(f"{type(self).__name__} does not implement snapshot()")
+
+    def restore(self, state: dict) -> None:
+        """Rebuild in place from a :meth:`snapshot` value."""
+        raise SketchError(f"{type(self).__name__} does not implement restore()")
+
+    @staticmethod
+    def _rekey(value: Any) -> Hashable:
+        """Re-hashable form of a JSON round-tripped sketch value."""
+        return tuple(value) if isinstance(value, list) else value
+
     def __len__(self) -> int:
         return self.footprint
 

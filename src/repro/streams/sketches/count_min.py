@@ -137,3 +137,34 @@ class CountMin(FrequencySketch):
                 self._offer_candidate(value, self.estimate(value))
             return
         super().merge(other)
+
+    def snapshot(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "items_seen": self.items_seen,
+            "width": self.width,
+            "depth": self.depth,
+            "a": self._a.tolist(),
+            "b": self._b.tolist(),
+            "table": self._table.tolist(),
+            # Heap entries keep their insertion-time estimate and tie-break
+            # repr so heap order survives the round-trip exactly.
+            "heap": [[est, tie, v] for est, tie, v in self._heap],
+        }
+
+    def restore(self, state: dict) -> None:
+        if int(state["width"]) != self.width or int(state["depth"]) != self.depth:
+            raise SketchError(
+                "cannot restore a CountMin into different table dimensions "
+                f"({state['width']}x{state['depth']} -> {self.width}x{self.depth})"
+            )
+        self.capacity = int(state["capacity"])
+        self.items_seen = int(state["items_seen"])
+        self._a = np.asarray(state["a"], dtype=np.int64)
+        self._b = np.asarray(state["b"], dtype=np.int64)
+        self._table = np.asarray(state["table"], dtype=np.int64)
+        self._heap = [
+            (float(est), str(tie), self._rekey(v)) for est, tie, v in state["heap"]
+        ]
+        heapq.heapify(self._heap)
+        self._tracked = {v: True for _, _, v in self._heap}

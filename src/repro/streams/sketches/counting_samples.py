@@ -180,3 +180,21 @@ class CountingSamples(FrequencySketch):
             self.items_seen += other.items_seen
             return
         super().merge(other)
+
+    def snapshot(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "items_seen": self.items_seen,
+            "tau": self.tau,
+            "counts": [[v, int(c)] for v, c in self._counts.items()],
+            "rng": self._rng.bit_generator.state,
+        }
+
+    def restore(self, state: dict) -> None:
+        self.capacity = int(state["capacity"])
+        self.items_seen = int(state["items_seen"])
+        self.tau = float(state["tau"])
+        self._counts = {self._rekey(v): int(c) for v, c in state["counts"]}
+        # Restoring the RNG stream keeps a recovered run's subsampling
+        # decisions identical to an uninterrupted one.
+        self._rng.bit_generator.state = state["rng"]

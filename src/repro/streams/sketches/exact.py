@@ -45,3 +45,17 @@ class ExactCounter(FrequencySketch):
 
     def resize(self, capacity: int) -> None:
         self.capacity = int(capacity)
+
+    def snapshot(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "items_seen": self.items_seen,
+            "counts": [[v, int(c)] for v, c in self._counts.items()],
+        }
+
+    def restore(self, state: dict) -> None:
+        self.capacity = int(state["capacity"])
+        self.items_seen = int(state["items_seen"])
+        self._counts = Counter(
+            {self._rekey(v): int(c) for v, c in state["counts"]}
+        )

@@ -85,3 +85,21 @@ class LossyCounting(FrequencySketch):
         self.capacity = int(capacity)
         self.epsilon = 1.0 / capacity
         self._width = int(math.ceil(1.0 / self.epsilon))
+
+    def snapshot(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "items_seen": self.items_seen,
+            "bucket": self._bucket,
+            "entries": [[v, int(c), int(d)] for v, (c, d) in self._entries.items()],
+        }
+
+    def restore(self, state: dict) -> None:
+        self.capacity = int(state["capacity"])
+        self.epsilon = 1.0 / self.capacity
+        self._width = int(math.ceil(1.0 / self.epsilon))
+        self.items_seen = int(state["items_seen"])
+        self._bucket = int(state["bucket"])
+        self._entries = {
+            self._rekey(v): (int(c), int(d)) for v, c, d in state["entries"]
+        }

@@ -74,3 +74,17 @@ class MisraGries(FrequencySketch):
             }
             if not self._counts:
                 break
+
+    def snapshot(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "items_seen": self.items_seen,
+            "max_undercount": self.max_undercount,
+            "counts": [[v, int(c)] for v, c in self._counts.items()],
+        }
+
+    def restore(self, state: dict) -> None:
+        self.capacity = int(state["capacity"])
+        self.items_seen = int(state["items_seen"])
+        self.max_undercount = int(state["max_undercount"])
+        self._counts = {self._rekey(v): int(c) for v, c in state["counts"]}

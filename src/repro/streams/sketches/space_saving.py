@@ -77,3 +77,23 @@ class SpaceSaving(FrequencySketch):
             victim = min(self._counts.items(), key=lambda vc: (vc[1], repr(vc[0])))[0]
             self._counts.pop(victim)
             self._errors.pop(victim)
+
+    def snapshot(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "items_seen": self.items_seen,
+            "entries": [
+                [v, int(c), int(self._errors.get(v, 0))]
+                for v, c in self._counts.items()
+            ],
+        }
+
+    def restore(self, state: dict) -> None:
+        self.capacity = int(state["capacity"])
+        self.items_seen = int(state["items_seen"])
+        self._counts = {}
+        self._errors = {}
+        for v, count, error in state["entries"]:
+            value = self._rekey(v)
+            self._counts[value] = int(count)
+            self._errors[value] = int(error)

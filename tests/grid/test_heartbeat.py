@@ -79,6 +79,13 @@ class TestHeartbeatDetector:
         assert [h for h, _ in seen] == ["h1"]
 
     def test_recovered_host_can_be_resuspected(self):
+        """Regression: fail -> recover -> fail must be detected twice.
+
+        The emitter used to *return* on the first failure, so a recovered
+        host never beat again and stayed suspected forever; now it keeps
+        running (skipping beats while the host is down), and the detector
+        clears the suspicion once beats resume.
+        """
         env, net, *_ = make_fabric()
         detector = HeartbeatDetector(env, net, interval=0.5, timeout=1.5)
         detector.start()
@@ -86,11 +93,17 @@ class TestHeartbeatDetector:
         injector.schedule(FaultPlan("h3", fail_at=5.0, recover_at=10.0))
         env.run(until=8.0)
         assert detector.is_suspected("h3")
-        env.run(until=12.0)
-        # Recovery restarts nothing automatically — the emitter died when
-        # the host crashed — so the suspicion persists until re-armed.
-        # (crash-stop semantics: a recovered host is a *new* participant.)
+        env.run(until=13.0)
+        # Beats resumed after recover_at=10; suspicion is cleared and the
+        # clear is recorded.
+        assert not detector.is_suspected("h3")
+        assert [h for _, h in detector.clears] == ["h3"]
+        assert detector.last_beat("h3") > 10.0
+        # A second crash of the *same* host is detected again.
+        injector.schedule(FaultPlan("h3", fail_at=15.0))
+        env.run(until=20.0)
         assert detector.is_suspected("h3")
+        assert [h for _, h in detector.suspicions] == ["h3", "h3"]
 
 
 class TestAutoRecovery:

@@ -1,0 +1,128 @@
+"""Redeployer placement paths, FaultPlan validation, destroy ordering."""
+
+import pytest
+
+from repro.grid.config import AppConfig, StageConfig
+from repro.grid.deployer import Deployer, DeploymentError
+from repro.grid.faults import FaultInjector, FaultPlan, Redeployer
+from repro.grid.registry import ServiceRegistry
+from repro.grid.repository import CodeRepository
+from repro.grid.resources import ResourceRequirement
+from repro.grid.services import GatesServiceInstance, ServiceError, ServiceState
+from repro.simnet.engine import Environment
+from repro.simnet.topology import Network
+
+
+class StageA:
+    pass
+
+
+def make_fabric(hosts=("h1", "h2", "h3")):
+    env = Environment()
+    net = Network(env)
+    for name in hosts:
+        net.create_host(name, cores=2)
+    for other in hosts[1:]:
+        net.connect(hosts[0], other, 1000.0)
+    registry = ServiceRegistry()
+    registry.register_network(net)
+    repo = CodeRepository()
+    repo.publish("repo://rd/a", StageA)
+    return env, net, registry, repo
+
+
+def deploy_one(registry, repo, hint):
+    config = AppConfig(
+        name="rdapp",
+        stages=[
+            StageConfig("a", "repo://rd/a",
+                        requirement=ResourceRequirement(placement_hint=hint)),
+        ],
+    )
+    deployer = Deployer(registry, repo)
+    return deployer, deployer.deploy(config)
+
+
+class TestFaultPlanValidation:
+    def test_negative_fail_at_rejected(self):
+        with pytest.raises(ValueError, match="fail_at"):
+            FaultPlan("h1", fail_at=-1.0)
+
+    def test_recover_before_fail_rejected(self):
+        with pytest.raises(ValueError, match="recover_at"):
+            FaultPlan("h1", fail_at=5.0, recover_at=5.0)
+
+    def test_valid_plan_accepted(self):
+        plan = FaultPlan("h1", fail_at=0.0, recover_at=1.0)
+        assert plan.recover_at == 1.0
+
+    def test_schedule_validates_host_exists(self):
+        env, net, *_ = make_fabric()
+        with pytest.raises(Exception):
+            FaultInjector(env, net).schedule(FaultPlan("ghost", fail_at=1.0))
+
+
+class TestHintRelaxation:
+    def test_pin_to_failed_host_is_relaxed(self):
+        env, net, registry, repo = make_fabric()
+        deployer, deployment = deploy_one(registry, repo, hint="h1")
+        assert deployment.host_of("a") == "h1"
+        FaultInjector(env, net).fail_now("h1")
+        report = Redeployer(deployer).redeploy(deployment, "h1")
+        assert report.moved_stages == ["a"]
+        assert deployment.host_of("a") in {"h2", "h3"}
+        assert deployment.placements["a"].instance.state is ServiceState.ACTIVE
+
+    def test_near_hint_to_failed_host_is_relaxed(self):
+        env, net, registry, repo = make_fabric()
+        deployer, deployment = deploy_one(registry, repo, hint="near:h1")
+        # near:h1 co-locates on h1 itself while it is healthy.
+        assert deployment.host_of("a") == "h1"
+        FaultInjector(env, net).fail_now("h1")
+        report = Redeployer(deployer).redeploy(deployment, "h1")
+        assert report.new_hosts["a"] in {"h2", "h3"}
+
+    def test_unplaceable_after_relaxation_raises(self):
+        env, net, registry, repo = make_fabric(hosts=("h1", "h2"))
+        deployer, deployment = deploy_one(registry, repo, hint="h1")
+        FaultInjector(env, net).fail_now("h1")
+        FaultInjector(env, net).fail_now("h2")
+        with pytest.raises(DeploymentError, match="cannot re-place"):
+            Redeployer(deployer).redeploy(deployment, "h1")
+
+
+class TestDestroyOrdering:
+    def test_old_instance_survives_failed_replacement(self, monkeypatch):
+        """Regression: secure the replacement before destroying the old.
+
+        If activation of the replacement fails, the deployment record
+        must still point at the (dead host's) old instance — destroying
+        it first would leave the stage with nothing at all.
+        """
+        env, net, registry, repo = make_fabric(hosts=("h1", "h2"))
+        deployer, deployment = deploy_one(registry, repo, hint="h1")
+        old_instance = deployment.placements["a"].instance
+        FaultInjector(env, net).fail_now("h1")
+
+        original_activate = GatesServiceInstance.activate
+
+        def flaky_activate(self):
+            if self.container.host.name == "h2":
+                raise ServiceError("container out of memory")
+            original_activate(self)
+
+        monkeypatch.setattr(GatesServiceInstance, "activate", flaky_activate)
+        with pytest.raises(DeploymentError, match="activation failed"):
+            Redeployer(deployer).redeploy(deployment, "h1")
+        assert deployment.host_of("a") == "h1"
+        assert deployment.placements["a"].instance is old_instance
+        assert old_instance.state is not ServiceState.DESTROYED
+
+    def test_successful_redeploy_destroys_old_instance(self):
+        env, net, registry, repo = make_fabric()
+        deployer, deployment = deploy_one(registry, repo, hint="h1")
+        old_instance = deployment.placements["a"].instance
+        FaultInjector(env, net).fail_now("h1")
+        Redeployer(deployer).redeploy(deployment, "h1")
+        assert old_instance.state is ServiceState.DESTROYED
+        assert deployment.placements["a"].instance is not old_instance

@@ -11,12 +11,20 @@ from repro.obs.names import METRICS, spec_for, validate_name
 EXPECTED_TEMPLATES = [
     "adapt.{stage}.d_tilde",
     "adapt.{stage}.param.{parameter}",
+    "fault.{stage}.failovers",
+    "fault.{stage}.quarantined",
+    "fault.{stage}.retries",
     "host.{host}.utilization",
     "link.{link}.bytes",
     "link.{link}.messages",
     "link.{link}.throughput",
     "link.{link}.tx_busy",
     "link.{link}.utilization",
+    "recovery.{stage}.checkpoints",
+    "recovery.{stage}.duplicates",
+    "recovery.{stage}.items_replayed",
+    "recovery.{stage}.latency",
+    "recovery.{stage}.replay_dropped",
     "run.execution_time",
     "run.traced_items",
     "stage.{stage}.arrival_rate",

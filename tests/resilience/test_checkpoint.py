@@ -1,0 +1,249 @@
+"""Checkpoint protocol: snapshot/restore round-trips and the stores."""
+
+import json
+
+import pytest
+
+from repro.core.adaptation.load import LoadEstimator
+from repro.core.adaptation.policy import AdaptationPolicy
+from repro.core.adaptation.protocol import ExceptionCounter
+from repro.core.stages import (
+    BatchStage,
+    CollectStage,
+    FilterStage,
+    SlidingWindowStage,
+    TumblingWindowStage,
+)
+from repro.resilience import (
+    JsonlCheckpointStore,
+    MemoryCheckpointStore,
+    StageCheckpoint,
+)
+from repro.streams.sketches import (
+    CountMin,
+    CountingSamples,
+    ExactCounter,
+    LossyCounting,
+    MisraGries,
+    SpaceSaving,
+)
+
+
+class FakeContext:
+    """Just enough StageContext for feeding built-in stages."""
+
+    def __init__(self):
+        self.emitted = []
+
+    def emit(self, payload, size=8.0, stream=None):
+        self.emitted.append(payload)
+
+
+class TestStageRoundTrips:
+    """snapshot() into a fresh instance must resume identically."""
+
+    def test_filter_stage(self):
+        ctx = FakeContext()
+        stage = FilterStage(lambda x: x % 2 == 0)
+        for i in range(7):
+            stage.on_item(i, ctx)
+        fresh = FilterStage(lambda x: x % 2 == 0)
+        fresh.restore(stage.snapshot())
+        assert fresh.dropped == stage.dropped == 3
+
+    def test_batch_stage_partial_buffer(self):
+        ctx = FakeContext()
+        stage = BatchStage(batch_size=4)
+        for i in range(6):
+            stage.on_item(i, ctx)
+        assert ctx.emitted == [[0, 1, 2, 3]]
+        fresh = BatchStage(batch_size=4)
+        fresh.restore(stage.snapshot())
+        ctx2 = FakeContext()
+        fresh.on_item(6, ctx2)
+        fresh.on_item(7, ctx2)
+        assert ctx2.emitted == [[4, 5, 6, 7]]
+
+    def test_tumbling_window(self):
+        ctx = FakeContext()
+        stage = TumblingWindowStage(window=3, aggregate=sum)
+        for i in range(5):
+            stage.on_item(i, ctx)
+        fresh = TumblingWindowStage(window=3, aggregate=sum)
+        fresh.restore(stage.snapshot())
+        ctx2 = FakeContext()
+        fresh.on_item(5, ctx2)
+        assert ctx2.emitted == [3 + 4 + 5]
+
+    def test_sliding_window(self):
+        ctx = FakeContext()
+        stage = SlidingWindowStage(window=3, slide=2, aggregate=sum)
+        for i in range(5):
+            stage.on_item(i, ctx)
+        fresh = SlidingWindowStage(window=3, slide=2, aggregate=sum)
+        fresh.restore(stage.snapshot())
+        ctx2 = FakeContext()
+        fresh.on_item(5, ctx2)
+        ctx_cont = FakeContext()
+        stage.on_item(5, ctx_cont)
+        assert ctx2.emitted == ctx_cont.emitted
+
+    def test_collect_stage_with_overflow(self):
+        ctx = FakeContext()
+        stage = CollectStage(limit=3)
+        for i in range(5):
+            stage.on_item(i, ctx)
+        fresh = CollectStage(limit=3)
+        fresh.restore(stage.snapshot())
+        assert fresh.result() == [0, 1, 2]
+        assert fresh.overflowed == 2
+
+
+SKETCHES = [
+    pytest.param(lambda: CountMin(capacity=8, width=64, depth=3, seed=1),
+                 id="count-min"),
+    pytest.param(lambda: SpaceSaving(capacity=8), id="space-saving"),
+    pytest.param(lambda: LossyCounting(capacity=8), id="lossy-counting"),
+    pytest.param(lambda: MisraGries(capacity=8), id="misra-gries"),
+    pytest.param(lambda: CountingSamples(capacity=8, seed=3),
+                 id="counting-samples"),
+    pytest.param(lambda: ExactCounter(capacity=8), id="exact"),
+]
+
+STREAM = [v % 11 for v in range(97)] + [3] * 25 + [7] * 13
+
+
+class TestSketchRoundTrips:
+    @pytest.mark.parametrize("factory", SKETCHES)
+    def test_snapshot_restores_estimates(self, factory):
+        sketch = factory()
+        for value in STREAM:
+            sketch.update(value)
+        fresh = factory()
+        fresh.restore(sketch.snapshot())
+        for value in set(STREAM):
+            assert fresh.estimate(value) == sketch.estimate(value)
+        assert fresh.snapshot() == sketch.snapshot()
+
+    @pytest.mark.parametrize("factory", SKETCHES)
+    def test_restored_sketch_keeps_counting(self, factory):
+        """The round trip must also preserve *internal* update state."""
+        sketch = factory()
+        for value in STREAM:
+            sketch.update(value)
+        fresh = factory()
+        fresh.restore(sketch.snapshot())
+        for value in (3, 7, 10, 3):
+            sketch.update(value)
+            fresh.update(value)
+        for value in set(STREAM):
+            assert fresh.estimate(value) == sketch.estimate(value)
+
+
+class _StubQueue:
+    capacity = 10
+    current_length = 7
+    recent_average = 6.0
+
+
+class TestAdaptationStateRoundTrips:
+    def test_load_estimator(self):
+        policy = AdaptationPolicy()
+        estimator = LoadEstimator("s", _StubQueue(), policy)
+        for i in range(1, 6):
+            estimator.sample(0.1 * i)
+        snap = estimator.snapshot()
+        fresh = LoadEstimator("s", _StubQueue(), policy)
+        fresh.restore(snap)
+        assert fresh.snapshot() == snap
+        assert fresh.d_tilde == estimator.d_tilde
+        assert (fresh.t1, fresh.t2) == (estimator.t1, estimator.t2)
+
+    def test_exception_counter(self):
+        counter = ExceptionCounter()
+        counter.restore(
+            {"counts": [[1, 2, 0], [2, 0, 1]],
+             "total_overloads": 2, "total_underloads": 1}
+        )
+        snap = counter.snapshot()
+        fresh = ExceptionCounter()
+        fresh.restore(snap)
+        assert fresh.snapshot() == snap
+        assert fresh.aggregate() == (2, 1)
+
+
+def _checkpoint(stage="s", time=1.0, **kwargs):
+    return StageCheckpoint(stage=stage, time=time, **kwargs)
+
+
+class TestStageCheckpoint:
+    def test_dict_round_trip(self):
+        original = StageCheckpoint(
+            stage="work", time=2.5, generation=3,
+            processor_state={"count": 9}, parameters={"rate": 0.5},
+            estimator={"t1": 1, "t2": 0, "window": [1, 2], "d_tilde": 1.5},
+            exceptions={"counts": [], "total_overloads": 0, "total_underloads": 0},
+            cursors={"src": 41}, eos_seen=1,
+        )
+        assert StageCheckpoint.from_dict(original.to_dict()) == original
+
+
+class TestMemoryCheckpointStore:
+    def test_latest_and_history(self):
+        store = MemoryCheckpointStore()
+        assert store.latest("s") is None
+        store.save(_checkpoint(time=1.0))
+        store.save(_checkpoint(time=2.0))
+        store.save(_checkpoint(stage="t", time=1.5))
+        assert store.latest("s").time == 2.0
+        assert [c.time for c in store.history("s")] == [1.0, 2.0]
+        assert store.stages() == ["s", "t"]
+
+    def test_keep_bounds_history(self):
+        store = MemoryCheckpointStore(keep=2)
+        for t in (1.0, 2.0, 3.0):
+            store.save(_checkpoint(time=t))
+        assert [c.time for c in store.history("s")] == [2.0, 3.0]
+
+    def test_keep_validation(self):
+        with pytest.raises(ValueError):
+            MemoryCheckpointStore(keep=0)
+
+
+class TestJsonlCheckpointStore:
+    def test_save_and_reload(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        with JsonlCheckpointStore(path) as store:
+            store.save(_checkpoint(time=1.0, processor_state={"count": 3},
+                                   cursors={"src": 12}))
+            store.save(_checkpoint(time=2.0, processor_state={"count": 6},
+                                   cursors={"src": 30}))
+            assert store.latest("s").processor_state == {"count": 6}
+        reloaded = JsonlCheckpointStore.load(path)
+        try:
+            latest = reloaded.latest("s")
+            assert latest.time == 2.0
+            assert latest.cursors == {"src": 30}
+            assert [c.time for c in reloaded.history("s")] == [1.0, 2.0]
+        finally:
+            reloaded.close()
+
+    def test_file_is_one_json_object_per_line(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        with JsonlCheckpointStore(path) as store:
+            store.save(_checkpoint(time=1.0))
+            store.save(_checkpoint(stage="t", time=2.0))
+        lines = [json.loads(l) for l in open(path) if l.strip()]
+        assert [l["stage"] for l in lines] == ["s", "t"]
+
+    def test_unserializable_state_rejected(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        with JsonlCheckpointStore(path) as store:
+            with pytest.raises(TypeError):
+                store.save(_checkpoint(time=1.0, processor_state=object()))
+
+    def test_tuple_and_set_state_coerced(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        with JsonlCheckpointStore(path) as store:
+            store.save(_checkpoint(time=1.0, processor_state=(1, 2)))
+            assert store.latest("s").processor_state == [1, 2]

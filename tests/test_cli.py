@@ -92,6 +92,35 @@ class TestExperimentCommands:
             main(["frobnicate"])
 
 
+class TestChaos:
+    def test_failover_report_printed(self, capsys):
+        assert main(["chaos", "--items", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "recovery summary" in out
+        assert "failovers        : 1" in out
+        assert "work stage host  : spare" in out
+        assert "resilience (checkpoints, failover/replay, quarantine)" in out
+        assert "host 'edge' failed; moved stages: work" in out
+
+    def test_fault_free_run(self, capsys):
+        assert main(["chaos", "--items", "100", "--fail-at", "-1"]) == 0
+        out = capsys.readouterr().out
+        assert "failovers        : 0" in out
+        assert "sink received    : 100 (100 unique, 0 replay duplicates)" in out
+
+    def test_poison_items_quarantined(self, capsys):
+        assert main(["chaos", "--items", "100", "--fail-at", "-1",
+                     "--poison-every", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined      : 3 (dead letters retained: 3)" in out
+
+    def test_bad_flags_rejected(self, capsys):
+        assert main(["chaos", "--items", "0"]) == 1
+        assert "--items" in capsys.readouterr().err
+        assert main(["chaos", "--loss", "1.5"]) == 1
+        assert "--loss" in capsys.readouterr().err
+
+
 class TestJsonOutput:
     def test_fig5_json_written(self, tmp_path, capsys):
         out = tmp_path / "fig5.json"
