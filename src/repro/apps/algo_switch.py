@@ -17,7 +17,7 @@ On a switch, the new sketch inherits the old one's retained counts via
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, Optional, Sequence
 
 from repro.core.api import StageContext, StreamProcessor
 from repro.simnet.hosts import CpuCostModel

@@ -24,7 +24,7 @@ Configuration properties:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Set, Tuple
 
 from repro.core.api import StageContext, StreamProcessor
 from repro.grid.config import AppConfig, ParameterConfig, StageConfig, StreamConfig

@@ -12,6 +12,11 @@ configuration tooling without writing any Python:
 * ``chaos`` — run the fault-tolerance demo (mid-run host crash with live
   failover, optional link loss and poison items) and print the recovery
   report;
+* ``netdemo`` — run count-samps across real worker OS processes on
+  localhost (the :mod:`repro.net` runtime) and print the wire-level
+  channel report;
+* ``worker`` — run one networked worker process and wait for a
+  coordinator (advanced: ``netdemo`` spawns its own workers);
 * ``validate <config.xml>`` — parse and structurally check an application
   configuration, printing the stage DAG;
 * ``topology <config.xml>`` — print the placement a default star fabric
@@ -106,6 +111,37 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--policy", choices=("fail", "skip", "dead-letter"),
                        default="dead-letter",
                        help="error policy for poison items (default dead-letter)")
+
+    netdemo = sub.add_parser(
+        "netdemo",
+        help="run count-samps across real worker OS processes (repro.net) "
+             "and print the wire-level channel report",
+    )
+    netdemo.add_argument("--workers", type=int, default=3,
+                         help="worker processes to spawn (default 3)")
+    netdemo.add_argument("--items", type=int, default=4000,
+                         help="integers per source (default 4000)")
+    netdemo.add_argument("--seed", type=int, default=11,
+                         help="payload RNG seed (default 11)")
+    netdemo.add_argument("--join-cost-ms", type=float, default=2.0,
+                         help="milliseconds of modeled work per summary at "
+                              "the join (default 2.0; higher = more overload "
+                              "exceptions)")
+    netdemo.add_argument("--timeout", type=float, default=90.0,
+                         help="abort the run after this many seconds")
+
+    worker = sub.add_parser(
+        "worker",
+        help="run one networked worker process and wait for a coordinator",
+    )
+    worker.add_argument("--host", default="127.0.0.1",
+                        help="interface to bind (default 127.0.0.1)")
+    worker.add_argument("--port", type=int, default=0,
+                        help="TCP port to bind (default 0: ephemeral, "
+                             "announced on stdout)")
+    worker.add_argument("--name", default="worker",
+                        help="fallback worker name until the coordinator "
+                             "assigns one")
 
     validate = sub.add_parser("validate", help="validate an application XML config")
     validate.add_argument("config", help="path to the XML configuration file")
@@ -262,6 +298,55 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_netdemo(args: argparse.Namespace) -> int:
+    from repro.net.demo import run_netdemo
+
+    if args.workers < 2:
+        print("--workers must be >= 2", file=sys.stderr)
+        return 1
+    if args.items < 1:
+        print("--items must be >= 1", file=sys.stderr)
+        return 1
+    result, summary = run_netdemo(
+        workers=args.workers,
+        items_per_source=args.items,
+        seed=args.seed,
+        join_cost_ms=args.join_cost_ms,
+        timeout=args.timeout,
+    )
+    print(f"networked count-samps across {args.workers} worker processes "
+          f"({args.items} items/source, seed {args.seed})")
+    print("placement")
+    for stage, worker in summary["placement"].items():
+        print(f"  {stage:<12} -> {worker}")
+    print("final top-k")
+    for value, count in summary["topk"]:
+        print(f"  {value:>6} : {count:.0f}")
+    print("wire channels (sender-side accounting)")
+    header = (f"  {'channel':<12} {'frames':>7} {'bytes':>9} {'stalls':>7} "
+              f"{'wait (s)':>9} {'peak':>5} {'excs':>5}")
+    print(header)
+    for channel in sorted(summary["channels"]):
+        stats = summary["channels"][channel]
+        print(f"  {channel:<12} {stats.get('frames', 0):>7.0f} "
+              f"{stats.get('bytes', 0):>9.0f} "
+              f"{stats.get('credit_stalls', 0):>7.0f} "
+              f"{stats.get('credit_wait_seconds', 0):>9.3f} "
+              f"{stats.get('in_flight_peak', 0):>5.0f} "
+              f"{stats.get('exceptions', 0):>5.0f}")
+    print("adaptation exceptions delivered over the wire: "
+          f"{summary['wire_exceptions']:.0f}")
+    print(f"execution time: {summary['execution_time']:.2f}s")
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.net.worker import main as worker_main
+
+    argv = ["--host", args.host, "--port", str(args.port), "--name", args.name]
+    return worker_main(argv)
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.grid.config import AppConfig, ConfigError
 
@@ -284,7 +369,6 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 def _cmd_topology(args: argparse.Namespace) -> int:
     from repro.experiments.common import build_star_fabric
     from repro.grid.config import AppConfig, ConfigError
-    from repro.grid.deployer import DeploymentError
 
     try:
         with open(args.config, "r", encoding="utf-8") as handle:
@@ -314,6 +398,8 @@ _COMMANDS = {
     "fig9": _cmd_fig9,
     "report": _cmd_report,
     "chaos": _cmd_chaos,
+    "netdemo": _cmd_netdemo,
+    "worker": _cmd_worker,
     "validate": _cmd_validate,
     "topology": _cmd_topology,
 }

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque
 
 from repro.core.adaptation.load import phi1
 from repro.core.adaptation.policy import AdaptationPolicy

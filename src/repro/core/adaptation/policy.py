@@ -22,7 +22,7 @@ Additions beyond the paper (documented in DESIGN.md):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any
 
 __all__ = ["AdaptationPolicy", "PolicyError"]

@@ -58,6 +58,7 @@ from repro.core.adaptation.protocol import ExceptionCounter
 from repro.core.api import AdjustmentParameter, ProcessorError, StageContext, StreamProcessor
 from repro.core.items import EndOfStream, Item
 from repro.core.results import RunResult, StageStats
+from repro.core.termination import EosTracker, no_input_message
 from repro.grid.config import StreamConfig
 from repro.grid.deployer import Deployment
 from repro.metrics.rates import RateEstimator
@@ -223,7 +224,7 @@ class _StageRuntime:
     queue: BoundedQueue
     properties: Dict[str, str]
     policy: AdaptationPolicy
-    expected_eos: int = 0
+    eos: EosTracker = field(default_factory=EosTracker)
     out_edges: List[_Edge] = field(default_factory=list)
     upstream: List["_StageRuntime"] = field(default_factory=list)
     parameters: Dict[str, AdjustmentParameter] = field(default_factory=dict)
@@ -236,8 +237,6 @@ class _StageRuntime:
     metrics: Optional[StageMetrics] = None
     done: bool = False
     # -- fault-tolerance state (used only with resilience enabled) --------
-    #: End-of-stream markers consumed (restored from checkpoints).
-    eos_seen: int = 0
     #: Channel (message origin) -> sequence number of the last fully
     #: processed delivery.  Deliveries are per-channel FIFO, so the
     #: worker's increment-per-message stays aligned with the insertion
@@ -385,19 +384,16 @@ class SimulatedRuntime:
             self._wire_edge(edge, src)
             src.out_edges.append(edge)
             dst.upstream.append(src)
-            dst.expected_eos += 1
+            dst.eos.expect()
 
         # Account for external source bindings.
         for binding in self._bindings:
-            self._stages[binding.target_stage].expected_eos += 1
+            self._stages[binding.target_stage].eos.expect()
 
         # Every stage must have at least one input, or it can never end.
         for stage in self._stages.values():
-            if stage.expected_eos == 0:
-                raise RuntimeError_(
-                    f"stage {stage.name!r} has no input streams or source "
-                    "bindings and would never terminate"
-                )
+            if not stage.eos.has_inputs:
+                raise RuntimeError_(no_input_message(stage.name))
         self._built = True
 
     def _wire_edge(self, edge: _Edge, src: _StageRuntime) -> None:
@@ -573,9 +569,9 @@ class SimulatedRuntime:
                 return
             stage.in_flight = True
             if isinstance(message, EndOfStream):
-                stage.eos_seen += 1
+                complete = stage.eos.observe()
                 self._advance_cursor(stage, message)
-                if stage.eos_seen < stage.expected_eos:
+                if not complete:
                     self._item_finished(stage)
                     continue
                 stage.processor.flush(ctx)
@@ -814,7 +810,7 @@ class SimulatedRuntime:
             estimator=stage.estimator.snapshot() if stage.estimator else None,
             exceptions=stage.exceptions.snapshot(),
             cursors=dict(stage.cursors),
-            eos_seen=stage.eos_seen,
+            eos_seen=stage.eos.snapshot(),
         )
         self.checkpoints.save(checkpoint)
         for channel, cursor in checkpoint.cursors.items():
@@ -927,10 +923,10 @@ class SimulatedRuntime:
             stage.exceptions.restore(checkpoint.exceptions)
             if checkpoint.processor_state is not None:
                 processor.restore(checkpoint.processor_state)
-            stage.eos_seen = checkpoint.eos_seen
+            stage.eos.restore(checkpoint.eos_seen)
             stage.cursors = dict(checkpoint.cursors)
         else:
-            stage.eos_seen = 0
+            stage.eos.restore(0)
             stage.cursors = {}
 
         # Re-deliver everything unacknowledged, per channel, in order.

@@ -39,6 +39,7 @@ from repro.core.adaptation.protocol import ExceptionCounter
 from repro.core.api import AdjustmentParameter, ProcessorError, StageContext, StreamProcessor
 from repro.core.items import EndOfStream, Item
 from repro.core.results import RunResult, StageStats
+from repro.core.termination import EosTracker, no_input_message
 from repro.metrics.rates import RateEstimator
 from repro.obs.registry import MetricsRegistry, StageMetrics
 from repro.obs.tracing import TraceCollector, publish_traces
@@ -172,7 +173,7 @@ class _ThreadStage:
     processor: StreamProcessor
     queue: _MonitoredQueue
     properties: Dict[str, str]
-    expected_eos: int = 0
+    eos: EosTracker = field(default_factory=EosTracker)
     out_edges: List[_ThreadEdge] = field(default_factory=list)
     upstream: List["_ThreadStage"] = field(default_factory=list)
     parameters: Dict[str, AdjustmentParameter] = field(default_factory=dict)
@@ -328,7 +329,7 @@ class ThreadedRuntime:
             )
         source.out_edges.append(_ThreadEdge(dst=target, bucket=bucket, name=name))
         target.upstream.append(source)
-        target.expected_eos += 1
+        target.eos.expect()
 
     def bind_source(
         self,
@@ -361,12 +362,10 @@ class ThreadedRuntime:
         if self._started:
             raise ThreadedRuntimeError("run() may only be called once")
         for source in self._sources:
-            self._stages[source.target].expected_eos += 1
+            self._stages[source.target].eos.expect()
         for stage in self._stages.values():
-            if stage.expected_eos == 0:
-                raise ThreadedRuntimeError(
-                    f"stage {stage.name!r} has no inputs and would never terminate"
-                )
+            if not stage.eos.has_inputs:
+                raise ThreadedRuntimeError(no_input_message(stage.name))
         self._started = True
         self._start_time = time.monotonic()
         result = RunResult(app_name="threaded-app")
@@ -480,13 +479,11 @@ class ThreadedRuntime:
     def _worker(self, stage: _ThreadStage) -> None:
         ctx = stage.context
         assert ctx is not None
-        eos_seen = 0
         try:
             while True:
                 message = stage.queue.get()
                 if isinstance(message, EndOfStream):
-                    eos_seen += 1
-                    if eos_seen < stage.expected_eos:
+                    if not stage.eos.observe():
                         continue
                     with stage.state_lock:
                         stage.processor.flush(ctx)

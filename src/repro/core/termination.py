@@ -1,0 +1,93 @@
+"""Shared end-of-stream bookkeeping for every runtime.
+
+GATES pipelines terminate cooperatively: each source appends an
+:class:`~repro.core.items.EndOfStream` sentinel, and a stage finishes
+once it has consumed one sentinel per input (stream edges plus external
+source bindings), flushed, and forwarded its own sentinel downstream.
+
+The counting itself is identical in the simulated, threaded, and
+networked runtimes, so it lives here once.  The tracker is deliberately
+tiny: runtimes own scheduling, flushing, and propagation; the tracker
+only answers "how many sentinels am I waiting for, and has the last one
+arrived?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EosTracker", "no_input_message"]
+
+
+def no_input_message(stage_name: str) -> str:
+    """Standard error text for a stage that could never terminate.
+
+    A stage with zero inputs never receives an ``EndOfStream`` and would
+    hang the run; every runtime rejects such stages at build time with
+    this message (each wrapped in its own runtime-specific error type).
+    """
+    return (
+        f"stage {stage_name!r} has no input streams or source bindings "
+        "and would never terminate"
+    )
+
+
+@dataclass
+class EosTracker:
+    """Counts ``EndOfStream`` sentinels against the number expected.
+
+    ``expected`` is fixed while the pipeline is wired (one :meth:`expect`
+    per inbound stream edge or source binding); ``seen`` advances as the
+    stage consumes sentinels.  ``observe()`` returns ``True`` exactly
+    when the sentinel that completes the input set arrives — the caller
+    then flushes and propagates its own sentinel.
+
+    ``seen`` is part of a stage's durable state: checkpoints persist it
+    (see :class:`repro.resilience.checkpoint.StageCheckpoint`) and
+    failover restores it via :meth:`restore`, so an at-least-once replay
+    recounts exactly the sentinels that were not yet acknowledged.
+    """
+
+    expected: int = 0
+    seen: int = 0
+
+    def expect(self, n: int = 1) -> None:
+        """Register ``n`` more inputs whose sentinels must arrive."""
+        if n < 0:
+            raise ValueError("cannot expect a negative number of inputs")
+        self.expected += n
+
+    def observe(self) -> bool:
+        """Consume one sentinel; ``True`` if the input set is complete.
+
+        Tolerant of over-delivery (at-least-once replay may re-deliver a
+        sentinel already counted before a crash): extra sentinels keep
+        returning ``True`` rather than raising, matching the historical
+        behaviour of both runtimes.
+        """
+        self.seen += 1
+        return self.seen >= self.expected
+
+    @property
+    def has_inputs(self) -> bool:
+        """Whether at least one input was registered."""
+        return self.expected > 0
+
+    @property
+    def complete(self) -> bool:
+        """Whether every expected sentinel has been observed."""
+        return self.expected > 0 and self.seen >= self.expected
+
+    @property
+    def remaining(self) -> int:
+        """Sentinels still outstanding (never negative)."""
+        return max(0, self.expected - self.seen)
+
+    # -- checkpoint support ------------------------------------------------
+    def snapshot(self) -> int:
+        """Durable form of the progress counter (``seen``)."""
+        return self.seen
+
+    def restore(self, seen: int) -> None:
+        """Reset progress from a checkpoint (``expected`` is rewiring's job)."""
+        self.seen = int(seen)

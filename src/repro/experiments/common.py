@@ -12,7 +12,7 @@ quantities the figures plot.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.apps import comp_steer as comp_steer_app
 from repro.apps import count_samps as count_samps_app

@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.grid.registry import ServiceRegistry
-from repro.grid.resources import ResourceOffer, ResourceRequirement
+from repro.grid.resources import ResourceRequirement
 from repro.simnet.topology import TopologyError
 
 __all__ = ["MatchError", "Matchmaker"]

@@ -16,7 +16,7 @@ into:
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Sequence, Tuple
+from typing import Dict, Hashable, Sequence, Tuple
 
 __all__ = ["frequency_error", "topk_accuracy", "topk_recall"]
 

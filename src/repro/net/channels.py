@@ -1,0 +1,330 @@
+"""Data-channel building blocks: inboxes and credit-flow-controlled wires.
+
+One stream edge between stages on different workers becomes a dedicated
+TCP connection: the sender's :class:`OutChannel` dials the receiving
+worker, announces itself with an ATTACH frame, and then ships DATA
+frames downstream while CREDIT and EXCEPTION frames flow back upstream
+on the same socket (full duplex, exactly the paper's inter-server
+arrangement where load exceptions travel against the data).
+
+Flow control is credit-based: the receiver grants an initial window of
+``window`` DATA frames and replenishes in batches as its stage consumes
+items.  The sender blocks (`net.{channel}.credit_stalls`) when the
+window is exhausted, so at most ``window`` frames are ever in flight —
+backpressure is explicit and bounded rather than hidden in socket
+buffers.  ``net.{channel}.in_flight_peak`` records the observed maximum.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any, Callable, Dict, Optional
+
+from repro.net.protocol import (
+    FrameType,
+    ProtocolError,
+    encode_frame,
+    encode_json,
+    encode_payload,
+    read_frame,
+    send_frame,
+)
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["AsyncInbox", "ChannelError", "InChannel", "OutChannel"]
+
+
+class ChannelError(Exception):
+    """Raised when a data channel breaks mid-stream."""
+
+
+class AsyncInbox:
+    """A stage's input queue, satisfying the estimator's QueueLike protocol.
+
+    Two producer paths: local routes ``put`` (blocking while full — the
+    in-process backpressure), and wire channels ``force_put`` (never
+    blocking: the credit window already bounds what a remote sender can
+    have outstanding, and in-flight data cannot be un-sent — the same
+    reasoning as the simulated runtime's ``force_put``).
+    """
+
+    def __init__(self, capacity: int, window: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._items: deque = deque()
+        self._recent: deque = deque([0], maxlen=window)
+        self._cond = asyncio.Condition()
+
+    def _record(self) -> None:
+        self._recent.append(len(self._items))
+
+    async def put(self, entry: Any) -> None:
+        async with self._cond:
+            while len(self._items) >= self.capacity:
+                await self._cond.wait()
+            self._items.append(entry)
+            self._record()
+            self._cond.notify_all()
+
+    async def force_put(self, entry: Any) -> None:
+        async with self._cond:
+            self._items.append(entry)
+            self._record()
+            self._cond.notify_all()
+
+    async def get(self) -> Any:
+        async with self._cond:
+            while not self._items:
+                await self._cond.wait()
+            entry = self._items.popleft()
+            self._record()
+            self._cond.notify_all()
+            return entry
+
+    @property
+    def current_length(self) -> int:
+        return len(self._items)
+
+    @property
+    def recent_average(self) -> float:
+        return sum(self._recent) / len(self._recent)
+
+
+class InChannel:
+    """Receiver-side endpoint of a wire channel: grants and replenishes credit.
+
+    Created when the coordinator declares the channel (CHANNEL frame,
+    kind="in"); the socket arrives later, when the remote sender dials in
+    with ATTACH.  Credit is replenished in batches of ``window // 4`` (at
+    least 1) to amortize frame overhead without starving the sender.
+    """
+
+    def __init__(self, stream: str, dst_stage: str, window: int) -> None:
+        if window < 1:
+            raise ValueError(f"credit window must be >= 1, got {window}")
+        self.stream = stream
+        self.dst_stage = dst_stage
+        self.window = window
+        self.replenish_batch = max(1, window // 4)
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._consumed = 0
+
+    @property
+    def attached(self) -> bool:
+        return self._writer is not None
+
+    def _write(self, data: bytes) -> bool:
+        """Write to the sender if its socket is still up (it may legally
+        disappear once it has shipped its EOS)."""
+        if self._writer is None or self._writer.is_closing():
+            return False
+        self._writer.write(data)
+        return True
+
+    def attach(self, writer: asyncio.StreamWriter) -> None:
+        """Bind the sender's socket and grant the initial window."""
+        self._writer = writer
+        self._write(
+            encode_frame(
+                FrameType.CREDIT,
+                encode_json({"stream": self.stream, "n": self.window}),
+            )
+        )
+
+    def note_consumed(self) -> None:
+        """The stage finished one item from this channel; maybe replenish."""
+        self._consumed += 1
+        if self._consumed >= self.replenish_batch:
+            if self._write(
+                encode_frame(
+                    FrameType.CREDIT,
+                    encode_json({"stream": self.stream, "n": self._consumed}),
+                )
+            ):
+                self._consumed = 0
+
+    def send_exception(self, body: Dict[str, Any]) -> bool:
+        """Ship one load exception upstream; False if not yet attached."""
+        return self._write(
+            encode_frame(FrameType.EXCEPTION, encode_json(body))
+        )
+
+
+class OutChannel:
+    """Sender-side endpoint: frames items downstream, honoring credit.
+
+    ``on_exception`` (if given) is invoked with the JSON body of every
+    EXCEPTION frame the receiver sends back — the worker binds it to the
+    sending stage's exception counter, completing the paper's upstream
+    exception path across process boundaries.
+
+    All ``net.{channel}.*`` wire metrics are counted here, on the sender
+    side only, so merging every participant's registry never
+    double-counts a channel.
+    """
+
+    def __init__(
+        self,
+        stream: str,
+        dst_stage: str,
+        host: str,
+        port: int,
+        registry: MetricsRegistry,
+        clock: Callable[[], float],
+        on_exception: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> None:
+        self.stream = stream
+        self.dst_stage = dst_stage
+        self.host = host
+        self.port = port
+        self._clock = clock
+        self._on_exception = on_exception
+        prefix = f"net.{stream}"
+        self.frames = registry.counter(f"{prefix}.frames")
+        self.bytes = registry.counter(f"{prefix}.bytes")
+        self.credit_stalls = registry.counter(f"{prefix}.credit_stalls")
+        self.credit_wait = registry.counter(f"{prefix}.credit_wait_seconds")
+        self.in_flight_peak = registry.gauge(f"{prefix}.in_flight_peak")
+        self.exceptions = registry.counter(f"{prefix}.exceptions")
+        self._credits = 0
+        self._window = 0
+        self._peak = 0
+        self._broken = False
+        self._cond = asyncio.Condition()
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+
+    @property
+    def window(self) -> int:
+        """The credit window the receiver granted (0 until connected)."""
+        return self._window
+
+    @property
+    def peak_in_flight(self) -> int:
+        return self._peak
+
+    async def connect(self, timeout: float = 10.0) -> None:
+        """Dial the receiving worker, attach, and await the initial grant."""
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        await send_frame(
+            self._writer,
+            FrameType.ATTACH,
+            encode_json({"stream": self.stream, "dst": self.dst_stage}),
+        )
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+        async def _await_window() -> None:
+            async with self._cond:
+                while self._window == 0 and not self._broken:
+                    await self._cond.wait()
+
+        await asyncio.wait_for(_await_window(), timeout)
+        if self._broken:
+            raise ChannelError(
+                f"channel {self.stream!r}: receiver closed before granting credit"
+            )
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                frame = await read_frame(self._reader)
+                if frame is None:
+                    break
+                if frame.type is FrameType.CREDIT:
+                    n = int(frame.json()["n"])
+                    async with self._cond:
+                        if self._window == 0:
+                            self._window = n  # the initial grant sizes the window
+                        self._credits += n
+                        self._cond.notify_all()
+                elif frame.type is FrameType.EXCEPTION:
+                    self.exceptions.inc()
+                    if self._on_exception is not None:
+                        self._on_exception(frame.json())
+        except (ProtocolError, ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            async with self._cond:
+                self._broken = True
+                self._cond.notify_all()
+
+    async def _acquire_credit(self) -> None:
+        async with self._cond:
+            if self._credits <= 0:
+                self.credit_stalls.inc()
+                stalled_at = self._clock()
+                while self._credits <= 0 and not self._broken:
+                    await self._cond.wait()
+                self.credit_wait.inc(max(0.0, self._clock() - stalled_at))
+            if self._broken and self._credits <= 0:
+                raise ChannelError(
+                    f"channel {self.stream!r}: receiver went away mid-stream"
+                )
+            self._credits -= 1
+            in_flight = self._window - self._credits
+            if in_flight > self._peak:
+                self._peak = in_flight
+                self.in_flight_peak.set(float(in_flight))
+
+    async def send(self, payload: Any, size: float) -> None:
+        """Ship one item; blocks while the credit window is exhausted."""
+        if self._writer is None:
+            raise ChannelError(f"channel {self.stream!r} is not connected")
+        body = encode_payload(payload, size)
+        await self._acquire_credit()
+        nbytes = await send_frame(self._writer, FrameType.DATA, body)
+        self.frames.inc()
+        self.bytes.inc(nbytes)
+
+    async def send_eos(self) -> None:
+        """Ship the end-of-stream sentinel (EOS frames consume no credit)."""
+        if self._writer is None:
+            raise ChannelError(f"channel {self.stream!r} is not connected")
+        nbytes = await send_frame(
+            self._writer, FrameType.EOS, encode_json({"stream": self.stream})
+        )
+        self.frames.inc()
+        self.bytes.inc(nbytes)
+
+    async def close(self, linger: float = 5.0) -> None:
+        """Tear down gracefully: FIN, drain the backchannel, then close.
+
+        Closing a socket that still has unread inbound bytes (credit
+        grants race with shutdown) sends RST instead of FIN, and an RST
+        destroys in-flight DATA/EOS still queued on the receiver's side.
+        So: half-close our direction, keep consuming CREDIT/EXCEPTION
+        frames until the receiver has read everything and closed its
+        side (the read loop exits on its FIN), and only then release the
+        socket.  ``linger`` bounds the wait when the peer is gone.
+        """
+        if self._writer is not None and self._reader_task is not None:
+            try:
+                await self._writer.drain()
+                if self._writer.can_write_eof():
+                    self._writer.write_eof()
+            except (ConnectionError, OSError):
+                pass
+            try:
+                await asyncio.wait_for(asyncio.shield(self._reader_task), linger)
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                pass
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None

@@ -1,0 +1,550 @@
+"""The coordinator: deploys an AppConfig onto real worker OS processes.
+
+This is the networked counterpart of the simulated
+:class:`~repro.grid.deployer.Deployer` + runtime pair: the same
+:class:`~repro.grid.config.AppConfig` describes the application, the
+same :class:`~repro.grid.matchmaker.Matchmaker` decides placement (the
+worker fleet is modeled as a full-mesh grid so ``near:`` hints and
+core-count requirements keep working), and the result is the same
+:class:`~repro.core.results.RunResult` — but the stages run in separate
+OS processes connected by TCP, with credit-based flow control per stream
+and the Section 4 adaptation loop executing inside each worker.
+
+Lifecycle driven by :meth:`NetworkedRuntime.run`:
+
+1. spawn local workers (``python -m repro.net.worker --port 0``) and
+   read each one's ``REPRO-NET-WORKER <port>`` announce line — or attach
+   to externally started workers given as ``(host, port)`` pairs;
+2. HELLO each worker (assigning its name, adaptation policy, time
+   scale, and credit window), then PING a few times to seed the
+   ``net.{worker}.rtt`` histogram;
+3. REGISTER every stage on its matched worker and declare every edge
+   with CHANNEL frames — ``local`` when both ends share a worker, an
+   ``in``/``out`` pair across workers, and ``in`` on the target worker
+   for every coordinator-fed source binding;
+4. barrier with SYNC/READY (all inbound channels must exist before any
+   worker dials out), then START everyone;
+5. feed the source bindings over the coordinator's own credit-bounded
+   :class:`~repro.net.channels.OutChannel` connections;
+6. collect one RESULT (or ERROR) frame per worker, merge every worker's
+   metrics registry into the coordinator's, SHUTDOWN the fleet, and
+   assemble the RunResult.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import subprocess
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.adaptation.policy import AdaptationPolicy
+from repro.core.results import RunResult, StageStats
+from repro.grid.config import AppConfig
+from repro.grid.matchmaker import Matchmaker
+from repro.grid.registry import ServiceRegistry
+from repro.grid.repository import CodeRepository
+from repro.net.channels import OutChannel
+from repro.net.debug import install_task_dump
+from repro.net.protocol import (
+    FrameType,
+    ProtocolError,
+    encode_json,
+    read_frame,
+    send_frame,
+)
+from repro.net.worker import ANNOUNCE_PREFIX, default_repository
+from repro.obs.registry import MetricsRegistry
+from repro.simnet.engine import Environment
+from repro.simnet.topology import Network
+from repro.simnet.trace import TimeSeries
+
+__all__ = ["NetworkedRuntime", "NetworkedRuntimeError"]
+
+#: Worker-fleet link speed used only for matchmaking (real transfers go
+#: over loopback TCP; this just satisfies min-bandwidth requirements).
+_MESH_BANDWIDTH = 1e9
+
+_PING_ROUNDS = 3
+
+
+class NetworkedRuntimeError(Exception):
+    """Raised for deployment or protocol failures in the networked runtime."""
+
+
+@dataclass
+class _SourceBinding:
+    name: str
+    target: str
+    payloads: Iterable[Any]
+    rate: Optional[float]
+    item_size: Union[float, Callable[[Any], float]]
+
+
+@dataclass
+class _WorkerHandle:
+    """One worker in the fleet: address, process (if we spawned it), socket."""
+
+    name: str
+    host: str
+    port: int
+    process: Optional[subprocess.Popen] = None
+    reader: Optional[asyncio.StreamReader] = None
+    writer: Optional[asyncio.StreamWriter] = None
+    stages: List[str] = field(default_factory=list)
+
+
+class NetworkedRuntime:
+    """Run an :class:`AppConfig` across worker OS processes on localhost.
+
+    ``workers`` is either a count (that many local processes are spawned
+    and reaped) or a list of ``(host, port)`` pairs of already-running
+    workers (started with ``repro worker --port N``).
+    """
+
+    def __init__(
+        self,
+        config: AppConfig,
+        workers: Union[int, Sequence[Tuple[str, int]]] = 3,
+        policy: Optional[AdaptationPolicy] = None,
+        adaptation_enabled: bool = True,
+        time_scale: float = 1.0,
+        credit_window: int = 32,
+        metrics: Optional[MetricsRegistry] = None,
+        repository: Optional[CodeRepository] = None,
+    ) -> None:
+        if time_scale <= 0:
+            raise NetworkedRuntimeError(f"time_scale must be > 0, got {time_scale}")
+        if credit_window < 1:
+            raise NetworkedRuntimeError(
+                f"credit_window must be >= 1, got {credit_window}"
+            )
+        if isinstance(workers, int) and workers < 1:
+            raise NetworkedRuntimeError(f"need at least 1 worker, got {workers}")
+        self.config = config
+        self.workers_spec = workers
+        self.policy = policy or AdaptationPolicy()
+        self.adaptation_enabled = adaptation_enabled
+        self.time_scale = time_scale
+        self.credit_window = credit_window
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.repository = (
+            repository if repository is not None else default_repository()
+        )
+        self._sources: List[_SourceBinding] = []
+        self._started = False
+        #: stage name -> worker name, decided by the matchmaker at run().
+        self.placement: Dict[str, str] = {}
+
+    def bind_source(
+        self,
+        name: str,
+        target: str,
+        payloads: Iterable[Any],
+        rate: Optional[float] = None,
+        item_size: Union[float, Callable[[Any], float]] = 8.0,
+    ) -> None:
+        """Attach an external stream, fed by the coordinator process.
+
+        ``rate`` is items per *scaled* second, as in the other runtimes;
+        None feeds as fast as the credit window allows.
+        """
+        if self._started:
+            raise NetworkedRuntimeError("cannot bind sources after run()")
+        if target not in {s.name for s in self.config.stages}:
+            raise NetworkedRuntimeError(f"unknown stage {target!r}")
+        if rate is not None and rate <= 0:
+            raise NetworkedRuntimeError(f"rate must be > 0, got {rate}")
+        self._sources.append(_SourceBinding(name, target, payloads, rate, item_size))
+
+    # -- placement -----------------------------------------------------------
+
+    def _place(self, worker_names: List[str]) -> Dict[str, str]:
+        """Matchmake stages onto the worker fleet, modeled as a full mesh."""
+        env = Environment()
+        network = Network(env)
+        for name in worker_names:
+            network.create_host(name, cores=4)
+        for i, a in enumerate(worker_names):
+            for b in worker_names[i + 1:]:
+                network.connect(a, b, bandwidth=_MESH_BANDWIDTH)
+        registry = ServiceRegistry()
+        registry.register_network(network)
+        matchmaker = Matchmaker(registry, allow_colocation=True)
+        requirements = [(s.name, s.requirement) for s in self.config.stages]
+        try:
+            return matchmaker.match_all(requirements)
+        except Exception as exc:
+            raise NetworkedRuntimeError(f"resource matching failed: {exc}") from exc
+
+    # -- worker process management -------------------------------------------
+
+    def _spawn_workers(self, count: int) -> List[_WorkerHandle]:
+        """Launch ``count`` local worker processes and read their ports."""
+        src_root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        # Workers are quiet by default; REPRO_NET_WORKER_STDERR=inherit
+        # surfaces their stderr (tracebacks, SIGUSR1 task dumps) for
+        # debugging wedged runs.
+        stderr = (
+            None
+            if env.get("REPRO_NET_WORKER_STDERR") == "inherit"
+            else subprocess.DEVNULL
+        )
+        handles = []
+        for i in range(count):
+            name = f"worker-{i}"
+            process = subprocess.Popen(
+                [sys.executable, "-m", "repro.net.worker", "--port", "0",
+                 "--name", name],
+                stdout=subprocess.PIPE,
+                stderr=stderr,
+                env=env,
+                text=True,
+            )
+            assert process.stdout is not None
+            line = process.stdout.readline()
+            if not line.startswith(ANNOUNCE_PREFIX):
+                process.kill()
+                raise NetworkedRuntimeError(
+                    f"worker {name} failed to announce (got {line!r})"
+                )
+            port = int(line.split()[1])
+            handles.append(_WorkerHandle(name=name, host="127.0.0.1",
+                                         port=port, process=process))
+        return handles
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, timeout: float = 120.0) -> RunResult:
+        """Deploy, execute to completion, and collect the merged result."""
+        if self._started:
+            raise NetworkedRuntimeError("run() may only be called once")
+        self._started = True
+        self.config.validate()
+        # Fail before spawning anything if some stage code is unfetchable
+        # (the Deployer hoists the same check before touching any node).
+        for stage in self.config.stages:
+            try:
+                self.repository.fetch(stage.code_url)
+            except Exception as exc:
+                raise NetworkedRuntimeError(
+                    f"stage {stage.name!r}: cannot fetch code "
+                    f"{stage.code_url!r}: {exc}"
+                ) from exc
+        for binding in self._sources:
+            taken = {s.name for s in self.config.streams}
+            if binding.name in taken:
+                raise NetworkedRuntimeError(
+                    f"source binding {binding.name!r} collides with a stream name"
+                )
+
+        if isinstance(self.workers_spec, int):
+            handles = self._spawn_workers(self.workers_spec)
+        else:
+            handles = [
+                _WorkerHandle(name=f"worker-{i}", host=host, port=port)
+                for i, (host, port) in enumerate(self.workers_spec)
+            ]
+        try:
+            return asyncio.run(
+                asyncio.wait_for(self._run_async(handles), timeout)
+            )
+        except asyncio.TimeoutError:
+            raise NetworkedRuntimeError(
+                f"networked run did not complete within {timeout}s"
+            ) from None
+        finally:
+            for handle in handles:
+                if handle.process is not None:
+                    if handle.process.poll() is None:
+                        handle.process.kill()
+                    handle.process.wait()
+                    if handle.process.stdout is not None:
+                        handle.process.stdout.close()
+
+    async def _run_async(self, handles: List[_WorkerHandle]) -> RunResult:
+        install_task_dump("coordinator")
+        self.placement = self._place([h.name for h in handles])
+        by_name = {h.name: h for h in handles}
+        for stage_name, worker_name in self.placement.items():
+            by_name[worker_name].stages.append(stage_name)
+
+        started_at = time.monotonic()
+        try:
+            for handle in handles:
+                await self._hello(handle)
+            for handle in handles:
+                await self._ping(handle)
+            await self._deploy(handles, by_name)
+            # Barrier: every worker has all its InChannels declared before
+            # any worker (or the coordinator) dials an outbound channel.
+            for handle in handles:
+                await self._expect_ready(handle, FrameType.SYNC, "synced")
+            for handle in handles:
+                await self._expect_ready(handle, FrameType.START, "started")
+            feeders = [
+                asyncio.create_task(self._feed_source(binding, by_name))
+                for binding in self._sources
+            ]
+            results = await asyncio.gather(
+                *(self._collect_result(h) for h in handles)
+            )
+            await asyncio.gather(*feeders)
+        finally:
+            for handle in handles:
+                await self._shutdown(handle)
+        elapsed = time.monotonic() - started_at
+
+        finals: Dict[str, Any] = {}
+        for handle, body in zip(handles, results):
+            finals.update(body.get("finals", {}))
+            self._merge_registry(body.get("metrics", {}))
+        self.metrics.gauge("run.execution_time").set(elapsed)
+
+        result = RunResult(
+            app_name=self.config.name,
+            execution_time=elapsed,
+            metrics=self.metrics,
+        )
+        for stage in self.config.stages:
+            result.stages[stage.name] = StageStats.from_registry(
+                self.metrics,
+                stage.name,
+                host_name=self.placement[stage.name],
+                final_value=finals.get(stage.name),
+            )
+        return result
+
+    # -- control-plane steps --------------------------------------------------
+
+    async def _hello(self, handle: _WorkerHandle) -> None:
+        try:
+            handle.reader, handle.writer = await asyncio.open_connection(
+                handle.host, handle.port
+            )
+        except OSError as exc:
+            raise NetworkedRuntimeError(
+                f"cannot reach worker {handle.name} at "
+                f"{handle.host}:{handle.port}: {exc}"
+            ) from exc
+        await send_frame(
+            handle.writer,
+            FrameType.HELLO,
+            encode_json({
+                "worker": handle.name,
+                "time_scale": self.time_scale,
+                "credit_window": self.credit_window,
+                "adaptation": self.adaptation_enabled,
+                "policy": asdict(self.policy),
+            }),
+        )
+        reply = await self._next_frame(handle)
+        if reply.type is not FrameType.HELLO:
+            raise NetworkedRuntimeError(
+                f"worker {handle.name}: expected HELLO reply, "
+                f"got {reply.type.name}"
+            )
+
+    async def _ping(self, handle: _WorkerHandle) -> None:
+        rtt = self.metrics.histogram(f"net.{handle.name}.rtt")
+        assert handle.writer is not None
+        for seq in range(_PING_ROUNDS):
+            sent = time.monotonic()
+            await send_frame(
+                handle.writer, FrameType.PING, encode_json({"seq": seq})
+            )
+            reply = await self._next_frame(handle)
+            if reply.type is not FrameType.PONG:
+                raise NetworkedRuntimeError(
+                    f"worker {handle.name}: expected PONG, got {reply.type.name}"
+                )
+            rtt.observe(time.monotonic() - sent)
+
+    async def _deploy(
+        self,
+        handles: List[_WorkerHandle],
+        by_name: Dict[str, _WorkerHandle],
+    ) -> None:
+        """Ship REGISTER and CHANNEL frames reflecting the placement."""
+        for stage in self.config.stages:
+            handle = by_name[self.placement[stage.name]]
+            assert handle.writer is not None
+            await send_frame(
+                handle.writer,
+                FrameType.REGISTER,
+                encode_json({
+                    "stage": stage.name,
+                    "code": stage.code_url,
+                    "properties": stage.properties,
+                }),
+            )
+        for stream in self.config.streams:
+            src_worker = by_name[self.placement[stream.src]]
+            dst_worker = by_name[self.placement[stream.dst]]
+            assert src_worker.writer is not None
+            assert dst_worker.writer is not None
+            if src_worker is dst_worker:
+                await send_frame(
+                    src_worker.writer,
+                    FrameType.CHANNEL,
+                    encode_json({
+                        "kind": "local",
+                        "stream": stream.name,
+                        "src": stream.src,
+                        "dst": stream.dst,
+                    }),
+                )
+                continue
+            await send_frame(
+                dst_worker.writer,
+                FrameType.CHANNEL,
+                encode_json({
+                    "kind": "in",
+                    "stream": stream.name,
+                    "dst": stream.dst,
+                    "window": self.credit_window,
+                }),
+            )
+            await send_frame(
+                src_worker.writer,
+                FrameType.CHANNEL,
+                encode_json({
+                    "kind": "out",
+                    "stream": stream.name,
+                    "src": stream.src,
+                    "dst": stream.dst,
+                    "peer_host": dst_worker.host,
+                    "peer_port": dst_worker.port,
+                }),
+            )
+        for binding in self._sources:
+            target_worker = by_name[self.placement[binding.target]]
+            assert target_worker.writer is not None
+            await send_frame(
+                target_worker.writer,
+                FrameType.CHANNEL,
+                encode_json({
+                    "kind": "in",
+                    "stream": binding.name,
+                    "dst": binding.target,
+                    "window": self.credit_window,
+                }),
+            )
+
+    async def _expect_ready(
+        self, handle: _WorkerHandle, request: FrameType, phase: str
+    ) -> None:
+        assert handle.writer is not None
+        await send_frame(handle.writer, request, encode_json({}))
+        reply = await self._next_frame(handle)
+        if reply.type is not FrameType.READY or reply.json().get("phase") != phase:
+            raise NetworkedRuntimeError(
+                f"worker {handle.name}: expected READY/{phase}, "
+                f"got {reply.type.name}"
+            )
+
+    async def _next_frame(self, handle: _WorkerHandle):
+        assert handle.reader is not None
+        try:
+            frame = await read_frame(handle.reader)
+        except ProtocolError as exc:
+            raise NetworkedRuntimeError(
+                f"worker {handle.name}: protocol error: {exc}"
+            ) from exc
+        if frame is None:
+            raise NetworkedRuntimeError(
+                f"worker {handle.name} closed the control connection"
+            )
+        if frame.type is FrameType.ERROR:
+            raise NetworkedRuntimeError(
+                f"worker {handle.name} reported: {frame.json().get('error')}"
+            )
+        return frame
+
+    async def _collect_result(self, handle: _WorkerHandle) -> Dict[str, Any]:
+        frame = await self._next_frame(handle)
+        if frame.type is not FrameType.RESULT:
+            raise NetworkedRuntimeError(
+                f"worker {handle.name}: expected RESULT, got {frame.type.name}"
+            )
+        return frame.json()
+
+    async def _shutdown(self, handle: _WorkerHandle) -> None:
+        if handle.writer is None:
+            return
+        try:
+            await send_frame(handle.writer, FrameType.SHUTDOWN, encode_json({}))
+            handle.writer.close()
+            await handle.writer.wait_closed()
+        except (ConnectionError, ProtocolError, OSError):
+            pass
+        handle.writer = None
+        handle.reader = None
+
+    # -- data plane ------------------------------------------------------------
+
+    async def _feed_source(
+        self, binding: _SourceBinding, by_name: Dict[str, _WorkerHandle]
+    ) -> None:
+        """Ship one source binding's payloads over a credit-bounded channel."""
+        target = by_name[self.placement[binding.target]]
+        channel = OutChannel(
+            binding.name,
+            binding.target,
+            target.host,
+            target.port,
+            self.metrics,
+            clock=time.monotonic,
+        )
+        await channel.connect()
+        gap = None
+        if binding.rate is not None:
+            gap = self.time_scale / binding.rate
+        try:
+            for payload in binding.payloads:
+                size = (
+                    binding.item_size(payload)
+                    if callable(binding.item_size)
+                    else binding.item_size
+                )
+                await channel.send(payload, float(size))
+                if gap is not None:
+                    await asyncio.sleep(gap)
+            await channel.send_eos()
+        finally:
+            await channel.close()
+
+    # -- metrics merge ---------------------------------------------------------
+
+    def _merge_registry(self, data: Dict[str, Any]) -> None:
+        """Fold one worker's exported registry into the coordinator's.
+
+        Counters add, gauges overwrite, histogram samples append, series
+        adopt the shipped trajectory.  Whole-run metrics are skipped (the
+        coordinator owns ``run.*``), and sender-side-only accounting in
+        the workers means ``net.*`` families never double-count.
+        """
+        for name, payload in data.items():
+            if name.startswith("run."):
+                continue
+            kind = payload["kind"]
+            if kind == "counter":
+                self.metrics.counter(name).inc(payload["value"])
+            elif kind == "gauge":
+                self.metrics.gauge(name).set(payload["value"])
+            elif kind == "histogram":
+                hist = self.metrics.histogram(name)
+                for sample in payload["samples"]:
+                    hist.observe(sample)
+            elif kind == "series":
+                self.metrics.series(name, TimeSeries.from_dict(payload["series"]))
+            else:
+                raise NetworkedRuntimeError(
+                    f"unknown metric kind {kind!r} for {name!r}"
+                )

@@ -1,0 +1,36 @@
+"""Live diagnostics for the networked runtime.
+
+A wedged distributed run is invisible from the outside: every process
+is alive, every socket open, and nothing moves.  Both the worker and
+the coordinator install a SIGUSR1 handler that dumps every asyncio
+task's current stack to stderr, so ``kill -USR1 <pid>`` answers "what
+is this process waiting on?" without killing the run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+
+__all__ = ["install_task_dump"]
+
+
+def install_task_dump(label: str) -> None:
+    """Dump all asyncio task stacks to stderr on SIGUSR1 (POSIX only)."""
+    if not hasattr(signal, "SIGUSR1"):
+        return
+
+    loop = asyncio.get_running_loop()
+
+    def _dump() -> None:
+        tasks = asyncio.all_tasks(loop)
+        print(f"== {label}: {len(tasks)} asyncio tasks ==", file=sys.stderr)
+        for task in tasks:
+            task.print_stack(file=sys.stderr)
+        sys.stderr.flush()
+
+    try:
+        loop.add_signal_handler(signal.SIGUSR1, _dump)
+    except (NotImplementedError, RuntimeError):
+        pass

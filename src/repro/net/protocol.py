@@ -1,0 +1,326 @@
+"""Framed wire protocol for the networked runtime.
+
+Everything that crosses a socket in ``repro.net`` is a *frame*:
+
+```
+offset  size  field
+0       2     magic  b"GS"
+2       1     protocol version (1)
+3       1     frame type (FrameType)
+4       4     payload length, uint32 little-endian
+8       4     CRC-32 of the payload, uint32 little-endian
+12      n     payload
+```
+
+Control frames (HELLO, REGISTER, CHANNEL, ...) carry UTF-8 JSON
+payloads.  DATA frames carry a *typed payload*: a one-byte codec tag, an
+8-byte declared item size (so stage-level byte metrics agree with the
+other runtimes, which account declared — not encoded — sizes), then the
+codec body.  Count-samps summary dicts ride the compact
+:mod:`repro.streams.wire` codec; plain ints use a fixed 8-byte layout;
+everything else falls back to JSON.
+
+The incremental :class:`FrameDecoder` is the single parsing path — the
+asyncio reader loops and the protocol fuzz tests both feed it byte
+chunks of arbitrary alignment.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import json
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.streams import wire as summary_wire
+
+__all__ = [
+    "FRAME_HEADER_BYTES",
+    "MAX_PAYLOAD",
+    "Frame",
+    "FrameDecoder",
+    "FrameType",
+    "ProtocolError",
+    "decode_json",
+    "decode_payload",
+    "encode_frame",
+    "encode_json",
+    "encode_payload",
+    "read_frame",
+    "send_frame",
+]
+
+MAGIC = b"GS"
+VERSION = 1
+#: magic 2s + version B + type B + length I + crc I
+_HEADER_STRUCT = struct.Struct("<2sBBII")
+FRAME_HEADER_BYTES = _HEADER_STRUCT.size  # 12
+#: Upper bound on a single frame's payload; anything larger is a
+#: protocol violation (and, on a fuzzed length field, keeps a corrupt
+#: header from making the decoder wait for gigabytes).
+MAX_PAYLOAD = 16 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """Raised for malformed frames or payloads."""
+
+
+class FrameType(enum.IntEnum):
+    """Every message kind the coordinator/worker/peer protocol uses."""
+
+    HELLO = 1       # connection handshake (coordinator <-> worker)
+    PING = 2        # RTT probe (coordinator -> worker)
+    PONG = 3        # RTT echo (worker -> coordinator)
+    REGISTER = 4    # ship one stage registration to a worker
+    CHANNEL = 5     # declare a data channel endpoint on a worker
+    SYNC = 6        # coordinator: "registration batch complete?"
+    START = 7       # coordinator: dial peers and start processing
+    READY = 8       # worker ack for SYNC / START phases
+    ATTACH = 9      # peer data connection: "I send stream X to stage Y"
+    DATA = 10       # one stream item (typed payload)
+    CREDIT = 11     # receiver -> sender: grant n more DATA frames
+    EOS = 12        # end-of-stream sentinel for one channel
+    EXCEPTION = 13  # load exception travelling upstream (paper §4)
+    RESULT = 14     # worker -> coordinator: finals + metrics registry
+    SHUTDOWN = 15   # coordinator -> worker: exit cleanly
+    ERROR = 16      # fatal error report (either direction)
+
+
+_KNOWN_TYPES = frozenset(int(t) for t in FrameType)
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame: a type and its raw payload bytes."""
+
+    type: FrameType
+    payload: bytes
+
+    def json(self) -> Dict[str, Any]:
+        """Decode the payload as a JSON object (control frames)."""
+        return decode_json(self.payload)
+
+
+def encode_frame(frame_type: FrameType, payload: bytes = b"") -> bytes:
+    """Serialize one frame (header + payload) to bytes."""
+    if len(payload) > MAX_PAYLOAD:
+        raise ProtocolError(
+            f"payload of {len(payload)} bytes exceeds MAX_PAYLOAD ({MAX_PAYLOAD})"
+        )
+    header = _HEADER_STRUCT.pack(
+        MAGIC, VERSION, int(frame_type), len(payload), zlib.crc32(payload)
+    )
+    return header + payload
+
+
+class FrameDecoder:
+    """Incremental frame parser; tolerant of arbitrary chunk boundaries.
+
+    ``feed(data)`` buffers bytes and returns every complete frame they
+    finish.  Corruption (bad magic/version/type, oversized length, CRC
+    mismatch) raises :class:`ProtocolError` — a stream protocol has no
+    way to resynchronise after a framing error, so callers must drop the
+    connection.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered that do not yet form a complete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Frame]:
+        self._buffer += data
+        frames: List[Frame] = []
+        while True:
+            frame = self._try_parse_one()
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    def _try_parse_one(self) -> Optional[Frame]:
+        buf = self._buffer
+        if len(buf) < FRAME_HEADER_BYTES:
+            return None
+        magic, version, ftype, length, crc = _HEADER_STRUCT.unpack_from(buf, 0)
+        if magic != MAGIC:
+            raise ProtocolError(f"bad frame magic {bytes(magic)!r}")
+        if version != VERSION:
+            raise ProtocolError(f"unsupported protocol version {version}")
+        if ftype not in _KNOWN_TYPES:
+            raise ProtocolError(f"unknown frame type {ftype}")
+        if length > MAX_PAYLOAD:
+            raise ProtocolError(
+                f"declared payload length {length} exceeds MAX_PAYLOAD"
+            )
+        total = FRAME_HEADER_BYTES + length
+        if len(buf) < total:
+            return None
+        payload = bytes(buf[FRAME_HEADER_BYTES:total])
+        if zlib.crc32(payload) != crc:
+            raise ProtocolError(
+                f"payload CRC mismatch on {FrameType(ftype).name} frame"
+            )
+        del buf[:total]
+        return Frame(type=FrameType(ftype), payload=payload)
+
+
+# ---------------------------------------------------------------------------
+# JSON payloads (control frames)
+# ---------------------------------------------------------------------------
+
+def encode_json(obj: Dict[str, Any]) -> bytes:
+    """Compact UTF-8 JSON for control-frame payloads."""
+    return json.dumps(obj, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+
+def decode_json(payload: bytes) -> Dict[str, Any]:
+    """Parse a control-frame payload; must be a JSON object."""
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed JSON payload: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"control payload must be a JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+# ---------------------------------------------------------------------------
+# DATA payloads: codec tag + declared size + body
+# ---------------------------------------------------------------------------
+
+_PAYLOAD_JSON = 0
+_PAYLOAD_INT = 1
+_PAYLOAD_SUMMARY = 2
+
+#: declared item size travels as a little-endian float64 so receiver-side
+#: stage metrics match the sender's declared accounting exactly.
+_SIZE_STRUCT = struct.Struct("<d")
+_INT_STRUCT = struct.Struct("<q")
+_SRC_LEN_STRUCT = struct.Struct("<H")
+
+_SUMMARY_KEYS = frozenset({"source", "pairs", "items_seen"})
+
+
+def _try_encode_summary(obj: Any) -> Optional[bytes]:
+    """Body bytes for a count-samps summary dict, or None if not one."""
+    if not isinstance(obj, dict) or set(obj.keys()) != _SUMMARY_KEYS:
+        return None
+    source = obj["source"]
+    if not isinstance(source, str):
+        return None
+    src_bytes = source.encode("utf-8")
+    if len(src_bytes) > 0xFFFF:
+        return None
+    try:
+        wire_bytes = summary_wire.encode_summary(
+            [(int(v), int(c)) for v, c in obj["pairs"]],
+            items_seen=int(obj["items_seen"]),
+        )
+    except (summary_wire.WireError, TypeError, ValueError):
+        return None
+    return _SRC_LEN_STRUCT.pack(len(src_bytes)) + src_bytes + wire_bytes
+
+
+def encode_payload(obj: Any, size: float) -> bytes:
+    """Encode one stream item for a DATA frame.
+
+    ``size`` is the *declared* item size (what ``context.emit`` was told)
+    — the receiver re-attaches it so stage byte metrics stay comparable
+    across the simulated/threaded/networked runtimes, while ``net.*``
+    metrics count the real encoded bytes.
+    """
+    prefix = _SIZE_STRUCT.pack(float(size))
+    body = _try_encode_summary(obj)
+    if body is not None:
+        return bytes([_PAYLOAD_SUMMARY]) + prefix + body
+    if isinstance(obj, int) and not isinstance(obj, bool):
+        if _INT_STRUCT.size == 8 and -(1 << 63) <= obj < (1 << 63):
+            return bytes([_PAYLOAD_INT]) + prefix + _INT_STRUCT.pack(obj)
+    try:
+        blob = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(
+            f"payload of type {type(obj).__name__} is not wire-encodable"
+        ) from exc
+    return bytes([_PAYLOAD_JSON]) + prefix + blob
+
+
+def decode_payload(data: bytes) -> Tuple[Any, float]:
+    """Inverse of :func:`encode_payload`: returns (object, declared size)."""
+    if len(data) < 1 + _SIZE_STRUCT.size:
+        raise ProtocolError(f"DATA payload too short: {len(data)} bytes")
+    kind = data[0]
+    (size,) = _SIZE_STRUCT.unpack_from(data, 1)
+    body = data[1 + _SIZE_STRUCT.size:]
+    if kind == _PAYLOAD_SUMMARY:
+        if len(body) < _SRC_LEN_STRUCT.size:
+            raise ProtocolError("summary payload missing source-name length")
+        (src_len,) = _SRC_LEN_STRUCT.unpack_from(body, 0)
+        rest = body[_SRC_LEN_STRUCT.size:]
+        if len(rest) < src_len:
+            raise ProtocolError("summary payload truncated in source name")
+        source = rest[:src_len].decode("utf-8", errors="strict")
+        try:
+            pairs, items_seen = summary_wire.decode_summary(rest[src_len:])
+        except summary_wire.WireError as exc:
+            raise ProtocolError(f"corrupt summary body: {exc}") from exc
+        return {"source": source, "pairs": pairs, "items_seen": items_seen}, size
+    if kind == _PAYLOAD_INT:
+        if len(body) != _INT_STRUCT.size:
+            raise ProtocolError(f"int payload of {len(body)} bytes")
+        return _INT_STRUCT.unpack(body)[0], size
+    if kind == _PAYLOAD_JSON:
+        try:
+            return json.loads(body.decode("utf-8")), size
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"malformed JSON item payload: {exc}") from exc
+    raise ProtocolError(f"unknown payload codec tag {kind}")
+
+
+# ---------------------------------------------------------------------------
+# asyncio stream helpers
+# ---------------------------------------------------------------------------
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[Frame]:
+    """Read exactly one frame; ``None`` on clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(FRAME_HEADER_BYTES)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(
+            f"connection closed mid-header ({len(exc.partial)} bytes)"
+        ) from exc
+    decoder = FrameDecoder()
+    frames = decoder.feed(header)
+    if frames:
+        return frames[0]
+    _, _, _, length, _ = _HEADER_STRUCT.unpack(header)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed mid-payload ({len(exc.partial)}/{length} bytes)"
+        ) from exc
+    frames = decoder.feed(body)
+    if not frames:
+        raise ProtocolError("frame did not complete after declared length")
+    return frames[0]
+
+
+async def send_frame(
+    writer: asyncio.StreamWriter, frame_type: FrameType, payload: bytes = b""
+) -> int:
+    """Write one frame and drain; returns the bytes put on the wire."""
+    data = encode_frame(frame_type, payload)
+    writer.write(data)
+    await writer.drain()
+    return len(data)

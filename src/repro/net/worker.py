@@ -1,0 +1,694 @@
+"""The worker process: one GATES service container as a real OS process.
+
+A worker is launched with ``python -m repro.net.worker`` (or ``repro
+worker``), binds a TCP port, and announces it on stdout as
+``REPRO-NET-WORKER <port>`` so a coordinator spawning it with ``--port
+0`` can find it.  Everything after that arrives over sockets:
+
+1. the coordinator connects and HELLOs (assigning the worker its
+   placement name, adaptation policy, time scale, and credit window);
+2. REGISTER frames instantiate stage processors (code resolved through
+   the same :class:`~repro.grid.repository.CodeRepository` scheme the
+   simulated Deployer uses: built-in ``repo://`` publications plus
+   ``py://module:attr`` imports);
+3. CHANNEL frames declare the stage graph's edges as seen from this
+   worker — local (both ends here), inbound (remote sender will ATTACH),
+   or outbound (dial the peer worker at START);
+4. START begins execution: each stage runs the same consume/cost/emit
+   loop as the other runtimes, and — when adaptation is on — a monitor
+   task executes the paper's Section 4 loop locally, delivering
+   over-/under-load exceptions upstream *over the wire* when the
+   upstream stage lives on another worker;
+5. when every local stage has drained (one EndOfStream per input,
+   tracked by the shared :class:`~repro.core.termination.EosTracker`),
+   the worker sends RESULT with its stage finals and its entire metrics
+   registry, then waits for SHUTDOWN.
+
+The worker is single-threaded asyncio: stages are tasks, not threads,
+which keeps per-stage state lock-free while the real concurrency lives
+between processes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.adaptation.controller import ParameterController
+from repro.core.adaptation.load import LoadEstimator
+from repro.core.adaptation.policy import AdaptationPolicy
+from repro.core.adaptation.protocol import (
+    ExceptionCounter,
+    LoadException,
+    LoadExceptionKind,
+)
+from repro.core.api import (
+    AdjustmentParameter,
+    ProcessorError,
+    StageContext,
+    StreamProcessor,
+)
+from repro.core.items import EndOfStream, Item
+from repro.core.termination import EosTracker, no_input_message
+from repro.grid.repository import CodeRepository
+from repro.metrics.rates import RateEstimator
+from repro.net.channels import AsyncInbox, ChannelError, InChannel, OutChannel
+from repro.net.debug import install_task_dump
+from repro.net.protocol import (
+    FrameType,
+    ProtocolError,
+    decode_payload,
+    encode_json,
+    read_frame,
+    send_frame,
+)
+from repro.obs.registry import MetricsRegistry, StageMetrics
+
+__all__ = ["ANNOUNCE_PREFIX", "Worker", "WorkerError", "default_repository", "main"]
+
+#: stdout announce line: ``REPRO-NET-WORKER <port>``.
+ANNOUNCE_PREFIX = "REPRO-NET-WORKER"
+
+#: Inbox capacity when a stage's properties carry no override.
+DEFAULT_QUEUE_CAPACITY = 200
+
+#: Accumulate modeled compute cost and sleep only past this debt, so
+#: micro-costs (50 us/item) do not each pay the event loop's wakeup
+#: granularity.
+_SLEEP_DEBT_THRESHOLD = 0.001
+
+
+class WorkerError(Exception):
+    """Raised for protocol violations or invalid registrations."""
+
+
+def default_repository() -> CodeRepository:
+    """The code repository a bare worker resolves ``repo://`` URLs from.
+
+    Publishes the built-in application stages (count-samps and friends);
+    anything else ships as a ``py://module:attr`` reference, which the
+    repository imports directly.
+    """
+    from repro.apps.count_samps import _register_codes
+
+    repository = CodeRepository()
+    _register_codes(repository)
+    return repository
+
+
+class _WorkerStageContext(StageContext):
+    """Stage context backed by the worker's wall clock and pending buffer."""
+
+    def __init__(self, stage: "_HostedStage", worker: "Worker") -> None:
+        self._stage = stage
+        self._worker = worker
+        self._in_setup = False
+        self.pending: List[Tuple[Any, float, Optional[str]]] = []
+
+    def specify_parameter(
+        self,
+        name: str,
+        initial: float,
+        minimum: float,
+        maximum: float,
+        increment: float,
+        direction: int,
+    ) -> AdjustmentParameter:
+        if not self._in_setup:
+            raise ProcessorError(
+                f"{self._stage.name}: specify_parameter must be called in setup()"
+            )
+        if name in self._stage.parameters:
+            raise ProcessorError(
+                f"{self._stage.name}: parameter {name!r} declared twice"
+            )
+        param = AdjustmentParameter(
+            name, initial, minimum, maximum, increment, direction
+        )
+        param.set_value(initial, self.now)
+        self._stage.parameters[name] = param
+        self._stage.controllers[name] = ParameterController(
+            param, self._worker.policy
+        )
+        return param
+
+    def get_suggested_value(self, name: str) -> float:
+        try:
+            return self._stage.parameters[name].value
+        except KeyError:
+            raise ProcessorError(
+                f"{self._stage.name}: unknown parameter {name!r}"
+            ) from None
+
+    def emit(
+        self, payload: Any, size: float = 8.0, stream: Optional[str] = None
+    ) -> None:
+        if size < 0:
+            raise ProcessorError(f"emit size must be >= 0, got {size}")
+        if stream is not None and not any(
+            r.stream == stream for r in self._stage.out_routes
+        ):
+            raise ProcessorError(
+                f"{self._stage.name}: emit to unknown stream {stream!r}"
+            )
+        self.pending.append((payload, float(size), stream))
+
+    @property
+    def now(self) -> float:
+        return self._worker.elapsed()
+
+    @property
+    def stage_name(self) -> str:
+        return self._stage.name
+
+    @property
+    def properties(self) -> Dict[str, str]:
+        return self._stage.properties
+
+
+class _LocalRoute:
+    """In-process edge between two stages hosted on the same worker."""
+
+    def __init__(self, stream: str, dst: "_HostedStage", worker: "Worker") -> None:
+        self.stream = stream
+        self.dst = dst
+        self._worker = worker
+
+    async def send(self, payload: Any, size: float, origin: str) -> None:
+        item = Item(
+            payload=payload, size=size, origin=origin,
+            created_at=self._worker.elapsed(),
+        )
+        await self.dst.inbox.put((None, item))
+        self.dst.rate_estimator.observe(self._worker.elapsed())
+
+    async def send_eos(self, origin: str) -> None:
+        await self.dst.inbox.force_put((None, EndOfStream(origin=origin)))
+
+    async def close(self) -> None:  # symmetry with OutChannel
+        return None
+
+
+class _WireRoute:
+    """Outbound edge to a stage on another worker, via an OutChannel."""
+
+    def __init__(self, channel: OutChannel) -> None:
+        self.channel = channel
+        self.stream = channel.stream
+
+    async def send(self, payload: Any, size: float, origin: str) -> None:
+        await self.channel.send(payload, size)
+
+    async def send_eos(self, origin: str) -> None:
+        await self.channel.send_eos()
+
+    async def close(self) -> None:
+        await self.channel.close()
+
+
+@dataclass
+class _HostedStage:
+    name: str
+    processor: StreamProcessor
+    properties: Dict[str, str]
+    inbox: AsyncInbox
+    eos: EosTracker = field(default_factory=EosTracker)
+    out_routes: List[Any] = field(default_factory=list)
+    #: Upstream stages on this worker (exception delivery in-process).
+    upstream_local: List[str] = field(default_factory=list)
+    #: Inbound wire channels feeding this stage (exception delivery over
+    #: the socket, back to the remote sender).
+    upstream_wire: List[InChannel] = field(default_factory=list)
+    parameters: Dict[str, AdjustmentParameter] = field(default_factory=dict)
+    controllers: Dict[str, ParameterController] = field(default_factory=dict)
+    exceptions: ExceptionCounter = field(default_factory=ExceptionCounter)
+    estimator: Optional[LoadEstimator] = None
+    context: Optional[_WorkerStageContext] = None
+    metrics: Optional[StageMetrics] = None
+    rate_estimator: RateEstimator = field(default_factory=RateEstimator)
+    done: Optional[asyncio.Event] = None
+    error: Optional[BaseException] = None
+
+
+class Worker:
+    """One service container: hosts stages, talks frames, adapts locally."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        name: str = "worker",
+        repository: Optional[CodeRepository] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.name = name
+        self.repository = repository if repository is not None else default_repository()
+        self.metrics = MetricsRegistry()
+        self.policy = AdaptationPolicy()
+        self.adaptation_enabled = True
+        self.time_scale = 1.0
+        self.credit_window = 32
+        self._stages: Dict[str, _HostedStage] = {}
+        self._in_channels: Dict[str, InChannel] = {}
+        self._out_channels: List[OutChannel] = []
+        self._tasks: List[asyncio.Task] = []
+        self._shutdown: Optional[asyncio.Event] = None
+        self._started = False
+        self._start_time = time.monotonic()
+
+    def elapsed(self) -> float:
+        """Wall-clock seconds since START (process start before that)."""
+        return time.monotonic() - self._start_time
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def serve(self, announce=None) -> None:
+        """Bind, announce ``REPRO-NET-WORKER <port>``, serve until SHUTDOWN."""
+        self._shutdown = asyncio.Event()
+        install_task_dump(f"worker {self.name}")
+        server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        port = server.sockets[0].getsockname()[1]
+        stream = announce if announce is not None else sys.stdout
+        print(f"{ANNOUNCE_PREFIX} {port}", file=stream, flush=True)
+        try:
+            async with server:
+                await self._shutdown.wait()
+        finally:
+            for task in self._tasks:
+                task.cancel()
+            for channel in self._out_channels:
+                await channel.close()
+
+    async def _handle_connection(self, reader, writer) -> None:
+        """Dispatch on the first frame: HELLO = coordinator, ATTACH = peer."""
+        try:
+            first = await read_frame(reader)
+            if first is None:
+                return
+            if first.type is FrameType.HELLO:
+                await self._serve_coordinator(reader, writer, first)
+            elif first.type is FrameType.ATTACH:
+                await self._serve_peer(reader, writer, first)
+            else:
+                await send_frame(
+                    writer, FrameType.ERROR,
+                    encode_json({"error": f"unexpected first frame {first.type.name}"}),
+                )
+        except (ProtocolError, ConnectionError) as exc:
+            try:
+                await send_frame(
+                    writer, FrameType.ERROR, encode_json({"error": str(exc)})
+                )
+            except (ProtocolError, ConnectionError, OSError):
+                pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # -- coordinator connection ----------------------------------------------
+
+    async def _serve_coordinator(self, reader, writer, hello) -> None:
+        body = hello.json()
+        self.name = str(body.get("worker", self.name))
+        self.time_scale = float(body.get("time_scale", self.time_scale))
+        self.credit_window = int(body.get("credit_window", self.credit_window))
+        self.adaptation_enabled = bool(
+            body.get("adaptation", self.adaptation_enabled)
+        )
+        if body.get("policy") is not None:
+            self.policy = AdaptationPolicy(**body["policy"])
+        await send_frame(
+            writer, FrameType.HELLO,
+            encode_json({"role": "worker", "worker": self.name, "proto": 1}),
+        )
+        while True:
+            frame = await read_frame(reader)
+            if frame is None or frame.type is FrameType.SHUTDOWN:
+                break
+            await self._dispatch_control(frame, writer)
+        assert self._shutdown is not None
+        self._shutdown.set()
+
+    async def _dispatch_control(self, frame, writer) -> None:
+        if frame.type is FrameType.PING:
+            await send_frame(writer, FrameType.PONG, frame.payload)
+        elif frame.type is FrameType.REGISTER:
+            self._register_stage(frame.json())
+        elif frame.type is FrameType.CHANNEL:
+            self._register_channel(frame.json())
+        elif frame.type is FrameType.SYNC:
+            await send_frame(
+                writer, FrameType.READY, encode_json({"phase": "synced"})
+            )
+        elif frame.type is FrameType.START:
+            await self._start(writer)
+            await send_frame(
+                writer, FrameType.READY, encode_json({"phase": "started"})
+            )
+        else:
+            raise WorkerError(f"unexpected control frame {frame.type.name}")
+
+    def _register_stage(self, body: Dict[str, Any]) -> None:
+        name = body["stage"]
+        if self._started:
+            raise WorkerError("cannot register stages after START")
+        if name in self._stages:
+            raise WorkerError(f"duplicate stage {name!r}")
+        factory = self.repository.fetch(body["code"])
+        processor = factory()
+        if not isinstance(processor, StreamProcessor):
+            raise WorkerError(f"{name}: code did not produce a StreamProcessor")
+        properties = {str(k): str(v) for k, v in body.get("properties", {}).items()}
+        capacity = int(properties.get("net-queue-capacity", DEFAULT_QUEUE_CAPACITY))
+        stage = _HostedStage(
+            name=name,
+            processor=processor,
+            properties=properties,
+            inbox=AsyncInbox(capacity, self.policy.window),
+        )
+        stage.metrics = StageMetrics(self.metrics, name)
+        stage.estimator = LoadEstimator(name, stage.inbox, self.policy)
+        self.metrics.series(f"adapt.{name}.d_tilde", stage.estimator.history)
+        stage.context = _WorkerStageContext(stage, self)
+        stage.done = asyncio.Event()
+        self._stages[name] = stage
+
+    def _register_channel(self, body: Dict[str, Any]) -> None:
+        kind = body["kind"]
+        stream = body["stream"]
+        if kind == "local":
+            src = self._require_stage(body["src"], stream)
+            dst = self._require_stage(body["dst"], stream)
+            src.out_routes.append(_LocalRoute(stream, dst, self))
+            dst.eos.expect()
+            dst.upstream_local.append(src.name)
+        elif kind == "in":
+            dst = self._require_stage(body["dst"], stream)
+            window = int(body.get("window", self.credit_window))
+            channel = InChannel(stream, dst.name, window)
+            self._in_channels[stream] = channel
+            dst.eos.expect()
+            dst.upstream_wire.append(channel)
+        elif kind == "out":
+            src = self._require_stage(body["src"], stream)
+            channel = OutChannel(
+                stream,
+                body["dst"],
+                body["peer_host"],
+                int(body["peer_port"]),
+                self.metrics,
+                clock=self.elapsed,
+                on_exception=self._wire_exception_handler(src),
+            )
+            self._out_channels.append(channel)
+            src.out_routes.append(_WireRoute(channel))
+        else:
+            raise WorkerError(f"unknown channel kind {kind!r} for {stream!r}")
+
+    def _require_stage(self, name: str, stream: str) -> _HostedStage:
+        try:
+            return self._stages[name]
+        except KeyError:
+            raise WorkerError(
+                f"channel {stream!r} references unregistered stage {name!r}"
+            ) from None
+
+    def _wire_exception_handler(self, stage: _HostedStage):
+        """Receive a downstream stage's load exception for ``stage``."""
+
+        def _handle(body: Dict[str, Any]) -> None:
+            try:
+                exception = LoadException(
+                    kind=LoadExceptionKind(body["kind"]),
+                    reporter=str(body["reporter"]),
+                    time=self.elapsed(),
+                    score=float(body.get("score", 0.0)),
+                )
+            except (KeyError, ValueError):
+                return
+            stage.exceptions.report(exception)
+            assert stage.metrics is not None
+            stage.metrics.exceptions_received.inc()
+
+        return _handle
+
+    async def _start(self, coordinator_writer) -> None:
+        if self._started:
+            raise WorkerError("START received twice")
+        for stage in self._stages.values():
+            if not stage.eos.has_inputs:
+                raise WorkerError(no_input_message(stage.name))
+        self._started = True
+        self._start_time = time.monotonic()
+        for stage in self._stages.values():
+            assert stage.context is not None
+            stage.context._in_setup = True
+            stage.processor.setup(stage.context)
+            stage.context._in_setup = False
+            for pname, param in stage.parameters.items():
+                self.metrics.series(
+                    f"adapt.{stage.name}.param.{pname}", param.history
+                )
+        # Dial every outbound channel; the receiving workers are already
+        # synced (the coordinator barriers SYNC/READY before any START),
+        # so their InChannels exist and grant credit on ATTACH.
+        await asyncio.gather(*(c.connect() for c in self._out_channels))
+        for stage in self._stages.values():
+            self._tasks.append(asyncio.create_task(self._stage_task(stage)))
+            if self.adaptation_enabled:
+                self._tasks.append(asyncio.create_task(self._monitor_task(stage)))
+        self._tasks.append(
+            asyncio.create_task(self._completion_task(coordinator_writer))
+        )
+
+    # -- stage execution -----------------------------------------------------
+
+    async def _stage_task(self, stage: _HostedStage) -> None:
+        ctx = stage.context
+        assert ctx is not None
+        assert stage.metrics is not None
+        sleep_debt = 0.0
+        try:
+            while True:
+                channel, message = await stage.inbox.get()
+                if isinstance(message, EndOfStream):
+                    if not stage.eos.observe():
+                        continue
+                    stage.processor.flush(ctx)
+                    await self._transmit_pending(stage)
+                    for route in stage.out_routes:
+                        await route.send_eos(stage.name)
+                    return
+                stage.metrics.items_in.inc()
+                stage.metrics.bytes_in.inc(message.size)
+                items, nbytes = stage.processor.work_amount(
+                    message.payload, message.size
+                )
+                cost = stage.processor.cost_model.cost(items, nbytes)
+                if cost > 0:
+                    scaled = cost * self.time_scale
+                    stage.metrics.busy_seconds.inc(scaled)
+                    sleep_debt += scaled
+                    if sleep_debt >= _SLEEP_DEBT_THRESHOLD:
+                        await asyncio.sleep(sleep_debt)
+                        sleep_debt = 0.0
+                stage.processor.on_item(message.payload, ctx)
+                stage.metrics.latency.observe(self.elapsed() - message.created_at)
+                await self._transmit_pending(stage)
+                if channel is not None:
+                    channel.note_consumed()
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:  # noqa: BLE001 - reported via ERROR frame
+            stage.error = exc
+            # Release downstream stages (they will never hear from us
+            # again); best effort — peers may already be gone.
+            for route in stage.out_routes:
+                try:
+                    await route.send_eos(stage.name)
+                except (ChannelError, ConnectionError, ProtocolError):
+                    pass
+        finally:
+            assert stage.done is not None
+            stage.done.set()
+
+    async def _transmit_pending(self, stage: _HostedStage) -> None:
+        ctx = stage.context
+        assert ctx is not None
+        assert stage.metrics is not None
+        pending, ctx.pending = ctx.pending, []
+        for payload, size, stream in pending:
+            stage.metrics.items_out.inc()
+            stage.metrics.bytes_out.inc(size)
+            for route in stage.out_routes:
+                if stream is not None and route.stream != stream:
+                    continue
+                await route.send(payload, size, stage.name)
+
+    async def _monitor_task(self, stage: _HostedStage) -> None:
+        """The Section 4 adaptation loop, run locally per stage."""
+        assert stage.estimator is not None
+        assert stage.metrics is not None
+        assert stage.done is not None
+        samples = 0
+        interval = self.policy.sample_interval * self.time_scale
+        while not stage.done.is_set():
+            await asyncio.sleep(interval)
+            if stage.done.is_set():
+                return
+            now = self.elapsed()
+            stage.metrics.queue_len.record(
+                now, float(stage.inbox.current_length)
+            )
+            exception = stage.estimator.sample(now)
+            if exception is not None and self.policy.exceptions_enabled:
+                stage.metrics.exceptions_reported.inc()
+                self._report_upstream(stage, exception)
+            samples += 1
+            if samples % self.policy.adjust_every == 0 and stage.controllers:
+                t1, t2 = stage.exceptions.drain()
+                score = stage.estimator.normalized_score
+                for controller in stage.controllers.values():
+                    controller.adjust(score, t1, t2, now)
+
+    def _report_upstream(
+        self, stage: _HostedStage, exception: LoadException
+    ) -> None:
+        """Deliver a load exception to every upstream: local or over the wire."""
+        for src_name in stage.upstream_local:
+            upstream = self._stages[src_name]
+            upstream.exceptions.report(exception)
+            assert upstream.metrics is not None
+            upstream.metrics.exceptions_received.inc()
+        for channel in stage.upstream_wire:
+            channel.send_exception(
+                {
+                    "stream": channel.stream,
+                    "kind": exception.kind.value,
+                    "reporter": exception.reporter,
+                    "time": exception.time,
+                    "score": exception.score,
+                }
+            )
+
+    async def _completion_task(self, writer) -> None:
+        """Send RESULT (or ERROR) once every local stage has drained."""
+        assert all(s.done is not None for s in self._stages.values())
+        for stage in self._stages.values():
+            await stage.done.wait()
+        failed = [s for s in self._stages.values() if s.error is not None]
+        try:
+            if failed:
+                await send_frame(
+                    writer, FrameType.ERROR,
+                    encode_json({
+                        "error": f"stage {failed[0].name!r} failed: "
+                                 f"{failed[0].error!r}",
+                        "worker": self.name,
+                    }),
+                )
+                return
+            finals: Dict[str, Any] = {}
+            for stage in self._stages.values():
+                assert stage.metrics is not None
+                stage.metrics.arrival_rate.set(
+                    stage.rate_estimator.decayed_rate(self.elapsed())
+                )
+                finals[stage.name] = stage.processor.result()
+            for channel in self._out_channels:
+                await channel.close()
+            await send_frame(
+                writer, FrameType.RESULT,
+                encode_json({
+                    "worker": self.name,
+                    "finals": finals,
+                    "metrics": self.metrics.to_dict(),
+                }),
+            )
+        except (ConnectionError, ProtocolError, OSError):
+            pass
+
+    # -- peer (data) connections ---------------------------------------------
+
+    async def _serve_peer(self, reader, writer, attach) -> None:
+        body = attach.json()
+        stream = body["stream"]
+        channel = self._in_channels.get(stream)
+        if channel is None:
+            raise ProtocolError(f"ATTACH for undeclared channel {stream!r}")
+        if channel.attached:
+            raise ProtocolError(f"channel {stream!r} attached twice")
+        channel.attach(writer)
+        stage = self._stages[channel.dst_stage]
+        saw_eos = False
+        try:
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                if frame.type is FrameType.DATA:
+                    payload, size = decode_payload(frame.payload)
+                    item = Item(
+                        payload=payload, size=size, origin=stream,
+                        created_at=self.elapsed(),
+                    )
+                    await stage.inbox.force_put((channel, item))
+                    stage.rate_estimator.observe(self.elapsed())
+                elif frame.type is FrameType.EOS:
+                    saw_eos = True
+                    await stage.inbox.force_put((None, EndOfStream(origin=stream)))
+                else:
+                    raise ProtocolError(
+                        f"unexpected {frame.type.name} frame on data channel "
+                        f"{stream!r}"
+                    )
+        except ConnectionError:
+            pass
+        if not saw_eos:
+            # The sender vanished mid-stream.  Waiting for an EOS that
+            # can never arrive would hang the whole run; fail the stage
+            # so the worker reports ERROR and the coordinator aborts.
+            if stage.error is None:
+                stage.error = WorkerError(
+                    f"data channel {stream!r} closed before EOS"
+                )
+            if stage.done is not None:
+                stage.done.set()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.net.worker`` / ``repro worker`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro worker",
+        description="Run one repro.net worker process (a GATES service "
+        "container) and wait for a coordinator.",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="interface to bind (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port to bind (default 0: ephemeral, "
+                        "announced on stdout)")
+    parser.add_argument("--name", default="worker",
+                        help="fallback worker name until the coordinator "
+                        "assigns one")
+    args = parser.parse_args(argv)
+    worker = Worker(host=args.host, port=args.port, name=args.name)
+    try:
+        asyncio.run(worker.serve())
+    except KeyboardInterrupt:
+        return 130
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

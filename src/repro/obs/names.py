@@ -41,7 +41,7 @@ class MetricSpec:
     kind: str
     #: Unit of the recorded value.
     unit: str
-    #: Which runtimes emit it: subset of {"sim", "threaded"}.
+    #: Which runtimes emit it: subset of {"sim", "threaded", "net"}.
     runtimes: Tuple[str, ...]
     #: The paper signal this metric corresponds to (or "—" for
     #: reproduction-only instrumentation).
@@ -162,6 +162,32 @@ METRICS: Tuple[MetricSpec, ...] = (
                "—",
                "Unacknowledged items the bounded replay buffer had already "
                "evicted when a failover needed them (permanently lost)."),
+    # -- networked data plane (see docs/networking.md) ----------------------
+    MetricSpec("net.{channel}.frames", "counter", "frames", ("net",),
+               "inter-server stream traffic (§2: stages on distinct hosts)",
+               "DATA + EOS frames sent on the channel (sender side)."),
+    MetricSpec("net.{channel}.bytes", "counter", "bytes", ("net",),
+               "network volume the evaluation measures (Fig 5 bytes column)",
+               "Encoded frame bytes (header + payload) put on the wire "
+               "by the channel's sender."),
+    MetricSpec("net.{channel}.credit_stalls", "counter", "stalls", ("net",),
+               "backpressure in the Fig 4 queue model, made explicit",
+               "Sends that blocked because the credit window was exhausted."),
+    MetricSpec("net.{channel}.credit_wait_seconds", "counter", "seconds",
+               ("net",),
+               "backpressure in the Fig 4 queue model, made explicit",
+               "Total seconds the sender spent blocked awaiting credit."),
+    MetricSpec("net.{channel}.in_flight_peak", "gauge", "frames", ("net",),
+               "bounded buffering replacing unbounded socket queues",
+               "Peak unacknowledged DATA frames; never exceeds the "
+               "receiver's granted credit window."),
+    MetricSpec("net.{channel}.exceptions", "counter", "exceptions", ("net",),
+               "over-/under-load exceptions sent upstream over the wire (§4.2)",
+               "Load exceptions delivered upstream over the channel's "
+               "socket (counted at the sending stage's worker)."),
+    MetricSpec("net.{worker}.rtt", "histogram", "seconds", ("net",),
+               "\"the available network bandwidth\" (§1) — liveness probe",
+               "Coordinator -> worker ping round-trip-time samples."),
     # -- whole-run ----------------------------------------------------------
     MetricSpec("run.execution_time", "gauge", "seconds", ("sim", "threaded"),
                "execution time of Figures 5 and 6",

@@ -12,7 +12,7 @@ so operators can inspect *what* was dropped rather than just a count.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Deque, List, Optional
 
 __all__ = ["DeadLetter", "DeadLetterQueue", "ERROR_POLICIES", "ResilienceConfig"]

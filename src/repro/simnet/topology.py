@@ -11,7 +11,7 @@ provides shortest-path routing so multi-hop deployments work.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 import networkx as nx
 

@@ -13,7 +13,7 @@ fixed-size uniform sample used by other stream analyses.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence
+from typing import Any, List, Sequence
 
 import numpy as np
 

@@ -4,10 +4,18 @@ The evaluation's byte accounting (summary size = pairs x 12 bytes) matches
 an actual encoding: 8-byte signed value + 4-byte unsigned count per pair,
 plus a small header.  This module makes that concrete — stages can encode
 their summaries and charge the link for the *encoded* length instead of a
-hand-declared estimate, and tests can round-trip the bytes.
+hand-declared estimate, and tests can round-trip the bytes.  The networked
+runtime (`repro.net`) layers its framed protocol on top of this codec for
+count-samps summaries travelling between OS processes.
 
 Only integer-valued summaries (the count-samps family) are encodable; the
 general dict payloads of other applications keep declared sizes.
+
+Decoding distinguishes every corruption class with a dedicated error
+message so callers (and the protocol fuzz tests) can tell *how* a buffer
+went bad: truncated header, bad magic, unsupported version, body shorter
+than the declared pair count, and trailing bytes after the declared pair
+count are all rejected separately.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ from typing import List, Sequence, Tuple
 __all__ = [
     "HEADER_BYTES",
     "PAIR_BYTES",
+    "WireError",
     "decode_summary",
     "encode_summary",
     "summary_wire_size",
@@ -33,6 +42,9 @@ HEADER_BYTES = _HEADER_STRUCT.size
 _MAGIC = 0xA7
 _VERSION = 1
 _MAX_COUNT = (1 << 32) - 1
+_MAX_ITEMS_SEEN = (1 << 64) - 1
+_MIN_VALUE = -(1 << 63)
+_MAX_VALUE = (1 << 63) - 1
 
 
 class WireError(Exception):
@@ -43,29 +55,60 @@ def encode_summary(pairs: Sequence[Tuple[int, int]], items_seen: int = 0) -> byt
     """Encode integer (value, count) pairs into the wire format."""
     if items_seen < 0:
         raise WireError(f"items_seen must be >= 0, got {items_seen}")
+    if items_seen > _MAX_ITEMS_SEEN:
+        raise WireError(f"items_seen {items_seen!r} outside uint64 range")
+    if len(pairs) > _MAX_COUNT:
+        raise WireError(f"too many pairs for uint32 count: {len(pairs)}")
     header = _HEADER_STRUCT.pack(_MAGIC, _VERSION, len(pairs), items_seen)
     body = bytearray()
     for value, count in pairs:
         if not isinstance(value, int) or isinstance(value, bool):
             raise WireError(f"values must be ints, got {value!r}")
+        if not _MIN_VALUE <= value <= _MAX_VALUE:
+            raise WireError(f"value {value!r} outside int64 range")
         if not 0 <= count <= _MAX_COUNT:
             raise WireError(f"count {count!r} outside uint32 range")
         body += _PAIR_STRUCT.pack(value, int(count))
-    return header + bytes(body)
+    encoded = header + bytes(body)
+    # Consistency check: the byte accounting the evaluation layer uses
+    # (summary_wire_size) must always agree with what we actually put on
+    # the wire, or link-cost bookkeeping silently drifts from reality.
+    if len(encoded) != summary_wire_size(len(pairs)):
+        raise WireError(
+            f"encoder produced {len(encoded)} bytes but summary_wire_size "
+            f"declares {summary_wire_size(len(pairs))!r} for {len(pairs)} pairs"
+        )
+    return encoded
 
 
 def decode_summary(data: bytes) -> Tuple[List[Tuple[int, int]], int]:
-    """Inverse of :func:`encode_summary`: returns (pairs, items_seen)."""
+    """Inverse of :func:`encode_summary`: returns (pairs, items_seen).
+
+    Rejects corrupt buffers with a distinct :class:`WireError` per
+    failure class: truncated header, bad magic, unsupported version,
+    truncated body (declared pair count needs more bytes than present),
+    and trailing bytes beyond the declared pair count.
+    """
     if len(data) < HEADER_BYTES:
-        raise WireError(f"truncated header: {len(data)} bytes")
+        raise WireError(
+            f"truncated header: {len(data)} bytes, need {HEADER_BYTES}"
+        )
     magic, version, n_pairs, items_seen = _HEADER_STRUCT.unpack_from(data, 0)
     if magic != _MAGIC:
         raise WireError(f"bad magic byte {magic:#x}")
     if version != _VERSION:
         raise WireError(f"unsupported wire version {version}")
     expected = HEADER_BYTES + n_pairs * PAIR_BYTES
-    if len(data) != expected:
-        raise WireError(f"length mismatch: have {len(data)}, expected {expected}")
+    if len(data) < expected:
+        raise WireError(
+            f"truncated body: have {len(data)} bytes, declared pair count "
+            f"{n_pairs} needs {expected}"
+        )
+    if len(data) > expected:
+        raise WireError(
+            f"trailing bytes: {len(data) - expected} past the declared "
+            f"pair count {n_pairs}"
+        )
     pairs = [
         _PAIR_STRUCT.unpack_from(data, HEADER_BYTES + i * PAIR_BYTES)
         for i in range(n_pairs)

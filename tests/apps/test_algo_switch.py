@@ -129,7 +129,7 @@ class TestEndToEndAlgorithmAdaptation:
         from repro.core.adaptation.policy import AdaptationPolicy
         from repro.core.runtime_sim import SimulatedRuntime, SourceBinding
         from repro.experiments.common import build_star_fabric
-        from repro.grid.config import AppConfig, ParameterConfig, StageConfig, StreamConfig
+        from repro.grid.config import AppConfig, StageConfig, StreamConfig
         from repro.grid.resources import ResourceRequirement
         from repro.streams.sources import IntegerStream
 

@@ -17,7 +17,7 @@ from repro.grid.repository import CodeRepository
 from repro.simnet.engine import Environment
 from repro.simnet.hosts import CpuCostModel
 from repro.simnet.topology import Network
-from repro.simnet.trace import StatSummary, percentile
+from repro.simnet.trace import percentile
 
 
 class DualKnob(StreamProcessor):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.adaptation.policy import AdaptationPolicy
-from repro.core.api import StageContext, StreamProcessor
+from repro.core.api import StreamProcessor
 from repro.core.runtime_sim import RuntimeError_, SimulatedRuntime, SourceBinding
 from repro.grid.config import AppConfig, StageConfig, StreamConfig
 from repro.grid.deployer import Deployer

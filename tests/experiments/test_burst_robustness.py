@@ -11,7 +11,6 @@ queues do not grow without bound.
 import pytest
 
 from repro.apps import comp_steer as comp_steer_app
-from repro.core.adaptation.policy import AdaptationPolicy
 from repro.core.runtime_sim import SimulatedRuntime, SourceBinding
 from repro.experiments.common import _continuous_mesh_values, build_star_fabric
 from repro.simnet.trace import StatSummary

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.grid.config import AppConfig, StageConfig, StreamConfig
+from repro.grid.config import AppConfig, StageConfig
 from repro.grid.deployer import Deployer
 from repro.grid.faults import FaultInjector, FaultPlan, Redeployer
 from repro.grid.heartbeat import AutoRecovery, HeartbeatDetector

@@ -1,0 +1,291 @@
+"""Inbox and credit-flow-control tests.
+
+The load-bearing assertion here is the flow-control bound: against a
+deliberately slow receiver, the number of DATA frames in flight (sent
+but not yet covered by a returned credit) must never exceed the granted
+window — that is what makes backpressure explicit instead of an
+unbounded socket buffer.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.net.channels import AsyncInbox, ChannelError, InChannel, OutChannel
+from repro.net.protocol import (
+    FrameDecoder,
+    FrameType,
+    encode_json,
+    read_frame,
+    send_frame,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def run(coro, timeout=20.0):
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+class TestAsyncInbox:
+    def test_fifo_order(self):
+        async def scenario():
+            inbox = AsyncInbox(capacity=10, window=4)
+            for i in range(5):
+                await inbox.put(i)
+            return [await inbox.get() for _ in range(5)]
+
+        assert run(scenario()) == [0, 1, 2, 3, 4]
+
+    def test_put_blocks_at_capacity_until_get(self):
+        async def scenario():
+            inbox = AsyncInbox(capacity=2, window=4)
+            await inbox.put("a")
+            await inbox.put("b")
+            blocked = asyncio.create_task(inbox.put("c"))
+            await asyncio.sleep(0.01)
+            assert not blocked.done()
+            assert await inbox.get() == "a"
+            await asyncio.wait_for(blocked, 1.0)
+            return inbox.current_length
+
+        assert run(scenario()) == 2
+
+    def test_force_put_ignores_capacity(self):
+        async def scenario():
+            inbox = AsyncInbox(capacity=1, window=4)
+            for i in range(5):
+                await inbox.force_put(i)
+            return inbox.current_length
+
+        assert run(scenario()) == 5
+
+    def test_queue_like_surface_for_the_estimator(self):
+        async def scenario():
+            inbox = AsyncInbox(capacity=8, window=4)
+            assert inbox.capacity == 8
+            assert inbox.recent_average == 0.0
+            for i in range(4):
+                await inbox.put(i)
+            assert inbox.current_length == 4
+            assert inbox.recent_average > 0.0
+
+        run(scenario())
+
+    def test_rejects_silly_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            AsyncInbox(capacity=0, window=4)
+
+
+class _FakeWriter:
+    """Collects bytes written by InChannel for frame-level inspection."""
+
+    def __init__(self):
+        self.decoder = FrameDecoder()
+        self.frames = []
+
+    def write(self, data):
+        self.frames += self.decoder.feed(data)
+
+    def is_closing(self):
+        return False
+
+
+class TestInChannel:
+    def test_attach_grants_the_full_window(self):
+        channel = InChannel("s", "dst", window=12)
+        writer = _FakeWriter()
+        channel.attach(writer)
+        assert [f.type for f in writer.frames] == [FrameType.CREDIT]
+        assert writer.frames[0].json() == {"stream": "s", "n": 12}
+
+    def test_replenish_batches_amortize_credit_frames(self):
+        channel = InChannel("s", "dst", window=8)  # batch = 2
+        writer = _FakeWriter()
+        channel.attach(writer)
+        channel.note_consumed()
+        assert len(writer.frames) == 1  # below batch: no frame yet
+        channel.note_consumed()
+        assert len(writer.frames) == 2
+        assert writer.frames[1].json() == {"stream": "s", "n": 2}
+
+    def test_exception_before_attach_is_dropped(self):
+        channel = InChannel("s", "dst", window=4)
+        assert channel.send_exception({"kind": "overload"}) is False
+        writer = _FakeWriter()
+        channel.attach(writer)
+        assert channel.send_exception({"kind": "overload"}) is True
+        assert writer.frames[-1].type is FrameType.EXCEPTION
+
+    def test_rejects_silly_window(self):
+        with pytest.raises(ValueError, match="window"):
+            InChannel("s", "dst", window=0)
+
+
+class _SlowReceiver:
+    """A scripted receiver: grants credit slowly, audits the bound.
+
+    Tracks ``outstanding`` = DATA frames received minus credits granted;
+    a correct sender keeps it <= 0 at every frame arrival (it may only
+    spend granted credit).
+    """
+
+    def __init__(self, window, consume_delay, die_after=None):
+        self.window = window
+        self.consume_delay = consume_delay
+        self.die_after = die_after
+        self.granted = 0
+        self.received = 0
+        self.eos_seen = False
+        self.max_outstanding = -10**9
+        self.server = None
+        self.port = None
+
+    async def start(self):
+        self.server = await asyncio.start_server(self._serve, "127.0.0.1", 0)
+        self.port = self.server.sockets[0].getsockname()[1]
+
+    async def _serve(self, reader, writer):
+        attach = await read_frame(reader)
+        assert attach.type is FrameType.ATTACH
+        await send_frame(
+            writer, FrameType.CREDIT,
+            encode_json({"stream": "testchan", "n": self.window}),
+        )
+        self.granted = self.window
+        while True:
+            frame = await read_frame(reader)
+            if frame is None:
+                writer.close()  # answer the sender's FIN, as the worker does
+                return
+            if frame.type is FrameType.EOS:
+                self.eos_seen = True
+                continue
+            assert frame.type is FrameType.DATA
+            self.received += 1
+            if self.die_after is not None and self.received >= self.die_after:
+                writer.close()  # vanish mid-stream without returning credit
+                return
+            outstanding = self.received - self.granted
+            self.max_outstanding = max(self.max_outstanding, outstanding)
+            # Consume slowly, then hand back one credit at a time — the
+            # sender must stall while it waits.
+            await asyncio.sleep(self.consume_delay)
+            await send_frame(
+                writer, FrameType.CREDIT,
+                encode_json({"stream": "testchan", "n": 1}),
+            )
+            self.granted += 1
+
+
+class TestCreditFlowControl:
+    def test_in_flight_never_exceeds_the_granted_window(self):
+        async def scenario():
+            window, items = 4, 40
+            receiver = _SlowReceiver(window, consume_delay=0.002)
+            await receiver.start()
+            registry = MetricsRegistry()
+            loop = asyncio.get_running_loop()
+            channel = OutChannel(
+                "testchan", "dst", "127.0.0.1", receiver.port,
+                registry, clock=loop.time,
+            )
+            await channel.connect()
+            assert channel.window == window
+            for i in range(items):
+                await channel.send(i, 8.0)
+            await channel.send_eos()
+            await asyncio.sleep(0.05)
+            await channel.close()
+            receiver.server.close()
+            await receiver.server.wait_closed()
+            return receiver, channel, registry
+
+        receiver, channel, registry = run(scenario())
+        # The bound, from both sides of the wire:
+        assert receiver.max_outstanding <= 0
+        assert channel.peak_in_flight <= channel.window
+        assert receiver.received == 40
+        assert receiver.eos_seen
+        # The slow consumer forced real stalls, and the metrics saw them.
+        assert registry.value("net.testchan.credit_stalls") > 0
+        assert registry.value("net.testchan.credit_wait_seconds") > 0
+        assert registry.value("net.testchan.frames") == 41  # 40 DATA + EOS
+        assert registry.value("net.testchan.in_flight_peak") <= 4
+
+    def test_sender_fails_cleanly_when_receiver_vanishes(self):
+        async def scenario():
+            receiver = _SlowReceiver(window=2, consume_delay=0.0, die_after=1)
+            await receiver.start()
+            registry = MetricsRegistry()
+            loop = asyncio.get_running_loop()
+            channel = OutChannel(
+                "testchan", "dst", "127.0.0.1", receiver.port,
+                registry, clock=loop.time,
+            )
+            await channel.connect()
+            # The receiver dies after one frame without returning credit:
+            # the sender must surface a ChannelError once the remaining
+            # window is spent, not hang forever.
+            with pytest.raises(ChannelError, match="went away"):
+                for i in range(10):
+                    await channel.send(i, 8.0)
+            await channel.close()
+            receiver.server.close()
+            await receiver.server.wait_closed()
+
+        run(scenario())
+
+    def test_close_must_not_destroy_in_flight_data(self):
+        """Tearing down right after EOS must still deliver everything.
+
+        The receiver keeps writing CREDIT frames back while it slowly
+        drains the stream.  An abortive close on the sender would race
+        with that backchannel: unread credit bytes at close() turn the
+        FIN into an RST, which destroys the DATA/EOS still queued on the
+        receiver's side (a real 1-in-10 hang before the graceful
+        half-close).  close() must wait for the receiver's FIN instead.
+        """
+
+        async def scenario():
+            receiver = _SlowReceiver(window=2, consume_delay=0.005)
+            await receiver.start()
+            registry = MetricsRegistry()
+            loop = asyncio.get_running_loop()
+            channel = OutChannel(
+                "testchan", "dst", "127.0.0.1", receiver.port,
+                registry, clock=loop.time,
+            )
+            await channel.connect()
+            for i in range(10):
+                await channel.send(i, 8.0)
+            await channel.send_eos()
+            # No settling sleep: close immediately, mid-backchannel.
+            await channel.close()
+            receiver.server.close()
+            await receiver.server.wait_closed()
+            return receiver
+
+        for _ in range(5):  # the old race was timing-dependent
+            receiver = run(scenario())
+            assert receiver.received == 10
+            assert receiver.eos_seen
+
+    def test_connect_times_out_without_a_grant(self):
+        async def scenario():
+            async def mute_server(reader, writer):
+                await asyncio.sleep(30)
+
+            server = await asyncio.start_server(mute_server, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            registry = MetricsRegistry()
+            loop = asyncio.get_running_loop()
+            channel = OutChannel(
+                "testchan", "dst", "127.0.0.1", port, registry, clock=loop.time
+            )
+            with pytest.raises(asyncio.TimeoutError):
+                await channel.connect(timeout=0.1)
+            await channel.close(linger=0.1)
+            server.close()
+            await server.wait_closed()
+
+        run(scenario())

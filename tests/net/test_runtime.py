@@ -1,0 +1,258 @@
+"""End-to-end networked-runtime tests: parity, acceptance, error paths.
+
+These spawn real worker OS processes over loopback TCP, so they are the
+slowest tests in the suite — sized to stay under a few seconds each.
+"""
+
+import random
+
+import pytest
+
+from repro.apps.count_samps import build_distributed_config
+from repro.core.runtime_threads import ThreadedRuntime
+from repro.net.coordinator import NetworkedRuntime, NetworkedRuntimeError
+from repro.net.demo import run_netdemo
+from repro.net.worker import default_repository
+
+N_SOURCES = 2
+ITEMS = 400
+SEED = 5
+
+
+def payloads(seed, n):
+    rng = random.Random(seed)
+    return [rng.randrange(0, 30) for _ in range(n)]
+
+
+def build_config():
+    return build_distributed_config(
+        n_sources=N_SOURCES,
+        source_hosts=["worker-0", "worker-1"],
+        batch=50,
+        top_n=8,
+        seed=SEED,
+    )
+
+
+def normalize(topk):
+    """Final top-k as tuples (JSON transport turns tuples into lists)."""
+    return [(value, float(count)) for value, count in topk]
+
+
+def run_networked(config):
+    runtime = NetworkedRuntime(
+        config, workers=3, adaptation_enabled=False, credit_window=16
+    )
+    for i in range(N_SOURCES):
+        runtime.bind_source(
+            f"src-{i}", f"filter-{i}", payloads(SEED + i, ITEMS), item_size=8.0
+        )
+    return runtime, runtime.run(timeout=60.0)
+
+
+def run_threaded(config):
+    repository = default_repository()
+    runtime = ThreadedRuntime(adaptation_enabled=False)
+    for stage in config.stages:
+        runtime.add_stage(
+            stage.name, repository.fetch(stage.code_url)(),
+            properties=stage.properties,
+        )
+    for stream in config.streams:
+        runtime.connect(stream.src, stream.dst, name=stream.name)
+    for i in range(N_SOURCES):
+        runtime.bind_source(
+            f"src-{i}", f"filter-{i}", payloads(SEED + i, ITEMS), item_size=8.0
+        )
+    return runtime.run(timeout=60.0)
+
+
+@pytest.fixture(scope="module")
+def networked():
+    config = build_config()
+    runtime, result = run_networked(config)
+    return runtime, result
+
+
+class TestThreadedNetworkedParity:
+    """Same config, same seeds, adaptation off: identical final answers."""
+
+    def test_final_summaries_match(self, networked):
+        _, net_result = networked
+        thr_result = run_threaded(build_config())
+        assert normalize(net_result.final_value("join")) == normalize(
+            thr_result.final_value("join")
+        )
+        assert net_result.final_value("join")  # and they are not empty
+
+    def test_item_accounting_matches(self, networked):
+        _, net_result = networked
+        thr_result = run_threaded(build_config())
+        for i in range(N_SOURCES):
+            name = f"filter-{i}"
+            assert net_result.stage(name).items_in == ITEMS
+            assert (
+                net_result.stage(name).items_out
+                == thr_result.stage(name).items_out
+            )
+        assert (
+            net_result.stage("join").items_in == thr_result.stage("join").items_in
+        )
+
+
+class TestNetworkedRun:
+    def test_stages_spread_across_three_worker_processes(self, networked):
+        runtime, _ = networked
+        assert len(set(runtime.placement.values())) == 3
+        # placement hints were honored: each filter sits on its source's
+        # worker, exactly as `near:` pins stages in the simulated grid.
+        assert runtime.placement["filter-0"] == "worker-0"
+        assert runtime.placement["filter-1"] == "worker-1"
+
+    def test_wire_metrics_are_populated(self, networked):
+        runtime, _ = networked
+        registry = runtime.metrics
+        # source channels: one DATA frame per item plus the EOS sentinel
+        for i in range(N_SOURCES):
+            assert registry.value(f"net.src-{i}.frames") == ITEMS + 1
+            assert registry.value(f"net.src-{i}.bytes") > 0
+        # summary channels ran over the wire too (filters -> join)
+        assert registry.value("net.summary-0.frames") > 0
+        # the coordinator measured worker RTTs
+        for i in range(3):
+            assert len(registry.get(f"net.worker-{i}.rtt").samples) == 3
+
+    def test_run_result_shape_matches_other_runtimes(self, networked):
+        runtime, result = networked
+        assert result.app_name == "count-samps-distributed"
+        assert result.execution_time > 0
+        assert set(result.stages) == {"filter-0", "filter-1", "join"}
+        for name, stats in result.stages.items():
+            assert stats.host_name == runtime.placement[name]
+        assert result.metrics is runtime.metrics
+
+    def test_run_is_single_shot(self, networked):
+        runtime, _ = networked
+        with pytest.raises(NetworkedRuntimeError, match="only be called once"):
+            runtime.run()
+
+
+class TestNetworkedErrors:
+    def test_bad_code_url_fails_before_spawning_workers(self):
+        config = build_config()
+        config.stages[0].code_url = "repo://does-not/exist"
+        runtime = NetworkedRuntime(config, workers=2)
+        with pytest.raises(NetworkedRuntimeError, match="cannot fetch code"):
+            runtime.run(timeout=10.0)
+
+    def test_bind_source_to_unknown_stage(self):
+        runtime = NetworkedRuntime(build_config(), workers=2)
+        with pytest.raises(NetworkedRuntimeError, match="unknown stage"):
+            runtime.bind_source("src", "no-such-stage", [1, 2, 3])
+
+    def test_sender_vanishing_before_eos_fails_the_run(self):
+        """A data connection dying mid-stream must ERROR, not hang.
+
+        Regression: an abortive peer disconnect used to leave the stage
+        waiting forever for an EOS that could never arrive, wedging the
+        whole run until the coordinator timeout.
+        """
+        import asyncio
+        import io
+
+        from repro.net.protocol import (
+            FrameType,
+            encode_json,
+            read_frame,
+            send_frame,
+        )
+        from repro.net.worker import Worker
+
+        async def scenario():
+            worker = Worker()
+            announce = io.StringIO()
+            serve_task = asyncio.create_task(worker.serve(announce=announce))
+            while not announce.getvalue():
+                await asyncio.sleep(0.01)
+            port = int(announce.getvalue().split()[1])
+
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            await send_frame(
+                writer, FrameType.HELLO,
+                encode_json({"worker": "w0", "adaptation": False}),
+            )
+            assert (await read_frame(reader)).type is FrameType.HELLO
+            await send_frame(
+                writer, FrameType.REGISTER,
+                encode_json({"stage": "join", "code": "repo://count-samps/join",
+                             "properties": {}}),
+            )
+            await send_frame(
+                writer, FrameType.CHANNEL,
+                encode_json({"kind": "in", "stream": "s0", "dst": "join",
+                             "window": 4}),
+            )
+            await send_frame(writer, FrameType.SYNC, encode_json({}))
+            assert (await read_frame(reader)).type is FrameType.READY
+            await send_frame(writer, FrameType.START, encode_json({}))
+            assert (await read_frame(reader)).type is FrameType.READY
+
+            peer_reader, peer_writer = await asyncio.open_connection(
+                "127.0.0.1", port
+            )
+            await send_frame(
+                peer_writer, FrameType.ATTACH,
+                encode_json({"stream": "s0", "dst": "join"}),
+            )
+            assert (await read_frame(peer_reader)).type is FrameType.CREDIT
+            peer_writer.close()  # vanish without EOS
+
+            error = await read_frame(reader)
+            assert error.type is FrameType.ERROR
+            assert "before EOS" in error.json()["error"]
+
+            await send_frame(writer, FrameType.SHUTDOWN, encode_json({}))
+            writer.close()
+            await serve_task
+
+        asyncio.run(asyncio.wait_for(scenario(), 20.0))
+
+    def test_constructor_validation(self):
+        with pytest.raises(NetworkedRuntimeError, match="time_scale"):
+            NetworkedRuntime(build_config(), time_scale=0)
+        with pytest.raises(NetworkedRuntimeError, match="credit_window"):
+            NetworkedRuntime(build_config(), credit_window=0)
+        with pytest.raises(NetworkedRuntimeError, match="at least 1 worker"):
+            NetworkedRuntime(build_config(), workers=0)
+
+
+class TestNetdemoAcceptance:
+    """The ISSUE acceptance scenario: adaptation exceptions over the wire."""
+
+    @pytest.fixture(scope="class")
+    def demo(self):
+        return run_netdemo(items_per_source=2500, timeout=60.0)
+
+    def test_completes_with_a_top_k(self, demo):
+        result, summary = demo
+        assert len(summary["topk"]) == 5
+        assert len(set(summary["placement"].values())) == 3
+
+    def test_wire_exceptions_were_delivered(self, demo):
+        _, summary = demo
+        assert summary["wire_exceptions"] >= 1
+        # and the receiving filter stages actually counted them
+        result, _ = demo
+        received = sum(
+            result.stage(f"filter-{i}").exceptions_received for i in range(2)
+        )
+        assert received >= 1
+
+    def test_credit_window_was_respected_under_pressure(self, demo):
+        _, summary = demo
+        for channel, stats in summary["channels"].items():
+            assert stats["in_flight_peak"] <= 16
+        # the slow join forced the sources to stall at least once
+        assert any(
+            stats["credit_stalls"] > 0 for stats in summary["channels"].values()
+        )

@@ -20,6 +20,13 @@ EXPECTED_TEMPLATES = [
     "link.{link}.throughput",
     "link.{link}.tx_busy",
     "link.{link}.utilization",
+    "net.{channel}.bytes",
+    "net.{channel}.credit_stalls",
+    "net.{channel}.credit_wait_seconds",
+    "net.{channel}.exceptions",
+    "net.{channel}.frames",
+    "net.{channel}.in_flight_peak",
+    "net.{worker}.rtt",
     "recovery.{stage}.checkpoints",
     "recovery.{stage}.duplicates",
     "recovery.{stage}.items_replayed",
@@ -54,7 +61,7 @@ class TestStabilitySnapshot:
             assert spec.unit
             assert spec.description
             assert spec.paper
-            assert set(spec.runtimes) <= {"sim", "threaded"}
+            assert set(spec.runtimes) <= {"sim", "threaded", "net"}
 
 
 class TestSpecFor:

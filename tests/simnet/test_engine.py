@@ -4,12 +4,9 @@ import pytest
 
 from repro.simnet.engine import (
     AllOf,
-    AnyOf,
     Environment,
-    Event,
     Interrupt,
     SimulationError,
-    Timeout,
 )
 
 

@@ -69,6 +69,83 @@ class TestEncodeDecode:
             summary_wire_size(-1)
 
 
+class TestDecodeFailureClasses:
+    """Each corruption class is rejected with its own distinct error."""
+
+    def _good(self):
+        return encode_summary([(7, 3), (-2, 9)], items_seen=42)
+
+    def test_truncated_header(self):
+        good = self._good()
+        for cut in range(HEADER_BYTES):
+            with pytest.raises(WireError, match="truncated header"):
+                decode_summary(good[:cut])
+
+    def test_bad_magic(self):
+        good = self._good()
+        with pytest.raises(WireError, match="bad magic"):
+            decode_summary(b"\xa8" + good[1:])
+
+    def test_bad_version(self):
+        bad = bytearray(self._good())
+        bad[1] = 99
+        with pytest.raises(WireError, match="unsupported wire version 99"):
+            decode_summary(bytes(bad))
+
+    def test_truncated_body(self):
+        good = self._good()
+        for cut in range(HEADER_BYTES, len(good)):
+            with pytest.raises(WireError, match="truncated body"):
+                decode_summary(good[:cut])
+
+    def test_trailing_bytes_rejected(self):
+        good = self._good()
+        with pytest.raises(WireError, match="trailing bytes"):
+            decode_summary(good + b"\x00")
+        with pytest.raises(WireError, match="trailing bytes"):
+            decode_summary(good + good)
+
+    def test_count_mismatch_declared_pairs_exceed_body(self):
+        # Header says 1000 pairs but the body only carries two.
+        bad = bytearray(self._good())
+        import struct
+
+        struct.pack_into("<I", bad, 2, 1000)
+        with pytest.raises(WireError, match="declared pair count 1000"):
+            decode_summary(bytes(bad))
+
+    def test_count_mismatch_declared_pairs_below_body(self):
+        # Header says 1 pair; the second pair becomes trailing garbage.
+        bad = bytearray(self._good())
+        import struct
+
+        struct.pack_into("<I", bad, 2, 1)
+        with pytest.raises(WireError, match="trailing bytes"):
+            decode_summary(bytes(bad))
+
+
+class TestEncodeRangeChecks:
+    def test_items_seen_uint64_overflow_rejected(self):
+        with pytest.raises(WireError, match="uint64"):
+            encode_summary([], items_seen=2**64)
+        # Top of the range is still fine.
+        _, seen = decode_summary(encode_summary([], items_seen=2**64 - 1))
+        assert seen == 2**64 - 1
+
+    def test_value_int64_overflow_rejected(self):
+        with pytest.raises(WireError, match="int64"):
+            encode_summary([(2**63, 1)])
+        with pytest.raises(WireError, match="int64"):
+            encode_summary([(-(2**63) - 1, 1)])
+        decoded, _ = decode_summary(encode_summary([(2**63 - 1, 1), (-(2**63), 1)]))
+        assert decoded == [(2**63 - 1, 1), (-(2**63), 1)]
+
+    def test_encoded_length_always_matches_wire_size(self):
+        for n in (0, 1, 17, 128):
+            pairs = [(i, i + 1) for i in range(n)]
+            assert len(encode_summary(pairs)) == summary_wire_size(n)
+
+
 class TestWireProperties:
     @given(
         pairs=st.lists(

@@ -121,6 +121,23 @@ class TestChaos:
         assert "--loss" in capsys.readouterr().err
 
 
+class TestNetdemo:
+    def test_three_process_run_reports_wire_channels(self, capsys):
+        assert main(["netdemo", "--items", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "across 3 worker processes" in out
+        assert "join         -> worker-" in out
+        assert "wire channels (sender-side accounting)" in out
+        assert "summary-0" in out and "src-0" in out
+        assert "adaptation exceptions delivered over the wire:" in out
+
+    def test_bad_flags_rejected(self, capsys):
+        assert main(["netdemo", "--workers", "1"]) == 1
+        assert "--workers" in capsys.readouterr().err
+        assert main(["netdemo", "--items", "0"]) == 1
+        assert "--items" in capsys.readouterr().err
+
+
 class TestJsonOutput:
     def test_fig5_json_written(self, tmp_path, capsys):
         out = tmp_path / "fig5.json"
