@@ -19,7 +19,7 @@ import enum
 import itertools
 from typing import Any, Callable, Dict, Optional
 
-from repro.grid.registry import ServiceRegistry
+from repro.grid.registry import RegistryError, ServiceRegistry
 from repro.simnet.hosts import Host
 
 __all__ = ["GatesServiceInstance", "ServiceContainer", "ServiceError", "ServiceState"]
@@ -182,7 +182,9 @@ class ServiceContainer:
         if self.registry is not None:
             try:
                 self.registry.deregister_service(self._registry_key(name))
-            except Exception:
+            except RegistryError:
+                # Never registered (container created without activation
+                # registration); nothing to deregister.
                 pass
 
     def _registry_key(self, name: str) -> str:
