@@ -1,0 +1,40 @@
+"""Static analysis for the middleware: pipeline verifier + repo lint.
+
+Two halves share the :mod:`~repro.analysis.diagnostics` machinery and the
+``GAxxx`` code catalog (:mod:`~repro.analysis.codes`):
+
+* the **pipeline verifier** (:mod:`~repro.analysis.verifier`) runs
+  multi-pass semantic analysis over application configurations —
+  ``repro check app.xml`` on the command line, and the pre-deploy gate
+  inside all three runtimes;
+* the **repo lint** (:mod:`~repro.analysis.lint`) runs AST checkers over
+  the source tree enforcing invariants generic linters cannot express —
+  ``repro lint`` / ``python -m repro.analysis.lint``.
+
+See ``docs/static_analysis.md`` for the catalog of diagnostic codes.
+"""
+
+from repro.analysis.codes import CODES, CodeInfo, config_codes, info_for, lint_codes
+from repro.analysis.diagnostics import Diagnostic, Report, Severity, SourceSpan
+from repro.analysis.verifier import (
+    verify_config,
+    verify_document,
+    verify_path,
+    verify_raw,
+)
+
+__all__ = [
+    "CODES",
+    "CodeInfo",
+    "Diagnostic",
+    "Report",
+    "Severity",
+    "SourceSpan",
+    "config_codes",
+    "info_for",
+    "lint_codes",
+    "verify_config",
+    "verify_document",
+    "verify_path",
+    "verify_raw",
+]

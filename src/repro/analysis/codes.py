@@ -1,0 +1,180 @@
+"""The catalog of diagnostic codes.
+
+Every diagnostic the verifier or the linter can emit has a stable
+``GAxxx`` code registered here — the analysis-layer analogue of the
+metric-name catalog in :mod:`repro.obs.names`.  The catalog is the
+single source of truth three consumers share:
+
+* :meth:`repro.analysis.diagnostics.Report.add` resolves each code's
+  default severity and fix hint from it (an unregistered code is a bug);
+* ``docs/static_analysis.md`` documents exactly these codes, and the
+  docs-consistency check (:mod:`repro.analysis.docscheck`, run as a
+  tier-1 test) fails when either side drifts;
+* per-file ``# repro: noqa[GAxxx]`` suppressions are validated against
+  it so a typo'd suppression is itself a finding.
+
+Numbering: ``GA1xx`` graph/structure passes, ``GA2xx`` adaptation
+(parameter) passes, ``GA3xx`` deployment passes (code resolution,
+checkpoint contract, placement, wire sizing), ``GA5xx`` AST lint rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.diagnostics import Severity
+
+__all__ = ["CODES", "CodeInfo", "config_codes", "info_for", "lint_codes"]
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """One catalog entry: a diagnostic code and its meaning."""
+
+    code: str
+    #: ``config`` (pipeline verifier) or ``lint`` (AST checker).
+    kind: str
+    #: Default severity (a producer may override per-finding).
+    severity: Severity
+    #: One-line statement of the invariant the code enforces.
+    title: str
+    #: Default ``= help:`` hint rendered with findings.
+    hint: str
+
+
+_ALL: List[CodeInfo] = [
+    # -- GA1xx: graph / structure --------------------------------------------
+    CodeInfo("GA100", "config", Severity.ERROR,
+             "configuration document is malformed",
+             "fix the XML shape: <application name=...> containing <stage> "
+             "and <stream> elements with the required attributes"),
+    CodeInfo("GA101", "config", Severity.ERROR,
+             "stage graph contains a cycle",
+             "remove one stream to break the cycle; GATES applications "
+             "are pipelines (DAGs)"),
+    CodeInfo("GA102", "config", Severity.ERROR,
+             "stream endpoint references an unknown stage",
+             "declare the stage, or fix the stream's from=/to= attribute"),
+    CodeInfo("GA103", "config", Severity.ERROR,
+             "duplicate stream between the same stage pair",
+             "merge the parallel streams into one; the stage graph keeps "
+             "a single edge per pair, so the second stream is silently lost"),
+    CodeInfo("GA104", "config", Severity.WARNING,
+             "stage is disconnected from the pipeline",
+             "connect the stage with a <stream>, or delete it"),
+    CodeInfo("GA105", "config", Severity.ERROR,
+             "duplicate stage or stream name",
+             "names must be unique within the application; rename one"),
+    CodeInfo("GA106", "config", Severity.ERROR,
+             "declared fan-in disagrees with the connected streams",
+             "make the stage's fan-in property match the number of "
+             "incoming streams, or drop the property"),
+    # -- GA2xx: adaptation parameters ----------------------------------------
+    CodeInfo("GA201", "config", Severity.ERROR,
+             "parameter initial value outside [min, max]",
+             "choose an init inside the declared range"),
+    CodeInfo("GA202", "config", Severity.ERROR,
+             "parameter minimum exceeds maximum",
+             "swap or fix the min=/max= attributes"),
+    CodeInfo("GA203", "config", Severity.ERROR,
+             "parameter increment or direction is invalid",
+             "increment must be > 0 and direction must be +1 or -1 "
+             "(the sign of dRate/dParameter, Section 3.3)"),
+    CodeInfo("GA204", "config", Severity.WARNING,
+             "parameter maximum unreachable by increment stepping",
+             "make (max - min) a whole multiple of increment; Section-4 "
+             "dP suggestions are quantized to the increment grid from min, "
+             "so max is otherwise only reached by clamping"),
+    CodeInfo("GA205", "config", Severity.WARNING,
+             "parameter initial value off the increment grid",
+             "set init = min + k * increment so the first adjustment does "
+             "not silently move the value"),
+    CodeInfo("GA206", "config", Severity.WARNING,
+             "parameter increment exceeds the adjustable span",
+             "shrink the increment; a single step already overshoots the "
+             "whole [min, max] range, so adaptation can only slam between "
+             "the bounds"),
+    CodeInfo("GA207", "config", Severity.ERROR,
+             "parameter declared twice in one stage",
+             "a stage may declare each adjustment parameter once "
+             "(specifyPara rejects redeclaration at runtime)"),
+    CodeInfo("GA208", "config", Severity.WARNING,
+             "stage property disagrees with the declared parameter",
+             "keep the mirrored property (name, name-min, name-max) equal "
+             "to the parameter declaration, or remove the property"),
+    # -- GA3xx: deployment ----------------------------------------------------
+    CodeInfo("GA301", "config", Severity.ERROR,
+             "stage code URL does not resolve in the repository",
+             "publish the code under that repo:// URL, or use a "
+             "py://module:Attribute import path"),
+    CodeInfo("GA302", "config", Severity.ERROR,
+             "stage class breaks the snapshot/restore contract",
+             "override snapshot() and restore() together (or neither); "
+             "an asymmetric override cannot fail over correctly"),
+    CodeInfo("GA303", "config", Severity.ERROR,
+             "placement is infeasible on the target fabric",
+             "relax the requirement (cores/memory/bandwidth/placement "
+             "hint) or enlarge the fabric"),
+    CodeInfo("GA304", "config", Severity.WARNING,
+             "summary stream item-size disagrees with the wire codec",
+             "sketch-producing stages emit 12-byte (value, count) pairs "
+             "(streams.wire PAIR_BYTES); declare item-size accordingly so "
+             "link accounting matches the bytes actually sent"),
+    # -- GA5xx: AST lint ------------------------------------------------------
+    CodeInfo("GA500", "lint", Severity.ERROR,
+             "file cannot be analyzed or suppression is invalid",
+             "fix the syntax error, or correct the # repro: noqa[...] "
+             "marker to name a registered code"),
+    CodeInfo("GA501", "lint", Severity.ERROR,
+             "metric name does not resolve in the catalog",
+             "register the template in repro.obs.names.METRICS (and "
+             "document it) before publishing the metric"),
+    CodeInfo("GA502", "lint", Severity.ERROR,
+             "wall-clock call in a deterministic module",
+             "simulated code must take time from the simulation "
+             "Environment, never time.time()/datetime.now()"),
+    CodeInfo("GA503", "lint", Severity.ERROR,
+             "module-level random generator in a deterministic module",
+             "use a seeded random.Random(seed) instance; the global RNG "
+             "breaks run-to-run reproducibility"),
+    CodeInfo("GA504", "lint", Severity.ERROR,
+             "blocking call inside an async function",
+             "use the asyncio equivalent (asyncio.sleep, streams, "
+             "run_in_executor); a blocking call stalls the event loop"),
+    CodeInfo("GA505", "lint", Severity.ERROR,
+             "synchronous lock held across an await",
+             "a threading lock held across an await point can deadlock "
+             "the event loop; use asyncio.Lock with async with"),
+    CodeInfo("GA506", "lint", Severity.ERROR,
+             "snapshot/restore overridden asymmetrically",
+             "StreamProcessor subclasses must override snapshot() and "
+             "restore() together (or neither)"),
+    CodeInfo("GA507", "lint", Severity.ERROR,
+             "bare or swallowed exception handler",
+             "catch the narrowest exception type that can actually occur, "
+             "and never discard it silently in data-plane code"),
+]
+
+CODES: Dict[str, CodeInfo] = {info.code: info for info in _ALL}
+
+
+def info_for(code: str) -> CodeInfo:
+    """The catalog entry for ``code``; raises ``KeyError`` if unknown."""
+    try:
+        return CODES[code]
+    except KeyError:
+        raise KeyError(
+            f"diagnostic code {code!r} is not registered in "
+            "repro.analysis.codes.CODES"
+        ) from None
+
+
+def config_codes() -> List[CodeInfo]:
+    """Catalog entries produced by the pipeline verifier."""
+    return [info for info in _ALL if info.kind == "config"]
+
+
+def lint_codes() -> List[CodeInfo]:
+    """Catalog entries produced by the AST lint suite."""
+    return [info for info in _ALL if info.kind == "lint"]

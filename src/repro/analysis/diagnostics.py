@@ -1,0 +1,246 @@
+"""Structured diagnostics shared by the pipeline verifier and the linter.
+
+Every finding — a semantic defect in an application configuration or a
+source-level invariant violation — is one :class:`Diagnostic`: a stable
+``GAxxx`` code (catalogued in :mod:`repro.analysis.codes`), a severity, a
+human message, an optional fix hint, and a :class:`SourceSpan` locating
+it either in a file (``path:line``) or inside the configuration document
+model (``stage 'join' / parameter 'sample-size'``).
+
+A :class:`Report` collects diagnostics and renders them two ways:
+
+* :meth:`Report.render_text` — a rustc-style text report (code, arrowed
+  location, the offending source line when available, ``= help:`` hint);
+* :meth:`Report.render_json` — a machine-readable JSON document for CI
+  annotation tooling.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["Diagnostic", "Report", "Severity", "SourceSpan"]
+
+
+class Severity(enum.Enum):
+    """Diagnostic severity, ordered from most to least blocking."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Sort key: errors first."""
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """Where a diagnostic points.
+
+    ``file``/``line``/``column`` locate a span in a source document (XML
+    configuration or Python module); ``config_path`` names the element
+    of the configuration model (``"stage 'join'"``) for diagnostics that
+    arise from an in-memory :class:`~repro.grid.config.AppConfig` with
+    no backing document.  Either half may be absent.
+    """
+
+    file: Optional[str] = None
+    line: Optional[int] = None
+    column: Optional[int] = None
+    config_path: Optional[str] = None
+
+    def location(self) -> str:
+        """Human-readable location (``file.xml:12`` or a config path)."""
+        parts: List[str] = []
+        if self.file is not None:
+            where = self.file
+            if self.line is not None:
+                where += f":{self.line}"
+                if self.column is not None:
+                    where += f":{self.column}"
+            parts.append(where)
+        if self.config_path:
+            parts.append(self.config_path)
+        return ": ".join(parts) if parts else "<config>"
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (
+            self.file or "",
+            self.line if self.line is not None else 0,
+            self.column if self.column is not None else 0,
+            self.config_path or "",
+        )
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding, ready to render or serialize."""
+
+    code: str
+    severity: Severity
+    message: str
+    span: SourceSpan = field(default_factory=SourceSpan)
+    #: One-line actionable fix suggestion (rendered as ``= help:``).
+    hint: Optional[str] = None
+    #: The offending source line, verbatim, when the producer had it.
+    source_line: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-representable form (used by ``render_json``)."""
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "file": self.span.file,
+            "line": self.span.line,
+            "column": self.span.column,
+            "config_path": self.span.config_path,
+            "hint": self.hint,
+        }
+
+
+class Report:
+    """An ordered collection of diagnostics with rendering helpers."""
+
+    def __init__(self, diagnostics: Optional[List[Diagnostic]] = None) -> None:
+        self.diagnostics: List[Diagnostic] = list(diagnostics or [])
+
+    def add(
+        self,
+        code: str,
+        message: str,
+        *,
+        severity: Optional[Severity] = None,
+        span: Optional[SourceSpan] = None,
+        hint: Optional[str] = None,
+        source_line: Optional[str] = None,
+    ) -> Diagnostic:
+        """Append a diagnostic for ``code``.
+
+        ``severity``/``hint`` default to the catalogued values for the
+        code (see :mod:`repro.analysis.codes`).
+        """
+        from repro.analysis.codes import info_for
+
+        info = info_for(code)
+        diagnostic = Diagnostic(
+            code=code,
+            severity=severity if severity is not None else info.severity,
+            message=message,
+            span=span if span is not None else SourceSpan(),
+            hint=hint if hint is not None else info.hint,
+            source_line=source_line,
+        )
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    def extend(self, other: "Report") -> None:
+        """Absorb another report's diagnostics."""
+        self.diagnostics.extend(other.diagnostics)
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def infos(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.INFO]
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing blocks (no error-severity diagnostics)."""
+        return not self.errors
+
+    @property
+    def clean(self) -> bool:
+        """True when there is nothing to show at all."""
+        return not self.diagnostics
+
+    def codes(self) -> List[str]:
+        """Distinct codes present, sorted."""
+        return sorted({d.code for d in self.diagnostics})
+
+    def sorted(self) -> List[Diagnostic]:
+        """Diagnostics ordered by location, then severity, then code."""
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (d.span.sort_key(), d.severity.rank, d.code),
+        )
+
+    # -- rendering -----------------------------------------------------------
+
+    def render_text(self) -> str:
+        """The rustc-style text report (one block per diagnostic)."""
+        blocks: List[str] = []
+        for diagnostic in self.sorted():
+            lines = [
+                f"{diagnostic.severity.value}[{diagnostic.code}]: "
+                f"{diagnostic.message}",
+                f"  --> {diagnostic.span.location()}",
+            ]
+            if diagnostic.source_line is not None:
+                shown = diagnostic.source_line.rstrip()
+                stripped = shown.lstrip()
+                indent = len(shown) - len(stripped)
+                number = (
+                    f"{diagnostic.span.line}" if diagnostic.span.line is not None
+                    else "?"
+                )
+                gutter = " " * len(number)
+                lines.append(f"{gutter} |")
+                lines.append(f"{number} | {stripped}")
+                caret_at = (
+                    diagnostic.span.column - 1 if diagnostic.span.column else 0
+                )
+                caret = " " * max(0, caret_at - indent) + "^"
+                lines.append(f"{gutter} | {caret}")
+            if diagnostic.hint:
+                lines.append(f"  = help: {diagnostic.hint}")
+            blocks.append("\n".join(lines))
+        summary = self.summary_line()
+        if blocks:
+            return "\n\n".join(blocks) + "\n\n" + summary
+        return summary
+
+    def summary_line(self) -> str:
+        """One-line tally (``2 errors, 1 warning``; ``no findings``)."""
+        parts: List[str] = []
+        for label, found in (
+            ("error", self.errors),
+            ("warning", self.warnings),
+            ("info", self.infos),
+        ):
+            if found:
+                plural = "s" if len(found) != 1 else ""
+                parts.append(f"{len(found)} {label}{plural}")
+        return ", ".join(parts) if parts else "no findings"
+
+    def render_json(self) -> str:
+        """Machine-readable report (schema stable; see docs/static_analysis.md)."""
+        payload = {
+            "diagnostics": [d.to_dict() for d in self.sorted()],
+            "summary": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "infos": len(self.infos),
+                "codes": self.codes(),
+            },
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __repr__(self) -> str:
+        return f"Report({self.summary_line()})"

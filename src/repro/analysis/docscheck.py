@@ -1,0 +1,66 @@
+"""Docs-consistency check: the code catalog and the docs must agree.
+
+``docs/static_analysis.md`` documents every diagnostic code in a markdown
+table whose first column is the backticked code and whose second column
+is the kind (``config``/``lint``).  :func:`check_docs` diffs that table
+against the authoritative catalog (:data:`repro.analysis.codes.CODES`)
+in both directions — a code registered without a docs row, a docs row
+for a removed code, or a kind mismatch each produce one problem string.
+The tier-1 test ``tests/analysis/test_docscheck.py`` asserts the list is
+empty, so the reference cannot drift (same pattern as
+:mod:`repro.obs.docscheck`).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.analysis.codes import CODES
+
+__all__ = ["check_docs", "default_docs_path", "documented_codes"]
+
+#: A code-table row: ``| `GA101` | config | ...``.
+_ROW = re.compile(r"^\|\s*`(?P<code>GA\d{3})`\s*\|\s*(?P<kind>\w+)\s*\|")
+
+
+def default_docs_path() -> Path:
+    """``docs/static_analysis.md`` relative to the repository root."""
+    return Path(__file__).resolve().parents[3] / "docs" / "static_analysis.md"
+
+
+def documented_codes(path: Path) -> Dict[str, str]:
+    """Parse ``{code: kind}`` from the docs' code-table rows."""
+    documented: Dict[str, str] = {}
+    for line in path.read_text(encoding="utf-8").splitlines():
+        match = _ROW.match(line.strip())
+        if match:
+            documented[match.group("code")] = match.group("kind")
+    return documented
+
+
+def check_docs(path: Optional[Path] = None) -> List[str]:
+    """Problems keeping the docs and the catalog apart (empty = in sync)."""
+    path = path if path is not None else default_docs_path()
+    if not path.exists():
+        return [f"docs file missing: {path}"]
+    documented = documented_codes(path)
+    cataloged: Dict[str, str] = {code: info.kind for code, info in CODES.items()}
+    problems: List[str] = []
+    for code, kind in sorted(cataloged.items()):
+        if code not in documented:
+            problems.append(
+                f"registered code {code!r} is not documented in {path.name}"
+            )
+        elif documented[code] != kind:
+            problems.append(
+                f"{code!r}: catalog says {kind}, docs say {documented[code]}"
+            )
+    for code in sorted(documented):
+        if code not in cataloged:
+            problems.append(
+                f"{path.name} documents {code!r}, which is not registered "
+                "(repro.analysis.codes.CODES)"
+            )
+    return problems

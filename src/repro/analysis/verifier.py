@@ -1,0 +1,422 @@
+"""Multi-pass semantic verifier for application configurations.
+
+The Launcher "parses an XML file specifying the configuration information
+of an application" before the Deployer touches the grid (Section 3.2).
+:meth:`AppConfig.validate` only enforces the structural minimum (names,
+endpoints, acyclicity); this module is the deep pre-deploy gate that the
+``repro check`` command and all three runtimes run, covering what
+otherwise surfaces at runtime — possibly mid-failover on a remote worker:
+
+* **graph passes** — cycles (GA101), dangling stream endpoints (GA102),
+  duplicate streams between one stage pair (GA103, which the single-edge
+  stage graph would silently collapse), disconnected stages (GA104),
+  duplicate names (GA105), declared fan-in vs. connected streams (GA106);
+* **adaptation passes** — parameter range and shape errors (GA201-203,
+  GA207), Section-4 increment-grid reachability (GA204-206), stage
+  properties that mirror a parameter but disagree with it (GA208);
+* **deployment passes** — stage code resolution through the repository
+  (GA301), the snapshot/restore checkpoint contract (GA302), a placement
+  feasibility dry-run against the Matchmaker (GA303), and summary-stream
+  item sizes vs. the wire codec (GA304).
+
+Entry points: :func:`verify_path` / :func:`verify_document` analyze XML
+text (tolerantly parsed, with line numbers); :func:`verify_config`
+analyzes an in-memory :class:`~repro.grid.config.AppConfig` (used by the
+runtimes' pre-deploy gates).  All return a
+:class:`~repro.analysis.diagnostics.Report`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.analysis.diagnostics import Report
+from repro.analysis.xmlparse import (
+    RawApp,
+    RawParameter,
+    RawStage,
+    parse_document,
+)
+
+__all__ = ["verify_config", "verify_document", "verify_path", "verify_raw"]
+
+#: Relative/absolute tolerance for the increment-grid arithmetic: config
+#: values are human-written decimals, so exact float equality is wrong.
+_TOL = 1e-9
+
+#: Stage property declaring the expected number of incoming streams.
+FAN_IN_PROPERTY = "fan-in"
+
+#: Stage property marking a sketch-producing stage (its output streams
+#: carry (value, count) summary pairs in the streams.wire codec).
+SKETCH_PROPERTY = "sketch"
+
+
+def verify_path(
+    path: str,
+    *,
+    repository: Optional[object] = None,
+    registry: Optional[object] = None,
+) -> Report:
+    """Verify the configuration document at ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return verify_document(
+        text, filename=path, repository=repository, registry=registry
+    )
+
+
+def verify_document(
+    text: str,
+    filename: Optional[str] = None,
+    *,
+    repository: Optional[object] = None,
+    registry: Optional[object] = None,
+) -> Report:
+    """Verify configuration XML ``text`` (tolerant parse, all passes)."""
+    app, shape_diagnostics = parse_document(text, filename)
+    report = Report(shape_diagnostics)
+    if app is not None:
+        report.extend(verify_raw(app, repository=repository, registry=registry))
+    return report
+
+
+def verify_config(
+    config: "AppConfig",  # noqa: F821 - imported lazily to avoid a cycle
+    *,
+    repository: Optional[object] = None,
+    registry: Optional[object] = None,
+) -> Report:
+    """Verify an in-memory AppConfig (no file spans, same passes)."""
+    return verify_raw(
+        RawApp.from_config(config), repository=repository, registry=registry
+    )
+
+
+def verify_raw(
+    app: RawApp,
+    *,
+    repository: Optional[object] = None,
+    registry: Optional[object] = None,
+) -> Report:
+    """Run every semantic pass over a tolerant document model.
+
+    ``repository`` (a :class:`~repro.grid.repository.CodeRepository`)
+    enables the code-resolution and checkpoint-contract passes;
+    ``registry`` (a :class:`~repro.grid.registry.ServiceRegistry` with a
+    registered network) enables the placement dry-run.  Either may be
+    None, which skips the corresponding passes — the graph and parameter
+    passes never need external services.
+    """
+    report = Report()
+    _check_names(app, report)
+    _check_graph(app, report)
+    _check_fan_in(app, report)
+    for stage in app.stages:
+        _check_parameters(app, stage, report)
+        _check_property_mirrors(app, stage, report)
+    _check_wire(app, report)
+    if repository is not None:
+        _check_codes(app, repository, report)
+    if registry is not None:
+        _check_placement(app, registry, report)
+    return report
+
+
+def _add(
+    report: Report,
+    app: RawApp,
+    code: str,
+    message: str,
+    *,
+    line: Optional[int] = None,
+    config_path: Optional[str] = None,
+) -> None:
+    """Report a finding located in ``app`` (attaching the source line)."""
+    report.add(
+        code,
+        message,
+        span=app.span(line, config_path),
+        source_line=app.excerpt(line),
+    )
+
+
+# -- GA1xx: names and graph ----------------------------------------------------
+
+
+def _check_names(app: RawApp, report: Report) -> None:
+    """GA100 (empty app), GA105 (duplicate names), GA207 (dup parameters)."""
+    if not app.stages:
+        _add(report, app, "GA100",
+             f"application {app.name!r} declares no stages")
+    seen_stages: Dict[str, RawStage] = {}
+    for stage in app.stages:
+        if stage.name in seen_stages:
+            _add(report, app, "GA105",
+                 f"stage name {stage.name!r} declared more than once",
+                 line=stage.line, config_path=f"stage {stage.name!r}")
+        else:
+            seen_stages[stage.name] = stage
+    seen_streams: Dict[str, int] = {}
+    for stream in app.streams:
+        if stream.name in seen_streams:
+            _add(report, app, "GA105",
+                 f"stream name {stream.name!r} declared more than once",
+                 line=stream.line, config_path=f"stream {stream.name!r}")
+        else:
+            seen_streams[stream.name] = 1
+    for stage in app.stages:
+        declared: Dict[str, int] = {}
+        for param in stage.parameters:
+            if param.name and param.name in declared:
+                _add(report, app, "GA207",
+                     f"stage {stage.name!r} declares parameter "
+                     f"{param.name!r} twice",
+                     line=param.line,
+                     config_path=f"stage {stage.name!r} / "
+                                 f"parameter {param.name!r}")
+            declared[param.name] = 1
+
+
+def _check_graph(app: RawApp, report: Report) -> None:
+    """GA101 (cycles), GA102 (dangling endpoints), GA103 (duplicate
+    edges), GA104 (disconnected stages)."""
+    known = {stage.name for stage in app.stages}
+    pairs: Dict[Tuple[str, str], List[str]] = {}
+    graph = nx.DiGraph()
+    graph.add_nodes_from(known)
+    for stream in app.streams:
+        dangling = False
+        for label, endpoint in (("from", stream.src), ("to", stream.dst)):
+            if endpoint not in known:
+                _add(report, app, "GA102",
+                     f"stream {stream.name!r} {label}= references unknown "
+                     f"stage {endpoint!r}",
+                     line=stream.line, config_path=f"stream {stream.name!r}")
+                dangling = True
+        if dangling:
+            continue
+        pairs.setdefault((stream.src, stream.dst), []).append(stream.name)
+        graph.add_edge(stream.src, stream.dst)
+    for (src, dst), names in sorted(pairs.items()):
+        if len(names) > 1:
+            first, rest = names[0], names[1:]
+            _add(report, app, "GA103",
+                 f"streams {', '.join(repr(n) for n in rest)} duplicate "
+                 f"stream {first!r} between {src!r} and {dst!r}",
+                 config_path=f"stream {rest[0]!r}")
+    if not nx.is_directed_acyclic_graph(graph):
+        cycle = nx.find_cycle(graph)
+        path = " -> ".join([edge[0] for edge in cycle] + [cycle[0][0]])
+        _add(report, app, "GA101",
+             f"stage graph has a cycle: {path}")
+    if len(app.stages) > 1:
+        touched = {s.src for s in app.streams} | {s.dst for s in app.streams}
+        for stage in app.stages:
+            if stage.name not in touched:
+                _add(report, app, "GA104",
+                     f"stage {stage.name!r} has no incoming or outgoing "
+                     "streams",
+                     line=stage.line, config_path=f"stage {stage.name!r}")
+
+
+def _check_fan_in(app: RawApp, report: Report) -> None:
+    """GA106: the optional ``fan-in`` property must match the in-degree."""
+    for stage in app.stages:
+        declared = stage.properties.get(FAN_IN_PROPERTY)
+        if declared is None:
+            continue
+        config_path = f"stage {stage.name!r}"
+        try:
+            expected = int(declared)
+        except ValueError:
+            _add(report, app, "GA106",
+                 f"stage {stage.name!r}: {FAN_IN_PROPERTY} property "
+                 f"{declared!r} is not an integer",
+                 line=stage.line, config_path=config_path)
+            continue
+        actual = sum(1 for s in app.streams if s.dst == stage.name)
+        if expected != actual:
+            _add(report, app, "GA106",
+                 f"stage {stage.name!r} declares {FAN_IN_PROPERTY}="
+                 f"{expected} but {actual} incoming stream"
+                 f"{'s connect' if actual != 1 else ' connects'} to it",
+                 line=stage.line, config_path=config_path)
+
+
+# -- GA2xx: adaptation parameters ----------------------------------------------
+
+
+def _off_grid(offset: float, increment: float) -> bool:
+    """True when ``offset`` is not a whole multiple of ``increment``."""
+    steps = offset / increment
+    return abs(steps - round(steps)) > _TOL * max(1.0, abs(steps))
+
+
+def _check_parameters(app: RawApp, stage: RawStage, report: Report) -> None:
+    """GA201-GA206 for every parameter of one stage."""
+    for param in stage.parameters:
+        if not param.ok:
+            continue  # shape errors already reported as GA100
+        config_path = f"stage {stage.name!r} / parameter {param.name!r}"
+
+        def emit(code: str, message: str, _p: RawParameter = param,
+                 _cp: str = config_path) -> None:
+            _add(report, app, code, message, line=_p.line, config_path=_cp)
+
+        range_ok = True
+        if param.minimum > param.maximum:
+            emit("GA202",
+                 f"parameter {param.name!r}: min {param.minimum:g} > "
+                 f"max {param.maximum:g}")
+            range_ok = False
+        elif not (param.minimum <= param.init <= param.maximum):
+            emit("GA201",
+                 f"parameter {param.name!r}: init {param.init:g} outside "
+                 f"[{param.minimum:g}, {param.maximum:g}]")
+            range_ok = False
+        stepping_ok = True
+        if not (param.increment > 0):  # catches NaN too
+            emit("GA203",
+                 f"parameter {param.name!r}: increment must be > 0, "
+                 f"got {param.increment:g}")
+            stepping_ok = False
+        if param.direction not in (-1.0, 1.0):
+            emit("GA203",
+                 f"parameter {param.name!r}: direction must be +1 or -1, "
+                 f"got {param.direction:g}")
+            stepping_ok = False
+        if not (range_ok and stepping_ok):
+            continue
+        span = param.maximum - param.minimum
+        if span > 0 and param.increment > span + _TOL:
+            emit("GA206",
+                 f"parameter {param.name!r}: increment {param.increment:g} "
+                 f"exceeds the adjustable span {span:g}")
+            continue
+        if span > 0 and _off_grid(span, param.increment):
+            emit("GA204",
+                 f"parameter {param.name!r}: max {param.maximum:g} is not "
+                 f"min + k*increment (increment {param.increment:g}), so "
+                 "adaptation only reaches it by clamping")
+        if _off_grid(param.init - param.minimum, param.increment):
+            emit("GA205",
+                 f"parameter {param.name!r}: init {param.init:g} is off the "
+                 f"min + k*increment grid (increment {param.increment:g}); "
+                 "the first adjustment will move it")
+
+
+def _check_property_mirrors(app: RawApp, stage: RawStage, report: Report) -> None:
+    """GA208: ``name``/``name-min``/``name-max`` properties must agree
+    with the parameter declaration they mirror."""
+    for param in stage.parameters:
+        if not param.ok or not param.name:
+            continue
+        mirrors = (
+            (param.name, "init", param.init),
+            (f"{param.name}-min", "min", param.minimum),
+            (f"{param.name}-max", "max", param.maximum),
+        )
+        for key, attribute, declared in mirrors:
+            text = stage.properties.get(key)
+            if text is None:
+                continue
+            try:
+                value = float(text)
+            except ValueError:
+                continue  # non-numeric property, not a mirror
+            if not math.isclose(value, declared, rel_tol=_TOL, abs_tol=_TOL):
+                _add(report, app, "GA208",
+                     f"stage {stage.name!r}: property {key}={value:g} "
+                     f"disagrees with parameter {param.name!r} "
+                     f"{attribute}={declared:g}",
+                     line=param.line,
+                     config_path=f"stage {stage.name!r} / property {key!r}")
+
+
+# -- GA3xx: deployment ---------------------------------------------------------
+
+
+def _check_codes(app: RawApp, repository: object, report: Report) -> None:
+    """GA301 (unresolvable code URL), GA302 (checkpoint contract)."""
+    from repro.core.api import StreamProcessor
+    from repro.grid.repository import RepositoryError
+
+    for stage in app.stages:
+        config_path = f"stage {stage.name!r}"
+        try:
+            factory: Callable[..., object] = repository.fetch(stage.code_url)
+        except RepositoryError as exc:
+            _add(report, app, "GA301",
+                 f"stage {stage.name!r}: {exc}",
+                 line=stage.line, config_path=config_path)
+            continue
+        cls = factory if isinstance(factory, type) else type(factory)
+        if not (isinstance(factory, type)
+                and issubclass(factory, StreamProcessor)):
+            # A non-class factory (closure, partial) could build anything;
+            # the contract can only be checked statically for classes.
+            continue
+        has_snapshot = cls.snapshot is not StreamProcessor.snapshot
+        has_restore = cls.restore is not StreamProcessor.restore
+        if has_snapshot != has_restore:
+            present = "snapshot()" if has_snapshot else "restore()"
+            missing = "restore()" if has_snapshot else "snapshot()"
+            _add(report, app, "GA302",
+                 f"stage {stage.name!r}: class {cls.__name__} overrides "
+                 f"{present} but not {missing}; failover cannot rebuild "
+                 "its state",
+                 line=stage.line, config_path=config_path)
+
+
+def _check_wire(app: RawApp, report: Report) -> None:
+    """GA304: sketch-stage output streams must use the codec pair size."""
+    from repro.streams.wire import PAIR_BYTES
+
+    for stream in app.streams:
+        source = app.stage_named(stream.src)
+        if source is None or SKETCH_PROPERTY not in source.properties:
+            continue
+        if math.isnan(stream.item_size):
+            continue  # unparseable size already reported as GA100
+        if not math.isclose(stream.item_size, PAIR_BYTES,
+                            rel_tol=_TOL, abs_tol=_TOL):
+            _add(report, app, "GA304",
+                 f"stream {stream.name!r} from sketch stage {stream.src!r} "
+                 f"declares item-size {stream.item_size:g}, but the wire "
+                 f"codec sends {PAIR_BYTES}-byte (value, count) pairs",
+                 line=stream.line, config_path=f"stream {stream.name!r}")
+
+
+def _check_placement(app: RawApp, registry: object, report: Report) -> None:
+    """GA303: dry-run the Matchmaker over the declared requirements."""
+    from repro.grid.matchmaker import MatchError, Matchmaker
+    from repro.grid.resources import ResourceRequirement
+
+    requirements: List[Tuple[str, ResourceRequirement]] = []
+    for stage in app.stages:
+        raw = stage.requirement
+        if math.isnan(raw.min_memory_mb) or math.isnan(raw.min_speed_factor):
+            continue  # unparseable requirement already reported as GA100
+        try:
+            requirement = ResourceRequirement(
+                min_cores=raw.min_cores,
+                min_memory_mb=raw.min_memory_mb,
+                min_speed_factor=raw.min_speed_factor,
+                placement_hint=raw.placement_hint,
+                min_bandwidth_to=dict(raw.min_bandwidth_to),
+            )
+        except ValueError as exc:
+            _add(report, app, "GA303",
+                 f"stage {stage.name!r}: invalid requirement: {exc}",
+                 line=raw.line or stage.line,
+                 config_path=f"stage {stage.name!r}")
+            return
+        requirements.append((stage.name, requirement))
+    try:
+        Matchmaker(registry).match_all(requirements)
+    except MatchError as exc:
+        _add(report, app, "GA303", f"placement dry-run failed: {exc}")

@@ -1,0 +1,370 @@
+"""Lenient, line-tracking parse of application configuration documents.
+
+:meth:`repro.grid.config.AppConfig.from_xml` is deliberately fail-fast:
+it raises :class:`~repro.grid.config.ConfigError` on the *first* defect,
+which is the right contract for runtime loading but useless for a
+verifier whose job is to show the author *every* problem at once, with
+line numbers.  This module parses the same document format tolerantly:
+
+* it is built directly on :mod:`xml.parsers.expat`, so every element
+  carries its source line/column;
+* shape defects (missing attributes, unparseable numbers, unknown
+  elements) become ``GA100`` diagnostics and the offending element is
+  skipped — parsing always continues;
+* the result is a :class:`RawApp`: the unvalidated document model the
+  semantic passes in :mod:`repro.analysis.verifier` run over.  Unlike
+  :class:`~repro.grid.config.AppConfig`, a ``RawApp`` may hold cycles,
+  out-of-range parameters, or dangling stream endpoints — surfacing
+  those as structured diagnostics is the whole point.
+
+``RawApp.from_config`` converts an already-built (hence already
+shape-valid) ``AppConfig`` so the runtimes can verify programmatic
+configurations through the identical passes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+from xml.parsers import expat
+
+from repro.analysis.diagnostics import Diagnostic, Report, SourceSpan
+
+__all__ = [
+    "RawApp",
+    "RawParameter",
+    "RawRequirement",
+    "RawStage",
+    "RawStream",
+    "parse_document",
+]
+
+
+@dataclass
+class RawParameter:
+    """An adjustment-parameter declaration, numbers parsed best-effort.
+
+    Unparseable numeric attributes land as ``nan`` (already reported as
+    GA100 by the parser); ``ok`` is False in that case so the semantic
+    passes skip range analysis instead of comparing against ``nan``.
+    """
+
+    name: str
+    init: float = math.nan
+    minimum: float = math.nan
+    maximum: float = math.nan
+    increment: float = math.nan
+    direction: float = math.nan
+    line: Optional[int] = None
+    ok: bool = True
+
+
+@dataclass
+class RawRequirement:
+    """A stage's resource requirement, shape-checked only."""
+
+    min_cores: int = 1
+    min_memory_mb: float = 0.0
+    min_speed_factor: float = 0.0
+    placement_hint: Optional[str] = None
+    min_bandwidth_to: Dict[str, float] = field(default_factory=dict)
+    line: Optional[int] = None
+
+
+@dataclass
+class RawStage:
+    """One ``<stage>`` element."""
+
+    name: str
+    code_url: str
+    requirement: RawRequirement = field(default_factory=RawRequirement)
+    parameters: List[RawParameter] = field(default_factory=list)
+    properties: Dict[str, str] = field(default_factory=dict)
+    line: Optional[int] = None
+
+
+@dataclass
+class RawStream:
+    """One ``<stream>`` element."""
+
+    name: str
+    src: str
+    dst: str
+    item_size: float = 8.0
+    line: Optional[int] = None
+
+
+@dataclass
+class RawApp:
+    """The tolerant document model the verifier passes consume."""
+
+    name: str
+    stages: List[RawStage] = field(default_factory=list)
+    streams: List[RawStream] = field(default_factory=list)
+    file: Optional[str] = None
+    #: Source text split into lines (for rustc-style excerpts), if parsed.
+    source_lines: Optional[List[str]] = None
+
+    def stage_named(self, name: str) -> Optional[RawStage]:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        return None
+
+    def span(
+        self, line: Optional[int], config_path: Optional[str] = None
+    ) -> SourceSpan:
+        """A span in this document (file + line when known)."""
+        return SourceSpan(file=self.file, line=line, config_path=config_path)
+
+    def excerpt(self, line: Optional[int]) -> Optional[str]:
+        """The source line at 1-based ``line``, if the text is available."""
+        if self.source_lines is None or line is None:
+            return None
+        if 1 <= line <= len(self.source_lines):
+            return self.source_lines[line - 1]
+        return None
+
+    @classmethod
+    def from_config(cls, config: "AppConfig") -> "RawApp":  # noqa: F821
+        """Mirror an in-memory AppConfig (no file, no line numbers)."""
+        stages = [
+            RawStage(
+                name=stage.name,
+                code_url=stage.code_url,
+                requirement=RawRequirement(
+                    min_cores=stage.requirement.min_cores,
+                    min_memory_mb=stage.requirement.min_memory_mb,
+                    min_speed_factor=stage.requirement.min_speed_factor,
+                    placement_hint=stage.requirement.placement_hint,
+                    min_bandwidth_to=dict(stage.requirement.min_bandwidth_to),
+                ),
+                parameters=[
+                    RawParameter(
+                        name=param.name,
+                        init=param.init,
+                        minimum=param.minimum,
+                        maximum=param.maximum,
+                        increment=param.increment,
+                        direction=float(param.direction),
+                    )
+                    for param in stage.parameters
+                ],
+                properties=dict(stage.properties),
+            )
+            for stage in config.stages
+        ]
+        streams = [
+            RawStream(
+                name=stream.name,
+                src=stream.src,
+                dst=stream.dst,
+                item_size=stream.item_size,
+            )
+            for stream in config.streams
+        ]
+        return cls(name=config.name, stages=stages, streams=streams)
+
+
+class _DocumentBuilder:
+    """Expat handler assembling a RawApp and collecting shape defects."""
+
+    _STAGE_CHILDREN = ("requirement", "parameter", "property")
+
+    def __init__(self, filename: Optional[str]) -> None:
+        self.filename = filename
+        self.report = Report()
+        self.app: Optional[RawApp] = None
+        self._parser = expat.ParserCreate()
+        self._parser.StartElementHandler = self._start
+        self._parser.EndElementHandler = self._end
+        self._stage: Optional[RawStage] = None
+        self._requirement: Optional[RawRequirement] = None
+        self._depth_skip = 0
+
+    # -- diagnostics helpers --------------------------------------------------
+
+    def _line(self) -> int:
+        return self._parser.CurrentLineNumber
+
+    def _ga100(self, message: str) -> None:
+        self.report.add(
+            "GA100",
+            message,
+            span=SourceSpan(file=self.filename, line=self._line()),
+        )
+
+    def _number(
+        self, tag: str, attrs: Dict[str, str], key: str, default: float
+    ) -> Tuple[float, bool]:
+        """Parse a float attribute; GA100 + nan marker on failure."""
+        text = attrs.get(key)
+        if text is None:
+            return default, True
+        try:
+            return float(text), True
+        except ValueError:
+            self._ga100(f"<{tag}> attribute {key}={text!r} is not a number")
+            return math.nan, False
+
+    # -- expat handlers -------------------------------------------------------
+
+    def _start(self, tag: str, attrs: Dict[str, str]) -> None:
+        if self._depth_skip:
+            self._depth_skip += 1
+            return
+        if self.app is None:
+            if tag != "application":
+                self._ga100(f"expected <application> root, got <{tag}>")
+                self.app = RawApp(name="", file=self.filename)
+                return
+            name = attrs.get("name", "")
+            if not name:
+                self._ga100("<application> missing 'name' attribute")
+            self.app = RawApp(name=name, file=self.filename)
+            return
+        if self._stage is not None:
+            self._start_stage_child(tag, attrs)
+            return
+        if tag == "stage":
+            name, code = attrs.get("name"), attrs.get("code")
+            if not name or not code:
+                self._ga100("<stage> requires 'name' and 'code' attributes")
+                self._depth_skip = 1
+                return
+            self._stage = RawStage(name=name, code_url=code, line=self._line())
+        elif tag == "stream":
+            name, src, dst = attrs.get("name"), attrs.get("from"), attrs.get("to")
+            if not name or not src or not dst:
+                self._ga100("<stream> requires 'name', 'from' and 'to' attributes")
+                self._depth_skip = 1
+                return
+            size, _ = self._number("stream", attrs, "item-size", 8.0)
+            if not math.isnan(size) and size <= 0:
+                self._ga100(
+                    f"stream {name!r}: item-size must be > 0, got {size}"
+                )
+            self.app.streams.append(
+                RawStream(name=name, src=src, dst=dst, item_size=size,
+                          line=self._line())
+            )
+        else:
+            self._ga100(f"unexpected element <{tag}> under <application>")
+            self._depth_skip = 1
+
+    def _start_stage_child(self, tag: str, attrs: Dict[str, str]) -> None:
+        stage = self._stage
+        assert stage is not None
+        if self._requirement is not None:
+            if tag == "bandwidth":
+                peer = attrs.get("to", "")
+                value, _ = self._number("bandwidth", attrs, "min", 0.0)
+                if peer:
+                    self._requirement.min_bandwidth_to[peer] = value
+                else:
+                    self._ga100("<bandwidth> missing 'to' attribute")
+            else:
+                self._ga100(f"unexpected element <{tag}> under <requirement>")
+                self._depth_skip = 1
+            return
+        if tag == "requirement":
+            cores_text = attrs.get("min-cores", "1")
+            try:
+                cores = int(cores_text)
+            except ValueError:
+                self._ga100(
+                    f"<requirement> attribute min-cores={cores_text!r} "
+                    "is not an integer"
+                )
+                cores = 1
+            memory, _ = self._number("requirement", attrs, "min-memory-mb", 0.0)
+            speed, _ = self._number("requirement", attrs, "min-speed-factor", 0.0)
+            self._requirement = RawRequirement(
+                min_cores=cores,
+                min_memory_mb=memory,
+                min_speed_factor=speed,
+                placement_hint=attrs.get("placement"),
+                line=self._line(),
+            )
+        elif tag == "parameter":
+            name = attrs.get("name", "")
+            if not name:
+                self._ga100("<parameter> missing 'name' attribute")
+            param = RawParameter(name=name, line=self._line())
+            ok = bool(name)
+            for key, attr in (
+                ("init", "init"), ("minimum", "min"), ("maximum", "max"),
+                ("increment", "increment"), ("direction", "direction"),
+            ):
+                if attr not in attrs:
+                    self._ga100(f"<parameter> {name!r} missing {attr!r} attribute")
+                    ok = False
+                    continue
+                value, parsed = self._number("parameter", attrs, attr, math.nan)
+                setattr(param, key, value)
+                ok = ok and parsed
+            param.ok = ok
+            stage.parameters.append(param)
+            self._depth_skip = 1  # parameters have no children
+        elif tag == "property":
+            key = attrs.get("key")
+            if not key:
+                self._ga100(f"<property> in stage {stage.name!r} missing key")
+            else:
+                stage.properties[key] = attrs.get("value", "")
+            self._depth_skip = 1
+        else:
+            self._ga100(
+                f"unexpected element <{tag}> in stage {stage.name!r}"
+            )
+            self._depth_skip = 1
+
+    def _end(self, tag: str) -> None:
+        if self._depth_skip:
+            self._depth_skip -= 1
+            return
+        if tag == "requirement" and self._requirement is not None:
+            assert self._stage is not None
+            self._stage.requirement = self._requirement
+            self._requirement = None
+        elif tag == "stage" and self._stage is not None:
+            assert self.app is not None
+            self.app.stages.append(self._stage)
+            self._stage = None
+
+    # -- driver ---------------------------------------------------------------
+
+    def parse(self, text: str) -> Tuple[Optional[RawApp], List[Diagnostic]]:
+        try:
+            self._parser.Parse(text, True)
+        except expat.ExpatError as exc:
+            self.report.add(
+                "GA100",
+                f"malformed XML: {expat.errors.messages[exc.code]}",
+                span=SourceSpan(file=self.filename, line=exc.lineno,
+                                column=exc.offset),
+            )
+            if self.app is None:
+                return None, self.report.diagnostics
+        if self.app is None:
+            self.report.add(
+                "GA100",
+                "document contains no <application> element",
+                span=SourceSpan(file=self.filename),
+            )
+            return None, self.report.diagnostics
+        self.app.source_lines = text.splitlines()
+        return self.app, self.report.diagnostics
+
+
+def parse_document(
+    text: str, filename: Optional[str] = None
+) -> Tuple[Optional[RawApp], List[Diagnostic]]:
+    """Tolerantly parse a configuration document.
+
+    Returns ``(app, diagnostics)``; ``app`` is None only when the text
+    is so broken that no ``<application>`` element could be recovered.
+    Shape defects are reported as ``GA100`` diagnostics and skipped.
+    """
+    return _DocumentBuilder(filename).parse(text)

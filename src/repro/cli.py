@@ -17,8 +17,12 @@ configuration tooling without writing any Python:
   channel report;
 * ``worker`` — run one networked worker process and wait for a
   coordinator (advanced: ``netdemo`` spawns its own workers);
-* ``validate <config.xml>`` — parse and structurally check an application
-  configuration, printing the stage DAG;
+* ``check <config.xml>`` — run the full static verifier over an
+  application configuration (graph, adaptation, placement, checkpoint
+  and wire passes; see docs/static_analysis.md), printing a rustc-style
+  report or ``--json``;
+* ``lint [paths...]`` — run the AST lint suite over the source tree;
+* ``validate <config.xml>`` — deprecated alias for ``check``;
 * ``topology <config.xml>`` — print the placement a default star fabric
   would give the configuration (dry-run deployment).
 """
@@ -129,6 +133,9 @@ def _build_parser() -> argparse.ArgumentParser:
                               "exceptions)")
     netdemo.add_argument("--timeout", type=float, default=90.0,
                          help="abort the run after this many seconds")
+    netdemo.add_argument("--no-verify", action="store_true",
+                         help="skip the static pre-deploy verifier "
+                              "(repro check) on the generated config")
 
     worker = sub.add_parser(
         "worker",
@@ -143,7 +150,33 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="fallback worker name until the coordinator "
                              "assigns one")
 
-    validate = sub.add_parser("validate", help="validate an application XML config")
+    check = sub.add_parser(
+        "check",
+        help="statically verify an application XML config (graph, "
+             "adaptation, placement, checkpoint and wire passes)",
+    )
+    check.add_argument("config", help="path to the XML configuration file")
+    check.add_argument("--json", action="store_true",
+                       help="emit the machine-readable JSON report")
+    check.add_argument("--sources", type=int, default=4,
+                       help="source hosts in the placement dry-run star "
+                            "fabric (default 4)")
+    check.add_argument("--bandwidth", type=float, default=100_000.0,
+                       help="dry-run link bandwidth in bytes/s (default 100000)")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the AST lint suite (metric catalog, determinism, async "
+             "hygiene, checkpoint contract) over the source tree",
+    )
+    lint.add_argument("paths", nargs="*", default=None,
+                      help="files or directories to lint (default: src/repro)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the machine-readable JSON report")
+
+    validate = sub.add_parser(
+        "validate", help="deprecated alias for 'check'"
+    )
     validate.add_argument("config", help="path to the XML configuration file")
 
     topology = sub.add_parser(
@@ -313,6 +346,7 @@ def _cmd_netdemo(args: argparse.Namespace) -> int:
         seed=args.seed,
         join_cost_ms=args.join_cost_ms,
         timeout=args.timeout,
+        verify=not args.no_verify,
     )
     print(f"networked count-samps across {args.workers} worker processes "
           f"({args.items} items/source, seed {args.seed})")
@@ -347,15 +381,43 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     return worker_main(argv)
 
 
-def _cmd_validate(args: argparse.Namespace) -> int:
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.analysis import verify_path
+    from repro.experiments.common import build_star_fabric
+
+    fabric = build_star_fabric(args.sources, bandwidth=args.bandwidth)
+    try:
+        report = verify_path(
+            args.config,
+            repository=fabric.repository,
+            registry=fabric.registry,
+        )
+    except OSError as exc:
+        print(f"cannot read {args.config!r}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(report.render_json())
+        return 0 if report.ok else 1
+    if not report.ok:
+        print(report.render_text(), file=sys.stderr)
+        return 1
+    if not report.clean:
+        print(report.render_text())
+    _print_dag(args.config)
+    return 0
+
+
+def _print_dag(path: str) -> None:
+    """The ``OK: ...`` banner and stage DAG (historic validate output)."""
     from repro.grid.config import AppConfig, ConfigError
 
     try:
-        with open(args.config, "r", encoding="utf-8") as handle:
+        with open(path, "r", encoding="utf-8") as handle:
             config = AppConfig.from_xml(handle.read())
-    except (OSError, ConfigError) as exc:
-        print(f"INVALID: {exc}", file=sys.stderr)
-        return 1
+    except (OSError, ConfigError):
+        # Verification passed but the strict loader still objects (should
+        # not happen); the verifier's verdict stands.
+        return
     print(f"OK: application {config.name!r}")
     print(f"  stages ({len(config.stages)}):")
     for stage in config.topological_stages():
@@ -363,7 +425,24 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         arrow = f" -> {', '.join(downstream)}" if downstream else " (sink)"
         params = f" [{len(stage.parameters)} adjustable]" if stage.parameters else ""
         print(f"    {stage.name}{params}{arrow}")
-    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint import main as lint_main
+
+    argv = list(args.paths or [])
+    if args.json:
+        argv.append("--json")
+    return lint_main(argv)
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    print("warning: 'repro validate' is deprecated; use 'repro check' "
+          "(same verifier, more passes and flags)", file=sys.stderr)
+    check_args = argparse.Namespace(
+        config=args.config, json=False, sources=4, bandwidth=100_000.0
+    )
+    return _cmd_check(check_args)
 
 
 def _cmd_topology(args: argparse.Namespace) -> int:
@@ -400,6 +479,8 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "netdemo": _cmd_netdemo,
     "worker": _cmd_worker,
+    "check": _cmd_check,
+    "lint": _cmd_lint,
     "validate": _cmd_validate,
     "topology": _cmd_topology,
 }

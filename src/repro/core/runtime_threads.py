@@ -270,6 +270,49 @@ class ThreadedRuntime:
 
     # -- construction ---------------------------------------------------------
 
+    @classmethod
+    def from_config(
+        cls,
+        config: "AppConfig",  # noqa: F821 - imported lazily below
+        repository: Optional[Any] = None,
+        *,
+        verify: bool = True,
+        **kwargs: Any,
+    ) -> "ThreadedRuntime":
+        """Build a runtime with stages and streams from an AppConfig.
+
+        Resolves each stage's code URL through ``repository`` (default:
+        the built-in application repository), instantiates the
+        processors, and wires the declared streams.  Sources still need
+        :meth:`bind_source`; ``kwargs`` pass through to the constructor.
+
+        ``verify=True`` (the default) runs the static verifier
+        (:mod:`repro.analysis.verifier`) first and refuses configurations
+        with error-severity findings — the threaded runtime's pre-deploy
+        gate; pass ``verify=False`` to skip it.
+        """
+        if repository is None:
+            from repro.net.worker import default_repository
+
+            repository = default_repository()
+        if verify:
+            from repro.analysis.verifier import verify_config
+
+            report = verify_config(config, repository=repository)
+            if not report.ok:
+                raise ThreadedRuntimeError(
+                    f"configuration {config.name!r} failed verification "
+                    f"({report.summary_line()}):\n{report.render_text()}"
+                )
+        config.validate()
+        runtime = cls(**kwargs)
+        for stage in config.stages:
+            factory = repository.fetch(stage.code_url)
+            runtime.add_stage(stage.name, factory(), properties=stage.properties)
+        for stream in config.streams:
+            runtime.connect(stream.src, stream.dst, name=stream.name)
+        return runtime
+
     def add_stage(
         self,
         name: str,

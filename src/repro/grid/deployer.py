@@ -100,10 +100,37 @@ class Deployer:
             self._containers[host_name] = container
         return container
 
-    def deploy(self, config: AppConfig) -> Deployment:
-        """Run the five-step deployment of Section 3.2."""
+    def verify(self, config: AppConfig) -> None:
+        """Run the static verifier; raise on error-severity findings.
+
+        The pre-deploy gate: the full multi-pass analysis of
+        :mod:`repro.analysis.verifier` (graph, adaptation, code,
+        checkpoint-contract, placement and wire passes) against this
+        deployer's repository and registry.  Callers opt out with
+        ``deploy(config, verify=False)`` — the API equivalent of the
+        CLI's ``--no-verify``.
+        """
+        from repro.analysis.verifier import verify_config
+
+        report = verify_config(
+            config, repository=self.repository, registry=self.registry
+        )
+        if not report.ok:
+            raise DeploymentError(
+                f"configuration {config.name!r} failed verification "
+                f"({report.summary_line()}):\n{report.render_text()}"
+            )
+
+    def deploy(self, config: AppConfig, verify: bool = True) -> Deployment:
+        """Run the five-step deployment of Section 3.2.
+
+        ``verify=False`` skips the static pre-deploy verifier (the
+        structural ``config.validate()`` minimum still applies).
+        """
         # Step 1: receive + validate configuration.
         config.validate()
+        if verify:
+            self.verify(config)
 
         # Step 4 (hoisted): verify all stage code exists *before* touching
         # any node, so a bad code URL cannot leave a half deployment.

@@ -46,7 +46,11 @@ class Launcher:
         with open(text, "r", encoding="utf-8") as handle:
             return AppConfig.from_xml(handle.read())
 
-    def launch(self, ref: ConfigRef) -> Deployment:
-        """Resolve ``ref`` and deploy the application."""
+    def launch(self, ref: ConfigRef, verify: bool = True) -> Deployment:
+        """Resolve ``ref`` and deploy the application.
+
+        ``verify=False`` skips the static pre-deploy verifier (see
+        :meth:`repro.grid.deployer.Deployer.verify`).
+        """
         config = self.resolve(ref)
-        return self.deployer.deploy(config)
+        return self.deployer.deploy(config, verify=verify)

@@ -16,11 +16,14 @@ the application configuration, it produces a host assignment that
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.grid.registry import ServiceRegistry
 from repro.grid.resources import ResourceRequirement
 from repro.simnet.topology import TopologyError
+
+if TYPE_CHECKING:
+    from repro.grid.monitor import MonitoringService
 
 __all__ = ["MatchError", "Matchmaker"]
 
@@ -41,7 +44,7 @@ class Matchmaker:
         self,
         registry: ServiceRegistry,
         allow_colocation: bool = True,
-        monitor=None,
+        monitor: Optional[MonitoringService] = None,
         utilization_weight: float = 1.0,
     ) -> None:
         self.registry = registry

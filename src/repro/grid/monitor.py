@@ -20,11 +20,14 @@ experiment harness uses the histories for utilization reporting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Generator, Optional
+from typing import TYPE_CHECKING, Dict, Generator, Optional
 
 from repro.simnet.engine import Environment, Process
 from repro.simnet.topology import Network
 from repro.simnet.trace import TimeSeries
+
+if TYPE_CHECKING:
+    from repro.obs.registry import MetricsRegistry
 
 __all__ = ["FabricSnapshot", "HostSample", "LinkSample", "MonitoringService"]
 
@@ -84,7 +87,7 @@ class MonitoringService:
         env: Environment,
         network: Network,
         interval: float = 1.0,
-        registry=None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         """``registry`` (a :class:`~repro.obs.registry.MetricsRegistry`)
         is optional; when given, the fabric histories are additionally

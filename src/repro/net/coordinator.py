@@ -115,7 +115,12 @@ class NetworkedRuntime:
         credit_window: int = 32,
         metrics: Optional[MetricsRegistry] = None,
         repository: Optional[CodeRepository] = None,
+        verify: bool = True,
     ) -> None:
+        """``verify=True`` (the default) runs the static verifier
+        (:mod:`repro.analysis.verifier`) over ``config`` and refuses
+        configurations with error-severity findings before any worker
+        process is spawned; ``verify=False`` skips the gate."""
         if time_scale <= 0:
             raise NetworkedRuntimeError(f"time_scale must be > 0, got {time_scale}")
         if credit_window < 1:
@@ -124,6 +129,20 @@ class NetworkedRuntime:
             )
         if isinstance(workers, int) and workers < 1:
             raise NetworkedRuntimeError(f"need at least 1 worker, got {workers}")
+        if verify:
+            from repro.analysis.verifier import verify_config
+
+            report = verify_config(
+                config,
+                repository=(
+                    repository if repository is not None else default_repository()
+                ),
+            )
+            if not report.ok:
+                raise NetworkedRuntimeError(
+                    f"configuration {config.name!r} failed verification "
+                    f"({report.summary_line()}):\n{report.render_text()}"
+                )
         self.config = config
         self.workers_spec = workers
         self.policy = policy or AdaptationPolicy()

@@ -51,6 +51,7 @@ def run_netdemo(
     join_cost_ms: float = 2.0,
     timeout: float = 90.0,
     metrics: Optional[MetricsRegistry] = None,
+    verify: bool = True,
 ) -> Tuple[RunResult, Dict[str, Any]]:
     """Run the 3-process demo; returns (result, summary-of-interesting-facts).
 
@@ -84,6 +85,7 @@ def run_netdemo(
         adaptation_enabled=True,
         credit_window=16,
         metrics=metrics,
+        verify=verify,
     )
     rng = random.Random(seed)
     for i in range(n_sources):

@@ -1,0 +1,14 @@
+"""Broken fixture: off-catalog metric name + asymmetric checkpointing."""
+
+
+def register(registry) -> None:
+    registry.counter("totally.made.up.metric")
+
+
+class LossyStage:
+    pass
+
+
+class ForgetfulStage(LossyStage):
+    def snapshot(self):
+        return {"x": 1}

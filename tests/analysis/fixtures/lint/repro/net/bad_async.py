@@ -1,0 +1,12 @@
+"""Broken fixture: async hygiene violations in repro.net."""
+
+import threading
+import time
+
+_lock = threading.Lock()
+
+
+async def handshake(channel) -> None:
+    time.sleep(0.1)
+    with _lock:
+        await channel.send(b"hello")

@@ -1,0 +1,12 @@
+"""Broken fixture: wall clock + global RNG in a deterministic module."""
+
+import random
+import time
+
+
+def now() -> float:
+    return time.time()
+
+
+def jitter() -> float:
+    return random.random()

@@ -1,0 +1,15 @@
+"""Broken fixture: swallowed exceptions in data-plane code."""
+
+
+def forward(item, downstream) -> None:
+    try:
+        downstream.push(item)
+    except:
+        downstream.reset()
+
+
+def account(item, ledger) -> None:
+    try:
+        ledger.record(item)
+    except Exception:
+        pass

@@ -1,0 +1,31 @@
+"""Fixture stage classes for the GA302 checkpoint-contract checks.
+
+Referenced from the config fixtures via ``py://tests.analysis.stages:...``
+code URLs, so the verifier resolves them through the repository's import
+scheme exactly as it would user code.
+"""
+
+from typing import Any, Dict
+
+from repro.core.api import StageContext, StreamProcessor
+
+
+class HalfCheckpointStage(StreamProcessor):
+    """Overrides snapshot() but not restore(): asymmetric (GA302)."""
+
+    def __init__(self) -> None:
+        self._count = 0
+
+    def on_item(self, payload: Any, context: StageContext) -> None:
+        self._count += 1
+        context.emit(payload)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"count": self._count}
+
+
+class FullCheckpointStage(HalfCheckpointStage):
+    """Overrides both halves of the checkpoint contract: symmetric."""
+
+    def restore(self, state: Any) -> None:
+        self._count = int(state["count"])

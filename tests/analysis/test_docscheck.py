@@ -1,0 +1,33 @@
+"""docs/static_analysis.md and the code catalog must not drift."""
+
+from repro.analysis.docscheck import (
+    check_docs,
+    default_docs_path,
+    documented_codes,
+)
+
+
+def test_docs_file_exists():
+    assert default_docs_path().exists()
+
+
+def test_docs_and_catalog_agree():
+    assert check_docs() == []
+
+
+def test_missing_docs_file_is_one_problem(tmp_path):
+    problems = check_docs(tmp_path / "ghost.md")
+    assert problems and "missing" in problems[0]
+
+
+def test_drift_is_detected_both_ways(tmp_path):
+    page = tmp_path / "static_analysis.md"
+    rows = documented_codes(default_docs_path())
+    # drop one real code, add one stale code
+    rows.pop("GA101")
+    lines = [f"| `{code}` | {kind} | x | x |" for code, kind in rows.items()]
+    lines.append("| `GA999` | config | x | x |")
+    page.write_text("\n".join(lines), encoding="utf-8")
+    problems = check_docs(page)
+    assert any("GA101" in p and "not documented" in p for p in problems)
+    assert any("GA999" in p and "not registered" in p for p in problems)

@@ -1,0 +1,106 @@
+"""Tests for the AST lint suite: broken corpus, suppression, scoping."""
+
+import os
+
+import pytest
+
+from repro.analysis import lint_codes
+from repro.analysis.checkers import default_checkers
+from repro.analysis.engine import lint_paths as _lint_paths
+from repro.analysis.engine import lint_source as _lint_source
+from repro.analysis.lint import DEFAULT_TARGETS, lint
+
+CORPUS = os.path.join(os.path.dirname(__file__), "fixtures", "lint")
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..", "..")
+
+
+def lint_paths(paths):
+    return _lint_paths(paths, default_checkers())
+
+
+def lint_source(source, path):
+    return _lint_source(path, source, default_checkers())
+
+#: (corpus file, codes it must raise)
+CASES = [
+    ("repro/simnet/bad_clock.py", {"GA502", "GA503"}),
+    ("repro/net/bad_async.py", {"GA504", "GA505"}),
+    ("repro/streams/bad_except.py", {"GA507"}),
+    ("repro/core/bad_metrics.py", {"GA501", "GA506"}),
+]
+
+
+@pytest.mark.parametrize("relpath,codes", CASES)
+def test_broken_fixture_raises_its_codes(relpath, codes):
+    report = lint_paths([os.path.join(CORPUS, relpath)])
+    assert set(report.codes()) == codes, report.render_text()
+
+
+def test_corpus_as_a_whole_fails():
+    report = lint_paths([CORPUS])
+    assert not report.ok
+    assert set(report.codes()) == {c for _, cs in CASES for c in cs}
+
+
+def test_every_lint_code_is_exercised():
+    """GA500 (engine meta) is covered by the syntax-error/noqa tests
+    below; every real rule has a corpus fixture."""
+    corpus_codes = {c for _, cs in CASES for c in cs}
+    assert corpus_codes | {"GA500"} == {info.code for info in lint_codes()}
+
+
+def test_repo_is_lint_clean():
+    """src/repro passes its own lint — the CI gate, run as a test."""
+    targets = [os.path.join(REPO_ROOT, t) for t in DEFAULT_TARGETS]
+    report = lint(targets)
+    assert report.clean, report.render_text()
+
+
+class TestScoping:
+    """Module-path scoping: the same source is fine outside its scope."""
+
+    def test_wall_clock_allowed_outside_simnet(self):
+        source = "import time\n\ndef f():\n    return time.time()\n"
+        assert lint_source(source, "repro/obs/clock.py").clean
+
+    def test_blocking_call_allowed_in_sync_function(self):
+        source = "import time\n\ndef f():\n    time.sleep(1)\n"
+        assert lint_source(source, "repro/net/util.py").clean
+
+    def test_module_anchored_at_last_repro_component(self):
+        source = "import time\n\ndef f():\n    return time.time()\n"
+        path = "somewhere/deep/repro/simnet/clock.py"
+        assert "GA502" in lint_source(source, path).codes()
+
+
+class TestSuppression:
+    def test_noqa_comment_suppresses_its_code(self):
+        source = (
+            "# repro: noqa[GA502]\n"
+            "import time\n\ndef f():\n    return time.time()\n"
+        )
+        assert lint_source(source, "repro/simnet/clock.py").clean
+
+    def test_noqa_does_not_suppress_other_codes(self):
+        source = (
+            "# repro: noqa[GA503]\n"
+            "import time\n\ndef f():\n    return time.time()\n"
+        )
+        assert "GA502" in lint_source(source, "repro/simnet/clock.py").codes()
+
+    def test_unknown_code_in_noqa_is_reported(self):
+        report = lint_source("# repro: noqa[GA999]\n", "repro/simnet/x.py")
+        assert "GA500" in report.codes()
+
+    def test_noqa_in_docstring_is_not_a_marker(self):
+        source = (
+            '"""Mentions # repro: noqa[GA502] in prose only."""\n'
+            "import time\n\ndef f():\n    return time.time()\n"
+        )
+        assert "GA502" in lint_source(source, "repro/simnet/clock.py").codes()
+
+
+def test_syntax_error_becomes_ga500():
+    report = lint_source("def broken(:\n", "repro/simnet/x.py")
+    assert "GA500" in report.codes()
+    assert not report.ok

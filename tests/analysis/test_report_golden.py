@@ -1,0 +1,58 @@
+"""Golden-file tests pinning the text and JSON report formats.
+
+The rendered output is a public surface (CI logs, editor integrations
+parse the JSON), so format drift must be a deliberate, reviewed change:
+regenerate with ``python -m tests.analysis.test_report_golden``.
+"""
+
+import json
+import os
+
+from repro.analysis import verify_document
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+#: One error (GA202), one warning (GA206), one clean stage — exercises
+#: severity ordering, the source-line gutter, and the summary line.
+DOCUMENT = """\
+<application name="golden">
+  <stage name="head" code="repo://count-samps/relay">
+    <parameter name="p" init="50" min="100" max="10" increment="10" direction="-1"/>
+  </stage>
+  <stage name="tail" code="repo://count-samps/relay">
+    <parameter name="q" init="15" min="10" max="20" increment="50" direction="-1"/>
+  </stage>
+  <stream name="s" from="head" to="tail"/>
+</application>
+"""
+
+
+def render():
+    report = verify_document(DOCUMENT, filename="app.xml")
+    return report.render_text(), report.render_json()
+
+
+def read_golden(name):
+    with open(os.path.join(GOLDEN_DIR, name), "r", encoding="utf-8") as fh:
+        return fh.read()
+
+
+def test_text_report_matches_golden():
+    text, _ = render()
+    assert text == read_golden("report.txt")
+
+
+def test_json_report_matches_golden():
+    _, payload = render()
+    assert json.loads(payload) == json.loads(read_golden("report.json"))
+    # and the serialized form itself is stable (key order, indentation)
+    assert payload == read_golden("report.json").rstrip("\n")
+
+
+if __name__ == "__main__":  # regenerate the goldens
+    text, payload = render()
+    with open(os.path.join(GOLDEN_DIR, "report.txt"), "w") as fh:
+        fh.write(text)
+    with open(os.path.join(GOLDEN_DIR, "report.json"), "w") as fh:
+        fh.write(payload + "\n")
+    print("goldens regenerated")

@@ -1,0 +1,74 @@
+"""All three runtimes refuse a config that fails verification.
+
+The probe config has two streams between the same pair of stages
+(GA103): it passes the structural ``AppConfig.validate()`` — so only
+the semantic verifier stands between it and a deployment that would
+silently collapse the duplicate edge.
+"""
+
+import pytest
+
+from repro.core.runtime_threads import ThreadedRuntime, ThreadedRuntimeError
+from repro.experiments.common import build_star_fabric
+from repro.grid.config import AppConfig, StageConfig, StreamConfig
+from repro.grid.deployer import DeploymentError
+from repro.net.coordinator import NetworkedRuntime, NetworkedRuntimeError
+
+
+def duplicate_stream_config():
+    config = AppConfig(
+        name="dup-stream",
+        stages=[
+            StageConfig("a", "repo://count-samps/relay"),
+            StageConfig("b", "repo://count-samps/relay"),
+        ],
+        streams=[
+            StreamConfig("s1", "a", "b"),
+            StreamConfig("s2", "a", "b"),
+        ],
+    )
+    config.validate()  # structurally fine: the defect is semantic
+    return config
+
+
+class TestSimulatedRuntimeGate:
+    def test_launcher_refuses(self):
+        fabric = build_star_fabric(2, bandwidth=100_000.0)
+        with pytest.raises(DeploymentError, match="failed verification"):
+            fabric.launcher.launch(duplicate_stream_config())
+
+    def test_opt_out_deploys(self):
+        fabric = build_star_fabric(2, bandwidth=100_000.0)
+        deployment = fabric.launcher.launch(
+            duplicate_stream_config(), verify=False
+        )
+        assert len(deployment.placements) == 2
+        deployment.teardown()
+
+
+class TestThreadedRuntimeGate:
+    def test_from_config_refuses(self):
+        with pytest.raises(ThreadedRuntimeError, match="failed verification"):
+            ThreadedRuntime.from_config(duplicate_stream_config())
+
+    def test_opt_out_builds(self):
+        runtime = ThreadedRuntime.from_config(
+            duplicate_stream_config(), verify=False
+        )
+        assert set(runtime._stages) == {"a", "b"}
+
+    def test_error_carries_the_diagnostic(self):
+        with pytest.raises(ThreadedRuntimeError, match="GA103"):
+            ThreadedRuntime.from_config(duplicate_stream_config())
+
+
+class TestNetworkedRuntimeGate:
+    def test_constructor_refuses(self):
+        with pytest.raises(NetworkedRuntimeError, match="failed verification"):
+            NetworkedRuntime(duplicate_stream_config(), workers=2)
+
+    def test_opt_out_constructs(self):
+        runtime = NetworkedRuntime(
+            duplicate_stream_config(), workers=2, verify=False
+        )
+        assert runtime.config.name == "dup-stream"

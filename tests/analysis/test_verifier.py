@@ -1,0 +1,95 @@
+"""Fixture-driven tests for the pipeline verifier.
+
+Every diagnostic code has a broken config that triggers it and a fixed
+variant that does not; the fixed variants must verify *completely*
+clean, so a fixture can't accidentally trade one defect for another.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import Severity, verify_path
+from repro.experiments.common import build_star_fabric
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "configs")
+
+#: (fixture stem, code it must raise) — the fixed twin must not raise it.
+CASES = [
+    ("ga100_malformed", "GA100"),
+    ("ga101_cycle", "GA101"),
+    ("ga102_dangling", "GA102"),
+    ("ga103_duplicate_stream", "GA103"),
+    ("ga104_disconnected", "GA104"),
+    ("ga105_duplicate_name", "GA105"),
+    ("ga106_fan_in", "GA106"),
+    ("ga201_init_range", "GA201"),
+    ("ga202_min_max", "GA202"),
+    ("ga203_increment", "GA203"),
+    ("ga204_unreachable_max", "GA204"),
+    ("ga205_off_grid_init", "GA205"),
+    ("ga206_increment_span", "GA206"),
+    ("ga207_duplicate_param", "GA207"),
+    ("ga208_property_mirror", "GA208"),
+    ("ga301_code_url", "GA301"),
+    ("ga302_checkpoint", "GA302"),
+    ("ga303_placement", "GA303"),
+    ("ga304_wire_size", "GA304"),
+]
+
+
+@pytest.fixture(scope="module")
+def fabric():
+    return build_star_fabric(4, bandwidth=100_000.0)
+
+
+def run(stem, fabric):
+    return verify_path(
+        os.path.join(FIXTURES, stem + ".xml"),
+        repository=fabric.repository,
+        registry=fabric.registry,
+    )
+
+
+@pytest.mark.parametrize("stem,code", CASES)
+def test_broken_fixture_raises_its_code(stem, code, fabric):
+    report = run(stem, fabric)
+    assert code in report.codes(), report.render_text()
+
+
+@pytest.mark.parametrize("stem,code", CASES)
+def test_fixed_fixture_is_clean(stem, code, fabric):
+    report = run(stem + "_fixed", fabric)
+    assert code not in report.codes(), report.render_text()
+    assert report.clean, report.render_text()
+
+
+def test_every_config_code_is_exercised():
+    """The corpus covers the whole config-side catalog."""
+    from repro.analysis import config_codes
+
+    assert {code for _, code in CASES} == {
+        info.code for info in config_codes()
+    }
+
+
+def test_diagnostics_carry_spans_and_hints(fabric):
+    report = run("ga201_init_range", fabric)
+    (diag,) = [d for d in report.errors if d.code == "GA201"]
+    assert diag.span is not None and diag.span.line is not None
+    assert diag.span.file.endswith("ga201_init_range.xml")
+    assert diag.hint
+    assert diag.severity is Severity.ERROR
+
+
+def test_warnings_do_not_fail_the_report(fabric):
+    report = run("ga204_unreachable_max", fabric)
+    assert report.ok and not report.clean
+    assert [d.code for d in report.warnings] == ["GA204"]
+
+
+def test_placement_and_code_passes_skipped_without_fabric():
+    """No repository/registry -> GA301/GA302/GA303 passes don't run."""
+    for stem in ("ga301_code_url", "ga303_placement"):
+        report = verify_path(os.path.join(FIXTURES, stem + ".xml"))
+        assert report.clean, report.render_text()

@@ -141,7 +141,11 @@ class TestNetworkedErrors:
     def test_bad_code_url_fails_before_spawning_workers(self):
         config = build_config()
         config.stages[0].code_url = "repo://does-not/exist"
-        runtime = NetworkedRuntime(config, workers=2)
+        # The pre-deploy verifier refuses at construction (GA301).
+        with pytest.raises(NetworkedRuntimeError, match="failed verification"):
+            NetworkedRuntime(config, workers=2)
+        # Even with the gate skipped, the failure precedes worker spawn.
+        runtime = NetworkedRuntime(config, workers=2, verify=False)
         with pytest.raises(NetworkedRuntimeError, match="cannot fetch code"):
             runtime.run(timeout=10.0)
 

@@ -15,22 +15,70 @@ def config_file(tmp_path):
 
 
 class TestValidate:
+    """``validate`` survives as a deprecated alias for ``check``."""
+
     def test_valid_config(self, config_file, capsys):
         assert main(["validate", config_file]) == 0
-        out = capsys.readouterr().out
+        captured = capsys.readouterr()
+        assert "deprecated" in captured.err
+        out = captured.out
         assert "OK: application 'count-samps-distributed'" in out
         assert "filter-0" in out and "(sink)" in out
         assert "[1 adjustable]" in out
 
     def test_missing_file(self, tmp_path, capsys):
         assert main(["validate", str(tmp_path / "ghost.xml")]) == 1
-        assert "INVALID" in capsys.readouterr().err
+        assert "cannot read" in capsys.readouterr().err
 
     def test_malformed_config(self, tmp_path, capsys):
         path = tmp_path / "bad.xml"
         path.write_text("<application name='x'><stage name='a'/></application>")
         assert main(["validate", str(path)]) == 1
-        assert "INVALID" in capsys.readouterr().err
+        assert "error[GA100]" in capsys.readouterr().err
+
+
+class TestCheck:
+    def test_valid_config(self, config_file, capsys):
+        assert main(["check", config_file]) == 0
+        out = capsys.readouterr().out
+        assert "OK: application 'count-samps-distributed'" in out
+
+    def test_json_report(self, config_file, capsys):
+        import json
+
+        assert main(["check", config_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["errors"] == 0
+
+    def test_semantic_error_rejected(self, tmp_path, capsys):
+        path = tmp_path / "cyclic.xml"
+        path.write_text(
+            "<application name='loop'>"
+            "<stage name='a' code='repo://count-samps/relay'/>"
+            "<stage name='b' code='repo://count-samps/relay'/>"
+            "<stream name='s1' from='a' to='b'/>"
+            "<stream name='s2' from='b' to='a'/>"
+            "</application>"
+        )
+        assert main(["check", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "error[GA101]" in err and "cycle" in err
+
+
+class TestLint:
+    def test_clean_file_passes(self, tmp_path, capsys):
+        path = tmp_path / "clean.py"
+        path.write_text("def fine() -> int:\n    return 1\n")
+        assert main(["lint", str(path)]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_broken_file_fails(self, tmp_path, capsys):
+        path = tmp_path / "repro" / "simnet"
+        path.mkdir(parents=True)
+        bad = path / "clock.py"
+        bad.write_text("import time\n\ndef now():\n    return time.time()\n")
+        assert main(["lint", str(bad)]) == 1
+        assert "GA502" in capsys.readouterr().err
 
 
 class TestTopology:

@@ -32,6 +32,26 @@ def test_cli_validate_accepts(path, capsys):
 
 
 @pytest.mark.parametrize("path", CONFIG_FILES, ids=os.path.basename)
+def test_full_verifier_reports_nothing(path):
+    """Shipped configs pass the semantic verifier with zero findings —
+    not merely zero errors: warnings in the examples would teach users
+    to ignore them."""
+    from repro.analysis import verify_path
+
+    fabric = build_star_fabric(4, bandwidth=100_000.0)
+    report = verify_path(
+        path, repository=fabric.repository, registry=fabric.registry
+    )
+    assert report.clean, report.render_text()
+
+
+@pytest.mark.parametrize("path", CONFIG_FILES, ids=os.path.basename)
+def test_cli_check_accepts(path, capsys):
+    assert main(["check", path]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("path", CONFIG_FILES, ids=os.path.basename)
 def test_deployable_on_default_star(path):
     with open(path, "r", encoding="utf-8") as handle:
         config = AppConfig.from_xml(handle.read())
