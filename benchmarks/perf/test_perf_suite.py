@@ -1,0 +1,64 @@
+"""Performance smoke for the adaptive micro-batching data plane.
+
+Runs the real ``repro.bench`` suite (quick workload) once and asserts
+the headline claims hold with a safety margin: batching buys real
+throughput on the threaded and networked runtimes, tail latency stays
+bounded by the flush delay, and the emitted report validates against
+the ``repro-bench/1`` schema.  The full-size numbers behind the README
+figures come from ``repro bench`` (without ``--quick``); this keeps CI
+honest without a multi-minute run.
+"""
+
+from repro.bench import BENCH_BATCH, run_bench, validate_report
+
+# Quick-mode throughput fluctuates with machine load; these margins are
+# far below the full-size speedups (threaded ~2.2x, net ~2.9x) but still
+# catch a batching fast path that silently stopped batching.
+MIN_THREADED_SPEEDUP = 1.2
+MIN_NET_SPEEDUP = 1.4
+# Tail bound: a batched item can wait at most max_delay for its flush,
+# plus scheduling noise.
+P99_SLACK = BENCH_BATCH.max_delay + 0.05
+
+
+def _by_name(report):
+    return {case["name"]: case for case in report["cases"]}
+
+
+def test_bench_quick_speedups_and_schema(benchmark):
+    report = benchmark.pedantic(run_bench, kwargs={"quick": True},
+                                rounds=1, iterations=1)
+    assert validate_report(report) == []
+    cases = _by_name(report)
+
+    print("\nbench (quick workload):")
+    for name in ("macro-sim", "macro-threaded", "macro-net"):
+        single = cases[f"{name}-single"]
+        batched = cases[f"{name}-batched"]
+        speedup = batched["items_per_second"] / single["items_per_second"]
+        print(
+            f"  {name:<16} single={single['items_per_second']:10,.0f}/s "
+            f"batched={batched['items_per_second']:10,.0f}/s "
+            f"speedup={speedup:.2f}x p99 {single['p99'] * 1e3:.2f}ms -> "
+            f"{batched['p99'] * 1e3:.2f}ms"
+        )
+
+    for name, floor in (
+        ("macro-threaded", MIN_THREADED_SPEEDUP),
+        ("macro-net", MIN_NET_SPEEDUP),
+    ):
+        single = cases[f"{name}-single"]
+        batched = cases[f"{name}-batched"]
+        speedup = batched["items_per_second"] / single["items_per_second"]
+        assert speedup >= floor, (
+            f"{name}: batched only {speedup:.2f}x over single "
+            f"(floor {floor}x)"
+        )
+        assert batched["p99"] <= single["p99"] + P99_SLACK, (
+            f"{name}: batched p99 {batched['p99']:.4f}s exceeds single "
+            f"{single['p99']:.4f}s + {P99_SLACK:.3f}s slack"
+        )
+
+    # Micro cases came along for the ride and are sane.
+    assert cases["micro-wire-codec-single"]["items_per_second"] > 0
+    assert cases["micro-ewma-observe-exp"]["items_per_second"] > 0

@@ -103,6 +103,13 @@ _ALL: List[CodeInfo] = [
              "stage property disagrees with the declared parameter",
              "keep the mirrored property (name, name-min, name-max) equal "
              "to the parameter declaration, or remove the property"),
+    CodeInfo("GA210", "config", Severity.WARNING,
+             "batch property is invalid or the flush delay defeats "
+             "adaptation sampling",
+             "batch-max-items must be an integer >= 1 and batch-max-delay "
+             "a number in [0, sample_interval); a partial batch held "
+             "longer than one Section-4 sampling interval makes the "
+             "queue-length samples see bursts the stage created itself"),
     # -- GA3xx: deployment ----------------------------------------------------
     CodeInfo("GA301", "config", Severity.ERROR,
              "stage code URL does not resolve in the repository",

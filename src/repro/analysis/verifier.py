@@ -118,6 +118,7 @@ def verify_raw(
     for stage in app.stages:
         _check_parameters(app, stage, report)
         _check_property_mirrors(app, stage, report)
+        _check_batching(app, stage, report)
     _check_wire(app, report)
     if repository is not None:
         _check_codes(app, repository, report)
@@ -335,6 +336,58 @@ def _check_property_mirrors(app: RawApp, stage: RawStage, report: Report) -> Non
                      f"{attribute}={declared:g}",
                      line=param.line,
                      config_path=f"stage {stage.name!r} / property {key!r}")
+
+
+def _check_batching(app: RawApp, stage: RawStage, report: Report) -> None:
+    """GA210: batch properties must parse, and the flush delay must stay
+    under the Section-4 sampling interval.
+
+    A partial batch held for longer than one sampling interval means the
+    adaptation monitor's queue-length samples alternate between "starved"
+    (everything buffered upstream) and "burst" (a whole batch landed at
+    once) — load the batching itself manufactured, which the estimator
+    then reacts to.
+    """
+    from repro.core.adaptation.policy import AdaptationPolicy
+    from repro.core.batching import MAX_DELAY_PROPERTY, MAX_ITEMS_PROPERTY
+
+    config_path = f"stage {stage.name!r}"
+    items_text = stage.properties.get(MAX_ITEMS_PROPERTY)
+    if items_text is not None:
+        try:
+            max_items = int(items_text)
+        except ValueError:
+            max_items = 0
+        if max_items < 1:
+            _add(report, app, "GA210",
+                 f"stage {stage.name!r}: {MAX_ITEMS_PROPERTY}="
+                 f"{items_text!r} is not an integer >= 1",
+                 line=stage.line, config_path=config_path)
+    delay_text = stage.properties.get(MAX_DELAY_PROPERTY)
+    if delay_text is None:
+        return
+    try:
+        max_delay = float(delay_text)
+    except ValueError:
+        _add(report, app, "GA210",
+             f"stage {stage.name!r}: {MAX_DELAY_PROPERTY}="
+             f"{delay_text!r} is not a number",
+             line=stage.line, config_path=config_path)
+        return
+    if math.isnan(max_delay) or max_delay < 0:
+        _add(report, app, "GA210",
+             f"stage {stage.name!r}: {MAX_DELAY_PROPERTY}="
+             f"{max_delay:g} must be >= 0",
+             line=stage.line, config_path=config_path)
+        return
+    sample_interval = AdaptationPolicy().sample_interval
+    if max_delay >= sample_interval:
+        _add(report, app, "GA210",
+             f"stage {stage.name!r}: {MAX_DELAY_PROPERTY}={max_delay:g} "
+             f"is not below the adaptation sampling interval "
+             f"({sample_interval:g}s); the monitor would sample bursts "
+             "the batching itself creates",
+             line=stage.line, config_path=config_path)
 
 
 # -- GA3xx: deployment ---------------------------------------------------------

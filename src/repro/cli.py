@@ -187,6 +187,20 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="source hosts in the star (default 4)")
     topology.add_argument("--bandwidth", type=float, default=100_000.0,
                           help="link bandwidth in bytes/s (default 100000)")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the data-plane performance benchmarks (micro codec/queue "
+             "cases plus one-at-a-time vs micro-batched macro pipelines on "
+             "all three runtimes) and write BENCH_perf.json",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="smaller item counts for CI smoke runs")
+    bench.add_argument("--out", default="BENCH_perf.json",
+                       help="report path (default BENCH_perf.json)")
+    bench.add_argument("--validate", metavar="PATH",
+                       help="validate an existing report file instead of "
+                            "running the benchmarks")
     return parser
 
 
@@ -470,6 +484,31 @@ def _cmd_topology(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import render_report, run_bench, validate_report, write_report
+
+    if args.validate is not None:
+        from repro.bench import validate_file
+
+        problems = validate_file(args.validate)
+        if problems:
+            for problem in problems:
+                print(f"INVALID: {problem}", file=sys.stderr)
+            return 1
+        print(f"{args.validate}: valid bench report")
+        return 0
+    report = run_bench(quick=args.quick)
+    problems = validate_report(report)
+    if problems:  # defensive: the harness must emit what it validates
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        return 1
+    write_report(report, args.out)
+    print(render_report(report))
+    print(f"wrote {args.out}")
+    return 0
+
+
 _COMMANDS = {
     "fig5": _cmd_fig5,
     "fig6-7": _cmd_fig67,
@@ -483,6 +522,7 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "validate": _cmd_validate,
     "topology": _cmd_topology,
+    "bench": _cmd_bench,
 }
 
 

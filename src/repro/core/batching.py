@@ -1,0 +1,133 @@
+"""Micro-batching policy for the data plane.
+
+All three runtimes move items one at a time by default; a
+:class:`BatchPolicy` switches a stage's emissions onto a batched fast
+path: items destined for the same (stage, out-stream) edge accumulate in
+a small buffer and are handed downstream together — one queue operation,
+one link transmission, or one DATA frame for the whole batch.  See
+docs/performance.md for the model and the measured effect.
+
+The flush policy is size/age: a batch ships as soon as it holds
+``max_items`` items, and a partially filled batch never waits longer
+than ``max_delay`` (in the owning runtime's clock — simulated seconds on
+the simulated runtime, scaled wall-clock seconds elsewhere).  Setting
+``max_items=1`` degenerates to the unbatched behaviour.
+
+This module is imported by ``repro.core.runtime_sim`` and must stay
+deterministic: no wall clock, no global RNG — timestamps always come in
+from the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generic, List, Optional, TypeVar
+
+__all__ = ["BatchBuffer", "BatchPolicy", "batch_policy_from_properties"]
+
+#: Stage-property keys that override a runtime-level batch policy
+#: (parsed by :func:`batch_policy_from_properties` and checked statically
+#: by the verifier's GA210 pass).
+MAX_ITEMS_PROPERTY = "batch-max-items"
+MAX_DELAY_PROPERTY = "batch-max-delay"
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Size/age flush policy for per-edge micro-batches.
+
+    Parameters
+    ----------
+    max_items:
+        Flush as soon as a batch holds this many items (>= 1; 1 means
+        every item ships alone, i.e. batching is a no-op).
+    max_delay:
+        Upper bound, in runtime seconds, on how long a partially filled
+        batch may wait for more items before it is flushed anyway.  This
+        bounds the per-item latency cost of batching: p99 latency under
+        batching is at most the unbatched p99 plus ``max_delay``.
+    """
+
+    max_items: int = 32
+    max_delay: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.max_items < 1:
+            raise ValueError(f"max_items must be >= 1, got {self.max_items}")
+        if self.max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {self.max_delay}")
+
+    @property
+    def enabled(self) -> bool:
+        """False when the policy degenerates to one-at-a-time."""
+        return self.max_items > 1
+
+
+def batch_policy_from_properties(
+    properties: Dict[str, str], default: Optional[BatchPolicy]
+) -> Optional[BatchPolicy]:
+    """Resolve one stage's effective policy from its properties.
+
+    ``batch-max-items`` / ``batch-max-delay`` stage properties override
+    the runtime-level ``default`` (either key alone inherits the other
+    from the default, or from ``BatchPolicy()`` when there is none).
+    Returns ``default`` untouched when neither property is present.
+    """
+    items_text = properties.get(MAX_ITEMS_PROPERTY)
+    delay_text = properties.get(MAX_DELAY_PROPERTY)
+    if items_text is None and delay_text is None:
+        return default
+    base = default if default is not None else BatchPolicy()
+    try:
+        max_items = int(items_text) if items_text is not None else base.max_items
+        max_delay = float(delay_text) if delay_text is not None else base.max_delay
+    except ValueError as exc:
+        raise ValueError(
+            f"bad batch property ({MAX_ITEMS_PROPERTY}={items_text!r}, "
+            f"{MAX_DELAY_PROPERTY}={delay_text!r}): {exc}"
+        ) from None
+    return BatchPolicy(max_items=max_items, max_delay=max_delay)
+
+
+T = TypeVar("T")
+
+
+class BatchBuffer(Generic[T]):
+    """One edge's accumulating batch: entries plus the first-entry time.
+
+    The buffer itself never reads a clock — callers pass ``now`` in, so
+    the same type serves the simulated runtime (virtual time) and the
+    threaded/networked runtimes (scaled wall clock).
+    """
+
+    __slots__ = ("policy", "entries", "first_at")
+
+    def __init__(self, policy: BatchPolicy) -> None:
+        self.policy = policy
+        self.entries: List[T] = []
+        self.first_at: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def add(self, entry: T, now: float) -> bool:
+        """Append one entry; True when the size threshold says flush."""
+        if not self.entries:
+            self.first_at = now
+        self.entries.append(entry)
+        return len(self.entries) >= self.policy.max_items
+
+    def due(self, now: float) -> bool:
+        """True when the oldest entry has waited ``max_delay`` or longer."""
+        return bool(self.entries) and now - self.first_at >= self.policy.max_delay
+
+    def deadline(self) -> Optional[float]:
+        """Absolute time the buffer must flush by (None when empty)."""
+        if not self.entries:
+            return None
+        return self.first_at + self.policy.max_delay
+
+    def drain(self) -> List[T]:
+        """Take every buffered entry, leaving the buffer empty."""
+        entries, self.entries = self.entries, []
+        return entries

@@ -10,7 +10,7 @@ from repro.obs.tracing import Hop, ItemTrace
 __all__ = ["EndOfStream", "Item"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Item:
     """One data item in flight through the pipeline.
 

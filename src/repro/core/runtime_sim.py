@@ -56,13 +56,14 @@ from repro.core.adaptation.load import LoadEstimator
 from repro.core.adaptation.policy import AdaptationPolicy
 from repro.core.adaptation.protocol import ExceptionCounter
 from repro.core.api import AdjustmentParameter, ProcessorError, StageContext, StreamProcessor
+from repro.core.batching import BatchBuffer, BatchPolicy, batch_policy_from_properties
 from repro.core.items import EndOfStream, Item
 from repro.core.results import RunResult, StageStats
 from repro.core.termination import EosTracker, no_input_message
 from repro.grid.config import StreamConfig
 from repro.grid.deployer import Deployment
 from repro.metrics.rates import RateEstimator
-from repro.obs.registry import MetricsRegistry, StageMetrics
+from repro.obs.registry import BatchMetrics, MetricsRegistry, StageMetrics
 from repro.obs.tracing import ItemTrace, TraceCollector, publish_traces
 from repro.resilience.checkpoint import (
     CheckpointStore,
@@ -214,6 +215,23 @@ class _Edge:
     extra_latency: float = 0.0
 
 
+class _BatchEnvelope:
+    """Several Items shipped over a link as one transmission.
+
+    The envelope pays one token-bucket charge for the summed size (the
+    batched fast path's saving); :meth:`SimulatedRuntime._deliver` unpacks
+    it so the destination still sees individual items — per-item replay
+    recording, hop opening, and queue occupancy are unchanged.
+    """
+
+    __slots__ = ("items", "size", "origin")
+
+    def __init__(self, items: List[Item], origin: str) -> None:
+        self.items = items
+        self.size = sum(item.size for item in items)
+        self.origin = origin
+
+
 @dataclass
 class _StageRuntime:
     """Internal per-stage runtime state."""
@@ -235,6 +253,12 @@ class _StageRuntime:
     rate_estimator: RateEstimator = field(default_factory=RateEstimator)
     #: Registry-backed metric handles (items/bytes/latency/queue...).
     metrics: Optional[StageMetrics] = None
+    #: Effective micro-batch policy (None = one-at-a-time emission).
+    batch: Optional[BatchPolicy] = None
+    #: One accumulating buffer per out-edge (parallel to ``out_edges``),
+    #: holding (item, parent-hop) entries.
+    batch_buffers: List[BatchBuffer] = field(default_factory=list)
+    batch_metrics: Optional[BatchMetrics] = None
     done: bool = False
     # -- fault-tolerance state (used only with resilience enabled) --------
     #: Channel (message origin) -> sequence number of the last fully
@@ -288,12 +312,16 @@ class SimulatedRuntime:
         max_traces: int = 10_000,
         resilience: Optional[ResilienceConfig] = None,
         checkpoints: Optional[CheckpointStore] = None,
+        batch: Optional[BatchPolicy] = None,
     ) -> None:
         """``metrics`` shares a registry (e.g. with a MonitoringService);
         ``trace_every=N`` hop-traces every N-th source arrival (None
         disables tracing; 1 traces everything).  ``checkpoints`` selects
         the checkpoint store (defaults to an in-memory one when
-        ``resilience`` is given).
+        ``resilience`` is given).  ``batch`` enables the micro-batched
+        emission fast path for every stage (``batch-max-items`` /
+        ``batch-max-delay`` stage properties override it per stage);
+        ``max_delay`` is in simulated seconds.  See docs/performance.md.
         """
         self.env = env
         self.network = network
@@ -306,6 +334,7 @@ class SimulatedRuntime:
             if trace_every is not None
             else None
         )
+        self.batch = batch
         self.resilience = resilience
         self.checkpoints: Optional[CheckpointStore] = None
         self.replay: Optional[ReplayBuffers] = None
@@ -389,6 +418,17 @@ class SimulatedRuntime:
         # Account for external source bindings.
         for binding in self._bindings:
             self._stages[binding.target_stage].eos.expect()
+
+        # Resolve per-stage micro-batch policies now that edges exist.
+        for stage in self._stages.values():
+            try:
+                effective = batch_policy_from_properties(stage.properties, self.batch)
+            except ValueError as exc:
+                raise RuntimeError_(f"stage {stage.name!r}: {exc}") from None
+            if effective is not None and effective.enabled and stage.out_edges:
+                stage.batch = effective
+                stage.batch_buffers = [BatchBuffer(effective) for _ in stage.out_edges]
+                stage.batch_metrics = BatchMetrics(self.metrics, stage.name)
 
         # Every stage must have at least one input, or it can never end.
         for stage in self._stages.values():
@@ -552,6 +592,11 @@ class SimulatedRuntime:
             self._worker(stage, stage.generation),
             name=f"worker:{stage.name}:g{stage.generation}",
         )
+        if stage.batch_buffers:
+            self.env.process(
+                self._batch_flusher(stage, stage.generation),
+                name=f"batch-flush:{stage.name}:g{stage.generation}",
+            )
 
     def _worker(self, stage: _StageRuntime, generation: int) -> Generator:
         host = self.network.host(stage.host_name)
@@ -576,6 +621,8 @@ class SimulatedRuntime:
                     continue
                 stage.processor.flush(ctx)
                 yield from self._transmit_pending(stage, host)
+                for index in range(len(stage.batch_buffers)):
+                    yield from self._flush_edge_batch(stage, index)
                 for edge in stage.out_edges:
                     yield from self._send_one(
                         stage, edge, EndOfStream(origin=edge.stream.name), control=True
@@ -626,8 +673,10 @@ class SimulatedRuntime:
                 continue
             stage.metrics.latency.observe(self.env.now - message.created_at)
             tx_start = self.env.now
-            yield from self._transmit_pending(stage, host, trace=message.trace)
-            if hop is not None:
+            yield from self._transmit_pending(stage, host, trace=message.trace, hop=hop)
+            if hop is not None and not stage.batch_buffers:
+                # Batched stages attribute transmission inside
+                # _flush_edge_batch, shared across the batch's parents.
                 hop.tx_t += self.env.now - tx_start
             if resilient and stage.generation != generation:
                 return
@@ -639,11 +688,36 @@ class SimulatedRuntime:
         stage: _StageRuntime,
         host,
         trace: Optional[ItemTrace] = None,
+        hop=None,
     ) -> Generator:
         ctx = stage.context
         assert ctx is not None
         assert stage.metrics is not None
         pending, ctx.pending = ctx.pending, []
+        if stage.batch_buffers:
+            # Batched fast path: accumulate per-edge, flush on max_items
+            # (the flusher process enforces the max_delay age bound).
+            now = self.env.now
+            flush: List[int] = []
+            for payload, size, stream in pending:
+                stage.metrics.items_out.inc()
+                stage.metrics.bytes_out.inc(size)
+                for index, edge in enumerate(stage.out_edges):
+                    if stream is not None and edge.stream.name != stream:
+                        continue
+                    item = Item(
+                        payload=payload,
+                        size=size,
+                        origin=edge.stream.name,
+                        created_at=now,
+                        trace=trace,
+                    )
+                    full = stage.batch_buffers[index].add((item, hop), now)
+                    if full and index not in flush:
+                        flush.append(index)
+            for index in flush:
+                yield from self._flush_edge_batch(stage, index)
+            return
         for payload, size, stream in pending:
             stage.metrics.items_out.inc()
             stage.metrics.bytes_out.inc(size)
@@ -658,6 +732,62 @@ class SimulatedRuntime:
                     trace=trace,
                 )
                 yield from self._send_one(stage, edge, item)
+
+    def _flush_edge_batch(
+        self, stage: _StageRuntime, index: int, age: bool = False
+    ) -> Generator:
+        """Ship one edge's accumulated batch: one transmission, n items.
+
+        The sender blocks once for the summed size; the measured
+        transmission time is shared equally across the batch's traced
+        parent hops.  Colocated edges skip the link but still amortize
+        the handoff into one rate observation.
+        """
+        buffer = stage.batch_buffers[index]
+        entries = buffer.drain()
+        if not entries:
+            return
+        edge = stage.out_edges[index]
+        count = len(entries)
+        assert stage.batch_metrics is not None
+        stage.batch_metrics.batches.inc()
+        stage.batch_metrics.items.inc(count)
+        stage.batch_metrics.flush_size.observe(float(count))
+        if age:
+            stage.batch_metrics.age_flushes.inc()
+        items = [item for item, _ in entries]
+        tx_start = self.env.now
+        if edge.link is None:
+            for item in items:
+                self._open_hop(edge.dst, item)
+                edge.dst.queue.force_put(item)
+            edge.dst.rate_estimator.observe(self.env.now, count=count)
+        else:
+            envelope = _BatchEnvelope(items, edge.stream.name)
+            yield from self._send_one(stage, edge, envelope)
+        elapsed = self.env.now - tx_start
+        if elapsed > 0:
+            share = elapsed / count
+            for _, parent_hop in entries:
+                if parent_hop is not None:
+                    parent_hop.tx_t += share
+
+    def _batch_flusher(self, stage: _StageRuntime, generation: int) -> Generator:
+        """Enforce the age bound: every ``max_delay``, flush every
+        non-empty buffer, so no batched item ever waits longer than
+        ``max_delay`` for stragglers."""
+        assert stage.batch is not None
+        interval = stage.batch.max_delay
+        if interval <= 0:
+            return
+        while not stage.done:
+            yield self.env.timeout(interval)
+            if stage.done or stage.generation != generation:
+                return
+            if stage.down_since is not None:
+                continue
+            for index in range(len(stage.batch_buffers)):
+                yield from self._flush_edge_batch(stage, index, age=True)
 
     def _send_one(self, stage: _StageRuntime, edge: _Edge, message, control: bool = False) -> Generator:
         """Transmit one message over an edge (blocking the sender for TX).
@@ -686,12 +816,18 @@ class SimulatedRuntime:
                 if attempt >= self.resilience.max_retries:
                     if control or self.resilience.error_policy == "fail":
                         raise
-                    self._quarantine(
-                        stage,
-                        getattr(message, "payload", message),
-                        exc,
-                        reason="transmission",
-                    )
+                    if isinstance(message, _BatchEnvelope):
+                        for item in message.items:
+                            self._quarantine(
+                                stage, item.payload, exc, reason="transmission"
+                            )
+                    else:
+                        self._quarantine(
+                            stage,
+                            getattr(message, "payload", message),
+                            exc,
+                            reason="transmission",
+                        )
                     return
                 self.metrics.counter(f"fault.{stage.name}.retries").inc()
                 delay = self.resilience.retry_delay(attempt, self._retry_rng)
@@ -710,6 +846,15 @@ class SimulatedRuntime:
         delay = edge.link.latency + edge.extra_latency
         if delay:
             yield self.env.timeout(delay)
+        if isinstance(message, _BatchEnvelope):
+            # Unpack at the destination: per-item hop opening, replay
+            # recording (queue.on_insert fires per force_put) and queue
+            # occupancy are identical to one-at-a-time delivery.
+            for item in message.items:
+                self._open_hop(edge.dst, item)
+                edge.dst.queue.force_put(item)
+            edge.dst.rate_estimator.observe(self.env.now, count=len(message.items))
+            return
         self._open_hop(edge.dst, message)
         edge.dst.queue.force_put(message)
         if isinstance(message, Item):

@@ -37,11 +37,12 @@ from repro.core.adaptation.load import LoadEstimator
 from repro.core.adaptation.policy import AdaptationPolicy
 from repro.core.adaptation.protocol import ExceptionCounter
 from repro.core.api import AdjustmentParameter, ProcessorError, StageContext, StreamProcessor
+from repro.core.batching import BatchBuffer, BatchPolicy, batch_policy_from_properties
 from repro.core.items import EndOfStream, Item
 from repro.core.results import RunResult, StageStats
 from repro.core.termination import EosTracker, no_input_message
 from repro.metrics.rates import RateEstimator
-from repro.obs.registry import MetricsRegistry, StageMetrics
+from repro.obs.registry import BatchMetrics, MetricsRegistry, StageMetrics
 from repro.obs.tracing import TraceCollector, publish_traces
 from repro.resilience.checkpoint import (
     CheckpointStore,
@@ -49,6 +50,7 @@ from repro.resilience.checkpoint import (
     StageCheckpoint,
 )
 from repro.resilience.policy import DeadLetter, DeadLetterQueue, ResilienceConfig
+from repro.simnet.hosts import CpuCostModel
 from repro.simnet.links import TokenBucket
 
 __all__ = ["ThreadedRuntime", "ThreadedRuntimeError"]
@@ -59,23 +61,86 @@ class ThreadedRuntimeError(Exception):
 
 
 class _MonitoredQueue:
-    """Thread-safe FIFO satisfying the estimator's QueueLike protocol."""
+    """Bounded thread-safe FIFO satisfying the estimator's QueueLike protocol.
+
+    ``put`` blocks while the queue holds ``capacity`` items, so a slow
+    consumer exerts real backpressure on its producers — the Section-4
+    queue-length signal stays meaningful instead of saturating on an
+    unbounded deque.  ``force_put`` bypasses the bound for control
+    messages that must never deadlock (the error-path end-of-stream),
+    and ``close`` releases any blocked producers when the consumer dies.
+    """
 
     def __init__(self, capacity: int, window: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._items: deque = deque()
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
         self._recent: deque = deque([0], maxlen=window)
 
     def put(self, item: Any) -> None:
+        """Append one item, blocking while the queue is at capacity."""
         with self._lock:
+            while len(self._items) >= self.capacity and not self._closed:
+                self._not_full.wait()
+            if self._closed:
+                return
             self._items.append(item)
             self._recent.append(len(self._items))
             self._not_empty.notify()
 
+    def put_many(self, items: List[Any]) -> None:
+        """Append a batch under one lock acquisition, respecting capacity.
+
+        Blocks whenever the queue is full, appending as many items as fit
+        per wakeup — the capacity bound holds exactly, the per-item lock
+        and notify round-trips are amortized over the batch.
+        """
+        with self._lock:
+            index = 0
+            while index < len(items):
+                while len(self._items) >= self.capacity and not self._closed:
+                    self._not_full.wait()
+                if self._closed:
+                    return
+                while index < len(items) and len(self._items) < self.capacity:
+                    self._items.append(items[index])
+                    index += 1
+                self._recent.append(len(self._items))
+                self._not_empty.notify()
+
+    def force_put(self, item: Any) -> None:
+        """Append regardless of capacity; never blocks.
+
+        Reserved for control messages a dying producer must deliver (its
+        end-of-stream) — blocking there could deadlock against a consumer
+        that will never drain.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._items.append(item)
+            self._recent.append(len(self._items))
+            self._not_empty.notify()
+
+    def close(self) -> None:
+        """Mark the consumer gone: wake and release every blocked producer.
+
+        Subsequent puts are dropped silently — there is nobody left to
+        process them, and blocking a healthy upstream stage on a dead
+        downstream queue would turn one stage failure into a run-wide
+        deadlock.
+        """
+        with self._lock:
+            self._closed = True
+            self._not_full.notify_all()
+
     def get(self, timeout: Optional[float] = None) -> Any:
-        with self._not_empty:
+        with self._lock:
             deadline = None if timeout is None else time.monotonic() + timeout
             while not self._items:
                 remaining = None if deadline is None else deadline - time.monotonic()
@@ -84,7 +149,25 @@ class _MonitoredQueue:
                 self._not_empty.wait(remaining)
             item = self._items.popleft()
             self._recent.append(len(self._items))
+            self._not_full.notify()
             return item
+
+    def get_many(self, max_items: int, timeout: Optional[float] = None) -> List[Any]:
+        """Block for the first item (as :meth:`get`), then drain up to
+        ``max_items`` without further waiting."""
+        with self._lock:
+            deadline = None if timeout is None else time.monotonic() + timeout
+            while not self._items:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError("queue get timed out")
+                self._not_empty.wait(remaining)
+            taken = []
+            while self._items and len(taken) < max_items:
+                taken.append(self._items.popleft())
+            self._recent.append(len(self._items))
+            self._not_full.notify(len(taken))
+            return taken
 
     @property
     def current_length(self) -> int:
@@ -183,6 +266,13 @@ class _ThreadStage:
     context: Optional[_ThreadStageContext] = None
     #: Registry-backed metric handles (items/bytes/latency/queue...).
     metrics: Optional[StageMetrics] = None
+    #: Effective micro-batch policy (max_delay pre-scaled to wall seconds);
+    #: None means one-at-a-time emission.
+    batch: Optional[BatchPolicy] = None
+    #: One accumulating buffer per out-edge (parallel to ``out_edges``),
+    #: holding (item, parent-hop) entries; built at run() start.
+    batch_buffers: List[BatchBuffer] = field(default_factory=list)
+    batch_metrics: Optional[BatchMetrics] = None
     rate_estimator: RateEstimator = field(default_factory=RateEstimator)
     param_lock: threading.Lock = field(default_factory=threading.Lock)
     #: Serializes arrival-rate observations (several producer threads
@@ -231,12 +321,18 @@ class ThreadedRuntime:
         max_traces: int = 10_000,
         resilience: Optional[ResilienceConfig] = None,
         checkpoints: Optional[CheckpointStore] = None,
+        batch: Optional[BatchPolicy] = None,
     ) -> None:
         """``metrics``/``trace_every``/``resilience`` mirror
         :class:`~repro.core.runtime_sim.SimulatedRuntime`: both runtimes
         publish the same ``stage.*`` / ``adapt.*`` metric families, and
         both quarantine poison items and checkpoint on a cadence when
         ``resilience`` is given (failover/replay are simulation-only).
+
+        ``batch`` enables the micro-batched emission fast path for every
+        stage (``batch-max-items`` / ``batch-max-delay`` stage properties
+        override it per stage); ``max_delay`` is in scaled seconds, like
+        processing cost.  See docs/performance.md.
         """
         if time_scale <= 0:
             raise ThreadedRuntimeError(f"time_scale must be > 0, got {time_scale}")
@@ -249,6 +345,7 @@ class ThreadedRuntime:
             if trace_every is not None
             else None
         )
+        self.batch = batch
         self.resilience = resilience
         self.checkpoints: Optional[CheckpointStore] = None
         self.dead_letters: Optional[DeadLetterQueue] = None
@@ -334,6 +431,17 @@ class ThreadedRuntime:
             queue=_MonitoredQueue(capacity, self.policy.window),
             properties=dict(properties or {}),
         )
+        try:
+            effective = batch_policy_from_properties(stage.properties, self.batch)
+        except ValueError as exc:
+            raise ThreadedRuntimeError(f"{name}: {exc}") from None
+        if effective is not None and effective.enabled:
+            # Pre-scale the age bound once so BatchBuffer deadlines compare
+            # directly against elapsed() wall-clock time.
+            stage.batch = BatchPolicy(
+                max_items=effective.max_items,
+                max_delay=effective.max_delay * self.time_scale,
+            )
         stage.metrics = StageMetrics(self.metrics, name)
         stage.estimator = LoadEstimator(name, stage.queue, self.policy)
         self.metrics.series(f"adapt.{name}.d_tilde", stage.estimator.history)
@@ -414,6 +522,11 @@ class ThreadedRuntime:
         result = RunResult(app_name="threaded-app")
 
         for stage in self._stages.values():
+            if stage.batch is not None and stage.out_edges:
+                stage.batch_buffers = [
+                    BatchBuffer(stage.batch) for _ in stage.out_edges
+                ]
+                stage.batch_metrics = BatchMetrics(self.metrics, stage.name)
             assert stage.context is not None
             stage.context._in_setup = True
             stage.processor.setup(stage.context)
@@ -483,23 +596,42 @@ class ThreadedRuntime:
 
     # -- thread bodies -----------------------------------------------------------
 
-    def _observe_arrival(self, stage: _ThreadStage) -> None:
-        """Record one arrival; the lock keeps observation times monotone.
+    def _observe_arrival(self, stage: _ThreadStage, count: int = 1) -> None:
+        """Record ``count`` arrivals; the lock keeps observation times monotone.
 
         Several producer threads (feeders, upstream workers) may feed one
         queue; reading the clock *inside* the lock guarantees the
-        estimator sees non-decreasing times.
+        estimator sees non-decreasing times.  A batched handoff is one
+        observation with ``count=n`` — the estimator's burst semantics,
+        not ``n`` zero-gap observations.
         """
         with stage.rate_lock:
-            stage.rate_estimator.observe(self.elapsed())
+            stage.rate_estimator.observe(self.elapsed(), count=count)
 
     def _feeder(self, source: _ThreadSource) -> None:
         stage = self._stages[source.target]
         gaps = source.arrivals.gaps() if source.arrivals is not None else None
         fixed_gap = (1.0 / source.rate) * self.time_scale if source.rate else 0.0
+        # When the target stage batches, back-to-back arrivals (no pacing
+        # gap) are handed over in chunks of the stage's batch size — one
+        # lock round-trip and one rate observation per chunk.
+        chunk_limit = stage.batch.max_items if stage.batch is not None else 1
+        chunk: List[Item] = []
+
+        def flush_chunk() -> None:
+            if not chunk:
+                return
+            if len(chunk) == 1:
+                stage.queue.put(chunk[0])
+            else:
+                stage.queue.put_many(chunk)
+            self._observe_arrival(stage, count=len(chunk))
+            chunk.clear()
+
         for payload in source.payloads:
             gap = next(gaps) * self.time_scale if gaps is not None else fixed_gap
             if gap:
+                flush_chunk()
                 time.sleep(gap)
             size = (
                 float(source.item_size(payload))
@@ -515,70 +647,158 @@ class ThreadedRuntime:
                 if item.trace is not None:
                     self.metrics.counter("run.traced_items").inc()
                     item.hop = item.trace.begin_hop(stage.name, self.elapsed())
-            stage.queue.put(item)
-            self._observe_arrival(stage)
+            chunk.append(item)
+            if len(chunk) >= chunk_limit:
+                flush_chunk()
+        flush_chunk()
         stage.queue.put(EndOfStream(origin=source.name))
 
     def _worker(self, stage: _ThreadStage) -> None:
         ctx = stage.context
         assert ctx is not None
+        batching = bool(stage.batch_buffers)
+        # Chunked input drain applies to every stage under a batch policy
+        # (sinks included — they have no output buffers but still benefit
+        # from amortized queue locking and aggregated accounting).
+        chunked = stage.batch is not None
+        cost_model = stage.processor.cost_model
+        free = isinstance(cost_model, CpuCostModel) and cost_model.is_free
+        local: deque = deque()
         try:
             while True:
-                message = stage.queue.get()
+                if not local:
+                    try:
+                        if chunked:
+                            assert stage.batch is not None
+                            drained = stage.queue.get_many(
+                                stage.batch.max_items,
+                                timeout=self._next_flush_timeout(stage),
+                            )
+                            local.extend(drained)
+                            assert stage.metrics is not None
+                            count, nbytes_in = 0, 0.0
+                            for msg in drained:
+                                if not isinstance(msg, EndOfStream):
+                                    count += 1
+                                    nbytes_in += msg.size
+                            if count:
+                                stage.metrics.items_in.inc(count)
+                                stage.metrics.bytes_in.inc(nbytes_in)
+                        else:
+                            local.append(stage.queue.get())
+                    except TimeoutError:
+                        # No input before the oldest batch's age bound:
+                        # flush whatever is due and keep waiting.
+                        self._flush_due(stage)
+                        continue
+                message = local.popleft()
                 if isinstance(message, EndOfStream):
                     if not stage.eos.observe():
                         continue
                     with stage.state_lock:
                         stage.processor.flush(ctx)
                     self._transmit_pending(stage)
+                    self._flush_all(stage)
                     for edge in stage.out_edges:
                         edge.dst.queue.put(EndOfStream(origin=stage.name))
                     return
                 assert stage.metrics is not None
-                stage.metrics.items_in.inc()
-                stage.metrics.bytes_in.inc(message.size)
+                if not chunked:
+                    stage.metrics.items_in.inc()
+                    stage.metrics.bytes_in.inc(message.size)
                 hop = message.hop
                 if hop is not None:
                     hop.dequeue_t = self.elapsed()
-                items, nbytes = stage.processor.work_amount(message.payload, message.size)
-                cost = stage.processor.cost_model.cost(items, nbytes)
-                if cost > 0:
-                    time.sleep(cost * self.time_scale)
-                    stage.metrics.busy_seconds.inc(cost * self.time_scale)
-                    if hop is not None:
-                        hop.process_t += cost * self.time_scale
+                if not free:
+                    items, nbytes = stage.processor.work_amount(
+                        message.payload, message.size
+                    )
+                    cost = cost_model.cost(items, nbytes)
+                    if cost > 0:
+                        time.sleep(cost * self.time_scale)
+                        stage.metrics.busy_seconds.inc(cost * self.time_scale)
+                        if hop is not None:
+                            hop.process_t += cost * self.time_scale
+                mark = len(ctx.pending)
                 try:
                     with stage.state_lock:
                         stage.processor.on_item(message.payload, ctx)
                 except Exception as exc:
                     if self.resilience is None or self.resilience.error_policy == "fail":
                         raise
-                    # Poison item: drop whatever it half-emitted, quarantine
+                    # Poison item: drop whatever it half-emitted (earlier
+                    # chunk-mates' deferred emissions stay), quarantine
                     # it, and keep the stage alive (skip / dead-letter).
-                    ctx.pending.clear()
+                    del ctx.pending[mark:]
                     self._quarantine(stage, message.payload, exc)
                     continue
                 stage.metrics.latency.observe(self.elapsed() - message.created_at)
-                tx_start = self.elapsed()
-                self._transmit_pending(stage, trace=message.trace)
-                if hop is not None:
+                if batching:
+                    # Transmission happens at flush time; _flush_edge
+                    # shares the measured wait across the batch's parent
+                    # hops instead of this blanket attribution.  Untraced
+                    # emissions are handed over once per drained chunk —
+                    # traced items transmit immediately so hop attribution
+                    # stays per parent item.  Age flushes are likewise
+                    # checked once per chunk; the drain spans
+                    # microseconds, far inside any sane max_delay.
+                    if message.trace is not None:
+                        self._transmit_pending(stage, trace=message.trace, hop=hop)
+                    if not local:
+                        self._transmit_pending(stage)
+                        self._flush_due(stage)
+                elif hop is not None:
+                    tx_start = self.elapsed()
+                    self._transmit_pending(stage, trace=message.trace, hop=hop)
                     hop.tx_t += self.elapsed() - tx_start
+                else:
+                    self._transmit_pending(stage, trace=message.trace, hop=hop)
         except BaseException as exc:  # noqa: BLE001 - surfaced by run()
             stage.error = exc
-            # Release downstream stages: they will never get more data
-            # from us, so deliver our end-of-stream now — otherwise run()
-            # would block on them until its timeout instead of surfacing
-            # this error promptly.
+            # Release every neighbour promptly: producers blocked on our
+            # bounded queue are woken (close), and downstream stages get
+            # our end-of-stream so run() surfaces this error instead of
+            # timing out.  force_put: a full downstream queue must not
+            # block a dying stage.
+            stage.queue.close()
             for edge in stage.out_edges:
-                edge.dst.queue.put(EndOfStream(origin=stage.name))
+                edge.dst.queue.force_put(EndOfStream(origin=stage.name))
         finally:
             stage.done.set()
 
-    def _transmit_pending(self, stage: _ThreadStage, trace=None) -> None:
+    def _transmit_pending(
+        self, stage: _ThreadStage, trace=None, hop=None
+    ) -> None:
         ctx = stage.context
         assert ctx is not None
         assert stage.metrics is not None
+        if not ctx.pending:
+            return
         pending, ctx.pending = ctx.pending, []
+        if stage.batch_buffers:
+            # Batched fast path: accumulate per-edge, flush on max_items.
+            # Items are stamped created_at=now here — time spent waiting
+            # in the buffer is real latency and is accounted downstream.
+            now = self.elapsed()
+            flush: List[int] = []
+            nbytes_out = 0.0
+            for payload, size, stream in pending:
+                nbytes_out += size
+                for index, edge in enumerate(stage.out_edges):
+                    if stream is not None and edge.name != stream:
+                        continue
+                    item = Item(
+                        payload=payload, size=size, origin=stage.name,
+                        created_at=now, trace=trace,
+                    )
+                    full = stage.batch_buffers[index].add((item, hop), now)
+                    if full and index not in flush:
+                        flush.append(index)
+            stage.metrics.items_out.inc(len(pending))
+            stage.metrics.bytes_out.inc(nbytes_out)
+            for index in flush:
+                self._flush_edge(stage, index)
+            return
         for payload, size, stream in pending:
             stage.metrics.items_out.inc()
             stage.metrics.bytes_out.inc(size)
@@ -600,6 +820,64 @@ class ThreadedRuntime:
                     item.hop = trace.begin_hop(edge.dst.name, self.elapsed())
                 edge.dst.queue.put(item)
                 self._observe_arrival(edge.dst)
+
+    # -- micro-batch flushing ----------------------------------------------
+
+    def _next_flush_timeout(self, stage: _ThreadStage) -> Optional[float]:
+        """Seconds until the oldest buffered batch hits its age bound."""
+        deadlines = [
+            d for d in (b.deadline() for b in stage.batch_buffers) if d is not None
+        ]
+        if not deadlines:
+            return None
+        return max(0.0, min(deadlines) - self.elapsed())
+
+    def _flush_due(self, stage: _ThreadStage) -> None:
+        now = self.elapsed()
+        for index, buffer in enumerate(stage.batch_buffers):
+            if buffer.due(now):
+                self._flush_edge(stage, index, age=True)
+
+    def _flush_all(self, stage: _ThreadStage) -> None:
+        for index in range(len(stage.batch_buffers)):
+            self._flush_edge(stage, index)
+
+    def _flush_edge(self, stage: _ThreadStage, index: int, age: bool = False) -> None:
+        """Ship one edge's accumulated batch downstream.
+
+        One token-bucket charge and one (amortized) queue handoff for the
+        whole batch; the measured transmission wait is shared equally
+        across the batch's traced parent hops.
+        """
+        buffer = stage.batch_buffers[index]
+        entries = buffer.drain()
+        if not entries:
+            return
+        edge = stage.out_edges[index]
+        count = len(entries)
+        assert stage.batch_metrics is not None
+        stage.batch_metrics.batches.inc()
+        stage.batch_metrics.items.inc(count)
+        stage.batch_metrics.flush_size.observe(float(count))
+        if age:
+            stage.batch_metrics.age_flushes.inc()
+        tx_wall = 0.0
+        if edge.bucket is not None:
+            wait = edge.bucket.consume(sum(item.size for item, _ in entries))
+            if wait > 0:
+                tx_wall = wait * self.time_scale
+                time.sleep(tx_wall)
+        share = tx_wall / count
+        now = self.elapsed()
+        items: List[Item] = []
+        for item, parent_hop in entries:
+            if parent_hop is not None and share > 0:
+                parent_hop.tx_t += share
+            if item.trace is not None:
+                item.hop = item.trace.begin_hop(edge.dst.name, now)
+            items.append(item)
+        edge.dst.queue.put_many(items)
+        self._observe_arrival(edge.dst, count=count)
 
     def _quarantine(self, stage: _ThreadStage, payload: Any, exc: BaseException) -> None:
         """Count (and under ``dead-letter``, retain) one poison item."""

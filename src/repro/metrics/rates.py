@@ -10,6 +10,7 @@ bursty arrivals, plus an exact windowed variant
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from typing import Deque
 
@@ -50,10 +51,16 @@ class RateEstimator:
             # treating them as an instantaneous burst (rate unchanged now).
             return self._rate
         instantaneous = count / gap
-        # Gap-aware smoothing factor: alpha = 1 - exp(-gap/tau), but the
-        # linearized form gap/(tau+gap) avoids exp() per event and has the
-        # same fixed point.
-        alpha = gap / (self.tau + gap)
+        # Gap-aware smoothing factor, exact exponential form.  The
+        # rational approximation gap/(tau+gap) matches to first order at
+        # small gaps and shares the fixed point, but it under-weights
+        # large gaps: after a long silence (gap >> tau) the exact alpha
+        # approaches 1 (the estimate should essentially restart at the
+        # instantaneous rate) while the rational form tops out far more
+        # slowly.  A micro-benchmark (`repro bench`, case
+        # micro-ewma-observe) showed the exp() call costs well under 2x
+        # the rational form per observe(), so exactness wins.
+        alpha = 1.0 - math.exp(-gap / self.tau)
         self._rate += alpha * (instantaneous - self._rate)
         return self._rate
 

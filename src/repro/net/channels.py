@@ -8,11 +8,13 @@ on the same socket (full duplex, exactly the paper's inter-server
 arrangement where load exceptions travel against the data).
 
 Flow control is credit-based: the receiver grants an initial window of
-``window`` DATA frames and replenishes in batches as its stage consumes
-items.  The sender blocks (`net.{channel}.credit_stalls`) when the
-window is exhausted, so at most ``window`` frames are ever in flight —
-backpressure is explicit and bounded rather than hidden in socket
-buffers.  ``net.{channel}.in_flight_peak`` records the observed maximum.
+``window`` *items* and replenishes in batches as its stage consumes
+them.  Credit is charged per item — a batched DATA frame carrying n
+items costs n credits — so the invariant is independent of framing: at
+most ``window`` items are ever in flight, and backpressure is explicit
+and bounded rather than hidden in socket buffers.  The sender blocks
+(`net.{channel}.credit_stalls`) when the window is exhausted;
+``net.{channel}.in_flight_peak`` records the observed maximum.
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ from repro.net.protocol import (
     encode_frame,
     encode_json,
     encode_payload,
+    encode_payload_batch,
     read_frame,
     send_frame,
 )
@@ -74,6 +77,20 @@ class AsyncInbox:
             self._record()
             self._cond.notify_all()
 
+    async def force_put_many(self, entries: "list") -> None:
+        """Append a whole batch under one lock/notify round-trip.
+
+        One queue-length sample for the batch, matching the threaded
+        runtime's batched-handoff semantics (a burst is one observation,
+        not n zero-gap ones).
+        """
+        if not entries:
+            return
+        async with self._cond:
+            self._items.extend(entries)
+            self._record()
+            self._cond.notify_all()
+
     async def get(self) -> Any:
         async with self._cond:
             while not self._items:
@@ -82,6 +99,20 @@ class AsyncInbox:
             self._record()
             self._cond.notify_all()
             return entry
+
+    async def get_many(self, max_items: int) -> "list":
+        """Await the first entry, then drain up to ``max_items`` without
+        further waiting — the consumer-side half of the batched handoff
+        (one event-loop suspension per chunk instead of per item)."""
+        async with self._cond:
+            while not self._items:
+                await self._cond.wait()
+            out = []
+            while self._items and len(out) < max_items:
+                out.append(self._items.popleft())
+            self._record()
+            self._cond.notify_all()
+            return out
 
     @property
     def current_length(self) -> int:
@@ -133,9 +164,9 @@ class InChannel:
             )
         )
 
-    def note_consumed(self) -> None:
-        """The stage finished one item from this channel; maybe replenish."""
-        self._consumed += 1
+    def note_consumed(self, n: int = 1) -> None:
+        """The stage finished ``n`` items from this channel; maybe replenish."""
+        self._consumed += n
         if self._consumed >= self.replenish_batch:
             if self._write(
                 encode_frame(
@@ -254,19 +285,26 @@ class OutChannel:
                 self._broken = True
                 self._cond.notify_all()
 
-    async def _acquire_credit(self) -> None:
+    async def _acquire_credit(self, n: int = 1) -> None:
+        """Take ``n`` credits (one per item), waiting for replenishment.
+
+        Credit is charged per item, not per frame: a batched DATA frame
+        carrying n items acquires n credits before it ships, so the
+        receiver's in-flight bound (``window`` items) holds no matter how
+        items are packed into frames.
+        """
         async with self._cond:
-            if self._credits <= 0:
+            if self._credits < n:
                 self.credit_stalls.inc()
                 stalled_at = self._clock()
-                while self._credits <= 0 and not self._broken:
+                while self._credits < n and not self._broken:
                     await self._cond.wait()
                 self.credit_wait.inc(max(0.0, self._clock() - stalled_at))
-            if self._broken and self._credits <= 0:
+            if self._broken and self._credits < n:
                 raise ChannelError(
                     f"channel {self.stream!r}: receiver went away mid-stream"
                 )
-            self._credits -= 1
+            self._credits -= n
             in_flight = self._window - self._credits
             if in_flight > self._peak:
                 self._peak = in_flight
@@ -281,6 +319,32 @@ class OutChannel:
         nbytes = await send_frame(self._writer, FrameType.DATA, body)
         self.frames.inc()
         self.bytes.inc(nbytes)
+
+    async def send_batch(self, items: "list[tuple[Any, float]]") -> None:
+        """Ship several ``(payload, declared size)`` items batched.
+
+        Chunks the batch to at most ``window`` items per DATA frame —
+        acquiring more credits than the window holds would deadlock, and
+        the receiver sized its buffering to the window.  Each chunk costs
+        one frame and one drain instead of one per item.
+        """
+        if self._writer is None:
+            raise ChannelError(f"channel {self.stream!r} is not connected")
+        if not items:
+            return
+        start = 0
+        while start < len(items):
+            limit = self._window if self._window > 0 else 1
+            chunk = items[start:start + limit]
+            start += len(chunk)
+            if len(chunk) == 1:
+                await self.send(chunk[0][0], chunk[0][1])
+                continue
+            body = encode_payload_batch(chunk)
+            await self._acquire_credit(len(chunk))
+            nbytes = await send_frame(self._writer, FrameType.DATA, body)
+            self.frames.inc()
+            self.bytes.inc(nbytes)
 
     async def send_eos(self) -> None:
         """Ship the end-of-stream sentinel (EOS frames consume no credit)."""

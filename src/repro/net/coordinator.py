@@ -42,6 +42,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.adaptation.policy import AdaptationPolicy
+from repro.core.batching import BatchBuffer, BatchPolicy
 from repro.core.results import RunResult, StageStats
 from repro.grid.config import AppConfig
 from repro.grid.matchmaker import Matchmaker
@@ -113,6 +114,7 @@ class NetworkedRuntime:
         adaptation_enabled: bool = True,
         time_scale: float = 1.0,
         credit_window: int = 32,
+        batch: Optional[BatchPolicy] = None,
         metrics: Optional[MetricsRegistry] = None,
         repository: Optional[CodeRepository] = None,
         verify: bool = True,
@@ -120,7 +122,16 @@ class NetworkedRuntime:
         """``verify=True`` (the default) runs the static verifier
         (:mod:`repro.analysis.verifier`) over ``config`` and refuses
         configurations with error-severity findings before any worker
-        process is spawned; ``verify=False`` skips the gate."""
+        process is spawned; ``verify=False`` skips the gate.
+
+        ``batch`` switches the data plane onto the micro-batched fast
+        path: workers pack up to ``batch.max_items`` items per DATA
+        frame (never holding a partial batch longer than
+        ``batch.max_delay`` runtime seconds), the coordinator's source
+        feeders do the same, and credit is still charged per item so
+        the flow-control invariant is unchanged.  Stage properties
+        ``batch-max-items`` / ``batch-max-delay`` override it per
+        stage."""
         if time_scale <= 0:
             raise NetworkedRuntimeError(f"time_scale must be > 0, got {time_scale}")
         if credit_window < 1:
@@ -149,6 +160,7 @@ class NetworkedRuntime:
         self.adaptation_enabled = adaptation_enabled
         self.time_scale = time_scale
         self.credit_window = credit_window
+        self.batch = batch
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.repository = (
             repository if repository is not None else default_repository()
@@ -361,6 +373,14 @@ class NetworkedRuntime:
                 "credit_window": self.credit_window,
                 "adaptation": self.adaptation_enabled,
                 "policy": asdict(self.policy),
+                "batch": (
+                    {
+                        "max_items": self.batch.max_items,
+                        "max_delay": self.batch.max_delay,
+                    }
+                    if self.batch is not None and self.batch.enabled
+                    else None
+                ),
             }),
         )
         reply = await self._next_frame(handle)
@@ -525,6 +545,14 @@ class NetworkedRuntime:
         gap = None
         if binding.rate is not None:
             gap = self.time_scale / binding.rate
+        buffer: Optional[BatchBuffer] = None
+        if self.batch is not None and self.batch.enabled:
+            # The feeder runs on the wall clock, so pre-scale the age
+            # bound the same way the workers do.
+            buffer = BatchBuffer(BatchPolicy(
+                max_items=self.batch.max_items,
+                max_delay=self.batch.max_delay * self.time_scale,
+            ))
         try:
             for payload in binding.payloads:
                 size = (
@@ -532,9 +560,16 @@ class NetworkedRuntime:
                     if callable(binding.item_size)
                     else binding.item_size
                 )
-                await channel.send(payload, float(size))
+                if buffer is None:
+                    await channel.send(payload, float(size))
+                else:
+                    now = time.monotonic()
+                    if buffer.add((payload, float(size)), now) or buffer.due(now):
+                        await channel.send_batch(buffer.drain())
                 if gap is not None:
                     await asyncio.sleep(gap)
+            if buffer is not None:
+                await channel.send_batch(buffer.drain())
             await channel.send_eos()
         finally:
             await channel.close()

@@ -46,9 +46,12 @@ __all__ = [
     "ProtocolError",
     "decode_json",
     "decode_payload",
+    "decode_payload_batch",
     "encode_frame",
     "encode_json",
     "encode_payload",
+    "encode_payload_batch",
+    "is_batch_payload",
     "read_frame",
     "send_frame",
 ]
@@ -199,6 +202,13 @@ def decode_json(payload: bytes) -> Dict[str, Any]:
 _PAYLOAD_JSON = 0
 _PAYLOAD_INT = 1
 _PAYLOAD_SUMMARY = 2
+#: Generic batch: uint32 item count, then per item a uint32 length prefix
+#: and that item's full single-item encoding.
+_PAYLOAD_BATCH = 3
+#: Summary batch fast path (every item a count-samps summary dict):
+#: uint32 record count, per-record metadata (uint16 source-name length +
+#: name bytes + float64 declared size), then one streams.wire batch blob.
+_PAYLOAD_SUMMARY_BATCH = 4
 
 #: declared item size travels as a little-endian float64 so receiver-side
 #: stage metrics match the sender's declared accounting exactly.
@@ -283,6 +293,134 @@ def decode_payload(data: bytes) -> Tuple[Any, float]:
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise ProtocolError(f"malformed JSON item payload: {exc}") from exc
     raise ProtocolError(f"unknown payload codec tag {kind}")
+
+
+# ---------------------------------------------------------------------------
+# Batched DATA payloads (several items, one frame)
+# ---------------------------------------------------------------------------
+
+_COUNT_STRUCT = struct.Struct("<I")
+
+
+def is_batch_payload(data: bytes) -> bool:
+    """True when a DATA payload carries a batch (several items)."""
+    return bool(data) and data[0] in (_PAYLOAD_BATCH, _PAYLOAD_SUMMARY_BATCH)
+
+
+def _try_encode_summary_batch(items: "List[Tuple[Any, float]]") -> Optional[bytes]:
+    """Summary-batch body when *every* item is a summary dict, else None."""
+    metadata = bytearray()
+    records = []
+    for obj, size in items:
+        if not isinstance(obj, dict) or set(obj.keys()) != _SUMMARY_KEYS:
+            return None
+        source = obj["source"]
+        if not isinstance(source, str):
+            return None
+        src_bytes = source.encode("utf-8")
+        if len(src_bytes) > 0xFFFF:
+            return None
+        try:
+            records.append(
+                ([(int(v), int(c)) for v, c in obj["pairs"]], int(obj["items_seen"]))
+            )
+        except (TypeError, ValueError):
+            return None
+        metadata += _SRC_LEN_STRUCT.pack(len(src_bytes))
+        metadata += src_bytes
+        metadata += _SIZE_STRUCT.pack(float(size))
+    try:
+        blob = summary_wire.encode_summary_batch(records)
+    except summary_wire.WireError:
+        return None
+    return _COUNT_STRUCT.pack(len(items)) + bytes(metadata) + blob
+
+
+def encode_payload_batch(items: "List[Tuple[Any, float]]") -> bytes:
+    """Encode several ``(object, declared size)`` items into one DATA payload.
+
+    Picks the summary-batch fast path when every item is a count-samps
+    summary dict (one :func:`repro.streams.wire.encode_summary_batch`
+    blob, per-record metadata up front); otherwise falls back to the
+    generic batch: each item's ordinary :func:`encode_payload` bytes
+    behind a uint32 length prefix.  The receiver distinguishes batch from
+    single-item payloads by the leading codec tag.
+    """
+    if not items:
+        raise ProtocolError("cannot encode an empty payload batch")
+    if len(items) > 0xFFFFFFFF:
+        raise ProtocolError(f"too many items for uint32 count: {len(items)}")
+    body = _try_encode_summary_batch(items)
+    if body is not None:
+        return bytes([_PAYLOAD_SUMMARY_BATCH]) + body
+    out = bytearray([_PAYLOAD_BATCH])
+    out += _COUNT_STRUCT.pack(len(items))
+    for obj, size in items:
+        encoded = encode_payload(obj, size)
+        out += _COUNT_STRUCT.pack(len(encoded))
+        out += encoded
+    return bytes(out)
+
+
+def decode_payload_batch(data: bytes) -> "List[Tuple[Any, float]]":
+    """Inverse of :func:`encode_payload_batch`."""
+    if len(data) < 1 + _COUNT_STRUCT.size:
+        raise ProtocolError(f"batch payload too short: {len(data)} bytes")
+    kind = data[0]
+    (count,) = _COUNT_STRUCT.unpack_from(data, 1)
+    offset = 1 + _COUNT_STRUCT.size
+    if kind == _PAYLOAD_SUMMARY_BATCH:
+        metadata: List[Tuple[str, float]] = []
+        for index in range(count):
+            if len(data) - offset < _SRC_LEN_STRUCT.size:
+                raise ProtocolError(
+                    f"summary batch truncated in record {index} metadata"
+                )
+            (src_len,) = _SRC_LEN_STRUCT.unpack_from(data, offset)
+            offset += _SRC_LEN_STRUCT.size
+            if len(data) - offset < src_len + _SIZE_STRUCT.size:
+                raise ProtocolError(
+                    f"summary batch truncated in record {index} metadata"
+                )
+            source = data[offset:offset + src_len].decode("utf-8", errors="strict")
+            offset += src_len
+            (size,) = _SIZE_STRUCT.unpack_from(data, offset)
+            offset += _SIZE_STRUCT.size
+            metadata.append((source, size))
+        try:
+            records = summary_wire.decode_summary_batch(data[offset:])
+        except summary_wire.WireError as exc:
+            raise ProtocolError(f"corrupt summary batch body: {exc}") from exc
+        if len(records) != count:
+            raise ProtocolError(
+                f"summary batch declares {count} records, wire blob "
+                f"carries {len(records)}"
+            )
+        return [
+            ({"source": source, "pairs": pairs, "items_seen": items_seen}, size)
+            for (source, size), (pairs, items_seen) in zip(metadata, records)
+        ]
+    if kind == _PAYLOAD_BATCH:
+        items: List[Tuple[Any, float]] = []
+        for index in range(count):
+            if len(data) - offset < _COUNT_STRUCT.size:
+                raise ProtocolError(f"batch truncated at item {index} length")
+            (item_len,) = _COUNT_STRUCT.unpack_from(data, offset)
+            offset += _COUNT_STRUCT.size
+            if len(data) - offset < item_len:
+                raise ProtocolError(
+                    f"batch truncated in item {index}: declared {item_len} "
+                    f"bytes, {len(data) - offset} left"
+                )
+            items.append(decode_payload(data[offset:offset + item_len]))
+            offset += item_len
+        if offset != len(data):
+            raise ProtocolError(
+                f"trailing bytes: {len(data) - offset} past the declared "
+                f"item count {count}"
+            )
+        return items
+    raise ProtocolError(f"unknown batch payload codec tag {kind}")
 
 
 # ---------------------------------------------------------------------------

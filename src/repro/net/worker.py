@@ -35,8 +35,9 @@ import argparse
 import asyncio
 import sys
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.core.adaptation.controller import ParameterController
 from repro.core.adaptation.load import LoadEstimator
@@ -52,6 +53,11 @@ from repro.core.api import (
     StageContext,
     StreamProcessor,
 )
+from repro.core.batching import (
+    BatchBuffer,
+    BatchPolicy,
+    batch_policy_from_properties,
+)
 from repro.core.items import EndOfStream, Item
 from repro.core.termination import EosTracker, no_input_message
 from repro.grid.repository import CodeRepository
@@ -62,11 +68,14 @@ from repro.net.protocol import (
     FrameType,
     ProtocolError,
     decode_payload,
+    decode_payload_batch,
     encode_json,
+    is_batch_payload,
     read_frame,
     send_frame,
 )
-from repro.obs.registry import MetricsRegistry, StageMetrics
+from repro.obs.registry import BatchMetrics, MetricsRegistry, StageMetrics
+from repro.simnet.hosts import CpuCostModel
 
 __all__ = ["ANNOUNCE_PREFIX", "Worker", "WorkerError", "default_repository", "main"]
 
@@ -232,6 +241,16 @@ class _HostedStage:
     rate_estimator: RateEstimator = field(default_factory=RateEstimator)
     done: Optional[asyncio.Event] = None
     error: Optional[BaseException] = None
+    #: Effective batch policy (max_delay pre-scaled by time_scale); None
+    #: means one-at-a-time.
+    batch: Optional[BatchPolicy] = None
+    #: Per-out-route accumulating batches, keyed by index into
+    #: ``out_routes``.  Only wire routes get one — local routes hand
+    #: items over in-process, where per-item cost is already one append.
+    batch_buffers: Dict[int, "BatchBuffer[Tuple[Any, float]]"] = field(
+        default_factory=dict
+    )
+    batch_metrics: Optional[BatchMetrics] = None
 
 
 class Worker:
@@ -253,6 +272,7 @@ class Worker:
         self.adaptation_enabled = True
         self.time_scale = 1.0
         self.credit_window = 32
+        self.batch: Optional[BatchPolicy] = None
         self._stages: Dict[str, _HostedStage] = {}
         self._in_channels: Dict[str, InChannel] = {}
         self._out_channels: List[OutChannel] = []
@@ -327,6 +347,11 @@ class Worker:
         )
         if body.get("policy") is not None:
             self.policy = AdaptationPolicy(**body["policy"])
+        if body.get("batch") is not None:
+            self.batch = BatchPolicy(
+                max_items=int(body["batch"]["max_items"]),
+                max_delay=float(body["batch"]["max_delay"]),
+            )
         await send_frame(
             writer, FrameType.HELLO,
             encode_json({"role": "worker", "worker": self.name, "proto": 1}),
@@ -370,12 +395,23 @@ class Worker:
             raise WorkerError(f"{name}: code did not produce a StreamProcessor")
         properties = {str(k): str(v) for k, v in body.get("properties", {}).items()}
         capacity = int(properties.get("net-queue-capacity", DEFAULT_QUEUE_CAPACITY))
+        try:
+            effective = batch_policy_from_properties(properties, self.batch)
+        except ValueError as exc:
+            raise WorkerError(f"{name}: {exc}") from None
         stage = _HostedStage(
             name=name,
             processor=processor,
             properties=properties,
             inbox=AsyncInbox(capacity, self.policy.window),
         )
+        if effective is not None and effective.enabled:
+            # Pre-scale the age bound once so flush deadlines compare
+            # directly against elapsed() wall seconds.
+            stage.batch = BatchPolicy(
+                max_items=effective.max_items,
+                max_delay=effective.max_delay * self.time_scale,
+            )
         stage.metrics = StageMetrics(self.metrics, name)
         stage.estimator = LoadEstimator(name, stage.inbox, self.policy)
         self.metrics.series(f"adapt.{name}.d_tilde", stage.estimator.history)
@@ -459,6 +495,17 @@ class Worker:
                 self.metrics.series(
                     f"adapt.{stage.name}.param.{pname}", param.history
                 )
+        # Batch buffers exist only for wire routes: a local handoff is
+        # already a single in-process append, while a wire route pays a
+        # frame + syscall per send, which batching amortizes.
+        for stage in self._stages.values():
+            if stage.batch is None:
+                continue
+            for index, route in enumerate(stage.out_routes):
+                if isinstance(route, _WireRoute):
+                    stage.batch_buffers[index] = BatchBuffer(stage.batch)
+            if stage.batch_buffers:
+                stage.batch_metrics = BatchMetrics(self.metrics, stage.name)
         # Dial every outbound channel; the receiving workers are already
         # synced (the coordinator barriers SYNC/READY before any START),
         # so their InChannels exist and grant credit on ATTACH.
@@ -478,30 +525,74 @@ class Worker:
         assert ctx is not None
         assert stage.metrics is not None
         sleep_debt = 0.0
+        # With batching on, the inbox is drained in chunks — one event-loop
+        # suspension and one aggregated metrics update per chunk instead of
+        # per item — and the per-item cost computation is skipped entirely
+        # for provably-free cost models.
+        chunked = stage.batch is not None
+        cost_model = stage.processor.cost_model
+        free = isinstance(cost_model, CpuCostModel) and cost_model.is_free
+        local: Deque[Tuple[Any, Any]] = deque()
         try:
             while True:
-                channel, message = await stage.inbox.get()
+                if not local:
+                    timeout = self._next_flush_timeout(stage)
+                    try:
+                        if chunked:
+                            assert stage.batch is not None
+                            if timeout is None:
+                                drained = await stage.inbox.get_many(
+                                    stage.batch.max_items
+                                )
+                            else:
+                                drained = await asyncio.wait_for(
+                                    stage.inbox.get_many(stage.batch.max_items),
+                                    timeout,
+                                )
+                            local.extend(drained)
+                            count, nbytes_in = 0, 0.0
+                            for _, msg in drained:
+                                if not isinstance(msg, EndOfStream):
+                                    count += 1
+                                    nbytes_in += msg.size
+                            if count:
+                                stage.metrics.items_in.inc(count)
+                                stage.metrics.bytes_in.inc(nbytes_in)
+                        elif timeout is None:
+                            local.append(await stage.inbox.get())
+                        else:
+                            local.append(
+                                await asyncio.wait_for(stage.inbox.get(), timeout)
+                            )
+                    except asyncio.TimeoutError:
+                        await self._flush_due(stage)
+                        continue
+                channel, message = local.popleft()
                 if isinstance(message, EndOfStream):
                     if not stage.eos.observe():
                         continue
                     stage.processor.flush(ctx)
                     await self._transmit_pending(stage)
+                    for index in list(stage.batch_buffers):
+                        await self._flush_route(stage, index)
                     for route in stage.out_routes:
                         await route.send_eos(stage.name)
                     return
-                stage.metrics.items_in.inc()
-                stage.metrics.bytes_in.inc(message.size)
-                items, nbytes = stage.processor.work_amount(
-                    message.payload, message.size
-                )
-                cost = stage.processor.cost_model.cost(items, nbytes)
-                if cost > 0:
-                    scaled = cost * self.time_scale
-                    stage.metrics.busy_seconds.inc(scaled)
-                    sleep_debt += scaled
-                    if sleep_debt >= _SLEEP_DEBT_THRESHOLD:
-                        await asyncio.sleep(sleep_debt)
-                        sleep_debt = 0.0
+                if not chunked:
+                    stage.metrics.items_in.inc()
+                    stage.metrics.bytes_in.inc(message.size)
+                if not free:
+                    items, nbytes = stage.processor.work_amount(
+                        message.payload, message.size
+                    )
+                    cost = cost_model.cost(items, nbytes)
+                    if cost > 0:
+                        scaled = cost * self.time_scale
+                        stage.metrics.busy_seconds.inc(scaled)
+                        sleep_debt += scaled
+                        if sleep_debt >= _SLEEP_DEBT_THRESHOLD:
+                            await asyncio.sleep(sleep_debt)
+                            sleep_debt = 0.0
                 stage.processor.on_item(message.payload, ctx)
                 stage.metrics.latency.observe(self.elapsed() - message.created_at)
                 await self._transmit_pending(stage)
@@ -526,14 +617,68 @@ class Worker:
         ctx = stage.context
         assert ctx is not None
         assert stage.metrics is not None
+        if not ctx.pending:
+            return
         pending, ctx.pending = ctx.pending, []
+        if not stage.batch_buffers:
+            for payload, size, stream in pending:
+                stage.metrics.items_out.inc()
+                stage.metrics.bytes_out.inc(size)
+                for route in stage.out_routes:
+                    if stream is not None and route.stream != stream:
+                        continue
+                    await route.send(payload, size, stage.name)
+            return
+        now = self.elapsed()
+        full: List[int] = []
+        nbytes_out = 0.0
         for payload, size, stream in pending:
-            stage.metrics.items_out.inc()
-            stage.metrics.bytes_out.inc(size)
-            for route in stage.out_routes:
+            nbytes_out += size
+            for index, route in enumerate(stage.out_routes):
                 if stream is not None and route.stream != stream:
                     continue
-                await route.send(payload, size, stage.name)
+                buffer = stage.batch_buffers.get(index)
+                if buffer is None:
+                    await route.send(payload, size, stage.name)
+                elif buffer.add((payload, size), now) and index not in full:
+                    full.append(index)
+        stage.metrics.items_out.inc(len(pending))
+        stage.metrics.bytes_out.inc(nbytes_out)
+        for index in full:
+            await self._flush_route(stage, index)
+
+    def _next_flush_timeout(self, stage: _HostedStage) -> Optional[float]:
+        """Seconds until the oldest buffered batch must age-flush."""
+        deadlines = [
+            buffer.deadline()
+            for buffer in stage.batch_buffers.values()
+            if buffer.entries
+        ]
+        if not deadlines:
+            return None
+        return max(0.0, min(d for d in deadlines if d is not None) - self.elapsed())
+
+    async def _flush_due(self, stage: _HostedStage) -> None:
+        now = self.elapsed()
+        for index, buffer in stage.batch_buffers.items():
+            if buffer.due(now):
+                await self._flush_route(stage, index, age=True)
+
+    async def _flush_route(
+        self, stage: _HostedStage, index: int, age: bool = False
+    ) -> None:
+        """Ship one route's accumulated batch as (at most a few) DATA frames."""
+        entries = stage.batch_buffers[index].drain()
+        if not entries:
+            return
+        if stage.batch_metrics is not None:
+            stage.batch_metrics.batches.inc()
+            stage.batch_metrics.items.inc(len(entries))
+            stage.batch_metrics.flush_size.observe(float(len(entries)))
+            if age:
+                stage.batch_metrics.age_flushes.inc()
+        route = stage.out_routes[index]
+        await route.channel.send_batch(entries)
 
     async def _monitor_task(self, stage: _HostedStage) -> None:
         """The Section 4 adaptation loop, run locally per stage."""
@@ -637,13 +782,24 @@ class Worker:
                 if frame is None:
                     break
                 if frame.type is FrameType.DATA:
-                    payload, size = decode_payload(frame.payload)
-                    item = Item(
-                        payload=payload, size=size, origin=stream,
-                        created_at=self.elapsed(),
+                    if is_batch_payload(frame.payload):
+                        decoded = decode_payload_batch(frame.payload)
+                    else:
+                        decoded = [decode_payload(frame.payload)]
+                    now = self.elapsed()
+                    await stage.inbox.force_put_many([
+                        (
+                            channel,
+                            Item(
+                                payload=payload, size=size, origin=stream,
+                                created_at=now,
+                            ),
+                        )
+                        for payload, size in decoded
+                    ])
+                    stage.rate_estimator.observe(
+                        self.elapsed(), count=float(len(decoded))
                     )
-                    await stage.inbox.force_put((channel, item))
-                    stage.rate_estimator.observe(self.elapsed())
                 elif frame.type is FrameType.EOS:
                     saw_eos = True
                     await stage.inbox.force_put((None, EndOfStream(origin=stream)))

@@ -21,7 +21,7 @@ from repro.obs.names import METRICS
 __all__ = ["check_docs", "default_docs_path", "documented_metrics"]
 
 #: A metrics-table row: ``| `template` | kind | ...``.
-_ROW = re.compile(r"^\|\s*`(?P<template>[a-z_.{}>-]+)`\s*\|\s*(?P<kind>\w+)\s*\|")
+_ROW = re.compile(r"^\|\s*`(?P<template>[a-z0-9_.{}>-]+)`\s*\|\s*(?P<kind>\w+)\s*\|")
 
 
 def default_docs_path() -> Path:

@@ -102,6 +102,34 @@ METRICS: Tuple[MetricSpec, ...] = (
                ("sim", "threaded"),
                "transmission on the bandwidth-constrained link (Fig 9 regime)",
                "Per-hop sender-side transmission seconds (sampled hop traces)."),
+    # -- micro-batching (see docs/performance.md) ---------------------------
+    MetricSpec("batch.{stage}.batches", "counter", "batches",
+               ("sim", "threaded", "net"),
+               "throughput-vs-latency trade the adaptation loop tunes (§4)",
+               "Micro-batches flushed by the stage (all out-streams)."),
+    MetricSpec("batch.{stage}.batched_items", "counter", "items",
+               ("sim", "threaded", "net"),
+               "throughput-vs-latency trade the adaptation loop tunes (§4)",
+               "Items shipped through the batched fast path."),
+    MetricSpec("batch.{stage}.flush_size", "histogram", "items",
+               ("sim", "threaded", "net"),
+               "throughput-vs-latency trade the adaptation loop tunes (§4)",
+               "Items per flushed batch (full batches hit max_items; "
+               "age flushes are smaller)."),
+    MetricSpec("batch.{stage}.age_flushes", "counter", "flushes",
+               ("sim", "threaded", "net"),
+               "the real-time constraint (§1) bounding batch wait",
+               "Batches flushed by the max_delay age bound rather than "
+               "by reaching max_items."),
+    # -- benchmark harness (see docs/performance.md) ------------------------
+    MetricSpec("bench.{case}.items_per_second", "gauge", "items/second",
+               ("sim", "threaded", "net"),
+               "execution time of Figures 5 and 6, as throughput",
+               "Sustained throughput measured by one `repro bench` case."),
+    MetricSpec("bench.{case}.p99_latency", "gauge", "seconds",
+               ("sim", "threaded", "net"),
+               "the real-time constraint (§1: processing keeps up)",
+               "99th-percentile per-item latency of one `repro bench` case."),
     # -- adaptation ---------------------------------------------------------
     MetricSpec("adapt.{stage}.d_tilde", "series", "load score", ("sim", "threaded"),
                "the long-term load score d-tilde (§4.1)",
@@ -177,10 +205,12 @@ METRICS: Tuple[MetricSpec, ...] = (
                ("net",),
                "backpressure in the Fig 4 queue model, made explicit",
                "Total seconds the sender spent blocked awaiting credit."),
-    MetricSpec("net.{channel}.in_flight_peak", "gauge", "frames", ("net",),
+    MetricSpec("net.{channel}.in_flight_peak", "gauge", "items", ("net",),
                "bounded buffering replacing unbounded socket queues",
-               "Peak unacknowledged DATA frames; never exceeds the "
-               "receiver's granted credit window."),
+               "Peak unacknowledged items in flight (credit is charged "
+               "per item, not per frame, so a batched DATA frame costs "
+               "its item count); never exceeds the receiver's granted "
+               "credit window."),
     MetricSpec("net.{channel}.exceptions", "counter", "exceptions", ("net",),
                "over-/under-load exceptions sent upstream over the wire (§4.2)",
                "Load exceptions delivered upstream over the channel's "

@@ -31,6 +31,7 @@ from repro.obs.names import validate_name
 from repro.simnet.trace import StatSummary, TimeSeries, percentile
 
 __all__ = [
+    "BatchMetrics",
     "Counter",
     "Gauge",
     "Histogram",
@@ -290,3 +291,19 @@ class StageMetrics:
         self.latency = registry.histogram(f"{prefix}.latency")
         self.queue_len = registry.series(f"{prefix}.queue_len")
         self.arrival_rate = registry.gauge(f"{prefix}.arrival_rate")
+
+
+class BatchMetrics:
+    """Pre-resolved handles for one stage's micro-batching accounting.
+
+    Constructed only when a stage runs with an enabled
+    :class:`~repro.core.batching.BatchPolicy`, by whichever runtime hosts
+    it — the ``batch.*`` family is identical across all three runtimes.
+    """
+
+    def __init__(self, registry: MetricsRegistry, stage_name: str) -> None:
+        prefix = f"batch.{stage_name}"
+        self.batches = registry.counter(f"{prefix}.batches")
+        self.items = registry.counter(f"{prefix}.batched_items")
+        self.flush_size = registry.histogram(f"{prefix}.flush_size")
+        self.age_flushes = registry.counter(f"{prefix}.age_flushes")

@@ -50,8 +50,10 @@ class ResilienceConfig:
     retry_multiplier:
         Exponential backoff factor per subsequent retry.
     retry_jitter:
-        Uniform jitter fraction: each delay is scaled by a factor drawn
-        from ``[1, 1 + retry_jitter]``.
+        Uniform jitter fraction ``j``: each delay is scaled by a factor
+        drawn from ``[1 - j/2, 1 + j/2]`` (centered on the exponential
+        delay, floored at 0), so concurrent retriers spread out instead
+        of marching in lockstep.
     recovery_poll:
         How often the simulated runtime re-checks a down host for
         in-place recovery (crash + ``recover()`` without redeployment).
@@ -101,9 +103,20 @@ class ResilienceConfig:
             raise ValueError(f"recovery_poll must be > 0, got {self.recovery_poll}")
 
     def retry_delay(self, attempt: int, rng: Any) -> float:
-        """Backoff before retry number ``attempt`` (0-based), with jitter."""
+        """Backoff before retry number ``attempt`` (0-based), with jitter.
+
+        The jitter is *centered*: the exponential delay is scaled by a
+        factor drawn uniformly from ``[1 - j/2, 1 + j/2]`` and floored
+        at 0.  A one-sided ``[1, 1 + j]`` scale would only ever lengthen
+        delays, leaving simultaneous failures synchronized (every
+        retrier waits at least the same base backoff, so retry storms
+        arrive together); centering desynchronizes them while keeping
+        the mean delay equal to the exponential schedule.  Determinism
+        is preserved: ``rng`` is the caller's seeded generator.
+        """
         base = self.retry_base_delay * (self.retry_multiplier ** attempt)
-        return base * (1.0 + self.retry_jitter * rng.random())
+        factor = 1.0 + self.retry_jitter * (rng.random() - 0.5)
+        return max(0.0, base * factor)
 
 
 @dataclass(frozen=True)

@@ -51,6 +51,16 @@ class CpuCostModel:
             raise ValueError("work amounts must be >= 0")
         return self.fixed + self.per_item * items + self.per_byte * nbytes
 
+    @property
+    def is_free(self) -> bool:
+        """True when every unit of work costs exactly zero seconds.
+
+        Runtimes use this to skip the per-item cost computation on their
+        batched fast paths; a frozen all-zero model can never start
+        charging mid-run.
+        """
+        return self.fixed == 0.0 and self.per_item == 0.0 and self.per_byte == 0.0
+
 
 class Host:
     """A compute node in the simulated grid.

@@ -24,11 +24,14 @@ import struct
 from typing import List, Sequence, Tuple
 
 __all__ = [
+    "BATCH_HEADER_BYTES",
     "HEADER_BYTES",
     "PAIR_BYTES",
     "WireError",
     "decode_summary",
+    "decode_summary_batch",
     "encode_summary",
+    "encode_summary_batch",
     "summary_wire_size",
 ]
 
@@ -41,6 +44,10 @@ HEADER_BYTES = _HEADER_STRUCT.size
 
 _MAGIC = 0xA7
 _VERSION = 1
+#: Batch container: magic byte, version byte, record count uint32.
+_BATCH_HEADER_STRUCT = struct.Struct("<BBI")
+BATCH_HEADER_BYTES = _BATCH_HEADER_STRUCT.size
+_BATCH_MAGIC = 0xA8
 _MAX_COUNT = (1 << 32) - 1
 _MAX_ITEMS_SEEN = (1 << 64) - 1
 _MIN_VALUE = -(1 << 63)
@@ -114,6 +121,71 @@ def decode_summary(data: bytes) -> Tuple[List[Tuple[int, int]], int]:
         for i in range(n_pairs)
     ]
     return [(int(v), int(c)) for v, c in pairs], items_seen
+
+
+def encode_summary_batch(
+    records: Sequence[Tuple[Sequence[Tuple[int, int]], int]]
+) -> bytes:
+    """Encode several summaries into one batch buffer.
+
+    ``records`` is a sequence of ``(pairs, items_seen)`` tuples — the same
+    arguments :func:`encode_summary` takes.  The batch format is a small
+    container header (its own magic, a version, a uint32 record count)
+    followed by the records' ordinary :func:`encode_summary` encodings
+    back to back: each record's header declares its pair count, so the
+    records are self-delimiting and the batched codec adds only
+    ``BATCH_HEADER_BYTES`` of overhead regardless of batch size.  This is
+    what a batched DATA frame in ``repro.net`` carries for count-samps
+    summaries.
+    """
+    if len(records) > _MAX_COUNT:
+        raise WireError(f"too many records for uint32 count: {len(records)}")
+    out = bytearray(_BATCH_HEADER_STRUCT.pack(_BATCH_MAGIC, _VERSION, len(records)))
+    for pairs, items_seen in records:
+        out += encode_summary(pairs, items_seen)
+    return bytes(out)
+
+
+def decode_summary_batch(data: bytes) -> List[Tuple[List[Tuple[int, int]], int]]:
+    """Inverse of :func:`encode_summary_batch`.
+
+    Rejects corruption with a distinct :class:`WireError` per failure
+    class: truncated batch header, bad batch magic, unsupported version,
+    a record extending past the buffer (truncated record), and trailing
+    bytes after the declared record count.
+    """
+    if len(data) < BATCH_HEADER_BYTES:
+        raise WireError(
+            f"truncated batch header: {len(data)} bytes, need {BATCH_HEADER_BYTES}"
+        )
+    magic, version, n_records = _BATCH_HEADER_STRUCT.unpack_from(data, 0)
+    if magic != _BATCH_MAGIC:
+        raise WireError(f"bad batch magic byte {magic:#x}")
+    if version != _VERSION:
+        raise WireError(f"unsupported batch wire version {version}")
+    records: List[Tuple[List[Tuple[int, int]], int]] = []
+    offset = BATCH_HEADER_BYTES
+    for index in range(n_records):
+        if len(data) - offset < HEADER_BYTES:
+            raise WireError(
+                f"truncated record {index}: {len(data) - offset} bytes left, "
+                f"record header needs {HEADER_BYTES}"
+            )
+        n_pairs = _HEADER_STRUCT.unpack_from(data, offset)[2]
+        record_len = HEADER_BYTES + n_pairs * PAIR_BYTES
+        if len(data) - offset < record_len:
+            raise WireError(
+                f"truncated record {index}: declared pair count {n_pairs} "
+                f"needs {record_len} bytes, {len(data) - offset} left"
+            )
+        records.append(decode_summary(bytes(data[offset:offset + record_len])))
+        offset += record_len
+    if offset != len(data):
+        raise WireError(
+            f"trailing bytes: {len(data) - offset} past the declared "
+            f"record count {n_records}"
+        )
+    return records
 
 
 def summary_wire_size(n_pairs: int) -> float:

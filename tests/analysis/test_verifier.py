@@ -31,6 +31,7 @@ CASES = [
     ("ga206_increment_span", "GA206"),
     ("ga207_duplicate_param", "GA207"),
     ("ga208_property_mirror", "GA208"),
+    ("ga210_batch_delay", "GA210"),
     ("ga301_code_url", "GA301"),
     ("ga302_checkpoint", "GA302"),
     ("ga303_placement", "GA303"),

@@ -1,0 +1,117 @@
+"""Backpressure regression tests for the threaded runtime's bounded queue.
+
+The seed behaviour silently grew the queue past its capacity, which let a
+fast producer outrun a slow consumer unboundedly and starved the
+Section-4 queue-length signal of meaning.  ``put`` must genuinely block
+at capacity; ``force_put`` stays non-blocking for the error-path
+end-of-stream; ``close`` releases blocked producers so a dead consumer
+cannot deadlock the run.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.runtime_threads import _MonitoredQueue
+
+
+def make_queue(capacity=2, window=12):
+    return _MonitoredQueue(capacity=capacity, window=window)
+
+
+class TestPutBlocksAtCapacity:
+    def test_put_blocks_until_consumer_drains(self):
+        queue = make_queue(capacity=2)
+        queue.put("a")
+        queue.put("b")
+        unblocked = threading.Event()
+
+        def producer():
+            queue.put("c")  # must block: queue is at capacity
+            unblocked.set()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        assert not unblocked.wait(0.1), "put() returned while queue was full"
+        assert queue.current_length == 2
+        assert queue.get(timeout=1.0) == "a"
+        assert unblocked.wait(2.0), "put() stayed blocked after a drain"
+        thread.join(2.0)
+        assert queue.current_length == 2
+
+    def test_put_many_respects_capacity_exactly(self):
+        queue = make_queue(capacity=3)
+        done = threading.Event()
+
+        def producer():
+            queue.put_many(list(range(10)))
+            done.set()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        assert not done.wait(0.1)
+        taken = []
+        while len(taken) < 10:
+            got = queue.get_many(3, timeout=2.0)
+            assert len(got) <= 3
+            taken.extend(got)
+            # The bound holds at every observable instant.
+            assert queue.current_length <= 3
+        assert taken == list(range(10))
+        assert done.wait(2.0)
+        thread.join(2.0)
+
+    def test_force_put_never_blocks(self):
+        queue = make_queue(capacity=1)
+        queue.put("a")
+        start = time.monotonic()
+        queue.force_put("eos")  # over capacity, returns immediately
+        assert time.monotonic() - start < 0.5
+        assert queue.current_length == 2
+
+
+class TestCloseReleasesProducers:
+    def test_close_unblocks_a_blocked_put(self):
+        queue = make_queue(capacity=1)
+        queue.put("a")
+        released = threading.Event()
+
+        def producer():
+            queue.put("b")  # blocks at capacity until close()
+            released.set()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        assert not released.wait(0.1)
+        queue.close()
+        assert released.wait(2.0), "close() did not release the blocked put"
+        thread.join(2.0)
+        # The dropped item was never appended.
+        assert queue.current_length == 1
+
+    def test_puts_after_close_are_dropped(self):
+        queue = make_queue(capacity=4)
+        queue.close()
+        queue.put("x")
+        queue.put_many(["y", "z"])
+        queue.force_put("w")
+        assert queue.current_length == 0
+
+
+class TestGetMany:
+    def test_drains_up_to_max_without_waiting_for_more(self):
+        queue = make_queue(capacity=10)
+        queue.put_many([1, 2, 3])
+        assert queue.get_many(8, timeout=1.0) == [1, 2, 3]
+
+    def test_times_out_when_empty(self):
+        queue = make_queue()
+        with pytest.raises(TimeoutError):
+            queue.get_many(4, timeout=0.05)
+        with pytest.raises(TimeoutError):
+            queue.get(timeout=0.05)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            make_queue(capacity=0)

@@ -15,7 +15,10 @@ from repro.net.channels import AsyncInbox, ChannelError, InChannel, OutChannel
 from repro.net.protocol import (
     FrameDecoder,
     FrameType,
+    decode_payload,
+    decode_payload_batch,
     encode_json,
+    is_batch_payload,
     read_frame,
     send_frame,
 )
@@ -289,3 +292,188 @@ class TestCreditFlowControl:
             await server.wait_closed()
 
         run(scenario())
+
+
+class _BatchReceiver:
+    """Item-granular receiver for batched DATA frames.
+
+    Decodes every DATA payload (batch or single) to count *items*, grants
+    credit per item consumed, and audits both halves of the invariant:
+    outstanding items never exceed zero against granted credit, and no
+    single frame carries more items than the window.
+    """
+
+    def __init__(self, window, consume_delay=0.0):
+        self.window = window
+        self.consume_delay = consume_delay
+        self.granted = 0
+        self.items = []
+        self.frame_item_counts = []
+        self.eos_seen = False
+        self.max_outstanding = -10**9
+        self.server = None
+        self.port = None
+
+    async def start(self):
+        self.server = await asyncio.start_server(self._serve, "127.0.0.1", 0)
+        self.port = self.server.sockets[0].getsockname()[1]
+
+    async def _serve(self, reader, writer):
+        attach = await read_frame(reader)
+        assert attach.type is FrameType.ATTACH
+        await send_frame(
+            writer, FrameType.CREDIT,
+            encode_json({"stream": "testchan", "n": self.window}),
+        )
+        self.granted = self.window
+        while True:
+            frame = await read_frame(reader)
+            if frame is None:
+                writer.close()
+                return
+            if frame.type is FrameType.EOS:
+                self.eos_seen = True
+                continue
+            assert frame.type is FrameType.DATA
+            if is_batch_payload(frame.payload):
+                decoded = decode_payload_batch(frame.payload)
+            else:
+                decoded = [decode_payload(frame.payload)]
+            self.frame_item_counts.append(len(decoded))
+            self.items += [obj for obj, _ in decoded]
+            outstanding = len(self.items) - self.granted
+            self.max_outstanding = max(self.max_outstanding, outstanding)
+            await asyncio.sleep(self.consume_delay)
+            await send_frame(
+                writer, FrameType.CREDIT,
+                encode_json({"stream": "testchan", "n": len(decoded)}),
+            )
+            self.granted += len(decoded)
+
+
+class TestSendBatch:
+    def _scenario(self, items, window, chunks):
+        async def run_it():
+            receiver = _BatchReceiver(window, consume_delay=0.001)
+            await receiver.start()
+            registry = MetricsRegistry()
+            loop = asyncio.get_running_loop()
+            channel = OutChannel(
+                "testchan", "dst", "127.0.0.1", receiver.port,
+                registry, clock=loop.time,
+            )
+            await channel.connect()
+            assert channel.window == window
+            for chunk in chunks:
+                await channel.send_batch(chunk)
+            await channel.send_eos()
+            await asyncio.sleep(0.05)
+            await channel.close()
+            receiver.server.close()
+            await receiver.server.wait_closed()
+            return receiver, channel, registry
+
+        return run(run_it())
+
+    def test_credit_is_charged_per_item_not_per_frame(self):
+        # 30 items through a window of 4: a per-frame accounting would
+        # let 4 frames x up-to-4 items = 16 items ride on 4 credits.
+        window, total = 4, 30
+        batch = [(i, 8.0) for i in range(total)]
+        receiver, channel, registry = self._scenario(
+            total, window, [batch]
+        )
+        assert receiver.items == list(range(total))
+        # Both halves of the invariant, from both sides of the wire:
+        assert receiver.max_outstanding <= 0
+        assert channel.peak_in_flight <= window
+        assert registry.value("net.testchan.in_flight_peak") <= window
+        # Chunked to the window: no frame carries more than window items.
+        assert max(receiver.frame_item_counts) <= window
+        assert len(receiver.frame_item_counts) < total  # actually batched
+
+    def test_single_item_chunk_uses_the_single_codec(self):
+        receiver, _, registry = self._scenario(1, 8, [[(99, 8.0)]])
+        assert receiver.items == [99]
+        assert receiver.frame_item_counts == [1]
+
+    def test_empty_batch_is_a_no_op(self):
+        receiver, _, registry = self._scenario(0, 8, [[]])
+        assert receiver.items == []
+        assert registry.value("net.testchan.frames") == 1  # EOS only
+
+    def test_interleaved_batches_preserve_order(self):
+        chunks = [
+            [(i, 8.0) for i in range(0, 10)],
+            [(i, 8.0) for i in range(10, 13)],
+            [(i, 8.0) for i in range(13, 25)],
+        ]
+        receiver, channel, _ = self._scenario(25, 4, chunks)
+        assert receiver.items == list(range(25))
+        assert channel.peak_in_flight <= 4
+
+
+class TestInboxBatchSurface:
+    def test_get_many_drains_without_waiting_for_more(self):
+        async def scenario():
+            inbox = AsyncInbox(capacity=10, window=4)
+            for i in range(3):
+                await inbox.put(i)
+            return await inbox.get_many(8)
+
+        assert run(scenario()) == [0, 1, 2]
+
+    def test_get_many_respects_max_items(self):
+        async def scenario():
+            inbox = AsyncInbox(capacity=10, window=4)
+            for i in range(6):
+                await inbox.put(i)
+            first = await inbox.get_many(4)
+            rest = await inbox.get_many(4)
+            return first, rest
+
+        assert run(scenario()) == ([0, 1, 2, 3], [4, 5])
+
+    def test_get_many_waits_for_the_first_entry(self):
+        async def scenario():
+            inbox = AsyncInbox(capacity=10, window=4)
+
+            async def late_producer():
+                await asyncio.sleep(0.01)
+                await inbox.put("late")
+
+            task = asyncio.create_task(late_producer())
+            got = await inbox.get_many(4)
+            await task
+            return got
+
+        assert run(scenario()) == ["late"]
+
+    def test_force_put_many_ignores_capacity(self):
+        async def scenario():
+            inbox = AsyncInbox(capacity=2, window=4)
+            await inbox.force_put_many(list(range(7)))
+            return inbox.current_length, await inbox.get_many(10)
+
+        length, drained = run(scenario())
+        assert length == 7
+        assert drained == list(range(7))
+
+
+class TestNoteConsumedCounts:
+    def test_note_consumed_n_replenishes_in_one_frame(self):
+        channel = InChannel("s", "dst", window=8)  # batch = 2
+        writer = _FakeWriter()
+        channel.attach(writer)
+        channel.note_consumed(5)
+        assert len(writer.frames) == 2  # the attach grant, then one credit
+        assert writer.frames[1].json() == {"stream": "s", "n": 5}
+
+    def test_counts_accumulate_across_calls(self):
+        channel = InChannel("s", "dst", window=8)  # batch = 2
+        writer = _FakeWriter()
+        channel.attach(writer)
+        channel.note_consumed(1)
+        assert len(writer.frames) == 1  # below the batch threshold
+        channel.note_consumed(1)
+        assert writer.frames[1].json() == {"stream": "s", "n": 2}

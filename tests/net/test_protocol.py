@@ -22,9 +22,12 @@ from repro.net.protocol import (
     ProtocolError,
     decode_json,
     decode_payload,
+    decode_payload_batch,
     encode_frame,
     encode_json,
     encode_payload,
+    encode_payload_batch,
+    is_batch_payload,
 )
 
 
@@ -248,3 +251,148 @@ class TestDataPayloadCodec:
             # Surviving mutations must still yield a well-typed result.
             json.dumps(obj)
             assert isinstance(size, float)
+
+
+def summary_of(source, pairs, items_seen):
+    return {"source": source, "pairs": pairs, "items_seen": items_seen}
+
+
+class TestBatchPayloadCodec:
+    """Batched DATA payloads: several items behind one frame."""
+
+    MIXED = [
+        (42, 8.0),
+        ({"k": "v", "n": [1, 2]}, 16.0),
+        (summary_of("filter-0", [(7, 3)], 11), 24.0),
+        ("text", 4.0),
+    ]
+    SUMMARIES = [
+        (summary_of("filter-0", [(7, 3), (1, 2)], 11), 24.0),
+        (summary_of("filter-1", [], 0), 12.0),
+        (summary_of("join", [(-5, 1)], 6), 12.0),
+    ]
+
+    def test_mixed_batch_round_trips_via_generic_tag(self):
+        data = encode_payload_batch(self.MIXED)
+        assert data[0] == 3  # _PAYLOAD_BATCH tag
+        decoded = decode_payload_batch(data)
+        assert decoded[0] == (42, 8.0)
+        assert decoded[1] == ({"k": "v", "n": [1, 2]}, 16.0)
+        assert decoded[3] == ("text", 4.0)
+        obj, size = decoded[2]
+        assert size == 24.0
+        assert obj["source"] == "filter-0"
+        assert [tuple(p) for p in obj["pairs"]] == [(7, 3)]
+
+    def test_all_summary_batch_takes_the_compact_tag(self):
+        data = encode_payload_batch(self.SUMMARIES)
+        assert data[0] == 4  # _PAYLOAD_SUMMARY_BATCH tag
+        decoded = decode_payload_batch(data)
+        assert [size for _, size in decoded] == [24.0, 12.0, 6.0 * 2]
+        for (obj, _), (want, _) in zip(decoded, self.SUMMARIES):
+            assert obj["source"] == want["source"]
+            assert obj["items_seen"] == want["items_seen"]
+            assert [tuple(p) for p in obj["pairs"]] == [
+                tuple(p) for p in want["pairs"]
+            ]
+
+    def test_summary_batch_is_smaller_than_generic_framing(self):
+        compact = encode_payload_batch(self.SUMMARIES)
+        # The generic batch would carry each item's single encoding behind
+        # a uint32 length prefix, after the tag byte and uint32 count.
+        generic = 1 + 4 + sum(
+            4 + len(encode_payload(obj, size)) for obj, size in self.SUMMARIES
+        )
+        assert len(compact) < generic
+
+    def test_single_item_batch_round_trips(self):
+        decoded = decode_payload_batch(encode_payload_batch([(7, 8.0)]))
+        assert decoded == [(7, 8.0)]
+
+    def test_is_batch_payload_discriminates(self):
+        assert is_batch_payload(encode_payload_batch(self.MIXED))
+        assert is_batch_payload(encode_payload_batch(self.SUMMARIES))
+        assert not is_batch_payload(encode_payload(42, 8.0))
+        assert not is_batch_payload(encode_payload(self.SUMMARIES[0][0], 24.0))
+        assert not is_batch_payload(b"")
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ProtocolError, match="empty payload batch"):
+            encode_payload_batch([])
+
+    def test_unencodable_item_raises(self):
+        with pytest.raises(ProtocolError, match="not wire-encodable"):
+            encode_payload_batch([(1, 8.0), (object(), 8.0)])
+
+    def test_truncated_batch_raises(self):
+        good = encode_payload_batch(self.MIXED)
+        for cut in range(1, len(good)):
+            with pytest.raises(ProtocolError):
+                decode_payload_batch(good[:cut])
+
+    def test_truncated_summary_batch_raises(self):
+        good = encode_payload_batch(self.SUMMARIES)
+        for cut in range(1, len(good)):
+            with pytest.raises(ProtocolError):
+                decode_payload_batch(good[:cut])
+
+    def test_trailing_bytes_rejected(self):
+        good = encode_payload_batch(self.MIXED)
+        with pytest.raises(ProtocolError, match="trailing bytes"):
+            decode_payload_batch(good + b"\x00")
+
+    def test_count_mismatch_in_summary_batch(self):
+        # Declare one more record than the wire blob carries.
+        good = bytearray(encode_payload_batch(self.SUMMARIES))
+        (count,) = struct.unpack_from("<I", good, 1)
+        struct.pack_into("<I", good, 1, count + 1)
+        with pytest.raises(ProtocolError):
+            decode_payload_batch(bytes(good))
+
+    def test_unknown_batch_tag_raises(self):
+        blob = bytes([9]) + struct.pack("<I", 1) + b"body"
+        with pytest.raises(ProtocolError, match="codec tag 9"):
+            decode_payload_batch(blob)
+
+    def test_batch_payload_fuzz(self):
+        rng = random.Random(0xB47C)
+        for _ in range(200):
+            items = [
+                ({"k": rng.randrange(1000)}, float(rng.randrange(64)))
+                for _ in range(rng.randrange(1, 6))
+            ]
+            blob = bytearray(encode_payload_batch(items))
+            blob[rng.randrange(len(blob))] ^= 1 << rng.randrange(8)
+            try:
+                decoded = decode_payload_batch(bytes(blob))
+            except ProtocolError:
+                continue
+            for obj, size in decoded:
+                json.dumps(obj)
+                assert isinstance(size, float)
+
+    def test_summary_batch_fuzz(self):
+        rng = random.Random(0x5B47)
+        for _ in range(200):
+            items = [
+                (
+                    summary_of(
+                        f"s{rng.randrange(10)}",
+                        [(rng.randrange(100), rng.randrange(10))],
+                        rng.randrange(1000),
+                    ),
+                    float(rng.randrange(64)),
+                )
+                for _ in range(rng.randrange(1, 5))
+            ]
+            blob = bytearray(encode_payload_batch(items))
+            blob[rng.randrange(len(blob))] ^= 1 << rng.randrange(8)
+            try:
+                decoded = decode_payload_batch(bytes(blob))
+            except ProtocolError:
+                continue
+            except UnicodeDecodeError:
+                continue  # strict utf-8 source names reject mangled bytes
+            for obj, size in decoded:
+                json.dumps(obj)
+                assert isinstance(size, float)

@@ -260,3 +260,106 @@ class TestNetdemoAcceptance:
         assert any(
             stats["credit_stalls"] > 0 for stats in summary["channels"].values()
         )
+
+
+def _batch_policy():
+    from repro.core.batching import BatchPolicy
+
+    return BatchPolicy(max_items=16, max_delay=0.005)
+
+
+@pytest.fixture(scope="module")
+def networked_batched():
+    config = build_config()
+    runtime = NetworkedRuntime(
+        config, workers=3, adaptation_enabled=False, credit_window=16,
+        batch=_batch_policy(),
+    )
+    for i in range(N_SOURCES):
+        runtime.bind_source(
+            f"src-{i}", f"filter-{i}", payloads(SEED + i, ITEMS), item_size=8.0
+        )
+    return runtime, runtime.run(timeout=60.0)
+
+
+class TestBatchedParity:
+    """Micro-batching is a transport optimization: answers must not move."""
+
+    def test_batched_networked_matches_unbatched(self, networked, networked_batched):
+        _, plain = networked
+        _, batched = networked_batched
+        assert normalize(batched.final_value("join")) == normalize(
+            plain.final_value("join")
+        )
+        assert batched.final_value("join")
+
+    def test_batched_networked_matches_batched_threaded(self, networked_batched):
+        _, net_result = networked_batched
+        repository = default_repository()
+        config = build_config()
+        runtime = ThreadedRuntime(
+            adaptation_enabled=False, batch=_batch_policy()
+        )
+        for stage in config.stages:
+            runtime.add_stage(
+                stage.name, repository.fetch(stage.code_url)(),
+                properties=stage.properties,
+            )
+        for stream in config.streams:
+            runtime.connect(stream.src, stream.dst, name=stream.name)
+        for i in range(N_SOURCES):
+            runtime.bind_source(
+                f"src-{i}", f"filter-{i}", payloads(SEED + i, ITEMS),
+                item_size=8.0,
+            )
+        thr_result = runtime.run(timeout=60.0)
+        assert normalize(net_result.final_value("join")) == normalize(
+            thr_result.final_value("join")
+        )
+        for i in range(N_SOURCES):
+            name = f"filter-{i}"
+            assert net_result.stage(name).items_in == ITEMS
+            assert (
+                net_result.stage(name).items_out
+                == thr_result.stage(name).items_out
+            )
+
+    def test_item_accounting_survives_batching(self, networked, networked_batched):
+        _, plain = networked
+        _, batched = networked_batched
+        for name in ("filter-0", "filter-1", "join"):
+            assert batched.stage(name).items_in == plain.stage(name).items_in
+            assert batched.stage(name).items_out == plain.stage(name).items_out
+
+    def test_frames_collapse_under_batching(self, networked, networked_batched):
+        plain_runtime, _ = networked
+        batched_runtime, _ = networked_batched
+        for i in range(N_SOURCES):
+            plain_frames = plain_runtime.metrics.value(f"net.src-{i}.frames")
+            batched_frames = batched_runtime.metrics.value(f"net.src-{i}.frames")
+            # 400 items one-at-a-time vs packed up to 16 per frame.
+            assert batched_frames < plain_frames / 4
+
+    def test_credit_window_holds_under_batching(self, networked_batched):
+        runtime, _ = networked_batched
+        registry = runtime.metrics
+        checked = 0
+        for i in range(N_SOURCES):
+            peak = registry.value(f"net.src-{i}.in_flight_peak")
+            assert peak <= 16
+            checked += 1
+        assert checked == N_SOURCES
+
+    def test_batch_metrics_recorded(self, networked_batched):
+        runtime, _ = networked_batched
+        registry = runtime.metrics
+        stages = ("filter-0", "filter-1", "join")
+        total_batches = sum(
+            registry.value(f"batch.{name}.batches", 0.0) for name in stages
+        )
+        total_items = sum(
+            registry.value(f"batch.{name}.batched_items", 0.0)
+            for name in stages
+        )
+        assert total_batches > 0
+        assert total_items >= total_batches  # batches carry >= 1 item each

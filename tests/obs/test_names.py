@@ -11,6 +11,12 @@ from repro.obs.names import METRICS, spec_for, validate_name
 EXPECTED_TEMPLATES = [
     "adapt.{stage}.d_tilde",
     "adapt.{stage}.param.{parameter}",
+    "batch.{stage}.age_flushes",
+    "batch.{stage}.batched_items",
+    "batch.{stage}.batches",
+    "batch.{stage}.flush_size",
+    "bench.{case}.items_per_second",
+    "bench.{case}.p99_latency",
     "fault.{stage}.failovers",
     "fault.{stage}.quarantined",
     "fault.{stage}.retries",

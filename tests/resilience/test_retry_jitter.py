@@ -1,0 +1,71 @@
+"""Tests for the centered retry-jitter schedule.
+
+The seed scaled delays one-sidedly by ``[1, 1 + j]``, which only ever
+lengthens them: simultaneous failures all waited at least the same base
+backoff, so retry storms re-arrived together.  The centered form draws
+the scale from ``[1 - j/2, 1 + j/2]`` (floored at 0), desynchronizing
+retriers while keeping the mean on the exponential schedule.
+"""
+
+import random
+import statistics
+
+import pytest
+
+from repro.resilience import ResilienceConfig
+
+
+class TestRetryDelay:
+    def test_no_jitter_is_exact_exponential(self):
+        config = ResilienceConfig(
+            retry_base_delay=0.1, retry_multiplier=2.0, retry_jitter=0.0
+        )
+        rng = random.Random(42)
+        assert config.retry_delay(0, rng) == pytest.approx(0.1)
+        assert config.retry_delay(1, rng) == pytest.approx(0.2)
+        assert config.retry_delay(3, rng) == pytest.approx(0.8)
+
+    def test_jittered_delay_stays_in_centered_band(self):
+        j = 0.5
+        config = ResilienceConfig(
+            retry_base_delay=0.1, retry_multiplier=2.0, retry_jitter=j
+        )
+        rng = random.Random(7)
+        for attempt in range(4):
+            base = 0.1 * (2.0 ** attempt)
+            for _ in range(200):
+                delay = config.retry_delay(attempt, rng)
+                assert base * (1 - j / 2) <= delay <= base * (1 + j / 2)
+
+    def test_jitter_can_shorten_delays(self):
+        # The whole point of centering: roughly half the draws land
+        # below the un-jittered exponential delay.
+        config = ResilienceConfig(retry_base_delay=1.0, retry_jitter=0.5)
+        rng = random.Random(3)
+        draws = [config.retry_delay(0, rng) for _ in range(500)]
+        shorter = sum(1 for d in draws if d < 1.0)
+        assert 150 < shorter < 350
+
+    def test_mean_matches_exponential_schedule(self):
+        config = ResilienceConfig(retry_base_delay=1.0, retry_jitter=1.0)
+        rng = random.Random(11)
+        draws = [config.retry_delay(0, rng) for _ in range(4000)]
+        assert statistics.fmean(draws) == pytest.approx(1.0, rel=0.05)
+
+    def test_large_jitter_is_floored_at_zero(self):
+        # j > 2 can push the scale factor negative; the delay clamps to 0.
+        config = ResilienceConfig(retry_base_delay=1.0, retry_jitter=4.0)
+        rng = random.Random(13)
+        draws = [config.retry_delay(0, rng) for _ in range(500)]
+        assert all(d >= 0.0 for d in draws)
+        assert any(d == 0.0 for d in draws)
+
+    def test_determinism_under_a_seeded_rng(self):
+        config = ResilienceConfig(retry_jitter=0.5)
+        a = [config.retry_delay(i, random.Random(99)) for i in range(5)]
+        b = [config.retry_delay(i, random.Random(99)) for i in range(5)]
+        assert a == b
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            ResilienceConfig(retry_jitter=-0.1)

@@ -5,11 +5,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.streams.wire import (
+    BATCH_HEADER_BYTES,
     HEADER_BYTES,
     PAIR_BYTES,
     WireError,
     decode_summary,
+    decode_summary_batch,
     encode_summary,
+    encode_summary_batch,
     summary_wire_size,
 )
 
@@ -144,6 +147,122 @@ class TestEncodeRangeChecks:
         for n in (0, 1, 17, 128):
             pairs = [(i, i + 1) for i in range(n)]
             assert len(encode_summary(pairs)) == summary_wire_size(n)
+
+
+class TestSummaryBatch:
+    """The batch container for coalesced summary DATA frames."""
+
+    RECORDS = [
+        ([(5, 100), (-3, 2)], 7),
+        ([], 0),
+        ([(2**40, 1)], 2**63),
+    ]
+
+    def test_round_trip(self):
+        data = encode_summary_batch(self.RECORDS)
+        assert decode_summary_batch(data) == self.RECORDS
+
+    def test_empty_batch_round_trips(self):
+        data = encode_summary_batch([])
+        assert len(data) == BATCH_HEADER_BYTES
+        assert decode_summary_batch(data) == []
+
+    def test_overhead_is_one_batch_header(self):
+        # Records are self-delimiting: batching N summaries costs exactly
+        # BATCH_HEADER_BYTES more than sending them back to back.
+        data = encode_summary_batch(self.RECORDS)
+        singles = sum(
+            len(encode_summary(pairs, seen)) for pairs, seen in self.RECORDS
+        )
+        assert len(data) == BATCH_HEADER_BYTES + singles
+
+    def test_bad_record_surfaces_the_encode_error(self):
+        with pytest.raises(WireError, match="int64"):
+            encode_summary_batch([([(2**63, 1)], 0)])
+
+    def test_truncated_batch_header(self):
+        good = encode_summary_batch(self.RECORDS)
+        for cut in range(BATCH_HEADER_BYTES):
+            with pytest.raises(WireError, match="truncated batch header"):
+                decode_summary_batch(good[:cut])
+
+    def test_bad_batch_magic(self):
+        good = encode_summary_batch(self.RECORDS)
+        # 0xA7 is the single-summary magic; it must not decode as a batch.
+        with pytest.raises(WireError, match="bad batch magic"):
+            decode_summary_batch(b"\xa7" + good[1:])
+
+    def test_bad_batch_version(self):
+        bad = bytearray(encode_summary_batch(self.RECORDS))
+        bad[1] = 99
+        with pytest.raises(WireError, match="unsupported batch wire version"):
+            decode_summary_batch(bytes(bad))
+
+    def test_truncated_record(self):
+        good = encode_summary_batch(self.RECORDS)
+        for cut in range(BATCH_HEADER_BYTES + 1, len(good)):
+            with pytest.raises(WireError, match="truncated record"):
+                decode_summary_batch(good[:cut])
+
+    def test_trailing_bytes_rejected(self):
+        good = encode_summary_batch(self.RECORDS)
+        with pytest.raises(WireError, match="trailing bytes"):
+            decode_summary_batch(good + b"\x00")
+
+    def test_declared_count_above_records_rejected(self):
+        import struct
+
+        bad = bytearray(encode_summary_batch(self.RECORDS))
+        struct.pack_into("<I", bad, 2, 1000)
+        with pytest.raises(WireError, match="truncated record"):
+            decode_summary_batch(bytes(bad))
+
+    def test_declared_count_below_records_rejected(self):
+        import struct
+
+        bad = bytearray(encode_summary_batch(self.RECORDS))
+        struct.pack_into("<I", bad, 2, 1)
+        with pytest.raises(WireError, match="trailing bytes"):
+            decode_summary_batch(bytes(bad))
+
+    def test_bit_flip_fuzz_never_crashes(self):
+        import random
+
+        rng = random.Random(0xA8)
+        good = encode_summary_batch(self.RECORDS)
+        for _ in range(300):
+            mutated = bytearray(good)
+            bit = rng.randrange(len(mutated) * 8)
+            mutated[bit // 8] ^= 1 << (bit % 8)
+            try:
+                records = decode_summary_batch(bytes(mutated))
+            except WireError:
+                continue
+            # Survivors must still be well-typed (pairs, items_seen) rows.
+            for pairs, items_seen in records:
+                assert isinstance(items_seen, int) and items_seen >= 0
+                for value, count in pairs:
+                    assert isinstance(value, int)
+                    assert isinstance(count, int) and count >= 0
+
+    @given(
+        records=st.lists(
+            st.tuples(
+                st.lists(
+                    st.tuples(
+                        st.integers(min_value=-(2**62), max_value=2**62),
+                        st.integers(min_value=0, max_value=2**32 - 1),
+                    ),
+                    max_size=8,
+                ),
+                st.integers(min_value=0, max_value=2**63),
+            ),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_any_records(self, records):
+        assert decode_summary_batch(encode_summary_batch(records)) == records
 
 
 class TestWireProperties:

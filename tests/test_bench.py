@@ -1,0 +1,157 @@
+"""Tests for the bench report schema, rendering, and CLI plumbing.
+
+The full benchmark run lives in ``benchmarks/perf`` (outside tier-1);
+here we pin the report contract cheaply: a well-formed ``repro-bench/1``
+report validates clean, every malformation is named, rendering is
+stable, and ``repro bench --validate`` wires it all to the CLI.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA,
+    render_report,
+    validate_file,
+    validate_report,
+    write_report,
+)
+from repro.cli import main
+
+
+def case_of(name, runtime="threaded", mode="single", **overrides):
+    case = {
+        "name": name,
+        "runtime": runtime,
+        "mode": mode,
+        "items": 1000,
+        "seconds": 0.5,
+        "items_per_second": 2000.0,
+        "p50": 0.001,
+        "p95": 0.002,
+        "p99": 0.004,
+    }
+    case.update(overrides)
+    return case
+
+
+def report_of(*cases, schema=SCHEMA, quick=True):
+    return {"schema": schema, "quick": quick, "cases": list(cases)}
+
+
+class TestValidateReport:
+    def test_well_formed_report_is_clean(self):
+        report = report_of(
+            case_of("macro-threaded-single"),
+            case_of("macro-threaded-batched", mode="batched"),
+            case_of("micro-wire-encode", runtime="micro"),
+        )
+        assert validate_report(report) == []
+
+    def test_int_counts_coerce_to_float_fields(self):
+        # JSON round-trips 2000.0 as 2000; the validator must accept it.
+        report = report_of(case_of("c", items_per_second=2000, p50=0))
+        assert validate_report(report) == []
+
+    def test_non_dict_rejected(self):
+        assert validate_report([1, 2]) == ["report must be an object, got list"]
+
+    def test_wrong_schema_named(self):
+        problems = validate_report(report_of(case_of("c"), schema="bench/9"))
+        assert any("schema" in p for p in problems)
+
+    def test_missing_quick_flag(self):
+        report = {"schema": SCHEMA, "cases": [case_of("c")]}
+        assert validate_report(report) == ["quick must be a boolean"]
+
+    def test_empty_cases_rejected(self):
+        assert "cases must be a non-empty array" in validate_report(
+            report_of()
+        )
+
+    def test_missing_field_named_with_location(self):
+        case = case_of("c")
+        del case["p95"]
+        problems = validate_report(report_of(case))
+        assert problems == ["cases[0]: p95 must be float, got None"]
+
+    def test_duplicate_names_rejected(self):
+        problems = validate_report(report_of(case_of("c"), case_of("c")))
+        assert any("duplicate case name" in p for p in problems)
+
+    def test_dot_in_name_rejected(self):
+        # Case names instantiate bench.{case}.* metric templates; a dot
+        # would splinter the metric namespace.
+        problems = validate_report(report_of(case_of("a.b")))
+        assert any("may not contain '.'" in p for p in problems)
+
+    def test_unknown_runtime_rejected(self):
+        problems = validate_report(report_of(case_of("c", runtime="gpu")))
+        assert any("runtime must be one of" in p for p in problems)
+
+    def test_non_finite_and_negative_values_rejected(self):
+        problems = validate_report(
+            report_of(
+                case_of("a", items_per_second=float("inf")),
+                case_of("b", p99=-0.5),
+            )
+        )
+        assert any("cases[0]: items_per_second" in p for p in problems)
+        assert any("cases[1]: p99" in p for p in problems)
+
+
+class TestRenderReport:
+    def test_table_and_speedup_lines(self):
+        report = report_of(
+            case_of("macro-threaded-single", items_per_second=1000.0),
+            case_of(
+                "macro-threaded-batched", mode="batched",
+                items_per_second=2500.0,
+            ),
+        )
+        text = render_report(report)
+        assert "macro-threaded-single" in text
+        assert "items/s" in text
+        assert "macro-threaded: batched/single throughput = 2.50x" in text
+
+    def test_no_speedup_line_without_both_modes(self):
+        text = render_report(report_of(case_of("macro-threaded-single")))
+        assert "throughput" not in text
+
+
+class TestValidateFile:
+    def test_round_trip_through_disk(self, tmp_path):
+        path = str(tmp_path / "BENCH_perf.json")
+        write_report(report_of(case_of("c")), path)
+        assert validate_file(path) == []
+
+    def test_missing_file(self, tmp_path):
+        problems = validate_file(str(tmp_path / "ghost.json"))
+        assert problems and "cannot read" in problems[0]
+
+    def test_malformed_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        problems = validate_file(str(path))
+        assert problems and "not valid JSON" in problems[0]
+
+
+class TestBenchCli:
+    def test_validate_accepts_a_good_report(self, tmp_path, capsys):
+        path = str(tmp_path / "BENCH_perf.json")
+        write_report(report_of(case_of("c")), path)
+        assert main(["bench", "--validate", path]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_validate_rejects_and_names_problems(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_perf.json"
+        bad = report_of(case_of("c", runtime="gpu"), schema="nope")
+        path.write_text(json.dumps(bad), encoding="utf-8")
+        assert main(["bench", "--validate", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "schema" in err and "runtime" in err
+
+    def test_validate_missing_file_fails(self, tmp_path, capsys):
+        assert main(["bench", "--validate", str(tmp_path / "nope.json")]) == 1
+        assert "cannot read" in capsys.readouterr().err
