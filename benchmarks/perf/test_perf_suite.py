@@ -16,6 +16,9 @@ from repro.bench import BENCH_BATCH, run_bench, validate_report
 # catch a batching fast path that silently stopped batching.
 MIN_THREADED_SPEEDUP = 1.2
 MIN_NET_SPEEDUP = 1.4
+# Two replicas of the compute-bound relay should nearly double items/s;
+# 1.6x leaves headroom for scheduler noise on loaded CI machines.
+MIN_SHARD_SPEEDUP = 1.6
 # Tail bound: a batched item can wait at most max_delay for its flush,
 # plus scheduling noise.
 P99_SLACK = BENCH_BATCH.max_delay + 0.05
@@ -58,6 +61,20 @@ def test_bench_quick_speedups_and_schema(benchmark):
             f"{name}: batched p99 {batched['p99']:.4f}s exceeds single "
             f"{single['p99']:.4f}s + {P99_SLACK:.3f}s slack"
         )
+
+    # Replica scaling: two key-partitioned replicas of the compute-bound
+    # relay must beat one by the floor (docs/sharding.md).
+    r1 = cases["macro-shard-r1"]
+    r2 = cases["macro-shard-r2"]
+    scaling = r2["items_per_second"] / r1["items_per_second"]
+    print(
+        f"  macro-shard      r1={r1['items_per_second']:10,.0f}/s "
+        f"r2={r2['items_per_second']:10,.0f}/s scaling={scaling:.2f}x"
+    )
+    assert scaling >= MIN_SHARD_SPEEDUP, (
+        f"macro-shard: 2 replicas only {scaling:.2f}x over 1 "
+        f"(floor {MIN_SHARD_SPEEDUP}x)"
+    )
 
     # Micro cases came along for the ride and are sane.
     assert cases["micro-wire-codec-single"]["items_per_second"] > 0

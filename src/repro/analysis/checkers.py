@@ -1,4 +1,4 @@
-"""The AST lint rules (GA501-GA507).
+"""The AST lint rules (GA501-GA508).
 
 Each rule enforces a repo-specific invariant that a generic linter cannot
 express — they encode contracts established by earlier subsystems:
@@ -13,6 +13,8 @@ express — they encode contracts established by earlier subsystems:
 * GA506 — the checkpoint contract: processor classes override
   ``snapshot``/``restore`` together or not at all.
 * GA507 — no bare or silently-swallowed ``except`` in data-plane code.
+* GA508 — every public function/method in :mod:`repro.core` carries a
+  docstring (the core API is the middleware's contract surface).
 
 Scoping is by module path (see each checker's ``applies_to``); a file
 opts out of one rule with ``# repro: noqa[GAxxx]`` (see
@@ -33,6 +35,7 @@ __all__ = [
     "LockAcrossAwaitChecker",
     "MetricNameChecker",
     "ModuleLevelRandomChecker",
+    "PublicDocstringChecker",
     "SnapshotContractChecker",
     "WallClockChecker",
     "default_checkers",
@@ -361,6 +364,45 @@ class BareExceptChecker(Checker):
                 and stmt.value.value is Ellipsis)
 
 
+class PublicDocstringChecker(Checker):
+    """GA508: public functions in :mod:`repro.core` carry docstrings.
+
+    Scope: module-level functions and methods whose name does not start
+    with an underscore (dunders are therefore exempt), defined in a
+    public class if any, and not nested inside another function.  The
+    core package is the API surface users program stages against, so an
+    undocumented public callable there is an undocumented contract.
+    """
+
+    code = "GA508"
+    interests = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def applies_to(self, context: FileContext) -> bool:
+        return _in_modules(context, ("repro.core",))
+
+    def visit(
+        self, node: ast.AST, enclosing: Sequence[ast.AST],
+        context: FileContext,
+    ) -> None:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        if node.name.startswith("_"):
+            return
+        if _nearest_function(enclosing) is not None:
+            return  # a closure, not API surface
+        classes = [n for n in enclosing if isinstance(n, ast.ClassDef)]
+        if any(cls.name.startswith("_") for cls in classes):
+            return  # a method of a private class
+        if ast.get_docstring(node) is not None:
+            return
+        where = ".".join([cls.name for cls in classes] + [node.name])
+        context.add(
+            self.code,
+            f"public function {where}() has no docstring; repro.core is "
+            "the user-facing API and must document its contract",
+            node,
+        )
+
+
 ALL_CHECKERS = (
     MetricNameChecker,
     WallClockChecker,
@@ -369,6 +411,7 @@ ALL_CHECKERS = (
     LockAcrossAwaitChecker,
     SnapshotContractChecker,
     BareExceptChecker,
+    PublicDocstringChecker,
 )
 
 

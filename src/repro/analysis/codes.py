@@ -110,6 +110,19 @@ _ALL: List[CodeInfo] = [
              "a number in [0, sample_interval); a partial batch held "
              "longer than one Section-4 sampling interval makes the "
              "queue-length samples see bursts the stage created itself"),
+    CodeInfo("GA220", "config", Severity.ERROR,
+             "sharding or scaling property is invalid",
+             "replicas must be an integer >= 1 inside "
+             "[scale-min-replicas, scale-max-replicas], shard-by one of "
+             "payload | field:<name> | index:<i>, shard-boundaries a "
+             "sorted comma-separated list, and a sharded stage name may "
+             "not contain '#'"),
+    CodeInfo("GA221", "config", Severity.WARNING,
+             "sharding or scaling knob has no effect",
+             "shard-*/scale-* knobs only apply to stages that also "
+             "declare replicas, and a range partitioner needs at least "
+             "slots-1 boundaries or the upper replica slots never own "
+             "any keys"),
     # -- GA3xx: deployment ----------------------------------------------------
     CodeInfo("GA301", "config", Severity.ERROR,
              "stage code URL does not resolve in the repository",
@@ -161,6 +174,11 @@ _ALL: List[CodeInfo] = [
              "bare or swallowed exception handler",
              "catch the narrowest exception type that can actually occur, "
              "and never discard it silently in data-plane code"),
+    CodeInfo("GA508", "lint", Severity.ERROR,
+             "public core function lacks a docstring",
+             "every public (non-underscore) function and method in "
+             "repro.core is part of the middleware's API surface and "
+             "must state its contract in a docstring"),
 ]
 
 CODES: Dict[str, CodeInfo] = {info.code: info for info in _ALL}

@@ -119,6 +119,7 @@ def verify_raw(
         _check_parameters(app, stage, report)
         _check_property_mirrors(app, stage, report)
         _check_batching(app, stage, report)
+        _check_sharding(app, stage, report)
     _check_wire(app, report)
     if repository is not None:
         _check_codes(app, repository, report)
@@ -388,6 +389,63 @@ def _check_batching(app: RawApp, stage: RawStage, report: Report) -> None:
              f"({sample_interval:g}s); the monitor would sample bursts "
              "the batching itself creates",
              line=stage.line, config_path=config_path)
+
+
+def _check_sharding(app: RawApp, stage: RawStage, report: Report) -> None:
+    """GA220 (invalid shard/scale contract), GA221 (inert knobs).
+
+    GA220 applies exactly the parsing that
+    :func:`repro.core.sharding.expand_shards` would run at deployment, so
+    a malformed ``replicas``/``shard-*``/``scale-*`` declaration fails at
+    analysis time.  GA221 flags declarations that parse but do nothing: a
+    ``shard-*``/``scale-*`` knob on a stage with no ``replicas`` property
+    (expansion is keyed on ``replicas``, so the knob is inert), and a
+    range partitioner with fewer than ``slots - 1`` boundaries (the
+    boundary list induces ``len + 1`` ranges, so the replica slots above
+    that can never own a key).
+    """
+    from repro.core.sharding import (
+        BOUNDARIES_PROPERTY,
+        KNOBS,
+        PARTITIONER_PROPERTY,
+        REPLICAS_PROPERTY,
+        SHARD_GROUP_PROPERTY,
+        ShardingError,
+        validate_shard_properties,
+    )
+
+    config_path = f"stage {stage.name!r}"
+    try:
+        spec = validate_shard_properties(stage.name, dict(stage.properties))
+    except ShardingError as exc:
+        _add(report, app, "GA220", str(exc),
+             line=stage.line, config_path=config_path)
+        return
+    if spec is None:
+        if SHARD_GROUP_PROPERTY in stage.properties:
+            return  # an already-expanded replica; markers are expected
+        inert = sorted(
+            knob for knob in KNOBS
+            if knob != REPLICAS_PROPERTY and knob in stage.properties
+        )
+        if inert:
+            _add(report, app, "GA221",
+                 f"stage {stage.name!r}: {', '.join(inert)} without "
+                 f"{REPLICAS_PROPERTY} has no effect; the stage will "
+                 "not be sharded",
+                 line=stage.line, config_path=config_path)
+        return
+    _replicas, slots, _policy = spec
+    if stage.properties.get(PARTITIONER_PROPERTY, "hash") == "range":
+        boundaries_text = stage.properties.get(BOUNDARIES_PROPERTY, "")
+        boundaries = [b for b in boundaries_text.split(",") if b.strip()]
+        if len(boundaries) < slots - 1:
+            _add(report, app, "GA221",
+                 f"stage {stage.name!r}: range partitioner declares "
+                 f"{len(boundaries)} boundaries for {slots} replica "
+                 f"slots; slots above {len(boundaries)} can never own "
+                 "any keys",
+                 line=stage.line, config_path=config_path)
 
 
 # -- GA3xx: deployment ---------------------------------------------------------

@@ -13,7 +13,12 @@ docs/performance.md) at two granularities:
 * **macro cases** — a relay -> sink pipeline run end to end on each
   runtime (simulated, threaded, networked), once per mode, reporting
   delivered items/s and per-item latency percentiles from the sink
-  stage's latency histogram.
+  stage's latency histogram;
+* **replica-scaling cases** — the same relay -> sink macro shape on the
+  threaded runtime with a compute-bound relay, at 1 and 2 key-partitioned
+  replicas (``macro-shard-r1`` / ``macro-shard-r2``, see
+  docs/sharding.md); the r2/r1 items/s ratio is the scaling headroom the
+  perf smoke test floors at 1.6x.
 
 Results are written as ``BENCH_perf.json`` (schema ``repro-bench/1``):
 
@@ -44,6 +49,7 @@ from repro.simnet.trace import percentile
 __all__ = [
     "BenchCase",
     "BenchRelay",
+    "BenchShardRelay",
     "BenchSink",
     "SCHEMA",
     "run_bench",
@@ -68,6 +74,17 @@ class BenchRelay(StreamProcessor):
 
     def on_item(self, payload: Any, context: StageContext) -> None:
         context.emit(payload, size=8.0)
+
+
+class BenchShardRelay(BenchRelay):
+    """A :class:`BenchRelay` that is compute-bound, not data-plane-bound.
+
+    The threaded runtime sleeps ``cost * time_scale`` per item, so with
+    this cost the replica count — not queue handoff — bounds throughput,
+    which is exactly what the replica-scaling cases measure.
+    """
+
+    cost_model = CpuCostModel(per_item=0.0005)
 
 
 class BenchSink(StreamProcessor):
@@ -386,6 +403,46 @@ def _macro_cases(
     return cases
 
 
+def _macro_shard(items: int, replicas: int) -> Tuple[float, List[float], int]:
+    from repro.core.runtime_threads import ThreadedRuntime
+    from repro.grid.config import AppConfig, StageConfig, StreamConfig
+
+    config = AppConfig(
+        name="bench-shard",
+        stages=[
+            StageConfig(
+                "relay", "py://repro.bench:BenchShardRelay",
+                properties={"replicas": str(replicas), "shard-by": "payload"},
+            ),
+            StageConfig("sink", "py://repro.bench:BenchSink"),
+        ],
+        streams=[StreamConfig("bench-shard-wire", "relay", "sink")],
+    )
+    runtime = ThreadedRuntime.from_config(config, adaptation_enabled=False)
+    runtime.bind_source("src", "relay", range(items), item_size=8.0)
+    start = time.perf_counter()
+    result = runtime.run(timeout=300.0)
+    seconds = time.perf_counter() - start
+    return seconds, result.stage("sink").latencies, result.final_value("sink")
+
+
+def _macro_shard_cases(items: int) -> List[BenchCase]:
+    """``macro-shard-r1`` / ``macro-shard-r2``: items/s vs replica count."""
+    cases = []
+    for replicas in (1, 2):
+        seconds, latencies, delivered = _macro_shard(items, replicas)
+        if delivered != items:
+            raise RuntimeError(
+                f"macro-shard-r{replicas}: sink saw {delivered} of "
+                f"{items} items"
+            )
+        cases.append(_case(
+            f"macro-shard-r{replicas}", "threaded", f"r{replicas}",
+            items, seconds, latencies,
+        ))
+    return cases
+
+
 # -- harness -------------------------------------------------------------------
 
 
@@ -405,6 +462,7 @@ def run_bench(
     cases += _macro_cases("macro-sim", "sim", macro_items, _macro_sim)
     cases += _macro_cases("macro-threaded", "threaded", macro_items, _macro_threaded)
     cases += _macro_cases("macro-net", "net", net_items, _macro_net)
+    cases += _macro_shard_cases(1_500 if quick else 6_000)
     registry = metrics if metrics is not None else MetricsRegistry()
     for case in cases:
         registry.gauge(f"bench.{case.name}.items_per_second").set(

@@ -41,10 +41,14 @@ class QueueLike(Protocol):
     capacity: int
 
     @property
-    def current_length(self) -> int: ...
+    def current_length(self) -> int:
+        """Number of items in the queue right now."""
+        ...
 
     @property
-    def recent_average(self) -> float: ...
+    def recent_average(self) -> float:
+        """Mean queue length over the recent sampling window."""
+        ...
 
 __all__ = ["LoadEstimator", "phi1", "phi2_linear", "phi2_saturating", "phi3"]
 

@@ -249,6 +249,7 @@ class RecordingContext(StageContext):
         increment: float,
         direction: int,
     ) -> AdjustmentParameter:
+        """Record a declared adjustment parameter (see :class:`StageContext`)."""
         if name in self.parameters:
             raise ProcessorError(f"parameter {name!r} declared twice")
         param = AdjustmentParameter(name, initial, minimum, maximum, increment, direction)
@@ -256,12 +257,14 @@ class RecordingContext(StageContext):
         return param
 
     def get_suggested_value(self, name: str) -> float:
+        """Current value of a declared parameter."""
         try:
             return self.parameters[name].value
         except KeyError:
             raise ProcessorError(f"unknown parameter {name!r}") from None
 
     def emit(self, payload: Any, size: float = 8.0, stream: Optional[str] = None) -> None:
+        """Record an emission in :attr:`emitted` / :attr:`routes`."""
         self.emitted.append((payload, size))
         self.routes.append(stream)
 
@@ -271,12 +274,15 @@ class RecordingContext(StageContext):
 
     @property
     def now(self) -> float:
+        """The fake clock (advanced only by :meth:`advance`)."""
         return self._time
 
     @property
     def stage_name(self) -> str:
+        """Name the context was constructed with."""
         return self._stage_name
 
     @property
     def properties(self) -> Dict[str, str]:
+        """Configuration properties the context was constructed with."""
         return self._properties

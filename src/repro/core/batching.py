@@ -71,7 +71,18 @@ def batch_policy_from_properties(
     ``batch-max-items`` / ``batch-max-delay`` stage properties override
     the runtime-level ``default`` (either key alone inherits the other
     from the default, or from ``BatchPolicy()`` when there is none).
-    Returns ``default`` untouched when neither property is present.
+
+    Arguments:
+        properties: The stage's configuration properties.
+        default: The runtime-level policy, or ``None`` when the runtime
+            runs unbatched.
+
+    Returns:
+        The effective per-stage policy — ``default`` untouched when
+        neither property is present.
+
+    Raises:
+        ValueError: When a present property does not parse.
     """
     items_text = properties.get(MAX_ITEMS_PROPERTY)
     delay_text = properties.get(MAX_DELAY_PROPERTY)
@@ -103,6 +114,9 @@ class BatchBuffer(Generic[T]):
     __slots__ = ("policy", "entries", "first_at")
 
     def __init__(self, policy: BatchPolicy) -> None:
+        """Arguments:
+            policy: The size/age flush policy this buffer enforces.
+        """
         self.policy = policy
         self.entries: List[T] = []
         self.first_at: float = 0.0
@@ -111,23 +125,52 @@ class BatchBuffer(Generic[T]):
         return len(self.entries)
 
     def add(self, entry: T, now: float) -> bool:
-        """Append one entry; True when the size threshold says flush."""
+        """Append one entry to the accumulating batch.
+
+        Arguments:
+            entry: The entry to buffer (whatever the owning runtime
+                ships per item — an ``Item``, a ``(payload, size)``
+                pair, ...).
+            now: The current time in the caller's clock; recorded as
+                the batch's first-entry time when the buffer was empty.
+
+        Returns:
+            ``True`` when the buffer has reached ``max_items`` and the
+            caller should flush it now.
+        """
         if not self.entries:
             self.first_at = now
         self.entries.append(entry)
         return len(self.entries) >= self.policy.max_items
 
     def due(self, now: float) -> bool:
-        """True when the oldest entry has waited ``max_delay`` or longer."""
+        """Whether the age bound demands a flush.
+
+        Arguments:
+            now: The current time in the caller's clock.
+
+        Returns:
+            ``True`` when the oldest buffered entry has waited
+            ``max_delay`` or longer (always ``False`` when empty).
+        """
         return bool(self.entries) and now - self.first_at >= self.policy.max_delay
 
     def deadline(self) -> Optional[float]:
-        """Absolute time the buffer must flush by (None when empty)."""
+        """Absolute time the buffer must flush by.
+
+        Returns:
+            ``first_at + max_delay`` in the caller's clock, or ``None``
+            when the buffer is empty (nothing is aging).
+        """
         if not self.entries:
             return None
         return self.first_at + self.policy.max_delay
 
     def drain(self) -> List[T]:
-        """Take every buffered entry, leaving the buffer empty."""
+        """Take every buffered entry, leaving the buffer empty.
+
+        Returns:
+            The buffered entries in insertion order.
+        """
         entries, self.entries = self.entries, []
         return entries

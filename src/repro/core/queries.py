@@ -33,6 +33,7 @@ class Queryable:
     """
 
     def current_answer(self) -> Any:  # pragma: no cover - protocol default
+        """The processor's best current answer to its standing query."""
         raise NotImplementedError
 
 

@@ -59,6 +59,13 @@ from repro.core.api import AdjustmentParameter, ProcessorError, StageContext, St
 from repro.core.batching import BatchBuffer, BatchPolicy, batch_policy_from_properties
 from repro.core.items import EndOfStream, Item
 from repro.core.results import RunResult, StageStats
+from repro.core.sharding import (
+    SHARD_GROUP_PROPERTY,
+    SHARD_INDEX_PROPERTY,
+    ShardGroup,
+    groups_of,
+    logical_stream,
+)
 from repro.core.termination import EosTracker, no_input_message
 from repro.grid.config import StreamConfig
 from repro.grid.deployer import Deployment
@@ -123,6 +130,7 @@ class SourceBinding:
     drop_when_full: bool = False
 
     def size_of(self, payload: Any) -> float:
+        """Bytes to account for ``payload`` on the wire."""
         if callable(self.item_size):
             return float(self.item_size(payload))
         return float(self.item_size)
@@ -182,7 +190,8 @@ class _SimStageContext(StageContext):
         if size < 0:
             raise ProcessorError(f"emit size must be >= 0, got {size}")
         if stream is not None and not any(
-            e.stream.name == stream for e in self._stage.out_edges
+            e.stream.name == stream or logical_stream(e.stream.name) == stream
+            for e in self._stage.out_edges
         ):
             raise ProcessorError(
                 f"{self._stage.name}: emit to unknown stream {stream!r} "
@@ -233,6 +242,27 @@ class _BatchEnvelope:
 
 
 @dataclass
+class _RouteUnit:
+    """One routing decision among a stage's out-edges.
+
+    A *solo* unit (``group is None``) wraps one ordinary edge.  A
+    *family* unit wraps the per-replica edges fanning out to one sharded
+    destination group: ``edges[slot]`` is the out-edge index reaching
+    replica ``slot``, and exactly one of them — the key owner's — gets
+    each emitted item.  ``accepts`` holds every stream name addressing
+    the unit (the declared name plus, for families, the expanded
+    per-replica names); ``named`` maps a concrete per-replica stream
+    name to its slot so an explicit ``emit(..., stream="t#1")``
+    overrides the partitioner.
+    """
+
+    accepts: frozenset
+    edges: List[int]
+    group: Optional[str] = None
+    named: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
 class _StageRuntime:
     """Internal per-stage runtime state."""
 
@@ -259,6 +289,9 @@ class _StageRuntime:
     #: holding (item, parent-hop) entries.
     batch_buffers: List[BatchBuffer] = field(default_factory=list)
     batch_metrics: Optional[BatchMetrics] = None
+    #: Routing decisions over ``out_edges`` (solo edges and sharded
+    #: families); built once in ``_build`` after the edges are wired.
+    route_units: List[_RouteUnit] = field(default_factory=list)
     done: bool = False
     # -- fault-tolerance state (used only with resilience enabled) --------
     #: Channel (message origin) -> sequence number of the last fully
@@ -351,6 +384,11 @@ class SimulatedRuntime:
             raise RuntimeError_("checkpoints= requires resilience= as well")
         self._bindings: List[SourceBinding] = []
         self._stages: Dict[str, _StageRuntime] = {}
+        #: Shard groups reconstructed from the expanded config's replica
+        #: markers (see repro.core.sharding); static here — the
+        #: simulated runtime runs the declared active count unchanged.
+        self._groups: Dict[str, ShardGroup] = {}
+        self._shard_counters: Dict[str, Any] = {}
         self._stage_done: Dict[str, Event] = {}
         self._result: Optional[RunResult] = None
         self._built = False
@@ -358,12 +396,27 @@ class SimulatedRuntime:
     # -- setup -------------------------------------------------------------
 
     def bind_source(self, binding: SourceBinding) -> None:
-        """Attach an external stream to a stage (before :meth:`run`)."""
+        """Attach an external stream to a stage (before :meth:`run`).
+
+        ``target_stage`` may also name a shard *group* (the declared
+        name of a stage expanded into replicas): the feeder then routes
+        each arrival to the replica owning its key and delivers the
+        end-of-stream sentinel to every replica slot.
+        """
         if self._built:
             raise RuntimeError_("cannot bind sources after run()")
         if binding.rate is not None and binding.rate <= 0:
             raise RuntimeError_(f"source rate must be > 0, got {binding.rate}")
-        self.deployment.config.stage(binding.target_stage)  # existence check
+        config = self.deployment.config
+        target = binding.target_stage
+        if not any(
+            stage.name == target
+            or stage.properties.get(SHARD_GROUP_PROPERTY) == target
+            for stage in config.stages
+        ):
+            raise RuntimeError_(
+                f"source {binding.name!r}: unknown target stage {target!r}"
+            )
         self._bindings.append(binding)
 
     def _build(self) -> None:
@@ -405,6 +458,16 @@ class SimulatedRuntime:
                 )
             self._stages[stage_cfg.name] = stage
 
+        # Reconstruct shard groups from the expanded config's markers.
+        self._groups = groups_of(
+            {name: stage.properties for name, stage in self._stages.items()}
+        )
+        for group in self._groups.values():
+            for member in group.members:
+                self._shard_counters[member] = self.metrics.counter(
+                    f"shard.{member}.items"
+                )
+
         # Wire edges over the network.
         for stream in config.streams:
             src = self._stages[stream.src]
@@ -413,11 +476,19 @@ class SimulatedRuntime:
             self._wire_edge(edge, src)
             src.out_edges.append(edge)
             dst.upstream.append(src)
-            dst.eos.expect()
+            dst.eos.expect(group=src.properties.get(SHARD_GROUP_PROPERTY))
+        for stage in self._stages.values():
+            self._build_route_units(stage)
 
-        # Account for external source bindings.
+        # Account for external source bindings (a group target expects
+        # one end-of-stream per replica slot — the feeder sends to all).
         for binding in self._bindings:
-            self._stages[binding.target_stage].eos.expect()
+            group = self._groups.get(binding.target_stage)
+            if group is not None and binding.target_stage not in self._stages:
+                for member in group.members:
+                    self._stages[member].eos.expect()
+            else:
+                self._stages[binding.target_stage].eos.expect()
 
         # Resolve per-stage micro-batch policies now that edges exist.
         for stage in self._stages.values():
@@ -454,6 +525,88 @@ class SimulatedRuntime:
         bottleneck.collect_inbox = False
         bottleneck.bind_metrics(self.metrics)
         edge.link = bottleneck
+
+    def _build_route_units(self, stage: _StageRuntime) -> None:
+        """Group a stage's out-edges into routing units.
+
+        Edges fanning out to the replicas of one sharded destination
+        group (same declared stream name, same group) collapse into one
+        partitioned *family* unit; everything else stays a solo unit.
+        A partial family — some replica edge missing, which only
+        hand-built configs can produce — falls back to solo units
+        rather than partitioning over an incomplete slot set.
+        """
+        families: Dict[Tuple[str, str], Dict[int, int]] = {}
+        order: List[Tuple[Optional[Tuple[str, str]], int]] = []
+        for index, edge in enumerate(stage.out_edges):
+            dst_group = edge.dst.properties.get(SHARD_GROUP_PROPERTY)
+            if dst_group is None:
+                order.append((None, index))
+                continue
+            key = (logical_stream(edge.stream.name), dst_group)
+            if key not in families:
+                order.append((key, index))
+            families[key] = families.get(key, {})
+            families[key][int(edge.dst.properties[SHARD_INDEX_PROPERTY])] = index
+        for key, index in order:
+            if key is None:
+                edge = stage.out_edges[index]
+                stage.route_units.append(
+                    _RouteUnit(
+                        accepts=frozenset({edge.stream.name}), edges=[index]
+                    )
+                )
+                continue
+            logical, dst_group = key
+            mapping = families[key]
+            slots = len(self._groups[dst_group].members)
+            if set(mapping) == set(range(slots)):
+                edges = [mapping[slot] for slot in range(slots)]
+                names = {stage.out_edges[i].stream.name for i in edges}
+                stage.route_units.append(
+                    _RouteUnit(
+                        accepts=frozenset(names | {logical}),
+                        edges=edges,
+                        group=dst_group,
+                        named={
+                            stage.out_edges[i].stream.name: slot
+                            for slot, i in enumerate(edges)
+                        },
+                    )
+                )
+            else:
+                for edge_index in sorted(mapping.values()):
+                    name = stage.out_edges[edge_index].stream.name
+                    stage.route_units.append(
+                        _RouteUnit(
+                            accepts=frozenset({name, logical}),
+                            edges=[edge_index],
+                        )
+                    )
+
+    def _route_indices(
+        self, stage: _StageRuntime, payload: Any, stream: Optional[str]
+    ) -> Iterable[int]:
+        """Out-edge indices one emission goes to.
+
+        Solo units behave like the pre-sharding fan-out (every edge
+        matching the requested stream, or all of them on a broadcast);
+        a family unit contributes exactly one edge — the key owner's, or
+        the explicitly addressed replica's.
+        """
+        for unit in stage.route_units:
+            if stream is not None and stream not in unit.accepts:
+                continue
+            if unit.group is None:
+                yield unit.edges[0]
+                continue
+            if stream is not None and stream in unit.named:
+                slot = unit.named[stream]
+            else:
+                slot = self._groups[unit.group].owner(payload)
+            index = unit.edges[slot]
+            self._shard_counters[stage.out_edges[index].dst.name].inc()
+            yield index
 
     # -- execution -----------------------------------------------------------
 
@@ -528,6 +681,10 @@ class SimulatedRuntime:
 
         result.execution_time = self.env.now - start
         self.metrics.gauge("run.execution_time").set(result.execution_time)
+        for group_name, group in self._groups.items():
+            self.metrics.gauge(f"shard.{group_name}.replicas").set(
+                float(group.active)
+            )
         if self.tracer is not None:
             result.traces = self.tracer.traces
             publish_traces(self.metrics, result.traces)
@@ -547,8 +704,12 @@ class SimulatedRuntime:
     # -- processes ------------------------------------------------------------
 
     def _feeder(self, binding: SourceBinding) -> Generator:
-        stage = self._stages[binding.target_stage]
-        assert stage.metrics is not None
+        group: Optional[ShardGroup] = None
+        if binding.target_stage in self._stages:
+            targets = [self._stages[binding.target_stage]]
+        else:
+            group = self._groups[binding.target_stage]
+            targets = [self._stages[member] for member in group.members]
         if binding.arrivals is not None:
             gaps: Optional[Any] = binding.arrivals.gaps()
         else:
@@ -558,6 +719,8 @@ class SimulatedRuntime:
             gap = next(gaps) if gaps is not None else fixed_gap
             if gap:
                 yield self.env.timeout(gap)
+            stage = targets[group.owner(payload)] if group is not None else targets[0]
+            assert stage.metrics is not None
             item = Item(
                 payload=payload,
                 size=binding.size_of(payload),
@@ -585,7 +748,10 @@ class SimulatedRuntime:
                 # wait counts as queue time (the hop is already open).
                 yield stage.queue.put(item)
             stage.rate_estimator.observe(self.env.now)
-        yield stage.queue.put(EndOfStream(origin=binding.name))
+            if group is not None:
+                self._shard_counters[stage.name].inc()
+        for stage in targets:
+            yield stage.queue.put(EndOfStream(origin=binding.name))
 
     def _spawn_worker(self, stage: _StageRuntime) -> None:
         self.env.process(
@@ -702,9 +868,8 @@ class SimulatedRuntime:
             for payload, size, stream in pending:
                 stage.metrics.items_out.inc()
                 stage.metrics.bytes_out.inc(size)
-                for index, edge in enumerate(stage.out_edges):
-                    if stream is not None and edge.stream.name != stream:
-                        continue
+                for index in self._route_indices(stage, payload, stream):
+                    edge = stage.out_edges[index]
                     item = Item(
                         payload=payload,
                         size=size,
@@ -721,9 +886,8 @@ class SimulatedRuntime:
         for payload, size, stream in pending:
             stage.metrics.items_out.inc()
             stage.metrics.bytes_out.inc(size)
-            for edge in stage.out_edges:
-                if stream is not None and edge.stream.name != stream:
-                    continue
+            for index in self._route_indices(stage, payload, stream):
+                edge = stage.out_edges[index]
                 item = Item(
                     payload=payload,
                     size=size,

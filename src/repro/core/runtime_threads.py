@@ -40,9 +40,20 @@ from repro.core.api import AdjustmentParameter, ProcessorError, StageContext, St
 from repro.core.batching import BatchBuffer, BatchPolicy, batch_policy_from_properties
 from repro.core.items import EndOfStream, Item
 from repro.core.results import RunResult, StageStats
+from repro.core.sharding import (
+    SHARD_GROUP_PROPERTY,
+    ShardGroup,
+    ShardScaler,
+    expand_shards,
+    export_keyed_state,
+    extract_key,
+    groups_of,
+    import_keyed_state,
+    logical_stream,
+)
 from repro.core.termination import EosTracker, no_input_message
 from repro.metrics.rates import RateEstimator
-from repro.obs.registry import BatchMetrics, MetricsRegistry, StageMetrics
+from repro.obs.registry import BatchMetrics, Counter, MetricsRegistry, StageMetrics
 from repro.obs.tracing import TraceCollector, publish_traces
 from repro.resilience.checkpoint import (
     CheckpointStore,
@@ -222,8 +233,13 @@ class _ThreadStageContext(StageContext):
     def emit(self, payload: Any, size: float = 8.0, stream: Optional[str] = None) -> None:
         if size < 0:
             raise ProcessorError(f"emit size must be >= 0, got {size}")
+        # A processor written against the declared configuration may name
+        # a logical stream that sharding expanded into per-replica edges
+        # ("t" -> "t#0", "t#1", ...), so logical names are accepted too.
         if stream is not None and not any(
-            e.name == stream for e in self._stage.out_edges
+            e.name is not None
+            and (e.name == stream or logical_stream(e.name) == stream)
+            for e in self._stage.out_edges
         ):
             raise ProcessorError(
                 f"{self._stage.name}: emit to unknown stream {stream!r}"
@@ -251,6 +267,42 @@ class _ThreadEdge:
 
 
 @dataclass
+class _RouteUnit:
+    """One routing decision per emitted item: a solo edge or a shard family.
+
+    A solo unit carries exactly one edge index; a family unit carries one
+    edge index per replica slot of ``group`` (position == shard index),
+    of which the group's partitioner picks exactly one per item.
+    """
+
+    #: Stream names addressing this unit via ``emit(..., stream=...)``
+    #: (``None`` — broadcast — always matches every unit).
+    accepts: frozenset
+    #: Indices into the stage's ``out_edges``.
+    edges: List[int]
+    #: Shard-group name for family units; None for solo units.
+    group: Optional[str] = None
+    #: Concrete edge name -> edge index (family units), letting an emit
+    #: target one specific replica explicitly.
+    named: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class _GroupState:
+    """Mutable runtime state of one shard group (threaded runtime).
+
+    ``lock`` serializes routing decisions against scale transitions: a
+    producer holds it per routed item, the autoscaler holds it for a
+    whole rebalance, so no item is partitioned with a stale active count
+    while keyed state is in flight.
+    """
+
+    group: ShardGroup
+    active: int
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+@dataclass
 class _ThreadStage:
     name: str
     processor: StreamProcessor
@@ -274,6 +326,16 @@ class _ThreadStage:
     batch_buffers: List[BatchBuffer] = field(default_factory=list)
     batch_metrics: Optional[BatchMetrics] = None
     rate_estimator: RateEstimator = field(default_factory=RateEstimator)
+    #: Routing units built at run() start (see :class:`_RouteUnit`).
+    route_units: List[_RouteUnit] = field(default_factory=list)
+    #: ``shard.{stage}.items`` counter handle (replica stages only).
+    shard_items: Optional[Counter] = None
+    #: Items routed to this stage through a shard group (written under
+    #: the group's lock) vs items its worker finished with (written by
+    #: the worker thread only).  The autoscaler drains a group by waiting
+    #: for the two to meet.
+    delivered: int = 0
+    consumed: int = 0
     param_lock: threading.Lock = field(default_factory=threading.Lock)
     #: Serializes arrival-rate observations (several producer threads
     #: feed one queue; the estimator requires non-decreasing times).
@@ -358,6 +420,7 @@ class ThreadedRuntime:
             raise ThreadedRuntimeError("checkpoints= requires resilience= as well")
         self._stages: Dict[str, _ThreadStage] = {}
         self._sources: List[_ThreadSource] = []
+        self._groups: Dict[str, _GroupState] = {}
         self._start_time = 0.0
         self._started = False
 
@@ -402,6 +465,7 @@ class ThreadedRuntime:
                     f"({report.summary_line()}):\n{report.render_text()}"
                 )
         config.validate()
+        config = expand_shards(config)
         runtime = cls(**kwargs)
         for stage in config.stages:
             factory = repository.fetch(stage.code_url)
@@ -480,7 +544,7 @@ class ThreadedRuntime:
             )
         source.out_edges.append(_ThreadEdge(dst=target, bucket=bucket, name=name))
         target.upstream.append(source)
-        target.eos.expect()
+        target.eos.expect(group=source.properties.get(SHARD_GROUP_PROPERTY))
 
     def bind_source(
         self,
@@ -495,10 +559,18 @@ class ThreadedRuntime:
 
         ``arrivals`` (an :class:`~repro.streams.arrivals.ArrivalProcess`)
         overrides ``rate`` with per-item gaps, as in the simulated runtime.
+
+        ``target`` may also name a shard group (the declared name of a
+        stage expanded into replicas): the feeder then routes each item
+        to its key's owning replica and delivers one end-of-stream
+        sentinel per replica slot.
         """
         if self._started:
             raise ThreadedRuntimeError("cannot bind sources after run()")
-        if target not in self._stages:
+        if target not in self._stages and not any(
+            s.properties.get(SHARD_GROUP_PROPERTY) == target
+            for s in self._stages.values()
+        ):
             raise ThreadedRuntimeError(f"unknown stage {target!r}")
         if rate is not None and rate <= 0:
             raise ThreadedRuntimeError(f"rate must be > 0, got {rate}")
@@ -512,8 +584,14 @@ class ThreadedRuntime:
         """Run all threads to completion (or raise on ``timeout``)."""
         if self._started:
             raise ThreadedRuntimeError("run() may only be called once")
+        self._build_shards()
         for source in self._sources:
-            self._stages[source.target].eos.expect()
+            state = self._groups.get(source.target)
+            if state is not None:
+                for member in state.group.members:
+                    self._stages[member].eos.expect(group=state.group.name)
+            else:
+                self._stages[source.target].eos.expect()
         for stage in self._stages.values():
             if not stage.eos.has_inputs:
                 raise ThreadedRuntimeError(no_input_message(stage.name))
@@ -555,6 +633,12 @@ class ThreadedRuntime:
                     target=self._checkpointer, args=(stage, stop_monitors), daemon=True
                 )
                 checkpointer.start()
+        for state in self._groups.values():
+            if state.group.policy.elastic:
+                autoscaler = threading.Thread(
+                    target=self._autoscaler, args=(state, stop_monitors), daemon=True
+                )
+                autoscaler.start()
         for source in self._sources:
             threads.append(
                 threading.Thread(target=self._feeder, args=(source,), daemon=True)
@@ -578,6 +662,8 @@ class ThreadedRuntime:
 
         result.execution_time = self.elapsed()
         self.metrics.gauge("run.execution_time").set(result.execution_time)
+        for group_name, state in self._groups.items():
+            self.metrics.gauge(f"shard.{group_name}.replicas").set(float(state.active))
         if self.tracer is not None:
             result.traces = self.tracer.traces
             publish_traces(self.metrics, result.traces)
@@ -609,6 +695,10 @@ class ThreadedRuntime:
             stage.rate_estimator.observe(self.elapsed(), count=count)
 
     def _feeder(self, source: _ThreadSource) -> None:
+        state = self._groups.get(source.target)
+        if state is not None:
+            self._feed_group(source, state)
+            return
         stage = self._stages[source.target]
         gaps = source.arrivals.gaps() if source.arrivals is not None else None
         fixed_gap = (1.0 / source.rate) * self.time_scale if source.rate else 0.0
@@ -652,6 +742,49 @@ class ThreadedRuntime:
                 flush_chunk()
         flush_chunk()
         stage.queue.put(EndOfStream(origin=source.name))
+
+    def _feed_group(self, source: _ThreadSource, state: _GroupState) -> None:
+        """Feeder body for a source bound to a shard group.
+
+        Each payload goes to its key's owning replica under the group's
+        routing lock; every replica slot (active or not) receives one
+        end-of-stream sentinel, matching the per-member expectations
+        registered by :meth:`run`.
+        """
+        members = [self._stages[name] for name in state.group.members]
+        gaps = source.arrivals.gaps() if source.arrivals is not None else None
+        fixed_gap = (1.0 / source.rate) * self.time_scale if source.rate else 0.0
+        for payload in source.payloads:
+            gap = next(gaps) * self.time_scale if gaps is not None else fixed_gap
+            if gap:
+                time.sleep(gap)
+            size = (
+                float(source.item_size(payload))
+                if callable(source.item_size)
+                else float(source.item_size)
+            )
+            item = Item(
+                payload=payload, size=size, origin=source.name,
+                created_at=self.elapsed(),
+            )
+            if self.tracer is not None:
+                item.trace = self.tracer.maybe_trace(source.name, item.created_at)
+                if item.trace is not None:
+                    self.metrics.counter("run.traced_items").inc()
+            with state.lock:
+                owner = state.group.partitioner.select(
+                    extract_key(payload, state.group.shard_by), state.active
+                )
+                member = members[owner]
+                if item.trace is not None:
+                    item.hop = item.trace.begin_hop(member.name, self.elapsed())
+                member.queue.put(item)
+                member.delivered += 1
+            self._observe_arrival(member)
+            if member.shard_items is not None:
+                member.shard_items.inc()
+        for member in members:
+            member.queue.put(EndOfStream(origin=source.name))
 
     def _worker(self, stage: _ThreadStage) -> None:
         ctx = stage.context
@@ -731,7 +864,9 @@ class ThreadedRuntime:
                     # it, and keep the stage alive (skip / dead-letter).
                     del ctx.pending[mark:]
                     self._quarantine(stage, message.payload, exc)
+                    stage.consumed += 1
                     continue
+                stage.consumed += 1
                 stage.metrics.latency.observe(self.elapsed() - message.created_at)
                 if batching:
                     # Transmission happens at flush time; _flush_edge
@@ -779,14 +914,21 @@ class ThreadedRuntime:
             # Batched fast path: accumulate per-edge, flush on max_items.
             # Items are stamped created_at=now here — time spent waiting
             # in the buffer is real latency and is accounted downstream.
+            # Family (sharded) edges bypass the buffers and ship per item:
+            # a buffered item routed with a pre-rebalance active count
+            # would land on a stale owner after the handoff.
             now = self.elapsed()
             flush: List[int] = []
             nbytes_out = 0.0
             for payload, size, stream in pending:
                 nbytes_out += size
-                for index, edge in enumerate(stage.out_edges):
-                    if stream is not None and edge.name != stream:
+                for unit in stage.route_units:
+                    if stream is not None and stream not in unit.accepts:
                         continue
+                    if unit.group is not None:
+                        self._send_family(stage, unit, payload, size, stream, trace)
+                        continue
+                    index = unit.edges[0]
                     item = Item(
                         payload=payload, size=size, origin=stage.name,
                         created_at=now, trace=trace,
@@ -802,9 +944,13 @@ class ThreadedRuntime:
         for payload, size, stream in pending:
             stage.metrics.items_out.inc()
             stage.metrics.bytes_out.inc(size)
-            for edge in stage.out_edges:
-                if stream is not None and edge.name != stream:
+            for unit in stage.route_units:
+                if stream is not None and stream not in unit.accepts:
                     continue
+                if unit.group is not None:
+                    self._send_family(stage, unit, payload, size, stream, trace)
+                    continue
+                edge = stage.out_edges[unit.edges[0]]
                 if edge.bucket is not None:
                     wait = edge.bucket.consume(size)
                     if wait > 0:
@@ -820,6 +966,48 @@ class ThreadedRuntime:
                     item.hop = trace.begin_hop(edge.dst.name, self.elapsed())
                 edge.dst.queue.put(item)
                 self._observe_arrival(edge.dst)
+
+    def _send_family(
+        self,
+        stage: _ThreadStage,
+        unit: _RouteUnit,
+        payload: Any,
+        size: float,
+        stream: Optional[str],
+        trace=None,
+    ) -> None:
+        """Ship one emission across a shard family: exactly one replica.
+
+        The owner is the key's replica under the group's partitioner and
+        current active count, chosen and delivered under the group's
+        routing lock so a concurrent rebalance never splits a key's items
+        between the old and the new owner.  Naming a concrete per-replica
+        stream (``"t#1"``) overrides the partitioner for that emission.
+        """
+        state = self._groups[unit.group or ""]
+        with state.lock:
+            if stream is not None and stream in unit.named:
+                edge = stage.out_edges[unit.named[stream]]
+            else:
+                owner = state.group.partitioner.select(
+                    extract_key(payload, state.group.shard_by), state.active
+                )
+                edge = stage.out_edges[unit.edges[owner]]
+            if edge.bucket is not None:
+                wait = edge.bucket.consume(size)
+                if wait > 0:
+                    time.sleep(wait * self.time_scale)
+            item = Item(
+                payload=payload, size=size, origin=stage.name,
+                created_at=self.elapsed(), trace=trace,
+            )
+            if trace is not None:
+                item.hop = trace.begin_hop(edge.dst.name, self.elapsed())
+            edge.dst.queue.put(item)
+            edge.dst.delivered += 1
+        self._observe_arrival(edge.dst)
+        if edge.dst.shard_items is not None:
+            edge.dst.shard_items.inc()
 
     # -- micro-batch flushing ----------------------------------------------
 
@@ -878,6 +1066,165 @@ class ThreadedRuntime:
             items.append(item)
         edge.dst.queue.put_many(items)
         self._observe_arrival(edge.dst, count=count)
+
+    # -- sharding and elastic scaling ---------------------------------------
+
+    def _build_shards(self) -> None:
+        """Discover shard groups and build every stage's routing units.
+
+        Runs once at :meth:`run` start: reconstructs the groups from the
+        expanded stages' properties, binds the ``shard.{stage}.items``
+        counters, and turns each stage's flat out-edge list into
+        :class:`_RouteUnit` entries — solo edges as-is, per-replica edge
+        families collapsed into one partitioned unit each.
+        """
+        properties = {name: s.properties for name, s in self._stages.items()}
+        self._groups = {
+            name: _GroupState(group=group, active=group.active)
+            for name, group in groups_of(properties).items()
+        }
+        member_slot: Dict[str, Tuple[str, int]] = {}
+        for group_name, state in self._groups.items():
+            for index, member in enumerate(state.group.members):
+                member_slot[member] = (group_name, index)
+            for member in state.group.members:
+                self._stages[member].shard_items = self.metrics.counter(
+                    f"shard.{member}.items"
+                )
+        for stage in self._stages.values():
+            units: List[_RouteUnit] = []
+            families: Dict[Tuple[str, str], Dict[int, Tuple[int, str]]] = {}
+            order: List[Tuple[str, str]] = []
+            for index, edge in enumerate(stage.out_edges):
+                slot = member_slot.get(edge.dst.name)
+                if slot is None or edge.name is None:
+                    accepts = frozenset(
+                        name
+                        for name in (
+                            edge.name,
+                            logical_stream(edge.name) if edge.name else None,
+                        )
+                        if name is not None
+                    )
+                    units.append(_RouteUnit(accepts=accepts, edges=[index]))
+                    continue
+                group_name, shard_index = slot
+                key = (logical_stream(edge.name), group_name)
+                if key not in families:
+                    order.append(key)
+                families.setdefault(key, {})[shard_index] = (index, edge.name)
+            for key in order:
+                logical, group_name = key
+                mapping = families[key]
+                slots = len(self._groups[group_name].group.members)
+                if set(mapping) != set(range(slots)):
+                    # Partial wiring (programmatic): no safe partition
+                    # function over a ragged family — keep each edge solo.
+                    for shard_index in sorted(mapping):
+                        index, name = mapping[shard_index]
+                        units.append(
+                            _RouteUnit(
+                                accepts=frozenset({name, logical}),
+                                edges=[index],
+                            )
+                        )
+                    continue
+                named = {mapping[i][1]: mapping[i][0] for i in range(slots)}
+                units.append(
+                    _RouteUnit(
+                        accepts=frozenset({logical}) | frozenset(named),
+                        edges=[mapping[i][0] for i in range(slots)],
+                        group=group_name,
+                        named=named,
+                    )
+                )
+            stage.route_units = units
+
+    def _autoscaler(self, state: _GroupState, stop: threading.Event) -> None:
+        """Per-group control loop: occupancy samples in, rebalances out.
+
+        Samples mean queue occupancy across the group's active replicas
+        on the adaptation cadence (the Section-4 queue-length signal,
+        normalized by capacity), feeds it to a :class:`ShardScaler`, and
+        executes the transitions it decides.  Every transition is
+        recorded in the ``scale.*`` metric family.
+        """
+        group_name = state.group.name
+        members = [self._stages[name] for name in state.group.members]
+        scaler = ShardScaler(state.group.policy, state.active)
+        replicas_series = self.metrics.series(f"scale.{group_name}.replicas")
+        scale_ups = self.metrics.counter(f"scale.{group_name}.scale_ups")
+        scale_downs = self.metrics.counter(f"scale.{group_name}.scale_downs")
+        rebalance_seconds = self.metrics.histogram(
+            f"scale.{group_name}.rebalance_seconds"
+        )
+        interval = self.policy.sample_interval * self.time_scale
+        replicas_series.record(self.elapsed(), float(state.active))
+        while not stop.is_set():
+            if stop.wait(interval):
+                return
+            if all(member.done.is_set() for member in members):
+                return
+            active_members = members[: state.active]
+            occupancy = sum(
+                min(1.0, m.queue.current_length / m.queue.capacity)
+                for m in active_members
+            ) / len(active_members)
+            previous = state.active
+            target = scaler.observe(occupancy)
+            if target is None or target == previous:
+                continue
+            started = time.monotonic()
+            if self._rebalance(state, members, target):
+                rebalance_seconds.observe(time.monotonic() - started)
+                (scale_ups if target > previous else scale_downs).inc()
+                replicas_series.record(self.elapsed(), float(state.active))
+            else:
+                # Transition aborted (a member finished or died mid-drain);
+                # resync the scaler with reality.
+                scaler.active = state.active
+
+    def _rebalance(
+        self, state: _GroupState, members: List[_ThreadStage], target: int
+    ) -> bool:
+        """Move the group to ``target`` active replicas with state handoff.
+
+        Protocol: take the routing lock (producers can no longer route to
+        the group), wait until every previously-active member has
+        processed everything already delivered, export each member's
+        keyed state (under its state lock, serializing against on_item
+        and the checkpointer), repartition the merged state by the new
+        active count, import, then publish the new count and release.
+
+        Returns False — leaving the active count untouched — when a
+        member terminates or errors while draining.
+        """
+        group = state.group
+        with state.lock:
+            previous = state.active
+            while any(m.delivered > m.consumed for m in members[:previous]):
+                if any(m.done.is_set() for m in members):
+                    return False
+                time.sleep(0.001)
+            merged: Dict[Any, Any] = {}
+            exported = False
+            for member in members[:previous]:
+                with member.state_lock:
+                    keyed = export_keyed_state(member.processor)
+                if keyed is not None:
+                    exported = True
+                    merged.update(keyed)
+            if exported:
+                buckets: List[Dict[Any, Any]] = [{} for _ in range(target)]
+                for key, value in merged.items():
+                    buckets[group.partitioner.select(key, target)][key] = value
+                for index in range(target):
+                    member = members[index]
+                    with member.state_lock:
+                        import_keyed_state(member.processor, buckets[index])
+            state.active = target
+            group.active = target
+        return True
 
     def _quarantine(self, stage: _ThreadStage, payload: Any, exc: BaseException) -> None:
         """Count (and under ``dead-letter``, retain) one poison item."""

@@ -57,6 +57,7 @@ class MapStage(StreamProcessor):
         self.size_of = size_of if callable(size_of) else _fixed_size(float(size_of))
 
     def on_item(self, payload: Any, context: StageContext) -> None:
+        """Emit ``fn(payload)`` with its accounted size."""
         result = self.fn(payload)
         context.emit(result, size=self.size_of(result))
 
@@ -78,15 +79,18 @@ class FilterStage(StreamProcessor):
         self.dropped = 0
 
     def on_item(self, payload: Any, context: StageContext) -> None:
+        """Forward ``payload`` if the predicate holds; count it otherwise."""
         if self.predicate(payload):
             context.emit(payload, size=self.size_of(payload))
         else:
             self.dropped += 1
 
     def snapshot(self) -> dict:
+        """Checkpoint the dropped-item counter."""
         return {"dropped": self.dropped}
 
     def restore(self, state: dict) -> None:
+        """Restore the dropped-item counter from a checkpoint."""
         self.dropped = int(state["dropped"])
 
 
@@ -115,11 +119,13 @@ class BatchStage(StreamProcessor):
         self._buffer: List[Any] = []
 
     def on_item(self, payload: Any, context: StageContext) -> None:
+        """Buffer ``payload``; emit the batch once it reaches ``batch_size``."""
         self._buffer.append(payload)
         if len(self._buffer) >= self.batch_size:
             self._emit(context)
 
     def flush(self, context: StageContext) -> None:
+        """Emit any partial trailing batch at end of stream."""
         if self._buffer:
             self._emit(context)
 
@@ -129,9 +135,11 @@ class BatchStage(StreamProcessor):
         context.emit(batch, size=size)
 
     def snapshot(self) -> dict:
+        """Checkpoint the partially-filled batch buffer."""
         return {"buffer": list(self._buffer)}
 
     def restore(self, state: dict) -> None:
+        """Restore the partially-filled batch buffer from a checkpoint."""
         self._buffer = list(state["buffer"])
 
 
@@ -160,11 +168,13 @@ class TumblingWindowStage(StreamProcessor):
         self._buffer: List[Any] = []
 
     def on_item(self, payload: Any, context: StageContext) -> None:
+        """Buffer ``payload``; aggregate + emit when the window fills."""
         self._buffer.append(payload)
         if len(self._buffer) >= self.window:
             self._emit(context)
 
     def flush(self, context: StageContext) -> None:
+        """Aggregate + emit any partial trailing window at end of stream."""
         if self._buffer:
             self._emit(context)
 
@@ -174,9 +184,11 @@ class TumblingWindowStage(StreamProcessor):
         context.emit(value, size=self.size_of(value))
 
     def snapshot(self) -> dict:
+        """Checkpoint the in-progress window."""
         return {"buffer": list(self._buffer)}
 
     def restore(self, state: dict) -> None:
+        """Restore the in-progress window from a checkpoint."""
         self._buffer = list(state["buffer"])
 
 
@@ -210,6 +222,7 @@ class SlidingWindowStage(StreamProcessor):
         self._since_emit = 0
 
     def on_item(self, payload: Any, context: StageContext) -> None:
+        """Slide ``payload`` into the window; emit on the slide cadence."""
         self._buffer.append(payload)
         if len(self._buffer) < self.window:
             return
@@ -221,9 +234,11 @@ class SlidingWindowStage(StreamProcessor):
             self._since_emit = 1
 
     def snapshot(self) -> dict:
+        """Checkpoint the window contents and the slide phase."""
         return {"buffer": list(self._buffer), "since_emit": self._since_emit}
 
     def restore(self, state: dict) -> None:
+        """Restore the window contents and slide phase from a checkpoint."""
         self._buffer = deque(state["buffer"], maxlen=self.window)
         self._since_emit = int(state["since_emit"])
 
@@ -255,6 +270,7 @@ class AdaptiveSampleStage(StreamProcessor):
         self._sampler: Optional[SystematicSampler] = None
 
     def setup(self, context: StageContext) -> None:
+        """Declare the ``sampling-rate`` parameter and build the sampler."""
         context.specify_parameter(
             "sampling-rate",
             initial=self.initial_rate,
@@ -266,16 +282,19 @@ class AdaptiveSampleStage(StreamProcessor):
         self._sampler = SystematicSampler(self.initial_rate)
 
     def on_item(self, payload: Any, context: StageContext) -> None:
+        """Forward the middleware-suggested fraction of items."""
         assert self._sampler is not None
         self._sampler.rate = context.get_suggested_value("sampling-rate")
         if self._sampler.offer(payload):
             context.emit(payload, size=self.item_size)
 
     def result(self) -> dict:
+        """``{"seen", "kept"}`` counters of the underlying sampler."""
         assert self._sampler is not None
         return {"seen": self._sampler.seen, "kept": self._sampler.kept}
 
     def snapshot(self) -> dict:
+        """Checkpoint the sampler's credit and counters."""
         assert self._sampler is not None
         return {
             "credit": self._sampler._credit,
@@ -284,6 +303,7 @@ class AdaptiveSampleStage(StreamProcessor):
         }
 
     def restore(self, state: dict) -> None:
+        """Rewind the sampler's credit and counters from a checkpoint."""
         # setup() has already built a fresh sampler; rewind its counters.
         assert self._sampler is not None
         self._sampler._credit = float(state["credit"])
@@ -304,17 +324,21 @@ class CollectStage(StreamProcessor):
         self.overflowed = 0
 
     def on_item(self, payload: Any, context: StageContext) -> None:
+        """Store ``payload`` (or count it as overflow past ``limit``)."""
         if self.limit is None or len(self.items) < self.limit:
             self.items.append(payload)
         else:
             self.overflowed += 1
 
     def result(self) -> List[Any]:
+        """Everything received so far, in arrival order."""
         return list(self.items)
 
     def snapshot(self) -> dict:
+        """Checkpoint collected items and the overflow counter."""
         return {"items": list(self.items), "overflowed": self.overflowed}
 
     def restore(self, state: dict) -> None:
+        """Restore collected items and the overflow counter."""
         self.items = list(state["items"])
         self.overflowed = int(state["overflowed"])

@@ -132,6 +132,17 @@ class Deployer:
         if verify:
             self.verify(config)
 
+        # Expand sharded stages into their replica slots *after* the
+        # verifier ran (diagnostics reference the declared stage names)
+        # but *before* matchmaking, so every replica is placed
+        # independently — the matchmaker's claimed-host exclusion then
+        # spreads a group's replicas across distinct nodes whenever the
+        # fabric has the capacity.  (Imported lazily: repro.core.sharding
+        # itself depends on repro.grid.config.)
+        from repro.core.sharding import expand_shards
+
+        config = expand_shards(config)
+
         # Step 4 (hoisted): verify all stage code exists *before* touching
         # any node, so a bad code URL cannot leave a half deployment.
         factories = {}

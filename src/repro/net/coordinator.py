@@ -44,6 +44,19 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 from repro.core.adaptation.policy import AdaptationPolicy
 from repro.core.batching import BatchBuffer, BatchPolicy
 from repro.core.results import RunResult, StageStats
+from repro.core.sharding import (
+    BOUNDARIES_PROPERTY,
+    PARTITIONER_PROPERTY,
+    SHARD_ACTIVE_PROPERTY,
+    SHARD_BY_PROPERTY,
+    SHARD_COUNT_PROPERTY,
+    SHARD_GROUP_PROPERTY,
+    SHARD_INDEX_PROPERTY,
+    SHARD_SEPARATOR,
+    ShardGroup,
+    expand_shards,
+    groups_of,
+)
 from repro.grid.config import AppConfig
 from repro.grid.matchmaker import Matchmaker
 from repro.grid.registry import ServiceRegistry
@@ -154,7 +167,15 @@ class NetworkedRuntime:
                     f"configuration {config.name!r} failed verification "
                     f"({report.summary_line()}):\n{report.render_text()}"
                 )
-        self.config = config
+        # Expand sharded stages into replica slots after the verifier ran
+        # (its diagnostics reference the declared names) but before
+        # placement, so the matchmaker spreads a group's replicas across
+        # the worker fleet.
+        self.config = expand_shards(config)
+        self._groups: Dict[str, ShardGroup] = groups_of({
+            s.name: {str(k): str(v) for k, v in s.properties.items()}
+            for s in self.config.stages
+        })
         self.workers_spec = workers
         self.policy = policy or AdaptationPolicy()
         self.adaptation_enabled = adaptation_enabled
@@ -181,11 +202,16 @@ class NetworkedRuntime:
         """Attach an external stream, fed by the coordinator process.
 
         ``rate`` is items per *scaled* second, as in the other runtimes;
-        None feeds as fast as the credit window allows.
+        None feeds as fast as the credit window allows.  ``target`` may
+        also name a shard group (a stage declared with ``replicas``):
+        the coordinator then opens one channel per replica and routes
+        each payload to the replica owning its key.
         """
         if self._started:
             raise NetworkedRuntimeError("cannot bind sources after run()")
-        if target not in {s.name for s in self.config.stages}:
+        if target not in {s.name for s in self.config.stages} and (
+            target not in self._groups
+        ):
             raise NetworkedRuntimeError(f"unknown stage {target!r}")
         if rate is not None and rate <= 0:
             raise NetworkedRuntimeError(f"rate must be > 0, got {rate}")
@@ -410,7 +436,34 @@ class NetworkedRuntime:
         handles: List[_WorkerHandle],
         by_name: Dict[str, _WorkerHandle],
     ) -> None:
-        """Ship REGISTER and CHANNEL frames reflecting the placement."""
+        """Ship REGISTER and CHANNEL frames reflecting the placement.
+
+        Channels whose destination is a shard-group replica carry a
+        ``shard`` descriptor (group, slot, slot count, active count, key
+        extractor, partition function), which the sending worker uses to
+        collapse the per-replica edges into one key-partitioned route.
+        """
+        stage_props = {
+            s.name: {str(k): str(v) for k, v in s.properties.items()}
+            for s in self.config.stages
+        }
+
+        def shard_of(dst: str) -> Optional[Dict[str, Any]]:
+            props = stage_props[dst]
+            group = props.get(SHARD_GROUP_PROPERTY)
+            if group is None:
+                return None
+            slots = int(props[SHARD_COUNT_PROPERTY])
+            return {
+                "group": group,
+                "slot": int(props[SHARD_INDEX_PROPERTY]),
+                "slots": slots,
+                "active": int(props.get(SHARD_ACTIVE_PROPERTY, slots)),
+                "by": props.get(SHARD_BY_PROPERTY, "payload"),
+                "partitioner": props.get(PARTITIONER_PROPERTY, "hash"),
+                "boundaries": props.get(BOUNDARIES_PROPERTY),
+            }
+
         for stage in self.config.stages:
             handle = by_name[self.placement[stage.name]]
             assert handle.writer is not None
@@ -437,6 +490,7 @@ class NetworkedRuntime:
                         "stream": stream.name,
                         "src": stream.src,
                         "dst": stream.dst,
+                        "shard": shard_of(stream.dst),
                     }),
                 )
                 continue
@@ -460,21 +514,37 @@ class NetworkedRuntime:
                     "dst": stream.dst,
                     "peer_host": dst_worker.host,
                     "peer_port": dst_worker.port,
+                    "shard": shard_of(stream.dst),
                 }),
             )
         for binding in self._sources:
-            target_worker = by_name[self.placement[binding.target]]
-            assert target_worker.writer is not None
-            await send_frame(
-                target_worker.writer,
-                FrameType.CHANNEL,
-                encode_json({
-                    "kind": "in",
-                    "stream": binding.name,
-                    "dst": binding.target,
-                    "window": self.credit_window,
-                }),
-            )
+            for stream_name, target in self._source_channels(binding):
+                target_worker = by_name[self.placement[target]]
+                assert target_worker.writer is not None
+                await send_frame(
+                    target_worker.writer,
+                    FrameType.CHANNEL,
+                    encode_json({
+                        "kind": "in",
+                        "stream": stream_name,
+                        "dst": target,
+                        "window": self.credit_window,
+                    }),
+                )
+
+    def _source_channels(self, binding: _SourceBinding) -> List[Tuple[str, str]]:
+        """The (stream name, target stage) pairs one source binding feeds.
+
+        A stage-bound source is one channel; a group-bound source gets
+        one channel per replica slot, suffixed like the expanded streams.
+        """
+        group = self._groups.get(binding.target)
+        if group is None:
+            return [(binding.name, binding.target)]
+        return [
+            (f"{binding.name}{SHARD_SEPARATOR}{slot}", member)
+            for slot, member in enumerate(group.members)
+        ]
 
     async def _expect_ready(
         self, handle: _WorkerHandle, request: FrameType, phase: str
@@ -531,28 +601,49 @@ class NetworkedRuntime:
     async def _feed_source(
         self, binding: _SourceBinding, by_name: Dict[str, _WorkerHandle]
     ) -> None:
-        """Ship one source binding's payloads over a credit-bounded channel."""
-        target = by_name[self.placement[binding.target]]
-        channel = OutChannel(
-            binding.name,
-            binding.target,
-            target.host,
-            target.port,
-            self.metrics,
-            clock=time.monotonic,
+        """Ship one source binding's payloads over credit-bounded channels.
+
+        A group-bound source opens one channel per replica slot and
+        routes each payload to the replica owning its key; every channel
+        gets the end-of-stream marker (inactive slots simply own no
+        keys), so replica-group termination stays per-edge.
+        """
+        group = self._groups.get(binding.target)
+        channels: List[OutChannel] = []
+        for stream_name, target in self._source_channels(binding):
+            handle = by_name[self.placement[target]]
+            channel = OutChannel(
+                stream_name,
+                target,
+                handle.host,
+                handle.port,
+                self.metrics,
+                clock=time.monotonic,
+            )
+            await channel.connect()
+            channels.append(channel)
+        counters = (
+            [
+                self.metrics.counter(f"shard.{member}.items")
+                for member in group.members
+            ]
+            if group is not None
+            else []
         )
-        await channel.connect()
         gap = None
         if binding.rate is not None:
             gap = self.time_scale / binding.rate
-        buffer: Optional[BatchBuffer] = None
+        buffers: Optional[List[BatchBuffer]] = None
         if self.batch is not None and self.batch.enabled:
             # The feeder runs on the wall clock, so pre-scale the age
             # bound the same way the workers do.
-            buffer = BatchBuffer(BatchPolicy(
-                max_items=self.batch.max_items,
-                max_delay=self.batch.max_delay * self.time_scale,
-            ))
+            buffers = [
+                BatchBuffer(BatchPolicy(
+                    max_items=self.batch.max_items,
+                    max_delay=self.batch.max_delay * self.time_scale,
+                ))
+                for _ in channels
+            ]
         try:
             for payload in binding.payloads:
                 size = (
@@ -560,19 +651,26 @@ class NetworkedRuntime:
                     if callable(binding.item_size)
                     else binding.item_size
                 )
-                if buffer is None:
+                index = group.owner(payload) if group is not None else 0
+                channel = channels[index]
+                if buffers is None:
                     await channel.send(payload, float(size))
                 else:
                     now = time.monotonic()
+                    buffer = buffers[index]
                     if buffer.add((payload, float(size)), now) or buffer.due(now):
                         await channel.send_batch(buffer.drain())
+                if counters:
+                    counters[index].inc()
                 if gap is not None:
                     await asyncio.sleep(gap)
-            if buffer is not None:
-                await channel.send_batch(buffer.drain())
-            await channel.send_eos()
+            for index, channel in enumerate(channels):
+                if buffers is not None:
+                    await channel.send_batch(buffers[index].drain())
+                await channel.send_eos()
         finally:
-            await channel.close()
+            for channel in channels:
+                await channel.close()
 
     # -- metrics merge ---------------------------------------------------------
 

@@ -59,6 +59,17 @@ from repro.core.batching import (
     batch_policy_from_properties,
 )
 from repro.core.items import EndOfStream, Item
+from repro.core.sharding import (
+    BOUNDARIES_PROPERTY,
+    PARTITIONER_PROPERTY,
+    SHARD_ACTIVE_PROPERTY,
+    SHARD_COUNT_PROPERTY,
+    SHARD_GROUP_PROPERTY,
+    Partitioner,
+    extract_key,
+    logical_stream,
+    partitioner_from_properties,
+)
 from repro.core.termination import EosTracker, no_input_message
 from repro.grid.repository import CodeRepository
 from repro.metrics.rates import RateEstimator
@@ -159,7 +170,8 @@ class _WorkerStageContext(StageContext):
         if size < 0:
             raise ProcessorError(f"emit size must be >= 0, got {size}")
         if stream is not None and not any(
-            r.stream == stream for r in self._stage.out_routes
+            r.stream == stream or logical_stream(r.stream) == stream
+            for r in self._stage.out_routes
         ):
             raise ProcessorError(
                 f"{self._stage.name}: emit to unknown stream {stream!r}"
@@ -179,6 +191,40 @@ class _WorkerStageContext(StageContext):
         return self._stage.properties
 
 
+@dataclass
+class _RouteUnit:
+    """One routing decision among a stage's out-routes.
+
+    A *solo* unit (``group is None``) wraps one ordinary route.  A
+    *family* unit wraps the per-replica routes fanning out to one
+    sharded destination group: ``routes[slot]`` is the out-route index
+    reaching replica ``slot``, and exactly one — the key owner's — gets
+    each emitted item.  ``accepts`` names every stream addressing the
+    unit; ``named`` maps a concrete per-replica stream name to its slot
+    so an explicit ``emit(..., stream="t#1")`` overrides the
+    partitioner.
+    """
+
+    accepts: frozenset
+    routes: List[int]
+    group: Optional[str] = None
+    named: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class _RouteGroup:
+    """Partitioning facts for one sharded destination group."""
+
+    partitioner: Partitioner
+    shard_by: str
+    active: int
+
+    def owner(self, payload: Any) -> int:
+        return self.partitioner.select(
+            extract_key(payload, self.shard_by), self.active
+        )
+
+
 class _LocalRoute:
     """In-process edge between two stages hosted on the same worker."""
 
@@ -186,6 +232,10 @@ class _LocalRoute:
         self.stream = stream
         self.dst = dst
         self._worker = worker
+        #: ``shard`` descriptor from the CHANNEL frame (None when the
+        #: destination is not a replica); set by ``_register_channel``.
+        self.shard: Optional[Dict[str, Any]] = None
+        self.shard_counter: Optional[Any] = None
 
     async def send(self, payload: Any, size: float, origin: str) -> None:
         item = Item(
@@ -208,6 +258,8 @@ class _WireRoute:
     def __init__(self, channel: OutChannel) -> None:
         self.channel = channel
         self.stream = channel.stream
+        self.shard: Optional[Dict[str, Any]] = None
+        self.shard_counter: Optional[Any] = None
 
     async def send(self, payload: Any, size: float, origin: str) -> None:
         await self.channel.send(payload, size)
@@ -251,6 +303,9 @@ class _HostedStage:
         default_factory=dict
     )
     batch_metrics: Optional[BatchMetrics] = None
+    #: Routing decisions over ``out_routes`` (solo routes and sharded
+    #: families); built at START once every channel is declared.
+    route_units: List[_RouteUnit] = field(default_factory=list)
 
 
 class Worker:
@@ -274,6 +329,9 @@ class Worker:
         self.credit_window = 32
         self.batch: Optional[BatchPolicy] = None
         self._stages: Dict[str, _HostedStage] = {}
+        #: Partitioning facts per sharded destination group, built at
+        #: START from the CHANNEL frames' shard descriptors.
+        self._route_groups: Dict[str, _RouteGroup] = {}
         self._in_channels: Dict[str, InChannel] = {}
         self._out_channels: List[OutChannel] = []
         self._tasks: List[asyncio.Task] = []
@@ -422,10 +480,13 @@ class Worker:
     def _register_channel(self, body: Dict[str, Any]) -> None:
         kind = body["kind"]
         stream = body["stream"]
+        shard = body.get("shard")
         if kind == "local":
             src = self._require_stage(body["src"], stream)
             dst = self._require_stage(body["dst"], stream)
-            src.out_routes.append(_LocalRoute(stream, dst, self))
+            route = _LocalRoute(stream, dst, self)
+            self._annotate_shard(route, shard, body["dst"])
+            src.out_routes.append(route)
             dst.eos.expect()
             dst.upstream_local.append(src.name)
         elif kind == "in":
@@ -447,9 +508,20 @@ class Worker:
                 on_exception=self._wire_exception_handler(src),
             )
             self._out_channels.append(channel)
-            src.out_routes.append(_WireRoute(channel))
+            route = _WireRoute(channel)
+            self._annotate_shard(route, shard, body["dst"])
+            src.out_routes.append(route)
         else:
             raise WorkerError(f"unknown channel kind {kind!r} for {stream!r}")
+
+    def _annotate_shard(
+        self, route: Any, shard: Optional[Dict[str, Any]], dst_name: str
+    ) -> None:
+        """Attach a CHANNEL frame's shard descriptor to an out-route."""
+        if shard is None:
+            return
+        route.shard = shard
+        route.shard_counter = self.metrics.counter(f"shard.{dst_name}.items")
 
     def _require_stage(self, name: str, stream: str) -> _HostedStage:
         try:
@@ -495,6 +567,15 @@ class Worker:
                 self.metrics.series(
                     f"adapt.{stage.name}.param.{pname}", param.history
                 )
+        for stage in self._stages.values():
+            self._build_route_units(stage)
+            group = stage.properties.get(SHARD_GROUP_PROPERTY)
+            if group is not None:
+                active = stage.properties.get(
+                    SHARD_ACTIVE_PROPERTY,
+                    stage.properties.get(SHARD_COUNT_PROPERTY, "1"),
+                )
+                self.metrics.gauge(f"shard.{group}.replicas").set(float(active))
         # Batch buffers exist only for wire routes: a local handoff is
         # already a single in-process append, while a wire route pays a
         # frame + syscall per send, which batching amortizes.
@@ -517,6 +598,105 @@ class Worker:
         self._tasks.append(
             asyncio.create_task(self._completion_task(coordinator_writer))
         )
+
+    def _build_route_units(self, stage: _HostedStage) -> None:
+        """Group a stage's out-routes into routing units.
+
+        Routes fanning out to the replicas of one sharded destination
+        group (same declared stream name, same group) collapse into one
+        partitioned family unit — local and wire routes mix freely, the
+        replicas may live anywhere in the fleet.  A partial family
+        (possible only if the coordinator shipped an incomplete slot
+        set) falls back to solo units.
+        """
+        families: Dict[Tuple[str, str], Dict[int, int]] = {}
+        descriptors: Dict[str, Dict[str, Any]] = {}
+        order: List[Tuple[Optional[Tuple[str, str]], int]] = []
+        for index, route in enumerate(stage.out_routes):
+            shard = route.shard
+            if shard is None:
+                order.append((None, index))
+                continue
+            key = (logical_stream(route.stream), str(shard["group"]))
+            if key not in families:
+                order.append((key, index))
+                families[key] = {}
+            families[key][int(shard["slot"])] = index
+            descriptors[str(shard["group"])] = shard
+        units: List[_RouteUnit] = []
+        for key, index in order:
+            if key is None:
+                units.append(
+                    _RouteUnit(
+                        accepts=frozenset({stage.out_routes[index].stream}),
+                        routes=[index],
+                    )
+                )
+                continue
+            logical, group = key
+            mapping = families[key]
+            shard = descriptors[group]
+            slots = int(shard["slots"])
+            if set(mapping) == set(range(slots)):
+                routes = [mapping[slot] for slot in range(slots)]
+                names = {stage.out_routes[i].stream for i in routes}
+                units.append(
+                    _RouteUnit(
+                        accepts=frozenset(names | {logical}),
+                        routes=routes,
+                        group=group,
+                        named={
+                            stage.out_routes[i].stream: slot
+                            for slot, i in enumerate(routes)
+                        },
+                    )
+                )
+                if group not in self._route_groups:
+                    properties = {PARTITIONER_PROPERTY: str(
+                        shard.get("partitioner", "hash")
+                    )}
+                    if shard.get("boundaries") is not None:
+                        properties[BOUNDARIES_PROPERTY] = str(shard["boundaries"])
+                    self._route_groups[group] = _RouteGroup(
+                        partitioner=partitioner_from_properties(properties),
+                        shard_by=str(shard.get("by", "payload")),
+                        active=int(shard["active"]),
+                    )
+            else:
+                for route_index in sorted(mapping.values()):
+                    name = stage.out_routes[route_index].stream
+                    units.append(
+                        _RouteUnit(
+                            accepts=frozenset({name, logical}),
+                            routes=[route_index],
+                        )
+                    )
+        stage.route_units = units
+
+    def _route_indices(
+        self, stage: _HostedStage, payload: Any, stream: Optional[str]
+    ):
+        """Out-route indices one emission goes to.
+
+        Solo units keep the pre-sharding fan-out; a family unit
+        contributes exactly one route — the key owner's, or the
+        explicitly addressed replica's.
+        """
+        for unit in stage.route_units:
+            if stream is not None and stream not in unit.accepts:
+                continue
+            if unit.group is None:
+                yield unit.routes[0]
+                continue
+            if stream is not None and stream in unit.named:
+                slot = unit.named[stream]
+            else:
+                slot = self._route_groups[unit.group].owner(payload)
+            index = unit.routes[slot]
+            counter = stage.out_routes[index].shard_counter
+            if counter is not None:
+                counter.inc()
+            yield index
 
     # -- stage execution -----------------------------------------------------
 
@@ -624,22 +804,18 @@ class Worker:
             for payload, size, stream in pending:
                 stage.metrics.items_out.inc()
                 stage.metrics.bytes_out.inc(size)
-                for route in stage.out_routes:
-                    if stream is not None and route.stream != stream:
-                        continue
-                    await route.send(payload, size, stage.name)
+                for index in self._route_indices(stage, payload, stream):
+                    await stage.out_routes[index].send(payload, size, stage.name)
             return
         now = self.elapsed()
         full: List[int] = []
         nbytes_out = 0.0
         for payload, size, stream in pending:
             nbytes_out += size
-            for index, route in enumerate(stage.out_routes):
-                if stream is not None and route.stream != stream:
-                    continue
+            for index in self._route_indices(stage, payload, stream):
                 buffer = stage.batch_buffers.get(index)
                 if buffer is None:
-                    await route.send(payload, size, stage.name)
+                    await stage.out_routes[index].send(payload, size, stage.name)
                 elif buffer.add((payload, size), now) and index not in full:
                     full.append(index)
         stage.metrics.items_out.inc(len(pending))

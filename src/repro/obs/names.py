@@ -121,6 +121,33 @@ METRICS: Tuple[MetricSpec, ...] = (
                "the real-time constraint (§1) bounding batch wait",
                "Batches flushed by the max_delay age bound rather than "
                "by reaching max_items."),
+    # -- sharding and elastic scaling (see docs/sharding.md) ----------------
+    MetricSpec("shard.{stage}.items", "counter", "items",
+               ("sim", "threaded", "net"),
+               "scheduling/brokering direction of the related work "
+               "(Grid Service Broker, cs/0405023)",
+               "Items routed to this replica by its group's partitioner."),
+    MetricSpec("shard.{group}.replicas", "gauge", "replicas",
+               ("sim", "threaded", "net"),
+               "resource allocation the Section-4 load signal drives",
+               "Active replica count of the shard group at end of run."),
+    MetricSpec("scale.{group}.scale_ups", "counter", "transitions",
+               ("threaded",),
+               "scale-up on sustained queue-band breach (§4 signal reuse)",
+               "Completed scale-up transitions of the group's autoscaler."),
+    MetricSpec("scale.{group}.scale_downs", "counter", "transitions",
+               ("threaded",),
+               "scale-down on sustained idleness (§4 signal reuse)",
+               "Completed scale-down transitions of the group's autoscaler."),
+    MetricSpec("scale.{group}.replicas", "series", "replicas",
+               ("threaded",),
+               "resource allocation trajectory under the §4 load signal",
+               "Active replica count over time (one point per transition, "
+               "plus the starting count)."),
+    MetricSpec("scale.{group}.rebalance_seconds", "histogram", "seconds",
+               ("threaded",),
+               "the real-time constraint (§1) bounding handoff stalls",
+               "Wall-clock duration of each drain-and-handoff rebalance."),
     # -- benchmark harness (see docs/performance.md) ------------------------
     MetricSpec("bench.{case}.items_per_second", "gauge", "items/second",
                ("sim", "threaded", "net"),

@@ -1,0 +1,20 @@
+"""Broken fixture: public core API surface without docstrings."""
+
+
+def helper(x):
+    return x + 1
+
+
+class PublicThing:
+    """A documented public class whose method is not documented."""
+
+    def compute(self, x):
+        return x * 2
+
+    def _internal(self):
+        return None
+
+
+class _PrivateThing:
+    def allowed(self):
+        return "private classes are not API surface"

@@ -2,6 +2,7 @@
 
 
 def register(registry) -> None:
+    """Register this fixture's (off-catalog) metric."""
     registry.counter("totally.made.up.metric")
 
 
@@ -11,4 +12,5 @@ class LossyStage:
 
 class ForgetfulStage(LossyStage):
     def snapshot(self):
+        """Checkpoint without a matching restore()."""
         return {"x": 1}

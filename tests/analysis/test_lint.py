@@ -27,6 +27,7 @@ CASES = [
     ("repro/net/bad_async.py", {"GA504", "GA505"}),
     ("repro/streams/bad_except.py", {"GA507"}),
     ("repro/core/bad_metrics.py", {"GA501", "GA506"}),
+    ("repro/core/bad_docstring.py", {"GA508"}),
 ]
 
 

@@ -32,6 +32,8 @@ CASES = [
     ("ga207_duplicate_param", "GA207"),
     ("ga208_property_mirror", "GA208"),
     ("ga210_batch_delay", "GA210"),
+    ("ga220_shard_invalid", "GA220"),
+    ("ga221_inert_shard_knob", "GA221"),
     ("ga301_code_url", "GA301"),
     ("ga302_checkpoint", "GA302"),
     ("ga303_placement", "GA303"),

@@ -1,0 +1,37 @@
+"""docs/sharding.md and the sharding knob catalog must not drift."""
+
+from repro.core.sharding import (
+    KNOBS,
+    check_docs,
+    default_docs_path,
+    documented_knobs,
+)
+
+
+def test_docs_file_exists():
+    assert default_docs_path().exists()
+
+
+def test_docs_and_knob_catalog_agree():
+    assert check_docs() == []
+
+
+def test_every_knob_has_a_table_row():
+    documented = set(documented_knobs(default_docs_path()))
+    assert set(KNOBS) <= documented
+
+
+def test_missing_docs_file_is_one_problem(tmp_path):
+    problems = check_docs(tmp_path / "ghost.md")
+    assert problems and "missing" in problems[0]
+
+
+def test_drift_is_detected_both_ways(tmp_path):
+    page = tmp_path / "sharding.md"
+    knobs = [k for k in KNOBS if k != "replicas"] + ["shard-flavor"]
+    page.write_text(
+        "\n".join(f"| `{knob}` | x |" for knob in knobs), encoding="utf-8"
+    )
+    problems = check_docs(page)
+    assert any("replicas" in p and "not documented" in p for p in problems)
+    assert any("shard-flavor" in p for p in problems)

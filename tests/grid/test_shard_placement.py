@@ -1,0 +1,101 @@
+"""Matchmaker placement of replica groups (docs/sharding.md).
+
+``Deployer.deploy`` expands a sharded stage into its replica slots
+*before* matchmaking, so each slot is placed independently and the
+matchmaker's claimed-host exclusion spreads the group across distinct
+nodes — falling back to colocation only when the fabric is smaller than
+the group.
+"""
+
+import pytest
+
+from repro.grid.config import AppConfig, StageConfig, StreamConfig
+from repro.grid.deployer import Deployer, DeploymentError
+from repro.grid.registry import ServiceRegistry
+from repro.grid.repository import CodeRepository
+from repro.grid.resources import ResourceRequirement
+from repro.simnet.engine import Environment
+from repro.simnet.topology import Network
+
+
+class Relay:
+    pass
+
+
+class Sink:
+    pass
+
+
+def make_fabric(hosts: int):
+    env = Environment()
+    net = Network(env)
+    names = [f"h{i}" for i in range(hosts)]
+    for name in names:
+        net.create_host(name, cores=2)
+    for a in names:
+        for b in names:
+            if a < b:
+                net.connect(a, b, bandwidth=1e7)
+    registry = ServiceRegistry()
+    registry.register_network(net)
+    repo = CodeRepository()
+    repo.publish("repo://app/relay", Relay)
+    repo.publish("repo://app/sink", Sink)
+    return registry, repo
+
+
+def make_config(props):
+    return AppConfig(
+        name="app",
+        stages=[
+            StageConfig("relay", "repo://app/relay",
+                        requirement=ResourceRequirement(), properties=props),
+            StageConfig("sink", "repo://app/sink",
+                        requirement=ResourceRequirement()),
+        ],
+        streams=[StreamConfig("t", "relay", "sink")],
+    )
+
+
+def test_replicas_spread_across_distinct_hosts():
+    registry, repo = make_fabric(hosts=5)
+    config = make_config({"replicas": "4", "shard-by": "field:k"})
+    deployment = Deployer(registry, repo).deploy(config)
+    replica_hosts = {deployment.host_of(f"relay#{i}") for i in range(4)}
+    assert len(replica_hosts) == 4
+    # The declared stage name no longer names a placement — its replicas do.
+    with pytest.raises(DeploymentError):
+        deployment.host_of("relay")
+    # Each replica got its own service instance.
+    instances = {deployment.instance_of(f"relay#{i}") for i in range(4)}
+    assert len(instances) == 4
+
+
+def test_elastic_slots_are_all_placed_up_front():
+    # Inactive slots (active=1, ceiling=3) still get hosts: scale-up must
+    # not wait on the matchmaker at runtime.
+    registry, repo = make_fabric(hosts=5)
+    config = make_config({"replicas": "1", "shard-by": "field:k",
+                          "scale-max-replicas": "3"})
+    deployment = Deployer(registry, repo).deploy(config)
+    slot_hosts = {deployment.host_of(f"relay#{i}") for i in range(3)}
+    assert len(slot_hosts) == 3
+
+
+def test_replicas_colocate_when_fabric_is_small():
+    # Claimed-host exclusion is a preference, not a hard constraint: a
+    # 2-host fabric still accepts a 4-replica group by reusing hosts.
+    registry, repo = make_fabric(hosts=2)
+    config = make_config({"replicas": "4", "shard-by": "field:k"})
+    deployment = Deployer(registry, repo).deploy(config)
+    replica_hosts = {deployment.host_of(f"relay#{i}") for i in range(4)}
+    assert replica_hosts == {"h0", "h1"}
+
+
+def test_expanded_config_is_what_the_deployment_records():
+    registry, repo = make_fabric(hosts=5)
+    config = make_config({"replicas": "2", "shard-by": "field:k"})
+    deployment = Deployer(registry, repo).deploy(config)
+    names = [s.name for s in deployment.config.stages]
+    assert names == ["relay#0", "relay#1", "sink"]
+    assert [s.name for s in deployment.config.streams] == ["t#0", "t#1"]

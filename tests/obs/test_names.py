@@ -40,6 +40,12 @@ EXPECTED_TEMPLATES = [
     "recovery.{stage}.replay_dropped",
     "run.execution_time",
     "run.traced_items",
+    "scale.{group}.rebalance_seconds",
+    "scale.{group}.replicas",
+    "scale.{group}.scale_downs",
+    "scale.{group}.scale_ups",
+    "shard.{group}.replicas",
+    "shard.{stage}.items",
     "stage.{stage}.arrival_rate",
     "stage.{stage}.busy_seconds",
     "stage.{stage}.bytes_in",
