@@ -22,6 +22,12 @@ MIN_SHARD_SPEEDUP = 1.6
 # Tail bound: a batched item can wait at most max_delay for its flush,
 # plus scheduling noise.
 P99_SLACK = BENCH_BATCH.max_delay + 0.05
+# After a live migration the relay must keep up with the offered rate
+# again: post-move throughput >= 90% of pre-move (docs/migration.md).
+MIN_MIGRATE_RECOVERY = 0.9
+# The stop-the-stage window over loopback is tens of milliseconds; a
+# generous bound still catches an unbounded drain or a lost fence.
+MAX_MIGRATE_PAUSE_P99 = 1.0
 
 
 def _by_name(report):
@@ -75,6 +81,28 @@ def test_bench_quick_speedups_and_schema(benchmark):
         f"macro-shard: 2 replicas only {scaling:.2f}x over 1 "
         f"(floor {MIN_SHARD_SPEEDUP}x)"
     )
+
+    # Live migration: the run itself already raised if an item was lost
+    # or the move did not happen; here we floor the recovery and bound
+    # the pause (ISSUE: recovery >= 90%, bounded stop-the-stage window).
+    pre = cases["macro-migrate-pre"]
+    post = cases["macro-migrate-post"]
+    pause = cases["macro-migrate-pause"]
+    recovery = post["items_per_second"] / pre["items_per_second"]
+    print(
+        f"  macro-migrate    pre={pre['items_per_second']:10,.0f}/s "
+        f"post={post['items_per_second']:10,.0f}/s "
+        f"recovery={recovery:.2f}x pause p99 {pause['p99'] * 1e3:.1f}ms"
+    )
+    assert recovery >= MIN_MIGRATE_RECOVERY, (
+        f"macro-migrate: post-move throughput only {recovery:.2f}x of "
+        f"pre-move (floor {MIN_MIGRATE_RECOVERY}x)"
+    )
+    assert 0 < pause["p99"] <= MAX_MIGRATE_PAUSE_P99, (
+        f"macro-migrate: pause p99 {pause['p99']:.3f}s outside "
+        f"(0, {MAX_MIGRATE_PAUSE_P99}s]"
+    )
+    assert pause["seconds"] <= MAX_MIGRATE_PAUSE_P99
 
     # Micro cases came along for the ride and are sane.
     assert cases["micro-wire-codec-single"]["items_per_second"] > 0

@@ -123,6 +123,21 @@ _ALL: List[CodeInfo] = [
              "declare replicas, and a range partitioner needs at least "
              "slots-1 boundaries or the upper replica slots never own "
              "any keys"),
+    # -- GA23x: live migration -------------------------------------------------
+    CodeInfo("GA230", "config", Severity.ERROR,
+             "migration-enabled stage cannot hand its state off",
+             "a stage marked migratable: true must override snapshot() "
+             "and restore() together — the live-migration handoff "
+             "transports snapshot() state into a fresh instance; a "
+             "class with the no-op defaults would silently move with "
+             "empty state"),
+    CodeInfo("GA231", "config", Severity.ERROR,
+             "migration gate is invalid or unsatisfiable",
+             "migratable must be true or false, the stage must exist, a "
+             "sharded stage (replicas) cannot migrate, and a "
+             "migration-enabled run needs the checkpoint store "
+             "(resilience with checkpoint_interval set) so a mid-move "
+             "crash can degrade to failover instead of losing state"),
     # -- GA3xx: deployment ----------------------------------------------------
     CodeInfo("GA301", "config", Severity.ERROR,
              "stage code URL does not resolve in the repository",

@@ -29,7 +29,7 @@ runtimes' pre-deploy gates).  All return a
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 import networkx as nx
 
@@ -53,6 +53,9 @@ FAN_IN_PROPERTY = "fan-in"
 #: Stage property marking a sketch-producing stage (its output streams
 #: carry (value, count) summary pairs in the streams.wire codec).
 SKETCH_PROPERTY = "sketch"
+
+#: Stage property opting a stage into live migration ("true" / "false").
+MIGRATABLE_PROPERTY = "migratable"
 
 
 def verify_path(
@@ -89,10 +92,13 @@ def verify_config(
     *,
     repository: Optional[object] = None,
     registry: Optional[object] = None,
+    resilience: Optional[object] = None,
+    migrating: Optional[Iterable[str]] = None,
 ) -> Report:
     """Verify an in-memory AppConfig (no file spans, same passes)."""
     return verify_raw(
-        RawApp.from_config(config), repository=repository, registry=registry
+        RawApp.from_config(config), repository=repository, registry=registry,
+        resilience=resilience, migrating=migrating,
     )
 
 
@@ -101,6 +107,8 @@ def verify_raw(
     *,
     repository: Optional[object] = None,
     registry: Optional[object] = None,
+    resilience: Optional[object] = None,
+    migrating: Optional[Iterable[str]] = None,
 ) -> Report:
     """Run every semantic pass over a tolerant document model.
 
@@ -110,6 +118,12 @@ def verify_raw(
     registered network) enables the placement dry-run.  Either may be
     None, which skips the corresponding passes — the graph and parameter
     passes never need external services.
+
+    ``migrating`` names stages treated as migration-enabled in addition
+    to any declaring ``migratable: true``; ``resilience`` (a
+    :class:`~repro.resilience.policy.ResilienceConfig`) lets the GA231
+    pass confirm the checkpoint store backing a migration-enabled run
+    is actually armed.
     """
     report = Report()
     _check_names(app, report)
@@ -121,6 +135,7 @@ def verify_raw(
         _check_batching(app, stage, report)
         _check_sharding(app, stage, report)
     _check_wire(app, report)
+    _check_migration(app, repository, resilience, migrating, report)
     if repository is not None:
         _check_codes(app, repository, report)
     if registry is not None:
@@ -445,6 +460,96 @@ def _check_sharding(app: RawApp, stage: RawStage, report: Report) -> None:
                  f"{len(boundaries)} boundaries for {slots} replica "
                  f"slots; slots above {len(boundaries)} can never own "
                  "any keys",
+                 line=stage.line, config_path=config_path)
+
+
+# -- GA23x: live migration -----------------------------------------------------
+
+
+def _check_migration(
+    app: RawApp,
+    repository: Optional[object],
+    resilience: Optional[object],
+    migrating: Optional[Iterable[str]],
+    report: Report,
+) -> None:
+    """GA230 (handoff contract), GA231 (invalid or unsatisfiable gate).
+
+    A stage is migration-enabled when it declares ``migratable: true`` or
+    is named in ``migrating`` (the coordinator passes the stages its
+    :class:`~repro.resilience.migration.MigrationPlan` list targets).
+    The live-migration handoff transports ``snapshot()`` state into a
+    fresh instance on the target node, so a migration-enabled stage whose
+    class keeps the no-op defaults would silently move with empty state
+    — that is GA230, checkable only when a ``repository`` resolves the
+    stage class.  GA231 covers everything that makes the gate itself
+    wrong: a non-boolean ``migratable`` value, a ``migrating`` name that
+    matches no declared stage, a sharded stage (per-shard queues and the
+    partitioner pin replicas to their slots; moving one replica is
+    rescaling, not migration), and — when the caller supplies the run's
+    ``resilience`` config — a disarmed checkpoint store, without which a
+    mid-move crash cannot degrade to failover.
+    """
+    from repro.core.api import StreamProcessor
+    from repro.core.sharding import REPLICAS_PROPERTY, SHARD_SEPARATOR
+    from repro.grid.repository import RepositoryError
+
+    requested = {name for name in (migrating or ())}
+    known = {stage.name for stage in app.stages}
+    for name in sorted(requested - known):
+        _add(report, app, "GA231",
+             f"migration plan targets unknown stage {name!r}")
+
+    enabled: List[RawStage] = []
+    for stage in app.stages:
+        config_path = f"stage {stage.name!r}"
+        declared = stage.properties.get(MIGRATABLE_PROPERTY)
+        if declared is not None and declared not in ("true", "false"):
+            _add(report, app, "GA231",
+                 f"stage {stage.name!r}: {MIGRATABLE_PROPERTY}="
+                 f"{declared!r} must be 'true' or 'false'",
+                 line=stage.line, config_path=config_path)
+            continue
+        if declared != "true" and stage.name not in requested:
+            continue
+        if (REPLICAS_PROPERTY in stage.properties
+                or SHARD_SEPARATOR in stage.name):
+            _add(report, app, "GA231",
+                 f"stage {stage.name!r} is sharded ({REPLICAS_PROPERTY} "
+                 "declared) and cannot migrate; replicas are pinned to "
+                 "their partitioner slots",
+                 line=stage.line, config_path=config_path)
+            continue
+        enabled.append(stage)
+
+    if not enabled:
+        return
+    if resilience is not None and getattr(
+            resilience, "checkpoint_interval", None) is None:
+        names = ", ".join(repr(s.name) for s in enabled)
+        _add(report, app, "GA231",
+             f"migration-enabled stage{'s' if len(enabled) > 1 else ''} "
+             f"{names} without a checkpoint store: set "
+             "resilience.checkpoint_interval so a mid-move crash can "
+             "degrade to failover")
+    if repository is None:
+        return
+    for stage in enabled:
+        config_path = f"stage {stage.name!r}"
+        try:
+            factory: Callable[..., object] = repository.fetch(stage.code_url)
+        except RepositoryError:
+            continue  # unresolvable URL is GA301's finding
+        if not (isinstance(factory, type)
+                and issubclass(factory, StreamProcessor)):
+            continue  # non-class factories cannot be checked statically
+        has_snapshot = factory.snapshot is not StreamProcessor.snapshot
+        has_restore = factory.restore is not StreamProcessor.restore
+        if not (has_snapshot and has_restore):
+            _add(report, app, "GA230",
+                 f"stage {stage.name!r}: class {factory.__name__} does "
+                 "not override snapshot() and restore(); the migration "
+                 "handoff would move it with empty state",
                  line=stage.line, config_path=config_path)
 
 

@@ -164,6 +164,12 @@ class JoinStage(StreamProcessor):
             raise TypeError(f"JoinStage expected a summary dict, got {payload!r}")
         self._latest[payload["source"]] = payload
 
+    def snapshot(self) -> Dict[str, Any]:
+        return {"latest": dict(self._latest)}
+
+    def restore(self, state: Any) -> None:
+        self._latest = dict(state["latest"])
+
     def current_topk(self, n: Optional[int] = None) -> List[Tuple[Hashable, float]]:
         """The merged top-n at this instant."""
         n = self._top_n if n is None else n

@@ -18,7 +18,17 @@ docs/performance.md) at two granularities:
   threaded runtime with a compute-bound relay, at 1 and 2 key-partitioned
   replicas (``macro-shard-r1`` / ``macro-shard-r2``, see
   docs/sharding.md); the r2/r1 items/s ratio is the scaling headroom the
-  perf smoke test floors at 1.6x.
+  perf smoke test floors at 1.6x;
+* **live-migration cases** — a rate-paced relay -> sink networked run
+  with a :class:`~repro.resilience.migration.MigrationPlan` moving the
+  relay to a spare worker 40% through the stream (docs/migration.md).
+  ``macro-migrate-pre`` / ``macro-migrate-post`` report sink throughput
+  before and after the move (their ratio is the recovery the perf smoke
+  test floors at 0.9x); ``macro-migrate-pause`` reports overall items/s,
+  the stop-the-stage window in ``seconds``, and the
+  ``migration.relay.pause_seconds`` percentiles in ``p50``/``p95``/
+  ``p99``.  The run raises if a single item is lost or the move does
+  not happen.
 
 Results are written as ``BENCH_perf.json`` (schema ``repro-bench/1``):
 
@@ -48,6 +58,8 @@ from repro.simnet.trace import percentile
 
 __all__ = [
     "BenchCase",
+    "BenchMigrateRelay",
+    "BenchMigrateSink",
     "BenchRelay",
     "BenchShardRelay",
     "BenchSink",
@@ -100,6 +112,51 @@ class BenchSink(StreamProcessor):
 
     def result(self) -> int:
         return self._count
+
+
+class BenchMigrateRelay(BenchRelay):
+    """A :class:`BenchRelay` that can hand its state off mid-move.
+
+    The migration verify gate (GA230) requires a migration-enabled
+    stage to override both ``snapshot`` and ``restore``; the count makes
+    a lossy or replayed hand-off visible in the delivered stream.
+    """
+
+    def __init__(self) -> None:
+        self._count = 0
+
+    def on_item(self, payload: Any, context: StageContext) -> None:
+        self._count += 1
+        context.emit(payload, size=8.0)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"count": self._count}
+
+    def restore(self, state: Any) -> None:
+        self._count = int(state["count"])
+
+    def result(self) -> int:
+        return self._count
+
+
+class BenchMigrateSink(StreamProcessor):
+    """Timestamps every arrival; the times are the throughput record.
+
+    ``result()`` returns the monotonic arrival times, all taken in the
+    sink worker's process so rates computed within the list are exact
+    even though the clock is not the coordinator's.
+    """
+
+    cost_model = CpuCostModel()
+
+    def __init__(self) -> None:
+        self._times: List[float] = []
+
+    def on_item(self, payload: Any, context: StageContext) -> None:
+        self._times.append(time.monotonic())
+
+    def result(self) -> List[float]:
+        return list(self._times)
 
 
 @dataclass
@@ -443,6 +500,105 @@ def _macro_shard_cases(items: int) -> List[BenchCase]:
     return cases
 
 
+def _macro_migrate(
+    items: int, rate: float
+) -> Tuple[Dict[str, BenchCase], float]:
+    """Run the migrated pipeline once; cases by suffix, plus recovery."""
+    from repro.grid.config import AppConfig, StageConfig, StreamConfig
+    from repro.grid.resources import ResourceRequirement
+    from repro.net.coordinator import NetworkedRuntime
+    from repro.resilience.migration import MigrationPlan
+
+    config = AppConfig(
+        name="bench-migrate",
+        stages=[
+            StageConfig(
+                "relay", "py://repro.bench:BenchMigrateRelay",
+                requirement=ResourceRequirement(placement_hint="worker-0"),
+            ),
+            StageConfig(
+                "sink", "py://repro.bench:BenchMigrateSink",
+                requirement=ResourceRequirement(placement_hint="worker-1"),
+            ),
+        ],
+        streams=[StreamConfig("bench-wire", "relay", "sink")],
+    )
+    # The move lands 40% through the source-paced stream; worker-2 idles
+    # as the spare the relay migrates onto.
+    plan = MigrationPlan(
+        stage="relay", at=0.4 * items / rate, target="worker-2"
+    )
+    runtime = NetworkedRuntime(
+        config,
+        workers=3,
+        adaptation_enabled=False,
+        credit_window=64,
+        verify=False,
+        migrations=[plan],
+    )
+    runtime.bind_source("src", "relay", range(items), rate=rate,
+                        item_size=8.0)
+    result = runtime.run(timeout=300.0)
+
+    times = result.final_value("sink")
+    if len(times) != items:
+        raise RuntimeError(
+            f"macro-migrate: sink saw {len(times)} of {items} items"
+        )
+    if len(runtime.migrations) != 1 or not runtime.migrations[0].planned:
+        raise RuntimeError(
+            f"macro-migrate: expected one planned move, got "
+            f"{runtime.migrations!r}"
+        )
+    report = runtime.migrations[0]
+    pauses = result.metrics.histogram(
+        "migration.relay.pause_seconds"
+    ).samples
+
+    # Pre/post windows: the first and last 30% of arrivals, comfortably
+    # clear of the pause gap around the 40% mark.  Rates are computed
+    # inside the sink's own arrival clock.
+    k = max(2, int(items * 0.3))
+    latencies = result.stage("sink").latencies
+
+    def window(arrivals: List[float], lats: List[float], suffix: str,
+               mode: str) -> BenchCase:
+        span = max(arrivals[-1] - arrivals[0], 1e-9)
+        return _case(
+            f"macro-migrate-{suffix}", "net", mode, len(arrivals),
+            span, lats,
+        )
+
+    pause_pct = {
+        q: percentile(pauses, q, default=0.0) for q in (50.0, 95.0, 99.0)
+    }
+    cases = {
+        "pre": window(times[:k], latencies[:k], "pre", "pre"),
+        "post": window(times[-k:], latencies[-k:], "post", "post"),
+        "pause": BenchCase(
+            name="macro-migrate-pause",
+            runtime="net",
+            mode="migrated",
+            items=items,
+            seconds=report.pause_seconds,
+            items_per_second=items / max(times[-1] - times[0], 1e-9),
+            p50=pause_pct[50.0],
+            p95=pause_pct[95.0],
+            p99=pause_pct[99.0],
+        ),
+    }
+    recovery = (
+        cases["post"].items_per_second / cases["pre"].items_per_second
+    )
+    return cases, recovery
+
+
+def _macro_migrate_cases(items: int, rate: float) -> List[BenchCase]:
+    """``macro-migrate-{pre,post,pause}``: throughput around a live move."""
+    cases, _recovery = _macro_migrate(items, rate)
+    return [cases["pre"], cases["post"], cases["pause"]]
+
+
 # -- harness -------------------------------------------------------------------
 
 
@@ -463,6 +619,9 @@ def run_bench(
     cases += _macro_cases("macro-threaded", "threaded", macro_items, _macro_threaded)
     cases += _macro_cases("macro-net", "net", net_items, _macro_net)
     cases += _macro_shard_cases(1_500 if quick else 6_000)
+    cases += _macro_migrate_cases(
+        1_200 if quick else 4_800, rate=400.0 if quick else 1_200.0
+    )
     registry = metrics if metrics is not None else MetricsRegistry()
     for case in cases:
         registry.gauge(f"bench.{case.name}.items_per_second").set(
@@ -501,6 +660,15 @@ def render_report(report: Dict[str, Any]) -> str:
         if single and batched and single["items_per_second"] > 0:
             speedup = batched["items_per_second"] / single["items_per_second"]
             lines.append(f"{name}: batched/single throughput = {speedup:.2f}x")
+    pre = by_name.get("macro-migrate-pre")
+    post = by_name.get("macro-migrate-post")
+    pause = by_name.get("macro-migrate-pause")
+    if pre and post and pause and pre["items_per_second"] > 0:
+        recovery = post["items_per_second"] / pre["items_per_second"]
+        lines.append(
+            f"macro-migrate: post/pre throughput = {recovery:.2f}x, "
+            f"pause p99 = {pause['p99'] * 1e3:.1f}ms"
+        )
     return "\n".join(lines)
 
 

@@ -97,9 +97,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
     chaos = sub.add_parser(
         "chaos",
-        help="run the fault-tolerance demo: crash a host mid-run, fail over "
-             "live, and print the recovery report",
+        help="run the fault-tolerance demo: crash a host mid-run (or drift "
+             "it and migrate live), and print the recovery report",
     )
+    chaos.add_argument("--scenario", choices=("crash", "migrate"),
+                       default="crash",
+                       help="crash = host failure + failover (default); "
+                            "migrate = resource drift + planned live "
+                            "migration with a bounded pause")
     chaos.add_argument("--items", type=int, default=500,
                        help="items fed to the pipeline (default 500)")
     chaos.add_argument("--fail-at", type=float, default=1.0,
@@ -115,6 +120,12 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--policy", choices=("fail", "skip", "dead-letter"),
                        default="dead-letter",
                        help="error policy for poison items (default dead-letter)")
+    chaos.add_argument("--drift-at", type=float, default=1.0,
+                       help="[migrate] simulated second the edge host starts "
+                            "slowing down (default 1.0)")
+    chaos.add_argument("--drift-factor", type=float, default=0.2,
+                       help="[migrate] final speed as a fraction of nominal "
+                            "(default 0.2)")
 
     netdemo = sub.add_parser(
         "netdemo",
@@ -305,7 +316,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.obs.report import render_report
-    from repro.resilience.demo import run_chaos_demo
+    from repro.resilience.demo import run_chaos_demo, run_migrate_demo
 
     if args.items < 1:
         print("--items must be >= 1", file=sys.stderr)
@@ -313,6 +324,34 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if not 0.0 <= args.loss < 1.0:
         print("--loss must be in [0, 1)", file=sys.stderr)
         return 1
+    if args.scenario == "migrate":
+        if not 0.0 < args.drift_factor < 1.0:
+            print("--drift-factor must be in (0, 1)", file=sys.stderr)
+            return 1
+        result, summary = run_migrate_demo(
+            items=args.items,
+            drift_at=args.drift_at,
+            drift_factor=args.drift_factor,
+            checkpoint_interval=args.checkpoint_interval,
+        )
+        print(render_report(result))
+        print("\nmigration summary")
+        print(f"  items fed        : {summary['items_fed']}")
+        print(f"  sink received    : {summary['sink_items']} "
+              f"({summary['unique_items']} unique, "
+              f"{summary['duplicates']:.0f} duplicates)")
+        print(f"  work stage host  : {summary['work_host']}")
+        print(f"  triggers         : {summary['triggers']:.0f}")
+        print(f"  items replayed   : {summary['replayed']:.0f}")
+        if summary["max_pause"] is not None:
+            print(f"  migration pause  : {summary['max_pause']:.3f}s "
+                  "(drain to item boundary + snapshot + restore)")
+        for when, stage, reason, target in summary["decisions"]:
+            print(f"  t={when:.2f}s {stage!r} re-placed ({reason}) "
+                  f"-> {target!r}")
+        for stage, old, new in summary["moves"]:
+            print(f"  moved {stage!r}: {old} -> {new}")
+        return 0
     fail_at = None if args.fail_at < 0 else args.fail_at
     result, summary = run_chaos_demo(
         items=args.items,

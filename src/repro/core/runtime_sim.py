@@ -308,6 +308,15 @@ class _StageRuntime:
     #: checkpointer defers to keep checkpoints item-consistent.
     in_flight: bool = False
     checkpoint_due: bool = False
+    #: True while a planned migration is draining/switching this stage;
+    #: the recovery watch and failure detector must not treat the
+    #: hand-off as an outage (see docs/migration.md).
+    migrating: bool = False
+    #: Worker generations superseded by a *planned* switch whose pending
+    #: ``get`` may already hold an item: on resume they must give the
+    #: item back (nothing replays on the planned path).  Entries are
+    #: consumed by the superseded worker within the switch's timestep.
+    requeue_generations: set = field(default_factory=set)
 
 
 class SimulatedRuntime:
@@ -392,6 +401,12 @@ class SimulatedRuntime:
         self._stage_done: Dict[str, Event] = {}
         self._result: Optional[RunResult] = None
         self._built = False
+        #: Completed planned moves, in commit order.
+        self.migrations: List[Any] = []
+        #: Per-stage FIFO of pending migration requests; a drainer
+        #: process per stage serializes them (double triggers queue).
+        self._migration_queues: Dict[str, List[Tuple[Any, Optional[str], str]]] = {}
+        self._migration_drainers: set = set()
 
     # -- setup -------------------------------------------------------------
 
@@ -770,9 +785,28 @@ class SimulatedRuntime:
         assert ctx is not None
         resilient = self.resilience is not None
         while True:
+            if resilient and stage.generation != generation:
+                # Superseded before pulling anything (e.g. spawned by a
+                # planned switch that was itself immediately superseded
+                # by a queued second move): exit without touching the
+                # queue, or this stale worker would race the live one.
+                return
+            if resilient and stage.migrating:
+                # A planned migration is draining this stage: pause at
+                # the item boundary (never mid-item) instead of pulling
+                # the next message.  The drainer checkpoints here and
+                # bumps the generation; this worker is then superseded.
+                yield self.env.timeout(self.MIGRATE_DRAIN_POLL)
+                continue
             message = yield stage.queue.get()
             if resilient and stage.generation != generation:
-                return  # superseded by a failover
+                if generation in stage.requeue_generations:
+                    # Superseded by a planned switch with this message
+                    # already dequeued: give it back at the head — the
+                    # planned path has no replay to re-deliver it.
+                    stage.requeue_generations.discard(generation)
+                    stage.queue.requeue(message)
+                return  # superseded by a failover or planned switch
             if resilient and host.failed:
                 # Dequeued but unprocessed: the cursor stays put, so the
                 # replay buffer re-delivers this message after recovery.
@@ -1150,6 +1184,10 @@ class SimulatedRuntime:
             yield self.env.timeout(poll)
             if stage.done:
                 return
+            if stage.migrating:
+                # A planned migration owns the stage's lifecycle until it
+                # commits; its drainer handles a mid-move crash itself.
+                continue
             host_failed = self.network.host(stage.host_name).failed
             if stage.down_since is None:
                 if host_failed:
@@ -1198,45 +1236,7 @@ class SimulatedRuntime:
         stage.queue.purge()
         live_cursors = dict(stage.cursors)
 
-        # Fresh processor from the (possibly new) service instance.
-        processor = self.deployment.instance_of(stage.name).instantiate_processor()
-        if not isinstance(processor, StreamProcessor):
-            raise RuntimeError_(
-                f"stage {stage.name!r} code is not a StreamProcessor "
-                f"(got {type(processor).__name__})"
-            )
-        stage.processor = processor
-        ctx = stage.context
-        assert ctx is not None
-        ctx.pending.clear()
-        ctx._in_setup = True
-        ctx._restoring = True
-        try:
-            processor.setup(ctx)
-        finally:
-            ctx._in_setup = False
-            ctx._restoring = False
-        if ctx.pending:
-            raise RuntimeError_(
-                f"stage {stage.name!r} emitted during setup(); emissions "
-                "are only allowed from on_item()/flush()"
-            )
-
-        checkpoint = self.checkpoints.latest(stage.name)
-        if checkpoint is not None:
-            for pname, value in checkpoint.parameters.items():
-                if pname in stage.parameters:
-                    stage.parameters[pname].set_value(value, self.env.now)
-            if checkpoint.estimator is not None and stage.estimator is not None:
-                stage.estimator.restore(checkpoint.estimator)
-            stage.exceptions.restore(checkpoint.exceptions)
-            if checkpoint.processor_state is not None:
-                processor.restore(checkpoint.processor_state)
-            stage.eos.restore(checkpoint.eos_seen)
-            stage.cursors = dict(checkpoint.cursors)
-        else:
-            stage.eos.restore(0)
-            stage.cursors = {}
+        checkpoint = self._reinstantiate_from_checkpoint(stage)
 
         # Re-deliver everything unacknowledged, per channel, in order.
         # The insertion hook is suspended so replayed entries keep their
@@ -1291,6 +1291,56 @@ class SimulatedRuntime:
             )
         self._spawn_worker(stage)
 
+    def _reinstantiate_from_checkpoint(self, stage: _StageRuntime):
+        """Fresh processor from the stage's (possibly new) service
+        instance, restored from the latest checkpoint.
+
+        Shared by crash failover and planned migration: both replace the
+        processor object wholesale and rebuild its state from the
+        checkpoint store; only the surrounding queue/replay treatment
+        differs.  Returns the checkpoint used (None if none existed).
+        """
+        assert self.checkpoints is not None
+        processor = self.deployment.instance_of(stage.name).instantiate_processor()
+        if not isinstance(processor, StreamProcessor):
+            raise RuntimeError_(
+                f"stage {stage.name!r} code is not a StreamProcessor "
+                f"(got {type(processor).__name__})"
+            )
+        stage.processor = processor
+        ctx = stage.context
+        assert ctx is not None
+        ctx.pending.clear()
+        ctx._in_setup = True
+        ctx._restoring = True
+        try:
+            processor.setup(ctx)
+        finally:
+            ctx._in_setup = False
+            ctx._restoring = False
+        if ctx.pending:
+            raise RuntimeError_(
+                f"stage {stage.name!r} emitted during setup(); emissions "
+                "are only allowed from on_item()/flush()"
+            )
+
+        checkpoint = self.checkpoints.latest(stage.name)
+        if checkpoint is not None:
+            for pname, value in checkpoint.parameters.items():
+                if pname in stage.parameters:
+                    stage.parameters[pname].set_value(value, self.env.now)
+            if checkpoint.estimator is not None and stage.estimator is not None:
+                stage.estimator.restore(checkpoint.estimator)
+            stage.exceptions.restore(checkpoint.exceptions)
+            if checkpoint.processor_state is not None:
+                processor.restore(checkpoint.processor_state)
+            stage.eos.restore(checkpoint.eos_seen)
+            stage.cursors = dict(checkpoint.cursors)
+        else:
+            stage.eos.restore(0)
+            stage.cursors = {}
+        return checkpoint
+
     def _rewire_stage(self, stage: _StageRuntime) -> None:
         """Re-route every edge touching a stage after its host changed."""
         for edge in stage.out_edges:
@@ -1299,6 +1349,189 @@ class SimulatedRuntime:
             for edge in up.out_edges:
                 if edge.dst is stage:
                     self._wire_edge(edge, up)
+
+    # -- planned migration -----------------------------------------------------
+
+    #: Drain poll while waiting for the in-flight item at a migration's
+    #: pause point (simulated seconds).
+    MIGRATE_DRAIN_POLL = 0.01
+
+    def is_migrating(self, stage_name: str) -> bool:
+        """Whether a planned migration of ``stage_name`` is in flight."""
+        stage = self._stages.get(stage_name)
+        return stage is not None and stage.migrating
+
+    def migrating_stages(self) -> frozenset:
+        """Names of stages currently under planned migration."""
+        return frozenset(
+            name for name, stage in self._stages.items() if stage.migrating
+        )
+
+    def migrate_stage(
+        self,
+        stage_name: str,
+        migrator=None,
+        target_host: Optional[str] = None,
+        trigger: str = "manual",
+    ) -> None:
+        """Request a planned, non-destructive move of a healthy stage.
+
+        The request is asynchronous: a per-stage drainer process drains
+        the stage to an item boundary, checkpoints it, asks ``migrator``
+        (a :class:`repro.resilience.migration.Migrator`) to secure the
+        replacement service instance on ``target_host`` (or a
+        Matchmaker-selected host), and switches the channels over.  A
+        second request while one is in flight is queued behind it, never
+        interleaved.  Completed moves append a ``MigrationReport`` to
+        :attr:`migrations`.
+
+        Requires ``resilience=`` (the pause point is a checkpoint).  If
+        the source host dies mid-move, the switch degrades to the
+        ordinary failover restore (checkpoint + replay) and the report
+        carries ``planned=False``.
+        """
+        if self.resilience is None:
+            raise RuntimeError_("migrate_stage requires resilience= on the runtime")
+        if migrator is None:
+            raise RuntimeError_(
+                "migrate_stage requires a migrator= "
+                "(repro.resilience.migration.Migrator)"
+            )
+        stage = self._stages.get(stage_name)
+        if stage is None:
+            raise RuntimeError_(f"unknown stage {stage_name!r}")
+        queue = self._migration_queues.setdefault(stage_name, [])
+        queue.append((migrator, target_host, trigger))
+        if stage_name not in self._migration_drainers:
+            self._migration_drainers.add(stage_name)
+            self.env.process(
+                self._migration_drainer(stage), name=f"migrate:{stage_name}"
+            )
+
+    def _migration_drainer(self, stage: _StageRuntime) -> Generator:
+        queue = self._migration_queues[stage.name]
+        try:
+            while queue:
+                migrator, target_host, trigger = queue.pop(0)
+                yield from self._migrate_once(stage, migrator, target_host, trigger)
+        finally:
+            self._migration_drainers.discard(stage.name)
+
+    def _migrate_once(
+        self,
+        stage: _StageRuntime,
+        migrator,
+        target_host: Optional[str],
+        trigger: str,
+    ) -> Generator:
+        from repro.resilience.migration import MigrationReport
+
+        if stage.done:
+            return
+        requested_at = self.env.now
+        stage.migrating = True
+        try:
+            # Drain to an item boundary: the pause clock starts when the
+            # request lands, because upstream output is still flowing —
+            # only this stage's consumption pauses at the boundary.
+            while stage.in_flight and stage.down_since is None and not stage.done:
+                yield self.env.timeout(self.MIGRATE_DRAIN_POLL)
+            if stage.done:
+                return
+            crashed = (
+                stage.down_since is not None
+                or self.network.host(stage.host_name).failed
+            )
+            if not crashed:
+                # Item-consistent snapshot at the pause point; the
+                # replay buffer trims to it, so nothing needs replaying
+                # on the planned path below.
+                self._checkpoint_stage(stage)
+            old_host, new_host = migrator.place(stage.name, target_host)
+            replayed = duplicates = 0
+            if crashed:
+                # The source host died mid-plan: the queue content is
+                # gone with it, so fall through to the ordinary failover
+                # restore (checkpoint + replay, at-least-once).
+                before_r = self.metrics.counter(
+                    f"recovery.{stage.name}.items_replayed"
+                ).value
+                before_d = self.metrics.counter(
+                    f"recovery.{stage.name}.duplicates"
+                ).value
+                self._restore_stage(stage)
+                replayed = int(
+                    self.metrics.counter(
+                        f"recovery.{stage.name}.items_replayed"
+                    ).value - before_r
+                )
+                duplicates = int(
+                    self.metrics.counter(
+                        f"recovery.{stage.name}.duplicates"
+                    ).value - before_d
+                )
+            else:
+                self._switch_stage(stage)
+            pause = self.env.now - requested_at
+            self.metrics.counter(f"migration.{stage.name}.moves").inc()
+            self.metrics.histogram(f"migration.{stage.name}.pause_seconds").observe(pause)
+            if replayed:
+                self.metrics.counter(
+                    f"migration.{stage.name}.items_replayed"
+                ).inc(replayed)
+            if duplicates:
+                self.metrics.counter(
+                    f"migration.{stage.name}.duplicates"
+                ).inc(duplicates)
+            report = MigrationReport(
+                stage=stage.name,
+                from_host=old_host,
+                to_host=new_host,
+                trigger=trigger,
+                requested_at=requested_at,
+                completed_at=self.env.now,
+                pause_seconds=pause,
+                items_replayed=replayed,
+                duplicates=duplicates,
+                planned=not crashed,
+            )
+            self.migrations.append(report)
+            if self._result is not None:
+                self._result.events.log(
+                    self.env.now,
+                    "stage-migrated",
+                    stage=stage.name,
+                    from_host=old_host,
+                    to_host=new_host,
+                    trigger=trigger,
+                    pause=pause,
+                    planned=not crashed,
+                )
+        finally:
+            stage.migrating = False
+
+    def _switch_stage(self, stage: _StageRuntime) -> None:
+        """The loss-free channel switch-over of a planned move.
+
+        Unlike :meth:`_restore_stage`, the queue's backlog survives in
+        place (nothing was lost, so nothing is purged or replayed): the
+        superseded worker's pending ``get`` is discarded, the fresh
+        processor restores from the checkpoint just taken at the pause
+        point, and a new worker generation resumes consuming the same
+        queue — zero loss, zero duplicates.
+        """
+        stage.requeue_generations.add(stage.generation)
+        stage.generation += 1
+        new_host = self.deployment.host_of(stage.name)
+        if new_host != stage.host_name:
+            stage.host_name = new_host
+            self._rewire_stage(stage)
+        stage.queue.discard_getters()
+        self._reinstantiate_from_checkpoint(stage)
+        stage.queue.admit_waiting()
+        stage.in_flight = False
+        stage.checkpoint_due = False
+        self._spawn_worker(stage)
 
     def _quarantine(self, stage: _StageRuntime, payload: Any, exc: BaseException, reason: str) -> None:
         assert self.resilience is not None and self.dead_letters is not None

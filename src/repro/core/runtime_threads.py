@@ -198,6 +198,10 @@ class _ThreadStageContext(StageContext):
         self._stage = stage
         self._runtime = runtime
         self._in_setup = False
+        #: True while a replacement processor re-runs setup() during a
+        #: live migration: re-declaring an existing parameter then binds
+        #: to the live one (its adapted value survives the move).
+        self._restoring = False
         self.pending: List[Tuple[Any, float, Optional[str]]] = []
 
     def specify_parameter(
@@ -214,6 +218,8 @@ class _ThreadStageContext(StageContext):
                 f"{self._stage.name}: specify_parameter must be called in setup()"
             )
         if name in self._stage.parameters:
+            if self._restoring:
+                return self._stage.parameters[name]
             raise ProcessorError(f"{self._stage.name}: parameter {name!r} declared twice")
         param = AdjustmentParameter(name, initial, minimum, maximum, increment, direction)
         param.set_value(initial, self.now)
@@ -423,6 +429,12 @@ class ThreadedRuntime:
         self._groups: Dict[str, _GroupState] = {}
         self._start_time = 0.0
         self._started = False
+        #: Completed planned moves (MigrationReport), in commit order.
+        self.migrations: List[Any] = []
+        #: Per-stage lock serializing migrate_stage() calls: a second
+        #: request while one is in flight queues at the lock, never
+        #: interleaves.
+        self._migration_locks: Dict[str, threading.Lock] = {}
 
     def elapsed(self) -> float:
         """Wall-clock seconds since :meth:`run` started."""
@@ -1279,6 +1291,82 @@ class ThreadedRuntime:
         )
         self.checkpoints.save(checkpoint)
         self.metrics.counter(f"recovery.{stage.name}.checkpoints").inc()
+
+    def migrate_stage(self, stage_name: str, factory: Optional[Callable[[], StreamProcessor]] = None):
+        """Swap a running stage's processor live, preserving its state.
+
+        The threaded runtime has no placement fabric, so its "move" is
+        the processor half of a migration: snapshot the live processor
+        at an item boundary (under ``state_lock``, exactly like the
+        checkpointer), instantiate a replacement (``factory`` or the
+        same class), re-run ``setup()`` with parameter re-declaration
+        bound to the live adjustment parameters, ``restore()`` the
+        snapshot into it, and swap — while the worker thread is parked
+        at the lock.  Concurrent calls for the same stage queue at a
+        per-stage lock; no two moves interleave.
+
+        Returns the :class:`~repro.resilience.migration.MigrationReport`
+        (hosts are ``"local"``; the pause is wall-clock scaled seconds).
+        """
+        from repro.resilience.migration import MigrationReport
+
+        stage = self._stages.get(stage_name)
+        if stage is None:
+            raise ThreadedRuntimeError(f"unknown stage {stage_name!r}")
+        lock = self._migration_locks.setdefault(stage_name, threading.Lock())
+        with lock:
+            requested_at = self.elapsed()
+            t0 = time.monotonic()
+            with stage.state_lock:
+                if stage.done.is_set():
+                    raise ThreadedRuntimeError(
+                        f"stage {stage_name!r} already finished; nothing to migrate"
+                    )
+                state = stage.processor.snapshot()
+                replacement = (factory or type(stage.processor))()
+                if not isinstance(replacement, StreamProcessor):
+                    raise ThreadedRuntimeError(
+                        f"stage {stage_name!r}: replacement is not a "
+                        f"StreamProcessor (got {type(replacement).__name__})"
+                    )
+                ctx = stage.context
+                assert ctx is not None
+                pending_before = list(ctx.pending)
+                ctx.pending.clear()
+                ctx._in_setup = True
+                ctx._restoring = True
+                try:
+                    replacement.setup(ctx)
+                finally:
+                    ctx._in_setup = False
+                    ctx._restoring = False
+                if ctx.pending:
+                    raise ThreadedRuntimeError(
+                        f"stage {stage_name!r}: replacement emitted during "
+                        "setup(); emissions are only allowed from "
+                        "on_item()/flush()"
+                    )
+                ctx.pending.extend(pending_before)
+                if state is not None:
+                    replacement.restore(state)
+                stage.processor = replacement
+            pause = (time.monotonic() - t0) / self.time_scale
+            self.metrics.counter(f"migration.{stage_name}.moves").inc()
+            self.metrics.histogram(f"migration.{stage_name}.pause_seconds").observe(pause)
+            report = MigrationReport(
+                stage=stage_name,
+                from_host="local",
+                to_host="local",
+                trigger="manual",
+                requested_at=requested_at,
+                completed_at=self.elapsed(),
+                pause_seconds=pause,
+                items_replayed=0,
+                duplicates=0,
+                planned=True,
+            )
+            self.migrations.append(report)
+            return report
 
     def _monitor(self, stage: _ThreadStage, stop: threading.Event) -> None:
         assert stage.estimator is not None

@@ -28,7 +28,7 @@ from repro.grid.deployer import Deployer, Deployment, DeploymentError, Placement
 from repro.simnet.engine import Environment
 from repro.simnet.topology import Network
 
-__all__ = ["FaultInjector", "FaultPlan", "Redeployer"]
+__all__ = ["DriftPlan", "FaultInjector", "FaultPlan", "Redeployer"]
 
 
 @dataclass(frozen=True)
@@ -46,6 +46,49 @@ class FaultPlan:
             raise ValueError(
                 f"recover_at {self.recover_at} must be after fail_at {self.fail_at}"
             )
+
+
+@dataclass(frozen=True)
+class DriftPlan:
+    """A gradual divergence from deployment-time assumptions.
+
+    Unlike :class:`FaultPlan`'s crash-stop failures, drift degrades a
+    resource *slowly* — a congested WAN link losing bandwidth, a node
+    picking up competing load — which is exactly the signal the
+    migration control loop (:mod:`repro.resilience.migration`) watches
+    for.  ``kind`` selects the knob:
+
+    * ``"link-decay"`` — ``target`` is a link name (``"src->dst"``);
+      its bandwidth ramps down to ``factor`` × the starting value.
+    * ``"host-slowdown"`` — ``target`` is a host name; its
+      ``speed_factor`` ramps down to ``factor`` × the starting value.
+
+    The ramp runs over ``duration`` seconds in ``steps`` equal stages
+    starting at ``start_at``.
+    """
+
+    kind: str
+    target: str
+    start_at: float
+    duration: float
+    factor: float
+    steps: int = 10
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("link-decay", "host-slowdown"):
+            raise ValueError(
+                f"kind must be 'link-decay' or 'host-slowdown', got {self.kind!r}"
+            )
+        if self.start_at < 0:
+            raise ValueError(f"start_at must be >= 0, got {self.start_at}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be > 0, got {self.duration}")
+        if not 0 < self.factor < 1:
+            raise ValueError(
+                f"factor must be in (0, 1) — drift degrades — got {self.factor}"
+            )
+        if self.steps < 1:
+            raise ValueError(f"steps must be >= 1, got {self.steps}")
 
 
 class FaultInjector:
@@ -84,6 +127,40 @@ class FaultInjector:
             yield self.env.timeout(plan.recover_at - plan.fail_at)
             self.recover_now(plan.host)
 
+    def schedule_drift(self, plan: DriftPlan) -> None:
+        """Arm one drift plan (validates the target exists now)."""
+        if plan.kind == "host-slowdown":
+            self.network.host(plan.target)
+        else:
+            self._link(plan.target)
+        self.env.process(self._drift(plan), name=f"drift:{plan.target}")
+
+    def _link(self, name: str):
+        for _src, _dst, link in self.network.edges():
+            if link.name == name:
+                return link
+        raise ValueError(f"unknown link {name!r}")
+
+    def _drift(self, plan: DriftPlan) -> Generator:
+        delay = plan.start_at - self.env.now
+        if delay > 0:
+            yield self.env.timeout(delay)
+        if plan.kind == "host-slowdown":
+            host = self.network.host(plan.target)
+            baseline = host.speed_factor
+        else:
+            link = self._link(plan.target)
+            baseline = link.bandwidth
+        step = plan.duration / plan.steps
+        for i in range(1, plan.steps + 1):
+            yield self.env.timeout(step)
+            value = baseline * (1.0 + (plan.factor - 1.0) * i / plan.steps)
+            if plan.kind == "host-slowdown":
+                host.speed_factor = value
+            else:
+                link.set_bandwidth(value)
+            self.events.append((self.env.now, plan.target, f"drift:{value:.4g}"))
+
 
 @dataclass
 class RedeploymentReport:
@@ -92,6 +169,9 @@ class RedeploymentReport:
     failed_host: str
     moved_stages: List[str] = field(default_factory=list)
     new_hosts: dict = field(default_factory=dict)
+    #: Stages on the failed host deliberately left alone (e.g. under a
+    #: planned migration that owns their re-placement).
+    skipped_stages: List[str] = field(default_factory=list)
 
 
 class Redeployer:
@@ -100,7 +180,12 @@ class Redeployer:
     def __init__(self, deployer: Deployer) -> None:
         self.deployer = deployer
 
-    def redeploy(self, deployment: Deployment, failed_host: str) -> RedeploymentReport:
+    def redeploy(
+        self,
+        deployment: Deployment,
+        failed_host: str,
+        exclude_stages: Optional[set] = None,
+    ) -> RedeploymentReport:
         """Re-place every stage of ``deployment`` on ``failed_host``.
 
         The replacement instances are created, customized from the
@@ -108,12 +193,21 @@ class Redeployer:
         (deregistering them).  Placement hints pinning a stage to the
         failed host are ignored for the replacement (the pin is
         unsatisfiable); ``near:`` hints re-resolve normally.
+
+        Stages named in ``exclude_stages`` are skipped (and recorded in
+        the report's ``skipped_stages``): a stage mid-way through a
+        planned migration already has a re-placement in flight, and a
+        concurrent redeploy would race it.
         """
         report = RedeploymentReport(failed_host=failed_host)
-        affected = [
-            name for name, p in deployment.placements.items()
-            if p.host_name == failed_host
-        ]
+        affected = []
+        for name, p in deployment.placements.items():
+            if p.host_name != failed_host:
+                continue
+            if exclude_stages and name in exclude_stages:
+                report.skipped_stages.append(name)
+                continue
+            affected.append(name)
         if not affected:
             return report
         matchmaker = self.deployer.matchmaker

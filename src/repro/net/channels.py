@@ -146,6 +146,17 @@ class InChannel:
     def attached(self) -> bool:
         return self._writer is not None
 
+    def detach(self) -> None:
+        """Forget a sender that closed without EOS (live migration).
+
+        The migrated stage's replacement dials in next; ``attach`` then
+        grants it a fresh window.  Any items the old sender had in
+        flight were drained before its FIN (the export fence), so the
+        re-grant does not double the effective bound for long.
+        """
+        self._writer = None
+        self._consumed = 0
+
     def _write(self, data: bytes) -> bool:
         """Write to the sender if its socket is still up (it may legally
         disappear once it has shipped its EOS)."""
@@ -227,6 +238,18 @@ class OutChannel:
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._reader_task: Optional[asyncio.Task] = None
+        #: Items shipped so far (the receiver compares against its own
+        #: receive count during a migration's drain barrier).
+        self.items_sent = 0
+        #: True once the EOS sentinel went out on this channel.
+        self.eos_sent = False
+        #: Cleared by pause(): senders park *before* shipping the next
+        #: item, so a pause lands exactly at an item boundary.
+        self._resume = asyncio.Event()
+        self._resume.set()
+        #: Held for the duration of each ship; pause() acquires it once
+        #: to wait out an in-flight send.
+        self._send_gate = asyncio.Lock()
 
     @property
     def window(self) -> int:
@@ -310,15 +333,37 @@ class OutChannel:
                 self._peak = in_flight
                 self.in_flight_peak.set(float(in_flight))
 
+    async def _ship(self, frame_type: FrameType, body: bytes, items: int) -> None:
+        """Frame + credit + pause discipline shared by every send path.
+
+        Waits out a pause *before* taking the gate (so ``pause()`` never
+        deadlocks behind a parked sender), then re-checks under the gate
+        (so no item slips onto the wire after ``pause()`` returned).
+        """
+        while True:
+            await self._resume.wait()
+            async with self._send_gate:
+                if not self._resume.is_set():
+                    continue
+                if self._writer is None:
+                    raise ChannelError(f"channel {self.stream!r} is not connected")
+                if items:
+                    await self._acquire_credit(items)
+                nbytes = await send_frame(self._writer, frame_type, body)
+                self.frames.inc()
+                self.bytes.inc(nbytes)
+                self.items_sent += items
+                return
+
     async def send(self, payload: Any, size: float) -> None:
-        """Ship one item; blocks while the credit window is exhausted."""
-        if self._writer is None:
-            raise ChannelError(f"channel {self.stream!r} is not connected")
-        body = encode_payload(payload, size)
-        await self._acquire_credit()
-        nbytes = await send_frame(self._writer, FrameType.DATA, body)
-        self.frames.inc()
-        self.bytes.inc(nbytes)
+        """Ship one item; blocks while the credit window is exhausted.
+
+        No eager connected-check here: during a migration re-dial the
+        writer is transiently ``None`` while ``_resume`` is cleared, and
+        a send racing that window must park in :meth:`_ship` — which
+        re-checks the writer under the gate — instead of failing.
+        """
+        await self._ship(FrameType.DATA, encode_payload(payload, size), 1)
 
     async def send_batch(self, items: "list[tuple[Any, float]]") -> None:
         """Ship several ``(payload, declared size)`` items batched.
@@ -328,8 +373,6 @@ class OutChannel:
         the receiver sized its buffering to the window.  Each chunk costs
         one frame and one drain instead of one per item.
         """
-        if self._writer is None:
-            raise ChannelError(f"channel {self.stream!r} is not connected")
         if not items:
             return
         start = 0
@@ -338,23 +381,50 @@ class OutChannel:
             chunk = items[start:start + limit]
             start += len(chunk)
             if len(chunk) == 1:
-                await self.send(chunk[0][0], chunk[0][1])
-                continue
-            body = encode_payload_batch(chunk)
-            await self._acquire_credit(len(chunk))
-            nbytes = await send_frame(self._writer, FrameType.DATA, body)
-            self.frames.inc()
-            self.bytes.inc(nbytes)
+                body = encode_payload(chunk[0][0], chunk[0][1])
+            else:
+                body = encode_payload_batch(chunk)
+            await self._ship(FrameType.DATA, body, len(chunk))
 
     async def send_eos(self) -> None:
         """Ship the end-of-stream sentinel (EOS frames consume no credit)."""
-        if self._writer is None:
-            raise ChannelError(f"channel {self.stream!r} is not connected")
-        nbytes = await send_frame(
-            self._writer, FrameType.EOS, encode_json({"stream": self.stream})
+        await self._ship(
+            FrameType.EOS, encode_json({"stream": self.stream}), 0
         )
-        self.frames.inc()
-        self.bytes.inc(nbytes)
+        self.eos_sent = True
+
+    async def pause(self) -> None:
+        """Park the channel at an item boundary (live migration).
+
+        After this returns, no further DATA/EOS leaves the channel until
+        :meth:`resume`, the last in-flight send has fully completed, and
+        :attr:`items_sent` is stable — the receiver can be drained
+        against it.
+        """
+        self._resume.clear()
+        async with self._send_gate:
+            pass
+
+    def resume(self) -> None:
+        """Lift a :meth:`pause`; parked senders continue."""
+        self._resume.set()
+
+    async def redial(self, host: str, port: int, timeout: float = 10.0) -> None:
+        """Re-point the channel at a new receiver and reconnect.
+
+        Used by live migration after the destination stage moved: the
+        old socket is torn down with the ordinary FIN/drain close (the
+        old worker sees EOF, not an error), then the channel dials the
+        stage's new worker and awaits its fresh credit grant.  Call
+        while paused; :meth:`resume` afterwards releases the senders.
+        """
+        await self.close()
+        self.host = host
+        self.port = port
+        self._broken = False
+        self._window = 0
+        self._credits = 0
+        await self.connect(timeout)
 
     async def close(self, linger: float = 5.0) -> None:
         """Tear down gracefully: FIN, drain the backchannel, then close.

@@ -72,6 +72,7 @@ from repro.net.protocol import (
 )
 from repro.net.worker import ANNOUNCE_PREFIX, default_repository
 from repro.obs.registry import MetricsRegistry
+from repro.resilience.migration import MigrationPlan, MigrationReport
 from repro.simnet.engine import Environment
 from repro.simnet.topology import Network
 from repro.simnet.trace import TimeSeries
@@ -131,6 +132,7 @@ class NetworkedRuntime:
         metrics: Optional[MetricsRegistry] = None,
         repository: Optional[CodeRepository] = None,
         verify: bool = True,
+        migrations: Optional[Sequence[MigrationPlan]] = None,
     ) -> None:
         """``verify=True`` (the default) runs the static verifier
         (:mod:`repro.analysis.verifier`) over ``config`` and refuses
@@ -144,7 +146,18 @@ class NetworkedRuntime:
         feeders do the same, and credit is still charged per item so
         the flow-control invariant is unchanged.  Stage properties
         ``batch-max-items`` / ``batch-max-delay`` override it per
-        stage."""
+        stage.
+
+        ``migrations`` schedules planned live moves
+        (:class:`~repro.resilience.migration.MigrationPlan`): each
+        stage is drained to an item boundary, its state handed off over
+        MIGRATE/HANDOFF frames, and its channels re-dialed to the new
+        worker mid-run (see docs/migration.md).  Completed moves land
+        in :attr:`migrations` as
+        :class:`~repro.resilience.migration.MigrationReport` records.
+        The verify gate treats every planned stage as migration-enabled,
+        so a class that cannot hand its state off (GA230) or a sharded
+        target (GA231) is rejected before any worker spawns."""
         if time_scale <= 0:
             raise NetworkedRuntimeError(f"time_scale must be > 0, got {time_scale}")
         if credit_window < 1:
@@ -153,6 +166,12 @@ class NetworkedRuntime:
             )
         if isinstance(workers, int) and workers < 1:
             raise NetworkedRuntimeError(f"need at least 1 worker, got {workers}")
+        plans = list(migrations) if migrations else []
+        for plan in plans:
+            if not isinstance(plan, MigrationPlan):
+                raise NetworkedRuntimeError(
+                    f"migrations must be MigrationPlan instances, got {plan!r}"
+                )
         if verify:
             from repro.analysis.verifier import verify_config
 
@@ -161,6 +180,7 @@ class NetworkedRuntime:
                 repository=(
                     repository if repository is not None else default_repository()
                 ),
+                migrating=[plan.stage for plan in plans],
             )
             if not report.ok:
                 raise NetworkedRuntimeError(
@@ -190,6 +210,24 @@ class NetworkedRuntime:
         self._started = False
         #: stage name -> worker name, decided by the matchmaker at run().
         self.placement: Dict[str, str] = {}
+        stage_names = {s.name for s in self.config.stages}
+        for plan in plans:
+            if plan.stage in self._groups or SHARD_SEPARATOR in plan.stage:
+                raise NetworkedRuntimeError(
+                    f"cannot migrate sharded stage {plan.stage!r}"
+                )
+            if plan.stage not in stage_names:
+                raise NetworkedRuntimeError(
+                    f"migration plan names unknown stage {plan.stage!r}"
+                )
+        #: Scheduled plans, executed in ``at`` order, one at a time (a
+        #: plan firing while another runs waits its turn).
+        self._migration_plans = sorted(plans, key=lambda p: p.at)
+        #: Completed moves, in execution order.
+        self.migrations: List[MigrationReport] = []
+        #: Live source-feeder channels by stream name, so a migration
+        #: can pause/redial the coordinator's own data plane.
+        self._feed_channels: Dict[str, OutChannel] = {}
 
     def bind_source(
         self,
@@ -345,14 +383,33 @@ class NetworkedRuntime:
                 await self._expect_ready(handle, FrameType.SYNC, "synced")
             for handle in handles:
                 await self._expect_ready(handle, FrameType.START, "started")
+            run_started = time.monotonic()
             feeders = [
                 asyncio.create_task(self._feed_source(binding, by_name))
                 for binding in self._sources
             ]
-            results = await asyncio.gather(
-                *(self._collect_result(h) for h in handles)
-            )
-            await asyncio.gather(*feeders)
+            if self._migration_plans:
+                # Control RPCs and RESULT collection share each worker's
+                # single control connection, so migrations run to
+                # completion (and the feeders drain) before any reader
+                # starts waiting on RESULT frames; workers hold results
+                # until the "collect" broadcast (HELLO hold_results).
+                await self._run_migrations(by_name, run_started)
+                await asyncio.gather(*feeders)
+                for handle in handles:
+                    assert handle.writer is not None
+                    await send_frame(
+                        handle.writer, FrameType.MIGRATE,
+                        encode_json({"action": "collect"}),
+                    )
+                results = await asyncio.gather(
+                    *(self._collect_result(h) for h in handles)
+                )
+            else:
+                results = await asyncio.gather(
+                    *(self._collect_result(h) for h in handles)
+                )
+                await asyncio.gather(*feeders)
         finally:
             for handle in handles:
                 await self._shutdown(handle)
@@ -398,6 +455,7 @@ class NetworkedRuntime:
                 "time_scale": self.time_scale,
                 "credit_window": self.credit_window,
                 "adaptation": self.adaptation_enabled,
+                "hold_results": bool(self._migration_plans),
                 "policy": asdict(self.policy),
                 "batch": (
                     {
@@ -443,26 +501,7 @@ class NetworkedRuntime:
         extractor, partition function), which the sending worker uses to
         collapse the per-replica edges into one key-partitioned route.
         """
-        stage_props = {
-            s.name: {str(k): str(v) for k, v in s.properties.items()}
-            for s in self.config.stages
-        }
-
-        def shard_of(dst: str) -> Optional[Dict[str, Any]]:
-            props = stage_props[dst]
-            group = props.get(SHARD_GROUP_PROPERTY)
-            if group is None:
-                return None
-            slots = int(props[SHARD_COUNT_PROPERTY])
-            return {
-                "group": group,
-                "slot": int(props[SHARD_INDEX_PROPERTY]),
-                "slots": slots,
-                "active": int(props.get(SHARD_ACTIVE_PROPERTY, slots)),
-                "by": props.get(SHARD_BY_PROPERTY, "payload"),
-                "partitioner": props.get(PARTITIONER_PROPERTY, "hash"),
-                "boundaries": props.get(BOUNDARIES_PROPERTY),
-            }
+        shard_of = self._shard_descriptor
 
         for stage in self.config.stages:
             handle = by_name[self.placement[stage.name]]
@@ -532,6 +571,26 @@ class NetworkedRuntime:
                     }),
                 )
 
+    def _shard_descriptor(self, dst: str) -> Optional[Dict[str, Any]]:
+        """The CHANNEL-frame shard descriptor for edges into ``dst``."""
+        props = {
+            str(k): str(v)
+            for k, v in self.config.stage(dst).properties.items()
+        }
+        group = props.get(SHARD_GROUP_PROPERTY)
+        if group is None:
+            return None
+        slots = int(props[SHARD_COUNT_PROPERTY])
+        return {
+            "group": group,
+            "slot": int(props[SHARD_INDEX_PROPERTY]),
+            "slots": slots,
+            "active": int(props.get(SHARD_ACTIVE_PROPERTY, slots)),
+            "by": props.get(SHARD_BY_PROPERTY, "payload"),
+            "partitioner": props.get(PARTITIONER_PROPERTY, "hash"),
+            "boundaries": props.get(BOUNDARIES_PROPERTY),
+        }
+
     def _source_channels(self, binding: _SourceBinding) -> List[Tuple[str, str]]:
         """The (stream name, target stage) pairs one source binding feeds.
 
@@ -596,6 +655,298 @@ class NetworkedRuntime:
         handle.writer = None
         handle.reader = None
 
+    # -- live migration (docs/migration.md) ------------------------------------
+
+    async def _run_migrations(
+        self, by_name: Dict[str, _WorkerHandle], run_started: float
+    ) -> None:
+        """Execute the scheduled plans, one at a time, in ``at`` order."""
+        for plan in self._migration_plans:
+            delay = plan.at * self.time_scale - (time.monotonic() - run_started)
+            if delay > 0:
+                await asyncio.sleep(delay)
+            await self._migrate_stage(plan, by_name, run_started)
+
+    async def _migrate_rpc(
+        self, handle: _WorkerHandle, body: Dict[str, Any], phase: str
+    ) -> Dict[str, Any]:
+        """One MIGRATE request/response exchange with a worker."""
+        assert handle.writer is not None
+        await send_frame(handle.writer, FrameType.MIGRATE, encode_json(body))
+        reply = await self._next_frame(handle)
+        if reply.type is not FrameType.MIGRATE:
+            raise NetworkedRuntimeError(
+                f"worker {handle.name}: expected MIGRATE/{phase}, "
+                f"got {reply.type.name}"
+            )
+        decoded = reply.json()
+        if decoded.get("phase") != phase:
+            raise NetworkedRuntimeError(
+                f"worker {handle.name}: expected MIGRATE phase {phase!r}, "
+                f"got {decoded.get('phase')!r}"
+            )
+        return decoded
+
+    async def _migrate_stage(
+        self,
+        plan: MigrationPlan,
+        by_name: Dict[str, _WorkerHandle],
+        run_started: float,
+    ) -> None:
+        """Move one live stage to another worker with a bounded pause.
+
+        Six phases over the control plane (the worker side is
+        :meth:`~repro.net.worker.Worker._handle_migrate`):
+
+        1. *pause* — every sender feeding the stage (upstream workers
+           and the coordinator's own source feeders) parks at an item
+           boundary and reports how many items it shipped;
+        2. *expect* — EOF-without-EOS on the re-routed streams is
+           declared legal, on the old worker (inbound) and the
+           downstream workers (outbound);
+        3. *export* — the old worker drains the stage to the reported
+           item counts, fences it, and hands its state off (HANDOFF);
+        4. *adopt* — the target worker rebuilds the stage from the
+           handoff and opens its outbound channels;
+        5. *resume* — every paused sender re-dials the new worker and
+           continues exactly where it stopped (credit windows reset on
+           re-attach, so no item is lost or duplicated);
+        6. *collect* happens once, after all plans and feeders finish
+           (see :meth:`_run_async`).
+
+        If the stage finishes while its inputs are pausing (EOS was
+        already in flight), the export phase reports ``finished`` and
+        the move is abandoned: senders resume in place and the ordinary
+        completion path reports the stage where it ran.
+        """
+        stage_name = plan.stage
+        source_name = self.placement[stage_name]
+        source = by_name[source_name]
+        in_streams = [s for s in self.config.streams if s.dst == stage_name]
+        out_streams = [s for s in self.config.streams if s.src == stage_name]
+        for stream in in_streams + out_streams:
+            other = stream.src if stream.dst == stage_name else stream.dst
+            if self.placement[other] == source_name:
+                raise NetworkedRuntimeError(
+                    f"cannot migrate {stage_name!r}: stream {stream.name!r} "
+                    f"is worker-local (colocated with {other!r})"
+                )
+        feed_streams = [
+            name
+            for binding in self._sources
+            for name, target in self._source_channels(binding)
+            if target == stage_name
+        ]
+        target_name = plan.target or self._select_target(stage_name, by_name)
+        if target_name not in by_name:
+            raise NetworkedRuntimeError(
+                f"migration target {target_name!r} is not a worker"
+            )
+        if target_name == source_name:
+            raise NetworkedRuntimeError(
+                f"stage {stage_name!r} is already on {source_name!r}"
+            )
+        target = by_name[target_name]
+        t0 = time.monotonic()
+
+        # Phase 1: pause every sender at an item boundary.
+        sent: Dict[str, int] = {}
+        upstream_by_worker: Dict[str, List[str]] = {}
+        for stream in in_streams:
+            upstream_by_worker.setdefault(
+                self.placement[stream.src], []
+            ).append(stream.name)
+        for worker_name, streams in upstream_by_worker.items():
+            reply = await self._migrate_rpc(
+                by_name[worker_name],
+                {"action": "pause", "streams": streams},
+                "paused",
+            )
+            for name, count in reply["sent"].items():
+                sent[str(name)] = int(count)
+        for name in feed_streams:
+            channel = self._feed_channels.get(name)
+            while channel is None:
+                # The feeder task registers its channels right after
+                # connecting; a plan firing at t≈0 can get here first.
+                await asyncio.sleep(0.01)
+                channel = self._feed_channels.get(name)
+            await channel.pause()
+            sent[name] = channel.items_sent
+
+        # Phase 2: declare the re-routed streams.
+        expect_in = [s.name for s in in_streams] + feed_streams
+        if expect_in:
+            await self._migrate_rpc(
+                source, {"action": "expect", "streams": expect_in}, "expecting"
+            )
+        downstream_by_worker: Dict[str, List[str]] = {}
+        for stream in out_streams:
+            downstream_by_worker.setdefault(
+                self.placement[stream.dst], []
+            ).append(stream.name)
+        for worker_name, streams in downstream_by_worker.items():
+            await self._migrate_rpc(
+                by_name[worker_name],
+                {"action": "expect", "streams": streams},
+                "expecting",
+            )
+
+        # Phase 3: drain, fence, and export the stage's state.
+        assert source.writer is not None
+        await send_frame(
+            source.writer, FrameType.MIGRATE,
+            encode_json({
+                "action": "export", "stage": stage_name, "expected": sent,
+            }),
+        )
+        reply = await self._next_frame(source)
+        if (
+            reply.type is FrameType.MIGRATE
+            and reply.json().get("phase") == "finished"
+        ):
+            # The stage ran to completion before the fence could land:
+            # abandon the move and let everything finish in place.
+            for worker_name, streams in upstream_by_worker.items():
+                await self._migrate_rpc(
+                    by_name[worker_name],
+                    {
+                        "action": "resume",
+                        "streams": {
+                            name: {"host": source.host, "port": source.port}
+                            for name in streams
+                        },
+                    },
+                    "resumed",
+                )
+            for name in feed_streams:
+                channel = self._feed_channels.get(name)
+                if channel is not None:
+                    channel.resume()
+            return
+        if reply.type is not FrameType.HANDOFF:
+            raise NetworkedRuntimeError(
+                f"worker {source.name}: expected HANDOFF, "
+                f"got {reply.type.name}"
+            )
+        handoff = reply.json()
+
+        # Phase 4: rebuild the stage on the target worker.
+        stage_cfg = self.config.stage(stage_name)
+        await self._migrate_rpc(
+            target,
+            {
+                "action": "adopt",
+                "register": {
+                    "stage": stage_name,
+                    "code": stage_cfg.code_url,
+                    "properties": stage_cfg.properties,
+                },
+                "state": handoff.get("state"),
+                "parameters": handoff.get("parameters", {}),
+                "eos_seen": handoff.get("eos_seen", 0),
+                "in": [
+                    {"stream": name, "window": self.credit_window}
+                    for name in expect_in
+                ],
+                "out": [
+                    {
+                        "stream": s.name,
+                        "dst": s.dst,
+                        "peer_host": by_name[self.placement[s.dst]].host,
+                        "peer_port": by_name[self.placement[s.dst]].port,
+                        "shard": self._shard_descriptor(s.dst),
+                    }
+                    for s in out_streams
+                ],
+            },
+            "adopted",
+        )
+
+        # Phase 5: re-dial every paused sender at the new worker.
+        for worker_name, streams in upstream_by_worker.items():
+            await self._migrate_rpc(
+                by_name[worker_name],
+                {
+                    "action": "resume",
+                    "streams": {
+                        name: {"host": target.host, "port": target.port}
+                        for name in streams
+                    },
+                },
+                "resumed",
+            )
+        for name in feed_streams:
+            channel = self._feed_channels.get(name)
+            if channel is not None:
+                if not channel.eos_sent:
+                    await channel.redial(target.host, target.port)
+                channel.resume()
+
+        pause_seconds = (time.monotonic() - t0) / self.time_scale
+        self.placement[stage_name] = target_name
+        if stage_name in source.stages:
+            source.stages.remove(stage_name)
+        target.stages.append(stage_name)
+        self.metrics.counter(f"migration.{stage_name}.moves").inc()
+        self.metrics.histogram(
+            f"migration.{stage_name}.pause_seconds"
+        ).observe(pause_seconds)
+        requested_at = (t0 - run_started) / self.time_scale
+        self.migrations.append(MigrationReport(
+            stage=stage_name,
+            from_host=source_name,
+            to_host=target_name,
+            trigger="planned",
+            requested_at=requested_at,
+            completed_at=requested_at + pause_seconds,
+            pause_seconds=pause_seconds,
+            items_replayed=0,
+            duplicates=0,
+            planned=True,
+        ))
+
+    def _select_target(
+        self, stage_name: str, by_name: Dict[str, _WorkerHandle]
+    ) -> str:
+        """Matchmake a destination worker, mirroring :meth:`_place`.
+
+        The fleet is re-modeled as a full mesh, every worker already
+        hosting a stage is preferred-against first (soft exclusion), and
+        the current worker is always excluded; a placement hint pinning
+        the stage is relaxed, as in
+        :meth:`repro.resilience.migration.Migrator.select_target`.
+        """
+        from dataclasses import replace as dc_replace
+
+        current = self.placement[stage_name]
+        requirement = self.config.stage(stage_name).requirement
+        if requirement.placement_hint is not None:
+            requirement = dc_replace(requirement, placement_hint=None)
+        names = list(by_name)
+        env = Environment()
+        network = Network(env)
+        for name in names:
+            network.create_host(name, cores=4)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                network.connect(a, b, bandwidth=_MESH_BANDWIDTH)
+        registry = ServiceRegistry()
+        registry.register_network(network)
+        matchmaker = Matchmaker(registry, allow_colocation=True)
+        occupied = {w for s, w in self.placement.items() if s != stage_name}
+        try:
+            return matchmaker.match_one(
+                requirement, exclude={current} | occupied
+            )
+        except Exception:
+            try:
+                return matchmaker.match_one(requirement, exclude={current})
+            except Exception as exc:
+                raise NetworkedRuntimeError(
+                    f"no migration target for stage {stage_name!r}: {exc}"
+                ) from exc
+
     # -- data plane ------------------------------------------------------------
 
     async def _feed_source(
@@ -622,6 +973,9 @@ class NetworkedRuntime:
             )
             await channel.connect()
             channels.append(channel)
+            # Visible to _migrate_stage, which pauses/re-dials the
+            # feeder's channels when their target stage moves.
+            self._feed_channels[stream_name] = channel
         counters = (
             [
                 self.metrics.counter(f"shard.{member}.items")
@@ -695,7 +1049,18 @@ class NetworkedRuntime:
                 for sample in payload["samples"]:
                     hist.observe(sample)
             elif kind == "series":
-                self.metrics.series(name, TimeSeries.from_dict(payload["series"]))
+                incoming = TimeSeries.from_dict(payload["series"])
+                if name in self.metrics:
+                    # Two workers exported the same trajectory — a stage
+                    # that migrated mid-run recorded on both.  Append the
+                    # later worker's samples, clamping the occasional
+                    # clock skew (each worker runs its own START clock).
+                    existing = self.metrics.get(name).series
+                    for t, v in incoming:
+                        last = existing.last()[0] if len(existing) else 0.0
+                        existing.record(max(t, last), v)
+                else:
+                    self.metrics.series(name, incoming)
             else:
                 raise NetworkedRuntimeError(
                     f"unknown metric kind {kind!r} for {name!r}"

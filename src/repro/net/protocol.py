@@ -90,6 +90,11 @@ class FrameType(enum.IntEnum):
     RESULT = 14     # worker -> coordinator: finals + metrics registry
     SHUTDOWN = 15   # coordinator -> worker: exit cleanly
     ERROR = 16      # fatal error report (either direction)
+    MIGRATE = 17    # live-migration control step (pause/expect/export/
+                    # adopt/resume/collect; JSON body with "action" or,
+                    # in worker replies, "phase") — see docs/migration.md
+    HANDOFF = 18    # worker -> coordinator: migrating stage's exported
+                    # state (snapshot, parameter values, EOS counts)
 
 
 _KNOWN_TYPES = frozenset(int(t) for t in FrameType)

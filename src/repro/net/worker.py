@@ -306,6 +306,24 @@ class _HostedStage:
     #: Routing decisions over ``out_routes`` (solo routes and sharded
     #: families); built at START once every channel is declared.
     route_units: List[_RouteUnit] = field(default_factory=list)
+    #: True once this stage's live copy moved to another worker: its
+    #: task exited at the migration fence, its final value lives on the
+    #: adopting worker, and EOF on its old channels is expected.
+    migrated_away: bool = False
+    #: Set by the stage task when it exits at a migration fence (the
+    #: export handler awaits it before snapshotting).
+    fence_passed: Optional[asyncio.Event] = None
+
+
+class _MigrateFence:
+    """Inbox sentinel marking a live migration's drain boundary.
+
+    Everything before the fence is processed here; nothing follows it
+    (the upstream channels are paused).  The stage task reacts by
+    flushing pending emissions, closing its out-routes with the ordinary
+    FIN/drain teardown (no EOS — the stream continues from the new
+    worker), and exiting.
+    """
 
 
 class Worker:
@@ -338,6 +356,18 @@ class Worker:
         self._shutdown: Optional[asyncio.Event] = None
         self._started = False
         self._start_time = time.monotonic()
+        #: Items received per stream (decoded DATA entries) — compared
+        #: against the sender's ``items_sent`` during a migration drain.
+        self._recv_counts: Dict[str, int] = {}
+        #: Streams whose sender may legally EOF without EOS because a
+        #: live migration is re-routing them (coordinator "expect" step).
+        self._migrating_streams: set = set()
+        #: When True (coordinator HELLO, runs with scheduled migrations),
+        #: RESULT/ERROR are held until the coordinator's "collect" —
+        #: adopted stages must be included and spare workers must not
+        #: report before they might adopt one.
+        self._hold_results = False
+        self._release: Optional[asyncio.Event] = None
 
     def elapsed(self) -> float:
         """Wall-clock seconds since START (process start before that)."""
@@ -348,6 +378,7 @@ class Worker:
     async def serve(self, announce=None) -> None:
         """Bind, announce ``REPRO-NET-WORKER <port>``, serve until SHUTDOWN."""
         self._shutdown = asyncio.Event()
+        self._release = asyncio.Event()
         install_task_dump(f"worker {self.name}")
         server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
@@ -403,6 +434,7 @@ class Worker:
         self.adaptation_enabled = bool(
             body.get("adaptation", self.adaptation_enabled)
         )
+        self._hold_results = bool(body.get("hold_results", False))
         if body.get("policy") is not None:
             self.policy = AdaptationPolicy(**body["policy"])
         if body.get("batch") is not None:
@@ -438,12 +470,16 @@ class Worker:
             await send_frame(
                 writer, FrameType.READY, encode_json({"phase": "started"})
             )
+        elif frame.type is FrameType.MIGRATE:
+            await self._handle_migrate(frame.json(), writer)
         else:
             raise WorkerError(f"unexpected control frame {frame.type.name}")
 
-    def _register_stage(self, body: Dict[str, Any]) -> None:
+    def _register_stage(
+        self, body: Dict[str, Any], allow_after_start: bool = False
+    ) -> None:
         name = body["stage"]
-        if self._started:
+        if self._started and not allow_after_start:
             raise WorkerError("cannot register stages after START")
         if name in self._stages:
             raise WorkerError(f"duplicate stage {name!r}")
@@ -748,6 +784,21 @@ class Worker:
                         await self._flush_due(stage)
                         continue
                 channel, message = local.popleft()
+                if isinstance(message, _MigrateFence):
+                    # Live-migration drain boundary: the upstreams are
+                    # paused, so nothing can follow.  Flush everything,
+                    # tear down out-routes with the plain FIN/drain close
+                    # (no EOS — the stream continues on the new worker),
+                    # and exit so the export handler can snapshot.
+                    await self._transmit_pending(stage)
+                    for index in list(stage.batch_buffers):
+                        await self._flush_route(stage, index)
+                    for route in stage.out_routes:
+                        await route.close()
+                    stage.migrated_away = True
+                    assert stage.fence_passed is not None
+                    stage.fence_passed.set()
+                    return
                 if isinstance(message, EndOfStream):
                     if not stage.eos.observe():
                         continue
@@ -904,10 +955,36 @@ class Worker:
 
     async def _completion_task(self, writer) -> None:
         """Send RESULT (or ERROR) once every local stage has drained."""
-        assert all(s.done is not None for s in self._stages.values())
-        for stage in self._stages.values():
-            await stage.done.wait()
-        failed = [s for s in self._stages.values() if s.error is not None]
+        while True:
+            # Snapshot: a live migration may adopt a stage onto this
+            # worker after the wait started, so re-check until the set
+            # is stable and fully drained.
+            stages = list(self._stages.values())
+            for stage in stages:
+                assert stage.done is not None
+                await stage.done.wait()
+            if any(
+                s.error is not None and not s.migrated_away
+                for s in self._stages.values()
+            ):
+                # An error aborts the run: never hold it behind the
+                # collect release, or a crashed stage stops consuming,
+                # the coordinator's feeder starves on credit, and the
+                # release broadcast it is waiting for never arrives.
+                break
+            if not self._hold_results:
+                break
+            assert self._release is not None
+            await self._release.wait()
+            if len(self._stages) == len(stages) and all(
+                s.done is not None and s.done.is_set()
+                for s in self._stages.values()
+            ):
+                break
+        failed = [
+            s for s in self._stages.values()
+            if s.error is not None and not s.migrated_away
+        ]
         try:
             if failed:
                 await send_frame(
@@ -921,6 +998,10 @@ class Worker:
                 return
             finals: Dict[str, Any] = {}
             for stage in self._stages.values():
+                if stage.migrated_away:
+                    # The live copy (and its final value) moved to
+                    # another worker; ours is a stale snapshot.
+                    continue
                 assert stage.metrics is not None
                 stage.metrics.arrival_rate.set(
                     stage.rate_estimator.decayed_rate(self.elapsed())
@@ -938,6 +1019,177 @@ class Worker:
             )
         except (ConnectionError, ProtocolError, OSError):
             pass
+
+    # -- live migration (docs/migration.md) ----------------------------------
+
+    async def _handle_migrate(self, body: Dict[str, Any], writer) -> None:
+        """One step of the coordinator's six-phase migration protocol.
+
+        Each action except ``collect`` replies with a MIGRATE frame
+        carrying the completed ``phase`` (``export`` replies HANDOFF on
+        success); ``collect`` only releases held results — replying here
+        would interleave with the RESULT frames it unblocks.
+        """
+        action = body.get("action")
+        if action == "pause":
+            sent: Dict[str, int] = {}
+            closed: Dict[str, bool] = {}
+            wanted = set(body["streams"])
+            for channel in self._out_channels:
+                if channel.stream in wanted:
+                    await channel.pause()
+                    sent[channel.stream] = channel.items_sent
+                    closed[channel.stream] = channel.eos_sent
+            await send_frame(
+                writer, FrameType.MIGRATE,
+                encode_json({"phase": "paused", "sent": sent,
+                             "closed": closed}),
+            )
+        elif action == "expect":
+            self._migrating_streams.update(body["streams"])
+            await send_frame(
+                writer, FrameType.MIGRATE, encode_json({"phase": "expecting"})
+            )
+        elif action == "export":
+            await self._export_stage(body, writer)
+        elif action == "adopt":
+            await self._adopt_stage(body, writer)
+        elif action == "resume":
+            for stream, addr in body["streams"].items():
+                for channel in self._out_channels:
+                    if channel.stream != stream:
+                        continue
+                    if addr is not None and not channel.eos_sent:
+                        await channel.redial(
+                            addr["host"], int(addr["port"])
+                        )
+                    channel.resume()
+            await send_frame(
+                writer, FrameType.MIGRATE, encode_json({"phase": "resumed"})
+            )
+        elif action == "collect":
+            assert self._release is not None
+            self._release.set()
+        else:
+            raise WorkerError(f"unknown MIGRATE action {action!r}")
+
+    async def _export_stage(self, body: Dict[str, Any], writer) -> None:
+        """Drain a paused stage to its item boundary and hand its state off.
+
+        The coordinator tells us how many items every inbound stream's
+        sender shipped before pausing; once our receive counters match,
+        everything the stage will ever see here is at least in its inbox.
+        A fence sentinel then marks the drain boundary: when the stage
+        task passes it, the inbox is empty and the processor is between
+        items — the one moment a snapshot is consistent.
+        """
+        stage = self._stages[body["stage"]]
+        expected = {str(k): int(v) for k, v in body["expected"].items()}
+        assert stage.done is not None
+        while not all(
+            self._recv_counts.get(s, 0) >= n for s, n in expected.items()
+        ):
+            if stage.done.is_set():
+                break
+            await asyncio.sleep(0.001)
+        if not stage.done.is_set():
+            stage.fence_passed = asyncio.Event()
+            await stage.inbox.force_put((None, _MigrateFence()))
+            waits = [
+                asyncio.create_task(stage.done.wait()),
+                asyncio.create_task(stage.fence_passed.wait()),
+            ]
+            await asyncio.wait(waits, return_when=asyncio.FIRST_COMPLETED)
+            for task in waits:
+                task.cancel()
+        if not stage.migrated_away:
+            # The stage completed (EOS already queued behind the pause)
+            # or failed before reaching the fence — nothing to move; the
+            # coordinator unwinds the migration and lets the ordinary
+            # RESULT/ERROR path report.
+            await send_frame(
+                writer, FrameType.MIGRATE,
+                encode_json({"phase": "finished", "stage": stage.name}),
+            )
+            return
+        await send_frame(
+            writer, FrameType.HANDOFF,
+            encode_json({
+                "stage": stage.name,
+                "state": stage.processor.snapshot(),
+                "parameters": {
+                    name: param.value
+                    for name, param in stage.parameters.items()
+                },
+                "eos_seen": stage.eos.snapshot(),
+            }),
+        )
+
+    async def _adopt_stage(self, body: Dict[str, Any], writer) -> None:
+        """Instantiate a migrated stage here and resume it from a HANDOFF.
+
+        Mirrors the REGISTER/CHANNEL/START sequence for one stage:
+        fresh processor, fresh channels, ``setup()`` for structure, then
+        the handed-off parameters/state/EOS progress layered on top —
+        the same fresh-instance restore contract failover uses.
+        """
+        register = body["register"]
+        self._register_stage(register, allow_after_start=True)
+        stage = self._stages[register["stage"]]
+        out_before = len(self._out_channels)
+        for spec in body.get("in", []):
+            self._register_channel({
+                "kind": "in",
+                "stream": spec["stream"],
+                "dst": stage.name,
+                "window": spec.get("window", self.credit_window),
+            })
+        for spec in body.get("out", []):
+            self._register_channel({
+                "kind": "out",
+                "stream": spec["stream"],
+                "src": stage.name,
+                "dst": spec["dst"],
+                "peer_host": spec["peer_host"],
+                "peer_port": spec["peer_port"],
+                "shard": spec.get("shard"),
+            })
+        new_channels = self._out_channels[out_before:]
+        assert stage.context is not None
+        stage.context._in_setup = True
+        stage.processor.setup(stage.context)
+        stage.context._in_setup = False
+        if stage.context.pending:
+            raise WorkerError(
+                f"{stage.name}: processor emitted during setup()"
+            )
+        for pname, param in stage.parameters.items():
+            self.metrics.series(
+                f"adapt.{stage.name}.param.{pname}", param.history
+            )
+        now = self.elapsed()
+        for pname, value in body.get("parameters", {}).items():
+            if pname in stage.parameters:
+                stage.parameters[pname].set_value(float(value), now)
+        if body.get("state") is not None:
+            stage.processor.restore(body["state"])
+        stage.eos.restore(int(body.get("eos_seen", 0)))
+        if stage.batch is not None:
+            for index, route in enumerate(stage.out_routes):
+                if isinstance(route, _WireRoute):
+                    stage.batch_buffers[index] = BatchBuffer(stage.batch)
+            if stage.batch_buffers:
+                stage.batch_metrics = BatchMetrics(self.metrics, stage.name)
+        self._build_route_units(stage)
+        await asyncio.gather(*(c.connect() for c in new_channels))
+        self._tasks.append(asyncio.create_task(self._stage_task(stage)))
+        if self.adaptation_enabled:
+            self._tasks.append(
+                asyncio.create_task(self._monitor_task(stage))
+            )
+        await send_frame(
+            writer, FrameType.MIGRATE, encode_json({"phase": "adopted"})
+        )
 
     # -- peer (data) connections ---------------------------------------------
 
@@ -976,6 +1228,9 @@ class Worker:
                     stage.rate_estimator.observe(
                         self.elapsed(), count=float(len(decoded))
                     )
+                    self._recv_counts[stream] = (
+                        self._recv_counts.get(stream, 0) + len(decoded)
+                    )
                 elif frame.type is FrameType.EOS:
                     saw_eos = True
                     await stage.inbox.force_put((None, EndOfStream(origin=stream)))
@@ -987,6 +1242,14 @@ class Worker:
         except ConnectionError:
             pass
         if not saw_eos:
+            if stream in self._migrating_streams:
+                # Planned EOF: a live migration is re-routing this stream
+                # (sender redialed to the new worker, or the migrated
+                # stage closed its own outputs).  Detach so a later
+                # re-attach — e.g. migrating back — gets a fresh window.
+                self._migrating_streams.discard(stream)
+                channel.detach()
+                return
             # The sender vanished mid-stream.  Waiting for an EOS that
             # can never arrive would hang the whole run; fail the stage
             # so the worker reports ERROR and the coordinator aborts.

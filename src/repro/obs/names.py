@@ -217,6 +217,34 @@ METRICS: Tuple[MetricSpec, ...] = (
                "—",
                "Unacknowledged items the bounded replay buffer had already "
                "evicted when a failover needed them (permanently lost)."),
+    # -- planned live migration (see docs/migration.md) ---------------------
+    MetricSpec("migration.{stage}.moves", "counter", "moves",
+               ("sim", "threaded", "net"),
+               "deployment-time assumptions drift (§1) — re-placement loop",
+               "Completed planned moves of the stage (manual or "
+               "controller-triggered)."),
+    MetricSpec("migration.{stage}.pause_seconds", "histogram", "seconds",
+               ("sim", "threaded", "net"),
+               "—",
+               "Per-move pause: migration request to the replacement "
+               "consuming again (the bounded-pause guarantee; p99 is the "
+               "acceptance number)."),
+    MetricSpec("migration.{stage}.triggers", "counter", "triggers",
+               ("sim",),
+               "observed bandwidth/occupancy vs. deployment assumptions (§4)",
+               "MigrationController decisions that requested a move after "
+               "a hysteresis breach (link drift or host occupancy)."),
+    MetricSpec("migration.{stage}.items_replayed", "counter", "items",
+               ("sim",),
+               "—",
+               "Replay performed because a planned move degraded to a "
+               "crash failover (source host died mid-move); zero on the "
+               "planned path."),
+    MetricSpec("migration.{stage}.duplicates", "counter", "items",
+               ("sim",),
+               "—",
+               "At-least-once duplicates from a degraded (crash-interrupted) "
+               "migration; zero on the planned path."),
     # -- networked data plane (see docs/networking.md) ----------------------
     MetricSpec("net.{channel}.frames", "counter", "frames", ("net",),
                "inter-server stream traffic (§2: stages on distinct hosts)",

@@ -17,6 +17,10 @@ this package supplies the *data-plane* half of the story:
   a :class:`~repro.grid.heartbeat.HeartbeatDetector` suspicion through
   the :class:`~repro.grid.faults.Redeployer` into a *running*
   :class:`~repro.core.runtime_sim.SimulatedRuntime`;
+* :mod:`repro.resilience.migration` — planned, non-destructive live
+  moves of *healthy* stages (:class:`Migrator`,
+  :class:`MigrationController` drift-watch control loop), documented in
+  ``docs/migration.md``;
 * :mod:`repro.resilience.demo` — the chaos demo behind ``repro chaos``.
 
 Delivery semantics and the failure model are documented in
@@ -31,6 +35,14 @@ from repro.resilience.checkpoint import (
     MemoryCheckpointStore,
     StageCheckpoint,
 )
+from repro.resilience.migration import (
+    MigrationController,
+    MigrationError,
+    MigrationPlan,
+    MigrationPolicy,
+    MigrationReport,
+    Migrator,
+)
 from repro.resilience.policy import DeadLetter, DeadLetterQueue, ResilienceConfig
 from repro.resilience.replay import ReplayBuffers
 
@@ -41,6 +53,12 @@ __all__ = [
     "FailoverCoordinator",
     "JsonlCheckpointStore",
     "MemoryCheckpointStore",
+    "MigrationController",
+    "MigrationError",
+    "MigrationPlan",
+    "MigrationPolicy",
+    "MigrationReport",
+    "Migrator",
     "ReplayBuffers",
     "ResilienceConfig",
     "StageCheckpoint",

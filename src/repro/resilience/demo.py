@@ -18,7 +18,7 @@ from repro.core.api import StageContext, StreamProcessor
 from repro.core.results import RunResult
 from repro.resilience.policy import ResilienceConfig
 
-__all__ = ["run_chaos_demo"]
+__all__ = ["run_chaos_demo", "run_migrate_demo"]
 
 
 class _ChaosWork(StreamProcessor):
@@ -199,5 +199,119 @@ def run_chaos_demo(
             max(latency_hist.samples) if latency_hist is not None else None
         ),
         "recoveries": list(coordinator.recoveries) if coordinator is not None else [],
+    }
+    return result, summary
+
+
+def run_migrate_demo(
+    items: int = 500,
+    drift_at: float = 1.0,
+    drift_duration: float = 0.5,
+    drift_factor: float = 0.2,
+    checkpoint_interval: float = 0.5,
+    rate: float = 100.0,
+) -> Tuple[RunResult, Dict[str, Any]]:
+    """Run the live-migration scenario; returns ``(result, summary)``.
+
+    The same three-host chaos topology, but nothing crashes: instead
+    the edge host *slows down* (competing load), ramping its speed down
+    to ``drift_factor`` × nominal between ``drift_at`` and ``drift_at +
+    drift_duration``.  A :class:`~repro.resilience.migration.MigrationController`
+    watches the :class:`~repro.grid.monitor.MonitoringService` occupancy
+    signal and re-places the ``work`` stage — a planned, loss-free move
+    with a bounded pause, not a failover (see docs/migration.md).
+    """
+    from repro.core.runtime_sim import SimulatedRuntime, SourceBinding
+    from repro.grid.config import AppConfig, StageConfig, StreamConfig
+    from repro.grid.deployer import Deployer
+    from repro.grid.faults import DriftPlan, FaultInjector
+    from repro.grid.monitor import MonitoringService
+    from repro.grid.registry import ServiceRegistry
+    from repro.grid.repository import CodeRepository
+    from repro.grid.resources import ResourceRequirement
+    from repro.resilience.migration import MigrationController, Migrator
+    from repro.simnet.engine import Environment
+    from repro.simnet.hosts import CpuCostModel
+    from repro.simnet.topology import Network
+
+    env = Environment()
+    net = Network(env)
+    for name in ("edge", "spare", "central"):
+        # Single-core hosts so one saturated stage reads as ~1.0
+        # occupancy (utilization is busy core-seconds over capacity).
+        net.create_host(name, cores=1)
+    net.connect("edge", "central", bandwidth=10_000.0, latency=0.01)
+    net.connect("spare", "central", bandwidth=10_000.0, latency=0.01)
+
+    def _work() -> _ChaosWork:
+        work = _ChaosWork(None)
+        # Light enough that the edge host idles below the occupancy
+        # band at nominal speed and saturates once slowed down.
+        work.cost_model = CpuCostModel(per_item=0.005)
+        return work
+
+    registry = ServiceRegistry()
+    registry.register_network(net)
+    repo = CodeRepository()
+    repo.publish("repo://chaos/work", _work)
+    repo.publish("repo://chaos/sink", _ChaosSink)
+    config = AppConfig(
+        name="migrate",
+        stages=[
+            StageConfig("work", "repo://chaos/work",
+                        requirement=ResourceRequirement(placement_hint="edge")),
+            StageConfig("sink", "repo://chaos/sink",
+                        requirement=ResourceRequirement(placement_hint="central")),
+        ],
+        streams=[StreamConfig("doubled", "work", "sink")],
+    )
+    deployer = Deployer(registry, repo)
+    deployment = deployer.deploy(config)
+
+    runtime = SimulatedRuntime(
+        env, net, deployment, adaptation_enabled=False,
+        resilience=ResilienceConfig(checkpoint_interval=checkpoint_interval),
+    )
+    runtime.bind_source(
+        SourceBinding("feed", "work", payloads=list(range(items)), rate=rate)
+    )
+
+    FaultInjector(env, net).schedule_drift(DriftPlan(
+        kind="host-slowdown", target="edge", start_at=drift_at,
+        duration=drift_duration, factor=drift_factor,
+    ))
+    monitor = MonitoringService(env, net, interval=0.25,
+                                registry=runtime.metrics)
+    monitor.start()
+    controller = MigrationController(
+        runtime, Migrator(deployer, deployment), monitor=monitor
+    )
+    controller.start()
+
+    result = runtime.run()
+
+    metrics = result.metrics
+    sink_items = result.final_value("sink")
+    pause_hist = (
+        metrics.get("migration.work.pause_seconds")
+        if "migration.work.pause_seconds" in metrics
+        else None
+    )
+    summary: Dict[str, Any] = {
+        "items_fed": items,
+        "sink_items": len(sink_items),
+        "unique_items": len(set(sink_items)),
+        "work_host": result.stage("work").host_name,
+        "moves": [
+            (r.stage, r.from_host, r.to_host) for r in runtime.migrations
+        ],
+        "triggers": metrics.value("migration.work.triggers", default=0.0),
+        "replayed": metrics.value("migration.work.items_replayed", default=0.0),
+        "duplicates": metrics.value("migration.work.duplicates", default=0.0),
+        "max_pause": max(pause_hist.samples) if pause_hist is not None else None,
+        "decisions": [
+            (d.time, d.stage, d.reason, d.target)
+            for d in controller.decisions
+        ],
     }
     return result, summary

@@ -73,7 +73,15 @@ class FailoverCoordinator:
         self.detector.on_suspect(self._on_suspect)
 
     def _on_suspect(self, host_name: str, time: float) -> None:
-        report = self.redeployer.redeploy(self.deployment, host_name)
+        # A stage in the middle of a planned migration must not also be
+        # failed over: its migration drainer owns the re-placement (and
+        # handles a mid-move source-host crash itself).  Redeploying it
+        # here would race the drainer — two fresh instances, two
+        # restores, duplicated replay.
+        migrating = self.runtime.migrating_stages()
+        report = self.redeployer.redeploy(
+            self.deployment, host_name, exclude_stages=migrating
+        )
         down_since = self.detector.last_beat(host_name)
         for stage_name in report.moved_stages:
             self.runtime.failover_stage(stage_name, down_since=down_since)

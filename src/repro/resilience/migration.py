@@ -1,0 +1,472 @@
+"""Planned live migration: move a *healthy* stage with a bounded pause.
+
+PR 2 gave the repo crash-driven failover: kill a host, restore its
+stages from checkpoints, replay unacknowledged input.  This module adds
+the non-destructive counterpart — the control-plane move GATES's
+long-running-pipeline pitch actually needs when deployment-time
+assumptions drift but nothing has failed:
+
+* :class:`Migrator` — the grid-layer half of a planned move.  Given a
+  live :class:`~repro.grid.deployer.Deployment`, it asks the ordinary
+  :class:`~repro.grid.matchmaker.Matchmaker` for a better node
+  (excluding the current one), secures the replacement service instance
+  *before* destroying the old one (the Redeployer's ordering), and
+  swaps the placement record.  It moves no state: draining, snapshot
+  hand-off and channel switch-over are the runtime's job
+  (:meth:`~repro.core.runtime_sim.SimulatedRuntime.migrate_stage`,
+  :meth:`~repro.core.runtime_threads.ThreadedRuntime.migrate_stage`,
+  and the networked runtime's MIGRATE/HANDOFF exchange).
+
+* :class:`MigrationController` — the closed loop.  It watches observed
+  per-link bandwidth and per-host occupancy (the Section 4 load signal
+  as sampled by :class:`~repro.grid.monitor.MonitoringService`, plus
+  raw ``simnet`` link capacity drift) against the values captured when
+  the controller started, and triggers a re-placement when they diverge
+  past the hysteresis bands of :class:`MigrationPolicy` — sustained
+  breaches only, with a per-stage cooldown, exactly the
+  breach/idle/cooldown shape the PR 6 autoscaler uses.
+
+Every move is reported as a :class:`MigrationReport` and surfaced under
+the ``migration.*`` metric family (see docs/migration.md).
+
+Unlike failover, a *planned* move is loss-free and duplicate-free by
+construction: the stage is drained to an item boundary, checkpointed,
+and its queued backlog survives in place — nothing is replayed unless
+the source host dies mid-move, in which case the move degrades to the
+PR 2 failover path and is reported with ``planned=False``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.grid.deployer import Deployer, Deployment, DeploymentError, Placement
+from repro.grid.monitor import MonitoringService
+
+__all__ = [
+    "KNOBS",
+    "MigrationError",
+    "MigrationPlan",
+    "MigrationPolicy",
+    "MigrationReport",
+    "MigrationController",
+    "Migrator",
+    "check_docs",
+    "default_docs_path",
+    "documented_knobs",
+]
+
+#: The user-facing migration knobs — the :class:`MigrationPolicy` fields,
+#: single source of truth for the ``docs/migration.md`` knobs table
+#: (diffed by :func:`check_docs`; the tier-1 docs test also asserts this
+#: dict and the dataclass never drift apart).
+KNOBS: Dict[str, str] = {
+    "interval": "seconds between controller drift evaluations",
+    "host_high": "sustained host occupancy that counts as a breach",
+    "host_low": "destination occupancy ceiling an occupancy move requires",
+    "bandwidth_ratio": "fraction of baseline link capacity that counts as drift",
+    "breach_samples": "consecutive breach samples before a trigger",
+    "cooldown": "seconds a stage is immune after each of its moves",
+}
+
+
+class MigrationError(Exception):
+    """Raised when a planned stage move cannot be carried out."""
+
+
+@dataclass(frozen=True)
+class MigrationPlan:
+    """One scheduled migration request (networked runtime).
+
+    ``at`` is seconds after START; ``target`` pins the destination
+    worker, or None to let the coordinator's matchmaker choose.
+    """
+
+    stage: str
+    at: float
+    target: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"at must be >= 0, got {self.at}")
+
+
+@dataclass
+class MigrationReport:
+    """What one migration did, as measured by the runtime that ran it."""
+
+    stage: str
+    from_host: str
+    to_host: str
+    #: "manual" for API-triggered moves, "drift" for controller-triggered.
+    trigger: str = "manual"
+    requested_at: float = 0.0
+    completed_at: float = 0.0
+    #: The stop-the-stage window: drain + snapshot + re-place + restore.
+    pause_seconds: float = 0.0
+    #: Replayed input (only the failover fallback path replays).
+    items_replayed: int = 0
+    duplicates: int = 0
+    #: False when the source host died mid-move and the planned switch
+    #: degraded to a checkpoint-restore failover.
+    planned: bool = True
+
+
+class Migrator:
+    """Grid-layer re-placement of one healthy stage (create before destroy).
+
+    The service-instance dance mirrors :class:`~repro.grid.faults.Redeployer`
+    — replacement fully secured (created, customized, activated) before
+    the old instance is destroyed — but for a single, *live* stage, and
+    with the current host excluded rather than a failed one.
+    """
+
+    def __init__(self, deployer: Deployer, deployment: Deployment) -> None:
+        self.deployer = deployer
+        self.deployment = deployment
+        #: Every committed placement swap: (stage, old_host, new_host).
+        self.moves: List[Tuple[str, str, str]] = []
+
+    def select_target(
+        self, stage_name: str, exclude: Iterable[str] = ()
+    ) -> str:
+        """Matchmake a destination host for ``stage_name``.
+
+        The stage's current host is always excluded; a placement hint
+        pinning the stage to its current host is relaxed (the pin is
+        what we are deliberately overriding).
+        """
+        current = self.deployment.host_of(stage_name)
+        stage_cfg = self.deployment.config.stage(stage_name)
+        requirement = stage_cfg.requirement
+        excluded = {current} | set(exclude)
+        matchmaker = self.deployer.matchmaker
+        try:
+            choice = matchmaker.match_one(requirement, exclude=excluded)
+        except Exception:
+            choice = None
+        # A pinned hint overrides ``exclude`` in the matchmaker, so the
+        # first attempt can hand back the very host we are leaving —
+        # treat that as a miss and retry with the pin relaxed (the pin
+        # is what we are deliberately overriding).
+        if choice is not None and choice not in excluded:
+            return choice
+        if requirement.placement_hint is None:
+            raise MigrationError(
+                f"no eligible target host for stage {stage_name!r} "
+                f"(excluded: {sorted(excluded)})"
+            )
+        from dataclasses import replace as dc_replace
+
+        relaxed = dc_replace(requirement, placement_hint=None)
+        try:
+            choice = matchmaker.match_one(relaxed, exclude=excluded)
+        except Exception as exc:
+            raise MigrationError(
+                f"no eligible target host for stage {stage_name!r}: {exc}"
+            ) from exc
+        if choice in excluded:
+            raise MigrationError(
+                f"no eligible target host for stage {stage_name!r} "
+                f"(excluded: {sorted(excluded)})"
+            )
+        return choice
+
+    def place(
+        self, stage_name: str, target_host: Optional[str] = None
+    ) -> Tuple[str, str]:
+        """Swap ``stage_name``'s service instance onto a better host.
+
+        Returns ``(old_host, new_host)``.  The old instance is destroyed
+        only after the replacement is fully activated, so a failed move
+        leaves the deployment record pointing at the still-running old
+        instance.
+        """
+        old_host = self.deployment.host_of(stage_name)
+        stage_cfg = self.deployment.config.stage(stage_name)
+        if target_host is None:
+            new_host = self.select_target(stage_name)
+        else:
+            host = self.deployer.registry.network.host(target_host)
+            if host.failed:
+                raise MigrationError(
+                    f"cannot migrate {stage_name!r} onto failed host "
+                    f"{target_host!r}"
+                )
+            new_host = target_host
+        if new_host == old_host:
+            raise MigrationError(
+                f"stage {stage_name!r} is already on {old_host!r}"
+            )
+        try:
+            factory = self.deployer.repository.fetch(stage_cfg.code_url)
+        except Exception as exc:
+            raise MigrationError(
+                f"stage {stage_name!r}: code vanished from repository: {exc}"
+            ) from exc
+        container = self.deployer.container_for(new_host)
+        instance = container.create_instance(
+            f"{self.deployment.config.name}/{stage_name}",
+            lifetime=self.deployer.service_lifetime,
+        )
+        try:
+            instance.customize(factory, **stage_cfg.properties)
+            instance.activate()
+        except Exception as exc:
+            instance.destroy()
+            raise MigrationError(
+                f"cannot migrate stage {stage_name!r}: replacement "
+                f"activation failed: {exc}"
+            ) from exc
+        try:
+            self.deployment.placements[stage_name].instance.destroy()
+        except DeploymentError:
+            pass
+        self.deployment.placements[stage_name] = Placement(
+            stage_name=stage_name, host_name=new_host, instance=instance
+        )
+        self.moves.append((stage_name, old_host, new_host))
+        return old_host, new_host
+
+
+@dataclass(frozen=True)
+class MigrationPolicy:
+    """Hysteresis bands for the drift-watching control loop.
+
+    A stage is re-placed only after its host's occupancy stays above
+    ``host_high`` — or a link touching its host decays below
+    ``bandwidth_ratio`` of its start-time capacity — for
+    ``breach_samples`` consecutive samples, and never again within
+    ``cooldown`` simulated seconds of its previous move.  ``host_low``
+    keeps the loop from ping-ponging: a host-occupancy move needs a
+    destination below that band to be worth the pause.
+    """
+
+    interval: float = 0.5
+    host_high: float = 0.85
+    host_low: float = 0.5
+    bandwidth_ratio: float = 0.5
+    breach_samples: int = 3
+    cooldown: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError(f"interval must be > 0, got {self.interval}")
+        if not 0.0 < self.bandwidth_ratio < 1.0:
+            raise ValueError(
+                f"bandwidth_ratio must be in (0, 1), got {self.bandwidth_ratio}"
+            )
+        if not 0.0 < self.host_low <= self.host_high:
+            raise ValueError(
+                f"need 0 < host_low <= host_high, got "
+                f"{self.host_low}/{self.host_high}"
+            )
+        if self.breach_samples < 1:
+            raise ValueError(
+                f"breach_samples must be >= 1, got {self.breach_samples}"
+            )
+        if self.cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {self.cooldown}")
+
+
+@dataclass
+class _Decision:
+    """One trigger the controller fired."""
+
+    time: float
+    stage: str
+    reason: str
+    target: Optional[str]
+
+
+class MigrationController:
+    """Watches fabric drift and triggers planned moves (simulated runtime).
+
+    Runs as a simulation process next to the pipeline::
+
+        controller = MigrationController(runtime, migrator, monitor=monitor)
+        controller.start()
+        result = runtime.run()
+
+    Baseline link capacities are captured at :meth:`start`; host
+    occupancy comes from the :class:`MonitoringService` samples (the
+    same utilization signal the Matchmaker's ranking consumes).  Every
+    firing increments ``migration.{stage}.triggers`` and is recorded in
+    :attr:`decisions`; the actual move (and its queueing when one is
+    already in flight) is :meth:`SimulatedRuntime.migrate_stage`'s job.
+    """
+
+    def __init__(
+        self,
+        runtime,
+        migrator: Migrator,
+        monitor: Optional[MonitoringService] = None,
+        policy: Optional[MigrationPolicy] = None,
+    ) -> None:
+        self.runtime = runtime
+        self.migrator = migrator
+        self.monitor = monitor
+        self.policy = policy if policy is not None else MigrationPolicy()
+        self.decisions: List[_Decision] = []
+        self._baseline: Dict[str, float] = {}
+        self._breaches: Dict[Tuple[str, str], int] = {}
+        self._last_move: Dict[str, float] = {}
+        self._started = False
+
+    def start(self) -> None:
+        """Capture the capacity baseline and arm the watch process."""
+        if self._started:
+            return
+        self._started = True
+        env = self.runtime.env
+        network = self.runtime.network
+        for _src, _dst, link in network.edges():
+            self._baseline[link.name] = link.bandwidth
+        env.process(self._watch(), name="migration-controller")
+
+    # -- the control loop --------------------------------------------------
+
+    def _watch(self):
+        env = self.runtime.env
+        while True:
+            yield env.timeout(self.policy.interval)
+            if all(s.done for s in self.runtime._stages.values()):
+                return
+            self._evaluate()
+
+    def _evaluate(self) -> None:
+        now = self.runtime.env.now
+        network = self.runtime.network
+        drifted_hosts = set()
+        for _src, _dst, link in network.edges():
+            assumed = self._baseline.get(link.name)
+            if not assumed:
+                continue
+            if link.bandwidth < self.policy.bandwidth_ratio * assumed:
+                head, _, tail = link.name.partition("->")
+                drifted_hosts.update((head, tail))
+        snapshot = None
+        if self.monitor is not None:
+            try:
+                snapshot = self.monitor.snapshot
+            except RuntimeError:
+                snapshot = None  # no sample yet
+        for name, stage in list(self.runtime._stages.items()):
+            if stage.done or stage.migrating:
+                continue
+            host_name = stage.host_name
+            if self.runtime.network.host(host_name).failed:
+                continue  # failover territory, not a planned move
+            reason = None
+            if host_name in drifted_hosts:
+                reason = "link-drift"
+            elif snapshot is not None:
+                sample = snapshot.hosts.get(host_name)
+                if sample is not None and sample.utilization > self.policy.host_high:
+                    idlest = snapshot.idlest_host()
+                    if (
+                        idlest is not None
+                        and idlest != host_name
+                        and snapshot.hosts[idlest].utilization < self.policy.host_low
+                    ):
+                        reason = "host-occupancy"
+            key = (name, reason or "")
+            if reason is None:
+                self._breaches.pop((name, "link-drift"), None)
+                self._breaches.pop((name, "host-occupancy"), None)
+                continue
+            count = self._breaches.get(key, 0) + 1
+            self._breaches[key] = count
+            if count < self.policy.breach_samples:
+                continue
+            if now - self._last_move.get(name, -self.policy.cooldown) < self.policy.cooldown:
+                continue
+            self._breaches[key] = 0
+            self._last_move[name] = now
+            try:
+                target = self.migrator.select_target(name)
+            except MigrationError:
+                continue  # nowhere better to go; keep watching
+            self.runtime.metrics.counter(f"migration.{name}.triggers").inc()
+            self.decisions.append(_Decision(now, name, reason, target))
+            self.runtime.migrate_stage(
+                name, migrator=self.migrator, target_host=target, trigger="drift"
+            )
+
+
+# -- docs consistency ------------------------------------------------------
+
+
+def default_docs_path() -> Path:
+    """``docs/migration.md`` relative to the repository root.
+
+    Returns:
+        The documented migration model's path in a source checkout.
+    """
+    return Path(__file__).resolve().parents[3] / "docs" / "migration.md"
+
+
+#: A knobs-table row: ``| `field` | meaning |``.
+_KNOB_ROW = re.compile(r"^\|\s*`(?P<knob>[a-z][a-z0-9_]*)`\s*\|")
+
+
+def documented_knobs(path: Path) -> List[str]:
+    """Parse the policy knobs documented in ``docs/migration.md``.
+
+    Arguments:
+        path: The document to parse.
+
+    Returns:
+        Every backticked first-column entry of its knobs table rows.
+    """
+    knobs = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        match = _KNOB_ROW.match(line.strip())
+        if match:
+            knobs.append(match.group("knob"))
+    return knobs
+
+
+def check_docs(path: Optional[Path] = None) -> List[str]:
+    """Problems keeping ``docs/migration.md`` and the code apart.
+
+    Arguments:
+        path: Document to check (defaults to :func:`default_docs_path`).
+
+    Returns:
+        One problem string per drift — a knob in :data:`KNOBS` missing
+        from the document, a documented knob the code no longer defines,
+        or a ``migration.*`` metric template from the
+        :data:`repro.obs.names.METRICS` catalog the page never mentions.
+        Empty means in sync; the tier-1 test
+        ``tests/resilience/test_migration_docs.py`` asserts exactly that.
+    """
+    from repro.obs.names import METRICS
+
+    path = path if path is not None else default_docs_path()
+    if not path.exists():
+        return [f"docs file missing: {path}"]
+    text = path.read_text(encoding="utf-8")
+    documented = set(documented_knobs(path))
+    problems = []
+    for knob in sorted(KNOBS):
+        if knob not in documented:
+            problems.append(
+                f"migration knob {knob!r} is not documented in {path.name}"
+            )
+    for knob in sorted(documented):
+        if knob not in KNOBS:
+            problems.append(
+                f"{path.name} documents {knob!r}, which is not a migration "
+                "knob (repro.resilience.migration.KNOBS)"
+            )
+    for spec in METRICS:
+        if spec.template.startswith("migration.") and spec.template not in text:
+            problems.append(
+                f"{path.name} does not mention the metric template "
+                f"{spec.template!r}"
+            )
+    return problems

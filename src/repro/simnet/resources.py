@@ -229,6 +229,20 @@ class Store:
             self._on_length_change()
         return purged
 
+    def requeue(self, item: Any) -> None:
+        """Put a just-dequeued ``item`` back at the head of the buffer.
+
+        A consumer superseded by a planned hand-over (live migration)
+        between its ``get`` being served and its process resuming gives
+        the item back so the replacement consumer sees it first —
+        unlike the crash path, nothing will replay it.  The insertion
+        hook is deliberately not invoked: the item was already recorded
+        when it first entered the buffer.
+        """
+        self._items.appendleft(item)
+        self._on_length_change()
+        self._drain_getters()
+
     def discard_getters(self) -> int:
         """Drop all pending get requests (their requesters are gone).
 

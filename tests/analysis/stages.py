@@ -29,3 +29,11 @@ class FullCheckpointStage(HalfCheckpointStage):
 
     def restore(self, state: Any) -> None:
         self._count = int(state["count"])
+
+
+class StatelessStage(StreamProcessor):
+    """Keeps the no-op snapshot()/restore() defaults (GA230 when
+    migration-enabled; fine otherwise)."""
+
+    def on_item(self, payload: Any, context: StageContext) -> None:
+        context.emit(payload)

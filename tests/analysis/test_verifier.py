@@ -34,6 +34,8 @@ CASES = [
     ("ga210_batch_delay", "GA210"),
     ("ga220_shard_invalid", "GA220"),
     ("ga221_inert_shard_knob", "GA221"),
+    ("ga230_migration", "GA230"),
+    ("ga231_migration_gate", "GA231"),
     ("ga301_code_url", "GA301"),
     ("ga302_checkpoint", "GA302"),
     ("ga303_placement", "GA303"),
@@ -96,3 +98,64 @@ def test_placement_and_code_passes_skipped_without_fabric():
     for stem in ("ga301_code_url", "ga303_placement"):
         report = verify_path(os.path.join(FIXTURES, stem + ".xml"))
         assert report.clean, report.render_text()
+
+
+def _migration_config(properties=None):
+    from repro.grid.config import AppConfig, StageConfig, StreamConfig
+
+    return AppConfig(
+        name="mig",
+        stages=[
+            StageConfig("a", "py://tests.analysis.stages:FullCheckpointStage",
+                        properties=dict(properties or {})),
+            StageConfig("b", "py://tests.analysis.stages:FullCheckpointStage"),
+        ],
+        streams=[StreamConfig("s", "a", "b")],
+    )
+
+
+def test_migrating_param_enables_the_ga230_gate(fabric):
+    """A plan-targeted stage needs no migratable property to be checked."""
+    from repro.analysis import verify_config
+    from repro.grid.config import AppConfig, StageConfig
+
+    config = AppConfig(name="mig", stages=[
+        StageConfig("a", "py://tests.analysis.stages:StatelessStage"),
+    ])
+    clean = verify_config(config, repository=fabric.repository)
+    assert "GA230" not in clean.codes()
+    gated = verify_config(
+        config, repository=fabric.repository, migrating=["a"]
+    )
+    assert "GA230" in gated.codes()
+
+
+def test_migration_plan_for_unknown_stage_is_ga231():
+    from repro.analysis import verify_config
+
+    report = verify_config(_migration_config(), migrating=["nope"])
+    assert report.codes() == ["GA231"]
+
+
+def test_sharded_migratable_stage_is_ga231():
+    from repro.analysis import verify_config
+
+    report = verify_config(
+        _migration_config({"migratable": "true", "replicas": "2"})
+    )
+    assert "GA231" in report.codes()
+
+
+def test_migration_without_checkpoint_store_is_ga231():
+    from repro.analysis import verify_config
+    from repro.resilience.policy import ResilienceConfig
+
+    config = _migration_config({"migratable": "true"})
+    disarmed = verify_config(
+        config, resilience=ResilienceConfig(checkpoint_interval=None)
+    )
+    assert "GA231" in disarmed.codes()
+    armed = verify_config(
+        config, resilience=ResilienceConfig(checkpoint_interval=0.5)
+    )
+    assert armed.clean, armed.render_text()

@@ -26,6 +26,11 @@ EXPECTED_TEMPLATES = [
     "link.{link}.throughput",
     "link.{link}.tx_busy",
     "link.{link}.utilization",
+    "migration.{stage}.duplicates",
+    "migration.{stage}.items_replayed",
+    "migration.{stage}.moves",
+    "migration.{stage}.pause_seconds",
+    "migration.{stage}.triggers",
     "net.{channel}.bytes",
     "net.{channel}.credit_stalls",
     "net.{channel}.credit_wait_seconds",

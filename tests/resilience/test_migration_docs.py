@@ -1,0 +1,60 @@
+"""docs/migration.md, the policy knob catalog and the metric family
+must not drift."""
+
+import dataclasses
+
+from repro.obs.names import METRICS
+from repro.resilience.migration import (
+    KNOBS,
+    MigrationPolicy,
+    check_docs,
+    default_docs_path,
+    documented_knobs,
+)
+
+
+def test_docs_file_exists():
+    assert default_docs_path().exists()
+
+
+def test_docs_knobs_and_metrics_agree():
+    assert check_docs() == []
+
+
+def test_knob_catalog_is_the_policy_dataclass():
+    fields = {f.name for f in dataclasses.fields(MigrationPolicy)}
+    assert set(KNOBS) == fields
+
+
+def test_every_knob_has_a_table_row():
+    documented = set(documented_knobs(default_docs_path()))
+    assert set(KNOBS) <= documented
+
+
+def test_missing_docs_file_is_one_problem(tmp_path):
+    problems = check_docs(tmp_path / "ghost.md")
+    assert problems and "missing" in problems[0]
+
+
+def test_drift_is_detected_both_ways(tmp_path):
+    page = tmp_path / "migration.md"
+    knobs = [k for k in KNOBS if k != "cooldown"] + ["teleport_speed"]
+    rows = [f"| `{knob}` | x |" for knob in knobs]
+    rows += [
+        spec.template
+        for spec in METRICS
+        if spec.template.startswith("migration.")
+    ]
+    page.write_text("\n".join(rows), encoding="utf-8")
+    problems = check_docs(page)
+    assert any("cooldown" in p and "not documented" in p for p in problems)
+    assert any("teleport_speed" in p for p in problems)
+
+
+def test_missing_metric_template_is_detected(tmp_path):
+    page = tmp_path / "migration.md"
+    page.write_text(
+        "\n".join(f"| `{knob}` | x |" for knob in KNOBS), encoding="utf-8"
+    )
+    problems = check_docs(page)
+    assert any("migration.{stage}.pause_seconds" in p for p in problems)
