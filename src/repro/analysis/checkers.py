@@ -1,4 +1,4 @@
-"""The AST lint rules (GA501-GA508).
+"""The AST lint rules (GA501-GA509).
 
 Each rule enforces a repo-specific invariant that a generic linter cannot
 express — they encode contracts established by earlier subsystems:
@@ -15,6 +15,9 @@ express — they encode contracts established by earlier subsystems:
 * GA507 — no bare or silently-swallowed ``except`` in data-plane code.
 * GA508 — every public function/method in :mod:`repro.core` carries a
   docstring (the core API is the middleware's contract surface).
+* GA509 — record/replay determinism: wall-clock and global-RNG reads in
+  :mod:`repro.ledger` and in stage ``on_item`` bodies go through the
+  :class:`~repro.ledger.DeterministicContext` (``context.det``).
 
 Scoping is by module path (see each checker's ``applies_to``); a file
 opts out of one rule with ``# repro: noqa[GAxxx]`` (see
@@ -32,6 +35,7 @@ __all__ = [
     "ALL_CHECKERS",
     "AsyncBlockingCallChecker",
     "BareExceptChecker",
+    "DeterministicReadChecker",
     "LockAcrossAwaitChecker",
     "MetricNameChecker",
     "ModuleLevelRandomChecker",
@@ -403,6 +407,58 @@ class PublicDocstringChecker(Checker):
         )
 
 
+class DeterministicReadChecker(Checker):
+    """GA509: nondeterministic reads must go through ``context.det``.
+
+    Scope: everywhere in :mod:`repro.ledger` (the replay subsystem must
+    itself be replay-clean), plus every stage ``on_item`` body anywhere
+    (the per-item path is what record/replay pins).  A direct wall-clock
+    or global-RNG call there produces values the run ledger never sees,
+    so a recorded run cannot replay bit-identically.
+    """
+
+    code = "GA509"
+    interests = (ast.Call,)
+    CLOCK = WallClockChecker.FORBIDDEN
+    #: ``random.<attr>`` calls that are not draws (seedable constructors).
+    RNG_ALLOWED = ModuleLevelRandomChecker.ALLOWED
+
+    def visit(
+        self, node: ast.Call, enclosing: Sequence[ast.AST],
+        context: FileContext,
+    ) -> None:
+        name = _dotted(node.func)
+        if name is None:
+            return
+        is_clock = name in self.CLOCK
+        is_rng = (
+            name.startswith("random.")
+            and name.count(".") == 1
+            and name.split(".")[1] not in self.RNG_ALLOWED
+        )
+        if not (is_clock or is_rng):
+            return
+        in_ledger = _in_modules(context, ("repro.ledger",))
+        function = _nearest_function(enclosing)
+        in_on_item = (
+            function is not None
+            and getattr(function, "name", "") == "on_item"
+        )
+        if not (in_ledger or in_on_item):
+            return
+        where = (
+            f"module {context.module}" if in_ledger
+            else "a stage on_item() body"
+        )
+        kind = "reads the wall clock" if is_clock else "draws from the global RNG"
+        context.add(
+            self.code,
+            f"{name}() {kind} in {where}; route it through "
+            "context.det (now()/draw()) so record/replay can pin it",
+            node,
+        )
+
+
 ALL_CHECKERS = (
     MetricNameChecker,
     WallClockChecker,
@@ -412,6 +468,7 @@ ALL_CHECKERS = (
     SnapshotContractChecker,
     BareExceptChecker,
     PublicDocstringChecker,
+    DeterministicReadChecker,
 )
 
 

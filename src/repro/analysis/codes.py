@@ -138,6 +138,15 @@ _ALL: List[CodeInfo] = [
              "migration-enabled run needs the checkpoint store "
              "(resilience with checkpoint_interval set) so a mid-move "
              "crash can degrade to failover instead of losing state"),
+    # -- GA24x: record/replay ledger -------------------------------------------
+    CodeInfo("GA240", "config", Severity.ERROR,
+             "sink in a ledger-enabled pipeline is not idempotent",
+             "a pipeline recording to the run ledger (ledger-enabled: "
+             "true) delivers at-least-once below its sinks; every sink "
+             "stage must implement the SinkTxn protocol "
+             "(repro.ledger.sinks) so redelivered duplicates cannot "
+             "double-apply effects — or opt out explicitly with the "
+             "at-least-once-ok: true property"),
     # -- GA3xx: deployment ----------------------------------------------------
     CodeInfo("GA301", "config", Severity.ERROR,
              "stage code URL does not resolve in the repository",
@@ -194,6 +203,13 @@ _ALL: List[CodeInfo] = [
              "every public (non-underscore) function and method in "
              "repro.core is part of the middleware's API surface and "
              "must state its contract in a docstring"),
+    CodeInfo("GA509", "lint", Severity.ERROR,
+             "nondeterministic read bypasses the DeterministicContext",
+             "code in repro.ledger and stage on_item() bodies must route "
+             "wall-clock reads and random draws through context.det "
+             "(now()/draw()) so recorded runs capture them and replay "
+             "can pin them; a direct time.*/random.* call makes the run "
+             "unreplayable"),
 ]
 
 CODES: Dict[str, CodeInfo] = {info.code: info for info in _ALL}

@@ -57,6 +57,12 @@ SKETCH_PROPERTY = "sketch"
 #: Stage property opting a stage into live migration ("true" / "false").
 MIGRATABLE_PROPERTY = "migratable"
 
+#: Stage property declaring the pipeline records to the run ledger.
+LEDGER_ENABLED_PROPERTY = "ledger-enabled"
+
+#: Stage property waiving the GA240 idempotent-sink requirement.
+AT_LEAST_ONCE_OK_PROPERTY = "at-least-once-ok"
+
 
 def verify_path(
     path: str,
@@ -136,6 +142,7 @@ def verify_raw(
         _check_sharding(app, stage, report)
     _check_wire(app, report)
     _check_migration(app, repository, resilience, migrating, report)
+    _check_ledger(app, repository, report)
     if repository is not None:
         _check_codes(app, repository, report)
     if registry is not None:
@@ -551,6 +558,59 @@ def _check_migration(
                  "not override snapshot() and restore(); the migration "
                  "handoff would move it with empty state",
                  line=stage.line, config_path=config_path)
+
+
+def _check_ledger(
+    app: RawApp, repository: Optional[object], report: Report
+) -> None:
+    """GA240: sinks in a ledger-enabled pipeline must be idempotent.
+
+    A pipeline is ledger-enabled when any stage declares
+    ``ledger-enabled: true`` (or carries a ``ledger-mode`` of record or
+    replay — the properties the harness stamps).  Delivery below a sink
+    is then at-least-once: failover replay and migration handoff both
+    re-deliver items, and the replay harness's exactly-once claim rests
+    entirely on the sink deduplicating by item key.  Every sink stage
+    (no outgoing streams) must therefore resolve to a class implementing
+    the :class:`~repro.ledger.sinks.SinkTxn` protocol (``txn_begin`` +
+    ``txn_commit``), unless it explicitly accepts duplicates with
+    ``at-least-once-ok: true``.
+    """
+    from repro.grid.repository import RepositoryError
+
+    def _ledgered(stage: RawStage) -> bool:
+        if stage.properties.get(LEDGER_ENABLED_PROPERTY) == "true":
+            return True
+        return stage.properties.get("ledger-mode") in ("record", "replay")
+
+    if not any(_ledgered(stage) for stage in app.stages):
+        return
+    sources = {stream.src for stream in app.streams}
+    for stage in app.stages:
+        if stage.name in sources:
+            continue  # not a sink
+        config_path = f"stage {stage.name!r}"
+        if stage.properties.get(AT_LEAST_ONCE_OK_PROPERTY) == "true":
+            continue
+        if repository is None:
+            continue  # cannot resolve the class without a repository
+        try:
+            factory: Callable[..., object] = repository.fetch(stage.code_url)
+        except RepositoryError:
+            continue  # unresolvable URL is GA301's finding
+        if not isinstance(factory, type):
+            continue  # non-class factories cannot be checked statically
+        if callable(getattr(factory, "txn_begin", None)) and callable(
+            getattr(factory, "txn_commit", None)
+        ):
+            continue
+        _add(report, app, "GA240",
+             f"stage {stage.name!r}: sink class {factory.__name__} does "
+             "not implement the SinkTxn protocol; redelivered duplicates "
+             "in this ledger-enabled pipeline would double-apply effects "
+             "(add txn_begin/txn_commit via repro.ledger.sinks.SinkTxn, "
+             f"or declare {AT_LEAST_ONCE_OK_PROPERTY}: true)",
+             line=stage.line, config_path=config_path)
 
 
 # -- GA3xx: deployment ---------------------------------------------------------

@@ -44,6 +44,11 @@ gauges so bench output flows through the ordinary metrics export.
 
 from __future__ import annotations
 
+# The migrate-sink's monotonic arrival stamps are the measurement itself,
+# not stage nondeterminism to record; the bench pipelines never run under
+# the ledger.
+# repro: noqa[GA509]
+
 import json
 import math
 import time
@@ -63,7 +68,12 @@ __all__ = [
     "BenchRelay",
     "BenchShardRelay",
     "BenchSink",
+    "FLOOR_TRACKED",
+    "REGRESSION_TOLERANCE",
     "SCHEMA",
+    "compare_files",
+    "compare_reports",
+    "render_compare",
     "run_bench",
     "validate_file",
     "validate_report",
@@ -71,6 +81,24 @@ __all__ = [
 ]
 
 SCHEMA = "repro-bench/1"
+
+#: Macro cases whose throughput CI floors: ``bench --compare`` exits
+#: nonzero when any of them regresses by more than the tolerance.
+FLOOR_TRACKED = (
+    "macro-sim-single",
+    "macro-sim-batched",
+    "macro-threaded-single",
+    "macro-threaded-batched",
+    "macro-net-single",
+    "macro-net-batched",
+    "macro-shard-r1",
+    "macro-shard-r2",
+    "macro-migrate-pre",
+    "macro-migrate-post",
+)
+
+#: Allowed items/s drop on a floor-tracked case before --compare fails.
+REGRESSION_TOLERANCE = 0.20
 
 #: Batch policy every batched case runs under; ``max_delay`` doubles as
 #: the latency-regression bound the perf smoke test asserts.
@@ -752,3 +780,119 @@ def validate_file(path: str) -> List[str]:
     except ValueError as exc:
         return [f"{path!r} is not valid JSON: {exc}"]
     return validate_report(report)
+
+
+# -- report comparison ---------------------------------------------------------
+
+
+def compare_reports(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    tolerance: float = REGRESSION_TOLERANCE,
+) -> Tuple[List[Dict[str, Any]], List[str]]:
+    """Diff two bench reports; returns ``(rows, problems)``.
+
+    One row per case name present in either report with the old and new
+    items/s and their ratio.  ``problems`` is non-empty when a
+    floor-tracked case (:data:`FLOOR_TRACKED`) regressed by more than
+    ``tolerance`` or disappeared from the new report — the CI gate
+    ``repro bench --compare`` exits nonzero on any problem.  Micro cases
+    and non-floored macros are reported but never fail the gate (they
+    are too machine-sensitive to floor).
+    """
+    problems: List[str] = []
+    for label, report in (("old", old), ("new", new)):
+        for issue in validate_report(report):
+            problems.append(f"{label} report: {issue}")
+    if problems:
+        return [], problems
+    old_by = {case["name"]: case for case in old["cases"]}
+    new_by = {case["name"]: case for case in new["cases"]}
+    rows: List[Dict[str, Any]] = []
+    for name in sorted(set(old_by) | set(new_by)):
+        floored = name in FLOOR_TRACKED
+        old_case = old_by.get(name)
+        new_case = new_by.get(name)
+        row: Dict[str, Any] = {
+            "name": name,
+            "floored": floored,
+            "old_items_per_second": (
+                old_case["items_per_second"] if old_case else None
+            ),
+            "new_items_per_second": (
+                new_case["items_per_second"] if new_case else None
+            ),
+            "ratio": None,
+        }
+        if old_case is None:
+            rows.append(row)
+            continue
+        if new_case is None:
+            rows.append(row)
+            if floored:
+                problems.append(
+                    f"floor-tracked case {name!r} is missing from the new report"
+                )
+            continue
+        old_ips = float(old_case["items_per_second"])
+        new_ips = float(new_case["items_per_second"])
+        ratio = new_ips / old_ips if old_ips > 0 else float("inf")
+        row["ratio"] = ratio
+        rows.append(row)
+        if floored and ratio < 1.0 - tolerance:
+            problems.append(
+                f"{name}: items/s regressed {old_ips:,.0f} -> {new_ips:,.0f} "
+                f"({ratio:.2f}x, floor is {1.0 - tolerance:.2f}x)"
+            )
+    for name in FLOOR_TRACKED:
+        if name not in old_by and name not in new_by:
+            problems.append(
+                f"floor-tracked case {name!r} is missing from both reports"
+            )
+    return rows, problems
+
+
+def compare_files(
+    old_path: str,
+    new_path: str,
+    tolerance: float = REGRESSION_TOLERANCE,
+) -> Tuple[List[Dict[str, Any]], List[str]]:
+    """:func:`compare_reports` over two report files on disk."""
+    reports = []
+    for path in (old_path, new_path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                reports.append(json.load(handle))
+        except OSError as exc:
+            return [], [f"cannot read {path!r}: {exc}"]
+        except ValueError as exc:
+            return [], [f"{path!r} is not valid JSON: {exc}"]
+    return compare_reports(reports[0], reports[1], tolerance)
+
+
+def render_compare(rows: List[Dict[str, Any]], problems: List[str]) -> str:
+    """The human-readable table ``repro bench --compare`` prints."""
+    lines = [
+        f"{'case':<28} {'old items/s':>14} {'new items/s':>14} "
+        f"{'ratio':>7} {'floor':>6}"
+    ]
+    for row in rows:
+        old_ips = row["old_items_per_second"]
+        new_ips = row["new_items_per_second"]
+        ratio = row["ratio"]
+        lines.append(
+            f"{row['name']:<28} "
+            + (f"{old_ips:>14,.0f}" if old_ips is not None else f"{'-':>14}")
+            + " "
+            + (f"{new_ips:>14,.0f}" if new_ips is not None else f"{'-':>14}")
+            + " "
+            + (f"{ratio:>6.2f}x" if ratio is not None else f"{'-':>7}")
+            + f" {'yes' if row['floored'] else '':>6}"
+        )
+    if problems:
+        lines.append("")
+        for problem in problems:
+            lines.append(f"REGRESSION: {problem}")
+    else:
+        lines.append("no floor-tracked regressions")
+    return "\n".join(lines)

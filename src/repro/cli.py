@@ -212,6 +212,37 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--validate", metavar="PATH",
                        help="validate an existing report file instead of "
                             "running the benchmarks")
+    bench.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
+                       help="diff two bench reports instead of running; "
+                            "exits nonzero when a floor-tracked case "
+                            "regressed by more than the tolerance")
+    bench.add_argument("--tolerance", type=float, default=None,
+                       help="[--compare] allowed fractional items/s drop on "
+                            "floor-tracked cases (default 0.20)")
+
+    replay = sub.add_parser(
+        "replay",
+        help="record a run into a hash-chained ledger, or replay a "
+             "recorded ledger on any runtime and assert bit-identical "
+             "sink output (see docs/replay.md)",
+    )
+    replay.add_argument("ledger", nargs="?", default=None,
+                        help="a recorded run.ledger to replay; omitted = "
+                             "record a fresh demo run (requires --record)")
+    replay.add_argument("--record", metavar="DIR", default=None,
+                        help="record the demo pipeline into DIR and print "
+                             "the ledger path and digests")
+    replay.add_argument("--runtime", choices=("sim", "threaded", "net"),
+                        default="sim",
+                        help="runtime to record or replay on (default sim)")
+    replay.add_argument("--items", type=int, default=96,
+                        help="[--record] source items to feed (default 96)")
+    replay.add_argument("--chaos", action="store_true",
+                        help="[--record, sim only] inject a host crash with "
+                             "failover, a live migration, and a shard "
+                             "scale-up mid-run")
+    replay.add_argument("--json", action="store_true",
+                        help="emit the machine-readable JSON summary/report")
     return parser
 
 
@@ -526,6 +557,19 @@ def _cmd_topology(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import render_report, run_bench, validate_report, write_report
 
+    if args.compare is not None:
+        from repro.bench import REGRESSION_TOLERANCE, compare_files, render_compare
+
+        tolerance = (args.tolerance if args.tolerance is not None
+                     else REGRESSION_TOLERANCE)
+        old_path, new_path = args.compare
+        try:
+            rows, problems = compare_files(old_path, new_path, tolerance=tolerance)
+        except (OSError, ValueError) as exc:
+            print(f"INVALID: {exc}", file=sys.stderr)
+            return 1
+        print(render_compare(rows, problems))
+        return 1 if problems else 0
     if args.validate is not None:
         from repro.bench import validate_file
 
@@ -548,6 +592,57 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.ledger import ReplaySpec, record, replay
+
+    if args.record is not None and args.ledger is not None:
+        print("replay: give either --record DIR or a LEDGER path, not both",
+              file=sys.stderr)
+        return 2
+    if args.record is not None:
+        if args.chaos and args.runtime != "sim":
+            print("replay: --chaos needs a fault fabric; only --runtime sim "
+                  "supports it", file=sys.stderr)
+            return 2
+        spec = ReplaySpec(items=args.items, chaos=args.chaos)
+        result = record(args.record, runtime=args.runtime, spec=spec)
+        if args.json:
+            print(_json.dumps(result.as_dict(), indent=2, sort_keys=True))
+        else:
+            print(f"recorded {args.runtime} run -> {result.ledger_path}")
+            print(f"  records:   {result.counts.get('records', 0)} "
+                  f"(ingress {result.counts.get('ingress', 0)}, "
+                  f"reads {result.counts.get('reads', 0)}, "
+                  f"sinks {result.counts.get('sinks', 0)}, "
+                  f"decisions {result.counts.get('decisions', 0)})")
+            print(f"  sink digest:  {result.sink_digest}")
+            print(f"  state digest: {result.state_digest}")
+            print(f"  effects: {len(result.effects)}  "
+                  f"sink-dedup: {result.sink_duplicates}  "
+                  f"delivery-dups: {result.delivery_duplicates}")
+        return 0
+    if args.ledger is None:
+        print("replay: need a LEDGER path to replay, or --record DIR to "
+              "record one", file=sys.stderr)
+        return 2
+    from repro.ledger import LedgerError
+
+    try:
+        report = replay(args.ledger, runtime=args.runtime)
+    except (LedgerError, ValueError) as exc:
+        print(f"replay: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary_line())
+        if report.first_divergence is not None:
+            print(f"  first divergence: {report.first_divergence}")
+    return 0 if report.match else 1
+
+
 _COMMANDS = {
     "fig5": _cmd_fig5,
     "fig6-7": _cmd_fig67,
@@ -562,6 +657,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "topology": _cmd_topology,
     "bench": _cmd_bench,
+    "replay": _cmd_replay,
 }
 
 

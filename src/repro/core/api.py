@@ -158,6 +158,27 @@ class StageContext(abc.ABC):
     def properties(self) -> Dict[str, str]:
         """Configuration properties uploaded with the stage code."""
 
+    @property
+    def det(self) -> Any:
+        """The stage's :class:`~repro.ledger.DeterministicContext`.
+
+        Lazily built from the ``ledger-mode`` / ``ledger-dir`` /
+        ``ledger-path`` stage properties, so it works identically on all
+        three runtimes (including out-of-process networked workers).
+        With no ledger properties set it is a zero-overhead passthrough;
+        replayable stages route every wall-clock read, random draw, and
+        suggested-value read through it.
+        """
+        cached = self.__dict__.get("_det")
+        if cached is None:
+            from repro.ledger.context import deterministic_context_for
+
+            cached = deterministic_context_for(
+                self.stage_name, self.properties, fallback_now=lambda: self.now
+            )
+            self.__dict__["_det"] = cached
+        return cached
+
 
 class StreamProcessor(abc.ABC):
     """Base class for user stage code (paper: ``StreamProcessor``).

@@ -820,6 +820,7 @@ class SimulatedRuntime:
                     self._item_finished(stage)
                     continue
                 stage.processor.flush(ctx)
+                ctx.det.finalize_stage(stage.processor)
                 yield from self._transmit_pending(stage, host)
                 for index in range(len(stage.batch_buffers)):
                     yield from self._flush_edge_batch(stage, index)
@@ -1355,6 +1356,40 @@ class SimulatedRuntime:
     #: Drain poll while waiting for the in-flight item at a migration's
     #: pause point (simulated seconds).
     MIGRATE_DRAIN_POLL = 0.01
+
+    def scale_stage(self, group_name: str, active: int) -> None:
+        """Change a shard group's active replica count mid-run.
+
+        The simulated counterpart of the threaded autoscaler's
+        transitions: items emitted after the call are partitioned over
+        the new count (slots are pre-provisioned to the group's ceiling
+        by ``expand_shards``, so scaling up needs no new workers).
+        Items already queued at a replica stay there — per-key order is
+        preserved because routing only ever changes *between* items.
+        Logged as a ``shard-scaled`` event so recorded runs capture the
+        decision.
+        """
+        group = self._groups.get(group_name)
+        if group is None:
+            raise RuntimeError_(f"unknown shard group {group_name!r}")
+        if not 1 <= active <= len(group.members):
+            raise RuntimeError_(
+                f"group {group_name!r}: active must be in "
+                f"[1, {len(group.members)}], got {active}"
+            )
+        previous = group.active
+        if active == previous:
+            return
+        group.active = active
+        self.metrics.gauge(f"shard.{group_name}.replicas").set(float(active))
+        if self._result is not None:
+            self._result.events.log(
+                self.env.now,
+                "shard-scaled",
+                group=group_name,
+                previous=previous,
+                active=active,
+            )
 
     def is_migrating(self, stage_name: str) -> bool:
         """Whether a planned migration of ``stage_name`` is in flight."""

@@ -842,6 +842,7 @@ class ThreadedRuntime:
                         continue
                     with stage.state_lock:
                         stage.processor.flush(ctx)
+                        ctx.det.finalize_stage(stage.processor)
                     self._transmit_pending(stage)
                     self._flush_all(stage)
                     for edge in stage.out_edges:

@@ -1,0 +1,66 @@
+"""Docs-consistency check: the record-type catalog and docs must agree.
+
+``docs/replay.md`` documents every ledger record type in a markdown
+table whose first column is the backticked type name and whose second
+column is the merge rank.  :func:`check_docs` diffs that table against
+the authoritative catalog (:data:`repro.ledger.records.RECORD_TYPES`)
+in both directions — a type added without a docs row, a docs row for a
+removed type, or a rank mismatch each produce one problem string.  The
+tier-1 test ``tests/ledger/test_docs.py`` asserts the list is empty, so
+the record-format reference cannot drift.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.ledger.records import RECORD_TYPES
+
+__all__ = ["check_docs", "default_docs_path", "documented_types"]
+
+#: A record-type table row: ``| `TYPE` | rank | ...``.
+_ROW = re.compile(r"^\|\s*`(?P<name>[A-Z]+)`\s*\|\s*(?P<rank>\d+)\s*\|")
+
+
+def default_docs_path() -> Path:
+    """``docs/replay.md`` relative to the repository root."""
+    return Path(__file__).resolve().parents[3] / "docs" / "replay.md"
+
+
+def documented_types(path: Path) -> Dict[str, int]:
+    """Parse ``{type: rank}`` from the docs' record-type table rows."""
+    documented: Dict[str, int] = {}
+    for line in path.read_text(encoding="utf-8").splitlines():
+        match = _ROW.match(line.strip())
+        if match:
+            documented[match.group("name")] = int(match.group("rank"))
+    return documented
+
+
+def check_docs(path: Optional[Path] = None) -> List[str]:
+    """Problems keeping the docs and the catalog apart (empty = in sync)."""
+    path = path if path is not None else default_docs_path()
+    if not path.exists():
+        return [f"docs file missing: {path}"]
+    documented = documented_types(path)
+    cataloged: Dict[str, int] = {info.name: info.rank for info in RECORD_TYPES}
+    problems: List[str] = []
+    for name, rank in cataloged.items():
+        if name not in documented:
+            problems.append(
+                f"cataloged record type {name!r} is not documented in {path.name}"
+            )
+        elif documented[name] != rank:
+            problems.append(
+                f"{name!r}: catalog says rank {rank}, docs say "
+                f"{documented[name]}"
+            )
+    for name in sorted(documented):
+        if name not in cataloged:
+            problems.append(
+                f"{path.name} documents record type {name!r}, which is not "
+                "in the catalog (repro.ledger.records.RECORD_TYPES)"
+            )
+    return problems

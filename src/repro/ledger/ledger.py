@@ -1,0 +1,176 @@
+"""Append-only ledger files: writer, verifying reader, sidecar merge.
+
+A run produces one sidecar ledger per stage (plus one for the run-level
+records the harness emits).  ``merge_ledgers`` folds the sidecars into a
+single ``run.ledger`` in the canonical record order, re-sequencing and
+re-chaining so the merged file carries one unbroken hash chain that any
+verifier can walk.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional
+
+from .records import (
+    GENESIS,
+    Record,
+    RecordError,
+    decode_line,
+    encode_line,
+    merge_order,
+)
+
+__all__ = ["LedgerError", "LedgerReader", "LedgerWriter", "merge_ledgers"]
+
+
+class LedgerError(RecordError):
+    """Raised when a ledger file cannot be read, verified, or extended."""
+
+
+class LedgerWriter:
+    """Appends hash-chained records to one ledger file.
+
+    Opening an existing file resumes the chain from its last record (the
+    whole file is re-verified first), so a stage re-incarnated after a
+    failover or a cross-host migration keeps extending the same chain.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._seq = 0
+        self._head = GENESIS
+        self._sseq: Dict[str, int] = {}
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        if os.path.exists(path) and os.path.getsize(path) > 0:
+            for record in self._resume():
+                self._seq = record.seq + 1
+                if record.stage:
+                    self._sseq[record.stage] = max(
+                        self._sseq.get(record.stage, 0), record.sseq + 1
+                    )
+        self._fh = open(path, "a", encoding="utf-8")
+
+    def _resume(self) -> Iterable[Record]:
+        reader = LedgerReader(self.path)
+        records = reader.read()
+        self._head = reader.head
+        return records
+
+    @property
+    def head(self) -> str:
+        """The chained digest of the last record written (GENESIS if none)."""
+        return self._head
+
+    @property
+    def count(self) -> int:
+        """Number of records in the file."""
+        return self._seq
+
+    def next_sseq(self, stage: str) -> int:
+        """Allocate the next per-stage sequence number for ``stage``."""
+        value = self._sseq.get(stage, 0)
+        self._sseq[stage] = value + 1
+        return value
+
+    def append(
+        self,
+        type: str,
+        *,
+        stage: str = "",
+        key: str = "",
+        idx: int = 0,
+        data: Optional[dict] = None,
+        sseq: Optional[int] = None,
+    ) -> Record:
+        """Append one record, assigning file and per-stage sequence numbers."""
+        if sseq is None:
+            sseq = self.next_sseq(stage) if stage else self._seq
+        record = Record(
+            type=type,
+            seq=self._seq,
+            sseq=sseq,
+            stage=stage,
+            key=key,
+            idx=idx,
+            data=dict(data or {}),
+        )
+        line, digest = encode_line(record, self._head)
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        self._head = digest
+        self._seq += 1
+        return record
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        try:
+            self._fh.flush()
+        finally:
+            self._fh.close()
+
+
+class LedgerReader:
+    """Reads a ledger file, verifying CRCs and the hash chain as it goes."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.head = GENESIS
+
+    def read(self) -> List[Record]:
+        """All records, in file order; raises :class:`LedgerError` on damage."""
+        records: List[Record] = []
+        prev = GENESIS
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                for lineno, line in enumerate(fh, start=1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record, prev = decode_line(line, prev)
+                    except RecordError as exc:
+                        raise LedgerError(
+                            f"{self.path}:{lineno}: {exc}"
+                        ) from exc
+                    records.append(record)
+        except OSError as exc:
+            raise LedgerError(f"cannot read ledger {self.path}: {exc}") from exc
+        self.head = prev
+        return records
+
+
+def merge_ledgers(sidecar_paths: Iterable[str], out_path: str) -> List[Record]:
+    """Merge per-stage sidecar ledgers into one canonical run ledger.
+
+    Records are re-ordered by :func:`repro.ledger.records.sort_key` and
+    re-chained from genesis so the merged file verifies end to end.
+    Returns the merged records (with their new sequence numbers).
+    """
+    collected: List[Record] = []
+    for path in sidecar_paths:
+        if not os.path.exists(path):
+            continue
+        collected.extend(LedgerReader(path).read())
+    ordered = merge_order(collected)
+    if os.path.exists(out_path + ".tmp"):
+        os.remove(out_path + ".tmp")
+    writer = LedgerWriter(out_path + ".tmp")
+    try:
+        merged: List[Record] = []
+        for record in ordered:
+            merged.append(
+                writer.append(
+                    record.type,
+                    stage=record.stage,
+                    key=record.key,
+                    idx=record.idx,
+                    data=record.data,
+                    sseq=record.sseq,
+                )
+            )
+    finally:
+        writer.close()
+    os.replace(out_path + ".tmp", out_path)
+    return merged

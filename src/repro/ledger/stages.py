@@ -1,0 +1,120 @@
+"""Enveloped items and replayable demo stages.
+
+Every item in a recorded pipeline travels inside a small JSON-safe
+envelope ``{"lk": <key>, "lv": <value>}``.  The key is the item's
+ingress sequence number — assigned once by the recording harness and
+stable across redeliveries, shard routing, and runtimes — and is what
+idempotent sinks (:mod:`repro.ledger.sinks`) and the per-item read
+coordinates of the :class:`~repro.ledger.DeterministicContext` key on.
+
+The stages here are the referents of the ``py://repro.ledger.stages:*``
+code URLs used by the replay demo pipeline and the CI smoke run; they
+are deliberately nondeterministic (wall clock, RNG, adaptation
+parameter) so replay parity is a real claim, and they route every such
+read through ``context.det``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Dict
+
+from ..core.api import ProcessorError, StageContext, StreamProcessor
+
+__all__ = ["DetRelayStage", "key_of", "value_of", "wrap"]
+
+
+def wrap(key: Any, value: Any) -> Dict[str, Any]:
+    """Build the item envelope carrying a stable ledger key."""
+    return {"lk": int(key), "lv": value}
+
+
+def key_of(payload: Any) -> int:
+    """The stable ledger key of an enveloped item."""
+    if isinstance(payload, dict) and "lk" in payload:
+        return int(payload["lk"])
+    raise ProcessorError(f"item is not ledger-enveloped: {payload!r}")
+
+
+def value_of(payload: Any) -> Any:
+    """The application value inside an enveloped item."""
+    if isinstance(payload, dict) and "lv" in payload:
+        return payload["lv"]
+    raise ProcessorError(f"item is not ledger-enveloped: {payload!r}")
+
+
+def _crc(value: Any) -> int:
+    import json
+
+    return zlib.crc32(
+        json.dumps(value, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    ) & 0xFFFFFFFF
+
+
+class DetRelayStage(StreamProcessor):
+    """Replayable relay: mixes clock, RNG, and a Section-4 parameter.
+
+    For each enveloped item it observes the suggested ``gain``, one
+    random draw, and the wall clock — all through ``context.det`` — and
+    emits a derived envelope downstream.  Because every read is keyed by
+    the item's ledger key, a redelivered item (failover replay,
+    migration handoff) reproduces its original output bit for bit.
+
+    Snapshot/restore carry a per-key output checksum map so the
+    ``replay_state()`` digest is insensitive to duplicates and ordering.
+    """
+
+    PARAM = "gain"
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._emitted: Dict[str, int] = {}
+
+    def setup(self, context: StageContext) -> None:
+        """Declare the ``gain`` adjustment parameter."""
+        context.specify_parameter(self.PARAM, 1.0, 1.0, 8.0, 1.0, 1)
+
+    def on_item(self, payload: Any, context: StageContext) -> None:
+        """Transform one enveloped item deterministically-under-replay."""
+        key = key_of(payload)
+        det = context.det
+        det.begin(key)
+        gain = det.suggested(self.PARAM, context.get_suggested_value(self.PARAM))
+        jitter = det.draw()
+        stamp = det.now()
+        value = value_of(payload)
+        out = {
+            "v": value,
+            "g": float(gain),
+            "r": float(jitter),
+            "t": float(stamp),
+            "via": context.det.base_name,
+        }
+        self.count += 1
+        self._emitted[str(key)] = _crc(out)
+        context.emit(wrap(key, out))
+
+    def snapshot(self) -> Any:
+        """Item count plus the per-key output checksum map."""
+        return {
+            "count": self.count,
+            "emitted": [[k, self._emitted[k]] for k in sorted(self._emitted)],
+        }
+
+    def restore(self, state: Any) -> None:
+        """Rebuild counters and the checksum map from a checkpoint."""
+        if not isinstance(state, dict):
+            return
+        self.count = int(state.get("count", 0))
+        self._emitted = {str(k): int(v) for k, v in state.get("emitted", [])}
+
+    def replay_state(self) -> Any:
+        """Duplicate- and order-insensitive final state for STATE records.
+
+        The per-key output checksums as a sorted ``[key, crc]`` list:
+        re-delivered items overwrite their own entry with the identical
+        checksum, and replicas of a sharded group own disjoint keys, so
+        the harness can merge the replicas' lists into one per-stage
+        state that only a genuinely different output can perturb.
+        """
+        return [[k, self._emitted[k]] for k in sorted(self._emitted, key=int)]

@@ -803,6 +803,7 @@ class Worker:
                     if not stage.eos.observe():
                         continue
                     stage.processor.flush(ctx)
+                    ctx.det.finalize_stage(stage.processor)
                     await self._transmit_pending(stage)
                     for index in list(stage.batch_buffers):
                         await self._flush_route(stage, index)

@@ -245,6 +245,29 @@ METRICS: Tuple[MetricSpec, ...] = (
                "—",
                "At-least-once duplicates from a degraded (crash-interrupted) "
                "migration; zero on the planned path."),
+    # -- record/replay ledger (see docs/replay.md) --------------------------
+    MetricSpec("ledger.{stage}.records", "counter", "records",
+               ("sim", "threaded", "net"),
+               "—",
+               "Nondeterministic reads (CLOCK/RNG/PARAM) the stage recorded "
+               "into its run-ledger sidecar."),
+    MetricSpec("ledger.{stage}.effects", "counter", "effects",
+               ("sim", "threaded", "net"),
+               "—",
+               "Sink effects committed exactly once through the SinkTxn "
+               "protocol (SINK records)."),
+    MetricSpec("ledger.{stage}.dedup_hits", "counter", "reads",
+               ("sim", "threaded", "net"),
+               "—",
+               "Reads served from the recorded coordinate instead of a "
+               "fresh value (redelivered items reproducing their original "
+               "output bit for bit)."),
+    MetricSpec("ledger.{stage}.replay_misses", "counter", "reads",
+               ("sim", "threaded", "net"),
+               "—",
+               "Replay-mode reads whose coordinate was absent from the "
+               "recording (fell back to a live value; nonzero means the "
+               "replay drifted off the recorded path)."),
     # -- networked data plane (see docs/networking.md) ----------------------
     MetricSpec("net.{channel}.frames", "counter", "frames", ("net",),
                "inter-server stream traffic (§2: stages on distinct hosts)",

@@ -1,0 +1,20 @@
+"""Broken fixture: nondeterministic reads bypassing the context.
+
+Both sites must go through ``context.det`` — the module lives under
+``repro.ledger`` and the second call sits in a stage ``on_item`` body.
+"""
+
+import random
+import time
+
+
+def stamp() -> float:
+    return time.time()
+
+
+class LeakyStage:
+    """Stage whose per-item path draws from the global RNG."""
+
+    def on_item(self, payload, context) -> None:
+        """Forward with an unrecorded jitter (the defect)."""
+        context.emit(payload, delay=random.random())

@@ -28,6 +28,7 @@ CASES = [
     ("repro/streams/bad_except.py", {"GA507"}),
     ("repro/core/bad_metrics.py", {"GA501", "GA506"}),
     ("repro/core/bad_docstring.py", {"GA508"}),
+    ("repro/ledger/bad_det.py", {"GA509"}),
 ]
 
 

@@ -36,6 +36,7 @@ CASES = [
     ("ga221_inert_shard_knob", "GA221"),
     ("ga230_migration", "GA230"),
     ("ga231_migration_gate", "GA231"),
+    ("ga240_ledger_sink", "GA240"),
     ("ga301_code_url", "GA301"),
     ("ga302_checkpoint", "GA302"),
     ("ga303_placement", "GA303"),

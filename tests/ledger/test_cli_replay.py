@@ -1,0 +1,66 @@
+"""CLI plumbing: ``repro replay`` record/replay and exit-code contract."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def recording(tmp_path_factory):
+    out = str(tmp_path_factory.mktemp("cli-rec"))
+    code = main(["replay", "--record", out, "--runtime", "sim",
+                 "--items", "16"])
+    assert code == 0
+    return out + "/run.ledger"
+
+
+class TestRecord:
+    def test_record_prints_digests(self, recording, capsys):
+        main(["replay", "--record", recording.rsplit("/", 1)[0],
+              "--runtime", "sim", "--items", "16"])
+        out = capsys.readouterr().out
+        assert "sink digest:" in out and "state digest:" in out
+
+    def test_record_json(self, tmp_path, capsys):
+        assert main(["replay", "--record", str(tmp_path), "--items", "8",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["ingress"] == 8
+        assert payload["effect_count"] == 8
+
+    def test_chaos_requires_sim(self, tmp_path, capsys):
+        assert main(["replay", "--record", str(tmp_path), "--chaos",
+                     "--runtime", "threaded"]) == 2
+        assert "sim" in capsys.readouterr().err
+
+
+class TestReplay:
+    def test_match_exits_zero(self, recording, capsys):
+        assert main(["replay", recording, "--runtime", "sim"]) == 0
+        assert "MATCH" in capsys.readouterr().out
+
+    def test_replay_json_report(self, recording, capsys):
+        assert main(["replay", recording, "--runtime", "sim",
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["match"] is True
+        assert report["replay_misses"] == 0
+
+    def test_tampered_ledger_rejected(self, recording, tmp_path, capsys):
+        lines = open(recording).read().splitlines()
+        bad = tmp_path / "bad.ledger"
+        bad.write_text("\n".join(lines[:1] + lines[2:]) + "\n")
+        assert main(["replay", str(bad)]) == 1
+        assert "hash-chain break" in capsys.readouterr().err
+
+
+class TestArgumentErrors:
+    def test_neither_record_nor_ledger(self, capsys):
+        assert main(["replay"]) == 2
+        assert "need a LEDGER path" in capsys.readouterr().err
+
+    def test_both_record_and_ledger(self, tmp_path, capsys):
+        assert main(["replay", "x.ledger", "--record", str(tmp_path)]) == 2
+        assert "not both" in capsys.readouterr().err

@@ -1,0 +1,169 @@
+"""DeterministicContext: modes, idempotent reads, registry, STATE records."""
+
+import pytest
+
+from repro.ledger.context import (
+    MODE_OFF,
+    MODE_RECORD,
+    MODE_REPLAY,
+    DeterministicContext,
+    base_stage_name,
+    deterministic_context_for,
+    reset_registry,
+)
+from repro.ledger.ledger import LedgerReader
+
+
+@pytest.fixture(autouse=True)
+def isolated_registry():
+    reset_registry()
+    yield
+    reset_registry()
+
+
+def record_ctx(tmp_path, stage="work", **kwargs):
+    return DeterministicContext(
+        stage, MODE_RECORD, sidecar_path=str(tmp_path / "work.ledger"), **kwargs
+    )
+
+
+class TestBaseName:
+    def test_strips_shard_suffix(self):
+        assert base_stage_name("work#2") == "work"
+        assert base_stage_name("work") == "work"
+
+
+class TestOffMode:
+    def test_passthrough_costs_nothing_and_writes_nothing(self, tmp_path):
+        ctx = DeterministicContext("s", MODE_OFF, fallback_now=lambda: 42.0)
+        ctx.begin(0)
+        assert ctx.now() == 42.0
+        assert 0.0 <= ctx.draw() < 1.0
+        assert ctx.suggested("p", 7) == 7
+        ctx.sink_effect(0, "x")  # no writer: must not raise
+        assert ctx.counters["records"] == 0
+        assert not ctx.active
+
+
+class TestRecordMode:
+    def test_reads_are_recorded_with_coordinates(self, tmp_path):
+        ctx = record_ctx(tmp_path, fallback_now=lambda: 5.0)
+        ctx.begin(17)
+        ctx.now()
+        ctx.draw()
+        ctx.draw()
+        ctx.close()
+        records = LedgerReader(str(tmp_path / "work.ledger")).read()
+        assert [(r.type, r.key, r.idx) for r in records] == [
+            ("CLOCK", "17", 0),
+            ("RNG", "17", 0),
+            ("RNG", "17", 1),
+        ]
+
+    def test_redelivery_replays_recorded_values(self, tmp_path):
+        """The idempotency that makes at-least-once redelivery bit-stable."""
+        clock = iter([1.0, 2.0])
+        ctx = record_ctx(tmp_path, fallback_now=lambda: next(clock))
+        ctx.begin(3)
+        first = (ctx.now(), ctx.draw())
+        ctx.begin(3)  # same item redelivered after a failover
+        second = (ctx.now(), ctx.draw())
+        assert first == second
+        assert ctx.counters["dedup_hits"] == 2
+        assert ctx.counters["records"] == 2  # nothing new was appended
+        ctx.close()
+
+    def test_cross_process_restart_reloads_read_memory(self, tmp_path):
+        ctx = record_ctx(tmp_path, fallback_now=lambda: 1.25)
+        ctx.begin(0)
+        value = ctx.draw()
+        ctx.close()
+        # A fresh context on the same sidecar (new process/incarnation).
+        again = record_ctx(tmp_path, fallback_now=lambda: 9.0)
+        again.begin(0)
+        assert again.draw() == value
+        assert again.counters["dedup_hits"] == 1
+        again.close()
+
+    def test_replica_shares_base_coordinates(self, tmp_path):
+        ctx = DeterministicContext(
+            "work#1", MODE_RECORD, sidecar_path=str(tmp_path / "w.ledger")
+        )
+        ctx.begin(0)
+        ctx.draw()
+        ctx.close()
+        records = LedgerReader(str(tmp_path / "w.ledger")).read()
+        assert records[0].stage == "work"
+
+    def test_finalize_writes_state_with_counters(self, tmp_path):
+        class Proc:
+            def replay_state(self):
+                return [["0", 11]]
+
+        ctx = record_ctx(tmp_path)
+        ctx.begin(0)
+        ctx.draw()
+        ctx.finalize_stage(Proc())
+        ctx.close()
+        state = [r for r in LedgerReader(str(tmp_path / "work.ledger")).read()
+                 if r.type == "STATE"]
+        assert len(state) == 1
+        assert state[0].data["v"] == [["0", 11]]
+        assert state[0].data["counters"]["records"] == 1
+
+
+class TestReplayMode:
+    def test_reads_served_from_recording(self, tmp_path):
+        ctx = record_ctx(tmp_path, fallback_now=lambda: 7.5)
+        ctx.begin(0)
+        recorded = (ctx.now(), ctx.draw(), ctx.suggested("gain", 3.0))
+        ctx.close()
+
+        replay = DeterministicContext(
+            "work", MODE_REPLAY,
+            sidecar_path=str(tmp_path / "replay" / "work.ledger"),
+            replay_path=str(tmp_path / "work.ledger"),
+            fallback_now=lambda: -1.0,
+        )
+        replay.begin(0)
+        assert (replay.now(), replay.draw(),
+                replay.suggested("gain", -2.0)) == recorded
+        assert replay.counters["replay_misses"] == 0
+        replay.close()
+
+    def test_missing_coordinate_counts_a_miss_and_falls_back(self, tmp_path):
+        ctx = record_ctx(tmp_path)
+        ctx.begin(0)
+        ctx.draw()
+        ctx.close()
+        replay = DeterministicContext(
+            "work", MODE_REPLAY,
+            sidecar_path=str(tmp_path / "replay" / "work.ledger"),
+            replay_path=str(tmp_path / "work.ledger"),
+            fallback_now=lambda: 123.0,
+        )
+        replay.begin(99)  # an item the recording never saw
+        assert replay.now() == 123.0
+        assert replay.counters["replay_misses"] == 1
+        replay.close()
+
+
+class TestRegistry:
+    def props(self, tmp_path):
+        return {"ledger-mode": "record", "ledger-dir": str(tmp_path)}
+
+    def test_same_sidecar_yields_same_context(self, tmp_path):
+        a = deterministic_context_for("work", self.props(tmp_path))
+        b = deterministic_context_for("work", self.props(tmp_path))
+        assert a is b
+
+    def test_off_properties_yield_inactive_singleton(self, tmp_path):
+        ctx = deterministic_context_for("work", {})
+        assert not ctx.active
+        assert deterministic_context_for("other", None) is ctx
+
+    def test_reset_closes_and_forgets(self, tmp_path):
+        a = deterministic_context_for("work", self.props(tmp_path))
+        reset_registry()
+        b = deterministic_context_for("work", self.props(tmp_path))
+        assert a is not b

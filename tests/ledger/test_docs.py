@@ -1,0 +1,28 @@
+"""docs/replay.md and the record-type catalog cannot drift."""
+
+from repro.ledger.docscheck import check_docs, default_docs_path, documented_types
+
+
+def test_docs_in_sync_with_catalog():
+    assert check_docs() == []
+
+
+def test_docs_file_exists():
+    assert default_docs_path().exists()
+
+
+def test_missing_file_is_one_problem(tmp_path):
+    problems = check_docs(tmp_path / "nope.md")
+    assert problems == [f"docs file missing: {tmp_path / 'nope.md'}"]
+
+
+def test_stale_row_and_rank_mismatch_reported(tmp_path):
+    path = tmp_path / "replay.md"
+    rows = documented_types(default_docs_path())
+    lines = [f"| `{name}` | {rank} | x |" for name, rank in rows.items()]
+    lines.append("| `GHOST` | 99 | a removed type |")
+    lines[0] = lines[0].replace("| 0 |", "| 42 |", 1)
+    path.write_text("\n".join(lines), encoding="utf-8")
+    problems = check_docs(path)
+    assert any("GHOST" in p for p in problems)
+    assert any("rank" in p for p in problems)

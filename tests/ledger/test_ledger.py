@@ -1,0 +1,102 @@
+"""Ledger files: writer append/resume, verifying reader, sidecar merge."""
+
+import pytest
+
+from repro.ledger.ledger import LedgerError, LedgerReader, LedgerWriter, merge_ledgers
+from repro.ledger.records import GENESIS
+
+
+def write_some(path, n=3, stage="a", type="CLOCK"):
+    writer = LedgerWriter(str(path))
+    for i in range(n):
+        writer.append(type, stage=stage, key=str(i), data={"v": float(i)})
+    writer.close()
+    return writer
+
+
+class TestWriterReader:
+    def test_append_then_read_back(self, tmp_path):
+        path = tmp_path / "a.ledger"
+        write_some(path, n=3)
+        records = LedgerReader(str(path)).read()
+        assert [r.key for r in records] == ["0", "1", "2"]
+        assert [r.seq for r in records] == [0, 1, 2]
+        assert [r.sseq for r in records] == [0, 1, 2]
+
+    def test_reopen_resumes_chain_and_sequences(self, tmp_path):
+        path = tmp_path / "a.ledger"
+        write_some(path, n=2)
+        resumed = LedgerWriter(str(path))
+        record = resumed.append("CLOCK", stage="a", key="2", data={"v": 2.0})
+        resumed.close()
+        assert record.seq == 2
+        assert record.sseq == 2
+        # The whole file (old + resumed records) verifies as one chain.
+        records = LedgerReader(str(path)).read()
+        assert len(records) == 3
+
+    def test_empty_writer_head_is_genesis(self, tmp_path):
+        writer = LedgerWriter(str(tmp_path / "a.ledger"))
+        assert writer.head == GENESIS
+        writer.close()
+
+    def test_corruption_error_names_file_and_line(self, tmp_path):
+        path = tmp_path / "a.ledger"
+        write_some(path, n=3)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1].replace('"v":1.0', '"v":9.0')
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(LedgerError, match=r"a\.ledger:2: .*CRC mismatch"):
+            LedgerReader(str(path)).read()
+
+    def test_dropped_record_breaks_the_chain(self, tmp_path):
+        path = tmp_path / "a.ledger"
+        write_some(path, n=3)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join([lines[0], lines[2]]) + "\n")
+        with pytest.raises(LedgerError, match="hash-chain break"):
+            LedgerReader(str(path)).read()
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(LedgerError, match="cannot read ledger"):
+            LedgerReader(str(tmp_path / "nope.ledger")).read()
+
+
+class TestMerge:
+    def test_merge_is_canonical_and_verifiable(self, tmp_path):
+        write_some(tmp_path / "b.ledger", n=2, stage="b")
+        write_some(tmp_path / "a.ledger", n=2, stage="a")
+        out = tmp_path / "run.ledger"
+        merged = merge_ledgers(
+            [str(tmp_path / "b.ledger"), str(tmp_path / "a.ledger")], str(out)
+        )
+        assert [r.stage for r in merged] == ["a", "a", "b", "b"]
+        # The merged file re-chains from genesis and verifies end to end.
+        assert LedgerReader(str(out)).read() == merged
+
+    def test_merge_order_independent_of_sidecar_arrival(self, tmp_path):
+        write_some(tmp_path / "a.ledger", n=3, stage="a")
+        write_some(tmp_path / "b.ledger", n=3, stage="b")
+        paths = [str(tmp_path / "a.ledger"), str(tmp_path / "b.ledger")]
+        one = merge_ledgers(paths, str(tmp_path / "one.ledger"))
+        two = merge_ledgers(list(reversed(paths)), str(tmp_path / "two.ledger"))
+        assert one == two
+        assert (tmp_path / "one.ledger").read_bytes() == (
+            tmp_path / "two.ledger"
+        ).read_bytes()
+
+    def test_missing_sidecars_are_skipped(self, tmp_path):
+        write_some(tmp_path / "a.ledger", n=1, stage="a")
+        merged = merge_ledgers(
+            [str(tmp_path / "a.ledger"), str(tmp_path / "ghost.ledger")],
+            str(tmp_path / "run.ledger"),
+        )
+        assert len(merged) == 1
+
+    def test_stale_tmp_file_is_replaced(self, tmp_path):
+        write_some(tmp_path / "a.ledger", n=1, stage="a")
+        out = tmp_path / "run.ledger"
+        (tmp_path / "run.ledger.tmp").write_text("stale garbage\n")
+        merged = merge_ledgers([str(tmp_path / "a.ledger")], str(out))
+        assert len(merged) == 1
+        assert not (tmp_path / "run.ledger.tmp").exists()

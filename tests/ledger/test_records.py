@@ -1,0 +1,93 @@
+"""Record layer: encode/decode, integrity fields, canonical merge order."""
+
+import json
+
+import pytest
+
+from repro.ledger.records import (
+    GENESIS,
+    RECORD_TYPES,
+    Record,
+    RecordError,
+    decode_line,
+    encode_line,
+    merge_order,
+    sort_key,
+)
+
+
+def rec(type="CLOCK", seq=0, sseq=0, stage="a", key="0", idx=0, data=None):
+    return Record(type=type, seq=seq, sseq=sseq, stage=stage, key=key,
+                  idx=idx, data=data if data is not None else {"v": 1.5})
+
+
+class TestEncodeDecode:
+    def test_round_trip(self):
+        line, digest = encode_line(rec(), GENESIS)
+        decoded, decoded_digest = decode_line(line, GENESIS)
+        assert decoded == rec()
+        assert decoded_digest == digest
+
+    def test_chain_threads_through_successors(self):
+        line1, d1 = encode_line(rec(seq=0), GENESIS)
+        line2, d2 = encode_line(rec(seq=1, type="RNG"), d1)
+        assert decode_line(line2, d1)[1] == d2
+        assert d1 != d2
+
+    def test_unknown_type_rejected_at_write_time(self):
+        with pytest.raises(RecordError, match="unknown ledger record type"):
+            encode_line(rec(type="BOGUS"), GENESIS)
+
+    def test_crc_tamper_detected(self):
+        line, _ = encode_line(rec(data={"v": 1.0}), GENESIS)
+        tampered = line.replace('"v":1.0', '"v":2.0')
+        assert tampered != line
+        with pytest.raises(RecordError, match="CRC mismatch"):
+            decode_line(tampered, GENESIS)
+
+    def test_chain_break_detected(self):
+        _, d1 = encode_line(rec(seq=0), GENESIS)
+        line2, _ = encode_line(rec(seq=1), d1)
+        # Decoding record 2 against the wrong predecessor digest fails.
+        with pytest.raises(RecordError, match="hash-chain break"):
+            decode_line(line2, GENESIS)
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(RecordError, match="malformed ledger line"):
+            decode_line("{not json", GENESIS)
+        with pytest.raises(RecordError, match="not a JSON object"):
+            decode_line("[1, 2]", GENESIS)
+
+    def test_missing_fields_named(self):
+        with pytest.raises(RecordError, match="missing required fields"):
+            decode_line(json.dumps({"type": "CLOCK"}), GENESIS)
+
+
+class TestMergeOrder:
+    def test_ranks_are_unique_per_type_name(self):
+        names = [info.name for info in RECORD_TYPES]
+        assert len(names) == len(set(names))
+
+    def test_rank_orders_before_stage(self):
+        end = rec(type="END", stage="")
+        meta = rec(type="META", stage="")
+        ingress = rec(type="INGRESS", stage="", key="3")
+        sink = rec(type="SINK", stage="z", key="0")
+        ordered = merge_order([end, sink, ingress, meta])
+        assert [r.type for r in ordered] == ["META", "INGRESS", "SINK", "END"]
+
+    def test_item_keys_sort_numerically(self):
+        records = [rec(key=k) for k in ("10", "9", "2")]
+        ordered = merge_order(records)
+        assert [r.key for r in ordered] == ["2", "9", "10"]
+
+    def test_reads_tie_break_on_idx_then_sseq(self):
+        a = rec(idx=1, sseq=5)
+        b = rec(idx=0, sseq=9)
+        assert sort_key(b) < sort_key(a)
+
+    def test_merge_order_is_partition_invariant(self):
+        records = [rec(key=str(k), sseq=k) for k in range(8)]
+        split_a = merge_order(records[::2] + records[1::2])
+        split_b = merge_order(list(reversed(records)))
+        assert split_a == split_b

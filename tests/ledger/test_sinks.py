@@ -1,0 +1,71 @@
+"""SinkTxn: two-phase dedup, window-in-checkpoint, digest-stable state."""
+
+from repro.ledger.context import MODE_OFF, DeterministicContext
+from repro.ledger.sinks import TxnCollectStage
+from repro.ledger.stages import wrap
+
+
+class FakeContext:
+    """Just enough StageContext for a sink test: an off-mode det."""
+
+    def __init__(self):
+        self.det = DeterministicContext("sink", MODE_OFF)
+
+
+def feed(stage, keys, ctx=None):
+    ctx = ctx or FakeContext()
+    for k in keys:
+        stage.on_item(wrap(k, f"v{k}"), ctx)
+
+
+class TestTxnDedup:
+    def test_duplicates_counted_but_effects_applied_once(self):
+        stage = TxnCollectStage()
+        feed(stage, [0, 1, 1, 2, 0, 0])
+        result = stage.result()
+        assert result["effects"] == [["0", "v0"], ["1", "v1"], ["2", "v2"]]
+        assert result["duplicates"] == 3
+
+    def test_txn_begin_false_for_committed_key(self):
+        stage = TxnCollectStage()
+        assert stage.txn_begin(5)
+        stage.txn_commit(5, "x")
+        assert not stage.txn_begin(5)
+        assert stage.txn_begin(6)
+
+
+class TestWindowSurvivesCheckpoints:
+    def test_restore_rebuilds_window_so_replayed_items_dedup(self):
+        """The failover path: snapshot, crash, restore, redeliver."""
+        stage = TxnCollectStage()
+        feed(stage, [0, 1, 2])
+        checkpoint = stage.snapshot()
+
+        restored = TxnCollectStage()
+        restored.restore(checkpoint)
+        # At-least-once replay redelivers everything after the checkpoint.
+        feed(restored, [1, 2, 3])
+        result = restored.result()
+        assert [k for k, _ in result["effects"]] == ["0", "1", "2", "3"]
+        assert result["duplicates"] == 2
+
+    def test_restore_tolerates_garbage(self):
+        stage = TxnCollectStage()
+        stage.restore(None)
+        stage.restore("nonsense")
+        assert stage.result()["effects"] == []
+
+
+class TestReplayState:
+    def test_excludes_duplicates_counter(self):
+        """Fault-dependent counters must not perturb the state digest."""
+        clean = TxnCollectStage()
+        feed(clean, [0, 1, 2])
+        faulty = TxnCollectStage()
+        feed(faulty, [0, 0, 1, 1, 2])
+        assert clean.replay_state() == faulty.replay_state()
+
+    def test_keys_order_numerically(self):
+        stage = TxnCollectStage()
+        feed(stage, [10, 2, 9])
+        assert [k for k, _ in stage.replay_state()] == ["2", "9", "10"]

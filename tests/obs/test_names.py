@@ -21,6 +21,10 @@ EXPECTED_TEMPLATES = [
     "fault.{stage}.quarantined",
     "fault.{stage}.retries",
     "host.{host}.utilization",
+    "ledger.{stage}.dedup_hits",
+    "ledger.{stage}.effects",
+    "ledger.{stage}.records",
+    "ledger.{stage}.replay_misses",
     "link.{link}.bytes",
     "link.{link}.messages",
     "link.{link}.throughput",

@@ -155,3 +155,112 @@ class TestBenchCli:
     def test_validate_missing_file_fails(self, tmp_path, capsys):
         assert main(["bench", "--validate", str(tmp_path / "nope.json")]) == 1
         assert "cannot read" in capsys.readouterr().err
+
+
+class TestCompare:
+    """The ``--compare`` regression gate over two bench reports."""
+
+    FLOORED = "macro-sim-single"  # known member of FLOOR_TRACKED
+
+    def full_report(self, overrides=None):
+        """All floor-tracked cases at 1000 items/s, with overrides."""
+        from repro.bench import FLOOR_TRACKED
+
+        overrides = overrides or {}
+        cases = [
+            case_of(name, runtime="sim",
+                    items_per_second=overrides.get(name, 1000.0))
+            for name in FLOOR_TRACKED
+        ]
+        return report_of(*cases)
+
+    def reports(self, old_ips, new_ips, name=None):
+        name = name or self.FLOORED
+        return (self.full_report({name: old_ips}),
+                self.full_report({name: new_ips}))
+
+    def test_floored_member_is_real(self):
+        from repro.bench import FLOOR_TRACKED
+
+        assert self.FLOORED in FLOOR_TRACKED
+
+    def test_equal_reports_have_no_problems(self):
+        from repro.bench import compare_reports
+
+        rows, problems = compare_reports(*self.reports(1000.0, 1000.0))
+        assert problems == []
+        assert rows[0]["ratio"] == 1.0
+
+    def test_regression_beyond_tolerance_is_a_problem(self):
+        from repro.bench import compare_reports
+
+        _, problems = compare_reports(*self.reports(1000.0, 700.0))
+        assert len(problems) == 1
+        assert "regressed" in problems[0]
+
+    def test_regression_within_tolerance_passes(self):
+        from repro.bench import compare_reports
+
+        _, problems = compare_reports(*self.reports(1000.0, 850.0))
+        assert problems == []
+
+    def test_non_floored_case_never_fails_the_gate(self):
+        from repro.bench import compare_reports
+
+        old = self.full_report()
+        new = self.full_report()
+        old["cases"].append(case_of("micro-something",
+                                    items_per_second=1000.0))
+        new["cases"].append(case_of("micro-something",
+                                    items_per_second=10.0))
+        rows, problems = compare_reports(old, new)
+        assert problems == []  # a 100x micro regression is reported only
+        micro = [r for r in rows if r["name"] == "micro-something"]
+        assert micro and micro[0]["ratio"] == 0.01
+
+    def test_floored_case_missing_from_new_report_fails(self):
+        from repro.bench import compare_reports
+
+        old = self.full_report()
+        new = self.full_report()
+        new["cases"] = [c for c in new["cases"]
+                        if c["name"] != self.FLOORED]
+        _, problems = compare_reports(old, new)
+        assert any("missing from the new report" in p for p in problems)
+
+    def test_custom_tolerance(self):
+        from repro.bench import compare_reports
+
+        _, loose = compare_reports(*self.reports(1000.0, 700.0),
+                                   tolerance=0.5)
+        assert loose == []
+        _, strict = compare_reports(*self.reports(1000.0, 950.0),
+                                    tolerance=0.01)
+        assert len(strict) == 1
+
+    def test_invalid_report_is_named_with_its_side(self):
+        from repro.bench import compare_reports
+
+        good = report_of(case_of(self.FLOORED, runtime="sim"))
+        bad = report_of(case_of("c", runtime="gpu"))
+        _, problems = compare_reports(good, bad)
+        assert any(p.startswith("new report:") for p in problems)
+
+    def test_cli_compare_exit_codes(self, tmp_path, capsys):
+        from repro.bench import write_report
+
+        old, new = self.reports(1000.0, 700.0)
+        old_path = str(tmp_path / "old.json")
+        same_path = str(tmp_path / "same.json")
+        new_path = str(tmp_path / "new.json")
+        write_report(old, old_path)
+        write_report(old, same_path)
+        write_report(new, new_path)
+        assert main(["bench", "--compare", old_path, same_path]) == 0
+        assert "no floor-tracked regressions" in capsys.readouterr().out
+        assert main(["bench", "--compare", old_path, new_path]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_cli_compare_missing_file(self, tmp_path, capsys):
+        assert main(["bench", "--compare", str(tmp_path / "a.json"),
+                     str(tmp_path / "b.json")]) == 1
