@@ -1,7 +1,7 @@
-"""Static analysis for the middleware: pipeline verifier + repo lint.
+"""Static analysis for the middleware: verifier + lint + analyzer.
 
-Two halves share the :mod:`~repro.analysis.diagnostics` machinery and the
-``GAxxx`` code catalog (:mod:`~repro.analysis.codes`):
+Three front ends share the :mod:`~repro.analysis.diagnostics` machinery
+and the ``GAxxx`` code catalog (:mod:`~repro.analysis.codes`):
 
 * the **pipeline verifier** (:mod:`~repro.analysis.verifier`) runs
   multi-pass semantic analysis over application configurations —
@@ -9,13 +9,30 @@ Two halves share the :mod:`~repro.analysis.diagnostics` machinery and the
   inside all three runtimes;
 * the **repo lint** (:mod:`~repro.analysis.lint`) runs AST checkers over
   the source tree enforcing invariants generic linters cannot express —
-  ``repro lint`` / ``python -m repro.analysis.lint``.
+  ``repro lint`` / ``python -m repro.analysis.lint``;
+* the **whole-program analyzer** (:mod:`~repro.analysis.analyze`) runs
+  the interprocedural concurrency analysis
+  (:mod:`~repro.analysis.concurrency`, GA60x) and the protocol model
+  checker plus model↔code conformance pass
+  (:mod:`~repro.analysis.protocol`, GA61x) — ``repro analyze`` /
+  ``python -m repro.analysis.analyze``.
 
 See ``docs/static_analysis.md`` for the catalog of diagnostic codes.
 """
 
-from repro.analysis.codes import CODES, CodeInfo, config_codes, info_for, lint_codes
+from repro.analysis.codes import (
+    CODES,
+    CodeInfo,
+    analyze_codes,
+    concurrency_codes,
+    config_codes,
+    info_for,
+    lint_codes,
+    protocol_codes,
+)
+from repro.analysis.concurrency import analyze_paths
 from repro.analysis.diagnostics import Diagnostic, Report, Severity, SourceSpan
+from repro.analysis.protocol import check_conformance, check_models, explore
 from repro.analysis.verifier import (
     verify_config,
     verify_document,
@@ -30,9 +47,16 @@ __all__ = [
     "Report",
     "Severity",
     "SourceSpan",
+    "analyze_codes",
+    "analyze_paths",
+    "check_conformance",
+    "check_models",
+    "concurrency_codes",
     "config_codes",
+    "explore",
     "info_for",
     "lint_codes",
+    "protocol_codes",
     "verify_config",
     "verify_document",
     "verify_path",

@@ -15,7 +15,9 @@ single source of truth three consumers share:
 
 Numbering: ``GA1xx`` graph/structure passes, ``GA2xx`` adaptation
 (parameter) passes, ``GA3xx`` deployment passes (code resolution,
-checkpoint contract, placement, wire sizing), ``GA5xx`` AST lint rules.
+checkpoint contract, placement, wire sizing), ``GA5xx`` AST lint rules,
+``GA60x`` whole-program concurrency analysis, ``GA61x`` protocol
+model checking and model↔code conformance (``repro analyze``).
 """
 
 from __future__ import annotations
@@ -25,7 +27,16 @@ from typing import Dict, List
 
 from repro.analysis.diagnostics import Severity
 
-__all__ = ["CODES", "CodeInfo", "config_codes", "info_for", "lint_codes"]
+__all__ = [
+    "CODES",
+    "CodeInfo",
+    "analyze_codes",
+    "concurrency_codes",
+    "config_codes",
+    "info_for",
+    "lint_codes",
+    "protocol_codes",
+]
 
 
 @dataclass(frozen=True)
@@ -210,6 +221,52 @@ _ALL: List[CodeInfo] = [
              "(now()/draw()) so recorded runs capture them and replay "
              "can pin them; a direct time.*/random.* call makes the run "
              "unreplayable"),
+    # -- GA60x: whole-program concurrency ---------------------------------------
+    CodeInfo("GA600", "concurrency", Severity.ERROR,
+             "lock-order inversion between two lock families",
+             "two code paths acquire the same pair of locks in opposite "
+             "orders, which can deadlock under contention; pick one "
+             "global order for the pair and restructure the path that "
+             "violates it"),
+    CodeInfo("GA601", "concurrency", Severity.ERROR,
+             "lock held across a blocking or unbounded-waiting call",
+             "a lock held while the holder blocks (time.sleep, a "
+             "suspension point, or a transitive wait on another "
+             "condition/event through a callee) stalls every other "
+             "acquirer for an unbounded time; move the wait outside the "
+             "critical section or restructure so the lock is released "
+             "before waiting"),
+    CodeInfo("GA602", "concurrency", Severity.ERROR,
+             "lock-guarded attribute written on an unguarded path",
+             "this attribute is written under a threading lock elsewhere "
+             "in the file, so a bare write races with those critical "
+             "sections; take the same lock around the write, or suppress "
+             "with a justification if the path is provably "
+             "single-threaded"),
+    # -- GA61x: protocol model checking ----------------------------------------
+    CodeInfo("GA610", "protocol", Severity.ERROR,
+             "protocol model can deadlock in a bounded configuration",
+             "the explicit-state search reached a state where no "
+             "participant can act and the run is not complete; the "
+             "counterexample trace names the action sequence — fix the "
+             "protocol (or the model, if it mis-states the code)"),
+    CodeInfo("GA611", "protocol", Severity.ERROR,
+             "protocol model violates a safety invariant",
+             "a reachable state breaks conservation (credit leak, "
+             "double-grant, item loss/duplication); follow the "
+             "counterexample trace and repair the transition that "
+             "breaks the invariant"),
+    CodeInfo("GA612", "protocol", Severity.ERROR,
+             "protocol model completes without reaching its goal",
+             "a terminal state is marked final but the liveness goal "
+             "(EOS delivered, migration completed) does not hold there; "
+             "the run can 'finish' while losing the property"),
+    CodeInfo("GA613", "protocol", Severity.ERROR,
+             "frame traffic drifts from the protocol model",
+             "either the code sends/handles a frame the model forbids "
+             "for that role, or the model declares a transition no code "
+             "site implements; update repro/net/protocol_model.py and "
+             "the implementation together"),
 ]
 
 CODES: Dict[str, CodeInfo] = {info.code: info for info in _ALL}
@@ -234,3 +291,18 @@ def config_codes() -> List[CodeInfo]:
 def lint_codes() -> List[CodeInfo]:
     """Catalog entries produced by the AST lint suite."""
     return [info for info in _ALL if info.kind == "lint"]
+
+
+def concurrency_codes() -> List[CodeInfo]:
+    """Catalog entries produced by the whole-program concurrency pass."""
+    return [info for info in _ALL if info.kind == "concurrency"]
+
+
+def protocol_codes() -> List[CodeInfo]:
+    """Catalog entries produced by the protocol model checker."""
+    return [info for info in _ALL if info.kind == "protocol"]
+
+
+def analyze_codes() -> List[CodeInfo]:
+    """Catalog entries produced by ``repro analyze`` (both passes)."""
+    return [info for info in _ALL if info.kind in ("concurrency", "protocol")]

@@ -1,0 +1,817 @@
+"""Whole-program concurrency analysis (``GA600``–``GA602``).
+
+Unlike the per-file AST lint (:mod:`repro.analysis.checkers`), this pass
+builds an *interprocedural* picture of the analyzed tree before it
+reports anything:
+
+1. every function/method is collected with its lock acquisitions
+   (``with``/``async with`` on lock-looking context managers), waits
+   (``.wait()``/``.wait_for()``/``time.sleep``), calls, awaits, and
+   attribute writes, together with the set of locks held at each site;
+2. lock references are resolved to stable **families** — ``self._lock``
+   inside ``class Foo`` and ``foo._lock`` elsewhere both become
+   ``Foo._lock`` when exactly one class declares that attribute, and a
+   ``threading.Condition(self._lock)`` is aliased to the lock it wraps;
+3. a call graph (conservative: a call resolves only when exactly one
+   collected function bears the name) propagates *wait effects* and
+   *transitive acquisitions* to a fixpoint.
+
+On top of that picture three rules fire:
+
+* **GA600** — two lock families acquired in both orders somewhere in
+  the program (the classic deadlock precondition), including orders
+  composed through callees;
+* **GA601** — a lock held across a blocking or unbounded-waiting
+  operation: ``time.sleep`` or an ``await`` under a ``threading`` lock,
+  or a wait on a *different* condition/event (directly or transitively
+  through callees) under any lock.  Waiting on the condition that *is*
+  the held lock is the normal condition-variable pattern and is exempt;
+* **GA602** — an attribute that is written under a ``threading`` lock
+  somewhere in a file is also written with no lock held (restricted to
+  sync locks: the event loop serializes async code between awaits).
+
+Findings honor the shared ``# repro: noqa[GAxxx]`` markers at both the
+file and the line granularity (see :mod:`repro.analysis.engine`).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Report, Severity, SourceSpan
+from repro.analysis.engine import FileContext, _expand
+
+__all__ = ["Program", "analyze_paths", "collect_program"]
+
+#: Attribute/name fragments that make a ``with`` target a lock.
+_LOCKISH = ("lock", "gate", "mutex", "cond")
+
+#: Constructor dotted names that declare a synchronization attribute.
+_SYNC_CTORS = frozenset({
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "threading.Event", "threading.Semaphore", "threading.BoundedSemaphore",
+    "asyncio.Lock", "asyncio.Condition", "asyncio.Event",
+    "asyncio.Semaphore", "asyncio.BoundedSemaphore",
+})
+
+#: Method names too generic to resolve through the call graph unless the
+#: target is repo-internal (underscore-prefixed).
+_GENERIC_NAMES = frozenset({
+    "get", "put", "items", "keys", "values", "append", "add", "pop",
+    "close", "send", "read", "write", "run", "start", "stop", "join",
+    "set", "clear", "update", "copy", "extend", "remove", "insert",
+    "index", "count", "sort", "encode", "decode", "open", "next",
+    "acquire", "release", "submit", "result", "cancel", "done",
+})
+
+_SLEEP_MARKER = "<time.sleep>"
+
+
+@dataclass(frozen=True)
+class LockRef:
+    """A raw, unresolved reference to a synchronization object."""
+
+    #: ``self`` (attribute on self), ``attr`` (attribute on another
+    #: object), or ``name`` (a bare module-level/local name).
+    scope: str
+    #: Enclosing class for ``self`` references, ``""`` otherwise.
+    cls: str
+    #: Attribute or bare name.
+    attr: str
+
+
+@dataclass(frozen=True)
+class Held:
+    """One lock held at a program point."""
+
+    ref: LockRef
+    is_async: bool
+
+
+@dataclass
+class Site:
+    """A program point inside a function (1-indexed line, 0-indexed col)."""
+
+    line: int
+    column: int
+
+
+@dataclass
+class Acquisition(Site):
+    ref: LockRef = field(default_factory=lambda: LockRef("name", "", ""))
+    is_async: bool = False
+    held_before: Tuple[Held, ...] = ()
+
+
+@dataclass
+class WaitSite(Site):
+    #: ``None`` means ``time.sleep`` (no receiver).
+    receiver: Optional[LockRef] = None
+    held: Tuple[Held, ...] = ()
+
+
+@dataclass
+class CallSite(Site):
+    name: str = ""
+    #: ``self`` | ``attr`` | ``name`` — how the callee was addressed.
+    scope: str = "name"
+    awaited: bool = False
+    held: Tuple[Held, ...] = ()
+
+
+@dataclass
+class AwaitSite(Site):
+    held: Tuple[Held, ...] = ()
+
+
+@dataclass
+class WriteSite(Site):
+    attr: str = ""
+    #: ``self`` or the receiver's local name (``stage.state = ...``).
+    receiver: str = ""
+    held: Tuple[Held, ...] = ()
+    func: str = ""
+
+
+@dataclass
+class FunctionInfo:
+    """Everything the analysis knows about one collected function."""
+
+    key: str  #: unique: ``path::Class.name:line``
+    name: str
+    cls: str
+    path: str
+    is_async: bool
+    line: int
+    acquisitions: List[Acquisition] = field(default_factory=list)
+    waits: List[WaitSite] = field(default_factory=list)
+    calls: List[CallSite] = field(default_factory=list)
+    awaits: List[AwaitSite] = field(default_factory=list)
+    writes: List[WriteSite] = field(default_factory=list)
+
+
+@dataclass
+class Program:
+    """The whole-program picture the rules run over."""
+
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: ``attr -> classes that declare it as a sync object``.
+    class_sync_attrs: Dict[str, Set[str]] = field(default_factory=dict)
+    #: ``(cls, attr) -> attr`` for ``Condition(self._lock)``-style wrapping.
+    aliases: Dict[Tuple[str, str], str] = field(default_factory=dict)
+    #: Files that were parsed, with their noqa context.
+    contexts: Dict[str, FileContext] = field(default_factory=dict)
+    #: Parse failures, reported as GA500.
+    parse_errors: List[Diagnostic] = field(default_factory=list)
+
+
+def _dotted(node: ast.AST) -> str:
+    """``a.b.c`` for nested names/attributes, ``""`` when not that shape."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _is_lockish(name: str) -> bool:
+    low = name.lower()
+    return any(token in low for token in _LOCKISH)
+
+
+class _FunctionCollector:
+    """Walk one function body, tracking the held-lock stack."""
+
+    def __init__(
+        self,
+        info: FunctionInfo,
+        program: Program,
+        nested: List[Tuple[ast.AST, str]],
+    ) -> None:
+        self.info = info
+        self.program = program
+        self.nested = nested
+        self.held: List[Held] = []
+        #: Local name -> lock ref, from ``lock = self._locks[k]`` style.
+        self.locals: Dict[str, LockRef] = {}
+        #: Locals bound to freshly constructed objects (``item = Item(...)``):
+        #: writes through them are thread-confined until published.
+        self.fresh: Set[str] = set()
+
+    # -- reference extraction -------------------------------------------------
+
+    def _ref_of(self, node: ast.AST, *, lockish_only: bool) -> Optional[LockRef]:
+        """A LockRef for ``node`` (unwrapping subscripts and calls)."""
+        while isinstance(node, (ast.Subscript, ast.Call)):
+            node = node.value if isinstance(node, ast.Subscript) else node.func
+        if isinstance(node, ast.Attribute):
+            # Attributes some class initialises to a Lock/Condition/... count
+            # as locks regardless of their name (class scans run over every
+            # file before any function body is walked).
+            known = node.attr in self.program.class_sync_attrs
+            if lockish_only and not _is_lockish(node.attr) and not known:
+                # A call like ``d.setdefault(...)`` may still wrap a lock.
+                inner = self._ref_of(node.value, lockish_only=lockish_only)
+                return inner
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                return LockRef("self", self.info.cls, node.attr)
+            if not lockish_only or _is_lockish(node.attr) or known:
+                return LockRef("attr", "", node.attr)
+            return None
+        if isinstance(node, ast.Name):
+            if node.id in self.locals:
+                return self.locals[node.id]
+            if lockish_only and not _is_lockish(node.id):
+                return None
+            return LockRef("name", "", node.id)
+        return None
+
+    # -- traversal ------------------------------------------------------------
+
+    def walk(self, node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            self.visit(child)
+
+    def visit(self, node: ast.AST, *, awaited: bool = False) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self.nested.append((node, self.info.cls))
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            self._visit_with(node)
+            return
+        if isinstance(node, ast.Await):
+            held = tuple(self.held)
+            if any(not h.is_async for h in held):
+                self.info.awaits.append(
+                    AwaitSite(node.lineno, node.col_offset, held=held)
+                )
+            if isinstance(node.value, ast.Call):
+                self.visit(node.value, awaited=True)
+            else:
+                self.walk(node)
+            return
+        if isinstance(node, ast.Call):
+            self._visit_call(node, awaited)
+            self.walk(node)
+            return
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            self._visit_assign(node)
+            self.walk(node)
+            return
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            for name_node in ast.walk(node.target):
+                if isinstance(name_node, ast.Name):
+                    self.fresh.discard(name_node.id)
+            self.walk(node)
+            return
+        self.walk(node)
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        is_async = isinstance(node, ast.AsyncWith)
+        pushed = 0
+        for item in node.items:
+            self.visit(item.context_expr)
+            ref = self._ref_of(item.context_expr, lockish_only=True)
+            if ref is not None:
+                self.info.acquisitions.append(Acquisition(
+                    item.context_expr.lineno,
+                    item.context_expr.col_offset,
+                    ref=ref,
+                    is_async=is_async,
+                    held_before=tuple(self.held),
+                ))
+                self.held.append(Held(ref, is_async))
+                pushed += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in range(pushed):
+            self.held.pop()
+
+    def _visit_call(self, node: ast.Call, awaited: bool) -> None:
+        func = node.func
+        held = tuple(self.held)
+        if isinstance(func, ast.Attribute):
+            if func.attr in ("wait", "wait_for"):
+                receiver = self._ref_of(func.value, lockish_only=False)
+                self.info.waits.append(WaitSite(
+                    node.lineno, node.col_offset,
+                    receiver=receiver, held=held,
+                ))
+                return
+            if _dotted(func) == "time.sleep":
+                self.info.waits.append(WaitSite(
+                    node.lineno, node.col_offset, receiver=None, held=held,
+                ))
+                return
+            scope = (
+                "self"
+                if isinstance(func.value, ast.Name) and func.value.id == "self"
+                else "attr"
+            )
+            self.info.calls.append(CallSite(
+                node.lineno, node.col_offset,
+                name=func.attr, scope=scope, awaited=awaited, held=held,
+            ))
+        elif isinstance(func, ast.Name):
+            self.info.calls.append(CallSite(
+                node.lineno, node.col_offset,
+                name=func.id, scope="name", awaited=awaited, held=held,
+            ))
+
+    def _visit_assign(
+        self, node: ast.Assign | ast.AugAssign | ast.AnnAssign
+    ) -> None:
+        held = tuple(self.held)
+        targets: List[ast.expr]
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        else:
+            targets = [node.target]
+        for target in targets:
+            attr_node = target
+            if isinstance(attr_node, ast.Subscript):
+                attr_node = attr_node.value
+            if not isinstance(attr_node, ast.Attribute):
+                if (
+                    isinstance(target, ast.Name)
+                    and isinstance(node, ast.Assign)
+                ):
+                    # Track ``name = <lock expr>`` so ``with name:``
+                    # resolves, and constructor-fresh locals so writes
+                    # through them do not count as shared-state writes.
+                    ref = self._ref_of(node.value, lockish_only=True)
+                    if ref is not None:
+                        self.locals[target.id] = ref
+                    if isinstance(node.value, ast.Call):
+                        self.fresh.add(target.id)
+                    else:
+                        self.fresh.discard(target.id)
+                continue
+            if not isinstance(attr_node.value, ast.Name):
+                continue
+            if (
+                _is_lockish(attr_node.attr)
+                or attr_node.attr in self.program.class_sync_attrs
+            ):
+                continue
+            receiver = attr_node.value.id
+            if receiver != "self" and receiver in self.fresh:
+                continue
+            self.info.writes.append(WriteSite(
+                target.lineno, target.col_offset,
+                attr=attr_node.attr, receiver=receiver,
+                held=held, func=self.info.key,
+            ))
+
+
+def _scan_file(
+    path: str, source: str, program: Program
+) -> Optional[List[Tuple[ast.AST, str]]]:
+    """Parse ``path`` and register its classes; return the function queue.
+
+    Class declarations (``class_sync_attrs``, Condition aliases) for *every*
+    file are registered before any function body is walked, so reference
+    resolution never depends on the order files arrive from the filesystem.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        program.parse_errors.append(Diagnostic(
+            code="GA500",
+            severity=Severity.ERROR,
+            message=f"cannot parse file: {exc.msg}",
+            span=SourceSpan(file=path, line=exc.lineno, column=exc.offset),
+        ))
+        return None
+    context = FileContext(path, source, tree)
+    program.contexts[path] = context
+
+    pending: List[Tuple[ast.AST, str]] = []
+
+    def scan_class(node: ast.ClassDef) -> None:
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                note = ast.unparse(stmt.annotation)
+                if any(t in note for t in (
+                    "Lock", "Condition", "Event", "Semaphore"
+                )):
+                    program.class_sync_attrs.setdefault(
+                        stmt.target.id, set()
+                    ).add(node.name)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scan_ctor_assigns(stmt, node.name)
+                pending.append((stmt, node.name))
+            elif isinstance(stmt, ast.ClassDef):
+                scan_class(stmt)
+
+    def scan_ctor_assigns(
+        fn: ast.FunctionDef | ast.AsyncFunctionDef, cls: str
+    ) -> None:
+        """Register ``self.x = threading.Lock()`` style declarations."""
+        for stmt in ast.walk(fn):
+            if not isinstance(stmt, ast.Assign):
+                continue
+            value = stmt.value
+            if not isinstance(value, ast.Call):
+                continue
+            ctor = _dotted(value.func)
+            short = ctor.rsplit(".", 1)[-1]
+            is_sync_ctor = ctor in _SYNC_CTORS or short in (
+                "Lock", "RLock", "Condition", "Event", "Semaphore"
+            )
+            if not is_sync_ctor:
+                continue
+            for target in stmt.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    program.class_sync_attrs.setdefault(
+                        target.attr, set()
+                    ).add(cls)
+                    # Condition(self._lock) aliases the wrapped lock.
+                    if short == "Condition" and value.args:
+                        wrapped = value.args[0]
+                        if (
+                            isinstance(wrapped, ast.Attribute)
+                            and isinstance(wrapped.value, ast.Name)
+                            and wrapped.value.id == "self"
+                        ):
+                            program.aliases[(cls, target.attr)] = wrapped.attr
+
+    for stmt in tree.body:
+        if isinstance(stmt, ast.ClassDef):
+            scan_class(stmt)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            pending.append((stmt, ""))
+    return pending
+
+
+def _walk_file(
+    path: str, pending: List[Tuple[ast.AST, str]], program: Program
+) -> None:
+    """Collect acquisitions, waits, calls, and writes for one file."""
+    while pending:
+        node, cls = pending.pop(0)
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        qual = f"{cls}.{node.name}" if cls else node.name
+        info = FunctionInfo(
+            key=f"{path}::{qual}:{node.lineno}",
+            name=node.name,
+            cls=cls,
+            path=path,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+            line=node.lineno,
+        )
+        collector = _FunctionCollector(info, program, pending)
+        for stmt2 in node.body:
+            collector.visit(stmt2)
+        program.functions[info.key] = info
+
+
+def collect_program(paths: Iterable[str]) -> Program:
+    """Parse and collect every ``.py`` file under ``paths``.
+
+    Runs in two phases — scan all class declarations, then walk all
+    function bodies — so the collected program is identical no matter
+    what order the filesystem yields the files in.
+    """
+    program = Program()
+    staged: List[Tuple[str, List[Tuple[ast.AST, str]]]] = []
+    for path in _expand(paths):
+        source = Path(path).read_text(encoding="utf-8")
+        pending = _scan_file(path, source, program)
+        if pending is not None:
+            staged.append((path, pending))
+    for path, pending in staged:
+        _walk_file(path, pending, program)
+    return program
+
+
+class _Rules:
+    """Resolve lock families, run the fixpoints, emit GA600–GA602."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        #: function simple name -> keys (for call resolution).
+        self.by_name: Dict[str, List[str]] = {}
+        for key in sorted(program.functions):
+            info = program.functions[key]
+            self.by_name.setdefault(info.name, []).append(key)
+        self._emitted: Set[Tuple[str, str, int]] = set()
+        self.report = Report()
+
+    # -- lock family resolution ----------------------------------------------
+
+    def family(self, ref: LockRef) -> str:
+        """Stable cross-function identity for a lock reference."""
+        attr = ref.attr
+        if ref.scope == "self" and ref.cls:
+            attr = self.program.aliases.get((ref.cls, attr), attr)
+            return f"{ref.cls}.{attr}"
+        owners = self.program.class_sync_attrs.get(attr, set())
+        if len(owners) == 1:
+            cls = next(iter(owners))
+            attr = self.program.aliases.get((cls, attr), attr)
+            return f"{cls}.{attr}"
+        return f"*.{attr}"
+
+    def families(self, held: Tuple[Held, ...]) -> Set[str]:
+        return {self.family(h.ref) for h in held}
+
+    # -- call graph -----------------------------------------------------------
+
+    def resolve(self, fn: FunctionInfo, call: CallSite) -> Optional[FunctionInfo]:
+        """The unique collected callee for a call site, if determinable."""
+        if call.scope == "self":
+            own = [
+                k for k in self.by_name.get(call.name, ())
+                if self.program.functions[k].cls == fn.cls
+                and self.program.functions[k].path == fn.path
+            ]
+            if len(own) == 1:
+                return self.program.functions[own[0]]
+        if (
+            call.name in _GENERIC_NAMES
+            and not call.name.startswith("_")
+        ):
+            return None
+        candidates = self.by_name.get(call.name, [])
+        if len(candidates) == 1:
+            return self.program.functions[candidates[0]]
+        return None
+
+    def _executed(self, call: CallSite, callee: FunctionInfo) -> bool:
+        """Whether the call actually runs the callee's body here."""
+        return not (callee.is_async and not call.awaited)
+
+    # -- fixpoints ------------------------------------------------------------
+
+    def wait_sets(self) -> Dict[str, Set[str]]:
+        """Transitive wait effects per function (lock families + sleep)."""
+        sets: Dict[str, Set[str]] = {}
+        for key in sorted(self.program.functions):
+            fn = self.program.functions[key]
+            direct: Set[str] = set()
+            for wait in fn.waits:
+                if wait.receiver is None:
+                    direct.add(_SLEEP_MARKER)
+                else:
+                    direct.add(self.family(wait.receiver))
+            sets[key] = direct
+        changed = True
+        while changed:
+            changed = False
+            for key in sorted(self.program.functions):
+                fn = self.program.functions[key]
+                for call in fn.calls:
+                    callee = self.resolve(fn, call)
+                    if callee is None or not self._executed(call, callee):
+                        continue
+                    extra = sets[callee.key] - sets[key]
+                    if extra:
+                        sets[key] |= extra
+                        changed = True
+        return sets
+
+    def acq_sets(self) -> Dict[str, Set[str]]:
+        """Transitive lock acquisitions per function."""
+        sets: Dict[str, Set[str]] = {}
+        for key in sorted(self.program.functions):
+            fn = self.program.functions[key]
+            sets[key] = {self.family(a.ref) for a in fn.acquisitions}
+        changed = True
+        while changed:
+            changed = False
+            for key in sorted(self.program.functions):
+                fn = self.program.functions[key]
+                for call in fn.calls:
+                    callee = self.resolve(fn, call)
+                    if callee is None or not self._executed(call, callee):
+                        continue
+                    extra = sets[callee.key] - sets[key]
+                    if extra:
+                        sets[key] |= extra
+                        changed = True
+        return sets
+
+    def assumed_held(self) -> Dict[str, Set[str]]:
+        """Sync lock families every caller provably holds at entry."""
+        assumed: Dict[str, Set[str]] = {
+            key: set() for key in self.program.functions
+        }
+        call_sites: Dict[str, List[Tuple[str, Tuple[Held, ...]]]] = {}
+        for key in sorted(self.program.functions):
+            fn = self.program.functions[key]
+            for call in fn.calls:
+                callee = self.resolve(fn, call)
+                if callee is None or not self._executed(call, callee):
+                    continue
+                call_sites.setdefault(callee.key, []).append((key, call.held))
+        changed = True
+        while changed:
+            changed = False
+            for key in sorted(call_sites):
+                entries = call_sites[key]
+                combined: Optional[Set[str]] = None
+                for caller_key, held in entries:
+                    fams = {
+                        self.family(h.ref) for h in held if not h.is_async
+                    } | assumed[caller_key]
+                    combined = fams if combined is None else combined & fams
+                if combined and combined - assumed[key]:
+                    assumed[key] |= combined
+                    changed = True
+        return assumed
+
+    # -- emission -------------------------------------------------------------
+
+    def emit(
+        self,
+        code: str,
+        path: str,
+        line: int,
+        column: int,
+        message: str,
+    ) -> None:
+        if (code, path, line) in self._emitted:
+            return
+        context = self.program.contexts.get(path)
+        if context is None:
+            return
+        before = len(context.report.diagnostics)
+        context.add(code, message, line=line, column=column)
+        if len(context.report.diagnostics) > before:
+            self._emitted.add((code, path, line))
+
+    # -- the rules ------------------------------------------------------------
+
+    def run(self) -> Report:
+        wait_sets = self.wait_sets()
+        self.check_ga601(wait_sets)
+        self.check_ga600()
+        self.check_ga602()
+        for diag in self.program.parse_errors:
+            self.report.diagnostics.append(diag)
+        for path in sorted(self.program.contexts):
+            self.report.extend(self.program.contexts[path].report)
+        return self.report
+
+    def check_ga601(self, wait_sets: Dict[str, Set[str]]) -> None:
+        for key in sorted(self.program.functions):
+            fn = self.program.functions[key]
+            for wait in fn.waits:
+                if not wait.held:
+                    continue
+                held_fams = self.families(wait.held)
+                if wait.receiver is None:
+                    if any(not h.is_async for h in wait.held):
+                        locks = ", ".join(sorted(
+                            self.family(h.ref)
+                            for h in wait.held if not h.is_async
+                        ))
+                        self.emit(
+                            "GA601", fn.path, wait.line, wait.column,
+                            f"lock {locks} is held across time.sleep() "
+                            f"in '{fn.name}'",
+                        )
+                    continue
+                recv = self.family(wait.receiver)
+                if recv in held_fams:
+                    continue  # waiting on the held condition releases it
+                locks = ", ".join(sorted(held_fams))
+                self.emit(
+                    "GA601", fn.path, wait.line, wait.column,
+                    f"lock {locks} is held across a wait on {recv!r} "
+                    f"in '{fn.name}'",
+                )
+            for aw in fn.awaits:
+                sync = sorted(
+                    self.family(h.ref) for h in aw.held if not h.is_async
+                )
+                if sync:
+                    self.emit(
+                        "GA601", fn.path, aw.line, aw.column,
+                        f"threading lock {', '.join(sync)} is held across "
+                        f"an await in '{fn.name}' (suspension point)",
+                    )
+            for call in fn.calls:
+                if not call.held:
+                    continue
+                callee = self.resolve(fn, call)
+                if callee is None or not self._executed(call, callee):
+                    continue
+                held_fams = self.families(call.held)
+                effects = wait_sets[callee.key] - held_fams
+                if not effects:
+                    continue
+                locks = ", ".join(sorted(held_fams))
+                what = ", ".join(sorted(effects))
+                self.emit(
+                    "GA601", fn.path, call.line, call.column,
+                    f"lock {locks} is held across a call to "
+                    f"'{call.name}', which can wait on {what}",
+                )
+
+    def check_ga600(self) -> None:
+        acq_sets = self.acq_sets()
+        # edge (a -> b): b acquired while a held; keep the first site.
+        edges: Dict[Tuple[str, str], Tuple[str, int, int]] = {}
+
+        def note(a: str, b: str, path: str, line: int, column: int) -> None:
+            if a == b:
+                return
+            site = (path, line, column)
+            if (a, b) not in edges or site < edges[(a, b)]:
+                edges[(a, b)] = site
+
+        for key in sorted(self.program.functions):
+            fn = self.program.functions[key]
+            for acq in fn.acquisitions:
+                b = self.family(acq.ref)
+                for h in acq.held_before:
+                    note(self.family(h.ref), b, fn.path, acq.line, acq.column)
+            for call in fn.calls:
+                if not call.held:
+                    continue
+                callee = self.resolve(fn, call)
+                if callee is None or not self._executed(call, callee):
+                    continue
+                for b in sorted(acq_sets[callee.key]):
+                    for h in call.held:
+                        note(
+                            self.family(h.ref), b,
+                            fn.path, call.line, call.column,
+                        )
+
+        for (a, b) in sorted(edges):
+            if a >= b or (b, a) not in edges:
+                continue
+            fwd = edges[(a, b)]
+            rev = edges[(b, a)]
+            path, line, column = min(fwd, rev)
+            self.emit(
+                "GA600", path, line, column,
+                f"lock-order inversion: {a} -> {b} at {fwd[0]}:{fwd[1]} "
+                f"but {b} -> {a} at {rev[0]}:{rev[1]}",
+            )
+
+    def check_ga602(self) -> None:
+        assumed = self.assumed_held()
+        skip_fns = ("__init__", "__post_init__", "__new__")
+        # Writes are grouped receiver-aware: ``self.x`` in class C only
+        # matches other ``self.x`` writes in C, and ``stage.x`` only other
+        # writes through a local named ``stage`` — attribute names alone
+        # conflate unrelated classes.
+        by_group: Dict[
+            Tuple[str, str, str, str],
+            List[Tuple[WriteSite, Set[str]]],
+        ] = {}
+        for key in sorted(self.program.functions):
+            fn = self.program.functions[key]
+            if fn.name in skip_fns:
+                continue
+            for write in fn.writes:
+                sync = {
+                    self.family(h.ref) for h in write.held if not h.is_async
+                } | assumed[key]
+                if write.receiver == "self":
+                    group = (fn.path, "self", fn.cls, write.attr)
+                else:
+                    group = (fn.path, "recv", write.receiver, write.attr)
+                by_group.setdefault(group, []).append((write, sync))
+        for group in sorted(by_group):
+            writes = by_group[group]
+            path, _, _, attr = group
+            guarded: Optional[Tuple[str, int]] = None
+            fam = ""
+            for write, sync in writes:
+                if sync:
+                    fam = sorted(sync)[0]
+                    guarded = (path, write.line)
+                    break
+            if guarded is None:
+                continue
+            for write, sync in writes:
+                if sync:
+                    continue
+                self.emit(
+                    "GA602", path, write.line, write.column,
+                    f"attribute {attr!r} is written without holding "
+                    f"{fam}, which guards it at {guarded[0]}:{guarded[1]}",
+                )
+
+
+def analyze_paths(paths: Iterable[str]) -> Report:
+    """Run the whole-program concurrency analysis over ``paths``."""
+    program = collect_program(paths)
+    return _Rules(program).run()

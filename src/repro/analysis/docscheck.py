@@ -1,13 +1,21 @@
 """Docs-consistency check: the code catalog and the docs must agree.
 
-``docs/static_analysis.md`` documents every diagnostic code in a markdown
-table whose first column is the backticked code and whose second column
-is the kind (``config``/``lint``).  :func:`check_docs` diffs that table
-against the authoritative catalog (:data:`repro.analysis.codes.CODES`)
-in both directions — a code registered without a docs row, a docs row
-for a removed code, or a kind mismatch each produce one problem string.
-The tier-1 test ``tests/analysis/test_docscheck.py`` asserts the list is
-empty, so the reference cannot drift (same pattern as
+``docs/static_analysis.md`` documents every diagnostic code — GA1xx
+through GA6xx — in **one** consolidated markdown table that is not
+hand-written but *generated* from the authoritative catalog
+(:data:`repro.analysis.codes.CODES`) by :func:`render_catalog_table`
+(``python -m repro.analysis.docscheck`` prints it for pasting).
+
+:func:`check_docs` pins the docs to the catalog two ways:
+
+* the generated table must appear in the page **verbatim** — any edit
+  to a code's kind, severity, or title in either place breaks the pin;
+* the table rows are also diffed against the catalog in both
+  directions, so a missing or stale row gets a problem message naming
+  the specific code rather than just "table drifted".
+
+The tier-1 test ``tests/analysis/test_docscheck.py`` asserts the
+problem list is empty, so the reference cannot drift (same pattern as
 :mod:`repro.obs.docscheck`).
 """
 
@@ -19,7 +27,12 @@ from typing import Dict, List, Optional
 
 from repro.analysis.codes import CODES
 
-__all__ = ["check_docs", "default_docs_path", "documented_codes"]
+__all__ = [
+    "check_docs",
+    "default_docs_path",
+    "documented_codes",
+    "render_catalog_table",
+]
 
 #: A code-table row: ``| `GA101` | config | ...``.
 _ROW = re.compile(r"^\|\s*`(?P<code>GA\d{3})`\s*\|\s*(?P<kind>\w+)\s*\|")
@@ -28,6 +41,26 @@ _ROW = re.compile(r"^\|\s*`(?P<code>GA\d{3})`\s*\|\s*(?P<kind>\w+)\s*\|")
 def default_docs_path() -> Path:
     """``docs/static_analysis.md`` relative to the repository root."""
     return Path(__file__).resolve().parents[3] / "docs" / "static_analysis.md"
+
+
+def render_catalog_table() -> str:
+    """The consolidated catalog table, generated from :data:`CODES`.
+
+    ``docs/static_analysis.md`` must embed this output verbatim; when a
+    code is added or reworded, regenerate with
+    ``python -m repro.analysis.docscheck`` and paste.
+    """
+    lines = [
+        "| Code | Kind | Severity | Invariant |",
+        "|---|---|---|---|",
+    ]
+    for code in sorted(CODES):
+        info = CODES[code]
+        lines.append(
+            f"| `{code}` | {info.kind} | {info.severity.value} "
+            f"| {info.title} |"
+        )
+    return "\n".join(lines)
 
 
 def documented_codes(path: Path) -> Dict[str, str]:
@@ -63,4 +96,14 @@ def check_docs(path: Optional[Path] = None) -> List[str]:
                 f"{path.name} documents {code!r}, which is not registered "
                 "(repro.analysis.codes.CODES)"
             )
+    if render_catalog_table() not in path.read_text(encoding="utf-8"):
+        problems.append(
+            f"{path.name} does not embed the generated catalog table "
+            "verbatim; regenerate with "
+            "'python -m repro.analysis.docscheck' and paste it in"
+        )
     return problems
+
+
+if __name__ == "__main__":
+    print(render_catalog_table())

@@ -9,12 +9,19 @@ of ``FunctionDef``/``AsyncFunctionDef``/``ClassDef`` nodes above the
 current one), which is what the async-hygiene checkers need to know
 whether a call site lives inside an ``async def``.
 
-Suppression: a file opts out of specific codes with a
-``# repro: noqa[GA504]`` comment anywhere in the file (comma-separated
-codes; deliberately file-scoped, not line-scoped — an invariant worth
-suppressing is a property of the module, and a reviewable marker at the
-top of the file beats scattered line pragmas).  Unknown codes in a noqa
-marker are themselves reported, so a typo cannot silently disable a rule.
+Suppression: code opts out of specific codes with a
+``# repro: noqa[GA504]`` comment (comma-separated codes), at two
+granularities shared by ``repro lint`` and ``repro analyze``:
+
+* a comment on a line of its own suppresses the codes for the **whole
+  file** (an invariant worth suppressing module-wide gets one
+  reviewable marker at the top of the file);
+* a comment trailing code suppresses the codes **on that line only**
+  (a single deliberate exception stays next to the evidence that
+  justifies it).
+
+Unknown codes in a noqa marker are themselves reported, so a typo
+cannot silently disable a rule.
 """
 
 from __future__ import annotations
@@ -45,22 +52,27 @@ class FileContext:
         #: Dotted module path relative to the package root, best-effort
         #: (``src/repro/net/channels.py`` -> ``repro.net.channels``).
         self.module = _module_name(path)
+        #: Codes suppressed for the whole file (standalone noqa comments).
         self.suppressed: Set[str] = set()
+        #: Codes suppressed per line (noqa comments trailing code).
+        self.line_suppressed: Dict[int, Set[str]] = {}
         self.report = Report()
         self._parse_noqa()
 
     def _parse_noqa(self) -> None:
         # Scan real comment tokens only: a docstring *mentioning* a noqa
-        # marker must not suppress anything.
+        # marker must not suppress anything.  A comment on a line of its
+        # own is file-scoped; one trailing code is scoped to that line.
         try:
             tokens = tokenize.generate_tokens(io.StringIO(self.source).readline)
             comments = [
-                (t.start[0], t.string) for t in tokens
+                (t.start[0], t.string, t.line[:t.start[1]].strip())
+                for t in tokens
                 if t.type == tokenize.COMMENT
             ]
         except (tokenize.TokenError, IndentationError):
             comments = []
-        for line, comment in comments:
+        for line, comment, before in comments:
             match = _NOQA.search(comment)
             if not match:
                 continue
@@ -69,7 +81,10 @@ class FileContext:
                 if not code:
                     continue
                 if code in CODES:
-                    self.suppressed.add(code)
+                    if before:
+                        self.line_suppressed.setdefault(line, set()).add(code)
+                    else:
+                        self.suppressed.add(code)
                 else:
                     # A typo'd suppression must be loud, not silent.
                     self.report.diagnostics.append(Diagnostic(
@@ -81,6 +96,14 @@ class FileContext:
                              "repro.analysis.codes.CODES",
                     ))
 
+    def is_suppressed(self, code: str, line: Optional[int]) -> bool:
+        """Whether ``code`` is suppressed here (file- or line-scoped)."""
+        if code in self.suppressed:
+            return True
+        if line is not None and code in self.line_suppressed.get(line, ()):
+            return True
+        return False
+
     def add(
         self,
         code: str,
@@ -88,12 +111,17 @@ class FileContext:
         node: Optional[ast.AST] = None,
         *,
         hint: Optional[str] = None,
+        line: Optional[int] = None,
+        column: Optional[int] = None,
     ) -> None:
-        """Report a finding at ``node`` unless the file suppresses it."""
-        if code in self.suppressed:
+        """Report a finding at ``node`` (or an explicit ``line``/``column``)
+        unless a noqa marker suppresses it."""
+        if line is None:
+            line = getattr(node, "lineno", None)
+        if column is None:
+            column = getattr(node, "col_offset", None)
+        if self.is_suppressed(code, line):
             return
-        line = getattr(node, "lineno", None)
-        column = getattr(node, "col_offset", None)
         source_line = None
         if line is not None and 1 <= line <= len(self.lines):
             source_line = self.lines[line - 1]

@@ -2,8 +2,9 @@
 
 Thin command-line front end over :func:`repro.analysis.engine.lint_paths`
 with the default checker set; also reachable as ``repro lint``.  Exits 0
-when no error-severity findings were produced, 1 otherwise — which is
-what the CI job keys off.
+only when the report is completely clean — any diagnostic, warning or
+error, in either output mode, exits 1.  That is what the CI job keys
+off, and it matches ``repro check`` and ``repro analyze``.
 """
 
 from __future__ import annotations
@@ -47,7 +48,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     output = report.render_json() if args.json else report.render_text()
     stream = sys.stdout if report.ok else sys.stderr
     print(output, file=stream)
-    return 0 if report.ok else 1
+    # Any finding fails the run, in both output modes: a warning-only
+    # text run and a warning-only --json run must agree on the verdict.
+    return 0 if report.clean else 1
 
 
 if __name__ == "__main__":

@@ -1,0 +1,432 @@
+"""Protocol model checking and model↔code conformance (GA61x).
+
+Two halves, both driven by :mod:`repro.net.protocol_model`:
+
+* :func:`check_models` — an explicit-state model checker.  For every
+  bounded model configuration it explores the full reachable state
+  space breadth-first (deterministic successor order, so every run
+  visits states in the same order) and reports:
+
+  - **GA610** a reachable state with no enabled transition that is not
+    a legitimate end of the run (deadlock),
+  - **GA611** a reachable state violating the model's safety invariant
+    (credit conservation, the export fence, the SYNC barrier),
+  - **GA612** a completed run that never met its goal (EOS delivery,
+    item conservation across a migration).
+
+  BFS means the reported counterexample trace is a *shortest* one.
+
+* :func:`check_conformance` — an AST pass over the protocol's role
+  files (``coordinator.py``, ``worker.py``, ``channels.py``) that maps
+  every frame send site (``send_frame``/``encode_frame`` and one level
+  of wrappers whose parameter flows into them) and every frame receive
+  site (comparisons against ``FrameType.X``) onto the declarative
+  transition tables' ``(role, direction, frame)`` alphabet, reporting
+  **GA613** in both drift directions: a site the model forbids, and a
+  modelled flow the scanned role never implements.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.diagnostics import Report, SourceSpan
+from repro.analysis.engine import FileContext
+from repro.net.protocol_model import FLOWS, ProtocolModel, bounded_models
+
+__all__ = [
+    "FrameSite",
+    "ModelFailure",
+    "ModelResult",
+    "check_conformance",
+    "check_models",
+    "explore",
+    "load_models",
+    "scan_frame_sites",
+]
+
+
+# ---------------------------------------------------------------------------
+# Explicit-state exploration (GA610/GA611/GA612)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ModelFailure:
+    """The first (shortest-trace) defect BFS found in a model."""
+
+    #: ``deadlock`` | ``invariant`` | ``goal``.
+    kind: str
+    message: str
+    #: Action labels from the initial state to the failing state.
+    trace: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ModelResult:
+    """Outcome of exhaustively exploring one bounded model."""
+
+    name: str
+    states: int
+    transitions: int
+    failure: Optional[ModelFailure]
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+def explore(model: ProtocolModel, max_states: int = 200_000) -> ModelResult:
+    """Exhaustively explore ``model`` breadth-first.
+
+    Stops at the first defect; because exploration is breadth-first and
+    successor order is fixed, the defect found — and its counterexample
+    trace — is deterministic and the trace is a shortest one.
+    """
+    initial = model.initial()
+    parents: Dict[Hashable, Optional[Tuple[Hashable, str]]] = {initial: None}
+    queue: "deque[Hashable]" = deque([initial])
+    transitions = 0
+
+    def trace_to(state: Hashable) -> Tuple[str, ...]:
+        actions: List[str] = []
+        at: Optional[Hashable] = state
+        while at is not None:
+            step = parents[at]
+            if step is None:
+                break
+            at, action = step
+            actions.append(action)
+        return tuple(reversed(actions))
+
+    while queue:
+        state = queue.popleft()
+        broken = model.invariant(state)
+        if broken is not None:
+            return ModelResult(model.name, len(parents), transitions, ModelFailure(
+                kind="invariant", message=broken, trace=trace_to(state),
+            ))
+        successors = model.successors(state)
+        if not successors:
+            if not model.is_final(state):
+                return ModelResult(
+                    model.name, len(parents), transitions, ModelFailure(
+                        kind="deadlock",
+                        message="no transition is enabled in a non-final state",
+                        trace=trace_to(state),
+                    ))
+            unmet = model.goal(state)
+            if unmet is not None:
+                return ModelResult(
+                    model.name, len(parents), transitions, ModelFailure(
+                        kind="goal", message=unmet, trace=trace_to(state),
+                    ))
+            continue
+        for action, nxt in successors:
+            transitions += 1
+            if nxt not in parents:
+                parents[nxt] = (state, action)
+                queue.append(nxt)
+                if len(parents) > max_states:
+                    raise ValueError(
+                        f"model {model.name!r} exceeds {max_states} states; "
+                        "bounded configurations must stay exhaustively "
+                        "explorable"
+                    )
+    return ModelResult(model.name, len(parents), transitions, None)
+
+
+_FAILURE_CODES = {"deadlock": "GA610", "invariant": "GA611", "goal": "GA612"}
+_TRACE_CAP = 20
+
+
+def _render_trace(trace: Tuple[str, ...]) -> str:
+    shown = list(trace)
+    prefix = ""
+    if len(shown) > _TRACE_CAP:
+        prefix = f"... {len(shown) - _TRACE_CAP} step(s) ... -> "
+        shown = shown[-_TRACE_CAP:]
+    return prefix + " -> ".join(shown) if shown else "<initial state>"
+
+
+def check_models(models: Optional[Sequence[ProtocolModel]] = None) -> Report:
+    """Explore every model, one GA610/GA611/GA612 diagnostic per defect."""
+    report = Report()
+    for model in bounded_models() if models is None else models:
+        result = explore(model)
+        if result.failure is None:
+            continue
+        failure = result.failure
+        report.add(
+            _FAILURE_CODES[failure.kind],
+            f"{failure.message} [counterexample: "
+            f"{_render_trace(failure.trace)}]",
+            span=SourceSpan(config_path=f"protocol model '{result.name}'"),
+        )
+    return report
+
+
+def load_models(path: str) -> List[ProtocolModel]:
+    """Load ``MODELS`` from a Python model file (``--models`` / fixtures)."""
+    source = Path(path).read_text(encoding="utf-8")
+    namespace: Dict[str, Any] = {
+        "__name__": f"repro_models_{Path(path).stem}",
+        "__file__": str(path),
+    }
+    exec(compile(source, str(path), "exec"), namespace)
+    raw = namespace.get("MODELS")
+    if not isinstance(raw, (list, tuple)):
+        raise ValueError(
+            f"{path}: expected a MODELS list of ProtocolModel instances"
+        )
+    models: List[ProtocolModel] = []
+    for entry in raw:
+        if not isinstance(entry, ProtocolModel):
+            raise ValueError(
+                f"{path}: MODELS entry {entry!r} is not a ProtocolModel"
+            )
+        models.append(entry)
+    return models
+
+
+# ---------------------------------------------------------------------------
+# Model <-> code conformance (GA613)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FrameSite:
+    """One frame send/receive site found in a role file."""
+
+    role: str
+    direction: str
+    frame: str
+    path: str
+    line: int
+    column: int
+
+
+#: Which protocol role(s) each file implements.  ``channels.py`` hosts
+#: two: the data-plane sender (``OutChannel``) and receiver
+#: (``InChannel``), told apart by enclosing class.
+_ROLE_FILES = {"coordinator.py": "coordinator", "worker.py": "worker"}
+_CHANNEL_ROLES = {"OutChannel": "sender", "InChannel": "receiver"}
+
+#: Known frame-moving callables and the argument position carrying the
+#: :class:`~repro.net.protocol.FrameType`.
+_SEND_CALLS = {"send_frame": 1, "encode_frame": 0}
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _frame_attr(node: ast.AST) -> Optional[str]:
+    """``FrameType.X`` -> ``"X"``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "FrameType"
+    ):
+        return node.attr
+    return None
+
+
+def _wrapper_positions(tree: ast.Module) -> Dict[str, int]:
+    """Find functions that forward a parameter into a frame send call.
+
+    ``OutChannel._ship(self, frame_type, ...)`` and
+    ``Coordinator._expect_ready(self, handle, request, ...)`` do not
+    mention a concrete frame type themselves — their *callers* do.  For
+    each such wrapper, record which call-site argument position carries
+    the frame type (``self`` excluded), so the scanner can classify
+    ``self._ship(FrameType.DATA, ...)`` as a DATA send site.  One level
+    deep: a wrapper of a wrapper is not followed.
+    """
+    positions: Dict[str, int] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        params = [a.arg for a in node.args.posonlyargs + node.args.args]
+        for call in ast.walk(node):
+            if not isinstance(call, ast.Call):
+                continue
+            name = _call_name(call)
+            if name not in _SEND_CALLS:
+                continue
+            position = _SEND_CALLS[name]
+            if position >= len(call.args):
+                continue
+            argument = call.args[position]
+            if not isinstance(argument, ast.Name):
+                continue
+            if argument.id not in params:
+                continue
+            index = params.index(argument.id)
+            if params and params[0] in ("self", "cls"):
+                index -= 1
+            if index >= 0:
+                positions[node.name] = index
+    return positions
+
+
+class _SiteCollector(ast.NodeVisitor):
+    """Walk one role file collecting frame send/receive sites."""
+
+    def __init__(self, path: str, default_role: Optional[str],
+                 wrappers: Dict[str, int]) -> None:
+        self.path = path
+        self.default_role = default_role
+        self.wrappers = wrappers
+        self.class_stack: List[str] = []
+        self.sites: List[FrameSite] = []
+        self.roles_seen: Set[str] = set()
+
+    def _role_here(self) -> Optional[str]:
+        if self.default_role is not None:
+            return self.default_role
+        for cls in reversed(self.class_stack):
+            if cls in _CHANNEL_ROLES:
+                return _CHANNEL_ROLES[cls]
+        return None
+
+    def _record(self, direction: str, frame: str, node: ast.AST) -> None:
+        role = self._role_here()
+        if role is None:
+            return
+        self.roles_seen.add(role)
+        self.sites.append(FrameSite(
+            role=role, direction=direction, frame=frame, path=self.path,
+            line=getattr(node, "lineno", 0),
+            column=getattr(node, "col_offset", 0),
+        ))
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.class_stack.append(node.name)
+        self.generic_visit(node)
+        self.class_stack.pop()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _call_name(node)
+        position = _SEND_CALLS.get(name or "", self.wrappers.get(name or "", -1))
+        if position >= 0 and position < len(node.args):
+            frame = _frame_attr(node.args[position])
+            if frame is not None:
+                self._record("send", frame, node.args[position])
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        # A comparison against FrameType.X is how every reader dispatches
+        # on an incoming frame; membership tests put the attributes in a
+        # tuple, so look anywhere inside the comparison.
+        for child in ast.walk(node):
+            frame = _frame_attr(child)
+            if frame is not None:
+                self._record("recv", frame, child)
+        self.generic_visit(node)
+
+
+def scan_frame_sites(
+    path: str, tree: ast.Module
+) -> Tuple[List[FrameSite], Set[str]]:
+    """All frame sites in one file, plus the roles the file implements."""
+    basename = Path(path).name
+    default_role = _ROLE_FILES.get(basename)
+    if default_role is None and basename != "channels.py":
+        return [], set()
+    collector = _SiteCollector(path, default_role, _wrapper_positions(tree))
+    collector.visit(tree)
+    roles = set([default_role] if default_role else _CHANNEL_ROLES.values())
+    return collector.sites, roles
+
+
+def check_conformance(paths: Iterable[str]) -> Report:
+    """GA613: frame traffic must match the declarative transition tables.
+
+    Both drift directions are reported: a send/receive site whose
+    ``(role, direction, frame)`` triple no transition allows, and a
+    modelled flow that a scanned role never implements.  Only roles
+    whose file was actually scanned get absence findings — analyzing
+    ``coordinator.py`` alone says nothing about the worker.
+    """
+    report = Report()
+    seen: Set[Tuple[str, str, str]] = set()
+    scanned_roles: Set[str] = set()
+    contexts: List[Tuple[str, FileContext]] = []
+    for path in _expand_role_files(paths):
+        source = Path(path).read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            report.add(
+                "GA500",
+                f"cannot parse file: {exc.msg}",
+                span=SourceSpan(file=path, line=exc.lineno, column=exc.offset),
+            )
+            continue
+        sites, roles = scan_frame_sites(path, tree)
+        if not roles:
+            continue
+        context = FileContext(path, source, tree)
+        scanned_roles.update(roles)
+        contexts.append((path, context))
+        for site in sites:
+            seen.add((site.role, site.direction, site.frame))
+            if (site.role, site.direction, site.frame) not in FLOWS:
+                verb = "sends" if site.direction == "send" else "receives"
+                context.add(
+                    "GA613",
+                    f"the {site.role} {verb} {site.frame}, but no protocol "
+                    f"transition moves {site.frame} that way",
+                    line=site.line,
+                    column=site.column,
+                )
+    # Absence direction: modelled flows the scanned roles never exhibit.
+    role_contexts = {
+        role: (path, context)
+        for path, context in contexts
+        for role in _roles_of(path)
+    }
+    for role, direction, frame in sorted(FLOWS):
+        if role not in scanned_roles or (role, direction, frame) in seen:
+            continue
+        path, context = role_contexts[role]
+        verb = "send" if direction == "send" else "receive"
+        context.add(
+            "GA613",
+            f"the protocol model expects the {role} to {verb} {frame}, "
+            f"but no site in {path} does",
+        )
+    for _, context in contexts:
+        report.extend(context.report)
+    return report
+
+
+def _roles_of(path: str) -> Set[str]:
+    basename = Path(path).name
+    if basename in _ROLE_FILES:
+        return {_ROLE_FILES[basename]}
+    if basename == "channels.py":
+        return set(_CHANNEL_ROLES.values())
+    return set()
+
+
+def _expand_role_files(paths: Iterable[str]) -> List[str]:
+    """Expand directories, keeping only protocol role files."""
+    names = set(_ROLE_FILES) | {"channels.py"}
+    files: List[str] = []
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            files.extend(
+                sorted(str(p) for p in path.rglob("*.py") if p.name in names)
+            )
+        elif path.name in names:
+            files.append(str(path))
+    return files

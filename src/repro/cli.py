@@ -22,6 +22,8 @@ configuration tooling without writing any Python:
   and wire passes; see docs/static_analysis.md), printing a rustc-style
   report or ``--json``;
 * ``lint [paths...]`` — run the AST lint suite over the source tree;
+* ``analyze [paths...]`` — run the whole-program concurrency analysis
+  and the protocol model checker / conformance pass (GA6xx);
 * ``validate <config.xml>`` — deprecated alias for ``check``;
 * ``topology <config.xml>`` — print the placement a default star fabric
   would give the configuration (dry-run deployment).
@@ -184,6 +186,22 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="files or directories to lint (default: src/repro)")
     lint.add_argument("--json", action="store_true",
                       help="emit the machine-readable JSON report")
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="run the whole-program concurrency analysis (lock order, locks "
+             "across waits, guarded state) and the protocol model checker "
+             "with model<->code conformance (GA6xx)",
+    )
+    analyze.add_argument("paths", nargs="*", default=None,
+                         help="files or directories to analyze "
+                              "(default: src/repro)")
+    analyze.add_argument("--json", action="store_true",
+                         help="emit the machine-readable JSON report")
+    analyze.add_argument("--models", metavar="FILE", default=None,
+                         help="check the MODELS list from this Python file "
+                              "instead of the built-in bounded protocol "
+                              "configurations")
 
     validate = sub.add_parser(
         "validate", help="deprecated alias for 'check'"
@@ -479,14 +497,17 @@ def _cmd_check(args: argparse.Namespace) -> int:
     except OSError as exc:
         print(f"cannot read {args.config!r}: {exc}", file=sys.stderr)
         return 1
+    # Any finding fails the run, and the verdict must not depend on the
+    # output mode: a warning-only config exits 1 with and without --json.
     if args.json:
         print(report.render_json())
-        return 0 if report.ok else 1
+        return 0 if report.clean else 1
     if not report.ok:
         print(report.render_text(), file=sys.stderr)
         return 1
     if not report.clean:
         print(report.render_text())
+        return 1
     _print_dag(args.config)
     return 0
 
@@ -518,6 +539,17 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.json:
         argv.append("--json")
     return lint_main(argv)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.analyze import main as analyze_main
+
+    argv = list(args.paths or [])
+    if args.json:
+        argv.append("--json")
+    if args.models:
+        argv.extend(["--models", args.models])
+    return analyze_main(argv)
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -654,6 +686,7 @@ _COMMANDS = {
     "worker": _cmd_worker,
     "check": _cmd_check,
     "lint": _cmd_lint,
+    "analyze": _cmd_analyze,
     "validate": _cmd_validate,
     "topology": _cmd_topology,
     "bench": _cmd_bench,

@@ -998,6 +998,7 @@ class ThreadedRuntime:
         stream (``"t#1"``) overrides the partitioner for that emission.
         """
         state = self._groups[unit.group or ""]
+        wait = 0.0
         with state.lock:
             if stream is not None and stream in unit.named:
                 edge = stage.out_edges[unit.named[stream]]
@@ -1008,8 +1009,6 @@ class ThreadedRuntime:
                 edge = stage.out_edges[unit.edges[owner]]
             if edge.bucket is not None:
                 wait = edge.bucket.consume(size)
-                if wait > 0:
-                    time.sleep(wait * self.time_scale)
             item = Item(
                 payload=payload, size=size, origin=stage.name,
                 created_at=self.elapsed(), trace=trace,
@@ -1018,6 +1017,12 @@ class ThreadedRuntime:
                 item.hop = trace.begin_hop(edge.dst.name, self.elapsed())
             edge.dst.queue.put(item)
             edge.dst.delivered += 1
+        if wait > 0:
+            # The bucket already charged this emission; sleeping out here
+            # paces the producer identically but keeps the routing lock
+            # short — a throttled edge must stall only this thread, not
+            # every producer routing to the group (and the autoscaler).
+            time.sleep(wait * self.time_scale)
         self._observe_arrival(edge.dst)
         if edge.dst.shard_items is not None:
             edge.dst.shard_items.inc()
@@ -1218,7 +1223,10 @@ class ThreadedRuntime:
             while any(m.delivered > m.consumed for m in members[:previous]):
                 if any(m.done.is_set() for m in members):
                     return False
-                time.sleep(0.001)
+                # The routing lock *is* the drain barrier here: producers
+                # must stay parked while already-delivered items drain, so
+                # this poll deliberately sleeps under the lock.
+                time.sleep(0.001)  # repro: noqa[GA601]
             merged: Dict[Any, Any] = {}
             exported = False
             for member in members[:previous]:

@@ -232,6 +232,9 @@ class OutChannel:
         self.exceptions = registry.counter(f"{prefix}.exceptions")
         self._credits = 0
         self._window = 0
+        #: Bumped when a redial resets the credit pool: credits acquired
+        #: against an older epoch are never returned into the new pool.
+        self._grant_epoch = 0
         self._peak = 0
         self._broken = False
         self._cond = asyncio.Condition()
@@ -308,13 +311,15 @@ class OutChannel:
                 self._broken = True
                 self._cond.notify_all()
 
-    async def _acquire_credit(self, n: int = 1) -> None:
+    async def _acquire_credit(self, n: int = 1) -> int:
         """Take ``n`` credits (one per item), waiting for replenishment.
 
         Credit is charged per item, not per frame: a batched DATA frame
         carrying n items acquires n credits before it ships, so the
         receiver's in-flight bound (``window`` items) holds no matter how
-        items are packed into frames.
+        items are packed into frames.  Returns the grant epoch the
+        credits were taken from, so an unused acquisition can be returned
+        to the right pool (see :meth:`_release_credit`).
         """
         async with self._cond:
             if self._credits < n:
@@ -332,23 +337,47 @@ class OutChannel:
             if in_flight > self._peak:
                 self._peak = in_flight
                 self.in_flight_peak.set(float(in_flight))
+            return self._grant_epoch
+
+    async def _release_credit(self, n: int, epoch: int) -> None:
+        """Return credits a send acquired but did not spend (pause race).
+
+        Dropped silently when the grant epoch has moved on: a redial
+        reset the pool, and credits taken from the old receiver's window
+        must not inflate the new receiver's grant.
+        """
+        async with self._cond:
+            if epoch == self._grant_epoch:
+                self._credits += n
+                self._cond.notify_all()
 
     async def _ship(self, frame_type: FrameType, body: bytes, items: int) -> None:
         """Frame + credit + pause discipline shared by every send path.
 
         Waits out a pause *before* taking the gate (so ``pause()`` never
-        deadlocks behind a parked sender), then re-checks under the gate
-        (so no item slips onto the wire after ``pause()`` returned).
+        deadlocks behind a parked sender), and acquires credit *outside*
+        the gate: ``pause()`` waits on the gate, so a credit-stalled
+        sender holding it would make a migration pause unbounded — the
+        bounded-pause guarantee requires the gate to only ever cover one
+        in-flight frame write.  Under the gate the pause flag is
+        re-checked; if a pause raced in while this sender waited for
+        credit, the credits go back to their grant epoch's pool and the
+        sender re-parks.
         """
         while True:
             await self._resume.wait()
+            epoch = 0
+            if items:
+                epoch = await self._acquire_credit(items)
             async with self._send_gate:
                 if not self._resume.is_set():
+                    if items:
+                        await self._release_credit(items, epoch)
                     continue
                 if self._writer is None:
+                    if items:
+                        await self._release_credit(items, epoch)
                     raise ChannelError(f"channel {self.stream!r} is not connected")
-                if items:
-                    await self._acquire_credit(items)
                 nbytes = await send_frame(self._writer, frame_type, body)
                 self.frames.inc()
                 self.bytes.inc(nbytes)
@@ -424,6 +453,7 @@ class OutChannel:
         self._broken = False
         self._window = 0
         self._credits = 0
+        self._grant_epoch += 1
         await self.connect(timeout)
 
     async def close(self, linger: float = 5.0) -> None:

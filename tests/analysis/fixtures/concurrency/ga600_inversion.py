@@ -1,0 +1,19 @@
+"""GA600: two paths acquire the same lock pair in opposite orders."""
+import threading
+
+
+class Transfer:
+    def __init__(self):
+        self._accounts = threading.Lock()
+        self._journal = threading.Lock()
+        self.posted = 0
+
+    def post(self):
+        with self._accounts:
+            with self._journal:
+                self.posted += 1
+
+    def audit(self):
+        with self._journal:
+            with self._accounts:
+                return self.posted

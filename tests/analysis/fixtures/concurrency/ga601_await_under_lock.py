@@ -1,0 +1,13 @@
+"""GA601: a threading lock held across an await point can deadlock the loop."""
+import threading
+
+
+class Bridge:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.sent = 0
+
+    async def forward(self, channel, frame):
+        with self._lock:
+            await channel.send(frame)
+            self.sent += 1

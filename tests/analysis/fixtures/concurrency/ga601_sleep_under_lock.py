@@ -1,0 +1,14 @@
+"""GA601: time.sleep while holding a threading lock stalls every acquirer."""
+import threading
+import time
+
+
+class Pacer:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.emitted = 0
+
+    def emit(self, wait):
+        with self._lock:
+            self.emitted += 1
+            time.sleep(wait)

@@ -1,0 +1,25 @@
+"""GA601 (transitive): a lock held across a callee that waits elsewhere.
+
+The shape that motivated the rule: a send gate held while awaiting a
+credit-acquisition helper, which parks on a *different* condition until
+the receiver replenishes — making the pause bounded only by the peer.
+"""
+import asyncio
+
+
+class Channel:
+    def __init__(self):
+        self._send_gate = asyncio.Lock()
+        self._cond = asyncio.Condition()
+        self._credits = 0
+
+    async def _acquire_credit(self, amount):
+        async with self._cond:
+            while self._credits < amount:
+                await self._cond.wait()
+            self._credits -= amount
+
+    async def ship(self, frame):
+        async with self._send_gate:
+            await self._acquire_credit(1)
+            return frame

@@ -1,0 +1,15 @@
+"""GA602: an attribute guarded by a lock elsewhere is written bare."""
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self):
+        with self._lock:
+            self._value += 1
+
+    def reset(self):
+        self._value = 0

@@ -1,0 +1,6 @@
+"""GA613: the worker initiates START, which only the coordinator may send."""
+from repro.net.protocol import FrameType, encode_json, send_frame
+
+
+async def serve(writer):
+    await send_frame(writer, FrameType.START, encode_json({}))

@@ -1,0 +1,4 @@
+"""GA610: a receiver that never replenishes credit starves the sender."""
+from repro.net.protocol_model import CreditFlowModel
+
+MODELS = [CreditFlowModel(window=2, items=5, no_replenish=True)]

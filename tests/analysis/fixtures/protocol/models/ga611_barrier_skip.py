@@ -1,0 +1,4 @@
+"""GA611: STARTing before every worker acknowledged SYNC breaks the barrier."""
+from repro.net.protocol_model import LifecycleModel
+
+MODELS = [LifecycleModel(workers=2, barrier_skip=True)]

@@ -1,0 +1,4 @@
+"""GA611: granting the initial window twice breaks credit conservation."""
+from repro.net.protocol_model import CreditFlowModel
+
+MODELS = [CreditFlowModel(window=2, items=3, double_grant=True)]

@@ -1,0 +1,4 @@
+"""GA611: a replenishment that drops one consumed item leaks credit."""
+from repro.net.protocol_model import CreditFlowModel
+
+MODELS = [CreditFlowModel(window=2, items=4, leak_credit=True)]

@@ -1,0 +1,4 @@
+"""GA612: a receiver that discards the EOS sentinel finishes without it."""
+from repro.net.protocol_model import CreditFlowModel
+
+MODELS = [CreditFlowModel(window=2, items=3, drop_eos=True)]

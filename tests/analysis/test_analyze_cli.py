@@ -1,0 +1,151 @@
+"""CLI tests shared by check/lint/analyze: exit codes and stable JSON.
+
+Two policies hold across all three static-analysis front ends:
+
+* exit-code consistency — a run exits 0 only when the report is completely
+  clean; ANY diagnostic (warnings included) exits 1, with and without
+  ``--json``;
+* byte-stable JSON — ``--json`` output is identical across repeated runs
+  and independent of the order the filesystem (or argv) yields the inputs.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+HERE = os.path.dirname(__file__)
+REPO_ROOT = os.path.join(HERE, "..", "..")
+SRC = os.path.join(REPO_ROOT, "src", "repro")
+LINT_CORPUS = os.path.join(HERE, "fixtures", "lint")
+CONC_CORPUS = os.path.join(HERE, "fixtures", "concurrency")
+GA613_CORPUS = os.path.join(HERE, "fixtures", "protocol", "ga613")
+MODELS_DIR = os.path.join(HERE, "fixtures", "protocol", "models")
+
+CLEAN_XML = (
+    "<application name='ok'>"
+    "<stage name='a' code='repo://count-samps/relay'/>"
+    "<stage name='b' code='repo://count-samps/relay'/>"
+    "<stream name='s1' from='a' to='b'/>"
+    "</application>"
+)
+# Stage 'c' is disconnected: a warning (GA104), not an error.
+WARN_XML = CLEAN_XML.replace(
+    "<stream", "<stage name='c' code='repo://count-samps/relay'/><stream"
+)
+
+
+@pytest.fixture
+def clean_config(tmp_path):
+    path = tmp_path / "clean.xml"
+    path.write_text(CLEAN_XML, encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture
+def warn_config(tmp_path):
+    path = tmp_path / "warn.xml"
+    path.write_text(WARN_XML, encoding="utf-8")
+    return str(path)
+
+
+class TestAnalyzeCli:
+    def test_repo_is_clean(self, capsys):
+        assert main(["analyze", SRC]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_corpus_fails_with_text_on_stderr(self, capsys):
+        assert main(["analyze", CONC_CORPUS, GA613_CORPUS]) == 1
+        captured = capsys.readouterr()
+        assert "error[GA600]" in captured.err
+        assert "error[GA613]" in captured.err
+
+    def test_json_output(self, capsys):
+        assert main(["analyze", CONC_CORPUS, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().err)
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert {"GA600", "GA601", "GA602"} <= codes
+
+    def test_broken_models_file_fails(self, capsys):
+        fixture = os.path.join(MODELS_DIR, "ga610_no_replenish.py")
+        assert main(["analyze", SRC, "--models", fixture]) == 1
+        assert "GA610" in capsys.readouterr().err
+
+    def test_unloadable_models_file_is_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "nomodels.py"
+        path.write_text("X = 1\n", encoding="utf-8")
+        assert main(["analyze", SRC, "--models", str(path)]) == 2
+        assert "MODELS" in capsys.readouterr().err
+
+
+class TestExitCodeConsistency:
+    """Exit 0 only when clean; any diagnostic exits 1 in BOTH modes."""
+
+    @pytest.mark.parametrize("json_flag", [[], ["--json"]])
+    def test_check_clean(self, clean_config, capsys, json_flag):
+        assert main(["check", clean_config] + json_flag) == 0
+        capsys.readouterr()
+
+    @pytest.mark.parametrize("json_flag", [[], ["--json"]])
+    def test_check_warnings_only_still_fails(
+        self, warn_config, capsys, json_flag
+    ):
+        assert main(["check", warn_config] + json_flag) == 1
+        out = capsys.readouterr().out
+        assert "GA104" in out
+
+    @pytest.mark.parametrize(
+        "command,target_kind",
+        [("lint", "clean"), ("analyze", "clean")],
+    )
+    @pytest.mark.parametrize("json_flag", [[], ["--json"]])
+    def test_lint_analyze_clean(
+        self, tmp_path, capsys, command, target_kind, json_flag
+    ):
+        path = tmp_path / "ok.py"
+        path.write_text('"""Empty module."""\n', encoding="utf-8")
+        assert main([command, str(path)] + json_flag) == 0
+        capsys.readouterr()
+
+    @pytest.mark.parametrize(
+        "command,corpus",
+        [("lint", LINT_CORPUS), ("analyze", CONC_CORPUS)],
+    )
+    @pytest.mark.parametrize("json_flag", [[], ["--json"]])
+    def test_lint_analyze_corpus_fails(
+        self, capsys, command, corpus, json_flag
+    ):
+        assert main([command, corpus] + json_flag) == 1
+        capsys.readouterr()
+
+
+def _json_run(argv, capsys):
+    main(argv)
+    captured = capsys.readouterr()
+    text = captured.out or captured.err
+    json.loads(text)  # must parse
+    return text
+
+
+class TestJsonStability:
+    """--json output is byte-stable and filesystem-order independent."""
+
+    def test_check_repeated_runs_identical(self, warn_config, capsys):
+        argv = ["check", warn_config, "--json"]
+        assert _json_run(argv, capsys) == _json_run(argv, capsys)
+
+    @pytest.mark.parametrize("command", ["lint", "analyze"])
+    def test_repeated_runs_identical(self, capsys, command):
+        argv = [command, LINT_CORPUS, CONC_CORPUS, "--json"]
+        assert _json_run(argv, capsys) == _json_run(argv, capsys)
+
+    @pytest.mark.parametrize("command", ["lint", "analyze"])
+    def test_input_order_does_not_matter(self, capsys, command):
+        paths = [LINT_CORPUS, CONC_CORPUS, GA613_CORPUS]
+        forward = _json_run([command] + paths + ["--json"], capsys)
+        backward = _json_run(
+            [command] + list(reversed(paths)) + ["--json"], capsys
+        )
+        assert forward == backward

@@ -1,0 +1,205 @@
+"""Tests for the whole-program concurrency analysis (GA600-GA602)."""
+
+import os
+import textwrap
+
+import pytest
+
+from repro.analysis import concurrency_codes
+from repro.analysis.concurrency import analyze_paths
+
+CORPUS = os.path.join(os.path.dirname(__file__), "fixtures", "concurrency")
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..", "..")
+
+#: (corpus file, codes it must raise)
+CASES = [
+    ("ga600_inversion.py", {"GA600"}),
+    ("ga601_sleep_under_lock.py", {"GA601"}),
+    ("ga601_await_under_lock.py", {"GA601"}),
+    ("ga601_transitive_wait.py", {"GA601"}),
+    ("ga602_unguarded_write.py", {"GA602"}),
+]
+
+
+@pytest.mark.parametrize("relpath,codes", CASES)
+def test_broken_fixture_raises_its_codes(relpath, codes):
+    report = analyze_paths([os.path.join(CORPUS, relpath)])
+    assert set(report.codes()) == codes, report.render_text()
+
+
+def test_corpus_as_a_whole_fails():
+    report = analyze_paths([CORPUS])
+    assert not report.ok
+    assert set(report.codes()) == {c for _, cs in CASES for c in cs}
+
+
+def test_every_concurrency_code_is_exercised():
+    corpus_codes = {c for _, cs in CASES for c in cs}
+    assert corpus_codes == {info.code for info in concurrency_codes()}
+
+
+def test_repo_is_concurrency_clean():
+    """src/repro passes its own analysis — the CI gate, run as a test."""
+    report = analyze_paths([os.path.join(REPO_ROOT, "src", "repro")])
+    assert report.clean, report.render_text()
+
+
+def test_collection_is_order_independent():
+    """The same program must render identically whatever order the
+    filesystem yields the files in (class scans run before any walk)."""
+    files = sorted(
+        os.path.join(CORPUS, name)
+        for name in os.listdir(CORPUS)
+        if name.endswith(".py")
+    )
+    forward = analyze_paths(files).render_json()
+    backward = analyze_paths(list(reversed(files))).render_json()
+    assert forward == backward
+
+
+def _write(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return str(path)
+
+
+class TestCtorDeclaredLocks:
+    """Locks recognised by construction, not by their attribute name.
+
+    Regression: ``self._accounts = threading.Lock()`` must participate in
+    GA600/GA601 even though "accounts" carries no lock-ish substring.
+    """
+
+    def test_with_on_ctor_declared_attr_is_an_acquisition(self, tmp_path):
+        path = _write(tmp_path, "m.py", """
+            import threading
+            import time
+
+            class Box:
+                def __init__(self):
+                    self._accounts = threading.Lock()
+
+                def poke(self):
+                    with self._accounts:
+                        time.sleep(0.1)
+        """)
+        report = analyze_paths([path])
+        assert "GA601" in report.codes(), report.render_text()
+
+    def test_lock_declaration_crosses_files(self, tmp_path):
+        """The declaring file may be walked after the using file."""
+        a = _write(tmp_path, "a_use.py", """
+            import time
+
+            def drain(box):
+                with box._accounts:
+                    time.sleep(0.1)
+        """)
+        b = _write(tmp_path, "z_decl.py", """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._accounts = threading.Lock()
+        """)
+        report = analyze_paths([a, b])
+        assert "GA601" in report.codes(), report.render_text()
+
+    def test_lock_attr_reassignment_is_not_ga602(self, tmp_path):
+        path = _write(tmp_path, "m.py", """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._accounts = threading.Lock()
+                    self.n = 0
+
+                def bump(self):
+                    with self._accounts:
+                        self.n += 1
+
+                def reset_lock(self):
+                    self._accounts = threading.Lock()
+        """)
+        report = analyze_paths([path])
+        assert "GA602" not in report.codes(), report.render_text()
+
+
+class TestTransitiveWait:
+    """GA601 findings must follow the call graph, not just direct waits."""
+
+    def test_lock_held_across_call_into_waiter(self, tmp_path):
+        path = _write(tmp_path, "ship.py", """
+            import threading
+
+            class Channel:
+                def __init__(self):
+                    self._send_gate = threading.Lock()
+                    self._cond = threading.Condition()
+
+                def _acquire_credit(self):
+                    with self._cond:
+                        self._cond.wait()
+
+                def ship(self, frame):
+                    with self._send_gate:
+                        self._acquire_credit()
+        """)
+        report = analyze_paths([path])
+        assert "GA601" in report.codes(), report.render_text()
+        text = report.render_text()
+        assert "_acquire_credit" in text
+
+
+class TestSuppression:
+    """analyze honours the same noqa grammar as lint, both granularities."""
+
+    SOURCE = """
+        import threading
+        import time
+
+        class Pacer:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def tick(self):
+                with self._lock:
+                    time.sleep(0.01){line_marker}
+
+            def tock(self):
+                with self._lock:
+                    time.sleep(0.02)
+    """
+
+    def test_line_noqa_suppresses_only_its_line(self, tmp_path):
+        path = _write(
+            tmp_path, "m.py",
+            self.SOURCE.format(line_marker="  # repro: noqa[GA601]"),
+        )
+        report = analyze_paths([path])
+        lines = [d.span.line for d in report.diagnostics]
+        assert report.codes() == ["GA601"], report.render_text()
+        assert len(report.diagnostics) == 1
+        # Only the un-annotated sleep in tock() survives.
+        source = open(path, encoding="utf-8").read().splitlines()
+        assert "time.sleep(0.02)" in source[lines[0] - 1]
+
+    def test_file_noqa_suppresses_every_instance(self, tmp_path):
+        body = textwrap.dedent(self.SOURCE.format(line_marker=""))
+        path = tmp_path / "m.py"
+        path.write_text("# repro: noqa[GA601]\n" + body, encoding="utf-8")
+        report = analyze_paths([str(path)])
+        assert report.clean, report.render_text()
+
+    def test_unsuppressed_file_fires_twice(self, tmp_path):
+        path = _write(tmp_path, "m.py", self.SOURCE.format(line_marker=""))
+        report = analyze_paths([path])
+        assert report.codes() == ["GA601"], report.render_text()
+        assert len(report.diagnostics) == 2, report.render_text()
+
+
+def test_syntax_error_becomes_ga500(tmp_path):
+    path = _write(tmp_path, "m.py", "def broken(:\n")
+    report = analyze_paths([path])
+    assert "GA500" in report.codes()
+    assert not report.ok

@@ -94,6 +94,32 @@ class TestSuppression:
         report = lint_source("# repro: noqa[GA999]\n", "repro/simnet/x.py")
         assert "GA500" in report.codes()
 
+    def test_trailing_noqa_suppresses_only_its_line(self):
+        source = (
+            "import time\n\n"
+            "def f():\n"
+            "    a = time.time()  # repro: noqa[GA502]\n"
+            "    b = time.time()\n"
+            "    return a + b\n"
+        )
+        report = lint_source(source, "repro/simnet/clock.py")
+        assert report.codes() == ["GA502"], report.render_text()
+        assert [d.span.line for d in report.diagnostics] == [5]
+
+    def test_trailing_noqa_does_not_suppress_other_codes(self):
+        source = (
+            "import time\n\n"
+            "def f():\n"
+            "    return time.time()  # repro: noqa[GA503]\n"
+        )
+        report = lint_source(source, "repro/simnet/clock.py")
+        assert "GA502" in report.codes()
+
+    def test_trailing_unknown_code_is_reported(self):
+        source = "import time\n\nx = time.time()  # repro: noqa[GA999]\n"
+        report = lint_source(source, "repro/simnet/clock.py")
+        assert "GA500" in report.codes()
+
     def test_noqa_in_docstring_is_not_a_marker(self):
         source = (
             '"""Mentions # repro: noqa[GA502] in prose only."""\n'

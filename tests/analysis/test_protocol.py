@@ -1,0 +1,196 @@
+"""Tests for the protocol model checker and conformance pass (GA610-GA613)."""
+
+import os
+import textwrap
+
+import pytest
+
+from repro.analysis.protocol import (
+    check_conformance,
+    check_models,
+    explore,
+    load_models,
+    scan_frame_sites,
+)
+from repro.net.protocol_model import (
+    CREDIT,
+    FLOWS,
+    LIFECYCLE,
+    MIGRATION,
+    CreditFlowModel,
+    bounded_models,
+)
+
+HERE = os.path.dirname(__file__)
+MODELS_DIR = os.path.join(HERE, "fixtures", "protocol", "models")
+GA613_DIR = os.path.join(HERE, "fixtures", "protocol", "ga613")
+REPO_ROOT = os.path.join(HERE, "..", "..")
+NET_DIR = os.path.join(REPO_ROOT, "src", "repro", "net")
+
+
+# ---------------------------------------------------------------------------
+# Bounded verification of the shipped models
+
+
+def test_every_bounded_model_verifies():
+    """The CI gate: all shipped configurations explore clean."""
+    report = check_models()
+    assert report.clean, report.render_text()
+
+
+def test_exploration_is_exhaustive_not_vacuous():
+    for model in bounded_models():
+        result = explore(model)
+        assert result.failure is None, result.failure
+        assert result.states > 1, model.name
+        assert result.transitions >= result.states - 1, model.name
+
+
+def test_exploration_is_deterministic():
+    model = CreditFlowModel(window=2, items=5)
+    first = explore(model)
+    second = explore(model)
+    assert (first.states, first.transitions) == (
+        second.states, second.transitions
+    )
+
+
+def test_state_cap_raises():
+    with pytest.raises(ValueError):
+        explore(CreditFlowModel(window=3, items=4), max_states=5)
+
+
+# ---------------------------------------------------------------------------
+# Broken-model corpus: every fault knob produces its code
+
+MODEL_CASES = [
+    ("ga610_no_replenish.py", "GA610"),
+    ("ga610_no_resume.py", "GA610"),
+    ("ga611_double_grant.py", "GA611"),
+    ("ga611_leak_credit.py", "GA611"),
+    ("ga611_skip_drain.py", "GA611"),
+    ("ga611_barrier_skip.py", "GA611"),
+    ("ga612_drop_eos.py", "GA612"),
+]
+
+
+@pytest.mark.parametrize("name,code", MODEL_CASES)
+def test_broken_model_raises_its_code(name, code):
+    models = load_models(os.path.join(MODELS_DIR, name))
+    report = check_models(models)
+    assert report.codes() == [code], report.render_text()
+
+
+def test_model_corpus_covers_every_protocol_verification_code():
+    assert {c for _, c in MODEL_CASES} == {"GA610", "GA611", "GA612"}
+
+
+def test_failure_carries_a_counterexample_trace():
+    models = load_models(os.path.join(MODELS_DIR, "ga611_double_grant.py"))
+    report = check_models(models)
+    assert "counterexample:" in report.diagnostics[0].message
+
+
+def test_load_models_rejects_files_without_models(tmp_path):
+    path = tmp_path / "empty.py"
+    path.write_text("X = 1\n", encoding="utf-8")
+    with pytest.raises(ValueError):
+        load_models(str(path))
+
+
+def test_load_models_rejects_non_model_entries(tmp_path):
+    path = tmp_path / "bad.py"
+    path.write_text("MODELS = [42]\n", encoding="utf-8")
+    with pytest.raises(ValueError):
+        load_models(str(path))
+
+
+# ---------------------------------------------------------------------------
+# Declarative tables
+
+
+def test_tables_are_disjoint_and_nonempty():
+    assert LIFECYCLE and MIGRATION and CREDIT
+    for t in LIFECYCLE + MIGRATION + CREDIT:
+        assert t.direction in ("send", "recv")
+        assert (t.role, t.direction, t.frame) in FLOWS
+
+
+# ---------------------------------------------------------------------------
+# GA613 conformance: model <-> implementation
+
+
+def test_shipped_wire_code_conforms():
+    report = check_conformance([NET_DIR])
+    assert report.clean, report.render_text()
+
+
+def test_every_flow_has_a_site_in_the_shipped_code():
+    """Every (role, direction, frame) the model names is implemented —
+    DATA/credit/migration frames included — so the clean conformance run
+    above is not vacuous."""
+    import ast
+
+    seen = set()
+    for name in ("coordinator.py", "worker.py", "channels.py"):
+        path = os.path.join(NET_DIR, name)
+        tree = ast.parse(open(path, encoding="utf-8").read())
+        sites, _roles = scan_frame_sites(path, tree)
+        seen |= {(s.role, s.direction, s.frame) for s in sites}
+    assert FLOWS <= seen, sorted(FLOWS - seen)
+
+
+def test_data_plane_sites_found_through_wrappers():
+    """DATA/CREDIT/EOS move through helper wrappers, not raw send_frame."""
+    import ast
+
+    path = os.path.join(NET_DIR, "channels.py")
+    tree = ast.parse(open(path, encoding="utf-8").read())
+    sites, roles = scan_frame_sites(path, tree)
+    assert {"sender", "receiver"} <= roles
+    sent = {s.frame for s in sites if s.direction == "send"}
+    assert {"DATA", "EOS"} <= sent, sorted(sent)
+
+
+def test_forbidden_frame_fixture_fires():
+    report = check_conformance([GA613_DIR])
+    assert report.codes() == ["GA613"], report.render_text()
+    assert "START" in report.diagnostics[0].message
+
+
+def test_missing_frame_direction_fires(tmp_path):
+    """A worker that never touches the wire misses every worker flow."""
+    path = tmp_path / "worker.py"
+    path.write_text(
+        textwrap.dedent("""
+            from repro.net.protocol import FrameType
+
+            async def serve(reader, writer):
+                return None
+        """),
+        encoding="utf-8",
+    )
+    report = check_conformance([str(tmp_path)])
+    assert report.codes() == ["GA613"], report.render_text()
+    expected = {t for t in FLOWS if t[0] == "worker"}
+    assert len(report.diagnostics) == len(expected)
+
+
+def test_conformance_honours_file_noqa(tmp_path):
+    path = tmp_path / "worker.py"
+    path.write_text(
+        "# repro: noqa[GA613]\nfrom repro.net.protocol import FrameType\n",
+        encoding="utf-8",
+    )
+    report = check_conformance([str(tmp_path)])
+    assert report.clean, report.render_text()
+
+
+def test_non_role_files_are_ignored(tmp_path):
+    path = tmp_path / "helpers.py"
+    path.write_text(
+        "from repro.net.protocol import FrameType, send_frame\n",
+        encoding="utf-8",
+    )
+    report = check_conformance([str(tmp_path)])
+    assert report.clean, report.render_text()
