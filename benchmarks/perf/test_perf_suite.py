@@ -107,3 +107,13 @@ def test_bench_quick_speedups_and_schema(benchmark):
     # Micro cases came along for the ride and are sane.
     assert cases["micro-wire-codec-single"]["items_per_second"] > 0
     assert cases["micro-ewma-observe-exp"]["items_per_second"] > 0
+    # The vectorized batch codec must beat the per-record encoder —
+    # this is the whole point of the zero-copy batch path
+    # (docs/performance.md); equality would mean it degenerated into
+    # a per-record loop.
+    single = cases["micro-wire-codec-single"]["items_per_second"]
+    batched = cases["micro-wire-codec-batched"]["items_per_second"]
+    assert batched >= single, (
+        f"micro-wire-codec-batched ({batched:,.0f}/s) fell below "
+        f"micro-wire-codec-single ({single:,.0f}/s)"
+    )

@@ -18,8 +18,9 @@ Two halves, both driven by :mod:`repro.net.protocol_model`:
 
 * :func:`check_conformance` — an AST pass over the protocol's role
   files (``coordinator.py``, ``worker.py``, ``channels.py``) that maps
-  every frame send site (``send_frame``/``encode_frame`` and one level
-  of wrappers whose parameter flows into them) and every frame receive
+  every frame send site (``send_frame``/``encode_frame``/``finish_frame``
+  and one level of wrappers whose parameter flows into them) and every
+  frame receive
   site (comparisons against ``FrameType.X``) onto the declarative
   transition tables' ``(role, direction, frame)`` alphabet, reporting
   **GA613** in both drift directions: a site the model forbids, and a
@@ -215,8 +216,10 @@ _ROLE_FILES = {"coordinator.py": "coordinator", "worker.py": "worker"}
 _CHANNEL_ROLES = {"OutChannel": "sender", "InChannel": "receiver"}
 
 #: Known frame-moving callables and the argument position carrying the
-#: :class:`~repro.net.protocol.FrameType`.
-_SEND_CALLS = {"send_frame": 1, "encode_frame": 0}
+#: :class:`~repro.net.protocol.FrameType`.  ``finish_frame`` is the
+#: zero-copy send path: it stamps the header onto a pre-built buffer, so
+#: the call naming the FrameType *is* the send site.
+_SEND_CALLS = {"send_frame": 1, "encode_frame": 0, "finish_frame": 1}
 
 
 def _call_name(node: ast.Call) -> Optional[str]:

@@ -162,6 +162,10 @@ def _build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--name", default="worker",
                         help="fallback worker name until the coordinator "
                              "assigns one")
+    worker.add_argument("--uds", default=None, metavar="PATH",
+                        help="also listen on this UNIX-domain socket and "
+                             "announce it (co-located fast path; ignored "
+                             "on platforms without AF_UNIX)")
 
     check = sub.add_parser(
         "check",
@@ -480,6 +484,8 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     from repro.net.worker import main as worker_main
 
     argv = ["--host", args.host, "--port", str(args.port), "--name", args.name]
+    if args.uds is not None:
+        argv += ["--uds", args.uds]
     return worker_main(argv)
 
 

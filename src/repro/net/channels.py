@@ -1,8 +1,10 @@
 """Data-channel building blocks: inboxes and credit-flow-controlled wires.
 
 One stream edge between stages on different workers becomes a dedicated
-TCP connection: the sender's :class:`OutChannel` dials the receiving
-worker, announces itself with an ATTACH frame, and then ships DATA
+socket: the sender's :class:`OutChannel` dials the receiving worker —
+over a UNIX-domain socket when the coordinator advertised one (the
+co-located fast path; see docs/performance.md) with transparent TCP
+fallback — announces itself with an ATTACH frame, and then ships DATA
 frames downstream while CREDIT and EXCEPTION frames flow back upstream
 on the same socket (full duplex, exactly the paper's inter-server
 arrangement where load exceptions travel against the data).
@@ -15,27 +17,48 @@ most ``window`` items are ever in flight, and backpressure is explicit
 and bounded rather than hidden in socket buffers.  The sender blocks
 (`net.{channel}.credit_stalls`) when the window is exhausted;
 ``net.{channel}.in_flight_peak`` records the observed maximum.
+
+The send path is zero-copy: each DATA frame is built once in a
+:func:`repro.net.protocol.new_frame_buffer` (payload encoded straight
+into the buffer, header packed in place by ``finish_frame``) and handed
+to the transport as a single gathered write — one buffer, one
+``write()``, one ``drain()`` per frame regardless of batch size.
 """
 
 from __future__ import annotations
 
 import asyncio
 from collections import deque
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.net.protocol import (
     FrameType,
     ProtocolError,
     encode_frame,
     encode_json,
-    encode_payload,
-    encode_payload_batch,
+    encode_payload_batch_into,
+    encode_payload_into,
+    finish_frame,
+    new_frame_buffer,
     read_frame,
     send_frame,
 )
 from repro.obs.registry import MetricsRegistry
 
-__all__ = ["AsyncInbox", "ChannelError", "InChannel", "OutChannel"]
+__all__ = [
+    "AsyncInbox",
+    "BACKCHANNEL_HIGH_WATERMARK",
+    "ChannelError",
+    "InChannel",
+    "OutChannel",
+]
+
+#: Outstanding backchannel bytes (CREDIT/EXCEPTION frames toward a
+#: sender) past which the receiver awaits ``drain()`` before writing
+#: more.  Credit frames are tiny, so a healthy peer never gets near
+#: this; a stalled peer stops accumulating transport buffer at ~256 KiB
+#: instead of growing without bound.
+BACKCHANNEL_HIGH_WATERMARK = 256 * 1024
 
 
 class ChannelError(Exception):
@@ -50,34 +73,98 @@ class AsyncInbox:
     blocking: the credit window already bounds what a remote sender can
     have outstanding, and in-flight data cannot be un-sent — the same
     reasoning as the simulated runtime's ``force_put``).
+
+    The inbox can be *sharded into lanes*: each input edge appends to its
+    own deque, so concurrent producers touch disjoint tails, and the two
+    conditions (not-empty for consumers, not-full for blocking
+    producers) share one lock but wake exactly the waiters that can make
+    progress — ``notify(1)`` instead of a notify-all thundering herd on
+    every operation.  The consumer drains lanes round-robin, preserving
+    per-lane FIFO (each stream's items, and its EOS, live in one lane).
+
+    ``put_barrier`` entries sit outside the lanes and are sequenced by a
+    fence *epoch*: every item carries the number of fences enqueued
+    before it, so a fence is delivered exactly after the items that
+    preceded it (across all lanes) and before any item enqueued after it
+    — the same total-order guarantee the old single-deque inbox gave the
+    migration fence, kept under sharding.
     """
 
-    def __init__(self, capacity: int, window: int) -> None:
+    def __init__(self, capacity: int, window: int, lanes: int = 1) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {lanes}")
         self.capacity = capacity
-        self._items: deque = deque()
+        self.lanes = lanes
+        self._lanes: List[deque] = [deque() for _ in range(lanes)]
+        self._fences: deque = deque()
+        #: Fences enqueued so far; stamped onto every item so delivery
+        #: can tell pre-fence items from post-fence ones.
+        self._epoch = 0
+        self._size = 0
+        self._next_lane = 0
         self._recent: deque = deque([0], maxlen=window)
-        self._cond = asyncio.Condition()
+        lock = asyncio.Lock()
+        self._not_empty = asyncio.Condition(lock)
+        self._not_full = asyncio.Condition(lock)
 
     def _record(self) -> None:
-        self._recent.append(len(self._items))
+        self._recent.append(self._size + len(self._fences))
 
-    async def put(self, entry: Any) -> None:
-        async with self._cond:
-            while len(self._items) >= self.capacity:
-                await self._cond.wait()
-            self._items.append(entry)
+    def _lane_for(self, lane: int) -> deque:
+        return self._lanes[lane % self.lanes]
+
+    def _has_deliverable(self) -> bool:
+        return self._size > 0 or bool(self._fences)
+
+    def _item_available(self) -> bool:
+        """True when an item (not a fence) may be delivered next: lanes
+        hold something, and it is not sequenced behind the head fence.
+        Per-lane FIFO keeps each lane's lowest epoch at its head, so
+        checking heads is exact."""
+        if self._size == 0:
+            return False
+        if not self._fences:
+            return True
+        f_epoch = self._fences[0][0]
+        return any(lane and lane[0][0] <= f_epoch for lane in self._lanes)
+
+    def _pop_one(self) -> Any:
+        """Pop the next entry: round-robin across lanes whose head is not
+        fenced off, else the head fence.  Caller holds the lock and has
+        checked :meth:`_has_deliverable`."""
+        f_epoch = self._fences[0][0] if self._fences else None
+        if self._size:
+            n = self.lanes
+            for step in range(n):
+                index = (self._next_lane + step) % n
+                lane = self._lanes[index]
+                if lane and (f_epoch is None or lane[0][0] <= f_epoch):
+                    self._next_lane = (index + 1) % n
+                    self._size -= 1
+                    return lane.popleft()[1]
+        if f_epoch is None:
+            raise AssertionError("inbox size desynchronized from its lanes")
+        return self._fences.popleft()[1]
+
+    async def put(self, entry: Any, lane: int = 0) -> None:
+        async with self._not_full:
+            while self._size >= self.capacity:
+                await self._not_full.wait()
+            self._lane_for(lane).append((self._epoch, entry))
+            self._size += 1
             self._record()
-            self._cond.notify_all()
+            self._not_empty.notify(1)
 
-    async def force_put(self, entry: Any) -> None:
-        async with self._cond:
-            self._items.append(entry)
+    async def force_put(self, entry: Any, lane: int = 0) -> None:
+        async with self._not_empty:
+            self._lane_for(lane).append((self._epoch, entry))
+            self._size += 1
             self._record()
-            self._cond.notify_all()
+            self._not_empty.notify(1)
 
-    async def force_put_many(self, entries: "list") -> None:
+    async def force_put_many(self, entries: "list", lane: int = 0) -> None:
         """Append a whole batch under one lock/notify round-trip.
 
         One queue-length sample for the batch, matching the threaded
@@ -86,37 +173,56 @@ class AsyncInbox:
         """
         if not entries:
             return
-        async with self._cond:
-            self._items.extend(entries)
+        async with self._not_empty:
+            epoch = self._epoch
+            self._lane_for(lane).extend((epoch, entry) for entry in entries)
+            self._size += len(entries)
             self._record()
-            self._cond.notify_all()
+            self._not_empty.notify_all()
+
+    async def put_barrier(self, entry: Any) -> None:
+        """Enqueue a fence delivered after everything enqueued before it
+        (across all lanes) and before anything enqueued after it."""
+        async with self._not_empty:
+            self._fences.append((self._epoch, entry))
+            self._epoch += 1
+            self._record()
+            self._not_empty.notify_all()
 
     async def get(self) -> Any:
-        async with self._cond:
-            while not self._items:
-                await self._cond.wait()
-            entry = self._items.popleft()
+        async with self._not_empty:
+            while not self._has_deliverable():
+                await self._not_empty.wait()
+            entry = self._pop_one()
             self._record()
-            self._cond.notify_all()
+            if self._has_deliverable():
+                self._not_empty.notify(1)
+            self._not_full.notify(1)
             return entry
 
     async def get_many(self, max_items: int) -> "list":
         """Await the first entry, then drain up to ``max_items`` without
         further waiting — the consumer-side half of the batched handoff
-        (one event-loop suspension per chunk instead of per item)."""
-        async with self._cond:
-            while not self._items:
-                await self._cond.wait()
+        (one event-loop suspension per chunk instead of per item).
+        Fences are never mixed into an item chunk: a fence is returned
+        alone, once the items sequenced before it have been taken."""
+        async with self._not_empty:
+            while not self._has_deliverable():
+                await self._not_empty.wait()
             out = []
-            while self._items and len(out) < max_items:
-                out.append(self._items.popleft())
+            while self._item_available() and len(out) < max_items:
+                out.append(self._pop_one())
+            if not out and self._fences:
+                out.append(self._fences.popleft()[1])
             self._record()
-            self._cond.notify_all()
+            if self._has_deliverable():
+                self._not_empty.notify(1)
+            self._not_full.notify_all()
             return out
 
     @property
     def current_length(self) -> int:
-        return len(self._items)
+        return self._size + len(self._fences)
 
     @property
     def recent_average(self) -> float:
@@ -128,17 +234,31 @@ class InChannel:
 
     Created when the coordinator declares the channel (CHANNEL frame,
     kind="in"); the socket arrives later, when the remote sender dials in
-    with ATTACH.  Credit is replenished in batches of ``window // 4`` (at
-    least 1) to amortize frame overhead without starving the sender.
+    with ATTACH.  Credit is replenished in batches of ``window // 2`` (at
+    least 1): on a busy pipeline every credit frame costs a syscall and
+    a cross-process wakeup, so half-window batches halve that traffic
+    while the outstanding half-window keeps the sender from starving.
+
+    Backchannel writes (CREDIT/EXCEPTION) are fire-and-forget so stage
+    loops never await a slow upstream inline — but once the transport
+    buffer crosses :data:`BACKCHANNEL_HIGH_WATERMARK` the owner must
+    await :meth:`drain` before more items are consumed (the worker
+    checks :meth:`needs_drain` after each ``note_consumed``), bounding
+    what a stalled peer can pin in memory.
     """
 
-    def __init__(self, stream: str, dst_stage: str, window: int) -> None:
+    def __init__(
+        self, stream: str, dst_stage: str, window: int, lane: int = 0
+    ) -> None:
         if window < 1:
             raise ValueError(f"credit window must be >= 1, got {window}")
         self.stream = stream
         self.dst_stage = dst_stage
         self.window = window
-        self.replenish_batch = max(1, window // 4)
+        #: Which inbox lane this channel's items land in (one lane per
+        #: input edge keeps per-stream FIFO under sharded inboxes).
+        self.lane = lane
+        self.replenish_batch = max(1, window // 2)
         self._writer: Optional[asyncio.StreamWriter] = None
         self._consumed = 0
 
@@ -165,6 +285,34 @@ class InChannel:
         self._writer.write(data)
         return True
 
+    def needs_drain(self) -> bool:
+        """True when backchannel bytes piled up past the high watermark.
+
+        Cheap and synchronous — call after any backchannel write; only
+        when it answers True must the (async) :meth:`drain` be awaited.
+        """
+        writer = self._writer
+        if writer is None or writer.is_closing():
+            return False
+        transport = getattr(writer, "transport", None)
+        get_size = getattr(transport, "get_write_buffer_size", None)
+        if get_size is None:
+            return False
+        try:
+            return bool(get_size() >= BACKCHANNEL_HIGH_WATERMARK)
+        except Exception:
+            return False
+
+    async def drain(self) -> None:
+        """Flush the backchannel transport buffer toward the sender."""
+        writer = self._writer
+        if writer is None or writer.is_closing():
+            return
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
     def attach(self, writer: asyncio.StreamWriter) -> None:
         """Bind the sender's socket and grant the initial window."""
         self._writer = writer
@@ -175,8 +323,11 @@ class InChannel:
             )
         )
 
-    def note_consumed(self, n: int = 1) -> None:
-        """The stage finished ``n`` items from this channel; maybe replenish."""
+    def note_consumed(self, n: int = 1) -> bool:
+        """The stage finished ``n`` items from this channel; maybe replenish.
+
+        Returns True when a credit frame actually went out — the only
+        time the caller needs to bother with the watermark check."""
         self._consumed += n
         if self._consumed >= self.replenish_batch:
             if self._write(
@@ -186,6 +337,8 @@ class InChannel:
                 )
             ):
                 self._consumed = 0
+                return True
+        return False
 
     def send_exception(self, body: Dict[str, Any]) -> bool:
         """Ship one load exception upstream; False if not yet attached."""
@@ -202,6 +355,13 @@ class OutChannel:
     sending stage's exception counter, completing the paper's upstream
     exception path across process boundaries.
 
+    When ``uds_path`` is set (the coordinator advertises it for workers
+    sharing a host), :meth:`connect` dials the UNIX-domain socket first
+    and falls back to TCP if the dial fails for any reason — the peer
+    may be remote after a migration, the platform may lack AF_UNIX, or
+    the socket file may be gone.  :attr:`transport_kind` records which
+    path a live connection took (``"uds"`` or ``"tcp"``).
+
     All ``net.{channel}.*`` wire metrics are counted here, on the sender
     side only, so merging every participant's registry never
     double-counts a channel.
@@ -216,11 +376,15 @@ class OutChannel:
         registry: MetricsRegistry,
         clock: Callable[[], float],
         on_exception: Optional[Callable[[Dict[str, Any]], None]] = None,
+        uds_path: Optional[str] = None,
     ) -> None:
         self.stream = stream
         self.dst_stage = dst_stage
         self.host = host
         self.port = port
+        self.uds_path = uds_path
+        #: "uds" or "tcp" once connected; the dialed fast path.
+        self.transport_kind = "tcp"
         self._clock = clock
         self._on_exception = on_exception
         prefix = f"net.{stream}"
@@ -263,11 +427,26 @@ class OutChannel:
     def peak_in_flight(self) -> int:
         return self._peak
 
-    async def connect(self, timeout: float = 10.0) -> None:
-        """Dial the receiving worker, attach, and await the initial grant."""
+    async def _dial(self) -> None:
+        """Open the data connection: UDS fast path, then TCP fallback."""
+        if self.uds_path:
+            try:
+                self._reader, self._writer = await asyncio.open_unix_connection(
+                    self.uds_path
+                )
+                self.transport_kind = "uds"
+                return
+            except (OSError, NotImplementedError, AttributeError):
+                pass  # remote peer, missing socket file, or no AF_UNIX
         self._reader, self._writer = await asyncio.open_connection(
             self.host, self.port
         )
+        self.transport_kind = "tcp"
+
+    async def connect(self, timeout: float = 10.0) -> None:
+        """Dial the receiving worker, attach, and await the initial grant."""
+        await self._dial()
+        assert self._writer is not None
         await send_frame(
             self._writer,
             FrameType.ATTACH,
@@ -351,8 +530,12 @@ class OutChannel:
                 self._credits += n
                 self._cond.notify_all()
 
-    async def _ship(self, frame_type: FrameType, body: bytes, items: int) -> None:
-        """Frame + credit + pause discipline shared by every send path.
+    async def _ship(self, frame: Union[bytes, bytearray], items: int) -> None:
+        """Credit + pause discipline shared by every send path.
+
+        ``frame`` is a complete pre-built frame buffer (header already
+        packed in place by ``finish_frame``), written to the transport
+        as one gathered buffer — no header+payload concatenation here.
 
         Waits out a pause *before* taking the gate (so ``pause()`` never
         deadlocks behind a parked sender), and acquires credit *outside*
@@ -378,9 +561,10 @@ class OutChannel:
                     if items:
                         await self._release_credit(items, epoch)
                     raise ChannelError(f"channel {self.stream!r} is not connected")
-                nbytes = await send_frame(self._writer, frame_type, body)
+                self._writer.write(frame)
+                await self._writer.drain()
                 self.frames.inc()
-                self.bytes.inc(nbytes)
+                self.bytes.inc(len(frame))
                 self.items_sent += items
                 return
 
@@ -392,15 +576,18 @@ class OutChannel:
         a send racing that window must park in :meth:`_ship` — which
         re-checks the writer under the gate — instead of failing.
         """
-        await self._ship(FrameType.DATA, encode_payload(payload, size), 1)
+        buf = new_frame_buffer()
+        encode_payload_into(buf, payload, size)
+        await self._ship(finish_frame(buf, FrameType.DATA), 1)
 
     async def send_batch(self, items: "list[tuple[Any, float]]") -> None:
         """Ship several ``(payload, declared size)`` items batched.
 
         Chunks the batch to at most ``window`` items per DATA frame —
         acquiring more credits than the window holds would deadlock, and
-        the receiver sized its buffering to the window.  Each chunk costs
-        one frame and one drain instead of one per item.
+        the receiver sized its buffering to the window.  Each chunk is
+        encoded straight into one frame buffer and costs one write and
+        one drain instead of one per item.
         """
         if not items:
             return
@@ -409,17 +596,18 @@ class OutChannel:
             limit = self._window if self._window > 0 else 1
             chunk = items[start:start + limit]
             start += len(chunk)
+            buf = new_frame_buffer()
             if len(chunk) == 1:
-                body = encode_payload(chunk[0][0], chunk[0][1])
+                encode_payload_into(buf, chunk[0][0], chunk[0][1])
             else:
-                body = encode_payload_batch(chunk)
-            await self._ship(FrameType.DATA, body, len(chunk))
+                encode_payload_batch_into(buf, chunk)
+            await self._ship(finish_frame(buf, FrameType.DATA), len(chunk))
 
     async def send_eos(self) -> None:
         """Ship the end-of-stream sentinel (EOS frames consume no credit)."""
-        await self._ship(
-            FrameType.EOS, encode_json({"stream": self.stream}), 0
-        )
+        buf = new_frame_buffer()
+        buf += encode_json({"stream": self.stream})
+        await self._ship(finish_frame(buf, FrameType.EOS), 0)
         self.eos_sent = True
 
     async def pause(self) -> None:
@@ -438,18 +626,26 @@ class OutChannel:
         """Lift a :meth:`pause`; parked senders continue."""
         self._resume.set()
 
-    async def redial(self, host: str, port: int, timeout: float = 10.0) -> None:
+    async def redial(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 10.0,
+        uds_path: Optional[str] = None,
+    ) -> None:
         """Re-point the channel at a new receiver and reconnect.
 
         Used by live migration after the destination stage moved: the
         old socket is torn down with the ordinary FIN/drain close (the
         old worker sees EOF, not an error), then the channel dials the
-        stage's new worker and awaits its fresh credit grant.  Call
+        stage's new worker — over its UNIX socket when one is advertised
+        for the new location — and awaits its fresh credit grant.  Call
         while paused; :meth:`resume` afterwards releases the senders.
         """
         await self.close()
         self.host = host
         self.port = port
+        self.uds_path = uds_path
         self._broken = False
         self._window = 0
         self._credits = 0

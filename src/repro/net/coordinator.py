@@ -35,8 +35,11 @@ from __future__ import annotations
 
 import asyncio
 import os
+import shutil
+import socket
 import subprocess
 import sys
+import tempfile
 import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -110,6 +113,9 @@ class _WorkerHandle:
     reader: Optional[asyncio.StreamReader] = None
     writer: Optional[asyncio.StreamWriter] = None
     stages: List[str] = field(default_factory=list)
+    #: UNIX-socket path the worker announced (spawned co-located workers
+    #: only); advertised to peers as the fast path with TCP fallback.
+    uds: Optional[str] = None
 
 
 class NetworkedRuntime:
@@ -133,6 +139,8 @@ class NetworkedRuntime:
         repository: Optional[CodeRepository] = None,
         verify: bool = True,
         migrations: Optional[Sequence[MigrationPlan]] = None,
+        uds: Optional[bool] = None,
+        inbox_lanes: int = 1,
     ) -> None:
         """``verify=True`` (the default) runs the static verifier
         (:mod:`repro.analysis.verifier`) over ``config`` and refuses
@@ -166,6 +174,10 @@ class NetworkedRuntime:
             )
         if isinstance(workers, int) and workers < 1:
             raise NetworkedRuntimeError(f"need at least 1 worker, got {workers}")
+        if inbox_lanes < 1:
+            raise NetworkedRuntimeError(
+                f"inbox_lanes must be >= 1, got {inbox_lanes}"
+            )
         plans = list(migrations) if migrations else []
         for plan in plans:
             if not isinstance(plan, MigrationPlan):
@@ -202,6 +214,15 @@ class NetworkedRuntime:
         self.time_scale = time_scale
         self.credit_window = credit_window
         self.batch = batch
+        #: UNIX-socket fast path for spawned (co-located) workers:
+        #: None = auto (on when the platform has AF_UNIX), False = off,
+        #: True = on.  Externally attached workers never get one — they
+        #: may be on other hosts, and TCP is always the fallback anyway.
+        self.uds = uds
+        #: Inbox lanes per hosted stage (per-stage ``net-inbox-lanes``
+        #: property overrides); >1 shards each inbox by input edge.
+        self.inbox_lanes = inbox_lanes
+        self._uds_dir: Optional[str] = None
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.repository = (
             repository if repository is not None else default_repository()
@@ -291,12 +312,22 @@ class NetworkedRuntime:
             if env.get("REPRO_NET_WORKER_STDERR") == "inherit"
             else subprocess.DEVNULL
         )
+        use_uds = (
+            self.uds if self.uds is not None else hasattr(socket, "AF_UNIX")
+        )
+        if use_uds and self._uds_dir is None:
+            # Short prefix: AF_UNIX paths are capped around ~100 bytes.
+            self._uds_dir = tempfile.mkdtemp(prefix="repro-uds-")
         handles = []
         for i in range(count):
             name = f"worker-{i}"
+            argv = [sys.executable, "-m", "repro.net.worker", "--port", "0",
+                    "--name", name]
+            if use_uds:
+                assert self._uds_dir is not None
+                argv += ["--uds", os.path.join(self._uds_dir, f"w{i}.sock")]
             process = subprocess.Popen(
-                [sys.executable, "-m", "repro.net.worker", "--port", "0",
-                 "--name", name],
+                argv,
                 stdout=subprocess.PIPE,
                 stderr=stderr,
                 env=env,
@@ -309,9 +340,14 @@ class NetworkedRuntime:
                 raise NetworkedRuntimeError(
                     f"worker {name} failed to announce (got {line!r})"
                 )
-            port = int(line.split()[1])
+            parts = line.split()
+            port = int(parts[1])
+            # The worker only announces a third token when the UNIX
+            # socket actually bound (platform support, path length).
+            uds_path = parts[2] if len(parts) > 2 else None
             handles.append(_WorkerHandle(name=name, host="127.0.0.1",
-                                         port=port, process=process))
+                                         port=port, process=process,
+                                         uds=uds_path))
         return handles
 
     # -- execution -----------------------------------------------------------
@@ -362,6 +398,9 @@ class NetworkedRuntime:
                     handle.process.wait()
                     if handle.process.stdout is not None:
                         handle.process.stdout.close()
+            if self._uds_dir is not None:
+                shutil.rmtree(self._uds_dir, ignore_errors=True)
+                self._uds_dir = None
 
     async def _run_async(self, handles: List[_WorkerHandle]) -> RunResult:
         install_task_dump("coordinator")
@@ -370,7 +409,11 @@ class NetworkedRuntime:
         for stage_name, worker_name in self.placement.items():
             by_name[worker_name].stages.append(stage_name)
 
-        started_at = time.monotonic()
+        # ``execution_time`` starts at the post-START barrier (re-stamped
+        # below), matching the threaded runtime, which stamps its start
+        # after the stage graph is built: the measured window is the run
+        # itself, not the per-process control-plane handshake.
+        run_started = time.monotonic()
         try:
             for handle in handles:
                 await self._hello(handle)
@@ -413,7 +456,7 @@ class NetworkedRuntime:
         finally:
             for handle in handles:
                 await self._shutdown(handle)
-        elapsed = time.monotonic() - started_at
+        elapsed = time.monotonic() - run_started
 
         finals: Dict[str, Any] = {}
         for handle, body in zip(handles, results):
@@ -454,6 +497,7 @@ class NetworkedRuntime:
                 "worker": handle.name,
                 "time_scale": self.time_scale,
                 "credit_window": self.credit_window,
+                "inbox_lanes": self.inbox_lanes,
                 "adaptation": self.adaptation_enabled,
                 "hold_results": bool(self._migration_plans),
                 "policy": asdict(self.policy),
@@ -553,6 +597,7 @@ class NetworkedRuntime:
                     "dst": stream.dst,
                     "peer_host": dst_worker.host,
                     "peer_port": dst_worker.port,
+                    "peer_uds": dst_worker.uds,
                     "shard": shard_of(stream.dst),
                 }),
             )
@@ -813,7 +858,8 @@ class NetworkedRuntime:
                     {
                         "action": "resume",
                         "streams": {
-                            name: {"host": source.host, "port": source.port}
+                            name: {"host": source.host, "port": source.port,
+                                   "uds": source.uds}
                             for name in streams
                         },
                     },
@@ -855,6 +901,7 @@ class NetworkedRuntime:
                         "dst": s.dst,
                         "peer_host": by_name[self.placement[s.dst]].host,
                         "peer_port": by_name[self.placement[s.dst]].port,
+                        "peer_uds": by_name[self.placement[s.dst]].uds,
                         "shard": self._shard_descriptor(s.dst),
                     }
                     for s in out_streams
@@ -870,7 +917,8 @@ class NetworkedRuntime:
                 {
                     "action": "resume",
                     "streams": {
-                        name: {"host": target.host, "port": target.port}
+                        name: {"host": target.host, "port": target.port,
+                               "uds": target.uds}
                         for name in streams
                     },
                 },
@@ -880,7 +928,9 @@ class NetworkedRuntime:
             channel = self._feed_channels.get(name)
             if channel is not None:
                 if not channel.eos_sent:
-                    await channel.redial(target.host, target.port)
+                    await channel.redial(
+                        target.host, target.port, uds_path=target.uds
+                    )
                 channel.resume()
 
         pause_seconds = (time.monotonic() - t0) / self.time_scale
@@ -970,6 +1020,7 @@ class NetworkedRuntime:
                 handle.port,
                 self.metrics,
                 clock=time.monotonic,
+                uds_path=handle.uds,
             )
             await channel.connect()
             channels.append(channel)

@@ -22,7 +22,17 @@ everything else falls back to JSON.
 
 The incremental :class:`FrameDecoder` is the single parsing path — the
 asyncio reader loops and the protocol fuzz tests both feed it byte
-chunks of arbitrary alignment.
+chunks of arbitrary alignment.  It parses through a ``memoryview`` over
+a compacting ``bytearray``: the payload is materialized exactly once
+per frame, and the consumed prefix is dropped in amortized O(1) batches
+rather than per frame.
+
+The send side is zero-copy too: :func:`new_frame_buffer` reserves the
+12-byte header hole, the ``encode_*_into`` codecs append the payload
+straight into that buffer, and :func:`finish_frame` packs the header in
+place with a single CRC pass over a ``memoryview`` of the payload
+region — one allocation and one ``write()`` per frame, no matter how
+many items a batch carries.
 """
 
 from __future__ import annotations
@@ -33,7 +43,8 @@ import json
 import struct
 import zlib
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from functools import lru_cache
+from typing import Any, AsyncIterator, Dict, List, Optional, Tuple, Union
 
 from repro.streams import wire as summary_wire
 
@@ -51,7 +62,12 @@ __all__ = [
     "encode_json",
     "encode_payload",
     "encode_payload_batch",
+    "encode_payload_batch_into",
+    "encode_payload_into",
+    "finish_frame",
     "is_batch_payload",
+    "iter_frames",
+    "new_frame_buffer",
     "read_frame",
     "send_frame",
 ]
@@ -65,6 +81,8 @@ FRAME_HEADER_BYTES = _HEADER_STRUCT.size  # 12
 #: protocol violation (and, on a fuzzed length field, keeps a corrupt
 #: header from making the decoder wait for gigabytes).
 MAX_PAYLOAD = 16 * 1024 * 1024
+
+_Buffer = Union[bytes, bytearray, memoryview]
 
 
 class ProtocolError(Exception):
@@ -124,38 +142,106 @@ def encode_frame(frame_type: FrameType, payload: bytes = b"") -> bytes:
     return header + payload
 
 
+def new_frame_buffer() -> bytearray:
+    """A fresh send buffer with the frame-header hole already reserved.
+
+    Append the payload (``encode_payload_into`` and friends write
+    straight into it), then :func:`finish_frame` packs the header over
+    the hole — the frame is built in one buffer, copied nowhere.
+    """
+    return bytearray(FRAME_HEADER_BYTES)
+
+
+def finish_frame(
+    out: bytearray, frame_type: FrameType, start: int = 0
+) -> bytearray:
+    """Pack the header into ``out[start:start+12]`` over the payload after it.
+
+    The CRC is computed in a single pass over a ``memoryview`` of the
+    payload region — no slice copy, no second traversal.  Returns ``out``
+    so call sites can build-and-ship in one expression.
+    """
+    length = len(out) - start - FRAME_HEADER_BYTES
+    if length < 0:
+        raise ProtocolError("frame buffer is smaller than its header hole")
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(
+            f"payload of {length} bytes exceeds MAX_PAYLOAD ({MAX_PAYLOAD})"
+        )
+    with memoryview(out) as view:
+        crc = zlib.crc32(view[start + FRAME_HEADER_BYTES:])
+    _HEADER_STRUCT.pack_into(
+        out, start, MAGIC, VERSION, int(frame_type), length, crc
+    )
+    return out
+
+
+#: Consumed-prefix bytes past which ``feed`` compacts its buffer.  Below
+#: the threshold the cursor just advances — ``del buf[:n]`` per frame
+#: would make a k-frame chunk O(k^2); one compaction per ~64 KiB keeps
+#: it amortized O(1) per byte.
+_COMPACT_THRESHOLD = 64 * 1024
+
+
 class FrameDecoder:
     """Incremental frame parser; tolerant of arbitrary chunk boundaries.
 
     ``feed(data)`` buffers bytes and returns every complete frame they
-    finish.  Corruption (bad magic/version/type, oversized length, CRC
-    mismatch) raises :class:`ProtocolError` — a stream protocol has no
-    way to resynchronise after a framing error, so callers must drop the
-    connection.
+    finish.  Parsing walks an offset cursor over the buffer and reads
+    the payload through a ``memoryview`` — one ``bytes`` materialization
+    per frame, and the consumed prefix is compacted in amortized O(1)
+    batches instead of per frame.
+
+    Corruption (bad magic/version/type, oversized length, CRC mismatch)
+    raises :class:`ProtocolError` — a stream protocol has no way to
+    resynchronise after a framing error, so callers must drop the
+    connection.  The decoder *poisons itself* when that happens: any
+    later ``feed`` raises immediately instead of silently mis-parsing
+    whatever stale bytes were left in the buffer.
     """
 
     def __init__(self) -> None:
         self._buffer = bytearray()
+        self._offset = 0
+        self._poisoned = False
 
     @property
     def pending_bytes(self) -> int:
         """Bytes buffered that do not yet form a complete frame."""
-        return len(self._buffer)
+        return len(self._buffer) - self._offset
 
-    def feed(self, data: bytes) -> List[Frame]:
+    def feed(self, data: _Buffer) -> List[Frame]:
+        if self._poisoned:
+            raise ProtocolError(
+                "decoder is poisoned after a framing error; the stream "
+                "cannot be resynchronised — drop the connection"
+            )
         self._buffer += data
         frames: List[Frame] = []
-        while True:
-            frame = self._try_parse_one()
-            if frame is None:
-                return frames
-            frames.append(frame)
+        try:
+            while True:
+                frame = self._try_parse_one()
+                if frame is None:
+                    break
+                frames.append(frame)
+        except ProtocolError:
+            self._poisoned = True
+            raise
+        if self._offset:
+            if self._offset >= len(self._buffer):
+                self._buffer.clear()
+                self._offset = 0
+            elif self._offset >= _COMPACT_THRESHOLD:
+                del self._buffer[:self._offset]
+                self._offset = 0
+        return frames
 
     def _try_parse_one(self) -> Optional[Frame]:
         buf = self._buffer
-        if len(buf) < FRAME_HEADER_BYTES:
+        start = self._offset
+        if len(buf) - start < FRAME_HEADER_BYTES:
             return None
-        magic, version, ftype, length, crc = _HEADER_STRUCT.unpack_from(buf, 0)
+        magic, version, ftype, length, crc = _HEADER_STRUCT.unpack_from(buf, start)
         if magic != MAGIC:
             raise ProtocolError(f"bad frame magic {bytes(magic)!r}")
         if version != VERSION:
@@ -167,14 +253,16 @@ class FrameDecoder:
                 f"declared payload length {length} exceeds MAX_PAYLOAD"
             )
         total = FRAME_HEADER_BYTES + length
-        if len(buf) < total:
+        if len(buf) - start < total:
             return None
-        payload = bytes(buf[FRAME_HEADER_BYTES:total])
-        if zlib.crc32(payload) != crc:
-            raise ProtocolError(
-                f"payload CRC mismatch on {FrameType(ftype).name} frame"
-            )
-        del buf[:total]
+        with memoryview(buf) as view:
+            with view[start + FRAME_HEADER_BYTES:start + total] as body:
+                if zlib.crc32(body) != crc:
+                    raise ProtocolError(
+                        f"payload CRC mismatch on {FrameType(ftype).name} frame"
+                    )
+                payload = bytes(body)
+        self._offset = start + total
         return Frame(type=FrameType(ftype), payload=payload)
 
 
@@ -214,34 +302,68 @@ _PAYLOAD_BATCH = 3
 #: uint32 record count, per-record metadata (uint16 source-name length +
 #: name bytes + float64 declared size), then one streams.wire batch blob.
 _PAYLOAD_SUMMARY_BATCH = 4
+#: Int batch fast path (every item a plain int64): uint32 item count,
+#: then n declared sizes (float64 each) and n values (int64 each), both
+#: packed as single vectorized struct calls.
+_PAYLOAD_INT_BATCH = 5
 
 #: declared item size travels as a little-endian float64 so receiver-side
 #: stage metrics match the sender's declared accounting exactly.
 _SIZE_STRUCT = struct.Struct("<d")
 _INT_STRUCT = struct.Struct("<q")
 _SRC_LEN_STRUCT = struct.Struct("<H")
+#: Fused little-endian layouts (no padding) so each payload prefix is one
+#: pack call instead of a tag byte + per-field concatenation.
+_TAG_SIZE_STRUCT = struct.Struct("<Bd")          # tag + declared size
+_INT_PAYLOAD_STRUCT = struct.Struct("<Bdq")      # tag + size + int64 body
+_SUMMARY_PREFIX_STRUCT = struct.Struct("<BdH")   # tag + size + source len
 
 _SUMMARY_KEYS = frozenset({"source", "pairs", "items_seen"})
 
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
 
-def _try_encode_summary(obj: Any) -> Optional[bytes]:
-    """Body bytes for a count-samps summary dict, or None if not one."""
-    if not isinstance(obj, dict) or set(obj.keys()) != _SUMMARY_KEYS:
-        return None
-    source = obj["source"]
-    if not isinstance(source, str):
-        return None
-    src_bytes = source.encode("utf-8")
-    if len(src_bytes) > 0xFFFF:
-        return None
+
+def encode_payload_into(out: bytearray, obj: Any, size: float) -> None:
+    """Append one stream item's DATA encoding to ``out`` (no copies).
+
+    Byte-identical to :func:`encode_payload`; the caller supplies the
+    buffer so batch/frame builders compose without intermediate ``bytes``
+    objects.
+    """
+    base = len(out)
+    if isinstance(obj, dict) and set(obj.keys()) == _SUMMARY_KEYS:
+        source = obj["source"]
+        if isinstance(source, str):
+            src_bytes = source.encode("utf-8")
+            if len(src_bytes) <= 0xFFFF:
+                out += _SUMMARY_PREFIX_STRUCT.pack(
+                    _PAYLOAD_SUMMARY, float(size), len(src_bytes)
+                )
+                out += src_bytes
+                try:
+                    summary_wire.encode_summary_into(
+                        out,
+                        [(int(v), int(c)) for v, c in obj["pairs"]],
+                        items_seen=int(obj["items_seen"]),
+                    )
+                except (summary_wire.WireError, TypeError, ValueError):
+                    del out[base:]  # not summary-encodable; fall back
+                else:
+                    return
+    if isinstance(obj, int) and not isinstance(obj, bool):
+        if _INT64_MIN <= obj <= _INT64_MAX:
+            out += _INT_PAYLOAD_STRUCT.pack(_PAYLOAD_INT, float(size), obj)
+            return
     try:
-        wire_bytes = summary_wire.encode_summary(
-            [(int(v), int(c)) for v, c in obj["pairs"]],
-            items_seen=int(obj["items_seen"]),
-        )
-    except (summary_wire.WireError, TypeError, ValueError):
-        return None
-    return _SRC_LEN_STRUCT.pack(len(src_bytes)) + src_bytes + wire_bytes
+        blob = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        del out[base:]
+        raise ProtocolError(
+            f"payload of type {type(obj).__name__} is not wire-encodable"
+        ) from exc
+    out += _TAG_SIZE_STRUCT.pack(_PAYLOAD_JSON, float(size))
+    out += blob
 
 
 def encode_payload(obj: Any, size: float) -> bytes:
@@ -252,24 +374,17 @@ def encode_payload(obj: Any, size: float) -> bytes:
     across the simulated/threaded/networked runtimes, while ``net.*``
     metrics count the real encoded bytes.
     """
-    prefix = _SIZE_STRUCT.pack(float(size))
-    body = _try_encode_summary(obj)
-    if body is not None:
-        return bytes([_PAYLOAD_SUMMARY]) + prefix + body
-    if isinstance(obj, int) and not isinstance(obj, bool):
-        if _INT_STRUCT.size == 8 and -(1 << 63) <= obj < (1 << 63):
-            return bytes([_PAYLOAD_INT]) + prefix + _INT_STRUCT.pack(obj)
-    try:
-        blob = json.dumps(obj, separators=(",", ":")).encode("utf-8")
-    except (TypeError, ValueError) as exc:
-        raise ProtocolError(
-            f"payload of type {type(obj).__name__} is not wire-encodable"
-        ) from exc
-    return bytes([_PAYLOAD_JSON]) + prefix + blob
+    out = bytearray()
+    encode_payload_into(out, obj, size)
+    return bytes(out)
 
 
-def decode_payload(data: bytes) -> Tuple[Any, float]:
-    """Inverse of :func:`encode_payload`: returns (object, declared size)."""
+def decode_payload(data: _Buffer) -> Tuple[Any, float]:
+    """Inverse of :func:`encode_payload`: returns (object, declared size).
+
+    Accepts any bytes-like buffer; batch decoding hands in ``memoryview``
+    slices so per-item bodies are never copied.
+    """
     if len(data) < 1 + _SIZE_STRUCT.size:
         raise ProtocolError(f"DATA payload too short: {len(data)} bytes")
     kind = data[0]
@@ -282,7 +397,7 @@ def decode_payload(data: bytes) -> Tuple[Any, float]:
         rest = body[_SRC_LEN_STRUCT.size:]
         if len(rest) < src_len:
             raise ProtocolError("summary payload truncated in source name")
-        source = rest[:src_len].decode("utf-8", errors="strict")
+        source = str(rest[:src_len], "utf-8")
         try:
             pairs, items_seen = summary_wire.decode_summary(rest[src_len:])
         except summary_wire.WireError as exc:
@@ -294,7 +409,7 @@ def decode_payload(data: bytes) -> Tuple[Any, float]:
         return _INT_STRUCT.unpack(body)[0], size
     if kind == _PAYLOAD_JSON:
         try:
-            return json.loads(body.decode("utf-8")), size
+            return json.loads(str(body, "utf-8")), size
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise ProtocolError(f"malformed JSON item payload: {exc}") from exc
     raise ProtocolError(f"unknown payload codec tag {kind}")
@@ -305,95 +420,175 @@ def decode_payload(data: bytes) -> Tuple[Any, float]:
 # ---------------------------------------------------------------------------
 
 _COUNT_STRUCT = struct.Struct("<I")
+_COUNT_HOLE = bytes(_COUNT_STRUCT.size)
+
+_BATCH_TAGS = (_PAYLOAD_BATCH, _PAYLOAD_SUMMARY_BATCH, _PAYLOAD_INT_BATCH)
 
 
-def is_batch_payload(data: bytes) -> bool:
+@lru_cache(maxsize=256)
+def _sizes_struct(n: int) -> struct.Struct:
+    """Vectorized layout for ``n`` float64 declared sizes."""
+    return struct.Struct(f"<{n}d")
+
+
+@lru_cache(maxsize=256)
+def _ints_struct(n: int) -> struct.Struct:
+    """Vectorized layout for ``n`` int64 values."""
+    return struct.Struct(f"<{n}q")
+
+
+def is_batch_payload(data: _Buffer) -> bool:
     """True when a DATA payload carries a batch (several items)."""
-    return bool(data) and data[0] in (_PAYLOAD_BATCH, _PAYLOAD_SUMMARY_BATCH)
+    return bool(len(data)) and data[0] in _BATCH_TAGS
 
 
-def _try_encode_summary_batch(items: "List[Tuple[Any, float]]") -> Optional[bytes]:
-    """Summary-batch body when *every* item is a summary dict, else None."""
-    metadata = bytearray()
+def _try_encode_summary_batch_into(
+    out: bytearray, items: "List[Tuple[Any, float]]"
+) -> bool:
+    """Append the summary-batch body when *every* item is a summary dict.
+
+    Builds metadata straight into ``out``; on the first non-summary item
+    the partial write is truncated and the generic batch path takes over.
+    """
+    base = len(out)
+    out += bytes((_PAYLOAD_SUMMARY_BATCH,))
+    out += _COUNT_STRUCT.pack(len(items))
     records = []
     for obj, size in items:
         if not isinstance(obj, dict) or set(obj.keys()) != _SUMMARY_KEYS:
-            return None
+            del out[base:]
+            return False
         source = obj["source"]
         if not isinstance(source, str):
-            return None
+            del out[base:]
+            return False
         src_bytes = source.encode("utf-8")
         if len(src_bytes) > 0xFFFF:
-            return None
+            del out[base:]
+            return False
         try:
             records.append(
                 ([(int(v), int(c)) for v, c in obj["pairs"]], int(obj["items_seen"]))
             )
         except (TypeError, ValueError):
-            return None
-        metadata += _SRC_LEN_STRUCT.pack(len(src_bytes))
-        metadata += src_bytes
-        metadata += _SIZE_STRUCT.pack(float(size))
+            del out[base:]
+            return False
+        out += _SRC_LEN_STRUCT.pack(len(src_bytes))
+        out += src_bytes
+        out += _SIZE_STRUCT.pack(float(size))
     try:
-        blob = summary_wire.encode_summary_batch(records)
+        summary_wire.encode_summary_batch_into(out, records)
     except summary_wire.WireError:
-        return None
-    return _COUNT_STRUCT.pack(len(items)) + bytes(metadata) + blob
+        del out[base:]
+        return False
+    return True
 
 
-def encode_payload_batch(items: "List[Tuple[Any, float]]") -> bytes:
-    """Encode several ``(object, declared size)`` items into one DATA payload.
+def _try_encode_int_batch_into(
+    out: bytearray, items: "List[Tuple[Any, float]]"
+) -> bool:
+    """Append the int-batch body when *every* item is a plain int64.
 
-    Picks the summary-batch fast path when every item is a count-samps
-    summary dict (one :func:`repro.streams.wire.encode_summary_batch`
-    blob, per-record metadata up front); otherwise falls back to the
-    generic batch: each item's ordinary :func:`encode_payload` bytes
-    behind a uint32 length prefix.  The receiver distinguishes batch from
-    single-item payloads by the leading codec tag.
+    Two vectorized packs (all sizes, then all values) replace ``len(items)``
+    per-item tag/size/value packs — the dominant encode cost for the
+    plain-int workloads the ingress stages ship.  ``type(obj) is int``
+    deliberately excludes bools and int subclasses so their encodings stay
+    byte-identical to the single-item codec's.
+    """
+    for obj, _ in items:
+        if type(obj) is not int:
+            return False
+    base = len(out)
+    n = len(items)
+    out += bytes((_PAYLOAD_INT_BATCH,))
+    out += _COUNT_STRUCT.pack(n)
+    try:
+        out += _sizes_struct(n).pack(*(float(size) for _, size in items))
+        out += _ints_struct(n).pack(*(obj for obj, _ in items))
+    except (struct.error, TypeError, ValueError, OverflowError):
+        del out[base:]  # a value outside int64 or a bad size; generic path
+        return False
+    return True
+
+
+def encode_payload_batch_into(
+    out: bytearray, items: "List[Tuple[Any, float]]"
+) -> None:
+    """Append several items' batched DATA encoding to ``out``.
+
+    The whole batch — tag, counts, per-item encodings — is built in the
+    caller's buffer with length holes patched by ``struct.pack_into``;
+    nothing round-trips through intermediate ``bytes`` objects.  Callers
+    typically pass a :func:`new_frame_buffer` and ship the result of
+    :func:`finish_frame` directly.
     """
     if not items:
         raise ProtocolError("cannot encode an empty payload batch")
     if len(items) > 0xFFFFFFFF:
         raise ProtocolError(f"too many items for uint32 count: {len(items)}")
-    body = _try_encode_summary_batch(items)
-    if body is not None:
-        return bytes([_PAYLOAD_SUMMARY_BATCH]) + body
-    out = bytearray([_PAYLOAD_BATCH])
+    if _try_encode_int_batch_into(out, items):
+        return
+    if _try_encode_summary_batch_into(out, items):
+        return
+    out += bytes((_PAYLOAD_BATCH,))
     out += _COUNT_STRUCT.pack(len(items))
     for obj, size in items:
-        encoded = encode_payload(obj, size)
-        out += _COUNT_STRUCT.pack(len(encoded))
-        out += encoded
+        hole = len(out)
+        out += _COUNT_HOLE
+        encode_payload_into(out, obj, size)
+        _COUNT_STRUCT.pack_into(out, hole, len(out) - hole - _COUNT_STRUCT.size)
+
+
+def encode_payload_batch(items: "List[Tuple[Any, float]]") -> bytes:
+    """Encode several ``(object, declared size)`` items into one DATA payload.
+
+    Picks the int-batch fast path when every item is a plain int64 (two
+    vectorized struct packs), the summary-batch fast path when every item
+    is a count-samps summary dict (one
+    :func:`repro.streams.wire.encode_summary_batch` blob, per-record
+    metadata up front), and otherwise falls back to the generic batch:
+    each item's ordinary :func:`encode_payload` bytes behind a uint32
+    length prefix.  The receiver distinguishes batch from single-item
+    payloads by the leading codec tag.
+    """
+    out = bytearray()
+    encode_payload_batch_into(out, items)
     return bytes(out)
 
 
-def decode_payload_batch(data: bytes) -> "List[Tuple[Any, float]]":
-    """Inverse of :func:`encode_payload_batch`."""
+def decode_payload_batch(data: _Buffer) -> "List[Tuple[Any, float]]":
+    """Inverse of :func:`encode_payload_batch`.
+
+    Parses in place over one ``memoryview`` — per-item bodies and the
+    summary blob are handed to the inner codecs as zero-copy slices.
+    """
     if len(data) < 1 + _COUNT_STRUCT.size:
         raise ProtocolError(f"batch payload too short: {len(data)} bytes")
     kind = data[0]
     (count,) = _COUNT_STRUCT.unpack_from(data, 1)
     offset = 1 + _COUNT_STRUCT.size
+    size_total = len(data)
+    view = memoryview(data)
     if kind == _PAYLOAD_SUMMARY_BATCH:
         metadata: List[Tuple[str, float]] = []
         for index in range(count):
-            if len(data) - offset < _SRC_LEN_STRUCT.size:
+            if size_total - offset < _SRC_LEN_STRUCT.size:
                 raise ProtocolError(
                     f"summary batch truncated in record {index} metadata"
                 )
             (src_len,) = _SRC_LEN_STRUCT.unpack_from(data, offset)
             offset += _SRC_LEN_STRUCT.size
-            if len(data) - offset < src_len + _SIZE_STRUCT.size:
+            if size_total - offset < src_len + _SIZE_STRUCT.size:
                 raise ProtocolError(
                     f"summary batch truncated in record {index} metadata"
                 )
-            source = data[offset:offset + src_len].decode("utf-8", errors="strict")
+            source = str(view[offset:offset + src_len], "utf-8")
             offset += src_len
             (size,) = _SIZE_STRUCT.unpack_from(data, offset)
             offset += _SIZE_STRUCT.size
             metadata.append((source, size))
         try:
-            records = summary_wire.decode_summary_batch(data[offset:])
+            records = summary_wire.decode_summary_batch(view[offset:])
         except summary_wire.WireError as exc:
             raise ProtocolError(f"corrupt summary batch body: {exc}") from exc
         if len(records) != count:
@@ -405,23 +600,35 @@ def decode_payload_batch(data: bytes) -> "List[Tuple[Any, float]]":
             ({"source": source, "pairs": pairs, "items_seen": items_seen}, size)
             for (source, size), (pairs, items_seen) in zip(metadata, records)
         ]
+    if kind == _PAYLOAD_INT_BATCH:
+        expected = count * (_SIZE_STRUCT.size + _INT_STRUCT.size)
+        if size_total - offset != expected:
+            raise ProtocolError(
+                f"int batch declares {count} values ({expected} bytes), "
+                f"{size_total - offset} present"
+            )
+        sizes = _sizes_struct(count).unpack_from(data, offset)
+        values = _ints_struct(count).unpack_from(
+            data, offset + count * _SIZE_STRUCT.size
+        )
+        return list(zip(values, sizes))
     if kind == _PAYLOAD_BATCH:
         items: List[Tuple[Any, float]] = []
         for index in range(count):
-            if len(data) - offset < _COUNT_STRUCT.size:
+            if size_total - offset < _COUNT_STRUCT.size:
                 raise ProtocolError(f"batch truncated at item {index} length")
             (item_len,) = _COUNT_STRUCT.unpack_from(data, offset)
             offset += _COUNT_STRUCT.size
-            if len(data) - offset < item_len:
+            if size_total - offset < item_len:
                 raise ProtocolError(
                     f"batch truncated in item {index}: declared {item_len} "
-                    f"bytes, {len(data) - offset} left"
+                    f"bytes, {size_total - offset} left"
                 )
-            items.append(decode_payload(data[offset:offset + item_len]))
+            items.append(decode_payload(view[offset:offset + item_len]))
             offset += item_len
-        if offset != len(data):
+        if offset != size_total:
             raise ProtocolError(
-                f"trailing bytes: {len(data) - offset} past the declared "
+                f"trailing bytes: {size_total - offset} past the declared "
                 f"item count {count}"
             )
         return items
@@ -457,6 +664,37 @@ async def read_frame(reader: asyncio.StreamReader) -> Optional[Frame]:
     if not frames:
         raise ProtocolError("frame did not complete after declared length")
     return frames[0]
+
+
+#: Bytes asked of the socket per read in :func:`iter_frames` — large
+#: enough that one syscall typically yields many frames.
+_READ_CHUNK = 64 * 1024
+
+
+async def iter_frames(
+    reader: asyncio.StreamReader, chunk_size: int = _READ_CHUNK
+) -> AsyncIterator[Frame]:
+    """Yield frames from bulk reads through one persistent decoder.
+
+    The hot-path counterpart of :func:`read_frame`: instead of two
+    ``readexactly`` syscalls per frame, each ``read`` pulls up to
+    ``chunk_size`` bytes and the decoder slices every complete frame out
+    of it — back-to-back DATA frames cost one syscall for many frames.
+    Clean EOF at a frame boundary ends the iteration; EOF mid-frame (or
+    any framing error) raises :class:`ProtocolError`.
+    """
+    decoder = FrameDecoder()
+    while True:
+        chunk = await reader.read(chunk_size)
+        if not chunk:
+            if decoder.pending_bytes:
+                raise ProtocolError(
+                    f"connection closed mid-frame "
+                    f"({decoder.pending_bytes} bytes buffered)"
+                )
+            return
+        for frame in decoder.feed(chunk):
+            yield frame
 
 
 async def send_frame(

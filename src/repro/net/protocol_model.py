@@ -211,7 +211,7 @@ class CreditFlowModel(ProtocolModel):
 
     Mirrors :class:`repro.net.channels.InChannel`/``OutChannel``: the
     initial grant on attach, per-item credit charging, batch
-    replenishment at ``max(1, window // 4)`` consumed items, and the
+    replenishment at ``max(1, window // 2)`` consumed items, and the
     credit-free EOS.  Fault knobs turn the model into the broken
     variants the checker's tests and the fixture corpus exercise:
 
@@ -237,7 +237,7 @@ class CreditFlowModel(ProtocolModel):
             raise ValueError(f"items must be >= 0, got {items}")
         self.window = window
         self.items = items
-        self.batch = max(1, window // 4)
+        self.batch = max(1, window // 2)
         self.double_grant = double_grant
         self.leak_credit = leak_credit
         self.no_replenish = no_replenish

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import os
 import sys
 import time
 from collections import deque
@@ -82,6 +83,7 @@ from repro.net.protocol import (
     decode_payload_batch,
     encode_json,
     is_batch_payload,
+    iter_frames,
     read_frame,
     send_frame,
 )
@@ -90,7 +92,10 @@ from repro.simnet.hosts import CpuCostModel
 
 __all__ = ["ANNOUNCE_PREFIX", "Worker", "WorkerError", "default_repository", "main"]
 
-#: stdout announce line: ``REPRO-NET-WORKER <port>``.
+#: stdout announce line: ``REPRO-NET-WORKER <port>`` — plus an optional
+#: third token, the worker's UNIX-socket path, when one is bound (the
+#: co-located fast path; older parsers that only read the port keep
+#: working).
 ANNOUNCE_PREFIX = "REPRO-NET-WORKER"
 
 #: Inbox capacity when a stage's properties carry no override.
@@ -228,10 +233,15 @@ class _RouteGroup:
 class _LocalRoute:
     """In-process edge between two stages hosted on the same worker."""
 
-    def __init__(self, stream: str, dst: "_HostedStage", worker: "Worker") -> None:
+    def __init__(
+        self, stream: str, dst: "_HostedStage", worker: "Worker", lane: int = 0
+    ) -> None:
         self.stream = stream
         self.dst = dst
         self._worker = worker
+        #: Which of the destination inbox's lanes this edge feeds (one
+        #: lane per input edge keeps per-stream FIFO under sharding).
+        self.lane = lane
         #: ``shard`` descriptor from the CHANNEL frame (None when the
         #: destination is not a replica); set by ``_register_channel``.
         self.shard: Optional[Dict[str, Any]] = None
@@ -242,11 +252,13 @@ class _LocalRoute:
             payload=payload, size=size, origin=origin,
             created_at=self._worker.elapsed(),
         )
-        await self.dst.inbox.put((None, item))
+        await self.dst.inbox.put((None, item), lane=self.lane)
         self.dst.rate_estimator.observe(self._worker.elapsed())
 
     async def send_eos(self, origin: str) -> None:
-        await self.dst.inbox.force_put((None, EndOfStream(origin=origin)))
+        await self.dst.inbox.force_put(
+            (None, EndOfStream(origin=origin)), lane=self.lane
+        )
 
     async def close(self) -> None:  # symmetry with OutChannel
         return None
@@ -335,10 +347,17 @@ class Worker:
         port: int = 0,
         name: str = "worker",
         repository: Optional[CodeRepository] = None,
+        uds_path: Optional[str] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.name = name
+        #: When set, also listen on this UNIX-domain socket and announce
+        #: it, so co-located senders skip the TCP stack entirely.
+        self.uds_path = uds_path
+        #: Default inbox lane count for hosted stages (coordinator HELLO
+        #: or per-stage ``net-inbox-lanes`` property override it).
+        self.inbox_lanes = 1
         self.repository = repository if repository is not None else default_repository()
         self.metrics = MetricsRegistry()
         self.policy = AdaptationPolicy()
@@ -384,12 +403,38 @@ class Worker:
             self._handle_connection, self.host, self.port
         )
         port = server.sockets[0].getsockname()[1]
+        unix_server = None
+        uds_bound: Optional[str] = None
+        if self.uds_path:
+            # Best effort: a platform without AF_UNIX (or a bad path)
+            # just loses the fast path; TCP keeps everything working.
+            try:
+                unix_server = await asyncio.start_unix_server(
+                    self._handle_connection, path=self.uds_path
+                )
+                uds_bound = self.uds_path
+            except (AttributeError, NotImplementedError, OSError):
+                unix_server = None
+        announce_line = f"{ANNOUNCE_PREFIX} {port}"
+        if uds_bound:
+            announce_line += f" {uds_bound}"
         stream = announce if announce is not None else sys.stdout
-        print(f"{ANNOUNCE_PREFIX} {port}", file=stream, flush=True)
+        print(announce_line, file=stream, flush=True)
         try:
             async with server:
                 await self._shutdown.wait()
         finally:
+            if unix_server is not None:
+                unix_server.close()
+                try:
+                    await unix_server.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+            if uds_bound is not None:
+                try:
+                    os.unlink(uds_bound)
+                except OSError:
+                    pass
             for task in self._tasks:
                 task.cancel()
             for channel in self._out_channels:
@@ -431,6 +476,7 @@ class Worker:
         self.name = str(body.get("worker", self.name))
         self.time_scale = float(body.get("time_scale", self.time_scale))
         self.credit_window = int(body.get("credit_window", self.credit_window))
+        self.inbox_lanes = int(body.get("inbox_lanes", self.inbox_lanes))
         self.adaptation_enabled = bool(
             body.get("adaptation", self.adaptation_enabled)
         )
@@ -489,6 +535,9 @@ class Worker:
             raise WorkerError(f"{name}: code did not produce a StreamProcessor")
         properties = {str(k): str(v) for k, v in body.get("properties", {}).items()}
         capacity = int(properties.get("net-queue-capacity", DEFAULT_QUEUE_CAPACITY))
+        lanes = int(properties.get("net-inbox-lanes", self.inbox_lanes))
+        if lanes < 1:
+            raise WorkerError(f"{name}: net-inbox-lanes must be >= 1, got {lanes}")
         try:
             effective = batch_policy_from_properties(properties, self.batch)
         except ValueError as exc:
@@ -497,7 +546,7 @@ class Worker:
             name=name,
             processor=processor,
             properties=properties,
-            inbox=AsyncInbox(capacity, self.policy.window),
+            inbox=AsyncInbox(capacity, self.policy.window, lanes=lanes),
         )
         if effective is not None and effective.enabled:
             # Pre-scale the age bound once so flush deadlines compare
@@ -520,7 +569,11 @@ class Worker:
         if kind == "local":
             src = self._require_stage(body["src"], stream)
             dst = self._require_stage(body["dst"], stream)
-            route = _LocalRoute(stream, dst, self)
+            # One inbox lane per input edge: this edge's items (and its
+            # EOS) stay FIFO in their own lane while other producers
+            # append to theirs without contending.
+            lane = len(dst.upstream_local) + len(dst.upstream_wire)
+            route = _LocalRoute(stream, dst, self, lane=lane)
             self._annotate_shard(route, shard, body["dst"])
             src.out_routes.append(route)
             dst.eos.expect()
@@ -528,7 +581,8 @@ class Worker:
         elif kind == "in":
             dst = self._require_stage(body["dst"], stream)
             window = int(body.get("window", self.credit_window))
-            channel = InChannel(stream, dst.name, window)
+            lane = len(dst.upstream_local) + len(dst.upstream_wire)
+            channel = InChannel(stream, dst.name, window, lane=lane)
             self._in_channels[stream] = channel
             dst.eos.expect()
             dst.upstream_wire.append(channel)
@@ -542,6 +596,7 @@ class Worker:
                 self.metrics,
                 clock=self.elapsed,
                 on_exception=self._wire_exception_handler(src),
+                uds_path=body.get("peer_uds"),
             )
             self._out_channels.append(channel)
             route = _WireRoute(channel)
@@ -594,6 +649,12 @@ class Worker:
                 raise WorkerError(no_input_message(stage.name))
         self._started = True
         self._start_time = time.monotonic()
+        # Warm the deterministic-context module before any stage task
+        # runs: StageContext.det imports it lazily, and paying a package
+        # import inside the data path shows up as a multi-millisecond
+        # latency spike on whichever item (or the EOS flush) touches
+        # ``ctx.det`` first.
+        import repro.ledger.context  # noqa: F401
         for stage in self._stages.values():
             assert stage.context is not None
             stage.context._in_setup = True
@@ -826,10 +887,21 @@ class Worker:
                             await asyncio.sleep(sleep_debt)
                             sleep_debt = 0.0
                 stage.processor.on_item(message.payload, ctx)
-                stage.metrics.latency.observe(self.elapsed() - message.created_at)
-                await self._transmit_pending(stage)
-                if channel is not None:
-                    channel.note_consumed()
+                now = self.elapsed()
+                stage.metrics.latency.observe(now - message.created_at)
+                if ctx.pending:
+                    full = self._buffer_pending(stage, now)
+                    if full is None:
+                        await self._transmit_pending(stage)
+                    else:
+                        for index in full:
+                            await self._flush_route(stage, index)
+                if channel is not None and channel.note_consumed():
+                    if channel.needs_drain():
+                        # Credit backchannel piled up past the high
+                        # watermark (slow/stalled sender): flush before
+                        # consuming more so its buffer stays bounded.
+                        await channel.drain()
         except asyncio.CancelledError:
             raise
         except BaseException as exc:  # noqa: BLE001 - reported via ERROR frame
@@ -845,22 +917,49 @@ class Worker:
             assert stage.done is not None
             stage.done.set()
 
+    def _buffer_pending(
+        self, stage: _HostedStage, now: float
+    ) -> Optional[List[int]]:
+        """Synchronous fast path for the per-item hot loop: move every
+        pending emission into its route's batch buffer and return the
+        indices that filled (usually none — the caller then skips the
+        coroutine round-trip entirely).  Returns None without consuming
+        anything when some route has no buffer, so the caller falls back
+        to the general :meth:`_transmit_pending` path."""
+        ctx = stage.context
+        assert ctx is not None
+        assert stage.metrics is not None
+        buffers = stage.batch_buffers
+        if len(buffers) != len(stage.out_routes):
+            return None
+        pending, ctx.pending = ctx.pending, []
+        full: List[int] = []
+        nbytes_out = 0.0
+        for payload, size, stream in pending:
+            nbytes_out += size
+            for index in self._route_indices(stage, payload, stream):
+                if buffers[index].add((payload, size), now) and index not in full:
+                    full.append(index)
+        stage.metrics.items_out.inc(len(pending))
+        stage.metrics.bytes_out.inc(nbytes_out)
+        return full
+
     async def _transmit_pending(self, stage: _HostedStage) -> None:
         ctx = stage.context
         assert ctx is not None
         assert stage.metrics is not None
         if not ctx.pending:
             return
-        pending, ctx.pending = ctx.pending, []
-        if not stage.batch_buffers:
-            for payload, size, stream in pending:
-                stage.metrics.items_out.inc()
-                stage.metrics.bytes_out.inc(size)
-                for index in self._route_indices(stage, payload, stream):
-                    await stage.out_routes[index].send(payload, size, stage.name)
-            return
         now = self.elapsed()
-        full: List[int] = []
+        full = self._buffer_pending(stage, now)
+        if full is not None:
+            for index in full:
+                await self._flush_route(stage, index)
+            return
+        # Mixed or unbatched routes: buffered where a buffer exists,
+        # shipped immediately where none does (local routes, batch off).
+        pending, ctx.pending = ctx.pending, []
+        mixed_full: List[int] = []
         nbytes_out = 0.0
         for payload, size, stream in pending:
             nbytes_out += size
@@ -868,11 +967,11 @@ class Worker:
                 buffer = stage.batch_buffers.get(index)
                 if buffer is None:
                     await stage.out_routes[index].send(payload, size, stage.name)
-                elif buffer.add((payload, size), now) and index not in full:
-                    full.append(index)
+                elif buffer.add((payload, size), now) and index not in mixed_full:
+                    mixed_full.append(index)
         stage.metrics.items_out.inc(len(pending))
         stage.metrics.bytes_out.inc(nbytes_out)
-        for index in full:
+        for index in mixed_full:
             await self._flush_route(stage, index)
 
     def _next_flush_timeout(self, stage: _HostedStage) -> Optional[float]:
@@ -927,6 +1026,9 @@ class Worker:
             if exception is not None and self.policy.exceptions_enabled:
                 stage.metrics.exceptions_reported.inc()
                 self._report_upstream(stage, exception)
+                for wire in stage.upstream_wire:
+                    if wire.needs_drain():
+                        await wire.drain()
             samples += 1
             if samples % self.policy.adjust_every == 0 and stage.controllers:
                 t1, t2 = stage.exceptions.drain()
@@ -1062,7 +1164,8 @@ class Worker:
                         continue
                     if addr is not None and not channel.eos_sent:
                         await channel.redial(
-                            addr["host"], int(addr["port"])
+                            addr["host"], int(addr["port"]),
+                            uds_path=addr.get("uds"),
                         )
                     channel.resume()
             await send_frame(
@@ -1095,7 +1198,11 @@ class Worker:
             await asyncio.sleep(0.001)
         if not stage.done.is_set():
             stage.fence_passed = asyncio.Event()
-            await stage.inbox.force_put((None, _MigrateFence()))
+            # A barrier, not an ordinary entry: with a sharded inbox the
+            # fence must sort after every lane's items, and the lanes
+            # are quiescent (upstreams paused), so barrier delivery ==
+            # "all lanes drained".
+            await stage.inbox.put_barrier((None, _MigrateFence()))
             waits = [
                 asyncio.create_task(stage.done.wait()),
                 asyncio.create_task(stage.fence_passed.wait()),
@@ -1153,6 +1260,7 @@ class Worker:
                 "dst": spec["dst"],
                 "peer_host": spec["peer_host"],
                 "peer_port": spec["peer_port"],
+                "peer_uds": spec.get("peer_uds"),
                 "shard": spec.get("shard"),
             })
         new_channels = self._out_channels[out_before:]
@@ -1204,28 +1312,32 @@ class Worker:
             raise ProtocolError(f"channel {stream!r} attached twice")
         channel.attach(writer)
         stage = self._stages[channel.dst_stage]
+        lane = channel.lane
         saw_eos = False
         try:
-            while True:
-                frame = await read_frame(reader)
-                if frame is None:
-                    break
+            # Bulk reads through one persistent decoder: back-to-back
+            # DATA frames cost one syscall for many frames instead of
+            # two readexactly calls per frame.
+            async for frame in iter_frames(reader):
                 if frame.type is FrameType.DATA:
                     if is_batch_payload(frame.payload):
                         decoded = decode_payload_batch(frame.payload)
                     else:
                         decoded = [decode_payload(frame.payload)]
                     now = self.elapsed()
-                    await stage.inbox.force_put_many([
-                        (
-                            channel,
-                            Item(
-                                payload=payload, size=size, origin=stream,
-                                created_at=now,
-                            ),
-                        )
-                        for payload, size in decoded
-                    ])
+                    await stage.inbox.force_put_many(
+                        [
+                            (
+                                channel,
+                                Item(
+                                    payload=payload, size=size, origin=stream,
+                                    created_at=now,
+                                ),
+                            )
+                            for payload, size in decoded
+                        ],
+                        lane=lane,
+                    )
                     stage.rate_estimator.observe(
                         self.elapsed(), count=float(len(decoded))
                     )
@@ -1234,7 +1346,9 @@ class Worker:
                     )
                 elif frame.type is FrameType.EOS:
                     saw_eos = True
-                    await stage.inbox.force_put((None, EndOfStream(origin=stream)))
+                    await stage.inbox.force_put(
+                        (None, EndOfStream(origin=stream)), lane=lane
+                    )
                 else:
                     raise ProtocolError(
                         f"unexpected {frame.type.name} frame on data channel "
@@ -1277,8 +1391,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--name", default="worker",
                         help="fallback worker name until the coordinator "
                         "assigns one")
+    parser.add_argument("--uds", default=None, metavar="PATH",
+                        help="also listen on this UNIX-domain socket and "
+                        "announce it (co-located fast path; ignored on "
+                        "platforms without AF_UNIX)")
     args = parser.parse_args(argv)
-    worker = Worker(host=args.host, port=args.port, name=args.name)
+    worker = Worker(
+        host=args.host, port=args.port, name=args.name, uds_path=args.uds
+    )
     try:
         asyncio.run(worker.serve())
     except KeyboardInterrupt:

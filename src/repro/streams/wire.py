@@ -11,6 +11,14 @@ count-samps summaries travelling between OS processes.
 Only integer-valued summaries (the count-samps family) are encodable; the
 general dict payloads of other applications keep declared sizes.
 
+The encoders are vectorized: all of a summary's pairs go through one bulk
+``struct.pack_into`` with a per-pair-count cached ``Struct`` (a Python
+loop only runs to produce a precise error message once the bulk pack has
+already failed), and the ``*_into`` variants append straight into a
+caller-supplied ``bytearray`` so batch encoders build their whole buffer
+without intermediate ``bytes`` objects.  Decoding walks a ``memoryview``
+with ``struct.iter_unpack`` — no per-record slice copies.
+
 Decoding distinguishes every corruption class with a dedicated error
 message so callers (and the protocol fuzz tests) can tell *how* a buffer
 went bad: truncated header, bad magic, unsupported version, body shorter
@@ -21,7 +29,8 @@ count are all rejected separately.
 from __future__ import annotations
 
 import struct
-from typing import List, Sequence, Tuple
+from functools import lru_cache
+from typing import List, Sequence, Tuple, Union
 
 __all__ = [
     "BATCH_HEADER_BYTES",
@@ -32,6 +41,8 @@ __all__ = [
     "decode_summary_batch",
     "encode_summary",
     "encode_summary_batch",
+    "encode_summary_batch_into",
+    "encode_summary_into",
     "summary_wire_size",
 ]
 
@@ -53,21 +64,28 @@ _MAX_ITEMS_SEEN = (1 << 64) - 1
 _MIN_VALUE = -(1 << 63)
 _MAX_VALUE = (1 << 63) - 1
 
+_Buffer = Union[bytes, bytearray, memoryview]
+
 
 class WireError(Exception):
     """Raised for unencodable summaries or corrupt wire data."""
 
 
-def encode_summary(pairs: Sequence[Tuple[int, int]], items_seen: int = 0) -> bytes:
-    """Encode integer (value, count) pairs into the wire format."""
-    if items_seen < 0:
-        raise WireError(f"items_seen must be >= 0, got {items_seen}")
-    if items_seen > _MAX_ITEMS_SEEN:
-        raise WireError(f"items_seen {items_seen!r} outside uint64 range")
-    if len(pairs) > _MAX_COUNT:
-        raise WireError(f"too many pairs for uint32 count: {len(pairs)}")
-    header = _HEADER_STRUCT.pack(_MAGIC, _VERSION, len(pairs), items_seen)
-    body = bytearray()
+@lru_cache(maxsize=256)
+def _pairs_struct(n_pairs: int) -> struct.Struct:
+    """One Struct packing/unpacking ``n_pairs`` (value, count) pairs at once."""
+    return struct.Struct("<" + "qI" * n_pairs)
+
+
+def _pack_pairs_slow(
+    out: bytearray, offset: int, pairs: Sequence[Tuple[int, int]]
+) -> None:
+    """Per-pair validation pass, reached only when the bulk pack failed.
+
+    Re-runs the original per-pair checks so each rejection class keeps its
+    distinct :class:`WireError` message (and odd-but-accepted inputs such
+    as float counts still encode via ``int(count)``).
+    """
     for value, count in pairs:
         if not isinstance(value, int) or isinstance(value, bool):
             raise WireError(f"values must be ints, got {value!r}")
@@ -75,8 +93,56 @@ def encode_summary(pairs: Sequence[Tuple[int, int]], items_seen: int = 0) -> byt
             raise WireError(f"value {value!r} outside int64 range")
         if not 0 <= count <= _MAX_COUNT:
             raise WireError(f"count {count!r} outside uint32 range")
-        body += _PAIR_STRUCT.pack(value, int(count))
-    encoded = header + bytes(body)
+        _PAIR_STRUCT.pack_into(out, offset, value, int(count))
+        offset += PAIR_BYTES
+
+
+def _pack_pairs_into(
+    out: bytearray, offset: int, pairs: Sequence[Tuple[int, int]]
+) -> None:
+    n = len(pairs)
+    if not n:
+        return
+    flat: List[int] = []
+    append = flat.append
+    for value, count in pairs:
+        if isinstance(value, bool):
+            raise WireError(f"values must be ints, got {value!r}")
+        append(value)
+        append(count)
+    try:
+        _pairs_struct(n).pack_into(out, offset, *flat)
+    except (struct.error, TypeError, OverflowError):
+        _pack_pairs_slow(out, offset, pairs)
+
+
+def encode_summary_into(
+    out: bytearray, pairs: Sequence[Tuple[int, int]], items_seen: int = 0
+) -> None:
+    """Append one summary encoding to ``out`` without intermediate copies.
+
+    On a :class:`WireError` from a bad pair, ``out`` may retain the
+    partially written record — callers composing larger buffers truncate
+    back to their own base offset (see ``repro.net.protocol``).
+    """
+    if items_seen < 0:
+        raise WireError(f"items_seen must be >= 0, got {items_seen}")
+    if items_seen > _MAX_ITEMS_SEEN:
+        raise WireError(f"items_seen {items_seen!r} outside uint64 range")
+    n = len(pairs)
+    if n > _MAX_COUNT:
+        raise WireError(f"too many pairs for uint32 count: {n}")
+    base = len(out)
+    out += bytes(HEADER_BYTES + n * PAIR_BYTES)
+    _HEADER_STRUCT.pack_into(out, base, _MAGIC, _VERSION, n, items_seen)
+    _pack_pairs_into(out, base + HEADER_BYTES, pairs)
+
+
+def encode_summary(pairs: Sequence[Tuple[int, int]], items_seen: int = 0) -> bytes:
+    """Encode integer (value, count) pairs into the wire format."""
+    out = bytearray()
+    encode_summary_into(out, pairs, items_seen)
+    encoded = bytes(out)
     # Consistency check: the byte accounting the evaluation layer uses
     # (summary_wire_size) must always agree with what we actually put on
     # the wire, or link-cost bookkeeping silently drifts from reality.
@@ -88,11 +154,12 @@ def encode_summary(pairs: Sequence[Tuple[int, int]], items_seen: int = 0) -> byt
     return encoded
 
 
-def decode_summary(data: bytes) -> Tuple[List[Tuple[int, int]], int]:
+def decode_summary(data: _Buffer) -> Tuple[List[Tuple[int, int]], int]:
     """Inverse of :func:`encode_summary`: returns (pairs, items_seen).
 
-    Rejects corrupt buffers with a distinct :class:`WireError` per
-    failure class: truncated header, bad magic, unsupported version,
+    Accepts any bytes-like buffer (a ``memoryview`` decodes without
+    copying).  Rejects corrupt buffers with a distinct :class:`WireError`
+    per failure class: truncated header, bad magic, unsupported version,
     truncated body (declared pair count needs more bytes than present),
     and trailing bytes beyond the declared pair count.
     """
@@ -116,11 +183,26 @@ def decode_summary(data: bytes) -> Tuple[List[Tuple[int, int]], int]:
             f"trailing bytes: {len(data) - expected} past the declared "
             f"pair count {n_pairs}"
         )
-    pairs = [
-        _PAIR_STRUCT.unpack_from(data, HEADER_BYTES + i * PAIR_BYTES)
-        for i in range(n_pairs)
-    ]
-    return [(int(v), int(c)) for v, c in pairs], items_seen
+    if not n_pairs:
+        return [], items_seen
+    with memoryview(data) as view:
+        pairs = list(_PAIR_STRUCT.iter_unpack(view[HEADER_BYTES:expected]))
+    return pairs, items_seen
+
+
+def encode_summary_batch_into(
+    out: bytearray,
+    records: Sequence[Tuple[Sequence[Tuple[int, int]], int]],
+) -> None:
+    """Append a whole summary batch to ``out`` — header plus every record
+    encoded in place (no per-record ``bytes`` round-trips).  The same
+    partial-write caveat as :func:`encode_summary_into` applies on error.
+    """
+    if len(records) > _MAX_COUNT:
+        raise WireError(f"too many records for uint32 count: {len(records)}")
+    out += _BATCH_HEADER_STRUCT.pack(_BATCH_MAGIC, _VERSION, len(records))
+    for pairs, items_seen in records:
+        encode_summary_into(out, pairs, items_seen)
 
 
 def encode_summary_batch(
@@ -138,21 +220,20 @@ def encode_summary_batch(
     what a batched DATA frame in ``repro.net`` carries for count-samps
     summaries.
     """
-    if len(records) > _MAX_COUNT:
-        raise WireError(f"too many records for uint32 count: {len(records)}")
-    out = bytearray(_BATCH_HEADER_STRUCT.pack(_BATCH_MAGIC, _VERSION, len(records)))
-    for pairs, items_seen in records:
-        out += encode_summary(pairs, items_seen)
+    out = bytearray()
+    encode_summary_batch_into(out, records)
     return bytes(out)
 
 
-def decode_summary_batch(data: bytes) -> List[Tuple[List[Tuple[int, int]], int]]:
+def decode_summary_batch(data: _Buffer) -> List[Tuple[List[Tuple[int, int]], int]]:
     """Inverse of :func:`encode_summary_batch`.
 
-    Rejects corruption with a distinct :class:`WireError` per failure
-    class: truncated batch header, bad batch magic, unsupported version,
-    a record extending past the buffer (truncated record), and trailing
-    bytes after the declared record count.
+    Accepts any bytes-like buffer and parses the records in place over
+    one ``memoryview`` — no per-record slice copies.  Rejects corruption
+    with a distinct :class:`WireError` per failure class: truncated batch
+    header, bad batch magic, unsupported version, a record extending past
+    the buffer (truncated record), and trailing bytes after the declared
+    record count.
     """
     if len(data) < BATCH_HEADER_BYTES:
         raise WireError(
@@ -165,24 +246,33 @@ def decode_summary_batch(data: bytes) -> List[Tuple[List[Tuple[int, int]], int]]
         raise WireError(f"unsupported batch wire version {version}")
     records: List[Tuple[List[Tuple[int, int]], int]] = []
     offset = BATCH_HEADER_BYTES
-    for index in range(n_records):
-        if len(data) - offset < HEADER_BYTES:
-            raise WireError(
-                f"truncated record {index}: {len(data) - offset} bytes left, "
-                f"record header needs {HEADER_BYTES}"
+    size = len(data)
+    with memoryview(data) as view:
+        for index in range(n_records):
+            if size - offset < HEADER_BYTES:
+                raise WireError(
+                    f"truncated record {index}: {size - offset} bytes left, "
+                    f"record header needs {HEADER_BYTES}"
+                )
+            r_magic, r_version, n_pairs, items_seen = _HEADER_STRUCT.unpack_from(
+                data, offset
             )
-        n_pairs = _HEADER_STRUCT.unpack_from(data, offset)[2]
-        record_len = HEADER_BYTES + n_pairs * PAIR_BYTES
-        if len(data) - offset < record_len:
-            raise WireError(
-                f"truncated record {index}: declared pair count {n_pairs} "
-                f"needs {record_len} bytes, {len(data) - offset} left"
-            )
-        records.append(decode_summary(bytes(data[offset:offset + record_len])))
-        offset += record_len
-    if offset != len(data):
+            if r_magic != _MAGIC:
+                raise WireError(f"bad magic byte {r_magic:#x}")
+            if r_version != _VERSION:
+                raise WireError(f"unsupported wire version {r_version}")
+            record_len = HEADER_BYTES + n_pairs * PAIR_BYTES
+            if size - offset < record_len:
+                raise WireError(
+                    f"truncated record {index}: declared pair count {n_pairs} "
+                    f"needs {record_len} bytes, {size - offset} left"
+                )
+            body = view[offset + HEADER_BYTES:offset + record_len]
+            records.append((list(_PAIR_STRUCT.iter_unpack(body)), items_seen))
+            offset += record_len
+    if offset != size:
         raise WireError(
-            f"trailing bytes: {len(data) - offset} past the declared "
+            f"trailing bytes: {size - offset} past the declared "
             f"record count {n_records}"
         )
     return records

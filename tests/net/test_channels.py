@@ -102,14 +102,15 @@ class TestInChannel:
         assert writer.frames[0].json() == {"stream": "s", "n": 12}
 
     def test_replenish_batches_amortize_credit_frames(self):
-        channel = InChannel("s", "dst", window=8)  # batch = 2
+        channel = InChannel("s", "dst", window=8)  # batch = 4
         writer = _FakeWriter()
         channel.attach(writer)
-        channel.note_consumed()
+        for _ in range(3):
+            assert channel.note_consumed() is False
         assert len(writer.frames) == 1  # below batch: no frame yet
-        channel.note_consumed()
+        assert channel.note_consumed() is True
         assert len(writer.frames) == 2
-        assert writer.frames[1].json() == {"stream": "s", "n": 2}
+        assert writer.frames[1].json() == {"stream": "s", "n": 4}
 
     def test_exception_before_attach_is_dropped(self):
         channel = InChannel("s", "dst", window=4)
@@ -462,7 +463,7 @@ class TestInboxBatchSurface:
 
 class TestNoteConsumedCounts:
     def test_note_consumed_n_replenishes_in_one_frame(self):
-        channel = InChannel("s", "dst", window=8)  # batch = 2
+        channel = InChannel("s", "dst", window=8)  # batch = 4
         writer = _FakeWriter()
         channel.attach(writer)
         channel.note_consumed(5)
@@ -470,10 +471,210 @@ class TestNoteConsumedCounts:
         assert writer.frames[1].json() == {"stream": "s", "n": 5}
 
     def test_counts_accumulate_across_calls(self):
-        channel = InChannel("s", "dst", window=8)  # batch = 2
+        channel = InChannel("s", "dst", window=8)  # batch = 4
         writer = _FakeWriter()
         channel.attach(writer)
-        channel.note_consumed(1)
+        channel.note_consumed(3)
         assert len(writer.frames) == 1  # below the batch threshold
         channel.note_consumed(1)
-        assert writer.frames[1].json() == {"stream": "s", "n": 2}
+        assert writer.frames[1].json() == {"stream": "s", "n": 4}
+
+
+class TestInboxLanes:
+    """Sharded lanes: per-lane FIFO, fair interleave, global barriers."""
+
+    def test_per_lane_fifo_is_preserved(self):
+        async def scenario():
+            inbox = AsyncInbox(capacity=32, window=4, lanes=3)
+            for i in range(4):
+                await inbox.put(("a", i), lane=0)
+                await inbox.put(("b", i), lane=1)
+                await inbox.put(("c", i), lane=2)
+            return [await inbox.get() for _ in range(12)]
+
+        out = run(scenario())
+        for name in ("a", "b", "c"):
+            seq = [i for tag, i in out if tag == name]
+            assert seq == [0, 1, 2, 3], f"lane {name} reordered: {seq}"
+
+    def test_capacity_counts_across_all_lanes(self):
+        async def scenario():
+            inbox = AsyncInbox(capacity=2, window=4, lanes=2)
+            await inbox.put("a", lane=0)
+            await inbox.put("b", lane=1)
+            blocked = asyncio.create_task(inbox.put("c", lane=0))
+            await asyncio.sleep(0.01)
+            assert not blocked.done()
+            await inbox.get()
+            await asyncio.wait_for(blocked, 1.0)
+
+        run(scenario())
+
+    def test_barrier_waits_for_every_lane_to_drain(self):
+        async def scenario():
+            inbox = AsyncInbox(capacity=32, window=4, lanes=2)
+            await inbox.put("x0", lane=0)
+            await inbox.put("x1", lane=1)
+            await inbox.put_barrier("FENCE")
+            # Items enqueued *after* the barrier must still come out
+            # after it, whatever lane they land on.
+            await inbox.put("y0", lane=0)
+            await inbox.put("y1", lane=1)
+            return [await inbox.get() for _ in range(5)]
+
+        out = run(scenario())
+        assert out.index("FENCE") == 2
+        assert set(out[:2]) == {"x0", "x1"}
+        assert set(out[3:]) == {"y0", "y1"}
+
+    def test_get_many_never_mixes_barrier_with_items(self):
+        async def scenario():
+            inbox = AsyncInbox(capacity=32, window=4, lanes=2)
+            await inbox.put("a", lane=0)
+            await inbox.put("b", lane=1)
+            await inbox.put_barrier("FENCE")
+            first = await inbox.get_many(16)
+            second = await inbox.get_many(16)
+            return first, second
+
+        first, second = run(scenario())
+        assert set(first) == {"a", "b"}
+        assert second == ["FENCE"]
+
+    def test_rejects_silly_lanes(self):
+        with pytest.raises(ValueError, match="lanes"):
+            AsyncInbox(capacity=4, window=4, lanes=0)
+
+
+class _BufferedFakeWriter(_FakeWriter):
+    """A fake writer with a transport that reports its buffer size."""
+
+    class _Transport:
+        def __init__(self):
+            self.size = 0
+
+        def get_write_buffer_size(self):
+            return self.size
+
+    def __init__(self):
+        super().__init__()
+        self.transport = self._Transport()
+        self.drained = 0
+
+    async def drain(self):
+        self.drained += 1
+        self.transport.size = 0
+
+
+class TestBackchannelWatermark:
+    def test_no_drain_needed_below_watermark(self):
+        from repro.net.channels import BACKCHANNEL_HIGH_WATERMARK
+
+        channel = InChannel("s", "dst", window=4)
+        writer = _BufferedFakeWriter()
+        channel.attach(writer)
+        writer.transport.size = BACKCHANNEL_HIGH_WATERMARK - 1
+        assert channel.needs_drain() is False
+
+    def test_drain_fires_at_watermark(self):
+        from repro.net.channels import BACKCHANNEL_HIGH_WATERMARK
+
+        async def scenario():
+            channel = InChannel("s", "dst", window=4)
+            writer = _BufferedFakeWriter()
+            channel.attach(writer)
+            writer.transport.size = BACKCHANNEL_HIGH_WATERMARK
+            assert channel.needs_drain() is True
+            await channel.drain()
+            return writer
+
+        writer = run(scenario())
+        assert writer.drained == 1
+        assert writer.transport.size == 0
+
+    def test_plain_fake_writer_never_needs_drain(self):
+        # Writers without a transport (tests, detached channels) must not
+        # trip the watermark check.
+        channel = InChannel("s", "dst", window=4)
+        channel.attach(_FakeWriter())
+        assert channel.needs_drain() is False
+
+    def test_detached_channel_drain_is_a_no_op(self):
+        async def scenario():
+            channel = InChannel("s", "dst", window=4)
+            assert channel.needs_drain() is False
+            await channel.drain()  # must not raise
+
+        run(scenario())
+
+
+class TestUnixFastPath:
+    def test_out_channel_prefers_uds_when_available(self, tmp_path):
+        import socket as socket_mod
+
+        if not hasattr(socket_mod, "AF_UNIX"):
+            pytest.skip("platform has no AF_UNIX")
+
+        async def scenario():
+            uds_path = str(tmp_path / "w.sock")
+            received = []
+
+            async def serve(reader, writer):
+                attach = await read_frame(reader)
+                assert attach.type is FrameType.ATTACH
+                await send_frame(
+                    writer, FrameType.CREDIT,
+                    encode_json({"stream": "testchan", "n": 8}),
+                )
+                while True:
+                    frame = await read_frame(reader)
+                    if frame is None:
+                        writer.close()
+                        return
+                    if frame.type is FrameType.DATA:
+                        received.append(decode_payload(frame.payload)[0])
+
+            server = await asyncio.start_unix_server(serve, path=uds_path)
+            registry = MetricsRegistry()
+            loop = asyncio.get_running_loop()
+            channel = OutChannel(
+                "testchan", "dst", "127.0.0.1", 1,  # TCP addr is a dead end
+                registry, clock=loop.time, uds_path=uds_path,
+            )
+            await channel.connect()
+            kind = channel.transport_kind
+            for i in range(5):
+                await channel.send(i, 8.0)
+            await channel.close()
+            server.close()
+            await server.wait_closed()
+            return kind, received
+
+        kind, received = run(scenario())
+        assert kind == "uds"
+        assert received == [0, 1, 2, 3, 4]
+
+    def test_missing_socket_file_falls_back_to_tcp(self, tmp_path):
+        async def scenario():
+            receiver = _SlowReceiver(window=4, consume_delay=0.0)
+            await receiver.start()
+            registry = MetricsRegistry()
+            loop = asyncio.get_running_loop()
+            channel = OutChannel(
+                "testchan", "dst", "127.0.0.1", receiver.port,
+                registry, clock=loop.time,
+                uds_path=str(tmp_path / "never-bound.sock"),
+            )
+            await channel.connect()
+            kind = channel.transport_kind
+            await channel.send("hello", 8.0)
+            await channel.send_eos()
+            await asyncio.sleep(0.05)
+            await channel.close()
+            receiver.server.close()
+            await receiver.server.wait_closed()
+            return kind, receiver.received
+
+        kind, received = run(scenario())
+        assert kind == "tcp"
+        assert received == 1

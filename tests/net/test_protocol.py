@@ -396,3 +396,193 @@ class TestBatchPayloadCodec:
             for obj, size in decoded:
                 json.dumps(obj)
                 assert isinstance(size, float)
+
+
+class TestIntBatchPayloadCodec:
+    """All-int64 batches ride the vectorized tag-5 layout."""
+
+    INTS = [(42, 8.0), (-7, 16.0), (0, 0.0), ((1 << 63) - 1, 8.0), (-(1 << 63), 8.0)]
+
+    def test_all_int_batch_takes_the_vectorized_tag(self):
+        data = encode_payload_batch(self.INTS)
+        assert data[0] == 5  # _PAYLOAD_INT_BATCH tag
+        assert is_batch_payload(data)
+        assert decode_payload_batch(data) == self.INTS
+
+    def test_int_batch_is_smaller_than_generic_framing(self):
+        compact = encode_payload_batch(self.INTS)
+        generic = 1 + 4 + sum(
+            4 + len(encode_payload(obj, size)) for obj, size in self.INTS
+        )
+        assert len(compact) < generic
+
+    def test_bool_items_force_the_generic_tag(self):
+        data = encode_payload_batch([(1, 8.0), (True, 8.0)])
+        assert data[0] == 3  # bools keep their single-item JSON encoding
+        assert decode_payload_batch(data) == [(1, 8.0), (True, 8.0)]
+
+    def test_oversized_int_forces_the_generic_tag(self):
+        items = [(1, 8.0), (1 << 63, 8.0)]
+        data = encode_payload_batch(items)
+        assert data[0] == 3  # beyond int64 → per-item JSON fallback
+        assert decode_payload_batch(data) == items
+
+    def test_int_subclass_forces_the_generic_tag(self):
+        class MyInt(int):
+            pass
+
+        data = encode_payload_batch([(MyInt(5), 8.0), (6, 8.0)])
+        assert data[0] == 3
+        assert decode_payload_batch(data) == [(5, 8.0), (6, 8.0)]
+
+    def test_truncated_int_batch_raises(self):
+        good = encode_payload_batch(self.INTS)
+        for cut in range(1, len(good)):
+            with pytest.raises(ProtocolError):
+                decode_payload_batch(good[:cut])
+
+    def test_trailing_bytes_in_int_batch_raise(self):
+        good = encode_payload_batch(self.INTS)
+        with pytest.raises(ProtocolError, match="int batch"):
+            decode_payload_batch(good + b"\x00")
+
+    def test_int_batch_decodes_from_memoryview_slice(self):
+        good = encode_payload_batch(self.INTS)
+        padded = b"\xff" * 3 + good + b"\xff" * 2
+        view = memoryview(padded)[3 : 3 + len(good)]
+        assert decode_payload_batch(view) == self.INTS
+
+    def test_int_batch_fuzz(self):
+        rng = random.Random(0x17B5)
+        for _ in range(200):
+            items = [
+                (rng.randrange(-(1 << 63), 1 << 63), float(rng.randrange(64)))
+                for _ in range(rng.randrange(1, 9))
+            ]
+            blob = bytearray(encode_payload_batch(items))
+            assert blob[0] == 5
+            blob[rng.randrange(len(blob))] ^= 1 << rng.randrange(8)
+            try:
+                decoded = decode_payload_batch(bytes(blob))
+            except ProtocolError:
+                continue
+            for obj, size in decoded:
+                assert isinstance(obj, (int, dict, list, str, float, bool, type(None)))
+                assert isinstance(size, float)
+
+
+class TestDecoderPoisoning:
+    """After a framing error the decoder must refuse further bytes.
+
+    A framed TCP stream cannot be resynchronised once the length field is
+    untrusted — feeding more data would parse garbage at an arbitrary
+    offset.  The decoder therefore latches poisoned and the caller drops
+    the connection.
+    """
+
+    def test_feed_after_bad_magic_raises(self):
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError, match="magic"):
+            decoder.feed(b"XX" + bytes(FRAME_HEADER_BYTES - 2))
+        with pytest.raises(ProtocolError, match="poisoned"):
+            decoder.feed(frame_of())
+
+    def test_feed_after_crc_error_raises_even_for_empty_feed(self):
+        wire = bytearray(frame_of(payload=b"checksummed"))
+        wire[-1] ^= 0xFF
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError, match="CRC"):
+            decoder.feed(bytes(wire))
+        with pytest.raises(ProtocolError, match="poisoned"):
+            decoder.feed(b"")
+
+    def test_feed_after_oversized_length_raises(self):
+        header = struct.pack(
+            "<2sBBII", b"GS", 1, int(FrameType.DATA), MAX_PAYLOAD + 1, 0
+        )
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decoder.feed(header)
+        with pytest.raises(ProtocolError, match="poisoned"):
+            decoder.feed(frame_of())
+
+    def test_frames_parsed_before_the_error_are_kept(self):
+        decoder = FrameDecoder()
+        good = decoder.feed(frame_of(payload=b"ok"))
+        assert [f.payload for f in good] == [b"ok"]
+        bad = bytearray(frame_of())
+        bad[0] = 0
+        with pytest.raises(ProtocolError):
+            decoder.feed(bytes(bad))
+
+    def test_fresh_decoder_is_not_poisoned(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(frame_of()) != []
+
+
+class TestDecoderChunking:
+    """Zero-copy buffering across arbitrary chunk boundaries."""
+
+    def test_every_split_inside_the_header(self):
+        wire = frame_of(payload=b"p" * 37)
+        for cut in range(1, FRAME_HEADER_BYTES):
+            decoder = FrameDecoder()
+            assert decoder.feed(wire[:cut]) == []
+            assert decoder.pending_bytes == cut
+            frames = decoder.feed(wire[cut:])
+            assert [f.payload for f in frames] == [b"p" * 37]
+            assert decoder.pending_bytes == 0
+
+    def test_zero_length_payloads_back_to_back_in_one_feed(self):
+        wire = b"".join(
+            encode_frame(FrameType.SYNC if i % 2 else FrameType.CREDIT)
+            for i in range(64)
+        )
+        frames = FrameDecoder().feed(wire)
+        assert len(frames) == 64
+        assert all(f.payload == b"" for f in frames)
+
+    def test_mixed_frames_in_one_feed_preserve_order(self):
+        payloads = [b"", b"x", b"y" * 300, b"", b"z" * 7]
+        wire = b"".join(encode_frame(FrameType.DATA, p) for p in payloads)
+        frames = FrameDecoder().feed(wire)
+        assert [f.payload for f in frames] == payloads
+
+    def test_random_chunking_of_many_frames(self):
+        rng = random.Random(613)
+        payloads = [
+            bytes(rng.randrange(256) for _ in range(rng.choice([0, 1, 7, 64, 300])))
+            for _ in range(100)
+        ]
+        wire = b"".join(encode_frame(FrameType.DATA, p) for p in payloads)
+        decoder = FrameDecoder()
+        out = []
+        i = 0
+        while i < len(wire):
+            step = rng.randrange(1, 97)
+            out.extend(decoder.feed(wire[i : i + step]))
+            i += step
+        assert [f.payload for f in out] == payloads
+        assert decoder.pending_bytes == 0
+
+    def test_compaction_threshold_crossing(self):
+        # ~260 KiB of frames through 1000-byte feeds forces the internal
+        # buffer past the compaction threshold several times; payloads
+        # must come out intact (no aliasing with the compacted buffer).
+        payload = bytes(range(256)) * 16  # 4 KiB
+        wire = encode_frame(FrameType.DATA, payload) * 64
+        decoder = FrameDecoder()
+        out = []
+        for i in range(0, len(wire), 1000):
+            out.extend(decoder.feed(wire[i : i + 1000]))
+        assert len(out) == 64
+        assert all(f.payload == payload for f in out)
+        assert decoder.pending_bytes == 0
+
+    def test_feed_accepts_bytearray_and_memoryview(self):
+        wire = frame_of(payload=b"views")
+        half = len(wire) // 2
+        decoder = FrameDecoder()
+        assert decoder.feed(bytearray(wire[:half])) == []
+        frames = decoder.feed(memoryview(wire)[half:])
+        assert [f.payload for f in frames] == [b"views"]
